@@ -1,0 +1,115 @@
+//! Ablation: locking strategies for the Scenario 2 service mutex.
+//!
+//! The paper's future work: "investigate in details the impact of different
+//! locking strategies to further reduce the overhead of our designs." This
+//! bench sweeps the strategy space the cost model exposes:
+//!
+//! * **umtx-blocking** (the paper's design): sleep in the kernel, pay
+//!   block+wake on contention;
+//! * **spin**: burn cycles, zero block/wake cost, grant at release;
+//! * **backoff-spin**: spin with a bounded exponential pause (modeled as a
+//!   small fixed re-check latency);
+//! * plus a **loop-hold sweep**, showing how shrinking the service loop's
+//!   critical section collapses Fig. 6's 19 µs.
+//!
+//! For each variant it prints the simulated contended `ff_write` mean — the
+//! paper-facing artifact — and lets Criterion time the harness.
+
+use capnet::experiment::figs::{measure, LatencyScenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkern::CostModel;
+
+struct Strategy {
+    name: &'static str,
+    mutex_fast_ns: u64,
+    umtx_block_ns: u64,
+    umtx_wake_ns: u64,
+}
+
+const STRATEGIES: [Strategy; 3] = [
+    Strategy {
+        name: "umtx_blocking",
+        mutex_fast_ns: 30,
+        umtx_block_ns: 2_600,
+        umtx_wake_ns: 1_900,
+    },
+    Strategy {
+        name: "pure_spin",
+        mutex_fast_ns: 30,
+        umtx_block_ns: 0,
+        umtx_wake_ns: 0,
+    },
+    Strategy {
+        name: "backoff_spin",
+        mutex_fast_ns: 30,
+        umtx_block_ns: 0,
+        umtx_wake_ns: 260, // average re-check latency after release
+    },
+];
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_locking_strategy");
+    g.sample_size(10);
+    for s in &STRATEGIES {
+        let mut costs = CostModel::morello();
+        costs.mutex_fast_ns = s.mutex_fast_ns;
+        costs.umtx_block_ns = s.umtx_block_ns;
+        costs.umtx_wake_ns = s.umtx_wake_ns;
+        let run = measure(
+            LatencyScenario::Scenario2Contended,
+            20_000,
+            costs.clone(),
+            3,
+        )
+        .expect("measure");
+        eprintln!(
+            "[ablation] {}: contended ff_write mean={:.0}ns median={}ns",
+            s.name, run.summary.mean, run.summary.median
+        );
+        g.bench_with_input(BenchmarkId::new("strategy", s.name), s, |b, s| {
+            let mut costs = CostModel::morello();
+            costs.mutex_fast_ns = s.mutex_fast_ns;
+            costs.umtx_block_ns = s.umtx_block_ns;
+            costs.umtx_wake_ns = s.umtx_wake_ns;
+            b.iter(|| {
+                measure(LatencyScenario::Scenario2Contended, 4_000, costs.clone(), 3).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_loop_hold_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_loop_hold");
+    g.sample_size(10);
+    for hold_us in [2u64, 4, 8, 16] {
+        let mut costs = CostModel::morello();
+        costs.s2_loop_hold_ns = hold_us * 1_000;
+        let run = measure(
+            LatencyScenario::Scenario2Contended,
+            20_000,
+            costs.clone(),
+            5,
+        )
+        .expect("measure");
+        eprintln!(
+            "[ablation] loop_hold={hold_us}us: contended ff_write mean={:.0}ns",
+            run.summary.mean
+        );
+        g.bench_with_input(
+            BenchmarkId::new("loop_hold_us", hold_us),
+            &hold_us,
+            |b, &hold_us| {
+                let mut costs = CostModel::morello();
+                costs.s2_loop_hold_ns = hold_us * 1_000;
+                b.iter(|| {
+                    measure(LatencyScenario::Scenario2Contended, 4_000, costs.clone(), 5).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_loop_hold_sweep);
+criterion_main!(benches);

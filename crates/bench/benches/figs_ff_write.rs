@@ -1,0 +1,87 @@
+//! Bench targets regenerating **Figs. 4–6**: `ff_write()` latency
+//! distributions per scenario, plus the Fig. 3 security check as a
+//! zero-cost sanity gate.
+//!
+//! Each group prints the simulated box-plot statistics once (the paper
+//! artifact) and lets Criterion time the measurement harness itself.
+
+use capnet::experiment::figs::{measure, LatencyScenario};
+use capnet::experiment::fig3;
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkern::CostModel;
+
+const ITERS: usize = 5_000;
+
+fn report(scenario: LatencyScenario) {
+    let run = measure(scenario, 20_000, CostModel::morello(), 11).expect("measure");
+    eprintln!(
+        "[figs] {}: mean={:.0}ns q1={} med={} q3={} ({:.1}% outliers removed)",
+        scenario.label(),
+        run.summary.mean,
+        run.summary.q1,
+        run.summary.median,
+        run.summary.q3,
+        run.removed_fraction * 100.0
+    );
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    report(LatencyScenario::Baseline);
+    report(LatencyScenario::Scenario1);
+    let mut g = c.benchmark_group("fig4_ff_write");
+    g.sample_size(10);
+    g.bench_function("baseline", |b| {
+        b.iter(|| measure(LatencyScenario::Baseline, ITERS, CostModel::morello(), 1).unwrap())
+    });
+    g.bench_function("scenario1", |b| {
+        b.iter(|| measure(LatencyScenario::Scenario1, ITERS, CostModel::morello(), 1).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    report(LatencyScenario::Scenario2Uncontended);
+    let mut g = c.benchmark_group("fig5_ff_write");
+    g.sample_size(10);
+    g.bench_function("scenario2_uncontended", |b| {
+        b.iter(|| {
+            measure(
+                LatencyScenario::Scenario2Uncontended,
+                ITERS,
+                CostModel::morello(),
+                1,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    report(LatencyScenario::Scenario2Contended);
+    let mut g = c.benchmark_group("fig6_ff_write");
+    g.sample_size(10);
+    g.bench_function("scenario2_contended", |b| {
+        b.iter(|| {
+            measure(
+                LatencyScenario::Scenario2Contended,
+                ITERS,
+                CostModel::morello(),
+                1,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let out = fig3::run().expect("fig3");
+    eprintln!("[fig3] {}", out.fault);
+    let mut g = c.benchmark_group("fig3_violation");
+    g.bench_function("full_experiment", |b| b.iter(|| fig3::run().unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4, bench_fig5, bench_fig6, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the capability machine — the real-silicon cost of
+//! the checks the simulation model charges for. Useful when re-calibrating
+//! `CostModel` or comparing against hardware-CHERI numbers.
+
+use cheri::capability::Access;
+use cheri::{Capability, Perms, TaggedMemory};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_capability_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cheri_capability");
+    let cap = Capability::root(0x1000, 0x10000, Perms::data());
+
+    g.bench_function("check_access_hit", |b| {
+        b.iter(|| black_box(cap.check_access(black_box(0x2000), 64, Access::Load)))
+    });
+    g.bench_function("check_access_oob", |b| {
+        b.iter(|| black_box(cap.check_access(black_box(0x20000), 64, Access::Load)))
+    });
+    g.bench_function("try_restrict", |b| {
+        b.iter(|| black_box(cap.try_restrict(black_box(0x2000), 256)))
+    });
+    g.bench_function("try_restrict_perms", |b| {
+        b.iter(|| black_box(cap.try_restrict_perms(Perms::read_only())))
+    });
+    let sealer = Capability::root(0, 4096, Perms::SEAL | Perms::UNSEAL).with_addr(42);
+    g.bench_function("seal_unseal", |b| {
+        b.iter(|| {
+            let s = cap.seal(&sealer).unwrap();
+            black_box(s.unseal(&sealer).unwrap())
+        })
+    });
+    g.bench_function("compressed_bounds", |b| {
+        b.iter(|| black_box(cheri::compress::representable_bounds(black_box(12_345), 1 << 22)))
+    });
+    g.finish();
+}
+
+fn bench_tagged_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cheri_tagged_memory");
+    let mut mem = TaggedMemory::new(1 << 20);
+    let root = mem.root_cap();
+    let data = vec![0xAB; 1448];
+    let mut buf = vec![0u8; 1448];
+
+    g.throughput(criterion::Throughput::Bytes(1448));
+    g.bench_function("write_1448", |b| {
+        b.iter(|| mem.write(&root, black_box(4096), &data).unwrap())
+    });
+    g.bench_function("read_1448", |b| {
+        b.iter(|| mem.read_into(&root, black_box(4096), &mut buf).unwrap())
+    });
+    g.bench_function("copy_1448", |b| {
+        b.iter(|| mem.copy(&root, 4096, &root, 65536, 1448).unwrap())
+    });
+    g.throughput(criterion::Throughput::Elements(1));
+    let value = root.try_restrict(0, 64).unwrap();
+    g.bench_function("store_load_cap", |b| {
+        b.iter(|| {
+            mem.store_cap(&root, 8192, value).unwrap();
+            black_box(mem.load_cap(&root, 8192).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_capability_ops, bench_tagged_memory);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the mavsim telemetry protocol — the per-frame costs
+//! a flight controller pays on its telemetry link: CRC, encode, decode,
+//! and the two receive paths (flat-memory vs CHERI-compartment parser,
+//! benign and attack traffic).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mavsim::frame::{crc16, MavFrame};
+use mavsim::msg::{Attitude, CommandLong, Heartbeat, MavMode, Message};
+use mavsim::parser::{attack, CheriParser, GroundStation, VulnerableParser};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_mavsim/codec");
+    let hb = Message::Heartbeat(Heartbeat {
+        mode: MavMode::Auto,
+        battery_pct: 87,
+        armed: true,
+    });
+    let att = Message::Attitude(Attitude {
+        roll_mrad: -314,
+        pitch_mrad: 1_571,
+        yaw_mrad: 2_000,
+    });
+    let cmd = Message::CommandLong(CommandLong {
+        command: 400,
+        params: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 21196.0],
+    });
+    let wire_hb = MavFrame::encode(1, 1, 1, &hb);
+    let wire_cmd = MavFrame::encode(2, 255, 190, &cmd);
+
+    g.bench_function("crc16_30B", |b| {
+        b.iter(|| crc16(black_box(&wire_cmd[1..36]), black_box(152)))
+    });
+    g.bench_function("encode_heartbeat", |b| {
+        b.iter(|| MavFrame::encode(black_box(7), 1, 1, black_box(&hb)))
+    });
+    g.bench_function("encode_attitude", |b| {
+        b.iter(|| MavFrame::encode(black_box(7), 1, 1, black_box(&att)))
+    });
+    g.bench_function("decode_heartbeat", |b| {
+        b.iter(|| MavFrame::decode(black_box(&wire_hb)).unwrap())
+    });
+    g.bench_function("decode_command_long", |b| {
+        b.iter(|| {
+            MavFrame::decode(black_box(&wire_cmd))
+                .and_then(|f| f.message())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_mavsim/parsers");
+    let benign = MavFrame::encode(
+        1,
+        1,
+        1,
+        &Message::Heartbeat(Heartbeat {
+            mode: MavMode::Hover,
+            battery_pct: 90,
+            armed: true,
+        }),
+    );
+    let exploit = attack::oversized_statustext(120, 0xFFFF);
+
+    g.bench_function("flat_benign", |b| {
+        let mut p = VulnerableParser::new();
+        b.iter(|| p.handle(black_box(&benign)))
+    });
+    g.bench_function("cheri_benign", |b| {
+        let mut p = CheriParser::new();
+        b.iter(|| p.handle(black_box(&benign)))
+    });
+    // Attack handling including the compartment respawn — the full
+    // fail-stop + recovery cycle the DoS costs.
+    g.bench_function("cheri_attack_and_respawn", |b| {
+        let mut p = CheriParser::new();
+        b.iter(|| {
+            let out = p.handle(black_box(&exploit));
+            p.respawn();
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_parsers);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench target regenerating **Table II**: TCP bandwidth per scenario.
+//!
+//! Criterion times the harness (wall clock of the discrete-event run); the
+//! *measured artifact* — Mbit/s per configuration — is printed once per
+//! scenario so `cargo bench` output doubles as the table. Shape assertions
+//! live in `tests/experiments_reproduce_paper.rs`.
+
+use capnet::scenario::{run_bandwidth, ScenarioKind, TrafficMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkern::{CostModel, SimDuration};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_tcp_bandwidth");
+    group.sample_size(10);
+    let duration = SimDuration::from_millis(40);
+
+    for kind in ScenarioKind::all() {
+        for mode in [TrafficMode::Server, TrafficMode::Client] {
+            // Print the paper-facing number once.
+            let out = run_bandwidth(kind, mode, duration, CostModel::morello())
+                .expect("scenario runs");
+            let reports = match mode {
+                TrafficMode::Server => &out.servers,
+                TrafficMode::Client => &out.clients,
+            };
+            for r in reports.iter().filter(|r| !r.label.starts_with("host")) {
+                eprintln!(
+                    "[table2] {kind} / {mode} / {}: {:.0} Mbit/s",
+                    r.label,
+                    r.mbit_per_sec()
+                );
+            }
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), mode.to_string()),
+                &(kind, mode),
+                |b, &(kind, mode)| {
+                    b.iter(|| {
+                        run_bandwidth(kind, mode, duration, CostModel::morello())
+                            .expect("scenario runs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

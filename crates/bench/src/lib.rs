@@ -1,0 +1,1 @@
+pub fn bench_lib_placeholder() {}

@@ -1,0 +1,585 @@
+//! The capability value type and its guarded-manipulation rules.
+//!
+//! A [`Capability`] is a fat pointer: an address (cursor) plus the metadata
+//! that bounds what the holder may do with it. The two architectural
+//! invariants the paper relies on are enforced by construction:
+//!
+//! * **valid provenance** — the only public constructor that mints authority
+//!   is [`Capability::root`], used by the machine/boot code (here: the
+//!   [`TaggedMemory`](crate::memory::TaggedMemory) owner and the Intravisor);
+//!   everything else derives from an existing capability;
+//! * **monotonicity** — [`Capability::try_restrict`] and
+//!   [`Capability::try_restrict_perms`] can only shrink bounds/permissions;
+//!   attempts to amplify fault with
+//!   [`FaultKind::Monotonicity`].
+
+use crate::fault::{CapFault, FaultKind};
+use crate::otype::OType;
+use crate::perms::Perms;
+use std::fmt;
+
+/// The kind of memory access a capability check authorizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+    /// Instruction fetch.
+    Fetch,
+    /// Capability (tagged, 16-byte) load.
+    LoadCap,
+    /// Capability (tagged, 16-byte) store.
+    StoreCap,
+}
+
+impl Access {
+    fn required_perm(self) -> Perms {
+        match self {
+            Access::Load => Perms::LOAD,
+            Access::Store => Perms::STORE,
+            Access::Fetch => Perms::EXECUTE,
+            Access::LoadCap => Perms::LOAD | Perms::LOAD_CAP,
+            Access::StoreCap => Perms::STORE | Perms::STORE_CAP,
+        }
+    }
+
+    fn denial(self) -> FaultKind {
+        match self {
+            Access::Load => FaultKind::PermitLoad,
+            Access::Store => FaultKind::PermitStore,
+            Access::Fetch => FaultKind::PermitExecute,
+            Access::LoadCap => FaultKind::PermitLoadCap,
+            Access::StoreCap => FaultKind::PermitStoreCap,
+        }
+    }
+}
+
+/// A CHERI capability: cursor + bounds + permissions + object type + tag.
+///
+/// Capabilities are small `Copy` values, like the 128-bit hardware register
+/// contents they model.
+///
+/// # Example
+///
+/// ```
+/// use cheri::{Capability, Perms};
+///
+/// # fn main() -> Result<(), cheri::CapFault> {
+/// let root = Capability::root(0x1000, 0x1000, Perms::data());
+/// let sub = root.try_restrict(0x1800, 0x100)?;
+/// assert_eq!(sub.base(), 0x1800);
+/// assert_eq!(sub.len(), 0x100);
+/// // Growing back is a monotonicity violation:
+/// assert!(sub.try_restrict(0x1000, 0x1000).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Capability {
+    base: u64,
+    top: u64, // exclusive
+    addr: u64,
+    perms: Perms,
+    otype: OType,
+    tag: bool,
+}
+
+impl Capability {
+    /// Mints a root capability over `[base, base+len)` with `perms`.
+    ///
+    /// This is the *only* source of fresh authority; call sites are the
+    /// simulated boot firmware (memory root) and test fixtures. All other
+    /// capabilities must be derived, preserving provenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base + len` overflows.
+    pub fn root(base: u64, len: u64, perms: Perms) -> Capability {
+        let top = base.checked_add(len).expect("capability region overflow");
+        Capability {
+            base,
+            top,
+            addr: base,
+            perms,
+            otype: OType::UNSEALED,
+            tag: true,
+        }
+    }
+
+    /// The canonical invalid capability: null, untagged, no authority.
+    pub fn null() -> Capability {
+        Capability {
+            base: 0,
+            top: 0,
+            addr: 0,
+            perms: Perms::NONE,
+            otype: OType::UNSEALED,
+            tag: false,
+        }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Upper bound (exclusive).
+    pub fn top(&self) -> u64 {
+        self.top
+    }
+
+    /// Length of the authorized region in bytes.
+    pub fn len(&self) -> u64 {
+        self.top - self.base
+    }
+
+    /// `true` if the capability authorizes no bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.top == self.base
+    }
+
+    /// The cursor (the "pointer value").
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// The permission set.
+    pub fn perms(&self) -> Perms {
+        self.perms
+    }
+
+    /// The object type ([`OType::UNSEALED`] when not sealed).
+    pub fn otype(&self) -> OType {
+        self.otype
+    }
+
+    /// The validity tag. Untagged capabilities authorize nothing.
+    pub fn tag(&self) -> bool {
+        self.tag
+    }
+
+    /// `true` if sealed (immutable, unusable for direct access).
+    pub fn is_sealed(&self) -> bool {
+        self.otype.is_sealed()
+    }
+
+    /// The offset of the cursor from base.
+    pub fn offset(&self) -> u64 {
+        self.addr.wrapping_sub(self.base)
+    }
+
+    /// Returns a copy with the cursor moved to `addr`.
+    ///
+    /// Like the hardware `SCVALUE`/pointer arithmetic, this never faults:
+    /// moving the cursor out of bounds is legal (C allows one-past-the-end
+    /// and transient excursions); the *access* is what gets checked. Sealed
+    /// capabilities are immutable, so modifying one clears the tag instead.
+    #[must_use = "with_addr returns a new capability"]
+    pub fn with_addr(&self, addr: u64) -> Capability {
+        let mut c = *self;
+        if c.is_sealed() {
+            c.tag = false;
+        }
+        c.addr = addr;
+        c
+    }
+
+    /// Returns a copy with the cursor advanced by `delta` bytes (wrapping).
+    #[must_use = "offset_by returns a new capability"]
+    pub fn offset_by(&self, delta: i64) -> Capability {
+        self.with_addr(self.addr.wrapping_add(delta as u64))
+    }
+
+    /// Derives a capability with narrower bounds `[base, base+len)`
+    /// (`CSetBounds`). The cursor moves to the new base.
+    ///
+    /// # Errors
+    ///
+    /// * [`FaultKind::Tag`] if `self` is untagged.
+    /// * [`FaultKind::Seal`] if `self` is sealed.
+    /// * [`FaultKind::Monotonicity`] if the new range is not a subset.
+    pub fn try_restrict(&self, base: u64, len: u64) -> Result<Capability, CapFault> {
+        self.check_derivable(base, len)?;
+        let top = base.checked_add(len).ok_or_else(|| {
+            CapFault::new(FaultKind::Monotonicity, base, len, *self)
+        })?;
+        if base < self.base || top > self.top {
+            return Err(CapFault::new(FaultKind::Monotonicity, base, len, *self));
+        }
+        let mut c = *self;
+        c.base = base;
+        c.top = top;
+        c.addr = base;
+        Ok(c)
+    }
+
+    /// Derives a capability whose permissions are `self.perms() & perms`
+    /// (`CAndPerm`). Never amplifies, by construction.
+    ///
+    /// # Errors
+    ///
+    /// * [`FaultKind::Tag`] if `self` is untagged.
+    /// * [`FaultKind::Seal`] if `self` is sealed.
+    /// * [`FaultKind::Monotonicity`] if `perms` asks for a bit the parent
+    ///   lacks (strict variant — the paper's port uses the strict form to
+    ///   catch configuration mistakes early).
+    pub fn try_restrict_perms(&self, perms: Perms) -> Result<Capability, CapFault> {
+        self.check_derivable(self.base, self.len())?;
+        if !perms.is_subset_of(self.perms) {
+            return Err(CapFault::new(FaultKind::Monotonicity, self.addr, 0, *self));
+        }
+        let mut c = *self;
+        c.perms = perms;
+        Ok(c)
+    }
+
+    fn check_derivable(&self, addr: u64, len: u64) -> Result<(), CapFault> {
+        if !self.tag {
+            return Err(CapFault::new(FaultKind::Tag, addr, len, *self));
+        }
+        if self.is_sealed() {
+            return Err(CapFault::new(FaultKind::Seal, addr, len, *self));
+        }
+        Ok(())
+    }
+
+    /// Checks an access of `len` bytes at `addr` of kind `access`.
+    ///
+    /// This is the hot-path check every load/store in the network stack
+    /// performs — the software analog of the Morello MMU+capability unit.
+    ///
+    /// # Errors
+    ///
+    /// Tag, seal, permission, then bounds violations, in the architectural
+    /// priority order.
+    pub fn check_access(&self, addr: u64, len: u64, access: Access) -> Result<(), CapFault> {
+        if !self.tag {
+            return Err(CapFault::new(FaultKind::Tag, addr, len, *self));
+        }
+        if self.is_sealed() {
+            return Err(CapFault::new(FaultKind::Seal, addr, len, *self));
+        }
+        if !self.perms.contains(access.required_perm()) {
+            return Err(CapFault::new(access.denial(), addr, len, *self));
+        }
+        let end = addr
+            .checked_add(len)
+            .ok_or_else(|| CapFault::new(FaultKind::Bounds, addr, len, *self))?;
+        if addr < self.base || end > self.top {
+            return Err(CapFault::new(FaultKind::Bounds, addr, len, *self));
+        }
+        Ok(())
+    }
+
+    /// Seals `self` with `sealer` (`CSeal`): the result's object type is the
+    /// sealer's *address*, the classic CHERI encoding.
+    ///
+    /// # Errors
+    ///
+    /// Faults if either capability is untagged, `self` is already sealed,
+    /// the sealer lacks [`Perms::SEAL`], or the sealer's cursor is out of
+    /// its own bounds (the otype space is bounded by the sealer).
+    pub fn seal(&self, sealer: &Capability) -> Result<Capability, CapFault> {
+        self.check_derivable(self.addr, 0)?;
+        if !sealer.tag {
+            return Err(CapFault::new(FaultKind::Tag, sealer.addr, 0, *sealer));
+        }
+        if sealer.is_sealed() {
+            return Err(CapFault::new(FaultKind::Seal, sealer.addr, 0, *sealer));
+        }
+        if !sealer.perms.contains(Perms::SEAL) {
+            return Err(CapFault::new(FaultKind::PermitSeal, sealer.addr, 0, *sealer));
+        }
+        if sealer.addr < sealer.base || sealer.addr >= sealer.top {
+            return Err(CapFault::new(FaultKind::Bounds, sealer.addr, 0, *sealer));
+        }
+        let ot = u32::try_from(sealer.addr)
+            .map_err(|_| CapFault::new(FaultKind::Representability, sealer.addr, 0, *sealer))?;
+        let mut c = *self;
+        c.otype = OType::new(ot);
+        Ok(c)
+    }
+
+    /// Unseals `self` with `unsealer` (`CUnseal`).
+    ///
+    /// # Errors
+    ///
+    /// Faults if `self` is not sealed, the unsealer lacks
+    /// [`Perms::UNSEAL`], or the unsealer's address does not match the
+    /// object type.
+    pub fn unseal(&self, unsealer: &Capability) -> Result<Capability, CapFault> {
+        if !self.tag {
+            return Err(CapFault::new(FaultKind::Tag, self.addr, 0, *self));
+        }
+        if !self.is_sealed() {
+            return Err(CapFault::new(FaultKind::Type, self.addr, 0, *self));
+        }
+        if !unsealer.tag {
+            return Err(CapFault::new(FaultKind::Tag, unsealer.addr, 0, *unsealer));
+        }
+        if !unsealer.perms.contains(Perms::UNSEAL) {
+            return Err(CapFault::new(
+                FaultKind::PermitUnseal,
+                unsealer.addr,
+                0,
+                *unsealer,
+            ));
+        }
+        if unsealer.addr != u64::from(self.otype.raw()) {
+            return Err(CapFault::new(FaultKind::Type, unsealer.addr, 0, *self));
+        }
+        let mut c = *self;
+        c.otype = OType::UNSEALED;
+        Ok(c)
+    }
+
+    /// Converts to a sealed entry (`sentry`): jumpable but opaque.
+    ///
+    /// # Errors
+    ///
+    /// Faults if untagged or already sealed.
+    pub fn into_sentry(self) -> Result<Capability, CapFault> {
+        self.check_derivable(self.addr, 0)?;
+        let mut c = self;
+        c.otype = OType::SENTRY;
+        Ok(c)
+    }
+
+    /// `true` if `self`'s authority (bounds and perms) is contained in
+    /// `other`'s — the `CTestSubset` predicate used when auditing
+    /// compartment configurations.
+    pub fn is_subset_of(&self, other: &Capability) -> bool {
+        self.base >= other.base
+            && self.top <= other.top
+            && self.perms.is_subset_of(other.perms)
+    }
+
+    /// `true` if `[addr, addr+len)` lies within bounds (no perm check).
+    pub fn spans(&self, addr: u64, len: u64) -> bool {
+        match addr.checked_add(len) {
+            Some(end) => addr >= self.base && end <= self.top,
+            None => false,
+        }
+    }
+
+    /// Clears the tag, producing an untagged (dead) copy — what hardware
+    /// does to in-memory capabilities clobbered by data writes.
+    #[must_use = "without_tag returns a new capability"]
+    pub fn without_tag(&self) -> Capability {
+        let mut c = *self;
+        c.tag = false;
+        c
+    }
+}
+
+impl fmt::Display for Capability {
+    /// Morello `kdump`-style rendering:
+    /// `0x1800 [0x1800,0x1900) rwRWLG unsealed tag=1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#x} [{:#x},{:#x}) {} {} tag={}",
+            self.addr,
+            self.base,
+            self.top,
+            self.perms,
+            self.otype,
+            u8::from(self.tag)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_root() -> Capability {
+        Capability::root(0x1000, 0x1000, Perms::data())
+    }
+
+    #[test]
+    fn root_covers_its_region() {
+        let c = data_root();
+        assert_eq!(c.base(), 0x1000);
+        assert_eq!(c.top(), 0x2000);
+        assert_eq!(c.len(), 0x1000);
+        assert!(c.tag());
+        assert!(!c.is_sealed());
+        assert!(!c.is_empty());
+        assert_eq!(c.offset(), 0);
+    }
+
+    #[test]
+    fn null_is_dead() {
+        let n = Capability::null();
+        assert!(!n.tag());
+        assert!(n.is_empty());
+        assert!(n.check_access(0, 1, Access::Load).is_err());
+    }
+
+    #[test]
+    fn restrict_is_monotonic_on_bounds() {
+        let c = data_root();
+        let sub = c.try_restrict(0x1100, 0x100).unwrap();
+        assert_eq!(sub.base(), 0x1100);
+        assert_eq!(sub.len(), 0x100);
+        // Widening in any direction faults.
+        assert_eq!(
+            sub.try_restrict(0x10FF, 0x100).unwrap_err().kind(),
+            FaultKind::Monotonicity
+        );
+        assert_eq!(
+            sub.try_restrict(0x1100, 0x101).unwrap_err().kind(),
+            FaultKind::Monotonicity
+        );
+        // Overflowing top faults as monotonicity, not panic.
+        assert!(c.try_restrict(u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn restrict_perms_is_monotonic() {
+        let c = data_root();
+        let ro = c.try_restrict_perms(Perms::read_only()).unwrap();
+        assert!(!ro.perms().contains(Perms::STORE));
+        // Asking the read-only child for STORE faults.
+        assert_eq!(
+            ro.try_restrict_perms(Perms::LOAD | Perms::STORE)
+                .unwrap_err()
+                .kind(),
+            FaultKind::Monotonicity
+        );
+    }
+
+    #[test]
+    fn access_checks_enforce_perms_and_bounds() {
+        let c = data_root();
+        assert!(c.check_access(0x1000, 0x1000, Access::Load).is_ok());
+        assert!(c.check_access(0x1FFF, 1, Access::Store).is_ok());
+        assert_eq!(
+            c.check_access(0x1FFF, 2, Access::Store).unwrap_err().kind(),
+            FaultKind::Bounds
+        );
+        assert_eq!(
+            c.check_access(0xFFF, 1, Access::Load).unwrap_err().kind(),
+            FaultKind::Bounds
+        );
+        assert_eq!(
+            c.check_access(0x1000, 4, Access::Fetch).unwrap_err().kind(),
+            FaultKind::PermitExecute
+        );
+        // Overflowing end is out of bounds, not a panic.
+        assert_eq!(
+            c.check_access(u64::MAX, 2, Access::Load).unwrap_err().kind(),
+            FaultKind::Bounds
+        );
+    }
+
+    #[test]
+    fn untagged_caps_authorize_nothing() {
+        let dead = data_root().without_tag();
+        assert_eq!(
+            dead.check_access(0x1000, 1, Access::Load).unwrap_err().kind(),
+            FaultKind::Tag
+        );
+        assert_eq!(
+            dead.try_restrict(0x1000, 1).unwrap_err().kind(),
+            FaultKind::Tag
+        );
+    }
+
+    #[test]
+    fn cursor_moves_freely_but_access_is_checked() {
+        let c = data_root();
+        let oob = c.with_addr(0x9000);
+        assert!(oob.tag(), "moving the cursor keeps the tag");
+        assert_eq!(
+            oob.check_access(0x9000, 1, Access::Load).unwrap_err().kind(),
+            FaultKind::Bounds
+        );
+        let back = oob.offset_by(-0x8000i64);
+        assert_eq!(back.addr(), 0x1000);
+        assert!(back.check_access(back.addr(), 1, Access::Load).is_ok());
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let c = data_root();
+        let sealer_root = Capability::root(40, 10, Perms::SEAL | Perms::UNSEAL);
+        let sealer = sealer_root.with_addr(42);
+        let sealed = c.seal(&sealer).unwrap();
+        assert!(sealed.is_sealed());
+        assert_eq!(sealed.otype().raw(), 42);
+        // Sealed capability cannot be used or modified.
+        assert_eq!(
+            sealed.check_access(0x1000, 1, Access::Load).unwrap_err().kind(),
+            FaultKind::Seal
+        );
+        assert_eq!(
+            sealed.try_restrict(0x1000, 1).unwrap_err().kind(),
+            FaultKind::Seal
+        );
+        assert!(!sealed.with_addr(0).tag(), "mutating a sealed cap kills it");
+        // Unseal with the right authority restores it.
+        let unsealed = sealed.unseal(&sealer).unwrap();
+        assert!(!unsealed.is_sealed());
+        assert!(unsealed.check_access(0x1000, 1, Access::Load).is_ok());
+        // Wrong otype address fails.
+        let wrong = sealer_root.with_addr(43);
+        assert_eq!(sealed.unseal(&wrong).unwrap_err().kind(), FaultKind::Type);
+    }
+
+    #[test]
+    fn sealing_requires_permissions() {
+        let c = data_root();
+        let no_seal_perm = Capability::root(40, 10, Perms::UNSEAL).with_addr(42);
+        assert_eq!(c.seal(&no_seal_perm).unwrap_err().kind(), FaultKind::PermitSeal);
+        let sealer = Capability::root(40, 10, Perms::SEAL).with_addr(42);
+        let sealed = c.seal(&sealer).unwrap();
+        // Unseal needs UNSEAL perm.
+        assert_eq!(
+            sealed.unseal(&sealer).unwrap_err().kind(),
+            FaultKind::PermitUnseal
+        );
+        // Sealer cursor out of its own bounds faults.
+        let oob_sealer = Capability::root(40, 10, Perms::SEAL).with_addr(99);
+        assert_eq!(c.seal(&oob_sealer).unwrap_err().kind(), FaultKind::Bounds);
+    }
+
+    #[test]
+    fn sentry_is_sealed_and_opaque() {
+        let code = Capability::root(0x4000, 0x100, Perms::code());
+        let entry = code.into_sentry().unwrap();
+        assert!(entry.is_sealed());
+        assert!(entry.otype().is_sentry());
+        assert!(entry.try_restrict(0x4000, 1).is_err());
+    }
+
+    #[test]
+    fn subset_predicate() {
+        let c = data_root();
+        let sub = c
+            .try_restrict(0x1100, 0x100)
+            .unwrap()
+            .try_restrict_perms(Perms::read_only())
+            .unwrap();
+        assert!(sub.is_subset_of(&c));
+        assert!(!c.is_subset_of(&sub));
+    }
+
+    #[test]
+    fn spans_handles_overflow() {
+        let c = data_root();
+        assert!(c.spans(0x1000, 0x1000));
+        assert!(!c.spans(u64::MAX, 2));
+        assert!(!c.spans(0x1000, 0x1001));
+    }
+
+    #[test]
+    fn display_contains_the_essentials() {
+        let s = data_root().to_string();
+        assert!(s.contains("0x1000"), "{s}");
+        assert!(s.contains("tag=1"), "{s}");
+        assert!(s.contains("unsealed"), "{s}");
+    }
+}

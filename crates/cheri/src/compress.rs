@@ -1,0 +1,175 @@
+//! CHERI-Concentrate-style compressed bounds.
+//!
+//! Real 128-bit capabilities cannot store two full 64-bit bounds plus a
+//! cursor; Morello uses the CHERI Concentrate encoding, which represents
+//! bounds relative to the cursor with a shared exponent and a limited
+//! mantissa. The visible consequence for software — and the reason the
+//! paper's DPDK port must allocate mempools with "the correct permission
+//! flags" *and alignments* — is **representability**: large regions can only
+//! have bounds aligned to `2^E`.
+//!
+//! This module models that contract: [`representable_bounds`] widens a
+//! requested region to the smallest enclosing representable one, and
+//! [`Capability::try_restrict`](crate::capability::Capability::try_restrict)
+//! callers that want hardware fidelity go through
+//! [`restrict_compressed`]. Property tests assert the two laws hardware
+//! guarantees: the result always *contains* the request, and padding is
+//! bounded by the mantissa-dependent alignment.
+
+use crate::capability::Capability;
+use crate::fault::{CapFault, FaultKind};
+
+/// Mantissa width of the modeled encoding (Morello uses 14 for the in-memory
+/// format; we keep the constant visible for experimentation).
+pub const MANTISSA_BITS: u32 = 14;
+
+/// Regions of at most this many bytes are always exactly representable.
+pub const EXACT_LIMIT: u64 = 1 << MANTISSA_BITS;
+
+/// The alignment that bounds of a region of length `len` must satisfy.
+///
+/// # Example
+///
+/// ```
+/// use cheri::compress::required_alignment;
+/// assert_eq!(required_alignment(100), 1);          // small: exact
+/// assert_eq!(required_alignment(1 << 20), 1 << 7); // 1 MiB: 128-byte aligned
+/// ```
+pub fn required_alignment(len: u64) -> u64 {
+    if len <= EXACT_LIMIT {
+        1
+    } else {
+        // Exponent e such that len fits in MANTISSA_BITS bits after shifting.
+        let bits = 64 - len.leading_zeros();
+        let e = bits - MANTISSA_BITS;
+        1u64 << e
+    }
+}
+
+/// The smallest representable region containing `[base, base+len)`.
+///
+/// Returns `(new_base, new_len)` with `new_base <= base` and
+/// `new_base + new_len >= base + len`, both aligned to
+/// [`required_alignment`].
+///
+/// # Example
+///
+/// ```
+/// use cheri::compress::representable_bounds;
+/// // Small regions round-trip exactly.
+/// assert_eq!(representable_bounds(12345, 100), (12345, 100));
+/// // Large regions get out-rounded bounds.
+/// let (b, l) = representable_bounds(1_000_001, 1 << 20);
+/// assert!(b <= 1_000_001);
+/// assert!(b + l >= 1_000_001 + (1 << 20));
+/// ```
+pub fn representable_bounds(base: u64, len: u64) -> (u64, u64) {
+    if len == 0 {
+        return (base, 0);
+    }
+    let mut align = required_alignment(len);
+    loop {
+        let new_base = base & !(align - 1);
+        let end = base.saturating_add(len);
+        let new_end = end
+            .checked_next_multiple_of(align)
+            .unwrap_or(!(align - 1));
+        let new_len = new_end - new_base;
+        // Out-rounding can push the length across a power-of-two boundary,
+        // requiring a coarser alignment; iterate until stable (≤ 2 rounds).
+        let needed = required_alignment(new_len);
+        if needed <= align {
+            return (new_base, new_len);
+        }
+        align = needed;
+    }
+}
+
+/// `true` if `[base, base+len)` is exactly representable.
+pub fn is_representable(base: u64, len: u64) -> bool {
+    representable_bounds(base, len) == (base, len)
+}
+
+/// Derives a sub-capability with compressed (out-rounded) bounds, the way
+/// Morello's `CSetBounds` behaves for large regions.
+///
+/// The rounding may grant a slightly larger window than requested, but
+/// never more than the *parent* authorizes: if the rounded region escapes
+/// the parent, the derivation faults — hardware monotonicity is absolute.
+///
+/// # Errors
+///
+/// [`FaultKind::Representability`] when the out-rounded region would exceed
+/// the parent's bounds, plus any fault
+/// [`Capability::try_restrict`] itself raises.
+pub fn restrict_compressed(
+    parent: &Capability,
+    base: u64,
+    len: u64,
+) -> Result<Capability, CapFault> {
+    let (rb, rl) = representable_bounds(base, len);
+    if rb < parent.base() || rb.saturating_add(rl) > parent.top() {
+        return Err(CapFault::new(FaultKind::Representability, base, len, *parent));
+    }
+    parent.try_restrict(rb, rl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perms::Perms;
+
+    #[test]
+    fn small_regions_are_exact() {
+        for len in [0u64, 1, 7, 100, 4096, EXACT_LIMIT] {
+            assert!(is_representable(12345, len), "len={len}");
+        }
+    }
+
+    #[test]
+    fn large_regions_round_outward() {
+        let (b, l) = representable_bounds(1_000_001, 1 << 22);
+        assert!(b <= 1_000_001);
+        assert!(b + l >= 1_000_001 + (1 << 22));
+        let a = required_alignment(l);
+        assert_eq!(b % a, 0);
+        assert_eq!((b + l) % a, 0);
+    }
+
+    #[test]
+    fn alignment_grows_with_length() {
+        assert_eq!(required_alignment(EXACT_LIMIT), 1);
+        assert_eq!(required_alignment(EXACT_LIMIT + 1), 2);
+        assert!(required_alignment(1 << 30) > required_alignment(1 << 20));
+    }
+
+    #[test]
+    fn padding_is_bounded() {
+        // Out-rounding never more than doubles-ish: padding < 2*alignment.
+        for (base, len) in [(3u64, 1u64 << 20), (999_999, 1 << 25), (1, (1 << 20) + 17)] {
+            let (b, l) = representable_bounds(base, len);
+            let align = required_alignment(l);
+            assert!(l - len < 2 * align, "base={base} len={len} l={l}");
+            assert!(b + l >= base + len);
+        }
+    }
+
+    #[test]
+    fn compressed_restrict_respects_parent() {
+        let parent = Capability::root(0, 1 << 30, Perms::data());
+        // Fits after rounding: fine.
+        let c = restrict_compressed(&parent, 4096, 1 << 20).unwrap();
+        assert!(c.is_subset_of(&parent));
+        assert!(c.len() >= 1 << 20);
+        // A large region butted against the parent's top would round past
+        // it: representability fault, not silent amplification.
+        let tight = Capability::root(5, (1 << 22) + 3, Perms::data());
+        let e = restrict_compressed(&tight, 5, (1 << 22) + 3).unwrap_err();
+        assert_eq!(e.kind(), FaultKind::Representability);
+    }
+
+    #[test]
+    fn zero_length_is_trivially_representable() {
+        assert_eq!(representable_bounds(42, 0), (42, 0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Capability faults — the hardware exceptions of the model.
+//!
+//! On Morello a violated check raises a capability exception that CheriBSD
+//! delivers as `SIGPROT`; the paper's Fig. 3 shows an application dying with
+//! a *Capability Out-of-Bounds* exception when it dereferences outside its
+//! compartment's DDC. [`CapFault`] is that exception, carried as a normal
+//! Rust error so tests and experiments can assert on the precise violation.
+
+use crate::capability::Capability;
+use std::fmt;
+
+/// The kind of capability check that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The capability's validity tag was clear (forged or clobbered).
+    Tag,
+    /// A sealed capability was used for a non-invoke operation.
+    Seal,
+    /// The access range fell outside `[base, top)` — Fig. 3's
+    /// "CAP Out-of-Bounds" exception.
+    Bounds,
+    /// Data load attempted without `LOAD`.
+    PermitLoad,
+    /// Data store attempted without `STORE`.
+    PermitStore,
+    /// Instruction fetch attempted without `EXECUTE`.
+    PermitExecute,
+    /// Capability load attempted without `LOAD_CAP`.
+    PermitLoadCap,
+    /// Capability store attempted without `STORE_CAP`.
+    PermitStoreCap,
+    /// A local (non-`GLOBAL`) capability stored without `STORE_LOCAL_CAP`.
+    PermitStoreLocalCap,
+    /// Sealing attempted without `SEAL` on the sealer.
+    PermitSeal,
+    /// Unsealing attempted without `UNSEAL` on the unsealer.
+    PermitUnseal,
+    /// `CInvoke` attempted without `INVOKE` or on a mismatched pair.
+    PermitInvoke,
+    /// Object type mismatch during unseal/invoke.
+    Type,
+    /// A monotonicity violation: requested bounds/permissions exceed the
+    /// parent capability's authority.
+    Monotonicity,
+    /// Bounds not representable in the compressed encoding.
+    Representability,
+    /// Capability-sized access with bad alignment.
+    Alignment,
+}
+
+impl FaultKind {
+    /// The Morello-style exception name, as a kernel would log it.
+    pub fn exception_name(self) -> &'static str {
+        match self {
+            FaultKind::Tag => "Capability Tag Violation",
+            FaultKind::Seal => "Capability Seal Violation",
+            FaultKind::Bounds => "Capability Out-of-Bounds Exception",
+            FaultKind::PermitLoad => "Capability Permit-Load Violation",
+            FaultKind::PermitStore => "Capability Permit-Store Violation",
+            FaultKind::PermitExecute => "Capability Permit-Execute Violation",
+            FaultKind::PermitLoadCap => "Capability Permit-Load-Capability Violation",
+            FaultKind::PermitStoreCap => "Capability Permit-Store-Capability Violation",
+            FaultKind::PermitStoreLocalCap => {
+                "Capability Permit-Store-Local-Capability Violation"
+            }
+            FaultKind::PermitSeal => "Capability Permit-Seal Violation",
+            FaultKind::PermitUnseal => "Capability Permit-Unseal Violation",
+            FaultKind::PermitInvoke => "Capability Permit-Invoke Violation",
+            FaultKind::Type => "Capability Type Violation",
+            FaultKind::Monotonicity => "Capability Monotonicity Violation",
+            FaultKind::Representability => "Capability Representability Fault",
+            FaultKind::Alignment => "Capability Alignment Fault",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.exception_name())
+    }
+}
+
+/// A capability exception: what failed, at which address, through which
+/// capability.
+///
+/// # Example
+///
+/// ```
+/// use cheri::{Perms, TaggedMemory, FaultKind};
+/// let mut mem = TaggedMemory::new(1024);
+/// let cap = mem.root_cap().try_restrict(0, 64).unwrap();
+/// let fault = mem.write(&cap, 512, &[0u8; 4]).unwrap_err();
+/// assert_eq!(fault.kind(), FaultKind::Bounds);
+/// assert!(fault.to_string().contains("Out-of-Bounds"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapFault {
+    kind: FaultKind,
+    addr: u64,
+    len: u64,
+    cap: Capability,
+}
+
+impl CapFault {
+    /// Creates a fault record for an access of `len` bytes at `addr`
+    /// attempted through `cap`.
+    pub fn new(kind: FaultKind, addr: u64, len: u64, cap: Capability) -> Self {
+        CapFault {
+            kind,
+            addr,
+            len,
+            cap,
+        }
+    }
+
+    /// Which architectural check failed.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// The faulting address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// The attempted access length in bytes (0 for non-memory operations).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when the fault was not a memory access (e.g. a derivation or
+    /// seal violation), i.e. [`CapFault::len`] is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The capability through which the access was attempted.
+    pub fn capability(&self) -> &Capability {
+        &self.cap
+    }
+
+    /// `true` if this is the out-of-bounds exception of the paper's Fig. 3.
+    pub fn is_out_of_bounds(&self) -> bool {
+        self.kind == FaultKind::Bounds
+    }
+}
+
+impl fmt::Display for CapFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: access of {} byte(s) at {:#x} via capability {}",
+            self.kind.exception_name(),
+            self.len,
+            self.addr,
+            self.cap
+        )
+    }
+}
+
+impl std::error::Error for CapFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perms::Perms;
+
+    fn some_cap() -> Capability {
+        Capability::root(0x1000, 0x100, Perms::data())
+    }
+
+    #[test]
+    fn display_names_the_exception() {
+        let f = CapFault::new(FaultKind::Bounds, 0x2000, 8, some_cap());
+        let s = f.to_string();
+        assert!(s.contains("Capability Out-of-Bounds Exception"), "{s}");
+        assert!(s.contains("0x2000"), "{s}");
+        assert!(f.is_out_of_bounds());
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let f = CapFault::new(FaultKind::PermitStore, 0x10, 4, some_cap());
+        assert_eq!(f.kind(), FaultKind::PermitStore);
+        assert_eq!(f.addr(), 0x10);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.capability().base(), 0x1000);
+        assert!(!f.is_out_of_bounds());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(CapFault::new(FaultKind::Tag, 0, 0, some_cap()));
+    }
+
+    #[test]
+    fn every_kind_has_a_distinct_name() {
+        use FaultKind::*;
+        let kinds = [
+            Tag,
+            Seal,
+            Bounds,
+            PermitLoad,
+            PermitStore,
+            PermitExecute,
+            PermitLoadCap,
+            PermitStoreCap,
+            PermitStoreLocalCap,
+            PermitSeal,
+            PermitUnseal,
+            PermitInvoke,
+            Type,
+            Monotonicity,
+            Representability,
+            Alignment,
+        ];
+        let names: std::collections::HashSet<_> =
+            kinds.iter().map(|k| k.exception_name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

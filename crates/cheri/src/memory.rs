@@ -1,0 +1,569 @@
+//! Tagged memory: bytes plus one validity tag per capability granule.
+//!
+//! CHERI's integrity story is *tagged memory*: each 16-byte-aligned granule
+//! of DRAM carries a hidden bit saying "this granule holds a valid
+//! capability". Capability stores set it; **any byte store into the granule
+//! clears it**, so software cannot forge a capability by writing its bit
+//! pattern. [`TaggedMemory`] reproduces that contract: it is the single
+//! address space the Intravisor and every cVM share in the CHERI scenarios
+//! (the MMU-based Baseline uses one instance per process instead).
+
+use crate::capability::{Access, Capability};
+use crate::fault::{CapFault, FaultKind};
+use crate::perms::Perms;
+use std::collections::HashMap;
+
+/// Size (and alignment) of a capability in memory, in bytes.
+pub const CAP_GRANULE: u64 = 16;
+
+/// A byte-addressable memory with per-granule capability tags.
+///
+/// All accessors take the *authorizing capability* explicitly; there is no
+/// unchecked path. See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct TaggedMemory {
+    bytes: Vec<u8>,
+    tags: Vec<bool>,
+    caps: HashMap<u64, Capability>,
+    root: Capability,
+    faults: u64,
+}
+
+impl TaggedMemory {
+    /// Allocates `size` bytes of zeroed memory with all tags clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a multiple of [`CAP_GRANULE`].
+    pub fn new(size: u64) -> Self {
+        assert!(
+            size.is_multiple_of(CAP_GRANULE),
+            "memory size must be a multiple of the capability granule"
+        );
+        TaggedMemory {
+            bytes: vec![0; size as usize],
+            tags: vec![false; (size / CAP_GRANULE) as usize],
+            caps: HashMap::new(),
+            root: Capability::root(0, size, Perms::all()),
+            faults: 0,
+        }
+    }
+
+    /// The size of the memory in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// The boot-time root capability covering all of memory with all
+    /// permissions — the ancestor of every capability in the system.
+    pub fn root_cap(&self) -> Capability {
+        self.root
+    }
+
+    /// Number of capability faults raised so far (for experiment reports).
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+
+    fn record<T>(&mut self, r: Result<T, CapFault>) -> Result<T, CapFault> {
+        if r.is_err() {
+            self.faults += 1;
+        }
+        r
+    }
+
+    /// Reads `buf.len()` bytes at `addr` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]); memory is untouched.
+    pub fn read_into(
+        &mut self,
+        cap: &Capability,
+        addr: u64,
+        buf: &mut [u8],
+    ) -> Result<(), CapFault> {
+        let r = self.check(cap, addr, buf.len() as u64, Access::Load);
+        self.record(r)?;
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `addr` through `cap` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]).
+    pub fn read_vec(&mut self, cap: &Capability, addr: u64, len: u64) -> Result<Vec<u8>, CapFault> {
+        let r = self.check(cap, addr, len, Access::Load);
+        self.record(r)?;
+        let a = addr as usize;
+        Ok(self.bytes[a..a + len as usize].to_vec())
+    }
+
+    /// Writes `data` at `addr` through `cap`, clearing any capability tags
+    /// in the granules touched (the anti-forgery rule).
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]); memory is untouched.
+    pub fn write(&mut self, cap: &Capability, addr: u64, data: &[u8]) -> Result<(), CapFault> {
+        let r = self.check(cap, addr, data.len() as u64, Access::Store);
+        self.record(r)?;
+        let a = addr as usize;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+        self.clear_tags(addr, data.len() as u64);
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `addr` with `value` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]).
+    pub fn fill(
+        &mut self,
+        cap: &Capability,
+        addr: u64,
+        len: u64,
+        value: u8,
+    ) -> Result<(), CapFault> {
+        let r = self.check(cap, addr, len, Access::Store);
+        self.record(r)?;
+        let a = addr as usize;
+        self.bytes[a..a + len as usize].fill(value);
+        self.clear_tags(addr, len);
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `(src_cap, src)` to `(dst_cap, dst)` —
+    /// the checked `memcpy` used by the socket and mbuf layers.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure on either side; memory is untouched on
+    /// error.
+    pub fn copy(
+        &mut self,
+        src_cap: &Capability,
+        src: u64,
+        dst_cap: &Capability,
+        dst: u64,
+        len: u64,
+    ) -> Result<(), CapFault> {
+        let r = self.check(src_cap, src, len, Access::Load);
+        self.record(r)?;
+        let r = self.check(dst_cap, dst, len, Access::Store);
+        self.record(r)?;
+        let (s, d, n) = (src as usize, dst as usize, len as usize);
+        self.bytes.copy_within(s..s + n, d);
+        self.clear_tags(dst, len);
+        Ok(())
+    }
+
+    /// Loads a capability from the granule-aligned `addr`.
+    ///
+    /// If the granule's tag is clear the load *succeeds* but yields an
+    /// untagged capability — exactly the hardware behaviour that turns
+    /// forged pointers into dead ones.
+    ///
+    /// # Errors
+    ///
+    /// Tag/seal/permission/bounds violations on `cap`, or
+    /// [`FaultKind::Alignment`] for a misaligned `addr`.
+    pub fn load_cap(&mut self, cap: &Capability, addr: u64) -> Result<Capability, CapFault> {
+        if !addr.is_multiple_of(CAP_GRANULE) {
+            let f = CapFault::new(FaultKind::Alignment, addr, CAP_GRANULE, *cap);
+            self.faults += 1;
+            return Err(f);
+        }
+        let r = self.check(cap, addr, CAP_GRANULE, Access::LoadCap);
+        self.record(r)?;
+        let granule = (addr / CAP_GRANULE) as usize;
+        if self.tags[granule] {
+            Ok(self.caps[&addr])
+        } else {
+            // Untagged bytes reinterpreted as a capability: dead on arrival.
+            Ok(Capability::null())
+        }
+    }
+
+    /// Stores capability `value` at the granule-aligned `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Violations on `cap`; storing a tagged **local** capability through a
+    /// capability lacking [`Perms::STORE_LOCAL_CAP`] faults (the classic
+    /// CHERI trick for confining stack references to a compartment).
+    pub fn store_cap(
+        &mut self,
+        cap: &Capability,
+        addr: u64,
+        value: Capability,
+    ) -> Result<(), CapFault> {
+        if !addr.is_multiple_of(CAP_GRANULE) {
+            let f = CapFault::new(FaultKind::Alignment, addr, CAP_GRANULE, *cap);
+            self.faults += 1;
+            return Err(f);
+        }
+        let r = self.check(cap, addr, CAP_GRANULE, Access::StoreCap);
+        self.record(r)?;
+        if value.tag()
+            && !value.perms().contains(Perms::GLOBAL)
+            && !cap.perms().contains(Perms::STORE_LOCAL_CAP)
+        {
+            let f = CapFault::new(FaultKind::PermitStoreLocalCap, addr, CAP_GRANULE, *cap);
+            self.faults += 1;
+            return Err(f);
+        }
+        let granule = (addr / CAP_GRANULE) as usize;
+        self.tags[granule] = value.tag();
+        if value.tag() {
+            self.caps.insert(addr, value);
+        } else {
+            self.caps.remove(&addr);
+        }
+        // The raw bytes of the granule become the (untagged) encoding; we
+        // store a recognizable pattern rather than a real 128-bit encoding.
+        let a = addr as usize;
+        self.bytes[a..a + CAP_GRANULE as usize].copy_from_slice(&encode_cap_bytes(&value));
+        Ok(())
+    }
+
+    /// Revokes every in-memory capability whose authority overlaps
+    /// `[base, base+len)`: their tags are cleared, so any copy later loaded
+    /// from memory is dead. This is the sweeping-revocation primitive
+    /// (Cornucopia-style) the Intravisor uses when tearing a compartment
+    /// down — without it, capabilities to a recycled region would outlive
+    /// their compartment.
+    ///
+    /// Returns the number of capabilities revoked. Register-held copies are
+    /// the caller's responsibility (the Intravisor quiesces the cVM first).
+    pub fn revoke_region(&mut self, base: u64, len: u64) -> usize {
+        let top = base.saturating_add(len);
+        let doomed: Vec<u64> = self
+            .caps
+            .iter()
+            .filter(|(_, c)| c.base() < top && base < c.top())
+            .map(|(&addr, _)| addr)
+            .collect();
+        for addr in &doomed {
+            self.caps.remove(addr);
+            self.tags[(addr / CAP_GRANULE) as usize] = false;
+        }
+        doomed.len()
+    }
+
+    /// `true` if the granule at `addr` currently holds a valid capability.
+    pub fn tag_at(&self, addr: u64) -> bool {
+        self.tags
+            .get((addr / CAP_GRANULE) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn clear_tags(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / CAP_GRANULE;
+        let last = (addr + len - 1) / CAP_GRANULE;
+        for g in first..=last {
+            if let Some(t) = self.tags.get_mut(g as usize) {
+                if *t {
+                    *t = false;
+                    self.caps.remove(&(g * CAP_GRANULE));
+                }
+            }
+        }
+    }
+
+    fn check(
+        &self,
+        cap: &Capability,
+        addr: u64,
+        len: u64,
+        access: Access,
+    ) -> Result<(), CapFault> {
+        cap.check_access(addr, len, access)?;
+        // The capability must also refer to real memory; a root minted for a
+        // different memory would escape the arena.
+        if addr + len > self.size() {
+            return Err(CapFault::new(FaultKind::Bounds, addr, len, *cap));
+        }
+        Ok(())
+    }
+
+    // ---- typed little-endian helpers (the stack's serialization plane) ----
+
+    /// Reads a `u8` at `addr` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]).
+    pub fn read_u8(&mut self, cap: &Capability, addr: u64) -> Result<u8, CapFault> {
+        let mut b = [0u8; 1];
+        self.read_into(cap, addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a little-endian `u16` at `addr` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]).
+    pub fn read_u16(&mut self, cap: &Capability, addr: u64) -> Result<u16, CapFault> {
+        let mut b = [0u8; 2];
+        self.read_into(cap, addr, &mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u32` at `addr` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]).
+    pub fn read_u32(&mut self, cap: &Capability, addr: u64) -> Result<u32, CapFault> {
+        let mut b = [0u8; 4];
+        self.read_into(cap, addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64` at `addr` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]).
+    pub fn read_u64(&mut self, cap: &Capability, addr: u64) -> Result<u64, CapFault> {
+        let mut b = [0u8; 8];
+        self.read_into(cap, addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a `u8` at `addr` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]).
+    pub fn write_u8(&mut self, cap: &Capability, addr: u64, v: u8) -> Result<(), CapFault> {
+        self.write(cap, addr, &[v])
+    }
+
+    /// Writes a little-endian `u16` at `addr` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]).
+    pub fn write_u16(&mut self, cap: &Capability, addr: u64, v: u16) -> Result<(), CapFault> {
+        self.write(cap, addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u32` at `addr` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]).
+    pub fn write_u32(&mut self, cap: &Capability, addr: u64, v: u32) -> Result<(), CapFault> {
+        self.write(cap, addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64` at `addr` through `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]).
+    pub fn write_u64(&mut self, cap: &Capability, addr: u64, v: u64) -> Result<(), CapFault> {
+        self.write(cap, addr, &v.to_le_bytes())
+    }
+}
+
+/// A recognizable byte pattern for a stored capability (not a faithful
+/// 128-bit CHERI encoding — the tag map is authoritative, these bytes exist
+/// so data reads of a capability granule see *something* deterministic).
+fn encode_cap_bytes(c: &Capability) -> [u8; 16] {
+    let mut b = [0u8; 16];
+    b[..8].copy_from_slice(&c.addr().to_le_bytes());
+    b[8..12].copy_from_slice(&(c.len() as u32).to_le_bytes());
+    b[12..16].copy_from_slice(&c.perms().bits().to_le_bytes());
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> TaggedMemory {
+        TaggedMemory::new(4096)
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = mem();
+        let root = m.root_cap();
+        m.write(&root, 100, b"abcdef").unwrap();
+        assert_eq!(m.read_vec(&root, 100, 6).unwrap(), b"abcdef");
+        let mut buf = [0u8; 3];
+        m.read_into(&root, 103, &mut buf).unwrap();
+        assert_eq!(&buf, b"def");
+    }
+
+    #[test]
+    fn typed_helpers_are_little_endian() {
+        let mut m = mem();
+        let root = m.root_cap();
+        m.write_u32(&root, 0, 0xDEADBEEF).unwrap();
+        assert_eq!(m.read_u8(&root, 0).unwrap(), 0xEF);
+        assert_eq!(m.read_u16(&root, 0).unwrap(), 0xBEEF);
+        assert_eq!(m.read_u32(&root, 0).unwrap(), 0xDEADBEEF);
+        m.write_u64(&root, 8, 42).unwrap();
+        assert_eq!(m.read_u64(&root, 8).unwrap(), 42);
+        m.write_u8(&root, 16, 7).unwrap();
+        m.write_u16(&root, 18, 0x1234).unwrap();
+        assert_eq!(m.read_u16(&root, 18).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn out_of_bounds_access_faults_and_counts() {
+        let mut m = mem();
+        let cap = m.root_cap().try_restrict(0, 64).unwrap();
+        let e = m.write(&cap, 64, &[1]).unwrap_err();
+        assert_eq!(e.kind(), FaultKind::Bounds);
+        assert_eq!(m.fault_count(), 1);
+        // The memory itself bounds even the root.
+        let root = m.root_cap();
+        assert!(m.read_vec(&root, 4095, 2).is_err());
+    }
+
+    #[test]
+    fn permission_checks_apply() {
+        let mut m = mem();
+        let ro = m
+            .root_cap()
+            .try_restrict_perms(Perms::read_only())
+            .unwrap();
+        assert!(m.read_vec(&ro, 0, 4).is_ok());
+        assert_eq!(
+            m.write(&ro, 0, &[1]).unwrap_err().kind(),
+            FaultKind::PermitStore
+        );
+    }
+
+    #[test]
+    fn cap_store_load_round_trip() {
+        let mut m = mem();
+        let root = m.root_cap();
+        let value = root.try_restrict(256, 64).unwrap();
+        m.store_cap(&root, 512, value).unwrap();
+        assert!(m.tag_at(512));
+        let loaded = m.load_cap(&root, 512).unwrap();
+        assert_eq!(loaded, value);
+        assert!(loaded.tag());
+    }
+
+    #[test]
+    fn byte_write_clears_overlapping_tag() {
+        let mut m = mem();
+        let root = m.root_cap();
+        let value = root.try_restrict(256, 64).unwrap();
+        m.store_cap(&root, 512, value).unwrap();
+        // A single byte store into the granule kills the capability.
+        m.write_u8(&root, 519, 0xFF).unwrap();
+        assert!(!m.tag_at(512));
+        let loaded = m.load_cap(&root, 512).unwrap();
+        assert!(!loaded.tag(), "forged capability must be dead");
+    }
+
+    #[test]
+    fn fill_and_copy_clear_tags_too() {
+        let mut m = mem();
+        let root = m.root_cap();
+        let value = root.try_restrict(256, 64).unwrap();
+        m.store_cap(&root, 512, value).unwrap();
+        m.fill(&root, 500, 32, 0xAA).unwrap();
+        assert!(!m.tag_at(512));
+        m.store_cap(&root, 512, value).unwrap();
+        m.write(&root, 0, b"xyz").unwrap();
+        m.copy(&root, 0, &root, 510, 3).unwrap();
+        assert!(!m.tag_at(512));
+        assert_eq!(m.read_vec(&root, 510, 3).unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn cap_access_requires_cap_perms_and_alignment() {
+        let mut m = mem();
+        let root = m.root_cap();
+        let data_only = root
+            .try_restrict_perms(Perms::LOAD | Perms::STORE)
+            .unwrap();
+        let value = root.try_restrict(0, 16).unwrap();
+        assert_eq!(
+            m.store_cap(&data_only, 512, value).unwrap_err().kind(),
+            FaultKind::PermitStoreCap
+        );
+        m.store_cap(&root, 512, value).unwrap();
+        assert_eq!(
+            m.load_cap(&data_only, 512).unwrap_err().kind(),
+            FaultKind::PermitLoadCap
+        );
+        assert_eq!(
+            m.load_cap(&root, 513).unwrap_err().kind(),
+            FaultKind::Alignment
+        );
+    }
+
+    #[test]
+    fn local_caps_need_store_local_permission() {
+        let mut m = mem();
+        let root = m.root_cap();
+        // A "local" capability: tagged but not GLOBAL.
+        let local = root
+            .try_restrict(0, 16)
+            .unwrap()
+            .try_restrict_perms(Perms::LOAD | Perms::STORE)
+            .unwrap();
+        assert!(!local.perms().contains(Perms::GLOBAL));
+        let no_local_store = root
+            .try_restrict_perms(Perms::data() - Perms::STORE_LOCAL_CAP)
+            .unwrap();
+        assert_eq!(
+            m.store_cap(&no_local_store, 512, local).unwrap_err().kind(),
+            FaultKind::PermitStoreLocalCap
+        );
+        // With STORE_LOCAL_CAP it works.
+        m.store_cap(&root, 512, local).unwrap();
+    }
+
+    #[test]
+    fn untagged_store_clears_the_tag_slot() {
+        let mut m = mem();
+        let root = m.root_cap();
+        let value = root.try_restrict(0, 16).unwrap();
+        m.store_cap(&root, 512, value).unwrap();
+        assert!(m.tag_at(512));
+        m.store_cap(&root, 512, Capability::null()).unwrap();
+        assert!(!m.tag_at(512));
+    }
+
+    #[test]
+    fn revocation_kills_overlapping_caps_only() {
+        let mut m = mem();
+        let root = m.root_cap();
+        let inside = root.try_restrict(256, 64).unwrap();
+        let outside = root.try_restrict(1024, 64).unwrap();
+        m.store_cap(&root, 512, inside).unwrap();
+        m.store_cap(&root, 528, outside).unwrap();
+        // Revoke the region `inside` points into.
+        assert_eq!(m.revoke_region(256, 64), 1);
+        assert!(!m.load_cap(&root, 512).unwrap().tag(), "revoked");
+        assert!(m.load_cap(&root, 528).unwrap().tag(), "unrelated survives");
+        // Idempotent.
+        assert_eq!(m.revoke_region(256, 64), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "granule")]
+    fn size_must_be_granule_aligned() {
+        let _ = TaggedMemory::new(100);
+    }
+}

@@ -1,0 +1,160 @@
+//! Object types for capability sealing.
+//!
+//! A sealed capability is immutable and unusable for memory access until it
+//! is unsealed by a capability whose *address* matches its object type, or
+//! consumed by a `CInvoke`-style domain transition. Object types are how the
+//! Intravisor hands out cVM entry points that can be *jumped to* but not
+//! *inspected or modified*.
+
+use std::fmt;
+
+/// A capability object type.
+///
+/// # Example
+///
+/// ```
+/// use cheri::OType;
+/// assert!(OType::UNSEALED.is_unsealed());
+/// assert!(OType::new(42).is_sealed());
+/// assert!(OType::SENTRY.is_sealed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OType(u32);
+
+impl OType {
+    /// The distinguished "not sealed" object type.
+    pub const UNSEALED: OType = OType(u32::MAX);
+    /// The *sealed entry* type: callable, not modifiable (Morello `sentry`).
+    pub const SENTRY: OType = OType(u32::MAX - 1);
+    /// First object type available for software use.
+    pub const FIRST_USER: OType = OType(16);
+
+    /// Creates a user object type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` collides with a reserved type.
+    pub fn new(v: u32) -> OType {
+        assert!(
+            v < u32::MAX - 1,
+            "object type {v} collides with reserved encodings"
+        );
+        OType(v)
+    }
+
+    /// `true` if this is the unsealed marker.
+    pub const fn is_unsealed(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// `true` for any sealed type (including sentry).
+    pub const fn is_sealed(self) -> bool {
+        !self.is_unsealed()
+    }
+
+    /// `true` if this is a sealed-entry (sentry) type.
+    pub const fn is_sentry(self) -> bool {
+        self.0 == u32::MAX - 1
+    }
+
+    /// The raw encoding.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for OType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unsealed() {
+            write!(f, "unsealed")
+        } else if self.is_sentry() {
+            write!(f, "sentry")
+        } else {
+            write!(f, "otype:{}", self.0)
+        }
+    }
+}
+
+/// Allocates fresh object types, one per protection domain pairing.
+///
+/// # Example
+///
+/// ```
+/// use cheri::otype::OTypeAllocator;
+/// let mut alloc = OTypeAllocator::new();
+/// let a = alloc.next_otype();
+/// let b = alloc.next_otype();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OTypeAllocator {
+    next: u32,
+}
+
+impl Default for OTypeAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OTypeAllocator {
+    /// Creates an allocator starting at [`OType::FIRST_USER`].
+    pub fn new() -> Self {
+        OTypeAllocator {
+            next: OType::FIRST_USER.raw(),
+        }
+    }
+
+    /// Returns a fresh, never-before-issued object type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (2³²−18)-entry space is exhausted, which would indicate
+    /// a leak in domain setup rather than a real workload.
+    pub fn next_otype(&mut self) -> OType {
+        let t = OType::new(self.next);
+        self.next = self
+            .next
+            .checked_add(1)
+            .expect("object type space exhausted");
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_encodings_are_distinct() {
+        assert!(OType::UNSEALED.is_unsealed());
+        assert!(!OType::UNSEALED.is_sealed());
+        assert!(OType::SENTRY.is_sealed());
+        assert!(OType::SENTRY.is_sentry());
+        assert_ne!(OType::UNSEALED, OType::SENTRY);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn user_types_cannot_collide_with_reserved() {
+        let _ = OType::new(u32::MAX - 1);
+    }
+
+    #[test]
+    fn allocator_is_monotone_and_fresh() {
+        let mut a = OTypeAllocator::new();
+        let t1 = a.next_otype();
+        let t2 = a.next_otype();
+        assert!(t1.is_sealed() && t2.is_sealed());
+        assert_ne!(t1, t2);
+        assert!(t2.raw() > t1.raw());
+        assert!(t1.raw() >= OType::FIRST_USER.raw());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OType::UNSEALED.to_string(), "unsealed");
+        assert_eq!(OType::SENTRY.to_string(), "sentry");
+        assert_eq!(OType::new(99).to_string(), "otype:99");
+    }
+}

@@ -1,0 +1,262 @@
+//! The capability permission lattice.
+//!
+//! CHERI permissions form a lattice under subset: a derived capability may
+//! carry any subset of its parent's permissions, never more (monotonicity).
+//! We model the architecturally interesting subset of the Morello permission
+//! bits; see the CHERI ISA specification (UCAM-CL-TR-987) §2.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Not, Sub};
+
+/// A set of capability permissions.
+///
+/// Combine with `|`, intersect with `&`, test with [`Perms::contains`].
+///
+/// # Example
+///
+/// ```
+/// use cheri::Perms;
+/// let rw = Perms::LOAD | Perms::STORE;
+/// assert!(rw.contains(Perms::LOAD));
+/// assert!(!rw.contains(Perms::EXECUTE));
+/// assert!(rw.is_subset_of(Perms::data()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u32);
+
+impl Perms {
+    /// No authority at all.
+    pub const NONE: Perms = Perms(0);
+    /// Permit data loads through the capability.
+    pub const LOAD: Perms = Perms(1 << 0);
+    /// Permit data stores through the capability.
+    pub const STORE: Perms = Perms(1 << 1);
+    /// Permit instruction fetch through the capability (PCC material).
+    pub const EXECUTE: Perms = Perms(1 << 2);
+    /// Permit loading *capabilities* (with their tags) through this one.
+    pub const LOAD_CAP: Perms = Perms(1 << 3);
+    /// Permit storing *capabilities* (with their tags) through this one.
+    pub const STORE_CAP: Perms = Perms(1 << 4);
+    /// Permit storing **local** (non-global) capabilities.
+    pub const STORE_LOCAL_CAP: Perms = Perms(1 << 5);
+    /// Permit using this capability to seal others.
+    pub const SEAL: Perms = Perms(1 << 6);
+    /// Permit using this capability to unseal others.
+    pub const UNSEAL: Perms = Perms(1 << 7);
+    /// Permit `CInvoke` on a sealed pair containing this capability.
+    pub const INVOKE: Perms = Perms(1 << 8);
+    /// The capability may be stored anywhere (it is *global*, not local).
+    pub const GLOBAL: Perms = Perms(1 << 9);
+    /// Permit access to system registers (the Intravisor's privilege).
+    pub const SYSTEM: Perms = Perms(1 << 10);
+
+    /// Everything — the authority of the boot-time root capability.
+    pub fn all() -> Perms {
+        Perms(0x7FF)
+    }
+
+    /// The usual authority of a data region: load/store of data and
+    /// capabilities, global.
+    pub fn data() -> Perms {
+        Perms::LOAD
+            | Perms::STORE
+            | Perms::LOAD_CAP
+            | Perms::STORE_CAP
+            | Perms::STORE_LOCAL_CAP
+            | Perms::GLOBAL
+    }
+
+    /// Read-only data authority.
+    pub fn read_only() -> Perms {
+        Perms::LOAD | Perms::LOAD_CAP | Perms::GLOBAL
+    }
+
+    /// The usual authority of a code region: execute + read.
+    pub fn code() -> Perms {
+        Perms::EXECUTE | Perms::LOAD | Perms::GLOBAL
+    }
+
+    /// `true` if every permission in `other` is also in `self`.
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// `true` if `self` carries no permission outside `other` —
+    /// the monotonicity predicate for permission derivation.
+    pub const fn is_subset_of(self, other: Perms) -> bool {
+        other.contains(self)
+    }
+
+    /// `true` if no permissions are set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bit pattern (stable across this crate's lifetime).
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits, masking unknown bits away.
+    pub fn from_bits_truncate(bits: u32) -> Perms {
+        Perms(bits) & Perms::all()
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for Perms {
+    fn bitand_assign(&mut self, rhs: Perms) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Sub for Perms {
+    type Output = Perms;
+    /// Set difference: the permissions of `self` not in `rhs`.
+    fn sub(self, rhs: Perms) -> Perms {
+        Perms(self.0 & !rhs.0)
+    }
+}
+
+impl Not for Perms {
+    type Output = Perms;
+    fn not(self) -> Perms {
+        Perms(!self.0) & Perms::all()
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Perms({self})")
+    }
+}
+
+impl fmt::Display for Perms {
+    /// Morello-style compact permission string, e.g. `rwRW` for a data cap.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "-");
+        }
+        let flags = [
+            (Perms::LOAD, 'r'),
+            (Perms::STORE, 'w'),
+            (Perms::EXECUTE, 'x'),
+            (Perms::LOAD_CAP, 'R'),
+            (Perms::STORE_CAP, 'W'),
+            (Perms::STORE_LOCAL_CAP, 'L'),
+            (Perms::SEAL, 's'),
+            (Perms::UNSEAL, 'u'),
+            (Perms::INVOKE, 'i'),
+            (Perms::GLOBAL, 'G'),
+            (Perms::SYSTEM, 'S'),
+        ];
+        for (p, c) in flags {
+            if self.contains(p) {
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_relation_is_a_partial_order() {
+        let r = Perms::LOAD;
+        let rw = Perms::LOAD | Perms::STORE;
+        assert!(r.is_subset_of(rw));
+        assert!(!rw.is_subset_of(r));
+        assert!(rw.is_subset_of(rw));
+        assert!(Perms::NONE.is_subset_of(r));
+        assert!(r.is_subset_of(Perms::all()));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let rw = Perms::LOAD | Perms::STORE;
+        assert_eq!(rw & Perms::LOAD, Perms::LOAD);
+        assert_eq!(rw - Perms::STORE, Perms::LOAD);
+        assert_eq!(!Perms::all(), Perms::NONE);
+        let mut p = Perms::NONE;
+        p |= Perms::EXECUTE;
+        p &= Perms::code();
+        assert_eq!(p, Perms::EXECUTE);
+    }
+
+    #[test]
+    fn display_is_morello_like() {
+        let p = Perms::LOAD | Perms::STORE | Perms::LOAD_CAP | Perms::STORE_CAP;
+        assert_eq!(p.to_string(), "rwRW");
+        assert_eq!(Perms::NONE.to_string(), "-");
+        assert_eq!(Perms::code().to_string(), "rxG");
+    }
+
+    #[test]
+    fn canned_sets_are_sane() {
+        assert!(Perms::data().contains(Perms::LOAD | Perms::STORE));
+        assert!(!Perms::data().contains(Perms::EXECUTE));
+        assert!(!Perms::read_only().contains(Perms::STORE));
+        assert!(Perms::code().contains(Perms::EXECUTE));
+        assert!(Perms::all().contains(Perms::SYSTEM));
+    }
+
+    #[test]
+    fn from_bits_truncates_unknown_bits() {
+        let p = Perms::from_bits_truncate(u32::MAX);
+        assert_eq!(p, Perms::all());
+    }
+
+    #[test]
+    fn number_formatting_is_available() {
+        let p = Perms::LOAD | Perms::STORE;
+        assert_eq!(format!("{p:b}"), "11");
+        assert_eq!(format!("{p:x}"), "3");
+        assert_eq!(format!("{p:o}"), "3");
+    }
+}

@@ -1,0 +1,357 @@
+//! Capability registers and domain transitions.
+//!
+//! A compartment in the paper's hybrid-mode design is delimited by two
+//! special registers: the **DDC** (Default Data Capability), which bounds
+//! every integer-pointer load/store, and the **PCC** (Program Counter
+//! Capability), which bounds instruction fetch. The Intravisor switches a
+//! thread between compartments by installing a new DDC/PCC pair — either via
+//! a trusted trampoline (it holds the root) or by `CInvoke` on a **sealed
+//! pair** whose object types match, which atomically unseals both.
+
+use crate::capability::{Access, Capability};
+use crate::fault::{CapFault, FaultKind};
+use crate::otype::OType;
+use crate::perms::Perms;
+use std::fmt;
+
+/// A protection-domain context: the DDC/PCC pair of one compartment.
+///
+/// # Example
+///
+/// ```
+/// use cheri::{Capability, CompartmentCtx, Perms};
+/// let ddc = Capability::root(0x10000, 0x1000, Perms::data());
+/// let pcc = Capability::root(0x20000, 0x100, Perms::code());
+/// let ctx = CompartmentCtx::new(ddc, pcc);
+/// assert!(ctx.check_data_access(0x10010, 8, true).is_ok());
+/// assert!(ctx.check_data_access(0x30000, 8, true).is_err()); // Fig. 3
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompartmentCtx {
+    ddc: Capability,
+    pcc: Capability,
+}
+
+impl CompartmentCtx {
+    /// Creates a context from a data and a code capability.
+    pub fn new(ddc: Capability, pcc: Capability) -> Self {
+        CompartmentCtx { ddc, pcc }
+    }
+
+    /// The compartment's Default Data Capability.
+    pub fn ddc(&self) -> &Capability {
+        &self.ddc
+    }
+
+    /// The compartment's Program Counter Capability.
+    pub fn pcc(&self) -> &Capability {
+        &self.pcc
+    }
+
+    /// Checks a DDC-relative data access, the way every non-capability
+    /// load/store in hybrid mode is checked.
+    ///
+    /// # Errors
+    ///
+    /// The fault the hardware would raise — for an address outside the DDC
+    /// this is the paper's Fig. 3 *Capability Out-of-Bounds Exception*.
+    pub fn check_data_access(&self, addr: u64, len: u64, write: bool) -> Result<(), CapFault> {
+        let access = if write { Access::Store } else { Access::Load };
+        self.ddc.check_access(addr, len, access)
+    }
+
+    /// Checks an instruction fetch at `addr` against the PCC.
+    ///
+    /// # Errors
+    ///
+    /// Permission/bounds faults on the PCC.
+    pub fn check_fetch(&self, addr: u64) -> Result<(), CapFault> {
+        self.pcc.check_access(addr, 4, Access::Fetch)
+    }
+}
+
+impl fmt::Display for CompartmentCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ddc={} pcc={}", self.ddc, self.pcc)
+    }
+}
+
+/// The capability register file of one hardware thread.
+///
+/// General registers `c0..c31` plus DDC/PCC. The Intravisor's trampoline
+/// models `blrs` (branch-and-link to sealed entry) and `CInvoke` through
+/// this type.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    ctx: CompartmentCtx,
+    regs: [Capability; 32],
+}
+
+impl RegFile {
+    /// Creates a register file running in `ctx`, all GPRs null.
+    pub fn new(ctx: CompartmentCtx) -> Self {
+        RegFile {
+            ctx,
+            regs: [Capability::null(); 32],
+        }
+    }
+
+    /// The active compartment context.
+    pub fn ctx(&self) -> &CompartmentCtx {
+        &self.ctx
+    }
+
+    /// Reads capability register `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn reg(&self, idx: usize) -> &Capability {
+        &self.regs[idx]
+    }
+
+    /// Writes capability register `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn set_reg(&mut self, idx: usize, cap: Capability) {
+        self.regs[idx] = cap;
+    }
+
+    /// `blrs`-style jump through a sealed entry (sentry): unseals the target
+    /// into the PCC, leaving the DDC unchanged (the callee installs its own
+    /// via trusted code). Returns the previous context for the return path.
+    ///
+    /// # Errors
+    ///
+    /// * [`FaultKind::Tag`] if the target is untagged.
+    /// * [`FaultKind::Type`] if the target is not a sentry.
+    /// * [`FaultKind::PermitExecute`] if the unsealed target cannot execute.
+    pub fn branch_sealed(&mut self, target: &Capability) -> Result<CompartmentCtx, CapFault> {
+        if !target.tag() {
+            return Err(CapFault::new(FaultKind::Tag, target.addr(), 0, *target));
+        }
+        if !target.otype().is_sentry() {
+            return Err(CapFault::new(FaultKind::Type, target.addr(), 0, *target));
+        }
+        if !target.perms().contains(Perms::EXECUTE) {
+            return Err(CapFault::new(
+                FaultKind::PermitExecute,
+                target.addr(),
+                0,
+                *target,
+            ));
+        }
+        let prev = self.ctx;
+        let mut unsealed = *target;
+        // Sentries auto-unseal on branch; model by rebuilding unsealed copy.
+        unsealed = Capability::root(unsealed.base(), unsealed.len(), unsealed.perms())
+            .with_addr(target.addr());
+        self.ctx = CompartmentCtx::new(prev.ddc, unsealed);
+        Ok(prev)
+    }
+
+    /// `CInvoke`: atomically transitions into the domain described by a
+    /// sealed (code, data) pair with matching object types. The code
+    /// capability becomes the PCC, the data capability the DDC.
+    ///
+    /// This is how the Scenario 2 `ff_*` wrappers enter the F-Stack service
+    /// cVM without the caller ever holding an unsealed capability to it.
+    ///
+    /// # Errors
+    ///
+    /// Tag, seal, [`FaultKind::Type`] on otype mismatch,
+    /// [`FaultKind::PermitInvoke`] if either half lacks [`Perms::INVOKE`],
+    /// and permission faults if code/data roles are miscast.
+    pub fn invoke(
+        &mut self,
+        code: &Capability,
+        data: &Capability,
+    ) -> Result<CompartmentCtx, CapFault> {
+        for c in [code, data] {
+            if !c.tag() {
+                return Err(CapFault::new(FaultKind::Tag, c.addr(), 0, *c));
+            }
+            if !c.is_sealed() || c.otype() == OType::SENTRY {
+                return Err(CapFault::new(FaultKind::Seal, c.addr(), 0, *c));
+            }
+            if !c.perms().contains(Perms::INVOKE) {
+                return Err(CapFault::new(FaultKind::PermitInvoke, c.addr(), 0, *c));
+            }
+        }
+        if code.otype() != data.otype() {
+            return Err(CapFault::new(FaultKind::Type, code.addr(), 0, *code));
+        }
+        if !code.perms().contains(Perms::EXECUTE) {
+            return Err(CapFault::new(
+                FaultKind::PermitExecute,
+                code.addr(),
+                0,
+                *code,
+            ));
+        }
+        if data.perms().contains(Perms::EXECUTE) {
+            // Data half must not be executable: W^X across the pair.
+            return Err(CapFault::new(FaultKind::PermitInvoke, data.addr(), 0, *data));
+        }
+        let prev = self.ctx;
+        let unseal = |c: &Capability| {
+            Capability::root(c.base(), c.len(), c.perms()).with_addr(c.addr())
+        };
+        self.ctx = CompartmentCtx::new(unseal(data), unseal(code));
+        Ok(prev)
+    }
+
+    /// Restores a previously saved context (the trampoline's return path).
+    pub fn restore(&mut self, ctx: CompartmentCtx) {
+        self.ctx = ctx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CompartmentCtx {
+        CompartmentCtx::new(
+            Capability::root(0x10000, 0x1000, Perms::data()),
+            Capability::root(0x20000, 0x100, Perms::code()),
+        )
+    }
+
+    fn sealed_pair(ot_addr: u64) -> (Capability, Capability) {
+        let sealer = Capability::root(0, 4096, Perms::SEAL).with_addr(ot_addr);
+        let code = Capability::root(0x30000, 0x100, Perms::code() | Perms::INVOKE)
+            .seal(&sealer)
+            .unwrap();
+        let data = Capability::root(0x40000, 0x1000, Perms::data() | Perms::INVOKE)
+            .seal(&sealer)
+            .unwrap();
+        (code, data)
+    }
+
+    #[test]
+    fn ddc_bounds_data_accesses() {
+        let c = ctx();
+        assert!(c.check_data_access(0x10000, 16, false).is_ok());
+        assert!(c.check_data_access(0x10FF0, 16, true).is_ok());
+        let e = c.check_data_access(0x11000, 1, false).unwrap_err();
+        assert!(e.is_out_of_bounds());
+        // Fetch outside PCC also faults.
+        assert!(c.check_fetch(0x20000).is_ok());
+        assert!(c.check_fetch(0x10000).is_err());
+    }
+
+    #[test]
+    fn branch_sealed_swaps_pcc_only() {
+        let mut rf = RegFile::new(ctx());
+        let entry = Capability::root(0x30000, 0x100, Perms::code())
+            .into_sentry()
+            .unwrap();
+        let prev = rf.branch_sealed(&entry).unwrap();
+        assert_eq!(rf.ctx().pcc().base(), 0x30000);
+        assert_eq!(rf.ctx().ddc(), prev.ddc(), "DDC unchanged by blrs");
+        rf.restore(prev);
+        assert_eq!(rf.ctx().pcc().base(), 0x20000);
+    }
+
+    #[test]
+    fn branch_sealed_rejects_non_sentries() {
+        let mut rf = RegFile::new(ctx());
+        let plain = Capability::root(0x30000, 0x100, Perms::code());
+        assert_eq!(
+            rf.branch_sealed(&plain).unwrap_err().kind(),
+            FaultKind::Type
+        );
+        let dead = plain.into_sentry().unwrap().without_tag();
+        assert_eq!(rf.branch_sealed(&dead).unwrap_err().kind(), FaultKind::Tag);
+        let no_exec = Capability::root(0x30000, 0x100, Perms::data() | Perms::EXECUTE)
+            .try_restrict_perms(Perms::data())
+            .unwrap()
+            .into_sentry()
+            .unwrap();
+        assert_eq!(
+            rf.branch_sealed(&no_exec).unwrap_err().kind(),
+            FaultKind::PermitExecute
+        );
+    }
+
+    #[test]
+    fn invoke_installs_both_halves() {
+        let mut rf = RegFile::new(ctx());
+        let (code, data) = sealed_pair(77);
+        let prev = rf.invoke(&code, &data).unwrap();
+        assert_eq!(rf.ctx().pcc().base(), 0x30000);
+        assert_eq!(rf.ctx().ddc().base(), 0x40000);
+        // The installed caps are unsealed and usable.
+        assert!(rf.ctx().check_data_access(0x40000, 8, true).is_ok());
+        rf.restore(prev);
+        assert_eq!(rf.ctx().ddc().base(), 0x10000);
+    }
+
+    #[test]
+    fn invoke_rejects_mismatched_otypes() {
+        let mut rf = RegFile::new(ctx());
+        let (code, _) = sealed_pair(77);
+        let (_, data_other) = sealed_pair(78);
+        assert_eq!(
+            rf.invoke(&code, &data_other).unwrap_err().kind(),
+            FaultKind::Type
+        );
+    }
+
+    #[test]
+    fn invoke_rejects_unsealed_or_permless_halves() {
+        let mut rf = RegFile::new(ctx());
+        let (_code, data) = sealed_pair(77);
+        let plain_code = Capability::root(0x30000, 0x100, Perms::code() | Perms::INVOKE);
+        assert_eq!(
+            rf.invoke(&plain_code, &data).unwrap_err().kind(),
+            FaultKind::Seal
+        );
+        // Pair sealed but without INVOKE permission.
+        let sealer = Capability::root(0, 4096, Perms::SEAL).with_addr(79);
+        let no_invoke = Capability::root(0x30000, 0x100, Perms::code())
+            .seal(&sealer)
+            .unwrap();
+        assert_eq!(
+            rf.invoke(&no_invoke, &data).unwrap_err().kind(),
+            FaultKind::PermitInvoke
+        );
+    }
+
+    #[test]
+    fn invoke_enforces_wx_split() {
+        let mut rf = RegFile::new(ctx());
+        let sealer = Capability::root(0, 4096, Perms::SEAL).with_addr(80);
+        // Data half with EXECUTE: rejected.
+        let code = Capability::root(0x30000, 0x100, Perms::code() | Perms::INVOKE)
+            .seal(&sealer)
+            .unwrap();
+        let exec_data = Capability::root(0x40000, 0x100, Perms::code() | Perms::INVOKE)
+            .seal(&sealer)
+            .unwrap();
+        assert_eq!(
+            rf.invoke(&code, &exec_data).unwrap_err().kind(),
+            FaultKind::PermitInvoke
+        );
+        // Code half without EXECUTE: rejected.
+        let data = Capability::root(0x40000, 0x100, Perms::data() | Perms::INVOKE)
+            .seal(&sealer)
+            .unwrap();
+        assert_eq!(
+            rf.invoke(&data, &data).unwrap_err().kind(),
+            FaultKind::PermitExecute
+        );
+    }
+
+    #[test]
+    fn gprs_hold_capabilities() {
+        let mut rf = RegFile::new(ctx());
+        let c = Capability::root(0x50000, 64, Perms::data());
+        rf.set_reg(3, c);
+        assert_eq!(rf.reg(3), &c);
+        assert!(!rf.reg(4).tag());
+    }
+}

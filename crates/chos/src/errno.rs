@@ -1,0 +1,282 @@
+//! BSD error numbers as a typed error.
+//!
+//! The subset of `errno.h` the network stack and its tests actually
+//! exercise. Values match FreeBSD's `sys/errno.h` so traces read naturally
+//! next to the paper's CheriBSD logs.
+
+use std::fmt;
+
+/// A BSD `errno` value.
+///
+/// # Example
+///
+/// ```
+/// use chos::Errno;
+/// assert_eq!(Errno::EAGAIN.code(), 35); // FreeBSD numbering
+/// assert_eq!(Errno::EAGAIN.to_string(), "EAGAIN: resource temporarily unavailable");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM,
+    /// No such file or directory.
+    ENOENT,
+    /// Interrupted system call.
+    EINTR,
+    /// Input/output error.
+    EIO,
+    /// Bad file descriptor.
+    EBADF,
+    /// Cannot allocate memory.
+    ENOMEM,
+    /// Permission denied.
+    EACCES,
+    /// Bad address (the CheriBSD kernel returns this when a capability
+    /// check on a user pointer fails inside a syscall).
+    EFAULT,
+    /// Device busy.
+    EBUSY,
+    /// File exists.
+    EEXIST,
+    /// Invalid argument.
+    EINVAL,
+    /// Too many open files.
+    EMFILE,
+    /// Resource temporarily unavailable (also `EWOULDBLOCK`).
+    EAGAIN,
+    /// Function not implemented.
+    ENOSYS,
+    /// Value too large to be stored in data type.
+    EOVERFLOW,
+    /// Operation not supported.
+    EOPNOTSUPP,
+    /// Address already in use.
+    EADDRINUSE,
+    /// Can't assign requested address.
+    EADDRNOTAVAIL,
+    /// Network is unreachable.
+    ENETUNREACH,
+    /// Connection reset by peer.
+    ECONNRESET,
+    /// No buffer space available.
+    ENOBUFS,
+    /// Socket is already connected.
+    EISCONN,
+    /// Socket is not connected.
+    ENOTCONN,
+    /// Operation timed out.
+    ETIMEDOUT,
+    /// Connection refused.
+    ECONNREFUSED,
+    /// Broken pipe.
+    EPIPE,
+    /// Socket operation on non-socket.
+    ENOTSOCK,
+    /// Message too long.
+    EMSGSIZE,
+    /// Protocol not supported.
+    EPROTONOSUPPORT,
+    /// Operation already in progress.
+    EALREADY,
+    /// Operation now in progress.
+    EINPROGRESS,
+    /// Destination address required.
+    EDESTADDRREQ,
+}
+
+impl Errno {
+    /// `EWOULDBLOCK` is an alias of [`Errno::EAGAIN`] on FreeBSD.
+    pub const EWOULDBLOCK: Errno = Errno::EAGAIN;
+
+    /// The FreeBSD numeric code.
+    pub fn code(self) -> i32 {
+        match self {
+            Errno::EPERM => 1,
+            Errno::ENOENT => 2,
+            Errno::EINTR => 4,
+            Errno::EIO => 5,
+            Errno::EBADF => 9,
+            Errno::ENOMEM => 12,
+            Errno::EACCES => 13,
+            Errno::EFAULT => 14,
+            Errno::EBUSY => 16,
+            Errno::EEXIST => 17,
+            Errno::EINVAL => 22,
+            Errno::EMFILE => 24,
+            Errno::EAGAIN => 35,
+            Errno::ENOSYS => 78,
+            Errno::EOVERFLOW => 84,
+            Errno::EOPNOTSUPP => 45,
+            Errno::EADDRINUSE => 48,
+            Errno::EADDRNOTAVAIL => 49,
+            Errno::ENETUNREACH => 51,
+            Errno::ECONNRESET => 54,
+            Errno::ENOBUFS => 55,
+            Errno::EISCONN => 56,
+            Errno::ENOTCONN => 57,
+            Errno::ETIMEDOUT => 60,
+            Errno::ECONNREFUSED => 61,
+            Errno::EPIPE => 32,
+            Errno::ENOTSOCK => 38,
+            Errno::EMSGSIZE => 40,
+            Errno::EPROTONOSUPPORT => 43,
+            Errno::EALREADY => 37,
+            Errno::EINPROGRESS => 36,
+            Errno::EDESTADDRREQ => 39,
+        }
+    }
+
+    /// The symbolic name, e.g. `"EAGAIN"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::EINTR => "EINTR",
+            Errno::EIO => "EIO",
+            Errno::EBADF => "EBADF",
+            Errno::ENOMEM => "ENOMEM",
+            Errno::EACCES => "EACCES",
+            Errno::EFAULT => "EFAULT",
+            Errno::EBUSY => "EBUSY",
+            Errno::EEXIST => "EEXIST",
+            Errno::EINVAL => "EINVAL",
+            Errno::EMFILE => "EMFILE",
+            Errno::EAGAIN => "EAGAIN",
+            Errno::ENOSYS => "ENOSYS",
+            Errno::EOVERFLOW => "EOVERFLOW",
+            Errno::EOPNOTSUPP => "EOPNOTSUPP",
+            Errno::EADDRINUSE => "EADDRINUSE",
+            Errno::EADDRNOTAVAIL => "EADDRNOTAVAIL",
+            Errno::ENETUNREACH => "ENETUNREACH",
+            Errno::ECONNRESET => "ECONNRESET",
+            Errno::ENOBUFS => "ENOBUFS",
+            Errno::EISCONN => "EISCONN",
+            Errno::ENOTCONN => "ENOTCONN",
+            Errno::ETIMEDOUT => "ETIMEDOUT",
+            Errno::ECONNREFUSED => "ECONNREFUSED",
+            Errno::EPIPE => "EPIPE",
+            Errno::ENOTSOCK => "ENOTSOCK",
+            Errno::EMSGSIZE => "EMSGSIZE",
+            Errno::EPROTONOSUPPORT => "EPROTONOSUPPORT",
+            Errno::EALREADY => "EALREADY",
+            Errno::EINPROGRESS => "EINPROGRESS",
+            Errno::EDESTADDRREQ => "EDESTADDRREQ",
+        }
+    }
+
+    fn message(self) -> &'static str {
+        match self {
+            Errno::EPERM => "operation not permitted",
+            Errno::ENOENT => "no such file or directory",
+            Errno::EINTR => "interrupted system call",
+            Errno::EIO => "input/output error",
+            Errno::EBADF => "bad file descriptor",
+            Errno::ENOMEM => "cannot allocate memory",
+            Errno::EACCES => "permission denied",
+            Errno::EFAULT => "bad address",
+            Errno::EBUSY => "device busy",
+            Errno::EEXIST => "file exists",
+            Errno::EINVAL => "invalid argument",
+            Errno::EMFILE => "too many open files",
+            Errno::EAGAIN => "resource temporarily unavailable",
+            Errno::ENOSYS => "function not implemented",
+            Errno::EOVERFLOW => "value too large",
+            Errno::EOPNOTSUPP => "operation not supported",
+            Errno::EADDRINUSE => "address already in use",
+            Errno::EADDRNOTAVAIL => "can't assign requested address",
+            Errno::ENETUNREACH => "network is unreachable",
+            Errno::ECONNRESET => "connection reset by peer",
+            Errno::ENOBUFS => "no buffer space available",
+            Errno::EISCONN => "socket is already connected",
+            Errno::ENOTCONN => "socket is not connected",
+            Errno::ETIMEDOUT => "operation timed out",
+            Errno::ECONNREFUSED => "connection refused",
+            Errno::EPIPE => "broken pipe",
+            Errno::ENOTSOCK => "socket operation on non-socket",
+            Errno::EMSGSIZE => "message too long",
+            Errno::EPROTONOSUPPORT => "protocol not supported",
+            Errno::EALREADY => "operation already in progress",
+            Errno::EINPROGRESS => "operation now in progress",
+            Errno::EDESTADDRREQ => "destination address required",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name(), self.message())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_freebsd() {
+        assert_eq!(Errno::EPERM.code(), 1);
+        assert_eq!(Errno::EINVAL.code(), 22);
+        assert_eq!(Errno::EAGAIN.code(), 35);
+        assert_eq!(Errno::ECONNREFUSED.code(), 61);
+        assert_eq!(Errno::EWOULDBLOCK, Errno::EAGAIN);
+    }
+
+    #[test]
+    fn display_has_name_and_message() {
+        let s = Errno::ECONNRESET.to_string();
+        assert!(s.starts_with("ECONNRESET"));
+        assert!(s.contains("reset"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn f<E: std::error::Error + Send + Sync>(_: E) {}
+        f(Errno::EIO);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        use std::collections::HashSet;
+        let all = [
+            Errno::EPERM,
+            Errno::ENOENT,
+            Errno::EINTR,
+            Errno::EIO,
+            Errno::EBADF,
+            Errno::ENOMEM,
+            Errno::EACCES,
+            Errno::EFAULT,
+            Errno::EBUSY,
+            Errno::EEXIST,
+            Errno::EINVAL,
+            Errno::EMFILE,
+            Errno::EAGAIN,
+            Errno::ENOSYS,
+            Errno::EOVERFLOW,
+            Errno::EOPNOTSUPP,
+            Errno::EADDRINUSE,
+            Errno::EADDRNOTAVAIL,
+            Errno::ENETUNREACH,
+            Errno::ECONNRESET,
+            Errno::ENOBUFS,
+            Errno::EISCONN,
+            Errno::ENOTCONN,
+            Errno::ETIMEDOUT,
+            Errno::ECONNREFUSED,
+            Errno::EPIPE,
+            Errno::ENOTSOCK,
+            Errno::EMSGSIZE,
+            Errno::EPROTONOSUPPORT,
+            Errno::EALREADY,
+            Errno::EINPROGRESS,
+            Errno::EDESTADDRREQ,
+        ];
+        let codes: HashSet<i32> = all.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), all.len());
+        let names: HashSet<&str> = all.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+}

@@ -1,0 +1,132 @@
+//! The musl-libc side of thread synchronization: Linux-style `futex`.
+//!
+//! cVMs link against (a model of) **musl libc**, whose lock primitives issue
+//! `futex(FUTEX_WAIT/FUTEX_WAKE)`. CheriBSD has no futex; the paper adapts
+//! the Intravisor proxy to translate each musl call into the equivalent
+//! `_umtx_op`. This module defines the musl-visible operation type and the
+//! translation function the proxy uses — kept separate from [`crate::umtx`]
+//! so the translation is a visible, testable artifact rather than an
+//! implementation detail.
+
+use crate::umtx::{UmtxTable, WaitOutcome, WaiterId};
+
+/// A musl-libc futex request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FutexOp {
+    /// `FUTEX_WAIT`: sleep while `*uaddr == expected`.
+    Wait {
+        /// Address of the futex word.
+        uaddr: u64,
+        /// The value the caller saw.
+        expected: u32,
+    },
+    /// `FUTEX_WAKE`: wake up to `count` waiters.
+    Wake {
+        /// Address of the futex word.
+        uaddr: u64,
+        /// Maximum waiters to wake.
+        count: u32,
+    },
+}
+
+/// Result of a translated futex operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FutexOutcome {
+    /// `FUTEX_WAIT` raced with a value change; returns immediately
+    /// (musl sees `EAGAIN`).
+    ValueChanged,
+    /// The caller must sleep until a wake resumes it.
+    WouldSleep,
+    /// `FUTEX_WAKE` woke these waiters (possibly none).
+    Woken(Vec<WaiterId>),
+}
+
+/// Translates a musl `futex` call into CheriBSD `_umtx_op` semantics —
+/// the adaptation the paper's §III.B describes ("musl libc uses futex for
+/// thread synchronization, while CheriBSD uses umtx").
+///
+/// `current` is the present value of the futex word (the kernel re-reads it
+/// under the queue lock; our caller supplies it).
+///
+/// # Example
+///
+/// ```
+/// use chos::futex::{translate_futex, FutexOp, FutexOutcome};
+/// use chos::umtx::UmtxTable;
+///
+/// let mut umtx = UmtxTable::new();
+/// let op = FutexOp::Wait { uaddr: 0x100, expected: 1 };
+/// let r = translate_futex(&mut umtx, op, 1, 42);
+/// assert_eq!(r, FutexOutcome::WouldSleep);
+/// let r = translate_futex(&mut umtx, FutexOp::Wake { uaddr: 0x100, count: 1 }, 0, 42);
+/// assert_eq!(r, FutexOutcome::Woken(vec![42]));
+/// ```
+pub fn translate_futex(
+    umtx: &mut UmtxTable,
+    op: FutexOp,
+    current: u32,
+    caller: WaiterId,
+) -> FutexOutcome {
+    match op {
+        FutexOp::Wait { uaddr, expected } => {
+            match umtx.wait(uaddr, u64::from(expected), u64::from(current), caller) {
+                WaitOutcome::ValueChanged => FutexOutcome::ValueChanged,
+                WaitOutcome::WouldSleep => FutexOutcome::WouldSleep,
+            }
+        }
+        FutexOp::Wake { uaddr, count } => {
+            FutexOutcome::Woken(umtx.wake(uaddr, count as usize))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_then_wake_round_trip() {
+        let mut umtx = UmtxTable::new();
+        let w = FutexOp::Wait {
+            uaddr: 0x40,
+            expected: 7,
+        };
+        assert_eq!(translate_futex(&mut umtx, w, 7, 1), FutexOutcome::WouldSleep);
+        assert_eq!(translate_futex(&mut umtx, w, 7, 2), FutexOutcome::WouldSleep);
+        let wake = FutexOp::Wake {
+            uaddr: 0x40,
+            count: 2,
+        };
+        assert_eq!(
+            translate_futex(&mut umtx, wake, 0, 9),
+            FutexOutcome::Woken(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn stale_value_does_not_sleep() {
+        let mut umtx = UmtxTable::new();
+        let w = FutexOp::Wait {
+            uaddr: 0x40,
+            expected: 7,
+        };
+        assert_eq!(
+            translate_futex(&mut umtx, w, 8, 1),
+            FutexOutcome::ValueChanged
+        );
+        assert_eq!(umtx.total_sleepers(), 0);
+    }
+
+    #[test]
+    fn wake_with_no_sleepers_wakes_nobody() {
+        let mut umtx = UmtxTable::new();
+        let wake = FutexOp::Wake {
+            uaddr: 0x99,
+            count: 8,
+        };
+        assert_eq!(
+            translate_futex(&mut umtx, wake, 0, 1),
+            FutexOutcome::Woken(vec![])
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! MMU-style process isolation — the paper's **Baseline** scenario.
+//!
+//! Without CHERI, the Baseline isolates components the classic way: separate
+//! processes, each with its own address space, translated by an MMU. We
+//! model an address space as a private [`cheri::TaggedMemory`] whose root
+//! capability is handed to the process — inside its own space the process is
+//! unrestricted (no fine-grained checks, as on a non-CHERI machine), and
+//! cross-process access is impossible because no capability to another
+//! process's memory can even be *named*. That asymmetry — coarse but
+//! airtight between processes, nothing within one — is exactly the trade-off
+//! the paper's intro criticizes MMU isolation for.
+
+use cheri::{Capability, TaggedMemory};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A process id.
+pub type Pid = u32;
+
+/// One host process: a private address space plus its root capability.
+pub struct HostProcess {
+    pid: Pid,
+    name: String,
+    memory: TaggedMemory,
+}
+
+impl fmt::Debug for HostProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostProcess")
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .field("mem_size", &self.memory.size())
+            .finish()
+    }
+}
+
+impl HostProcess {
+    /// Creates a process with `mem_size` bytes of private memory.
+    pub fn new(pid: Pid, name: impl Into<String>, mem_size: u64) -> Self {
+        HostProcess {
+            pid,
+            name: name.into(),
+            memory: TaggedMemory::new(mem_size),
+        }
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The process name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The process's private address space.
+    pub fn memory(&self) -> &TaggedMemory {
+        &self.memory
+    }
+
+    /// Mutable access to the private address space.
+    pub fn memory_mut(&mut self) -> &mut TaggedMemory {
+        &mut self.memory
+    }
+
+    /// The all-powerful (within this process!) root capability — on a
+    /// non-CHERI machine every pointer implicitly has this authority.
+    pub fn root_cap(&self) -> Capability {
+        self.memory.root_cap()
+    }
+}
+
+/// The table of live processes.
+#[derive(Debug, Default)]
+pub struct ProcessTable {
+    procs: HashMap<Pid, HostProcess>,
+}
+
+impl ProcessTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawns a process and returns its pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is already live (pids come from
+    /// [`crate::syscall::Kernel::next_pid`], so this indicates driver misuse).
+    pub fn spawn(&mut self, pid: Pid, name: impl Into<String>, mem_size: u64) -> Pid {
+        let prev = self.procs.insert(pid, HostProcess::new(pid, name, mem_size));
+        assert!(prev.is_none(), "pid {pid} reused while alive");
+        pid
+    }
+
+    /// Looks up a process.
+    pub fn get(&self, pid: Pid) -> Option<&HostProcess> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, pid: Pid) -> Option<&mut HostProcess> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// Terminates a process, freeing its address space.
+    pub fn reap(&mut self, pid: Pid) -> Option<HostProcess> {
+        self.procs.remove(&pid)
+    }
+
+    /// Number of live processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// `true` if no process is live.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_have_private_spaces() {
+        let mut t = ProcessTable::new();
+        t.spawn(1, "iperf-a", 4096);
+        t.spawn(2, "iperf-b", 4096);
+
+        // Write into process 1's space.
+        let root1 = t.get(1).unwrap().root_cap();
+        t.get_mut(1)
+            .unwrap()
+            .memory_mut()
+            .write(&root1, 0, b"secret")
+            .unwrap();
+
+        // Process 2's space at the same addresses is untouched: different
+        // TaggedMemory entirely.
+        let root2 = t.get(2).unwrap().root_cap();
+        let read = t
+            .get_mut(2)
+            .unwrap()
+            .memory_mut()
+            .read_vec(&root2, 0, 6)
+            .unwrap();
+        assert_eq!(read, vec![0; 6]);
+    }
+
+    #[test]
+    fn within_a_process_everything_is_reachable() {
+        // The MMU gives no intra-process protection: the root capability
+        // spans the whole space — the vulnerability class CHERI removes.
+        let p = HostProcess::new(1, "px4-like", 8192);
+        let root = p.root_cap();
+        assert_eq!(root.len(), 8192);
+        assert!(root.check_access(0, 8192, cheri::capability::Access::Store).is_ok());
+    }
+
+    #[test]
+    fn cross_process_roots_do_not_transfer() {
+        // Even if a capability value leaks across processes, it indexes the
+        // *other* arena only through that arena's own API; the spaces are
+        // disjoint Rust objects. Here we just confirm reaping frees slots.
+        let mut t = ProcessTable::new();
+        t.spawn(7, "a", 4096);
+        assert_eq!(t.len(), 1);
+        let p = t.reap(7).unwrap();
+        assert_eq!(p.name(), "a");
+        assert_eq!(p.pid(), 7);
+        assert!(t.is_empty());
+        assert!(t.get(7).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "reused")]
+    fn pid_reuse_is_a_driver_bug() {
+        let mut t = ProcessTable::new();
+        t.spawn(1, "a", 4096);
+        t.spawn(1, "b", 4096);
+    }
+}

@@ -1,0 +1,339 @@
+//! The syscall surface: what a cVM (or Baseline process) can ask of the OS.
+//!
+//! The Intravisor's proxy table forwards a cVM's (trampolined) requests to
+//! [`Kernel::syscall`]; Baseline processes call it directly. Each call
+//! returns a [`SyscallOutcome`] carrying both the result and the *completion
+//! instant* in virtual time, so callers can account for kernel time without
+//! a global scheduler.
+
+use crate::clock::{ClockId, SysClock};
+use crate::errno::Errno;
+use crate::futex::{translate_futex, FutexOp, FutexOutcome};
+use crate::umtx::{UmtxTable, WaiterId};
+use simkern::cost::CostModel;
+use simkern::time::{SimDuration, SimTime};
+
+/// A system call request (the subset the network stack exercises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Syscall {
+    /// `clock_gettime(2)`; returns nanoseconds as the result value.
+    ClockGettime(ClockId),
+    /// `nanosleep(2)` for `ns` nanoseconds.
+    Nanosleep(u64),
+    /// `getpid(2)`.
+    GetPid,
+    /// CheriBSD `_umtx_op(UMTX_OP_WAIT)`; see [`crate::umtx`].
+    UmtxWait {
+        /// Word address.
+        addr: u64,
+        /// Expected value.
+        expected: u64,
+        /// Current value of the word (kernel re-read).
+        current: u64,
+        /// Sleeping thread id.
+        waiter: WaiterId,
+    },
+    /// CheriBSD `_umtx_op(UMTX_OP_WAKE)`.
+    UmtxWake {
+        /// Word address.
+        addr: u64,
+        /// Max waiters to wake.
+        count: u32,
+    },
+    /// A musl-libc `futex` call arriving from a cVM; the kernel does not
+    /// implement it — the Intravisor must translate (see
+    /// [`Kernel::musl_futex`]). Direct submission returns `ENOSYS`, which is
+    /// exactly the bug the paper's proxy adaptation fixes.
+    Futex(FutexOp),
+}
+
+/// The result of a system call: value-or-errno plus kernel timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyscallOutcome {
+    /// Return value (syscall-specific) or error.
+    pub result: Result<u64, Errno>,
+    /// When the syscall returns to the caller, in virtual time.
+    pub completed_at: SimTime,
+    /// Waiters to reschedule (non-empty only for wake operations).
+    pub woken: Vec<WaiterId>,
+    /// `true` if the caller must now sleep (wait operations).
+    pub sleeps: bool,
+}
+
+impl SyscallOutcome {
+    fn done(result: Result<u64, Errno>, completed_at: SimTime) -> Self {
+        SyscallOutcome {
+            result,
+            completed_at,
+            woken: Vec::new(),
+            sleeps: false,
+        }
+    }
+}
+
+/// The CheriBSD-like kernel: clock, umtx queues, pid namespace.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Kernel {
+    clock: SysClock,
+    umtx: UmtxTable,
+    costs: CostModel,
+    syscalls: u64,
+    pid_counter: u32,
+}
+
+impl Kernel {
+    /// Creates a kernel using the given cost model (clock tick included).
+    pub fn new(costs: CostModel) -> Self {
+        Kernel {
+            clock: SysClock::new(costs.timer_tick()),
+            umtx: UmtxTable::new(),
+            costs,
+            syscalls: 0,
+            pid_counter: 100,
+        }
+    }
+
+    /// The kernel clock device.
+    pub fn clock(&self) -> &SysClock {
+        &self.clock
+    }
+
+    /// The umtx sleep-queue table (for scenario drivers and tests).
+    pub fn umtx(&self) -> &UmtxTable {
+        &self.umtx
+    }
+
+    /// Total syscalls served.
+    pub fn syscall_count(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// Allocates a fresh process id.
+    pub fn next_pid(&mut self) -> u32 {
+        self.pid_counter += 1;
+        self.pid_counter
+    }
+
+    /// Executes `sc` natively at `now` (the Baseline path — no trampoline).
+    pub fn syscall(&mut self, now: SimTime, sc: Syscall) -> SyscallOutcome {
+        self.syscalls += 1;
+        match sc {
+            Syscall::ClockGettime(id) => {
+                // Entry + read + exit; the reading reflects the entry time.
+                let done = now + SimDuration::from_nanos(self.costs.clock_gettime_ns);
+                let reading = self.clock.read(done, id);
+                SyscallOutcome::done(Ok(reading.as_nanos()), done)
+            }
+            Syscall::Nanosleep(ns) => {
+                let done = now
+                    + SimDuration::from_nanos(self.costs.syscall_ns)
+                    + SimDuration::from_nanos(ns);
+                SyscallOutcome::done(Ok(0), done)
+            }
+            Syscall::GetPid => {
+                let done = now + SimDuration::from_nanos(self.costs.syscall_ns);
+                SyscallOutcome::done(Ok(u64::from(self.pid_counter)), done)
+            }
+            Syscall::UmtxWait {
+                addr,
+                expected,
+                current,
+                waiter,
+            } => {
+                let done = now + SimDuration::from_nanos(self.costs.umtx_block_ns);
+                match self.umtx.wait(addr, expected, current, waiter) {
+                    crate::umtx::WaitOutcome::ValueChanged => SyscallOutcome::done(
+                        Err(Errno::EAGAIN),
+                        now + SimDuration::from_nanos(self.costs.syscall_ns),
+                    ),
+                    crate::umtx::WaitOutcome::WouldSleep => SyscallOutcome {
+                        result: Ok(0),
+                        completed_at: done,
+                        woken: Vec::new(),
+                        sleeps: true,
+                    },
+                }
+            }
+            Syscall::UmtxWake { addr, count } => {
+                let woken = self.umtx.wake(addr, count as usize);
+                let cost = if woken.is_empty() {
+                    self.costs.syscall_ns
+                } else {
+                    self.costs.umtx_wake_ns
+                };
+                SyscallOutcome {
+                    result: Ok(woken.len() as u64),
+                    completed_at: now + SimDuration::from_nanos(cost),
+                    woken,
+                    sleeps: false,
+                }
+            }
+            Syscall::Futex(_) => {
+                // CheriBSD has no futex syscall: reaching the kernel with one
+                // is a porting bug. The Intravisor uses `musl_futex` instead.
+                SyscallOutcome::done(
+                    Err(Errno::ENOSYS),
+                    now + SimDuration::from_nanos(self.costs.syscall_ns),
+                )
+            }
+        }
+    }
+
+    /// The Intravisor's futex→umtx translation entry point (paper §III.B):
+    /// performs the musl `futex` request via the umtx machinery.
+    pub fn musl_futex(
+        &mut self,
+        now: SimTime,
+        op: FutexOp,
+        current: u32,
+        caller: WaiterId,
+    ) -> SyscallOutcome {
+        self.syscalls += 1;
+        match translate_futex(&mut self.umtx, op, current, caller) {
+            FutexOutcome::ValueChanged => SyscallOutcome::done(
+                Err(Errno::EAGAIN),
+                now + SimDuration::from_nanos(self.costs.syscall_ns),
+            ),
+            FutexOutcome::WouldSleep => SyscallOutcome {
+                result: Ok(0),
+                completed_at: now + SimDuration::from_nanos(self.costs.umtx_block_ns),
+                woken: Vec::new(),
+                sleeps: true,
+            },
+            FutexOutcome::Woken(w) => SyscallOutcome {
+                result: Ok(w.len() as u64),
+                completed_at: now
+                    + SimDuration::from_nanos(if w.is_empty() {
+                        self.costs.syscall_ns
+                    } else {
+                        self.costs.umtx_wake_ns
+                    }),
+                woken: w,
+                sleeps: false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(CostModel::morello())
+    }
+
+    #[test]
+    fn clock_gettime_returns_quantized_time_and_costs() {
+        let mut k = kernel();
+        let now = SimTime::from_nanos(10_000);
+        let o = k.syscall(now, Syscall::ClockGettime(ClockId::MonotonicRaw));
+        let v = o.result.unwrap();
+        assert_eq!(v % 25, 0, "quantized to the 25ns tick");
+        assert!(o.completed_at > now);
+        assert_eq!(k.syscall_count(), 1);
+    }
+
+    #[test]
+    fn nanosleep_sleeps_virtual_time() {
+        let mut k = kernel();
+        let o = k.syscall(SimTime::ZERO, Syscall::Nanosleep(5_000));
+        assert!(o.result.is_ok());
+        assert!(o.completed_at.as_nanos() >= 5_000);
+    }
+
+    #[test]
+    fn umtx_wait_wake_cycle() {
+        let mut k = kernel();
+        let o = k.syscall(
+            SimTime::ZERO,
+            Syscall::UmtxWait {
+                addr: 0x100,
+                expected: 1,
+                current: 1,
+                waiter: 7,
+            },
+        );
+        assert!(o.sleeps);
+        let o = k.syscall(
+            SimTime::from_micros(1),
+            Syscall::UmtxWake {
+                addr: 0x100,
+                count: 1,
+            },
+        );
+        assert_eq!(o.result.unwrap(), 1);
+        assert_eq!(o.woken, vec![7]);
+        assert!(!o.sleeps);
+    }
+
+    #[test]
+    fn umtx_wait_value_changed_is_eagain() {
+        let mut k = kernel();
+        let o = k.syscall(
+            SimTime::ZERO,
+            Syscall::UmtxWait {
+                addr: 0x100,
+                expected: 1,
+                current: 2,
+                waiter: 7,
+            },
+        );
+        assert_eq!(o.result.unwrap_err(), Errno::EAGAIN);
+        assert!(!o.sleeps);
+    }
+
+    #[test]
+    fn raw_futex_is_enosys_on_cheribsd() {
+        // The porting pitfall the paper fixes: musl futex hits the BSD
+        // kernel → ENOSYS, unless the Intravisor translates it.
+        let mut k = kernel();
+        let o = k.syscall(
+            SimTime::ZERO,
+            Syscall::Futex(FutexOp::Wake {
+                uaddr: 0x1,
+                count: 1,
+            }),
+        );
+        assert_eq!(o.result.unwrap_err(), Errno::ENOSYS);
+    }
+
+    #[test]
+    fn musl_futex_translation_works() {
+        let mut k = kernel();
+        let o = k.musl_futex(
+            SimTime::ZERO,
+            FutexOp::Wait {
+                uaddr: 0x200,
+                expected: 3,
+            },
+            3,
+            11,
+        );
+        assert!(o.sleeps);
+        let o = k.musl_futex(
+            SimTime::from_micros(2),
+            FutexOp::Wake {
+                uaddr: 0x200,
+                count: 8,
+            },
+            0,
+            12,
+        );
+        assert_eq!(o.result.unwrap(), 1);
+        assert_eq!(o.woken, vec![11]);
+    }
+
+    #[test]
+    fn pids_are_fresh() {
+        let mut k = kernel();
+        let a = k.next_pid();
+        let b = k.next_pid();
+        assert_ne!(a, b);
+        let o = k.syscall(SimTime::ZERO, Syscall::GetPid);
+        assert_eq!(o.result.unwrap(), u64::from(b));
+    }
+}

@@ -1,0 +1,173 @@
+//! `_umtx_op` — CheriBSD/FreeBSD's userland mutex kernel service.
+//!
+//! FreeBSD has no `futex(2)`; its equivalent is `_umtx_op(2)` with
+//! `UMTX_OP_WAIT`/`UMTX_OP_WAKE` on a userspace word. The paper calls this
+//! out explicitly: the Intravisor's proxy table must *translate* musl libc's
+//! `futex` calls into `umtx` ones. This module is the kernel side of that
+//! translation; [`crate::futex`] is the musl side.
+//!
+//! Blocking is modeled without suspending host threads: `wait` registers a
+//! waiter and reports [`WaitOutcome::WouldSleep`]; the discrete-event driver
+//! decides when the corresponding wake reschedules it. The *timing* of the
+//! sleep is produced by the analytic [`simkern::FifoMutex`] in the scenario
+//! layer; this table provides the correctness (who is asleep where, who gets
+//! woken, in what order).
+
+use std::collections::{HashMap, VecDeque};
+
+/// Identifies a sleeping thread (scenario-level actor id).
+pub type WaiterId = u64;
+
+/// Result of a `UMTX_OP_WAIT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The word no longer held the expected value — return immediately
+    /// (the userspace lock changed hands before we slept).
+    ValueChanged,
+    /// The caller is now enqueued and must sleep until woken.
+    WouldSleep,
+}
+
+/// The kernel's table of umtx sleep queues, keyed by word address.
+///
+/// # Example
+///
+/// ```
+/// use chos::umtx::{UmtxTable, WaitOutcome};
+///
+/// let mut t = UmtxTable::new();
+/// // Thread 7 waits on word 0x1000 expecting value 1, and the word is 1:
+/// assert_eq!(t.wait(0x1000, 1, 1, 7), WaitOutcome::WouldSleep);
+/// // A wake releases it, FIFO.
+/// assert_eq!(t.wake(0x1000, 1), vec![7]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UmtxTable {
+    queues: HashMap<u64, VecDeque<WaiterId>>,
+    waits: u64,
+    wakes: u64,
+}
+
+impl UmtxTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `UMTX_OP_WAIT`: if `*addr` (passed as `current`) still equals
+    /// `expected`, enqueue `waiter` on the word's sleep queue.
+    pub fn wait(
+        &mut self,
+        addr: u64,
+        expected: u64,
+        current: u64,
+        waiter: WaiterId,
+    ) -> WaitOutcome {
+        if current != expected {
+            return WaitOutcome::ValueChanged;
+        }
+        self.waits += 1;
+        self.queues.entry(addr).or_default().push_back(waiter);
+        WaitOutcome::WouldSleep
+    }
+
+    /// `UMTX_OP_WAKE`: wake up to `n` waiters on `addr`, FIFO; returns their
+    /// ids so the scheduler can resume them.
+    pub fn wake(&mut self, addr: u64, n: usize) -> Vec<WaiterId> {
+        let mut woken = Vec::new();
+        if let Some(q) = self.queues.get_mut(&addr) {
+            for _ in 0..n {
+                match q.pop_front() {
+                    Some(w) => woken.push(w),
+                    None => break,
+                }
+            }
+            if q.is_empty() {
+                self.queues.remove(&addr);
+            }
+        }
+        self.wakes += woken.len() as u64;
+        woken
+    }
+
+    /// Removes `waiter` from whatever queue it sleeps on (signal delivery /
+    /// timeout path). Returns `true` if it was found.
+    pub fn cancel(&mut self, waiter: WaiterId) -> bool {
+        let mut found = false;
+        self.queues.retain(|_, q| {
+            if let Some(pos) = q.iter().position(|&w| w == waiter) {
+                q.remove(pos);
+                found = true;
+            }
+            !q.is_empty()
+        });
+        found
+    }
+
+    /// Number of threads currently asleep on `addr`.
+    pub fn sleepers(&self, addr: u64) -> usize {
+        self.queues.get(&addr).map_or(0, VecDeque::len)
+    }
+
+    /// Total threads asleep across all words.
+    pub fn total_sleepers(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Lifetime counters `(waits, wakes)` for experiment reports.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.waits, self.wakes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_change_races_return_immediately() {
+        let mut t = UmtxTable::new();
+        assert_eq!(t.wait(0x10, 1, 0, 1), WaitOutcome::ValueChanged);
+        assert_eq!(t.total_sleepers(), 0);
+    }
+
+    #[test]
+    fn wake_is_fifo() {
+        let mut t = UmtxTable::new();
+        for w in [10, 11, 12] {
+            assert_eq!(t.wait(0x10, 1, 1, w), WaitOutcome::WouldSleep);
+        }
+        assert_eq!(t.sleepers(0x10), 3);
+        assert_eq!(t.wake(0x10, 2), vec![10, 11]);
+        assert_eq!(t.wake(0x10, 5), vec![12]);
+        assert_eq!(t.wake(0x10, 1), Vec::<WaiterId>::new());
+    }
+
+    #[test]
+    fn queues_are_per_address() {
+        let mut t = UmtxTable::new();
+        t.wait(0x10, 1, 1, 1);
+        t.wait(0x20, 1, 1, 2);
+        assert_eq!(t.wake(0x10, 10), vec![1]);
+        assert_eq!(t.sleepers(0x20), 1);
+    }
+
+    #[test]
+    fn cancel_removes_a_waiter() {
+        let mut t = UmtxTable::new();
+        t.wait(0x10, 1, 1, 1);
+        t.wait(0x10, 1, 1, 2);
+        assert!(t.cancel(1));
+        assert!(!t.cancel(99));
+        assert_eq!(t.wake(0x10, 10), vec![2]);
+    }
+
+    #[test]
+    fn stats_count_waits_and_wakes() {
+        let mut t = UmtxTable::new();
+        t.wait(0x10, 1, 1, 1);
+        t.wait(0x10, 1, 0, 2); // value changed: not a wait
+        t.wake(0x10, 10);
+        assert_eq!(t.stats(), (1, 1));
+    }
+}

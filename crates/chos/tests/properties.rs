@@ -1,0 +1,108 @@
+//! Property tests of the host-OS substrate: POSIX fd semantics against a
+//! model, umtx FIFO wake order, and clock monotonicity through the syscall
+//! layer.
+
+use chos::clock::ClockId;
+use chos::fdtable::FdTable;
+use chos::syscall::{Kernel, Syscall};
+use chos::umtx::UmtxTable;
+use proptest::prelude::*;
+use simkern::cost::CostModel;
+use simkern::time::SimTime;
+use std::collections::BTreeMap;
+
+proptest! {
+    /// FdTable implements exactly the POSIX lowest-free-fd rule: compare
+    /// against a naive model under arbitrary alloc/free traces.
+    #[test]
+    fn fdtable_matches_posix_model(ops in proptest::collection::vec(any::<Option<u8>>(), 1..300)) {
+        let mut table: FdTable<u8> = FdTable::with_capacity(64);
+        let mut model: BTreeMap<i32, u8> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    // Model: lowest non-negative integer not in use.
+                    let mut want = 0;
+                    while model.contains_key(&want) {
+                        want += 1;
+                    }
+                    match table.alloc(v) {
+                        Ok(fd) => {
+                            prop_assert!(model.len() < 64);
+                            prop_assert_eq!(fd, want);
+                            model.insert(fd, v);
+                        }
+                        Err(_) => prop_assert_eq!(model.len(), 64),
+                    }
+                }
+                None => {
+                    // Free the median open fd, if any.
+                    if let Some((&fd, _)) = model.iter().nth(model.len() / 2) {
+                        let got = table.free(fd).unwrap();
+                        let expect = model.remove(&fd).unwrap();
+                        prop_assert_eq!(got, expect);
+                    } else {
+                        prop_assert!(table.free(0).is_err());
+                    }
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+            for (&fd, v) in &model {
+                prop_assert_eq!(table.get(fd), Some(v));
+            }
+        }
+    }
+
+    /// umtx wakes waiters in exact FIFO order per address, and never wakes
+    /// a waiter from a different address.
+    #[test]
+    fn umtx_wake_order(
+        waits in proptest::collection::vec((0u64..4, 1u64..100), 1..100),
+        wake_counts in proptest::collection::vec((0u64..4, 1usize..5), 1..50),
+    ) {
+        let mut t = UmtxTable::new();
+        let mut model: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (next_id, &(addr, _)) in waits.iter().enumerate() {
+            let next_id = next_id as u64;
+            t.wait(addr, 1, 1, next_id);
+            model.entry(addr).or_default().push(next_id);
+        }
+        for &(addr, n) in &wake_counts {
+            let woken = t.wake(addr, n);
+            let q = model.entry(addr).or_default();
+            let expect: Vec<u64> = q.drain(..n.min(q.len())).collect();
+            prop_assert_eq!(woken, expect);
+        }
+        let remaining: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(t.total_sleepers(), remaining);
+    }
+
+    /// The monotonic clock never goes backwards through the syscall layer,
+    /// whatever the call instants.
+    #[test]
+    fn clock_gettime_is_monotone(mut instants in proptest::collection::vec(0u64..10_000_000, 2..100)) {
+        instants.sort_unstable();
+        let mut k = Kernel::new(CostModel::morello());
+        let mut prev = 0u64;
+        for &t in &instants {
+            let out = k.syscall(
+                SimTime::from_nanos(t),
+                Syscall::ClockGettime(ClockId::MonotonicRaw),
+            );
+            let reading = out.result.unwrap();
+            prop_assert!(reading >= prev, "monotonic");
+            prop_assert!(out.completed_at.as_nanos() >= t, "kernel time flows forward");
+            prev = reading;
+        }
+    }
+
+    /// Syscall accounting: every call is counted exactly once.
+    #[test]
+    fn syscall_counting(n in 1usize..100) {
+        let mut k = Kernel::new(CostModel::morello());
+        for i in 0..n {
+            k.syscall(SimTime::from_nanos(i as u64), Syscall::GetPid);
+        }
+        prop_assert_eq!(k.syscall_count(), n as u64);
+    }
+}

@@ -1,0 +1,635 @@
+//! Figs. 4–6 — `ff_write()` execution time across isolation designs.
+//!
+//! The paper's protocol (§IV): wrap each `ff_write` in
+//! `clock_gettime(CLOCK_MONOTONIC_RAW)` reads, run 1 M iterations on a live
+//! connection, remove IQR outliers (≈ 10 %), present box plots. Crucially,
+//! "in cVMs we can't directly access the timers of the system, the
+//! execution time always includes a cross-compartment jump to the
+//! Intravisor, the execution of the syscall in CheriBSD, and the return" —
+//! the clock path differs per scenario, and that is where Fig. 4's ≈ 125 ns
+//! comes from.
+//!
+//! This harness runs a *real* connection between two [`fstack::FStack`]
+//! instances (segments built, checksummed, delivered; the receiver drains),
+//! while the *timing* of each call is composed on the virtual clock from
+//! the calibrated cost model: trampolined or native `clock_gettime`,
+//! `ff_write` work (fixed + per-byte copy + heavy-tail jitter), and for
+//! Scenario 2 the sealed-pair cross-call plus the service mutex with its
+//! background contenders (the F-Stack main loop, and in the contended
+//! variant a second application cVM).
+
+use crate::stats::{iqr_filter, Summary};
+use crate::CapnetError;
+use cheri::{Capability, Perms, TaggedMemory};
+use chos::clock::ClockId;
+use chos::syscall::{Kernel, Syscall};
+use fstack::loop_::ServiceMutex;
+use fstack::socket::SockType;
+use fstack::{FStack, StackConfig};
+use intravisor::{CvmConfig, CvmId, Intravisor, ServiceId};
+use simkern::cost::CostModel;
+use simkern::rng::SimRng;
+use simkern::time::{SimDuration, SimTime};
+use std::fmt;
+use std::net::Ipv4Addr;
+use updk::nic::MacAddr;
+
+/// The isolation design under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyScenario {
+    /// No CHERI, single process: native syscalls, intra-process `ff_write`.
+    Baseline,
+    /// Scenario 1: the stack lives with the app in one cVM — `ff_write` is
+    /// a local call, but the measurement clock crosses the trampoline.
+    Scenario1,
+    /// Scenario 2 with one app cVM; inter-write gap enlarged per the paper.
+    Scenario2Uncontended,
+    /// Scenario 2 with the F-Stack loop busy and a second app contending.
+    Scenario2Contended,
+    /// Extension (paper future work (i)): DPDK split from F-Stack — one
+    /// more sealed crossing on the write path (the packet hand-off rides a
+    /// lock-free SPSC ring, so no second mutex).
+    Scenario3,
+    /// Extension (paper future work (ii)): the entire stack separated —
+    /// app / F-Stack / DPDK / NIC-register proxy, three crossings total.
+    Scenario4,
+}
+
+impl LatencyScenario {
+    /// Paper-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LatencyScenario::Baseline => "Baseline",
+            LatencyScenario::Scenario1 => "Scenario 1",
+            LatencyScenario::Scenario2Uncontended => "Scenario 2 (uncontended)",
+            LatencyScenario::Scenario2Contended => "Scenario 2 (contended)",
+            LatencyScenario::Scenario3 => "Scenario 3 (ext: DPDK split)",
+            LatencyScenario::Scenario4 => "Scenario 4 (ext: full split)",
+        }
+    }
+
+    /// Sealed cross-compartment hand-offs *inside* the service chain, past
+    /// the app→service entry crossing (0 for the paper's scenarios).
+    fn inner_crossings(&self) -> u64 {
+        match self {
+            LatencyScenario::Baseline
+            | LatencyScenario::Scenario1
+            | LatencyScenario::Scenario2Uncontended
+            | LatencyScenario::Scenario2Contended => 0,
+            LatencyScenario::Scenario3 => 1,
+            LatencyScenario::Scenario4 => 2,
+        }
+    }
+}
+
+impl fmt::Display for LatencyScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The measured distribution for one scenario.
+#[derive(Debug, Clone)]
+pub struct FfWriteRun {
+    /// Which design was measured.
+    pub scenario: LatencyScenario,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Box-plot summary after IQR outlier removal.
+    pub summary: Summary,
+    /// Fraction the IQR filter removed (paper: ≈ 10 %).
+    pub removed_fraction: f64,
+}
+
+impl fmt::Display for FfWriteRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.summary;
+        write!(
+            f,
+            "{:<26} mean={:>8.1}ns std={:>7.1}ns q1={:>7} med={:>7} q3={:>7} (n={}, {:.1}% outliers removed)",
+            self.scenario.label(),
+            s.mean,
+            s.std,
+            s.q1,
+            s.median,
+            s.q3,
+            s.n,
+            self.removed_fraction * 100.0
+        )
+    }
+}
+
+/// Payload per `ff_write` — one MSS, as the bulk path uses.
+const WRITE_BYTES: u64 = 1448;
+
+/// Background mutex contenders for the Scenario 2 variants.
+struct Background {
+    next_loop: SimTime,
+    loop_hold_ns: u64,
+    loop_gap_ns: u64,
+    next_app: Option<SimTime>,
+    app_hold_ns: u64,
+    app_gap_ns: u64,
+    rng: SimRng,
+}
+
+impl Background {
+    /// Replays every background acquisition requested before `until`.
+    /// Gaps and holds are jittered (real loop iterations vary with the
+    /// frames they process), which is what gives Fig. 6's contended box
+    /// its visible spread.
+    fn replay(&mut self, mutex: &mut ServiceMutex, until: SimTime) {
+        loop {
+            let app_t = self.next_app.unwrap_or(SimTime::MAX);
+            let (t, is_loop) = if self.next_loop <= app_t {
+                (self.next_loop, true)
+            } else {
+                (app_t, false)
+            };
+            if t >= until {
+                break;
+            }
+            let jitter = |rng: &mut SimRng, base: u64| -> u64 {
+                if base == 0 {
+                    0
+                } else {
+                    rng.range_inclusive(base / 2, base + base / 2)
+                }
+            };
+            let hold = if is_loop {
+                jitter(&mut self.rng, self.loop_hold_ns)
+            } else {
+                jitter(&mut self.rng, self.app_hold_ns)
+            };
+            let g = mutex.acquire(t, SimDuration::from_nanos(hold));
+            if is_loop {
+                let gap = jitter(&mut self.rng, self.loop_gap_ns);
+                self.next_loop = g.released_at + SimDuration::from_nanos(gap);
+            } else {
+                let gap = jitter(&mut self.rng, self.app_gap_ns);
+                self.next_app = Some(g.released_at + SimDuration::from_nanos(gap));
+            }
+        }
+    }
+}
+
+/// Everything the measurement loop needs, per scenario.
+struct Rig {
+    mem: TaggedMemory,
+    /// Present in the CHERI scenarios; carries kernel + cVMs.
+    iv: Option<Intravisor>,
+    /// Present in the Baseline; the direct kernel.
+    kernel: Option<Kernel>,
+    app_cvm: Option<CvmId>,
+    service: Option<ServiceId>,
+    sender: FStack,
+    receiver: FStack,
+    send_fd: chos::fdtable::Fd,
+    recv_fd: chos::fdtable::Fd,
+    payload: Capability,
+    recv_buf: Capability,
+    mutex: Option<ServiceMutex>,
+    background: Option<Background>,
+    costs: CostModel,
+    rng: SimRng,
+    /// Inter-iteration gap (enlarged for the uncontended S2 run).
+    gap: SimDuration,
+}
+
+impl Rig {
+    fn build(scenario: LatencyScenario, costs: CostModel, seed: u64) -> Result<Rig, CapnetError> {
+        let cheri_mode = scenario != LatencyScenario::Baseline;
+        let (mut mem, iv, kernel, app_cvm) = if cheri_mode {
+            let mut iv = Intravisor::new(1 << 21, costs.clone());
+            let app = iv.create_cvm(CvmConfig::new("iperf-app").mem_size(64 * 1024))?;
+            (TaggedMemory::new(1 << 21), Some(iv), None, Some(app))
+        } else {
+            (
+                TaggedMemory::new(1 << 21),
+                None,
+                Some(Kernel::new(costs.clone())),
+                None,
+            )
+        };
+        // NOTE: the stacks live in `mem` (the network data plane); the
+        // Intravisor's own memory holds the cVM control plane. On the real
+        // system both are one address space; splitting them here only
+        // affects which arena the capability checks index.
+        let mut iv = iv;
+        let (payload, recv_buf) = if let (Some(iv), Some(app)) = (iv.as_mut(), app_cvm) {
+            // App-owned buffers: capabilities bounded to the app cVM region.
+            let p = iv.cvm_alloc(app, WRITE_BYTES, 16)?;
+            let r = iv.cvm_alloc(app, WRITE_BYTES, 16)?;
+            // The data plane copies happen in `mem`; mirror the buffers
+            // there at the same addresses so the capability bounds apply.
+            (
+                mem.root_cap()
+                    .try_restrict(p.base(), p.len())?
+                    .try_restrict_perms(Perms::data())?,
+                mem.root_cap()
+                    .try_restrict(r.base(), r.len())?
+                    .try_restrict_perms(Perms::data())?,
+            )
+        } else {
+            let p = mem
+                .root_cap()
+                .try_restrict(0x1000, WRITE_BYTES)?
+                .try_restrict_perms(Perms::data())?;
+            let r = mem
+                .root_cap()
+                .try_restrict(0x2000, WRITE_BYTES)?
+                .try_restrict_perms(Perms::data())?;
+            (p, r)
+        };
+        mem.fill(&payload, payload.base(), WRITE_BYTES, 0x5A)?;
+
+        // Two stacks, statically ARP'd, connected through direct frame
+        // exchange (the NIC path is exercised by the Table II experiments;
+        // here the network must simply be live and draining).
+        let a_mac = MacAddr::local(21);
+        let b_mac = MacAddr::local(22);
+        let a_ip = Ipv4Addr::new(10, 9, 0, 1);
+        let b_ip = Ipv4Addr::new(10, 9, 0, 2);
+        let mut sender = FStack::new(StackConfig::new("app", a_mac, a_ip));
+        let mut receiver = FStack::new(StackConfig::new("peer", b_mac, b_ip));
+        sender.arp_cache_mut().insert_static(b_ip, b_mac);
+        receiver.arp_cache_mut().insert_static(a_ip, a_mac);
+
+        let lfd = receiver.ff_socket(SockType::Stream)?;
+        receiver.ff_bind(lfd, 5201)?;
+        receiver.ff_listen(lfd, 4)?;
+        let send_fd = sender.ff_socket(SockType::Stream)?;
+        sender.ff_connect(send_fd, (b_ip, 5201), SimTime::ZERO)?;
+        // Pump the handshake.
+        let mut now = SimTime::from_micros(1);
+        for _ in 0..16 {
+            for f in sender.poll_tx(now) {
+                receiver.input_frame(now, &f);
+            }
+            for f in receiver.poll_tx(now) {
+                sender.input_frame(now, &f);
+            }
+            now += SimDuration::from_micros(20);
+        }
+        let recv_fd = receiver.ff_accept(lfd)?;
+
+        // Scenario 2 machinery.
+        let (service, mutex, background, gap) = match scenario {
+            LatencyScenario::Baseline | LatencyScenario::Scenario1 => {
+                (None, None, None, SimDuration::from_micros(2))
+            }
+            LatencyScenario::Scenario2Uncontended
+            | LatencyScenario::Scenario3
+            | LatencyScenario::Scenario4 => {
+                let iv_ref = iv.as_mut().expect("cheri mode");
+                let svc_cvm =
+                    iv_ref.create_cvm(CvmConfig::new("fstack-svc").mem_size(128 * 1024))?;
+                // The deeper splits get their own service compartments; the
+                // write path crosses into them via SPSC rings (costed as
+                // inner crossings in the measurement loop).
+                if scenario.inner_crossings() >= 1 {
+                    let _updk =
+                        iv_ref.create_cvm(CvmConfig::new("updk-svc").mem_size(128 * 1024))?;
+                }
+                if scenario.inner_crossings() >= 2 {
+                    let _nic =
+                        iv_ref.create_cvm(CvmConfig::new("nic-proxy").mem_size(64 * 1024))?;
+                }
+                let svc = iv_ref.register_service(svc_cvm, "ff-api")?;
+                // The service loop is nearly idle: brief lock holds, long
+                // period — and the measured app enlarges its inter-write
+                // gap, per the paper's protocol.
+                let bg = Background {
+                    next_loop: SimTime::ZERO,
+                    loop_hold_ns: 150,
+                    loop_gap_ns: 20_000,
+                    next_app: None,
+                    app_hold_ns: 0,
+                    app_gap_ns: 0,
+                    rng: SimRng::seed_from_u64(seed ^ 0xB6),
+                };
+                (
+                    Some(svc),
+                    Some(ServiceMutex::new(&costs)),
+                    Some(bg),
+                    SimDuration::from_micros(30),
+                )
+            }
+            LatencyScenario::Scenario2Contended => {
+                let iv_ref = iv.as_mut().expect("cheri mode");
+                let svc_cvm =
+                    iv_ref.create_cvm(CvmConfig::new("fstack-svc").mem_size(128 * 1024))?;
+                let _third = iv_ref.create_cvm(CvmConfig::new("iperf-app-2").mem_size(64 * 1024))?;
+                let svc = iv_ref.register_service(svc_cvm, "ff-api")?;
+                // The loop is saturated serving two flows and the second
+                // app writes back-to-back: long holds, short gaps.
+                let bg = Background {
+                    next_loop: SimTime::ZERO,
+                    loop_hold_ns: costs.s2_loop_hold_ns,
+                    loop_gap_ns: 900,
+                    next_app: Some(SimTime::from_nanos(300)),
+                    app_hold_ns: costs.ff_write_fixed_ns + costs.copy_cost(WRITE_BYTES).as_nanos(),
+                    app_gap_ns: 2_600,
+                    rng: SimRng::seed_from_u64(seed ^ 0xB7),
+                };
+                (
+                    Some(svc),
+                    Some(ServiceMutex::new(&costs)),
+                    Some(bg),
+                    SimDuration::from_micros(2),
+                )
+            }
+        };
+
+        Ok(Rig {
+            mem,
+            iv,
+            kernel,
+            app_cvm,
+            service,
+            sender,
+            receiver,
+            send_fd,
+            recv_fd,
+            payload,
+            recv_buf,
+            mutex,
+            background,
+            costs,
+            rng: SimRng::seed_from_u64(seed),
+            gap,
+        })
+    }
+
+    /// One `clock_gettime` through the scenario's path:
+    /// returns `(reading, completion_instant)`.
+    fn clock(&mut self, now: SimTime) -> (SimTime, SimTime) {
+        if let (Some(iv), Some(app)) = (self.iv.as_mut(), self.app_cvm) {
+            iv.cvm_clock_gettime(app, now)
+        } else {
+            let k = self.kernel.as_mut().expect("baseline kernel");
+            let out = k.syscall(now, Syscall::ClockGettime(ClockId::MonotonicRaw));
+            (
+                SimTime::from_nanos(out.result.expect("clock_gettime succeeds")),
+                out.completed_at,
+            )
+        }
+    }
+
+    /// The CPU work of `ff_write` itself (fixed + copy + occasional jitter).
+    fn ff_work(&mut self) -> SimDuration {
+        let mut ns = self.costs.ff_write_fixed_ns + self.costs.copy_cost(WRITE_BYTES).as_nanos();
+        if self.rng.chance_per_mille(self.costs.jitter_per_mille) {
+            ns += self.rng.heavy_tail_ns(self.costs.jitter_ns);
+        }
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Drains the connection so the send buffer never fills (the receiver
+    /// runs on another core / cVM; its time is not part of the sample).
+    fn drain(&mut self, now: SimTime) {
+        for _ in 0..4 {
+            let mut moved = false;
+            for f in self.sender.poll_tx(now) {
+                moved = true;
+                self.receiver.input_frame(now, &f);
+            }
+            loop {
+                match self
+                    .receiver
+                    .ff_read(&mut self.mem, self.recv_fd, &self.recv_buf, WRITE_BYTES)
+                {
+                    Ok(n) if n > 0 => moved = true,
+                    _ => break,
+                }
+            }
+            for f in self.receiver.poll_tx(now) {
+                moved = true;
+                self.sender.input_frame(now, &f);
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+}
+
+/// Measures the `ff_write` distribution for `scenario`.
+///
+/// # Errors
+///
+/// Propagates configuration failures; measurement itself is infallible.
+pub fn measure(
+    scenario: LatencyScenario,
+    iterations: usize,
+    costs: CostModel,
+    seed: u64,
+) -> Result<FfWriteRun, CapnetError> {
+    let mut rig = Rig::build(scenario, costs, seed)?;
+    let mut samples = Vec::with_capacity(iterations);
+    let mut now = SimTime::from_millis(10);
+
+    for i in 0..iterations {
+        // t0 = clock_gettime(...)
+        let (reading0, t) = rig.clock(now);
+
+        // ff_write(fd, buf, nbytes) — timing path per scenario…
+        let work = rig.ff_work();
+        let t_done = match scenario {
+            LatencyScenario::Baseline | LatencyScenario::Scenario1 => t + work,
+            LatencyScenario::Scenario2Uncontended
+            | LatencyScenario::Scenario2Contended
+            | LatencyScenario::Scenario3
+            | LatencyScenario::Scenario4 => {
+                let iv = rig.iv.as_mut().expect("cheri mode");
+                let svc = rig.service.expect("service registered");
+                let app = rig.app_cvm.expect("app cvm");
+                let grant = iv.xcall(app, svc, t)?;
+                let entered = grant.entered_at;
+                let mutex = rig.mutex.as_mut().expect("s2 mutex");
+                if let Some(bg) = rig.background.as_mut() {
+                    bg.replay(mutex, entered);
+                }
+                let g = mutex.acquire(entered, work);
+                // Deeper splits hand the payload onward through sealed
+                // SPSC crossings before ff_write can return.
+                let inner = SimDuration::from_nanos(
+                    rig.costs.xcall_ns * scenario.inner_crossings(),
+                );
+                // Return crossing mirrors the entry crossing.
+                g.released_at + inner + grant.crossing
+            }
+        };
+        // …and the real call, for correctness of the data path.
+        match rig
+            .sender
+            .ff_write(&mut rig.mem, rig.send_fd, &rig.payload, WRITE_BYTES)
+        {
+            Ok(_) => {}
+            Err(chos::Errno::EAGAIN) => {
+                rig.drain(now);
+                // Retry once after draining; a second failure is a bug.
+                rig.sender
+                    .ff_write(&mut rig.mem, rig.send_fd, &rig.payload, WRITE_BYTES)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+
+        // t1 = clock_gettime(...)
+        let (reading1, t_after) = rig.clock(t_done);
+        samples.push(reading1.saturating_duration_since(reading0).as_nanos());
+
+        now = t_after + rig.gap;
+        if i % 16 == 0 {
+            rig.drain(now);
+        }
+    }
+    rig.drain(now);
+
+    let filtered = iqr_filter(&samples);
+    Ok(FfWriteRun {
+        scenario,
+        iterations,
+        summary: Summary::of(&filtered.kept),
+        removed_fraction: filtered.removed_fraction(),
+    })
+}
+
+/// Runs Figs. 4–6 in one sweep (shared iteration count and seed).
+///
+/// # Errors
+///
+/// Propagates the first scenario failure.
+pub fn run_all(iterations: usize, costs: CostModel, seed: u64) -> Result<Vec<FfWriteRun>, CapnetError> {
+    [
+        LatencyScenario::Baseline,
+        LatencyScenario::Scenario1,
+        LatencyScenario::Scenario2Uncontended,
+        LatencyScenario::Scenario2Contended,
+    ]
+    .into_iter()
+    .map(|s| measure(s, iterations, costs.clone(), seed))
+    .collect()
+}
+
+/// Measures the extension scenarios (paper §VI future work): Scenario 3
+/// (DPDK split) and Scenario 4 (full stack separation).
+///
+/// # Errors
+///
+/// Propagates the first scenario failure.
+pub fn run_extensions(
+    iterations: usize,
+    costs: CostModel,
+    seed: u64,
+) -> Result<Vec<FfWriteRun>, CapnetError> {
+    [LatencyScenario::Scenario3, LatencyScenario::Scenario4]
+        .into_iter()
+        .map(|s| measure(s, iterations, costs.clone(), seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ITERS: usize = 4_000;
+
+    fn run(s: LatencyScenario) -> FfWriteRun {
+        measure(s, ITERS, CostModel::morello(), 42).unwrap()
+    }
+
+    #[test]
+    fn fig4_scenario1_costs_about_125ns_more_than_baseline() {
+        let base = run(LatencyScenario::Baseline);
+        let s1 = run(LatencyScenario::Scenario1);
+        let delta = s1.summary.mean - base.summary.mean;
+        assert!(
+            (delta - 125.0).abs() < 45.0,
+            "S1-Baseline delta {delta:.0}ns (paper: ≈125ns)"
+        );
+    }
+
+    #[test]
+    fn fig5_s2_uncontended_adds_about_200ns_over_s1() {
+        let s1 = run(LatencyScenario::Scenario1);
+        let s2 = run(LatencyScenario::Scenario2Uncontended);
+        let delta = s2.summary.mean - s1.summary.mean;
+        assert!(
+            (delta - 200.0).abs() < 80.0,
+            "S2u-S1 delta {delta:.0}ns (paper: ≈200ns)"
+        );
+    }
+
+    #[test]
+    fn fig6_contention_costs_tens_of_microseconds() {
+        let s2u = run(LatencyScenario::Scenario2Uncontended);
+        let s2c = run(LatencyScenario::Scenario2Contended);
+        let overhead = s2c.summary.mean - s2u.summary.mean;
+        assert!(
+            (12_000.0..30_000.0).contains(&overhead),
+            "contended overhead {overhead:.0}ns (paper: ≈19,000ns)"
+        );
+    }
+
+    #[test]
+    fn boxes_collapse_for_fast_scenarios() {
+        // The paper: >50% identical results, p25 = p75 for Baseline/S1.
+        let base = run(LatencyScenario::Baseline);
+        assert!(
+            base.summary.q3 - base.summary.q1 <= 50,
+            "baseline IQR {} should be tiny",
+            base.summary.iqr()
+        );
+    }
+
+    #[test]
+    fn scenario3_adds_one_inner_crossing_over_s2() {
+        let costs = CostModel::morello();
+        let s2 = run(LatencyScenario::Scenario2Uncontended);
+        let s3 = run(LatencyScenario::Scenario3);
+        let delta = s3.summary.mean - s2.summary.mean;
+        let expect = costs.xcall_ns as f64;
+        assert!(
+            (delta - expect).abs() < 60.0,
+            "S3-S2u delta {delta:.0}ns (one crossing ≈ {expect:.0}ns)"
+        );
+    }
+
+    #[test]
+    fn scenario4_adds_two_inner_crossings_over_s2() {
+        let costs = CostModel::morello();
+        let s2 = run(LatencyScenario::Scenario2Uncontended);
+        let s4 = run(LatencyScenario::Scenario4);
+        let delta = s4.summary.mean - s2.summary.mean;
+        let expect = 2.0 * costs.xcall_ns as f64;
+        assert!(
+            (delta - expect).abs() < 90.0,
+            "S4-S2u delta {delta:.0}ns (two crossings ≈ {expect:.0}ns)"
+        );
+    }
+
+    #[test]
+    fn deeper_splits_stay_ordered() {
+        // Isolation depth must cost monotonically: S2u ≤ S3 ≤ S4, and all
+        // of them far below the contended S2 (isolation is cheap next to
+        // contention — the paper's central quantitative message).
+        let s2u = run(LatencyScenario::Scenario2Uncontended);
+        let s3 = run(LatencyScenario::Scenario3);
+        let s4 = run(LatencyScenario::Scenario4);
+        let s2c = run(LatencyScenario::Scenario2Contended);
+        assert!(s2u.summary.mean <= s3.summary.mean);
+        assert!(s3.summary.mean <= s4.summary.mean);
+        assert!(s4.summary.mean < s2c.summary.mean / 4.0);
+    }
+
+    #[test]
+    fn outlier_fraction_is_paperlike() {
+        let s1 = run(LatencyScenario::Scenario1);
+        assert!(
+            s1.removed_fraction < 0.2,
+            "removed {:.1}%",
+            s1.removed_fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per paper artifact.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — LoC added/modified to port F-Stack |
+//! | [`table2`] | Table II — TCP bandwidth in all scenarios |
+//! | [`fig3`] | Fig. 3 — capability out-of-bounds exception |
+//! | [`figs`] | Figs. 4–6 — `ff_write()` execution-time box plots |
+
+pub mod fig3;
+pub mod figs;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,189 @@
+//! Table I — lines of code added/modified for the capability port.
+//!
+//! The paper reports that porting F-Stack to CheriBSD + capabilities took
+//! **152 LoC, 0.99 %** of the library. Our F-Stack is written
+//! capability-native, so the direct "diff against upstream" does not exist;
+//! the faithful analog is to *measure how much of the library is
+//! capability-specific*: the lines that mention capability types, checked
+//! memory, or capability-fault errnos — exactly the lines a hybrid-mode
+//! port would have had to add or touch. The analyzer walks the `fstack`
+//! (and optionally `updk`) sources at run time and reports the same
+//! `LoC / total / percent` row as the paper.
+
+use serde::Serialize;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Markers identifying a capability-specific line.
+const MARKERS: [&str; 7] = [
+    "Capability",
+    "CapFault",
+    "TaggedMemory",
+    "EFAULT",
+    "data_cap",
+    "buf_cap",
+    "cheri::",
+];
+
+/// One library row of the table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LocRow {
+    /// Library name.
+    pub library: String,
+    /// Capability-specific lines.
+    pub cap_loc: usize,
+    /// Total non-blank, non-comment-only lines.
+    pub total_loc: usize,
+}
+
+impl LocRow {
+    /// The percentage column.
+    pub fn percent(&self) -> f64 {
+        if self.total_loc == 0 {
+            0.0
+        } else {
+            self.cap_loc as f64 * 100.0 / self.total_loc as f64
+        }
+    }
+}
+
+/// The assembled table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// Rows, one per analyzed library.
+    pub rows: Vec<LocRow>,
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE I: NUMBER OF LINES OF CODE ADDED/MODIFIED")?;
+        writeln!(f, "{:<12} {:>8} {:>22}", "Library", "LoC", "in percentage")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:>8} {:>21.2}%",
+                r.library,
+                r.cap_loc,
+                r.percent()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Counts `(capability_lines, total_lines)` in one Rust source string.
+pub fn count_source(src: &str) -> (usize, usize) {
+    let mut cap = 0;
+    let mut total = 0;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        total += 1;
+        if MARKERS.iter().any(|m| t.contains(m)) {
+            cap += 1;
+        }
+    }
+    (cap, total)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            walk_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Analyzes a crate source directory into one row.
+pub fn analyze_dir(library: &str, dir: &Path) -> LocRow {
+    let mut files = Vec::new();
+    walk_rs(dir, &mut files);
+    files.sort();
+    let (mut cap, mut total) = (0, 0);
+    for f in files {
+        if let Ok(src) = std::fs::read_to_string(&f) {
+            let (c, t) = count_source(&src);
+            cap += c;
+            total += t;
+        }
+    }
+    LocRow {
+        library: library.to_string(),
+        cap_loc: cap,
+        total_loc: total,
+    }
+}
+
+/// Builds the table by analyzing the in-repo `fstack` and `updk` sources.
+///
+/// Returns rows with zero totals when the sources are not on disk (e.g. an
+/// installed binary run outside the repository).
+pub fn run() -> Table1 {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let fstack = here.join("../fstack/src");
+    let updk = here.join("../updk/src");
+    Table1 {
+        rows: vec![
+            analyze_dir("F-Stack", &fstack),
+            analyze_dir("DPDK", &updk),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_ignores_blanks_and_comments() {
+        let src = "\n// comment\nlet x = Capability::root(0, 1, p);\nlet y = 2;\n";
+        let (cap, total) = count_source(src);
+        assert_eq!((cap, total), (1, 2));
+    }
+
+    #[test]
+    fn in_repo_analysis_finds_the_port_surface() {
+        let t = run();
+        assert_eq!(t.rows.len(), 2);
+        let fstack = &t.rows[0];
+        assert!(fstack.total_loc > 1_000, "fstack is a real library");
+        assert!(fstack.cap_loc > 10, "capability surface exists");
+        // The paper's point: the port touches a small fraction.
+        assert!(
+            fstack.percent() < 15.0,
+            "capability-specific share {:.1}% should be small",
+            fstack.percent()
+        );
+    }
+
+    #[test]
+    fn display_matches_the_paper_format() {
+        let t = Table1 {
+            rows: vec![LocRow {
+                library: "F-Stack".into(),
+                cap_loc: 152,
+                total_loc: 15_353,
+            }],
+        };
+        let s = t.to_string();
+        assert!(s.contains("TABLE I"), "{s}");
+        assert!(s.contains("0.99%"), "{s}");
+        assert!(s.contains("152"), "{s}");
+    }
+
+    #[test]
+    fn empty_dir_yields_zero_row() {
+        let r = analyze_dir("nothing", Path::new("/definitely/not/here"));
+        assert_eq!(r.cap_loc, 0);
+        assert_eq!(r.total_loc, 0);
+        assert_eq!(r.percent(), 0.0);
+    }
+}

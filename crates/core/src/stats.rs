@@ -1,0 +1,223 @@
+//! Measurement statistics: quantiles, IQR outlier removal, box plots.
+//!
+//! The paper's methodology (§IV): 1 M timed iterations per configuration,
+//! "outliers (≈ 10 % of the iterations) are removed with a standard IQR
+//! strategy", results presented as box plots with averages and standard
+//! deviations. This module is that pipeline.
+
+use serde::Serialize;
+
+/// Five-number summary + moments of a sample, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    /// Sample size (after any filtering).
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: u64,
+    /// 25th percentile.
+    pub q1: u64,
+    /// Median.
+    pub median: u64,
+    /// 75th percentile.
+    pub q3: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarizes `samples` (need not be sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample — an experiment that produced no data is a
+    /// harness bug, not a statistic.
+    pub fn of(samples: &[u64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mean = sorted.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sorted
+                .iter()
+                .map(|&x| (x as f64 - mean).powi(2))
+                .sum::<f64>()
+                / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.50),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[n - 1],
+        }
+    }
+
+    /// The inter-quartile range.
+    pub fn iqr(&self) -> u64 {
+        self.q3 - self.q1
+    }
+}
+
+/// The `p`-quantile of an ascending-sorted slice (nearest-rank).
+pub fn quantile_sorted(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&p));
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The outcome of IQR filtering.
+#[derive(Debug, Clone)]
+pub struct IqrFiltered {
+    /// The retained samples.
+    pub kept: Vec<u64>,
+    /// How many samples the filter removed.
+    pub removed: usize,
+}
+
+impl IqrFiltered {
+    /// Fraction of the input removed (the paper observes ≈ 10 %).
+    pub fn removed_fraction(&self) -> f64 {
+        let total = self.kept.len() + self.removed;
+        if total == 0 {
+            0.0
+        } else {
+            self.removed as f64 / total as f64
+        }
+    }
+}
+
+/// Standard IQR outlier removal: keep `x ∈ [q1 − 1.5·IQR, q3 + 1.5·IQR]`.
+pub fn iqr_filter(samples: &[u64]) -> IqrFiltered {
+    if samples.is_empty() {
+        return IqrFiltered {
+            kept: Vec::new(),
+            removed: 0,
+        };
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let q1 = quantile_sorted(&sorted, 0.25) as f64;
+    let q3 = quantile_sorted(&sorted, 0.75) as f64;
+    let iqr = q3 - q1;
+    let lo = q1 - 1.5 * iqr;
+    let hi = q3 + 1.5 * iqr;
+    let kept: Vec<u64> = samples
+        .iter()
+        .copied()
+        .filter(|&x| (x as f64) >= lo && (x as f64) <= hi)
+        .collect();
+    let removed = samples.len() - kept.len();
+    IqrFiltered { kept, removed }
+}
+
+/// Renders an ASCII box plot of `summary` on a `[lo, hi]` ns axis of
+/// `width` characters — the repo's terminal stand-in for Figs. 4–6.
+pub fn ascii_boxplot(summary: &Summary, lo: u64, hi: u64, width: usize) -> String {
+    assert!(hi > lo && width >= 10);
+    let scale = |v: u64| -> usize {
+        let v = v.clamp(lo, hi);
+        ((v - lo) as f64 / (hi - lo) as f64 * (width - 1) as f64).round() as usize
+    };
+    let mut row = vec![' '; width];
+    let (w_min, w_q1, w_med, w_q3, w_max) = (
+        scale(summary.min),
+        scale(summary.q1),
+        scale(summary.median),
+        scale(summary.q3),
+        scale(summary.max),
+    );
+    for c in row.iter_mut().take(w_q1).skip(w_min) {
+        *c = '-';
+    }
+    for c in row.iter_mut().take(w_max + 1).skip(w_q3) {
+        *c = '-';
+    }
+    for c in row.iter_mut().take(w_q3 + 1).skip(w_q1) {
+        *c = '=';
+    }
+    row[w_q1] = '[';
+    row[w_q3.max(w_q1)] = ']';
+    row[w_med.clamp(w_q1, w_q3)] = '|';
+    row.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(s.n, 9);
+        assert_eq!(s.median, 5);
+        assert_eq!(s.q1, 3);
+        assert_eq!(s.q3, 7);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert_eq!(s.iqr(), 4);
+    }
+
+    #[test]
+    fn degenerate_box_when_values_identical() {
+        // The paper's p25 = p75 observation: constant samples collapse.
+        let s = Summary::of(&[100; 50]);
+        assert_eq!(s.q1, s.q3);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.iqr(), 0);
+    }
+
+    #[test]
+    fn iqr_filter_removes_the_tail() {
+        let mut samples = vec![100u64; 900];
+        samples.extend(vec![10_000u64; 100]); // 10% detours
+        let f = iqr_filter(&samples);
+        assert_eq!(f.kept.len(), 900);
+        assert!((f.removed_fraction() - 0.10).abs() < 1e-9);
+        let s = Summary::of(&f.kept);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn iqr_filter_keeps_clean_samples() {
+        let samples: Vec<u64> = (100..200).collect();
+        let f = iqr_filter(&samples);
+        assert_eq!(f.removed, 0);
+        assert_eq!(f.kept.len(), 100);
+        assert!(iqr_filter(&[]).kept.is_empty());
+    }
+
+    #[test]
+    fn boxplot_renders_markers() {
+        let s = Summary::of(&[10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        let plot = ascii_boxplot(&s, 0, 100, 40);
+        assert_eq!(plot.len(), 40);
+        assert!(plot.contains('['));
+        assert!(plot.contains(']'));
+        assert!(plot.contains('|'));
+    }
+
+    #[test]
+    fn quantiles_clamp_to_ends() {
+        let sorted = vec![5, 10, 15];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 5);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_summary_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

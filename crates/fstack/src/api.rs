@@ -1,0 +1,917 @@
+//! The `ff_*` socket API over one network interface.
+//!
+//! This is the surface the paper measures. The signatures carry the port's
+//! headline change: buffer arguments are **capabilities**, not raw
+//! pointers —
+//!
+//! ```c
+//! ssize_t ff_write(int fd, const void *__capability buf, size_t nbytes);
+//! ```
+//!
+//! becomes [`FStack::ff_write`]`(mem, fd, &buf_cap, nbytes)`, and every
+//! payload byte crosses through [`cheri::TaggedMemory`] checked loads. A
+//! fault in the buffer capability surfaces as `EFAULT`, exactly as CheriBSD
+//! reports failed capability checks on user pointers.
+
+use crate::arp::{ArpCache, ArpOp, ArpPacket};
+use crate::epoll::{EpollEvent, EpollFlags, EpollTable};
+use crate::ether::{EthHdr, EtherType};
+use crate::icmp::{IcmpEcho, IcmpType};
+use crate::ip::{IpProto, Ipv4Hdr};
+use crate::socket::{DgramEntry, SockType, Socket};
+use crate::tcp::tcb::{Tcb, TcpState};
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use crate::MSS;
+use cheri::{Capability, TaggedMemory};
+use chos::errno::Errno;
+use chos::fdtable::{Fd, FdTable};
+use simkern::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+use updk::nic::MacAddr;
+
+/// Interface configuration for one stack instance.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Instance name (reports).
+    pub name: String,
+    /// The interface MAC (must match the attached port).
+    pub mac: MacAddr,
+    /// The interface IPv4 address.
+    pub ip: Ipv4Addr,
+}
+
+impl StackConfig {
+    /// Creates a config.
+    pub fn new(name: impl Into<String>, mac: MacAddr, ip: Ipv4Addr) -> Self {
+        StackConfig {
+            name: name.into(),
+            mac,
+            ip,
+        }
+    }
+}
+
+/// Aggregate stack counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// Frames accepted from the driver.
+    pub frames_in: u64,
+    /// Frames handed to the driver.
+    pub frames_out: u64,
+    /// Frames dropped (not for us / parse failures).
+    pub drops: u64,
+    /// TCP segments delivered to some TCB.
+    pub tcp_in: u64,
+    /// UDP datagrams delivered.
+    pub udp_in: u64,
+    /// ICMP echos answered.
+    pub pings_answered: u64,
+    /// RFC 793 resets emitted for segments matching no socket.
+    pub rsts_out: u64,
+    /// ICMP port-unreachable messages emitted for closed UDP ports.
+    pub unreach_out: u64,
+}
+
+/// One F-Stack instance bound to one interface.
+///
+/// # Example
+///
+/// ```
+/// use fstack::{FStack, StackConfig};
+/// use fstack::socket::SockType;
+/// use updk::nic::MacAddr;
+/// use std::net::Ipv4Addr;
+///
+/// # fn main() -> Result<(), chos::Errno> {
+/// let mut stack = FStack::new(StackConfig::new(
+///     "srv",
+///     MacAddr::local(1),
+///     Ipv4Addr::new(10, 0, 0, 1),
+/// ));
+/// let fd = stack.ff_socket(SockType::Stream)?;
+/// stack.ff_bind(fd, 5201)?;
+/// stack.ff_listen(fd, 16)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FStack {
+    cfg: StackConfig,
+    arp: ArpCache,
+    sockets: FdTable<Socket>,
+    /// TCP demux: (local port, remote ip, remote port) → fd.
+    conn_map: HashMap<(u16, Ipv4Addr, u16), Fd>,
+    /// TCP listeners by local port.
+    listen_map: HashMap<u16, Fd>,
+    /// UDP demux by local port.
+    udp_map: HashMap<u16, Fd>,
+    /// Link-layer frames ready to transmit (ARP/ICMP replies etc.).
+    pending_tx: VecDeque<Vec<u8>>,
+    /// IP packets parked awaiting ARP resolution, keyed by next hop.
+    arp_wait: Vec<(Ipv4Addr, Vec<u8>)>,
+    epoll: EpollTable,
+    isn: u32,
+    ident: u16,
+    next_ephemeral: u16,
+    stats: StackStats,
+}
+
+/// Maximum sockets per stack instance (F-Stack default scale).
+const MAX_SOCKETS: usize = 1024;
+
+impl FStack {
+    /// Creates a stack for the given interface.
+    pub fn new(cfg: StackConfig) -> Self {
+        FStack {
+            cfg,
+            arp: ArpCache::new(),
+            sockets: FdTable::with_capacity(MAX_SOCKETS),
+            conn_map: HashMap::new(),
+            listen_map: HashMap::new(),
+            udp_map: HashMap::new(),
+            pending_tx: VecDeque::new(),
+            arp_wait: Vec::new(),
+            epoll: EpollTable::new(),
+            isn: 0x1000,
+            ident: 1,
+            next_ephemeral: 40_000,
+            stats: StackStats::default(),
+        }
+    }
+
+    /// The interface configuration.
+    pub fn config(&self) -> &StackConfig {
+        &self.cfg
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> StackStats {
+        self.stats
+    }
+
+    /// The neighbour cache (scenarios pre-seed it; tests inspect it).
+    pub fn arp_cache_mut(&mut self) -> &mut ArpCache {
+        &mut self.arp
+    }
+
+    // ------------------------------------------------------------------
+    // ff_* socket calls
+    // ------------------------------------------------------------------
+
+    /// `ff_socket(AF_INET, type, 0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EMFILE`] when the socket table is full.
+    pub fn ff_socket(&mut self, kind: SockType) -> Result<Fd, Errno> {
+        self.sockets.alloc(Socket::new(kind))
+    }
+
+    /// `ff_bind(fd, {ip, port})` — the ip is implicitly the interface's.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`], [`Errno::EADDRINUSE`], or [`Errno::EINVAL`] for an
+    /// already-bound socket.
+    pub fn ff_bind(&mut self, fd: Fd, port: u16) -> Result<(), Errno> {
+        if self.listen_map.contains_key(&port)
+            || self.udp_map.contains_key(&port)
+            || self.conn_map.keys().any(|(p, _, _)| *p == port)
+        {
+            return Err(Errno::EADDRINUSE);
+        }
+        let ip = self.cfg.ip;
+        let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
+        match sock {
+            Socket::TcpUnbound => {
+                *sock = Socket::TcpBound { local: (ip, port) };
+                Ok(())
+            }
+            Socket::Udp { local, .. } if local.is_none() => {
+                *local = Some((ip, port));
+                self.udp_map.insert(port, fd);
+                Ok(())
+            }
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// `ff_listen(fd, backlog)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] / [`Errno::EDESTADDRREQ`] for unbound sockets /
+    /// [`Errno::EINVAL`] for non-TCP or already-listening sockets.
+    pub fn ff_listen(&mut self, fd: Fd, backlog: usize) -> Result<(), Errno> {
+        let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
+        match sock {
+            Socket::TcpBound { local } => {
+                let local = *local;
+                *sock = Socket::TcpListen {
+                    local,
+                    backlog: VecDeque::new(),
+                    max_backlog: backlog.max(1),
+                };
+                self.listen_map.insert(local.1, fd);
+                Ok(())
+            }
+            Socket::TcpUnbound => Err(Errno::EDESTADDRREQ),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// `ff_accept(fd)` — non-blocking: pops an **established** connection.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EAGAIN`] when none is ready; [`Errno::EINVAL`] for
+    /// non-listeners.
+    pub fn ff_accept(&mut self, fd: Fd) -> Result<Fd, Errno> {
+        let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
+        let Socket::TcpListen { backlog, .. } = sock else {
+            return Err(Errno::EINVAL);
+        };
+        let Some(&conn_fd) = backlog.front() else {
+            return Err(Errno::EAGAIN);
+        };
+        let established = self
+            .sockets
+            .get(conn_fd)
+            .and_then(Socket::tcb)
+            .map(Tcb::is_established)
+            .unwrap_or(false);
+        if !established {
+            return Err(Errno::EAGAIN);
+        }
+        // Re-borrow to pop (split borrows).
+        if let Some(Socket::TcpListen { backlog, .. }) = self.sockets.get_mut(fd) {
+            backlog.pop_front();
+        }
+        Ok(conn_fd)
+    }
+
+    /// `ff_connect(fd, {remote_ip, remote_port})` — non-blocking active
+    /// open; completion is observable via `ff_epoll_wait` (EPOLLOUT).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] / [`Errno::EISCONN`] / [`Errno::EINVAL`].
+    pub fn ff_connect(
+        &mut self,
+        fd: Fd,
+        remote: (Ipv4Addr, u16),
+        _now: SimTime,
+    ) -> Result<(), Errno> {
+        let ip = self.cfg.ip;
+        let eph = self.alloc_ephemeral();
+        let isn = self.next_isn();
+        let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
+        let local = match sock {
+            Socket::TcpUnbound => (ip, eph),
+            Socket::TcpBound { local } => *local,
+            Socket::TcpConn(_) => return Err(Errno::EISCONN),
+            _ => return Err(Errno::EINVAL),
+        };
+        let tcb = Tcb::connect(local, remote, isn, MSS);
+        *sock = Socket::TcpConn(Box::new(tcb));
+        self.conn_map.insert((local.1, remote.0, remote.1), fd);
+        Ok(())
+    }
+
+    /// `ff_write(fd, buf, nbytes)` — **the paper's measured call**, with the
+    /// capability-typed buffer of the CHERI port. Reads `nbytes` through
+    /// `buf` (checked) and appends them to the socket's send buffer.
+    ///
+    /// # Errors
+    ///
+    /// * [`Errno::EFAULT`] — the capability check failed (tag/seal/bounds/
+    ///   permission), CheriBSD's verdict for bad user pointers;
+    /// * [`Errno::EAGAIN`] — send buffer full (non-blocking semantics);
+    /// * [`Errno::EPIPE`] — socket not writable (closed/reset).
+    pub fn ff_write(
+        &mut self,
+        mem: &mut TaggedMemory,
+        fd: Fd,
+        buf: &Capability,
+        nbytes: u64,
+    ) -> Result<u64, Errno> {
+        let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
+        let tcb = sock.tcb_mut().ok_or(Errno::ENOTCONN)?;
+        if tcb.state() == TcpState::Closed {
+            return Err(if tcb.was_refused() {
+                Errno::ECONNREFUSED
+            } else if tcb.was_reset() {
+                Errno::ECONNRESET
+            } else {
+                Errno::EPIPE
+            });
+        }
+        if !tcb.writable() {
+            return Err(if tcb.is_established() {
+                Errno::EAGAIN
+            } else {
+                Errno::EPIPE
+            });
+        }
+        let data = mem
+            .read_vec(buf, buf.addr(), nbytes)
+            .map_err(|_| Errno::EFAULT)?;
+        let accepted = tcb.write(&data);
+        if accepted == 0 {
+            return Err(Errno::EAGAIN);
+        }
+        Ok(accepted as u64)
+    }
+
+    /// `ff_read(fd, buf, nbytes)`: moves up to `nbytes` received bytes into
+    /// the capability-bounded `buf`. Returns 0 at EOF.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EFAULT`] on capability faults, [`Errno::EAGAIN`] when no
+    /// data is ready.
+    pub fn ff_read(
+        &mut self,
+        mem: &mut TaggedMemory,
+        fd: Fd,
+        buf: &Capability,
+        nbytes: u64,
+    ) -> Result<u64, Errno> {
+        let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
+        let tcb = sock.tcb_mut().ok_or(Errno::ENOTCONN)?;
+        if tcb.readable_bytes() == 0 {
+            if tcb.was_refused() {
+                return Err(Errno::ECONNREFUSED);
+            }
+            if tcb.was_reset() {
+                return Err(Errno::ECONNRESET);
+            }
+            return if tcb.at_eof() || tcb.state() == TcpState::Closed {
+                Ok(0)
+            } else {
+                Err(Errno::EAGAIN)
+            };
+        }
+        let take = nbytes.min(buf.len()).min(tcb.readable_bytes() as u64);
+        let data = tcb.read(take as usize);
+        mem.write(buf, buf.addr(), &data).map_err(|_| Errno::EFAULT)?;
+        Ok(data.len() as u64)
+    }
+
+    /// `ff_sendto` for UDP sockets.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EFAULT`] / [`Errno::EBADF`] / [`Errno::ENOTSOCK`] /
+    /// [`Errno::EMSGSIZE`] for datagrams beyond one MTU.
+    pub fn ff_sendto(
+        &mut self,
+        mem: &mut TaggedMemory,
+        fd: Fd,
+        buf: &Capability,
+        nbytes: u64,
+        to: (Ipv4Addr, u16),
+    ) -> Result<u64, Errno> {
+        if nbytes > 1472 {
+            return Err(Errno::EMSGSIZE);
+        }
+        let data = mem
+            .read_vec(buf, buf.addr(), nbytes)
+            .map_err(|_| Errno::EFAULT)?;
+        let eph = self.alloc_ephemeral();
+        let (udp_port, fd_needs_map) = {
+            let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
+            let Socket::Udp {
+                local,
+                tx,
+                pending_err,
+                ..
+            } = sock
+            else {
+                return Err(Errno::ENOTSOCK);
+            };
+            if let Some(err) = pending_err.take() {
+                return Err(err);
+            }
+            let bound = match local {
+                Some(l) => (*l, false),
+                None => {
+                    let ip = to.0; // interface ip set below
+                    let _ = ip;
+                    *local = Some((Ipv4Addr::UNSPECIFIED, eph));
+                    ((Ipv4Addr::UNSPECIFIED, eph), true)
+                }
+            };
+            tx.push_back(DgramEntry {
+                from: to,
+                data: data.clone(),
+            });
+            (bound.0 .1, bound.1)
+        };
+        if fd_needs_map {
+            self.udp_map.insert(udp_port, fd);
+        }
+        Ok(nbytes)
+    }
+
+    /// `ff_recvfrom` for UDP sockets.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EAGAIN`] when empty; [`Errno::EFAULT`] on capability faults.
+    pub fn ff_recvfrom(
+        &mut self,
+        mem: &mut TaggedMemory,
+        fd: Fd,
+        buf: &Capability,
+    ) -> Result<(u64, (Ipv4Addr, u16)), Errno> {
+        let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
+        let Socket::Udp {
+            rx, pending_err, ..
+        } = sock
+        else {
+            return Err(Errno::ENOTSOCK);
+        };
+        if let Some(err) = pending_err.take() {
+            return Err(err);
+        }
+        let Some(entry) = rx.pop_front() else {
+            return Err(Errno::EAGAIN);
+        };
+        let n = (entry.data.len() as u64).min(buf.len());
+        mem.write(buf, buf.addr(), &entry.data[..n as usize])
+            .map_err(|_| Errno::EFAULT)?;
+        Ok((n, entry.from))
+    }
+
+    /// `ff_close(fd)`: orderly close. The fd becomes invalid for the
+    /// application immediately; the TCB lingers internally until the FIN
+    /// handshake finishes, then is reaped by [`FStack::poll_tx`].
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`].
+    pub fn ff_close(&mut self, fd: Fd) -> Result<(), Errno> {
+        let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
+        match sock {
+            Socket::TcpConn(tcb) => {
+                tcb.close();
+                Ok(()) // reaped when Closed
+            }
+            Socket::TcpListen { local, .. } => {
+                self.listen_map.remove(&local.1);
+                self.sockets.free(fd).map(|_| ())
+            }
+            Socket::Udp { local, .. } => {
+                if let Some((_, port)) = local {
+                    let port = *port;
+                    self.udp_map.remove(&port);
+                }
+                self.sockets.free(fd).map(|_| ())
+            }
+            _ => self.sockets.free(fd).map(|_| ()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // epoll
+    // ------------------------------------------------------------------
+
+    /// `ff_epoll_create()`.
+    pub fn ff_epoll_create(&mut self) -> Fd {
+        self.epoll.create()
+    }
+
+    /// `ff_epoll_ctl(ADD/MOD)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] for an unknown epoll fd.
+    pub fn ff_epoll_ctl_add(&mut self, epfd: Fd, fd: Fd, interest: EpollFlags) -> Result<(), Errno> {
+        self.epoll.add(epfd, fd, interest)
+    }
+
+    /// `ff_epoll_ctl(DEL)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] / [`Errno::ENOENT`].
+    pub fn ff_epoll_ctl_del(&mut self, epfd: Fd, fd: Fd) -> Result<(), Errno> {
+        self.epoll.remove(epfd, fd)
+    }
+
+    /// `ff_epoll_wait` (non-blocking, level-triggered).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] for an unknown epoll fd.
+    pub fn ff_epoll_wait(&self, epfd: Fd) -> Result<Vec<EpollEvent>, Errno> {
+        self.epoll.wait(epfd, |fd| self.readiness(fd))
+    }
+
+    /// Level-triggered readiness of `fd`.
+    pub fn readiness(&self, fd: Fd) -> EpollFlags {
+        let Some(sock) = self.sockets.get(fd) else {
+            return EpollFlags::ERR;
+        };
+        match sock {
+            Socket::TcpListen { backlog, .. } => {
+                let ready = backlog.front().is_some_and(|&cfd| {
+                    self.sockets
+                        .get(cfd)
+                        .and_then(Socket::tcb)
+                        .is_some_and(Tcb::is_established)
+                });
+                if ready {
+                    EpollFlags::IN
+                } else {
+                    EpollFlags::NONE
+                }
+            }
+            Socket::TcpConn(tcb) => {
+                let mut f = EpollFlags::NONE;
+                if tcb.readable_bytes() > 0 || tcb.at_eof() {
+                    f = f | EpollFlags::IN;
+                }
+                if tcb.writable() {
+                    f = f | EpollFlags::OUT;
+                }
+                if tcb.was_refused() || tcb.was_reset() {
+                    // Refused/reset connections report EPOLLERR so event
+                    // loops pick the errno up via the next ff_read/ff_write.
+                    f = f | EpollFlags::ERR;
+                }
+                if matches!(tcb.state(), TcpState::Closed | TcpState::TimeWait) {
+                    // TIME_WAIT is a protocol formality; the application's
+                    // connection is over (both FINs exchanged).
+                    f = f | EpollFlags::HUP;
+                }
+                f
+            }
+            Socket::Udp {
+                rx, pending_err, ..
+            } => {
+                let mut f = EpollFlags::OUT;
+                if !rx.is_empty() {
+                    f = f | EpollFlags::IN;
+                }
+                if pending_err.is_some() {
+                    f = f | EpollFlags::ERR;
+                }
+                f
+            }
+            _ => EpollFlags::NONE,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // driver surface
+    // ------------------------------------------------------------------
+
+    /// Feeds one received Ethernet frame into the stack.
+    pub fn input_frame(&mut self, now: SimTime, frame: &[u8]) {
+        self.stats.frames_in += 1;
+        let Some((eth, payload)) = EthHdr::parse(frame) else {
+            self.stats.drops += 1;
+            return;
+        };
+        if eth.dst != self.cfg.mac && !eth.dst.is_broadcast() {
+            self.stats.drops += 1;
+            return;
+        }
+        match eth.ethertype {
+            EtherType::Arp => self.input_arp(payload),
+            EtherType::Ipv4 => self.input_ipv4(now, eth.src, payload),
+            EtherType::Other(_) => self.stats.drops += 1,
+        }
+    }
+
+    fn input_arp(&mut self, payload: &[u8]) {
+        let Some(pkt) = ArpPacket::parse(payload) else {
+            self.stats.drops += 1;
+            return;
+        };
+        self.arp.learn(pkt.spa, pkt.sha);
+        if pkt.op == ArpOp::Request && pkt.tpa == self.cfg.ip {
+            let reply = pkt.reply_to(self.cfg.mac);
+            let frame = EthHdr {
+                dst: pkt.sha,
+                src: self.cfg.mac,
+                ethertype: EtherType::Arp,
+            }
+            .build(&reply.build());
+            self.pending_tx.push_back(frame);
+        }
+        self.flush_arp_wait();
+    }
+
+    fn input_ipv4(&mut self, now: SimTime, src_mac: MacAddr, payload: &[u8]) {
+        let Some((ip, l4)) = Ipv4Hdr::parse(payload) else {
+            self.stats.drops += 1;
+            return;
+        };
+        if ip.dst != self.cfg.ip {
+            self.stats.drops += 1;
+            return;
+        }
+        // Opportunistically learn the sender (saves an ARP round trip on
+        // the reverse path; harmless because the checksum binds addresses).
+        self.arp.learn(ip.src, src_mac);
+        match ip.proto {
+            IpProto::Icmp => {
+                if let Some(unreach) = crate::icmp::IcmpUnreachable::parse(l4) {
+                    // The quoted datagram's *source* port identifies our
+                    // socket; deliver the asynchronous error to it.
+                    if let Some((sport, _)) = unreach.quoted_udp_ports() {
+                        if let Some(&fd) = self.udp_map.get(&sport) {
+                            if let Some(Socket::Udp { pending_err, .. }) =
+                                self.sockets.get_mut(fd)
+                            {
+                                *pending_err = Some(Errno::ECONNREFUSED);
+                            }
+                        }
+                    }
+                } else if let Some(echo) = IcmpEcho::parse(l4) {
+                    if echo.kind == IcmpType::EchoRequest {
+                        self.stats.pings_answered += 1;
+                        let reply = echo.reply().build();
+                        let pkt = self.build_ipv4(ip.src, IpProto::Icmp, &reply);
+                        self.enqueue_ip(ip.src, pkt);
+                    }
+                }
+            }
+            IpProto::Tcp => {
+                let Some(seg) = TcpSegment::parse(ip.src, ip.dst, l4) else {
+                    self.stats.drops += 1;
+                    return;
+                };
+                self.stats.tcp_in += 1;
+                self.input_tcp(now, ip.src, seg);
+            }
+            IpProto::Udp => {
+                let Some(d) = UdpDatagram::parse(ip.src, ip.dst, l4) else {
+                    self.stats.drops += 1;
+                    return;
+                };
+                self.stats.udp_in += 1;
+                if let Some(&fd) = self.udp_map.get(&d.dst_port) {
+                    if let Some(Socket::Udp { rx, .. }) = self.sockets.get_mut(fd) {
+                        rx.push_back(DgramEntry {
+                            from: (ip.src, d.src_port),
+                            data: d.payload,
+                        });
+                    }
+                } else {
+                    // Datagram to a closed port: answer with ICMP port
+                    // unreachable (RFC 1122 §4.1.3.1), the datagram twin
+                    // of TCP's RST, so the sender fails fast.
+                    let unreach = crate::icmp::IcmpUnreachable::port_unreachable(payload);
+                    let pkt = self.build_ipv4(ip.src, IpProto::Icmp, &unreach.build());
+                    self.enqueue_ip(ip.src, pkt);
+                    self.stats.unreach_out += 1;
+                }
+            }
+            IpProto::Other(_) => self.stats.drops += 1,
+        }
+    }
+
+    fn input_tcp(&mut self, now: SimTime, src: Ipv4Addr, seg: TcpSegment) {
+        let key = (seg.dst_port, src, seg.src_port);
+        if let Some(&fd) = self.conn_map.get(&key) {
+            if let Some(tcb) = self.sockets.get_mut(fd).and_then(Socket::tcb_mut) {
+                tcb.on_segment(now, &seg);
+            }
+            return;
+        }
+        // New connection? Only SYNs to listeners.
+        if seg.flags.syn && !seg.flags.ack {
+            if !self.listen_map.contains_key(&seg.dst_port) {
+                // SYN to a closed port: refuse it (RFC 793), so the peer's
+                // active open fails fast with ECONNREFUSED instead of
+                // retransmitting into the void.
+                self.send_rst(src, &seg);
+                return;
+            }
+            if let Some(&lfd) = self.listen_map.get(&seg.dst_port) {
+                let isn = self.next_isn();
+                let local = (self.cfg.ip, seg.dst_port);
+                let tcb = Tcb::accept_from(local, (src, seg.src_port), &seg, isn, MSS);
+                let Ok(cfd) = self.sockets.alloc(Socket::TcpConn(Box::new(tcb))) else {
+                    return; // table full: silently drop the SYN
+                };
+                let full = {
+                    let Some(Socket::TcpListen {
+                        backlog,
+                        max_backlog,
+                        ..
+                    }) = self.sockets.get(lfd)
+                    else {
+                        return;
+                    };
+                    backlog.len() >= *max_backlog
+                };
+                if full {
+                    self.sockets.free(cfd).ok();
+                    return;
+                }
+                if let Some(Socket::TcpListen { backlog, .. }) = self.sockets.get_mut(lfd) {
+                    backlog.push_back(cfd);
+                }
+                self.conn_map.insert(key, cfd);
+            }
+            return;
+        }
+        // Anything else addressed at no connection: reset the sender
+        // (RFC 793 §3.4), unless it is itself an RST (never answer RST
+        // with RST — that would loop).
+        if !seg.flags.rst {
+            self.send_rst(src, &seg);
+        }
+    }
+
+    /// Emits the RFC 793 reset for an unacceptable `seg` from `src`: if the
+    /// offender carried an ACK, the reset claims that sequence number;
+    /// otherwise it sits at zero and acknowledges everything the offender
+    /// occupied.
+    fn send_rst(&mut self, src: Ipv4Addr, seg: &TcpSegment) {
+        let (rst_seq, rst_ack, with_ack) = if seg.flags.ack {
+            (seg.ack, 0, false)
+        } else {
+            (0, seg.seq.wrapping_add(seg.seq_len()), true)
+        };
+        let rst = TcpSegment {
+            src_port: seg.dst_port,
+            dst_port: seg.src_port,
+            seq: rst_seq,
+            ack: rst_ack,
+            flags: crate::tcp::TcpFlags {
+                rst: true,
+                ack: with_ack,
+                ..crate::tcp::TcpFlags::default()
+            },
+            window: 0,
+            options: crate::tcp::TcpOptions::default(),
+            payload: Vec::new(),
+        };
+        let l4 = rst.build(self.cfg.ip, src);
+        let pkt = self.build_ipv4(src, IpProto::Tcp, &l4);
+        self.enqueue_ip(src, pkt);
+        self.stats.rsts_out += 1;
+    }
+
+    /// Collects every frame the stack wants to transmit at `now` (TCP
+    /// output, parked ARP traffic, ICMP replies), and reaps dead TCBs.
+    pub fn poll_tx(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let fds: Vec<Fd> = self.sockets.fds();
+        type ConnKey = (u16, Ipv4Addr, u16);
+        let mut reap: Vec<(Fd, Option<ConnKey>)> = Vec::new();
+        let mut to_send: Vec<(Ipv4Addr, Vec<u8>)> = Vec::new();
+        for fd in fds {
+            let Some(sock) = self.sockets.get_mut(fd) else {
+                continue;
+            };
+            match sock {
+                Socket::TcpConn(tcb) => {
+                    let (local, remote) = tcb.endpoints();
+                    let segs = tcb.poll_output(now);
+                    let ident_base = self.ident;
+                    self.ident = self.ident.wrapping_add(segs.len() as u16);
+                    for (i, seg) in segs.into_iter().enumerate() {
+                        let l4 = seg.build(local.0, remote.0);
+                        let pkt = Ipv4Hdr::build(
+                            local.0,
+                            remote.0,
+                            IpProto::Tcp,
+                            ident_base.wrapping_add(i as u16),
+                            &l4,
+                        );
+                        to_send.push((remote.0, pkt));
+                    }
+                    // Orderly-closed TCBs are reaped; error'd ones
+                    // (refused/reset) stay valid until the application
+                    // observes the errno and ff_close()s, per POSIX.
+                    if tcb.state() == TcpState::Closed
+                        && !tcb.was_refused()
+                        && !tcb.was_reset()
+                    {
+                        reap.push((fd, Some((local.1, remote.0, remote.1))));
+                    }
+                }
+                Socket::Udp { local, tx, .. } => {
+                    let Some((_, sport)) = *local else { continue };
+                    let src_ip = self.cfg.ip;
+                    while let Some(d) = tx.pop_front() {
+                        let dg = UdpDatagram {
+                            src_port: sport,
+                            dst_port: d.from.1,
+                            payload: d.data,
+                        };
+                        let l4 = dg.build(src_ip, d.from.0);
+                        let pkt = Ipv4Hdr::build(
+                            src_ip,
+                            d.from.0,
+                            IpProto::Udp,
+                            self.ident,
+                            &l4,
+                        );
+                        self.ident = self.ident.wrapping_add(1);
+                        to_send.push((d.from.0, pkt));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (dst, pkt) in to_send {
+            if let Some(frame) = self.wrap_or_park(dst, pkt) {
+                frames.push(frame);
+            }
+        }
+        for (fd, key) in reap {
+            if let Some(k) = key {
+                self.conn_map.remove(&k);
+            }
+            self.sockets.free(fd).ok();
+        }
+        // Drain link-layer traffic last so ARP requests generated while
+        // wrapping this iteration's packets leave in the same iteration.
+        frames.extend(self.pending_tx.drain(..));
+        self.stats.frames_out = self.stats.frames_out.wrapping_add(frames.len() as u64);
+        frames
+    }
+
+    // ------------------------------------------------------------------
+    // helpers
+    // ------------------------------------------------------------------
+
+    fn build_ipv4(&mut self, dst: Ipv4Addr, proto: IpProto, l4: &[u8]) -> Vec<u8> {
+        let pkt = Ipv4Hdr::build(self.cfg.ip, dst, proto, self.ident, l4);
+        self.ident = self.ident.wrapping_add(1);
+        pkt
+    }
+
+    fn enqueue_ip(&mut self, dst: Ipv4Addr, pkt: Vec<u8>) {
+        if let Some(frame) = self.wrap_or_park(dst, pkt) {
+            self.pending_tx.push_back(frame);
+        }
+    }
+
+    /// Wraps `pkt` in an Ethernet header if the next hop resolves; otherwise
+    /// parks it and emits an ARP request.
+    fn wrap_or_park(&mut self, dst: Ipv4Addr, pkt: Vec<u8>) -> Option<Vec<u8>> {
+        match self.arp.lookup(dst) {
+            Some(mac) => Some(
+                EthHdr {
+                    dst: mac,
+                    src: self.cfg.mac,
+                    ethertype: EtherType::Ipv4,
+                }
+                .build(&pkt),
+            ),
+            None => {
+                let req = ArpPacket::request(self.cfg.mac, self.cfg.ip, dst);
+                let frame = EthHdr {
+                    dst: MacAddr::BROADCAST,
+                    src: self.cfg.mac,
+                    ethertype: EtherType::Arp,
+                }
+                .build(&req.build());
+                self.arp.note_request();
+                self.pending_tx.push_back(frame);
+                self.arp_wait.push((dst, pkt));
+                None
+            }
+        }
+    }
+
+    fn flush_arp_wait(&mut self) {
+        let parked = std::mem::take(&mut self.arp_wait);
+        for (dst, pkt) in parked {
+            match self.arp.lookup(dst) {
+                Some(mac) => {
+                    let frame = EthHdr {
+                        dst: mac,
+                        src: self.cfg.mac,
+                        ethertype: EtherType::Ipv4,
+                    }
+                    .build(&pkt);
+                    self.pending_tx.push_back(frame);
+                }
+                None => self.arp_wait.push((dst, pkt)),
+            }
+        }
+    }
+
+    fn next_isn(&mut self) -> u32 {
+        self.isn = self.isn.wrapping_add(64_000);
+        self.isn
+    }
+
+    fn alloc_ephemeral(&mut self) -> u16 {
+        let p = self.next_ephemeral;
+        self.next_ephemeral = if p >= 60_000 { 40_000 } else { p + 1 };
+        p
+    }
+}

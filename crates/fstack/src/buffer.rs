@@ -1,0 +1,266 @@
+//! Socket byte buffers.
+//!
+//! [`SendBuffer`] keeps unacknowledged + unsent bytes addressed by absolute
+//! TCP sequence number (so retransmission is a plain range copy);
+//! [`RecvBuffer`] reassembles in-order data and parks out-of-order segments
+//! until the gap fills.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// The sender-side byte store, addressed by sequence number.
+#[derive(Debug, Clone)]
+pub struct SendBuffer {
+    /// Sequence number of `data[0]` (== SND.UNA once acked bytes are dropped).
+    base_seq: u32,
+    data: VecDeque<u8>,
+    capacity: usize,
+}
+
+impl SendBuffer {
+    /// Creates a buffer holding at most `capacity` bytes, with `base_seq`
+    /// the sequence number of the first byte that will be pushed.
+    pub fn new(base_seq: u32, capacity: usize) -> Self {
+        SendBuffer {
+            base_seq,
+            data: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Bytes buffered (unacked + unsent).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Free space.
+    pub fn free(&self) -> usize {
+        self.capacity - self.data.len()
+    }
+
+    /// The sequence number one past the last buffered byte.
+    pub fn end_seq(&self) -> u32 {
+        self.base_seq.wrapping_add(self.data.len() as u32)
+    }
+
+    /// Sequence number of the first (oldest unacked) byte.
+    pub fn base_seq(&self) -> u32 {
+        self.base_seq
+    }
+
+    /// Appends as much of `data` as fits; returns bytes accepted.
+    pub fn push(&mut self, data: &[u8]) -> usize {
+        let n = data.len().min(self.free());
+        self.data.extend(&data[..n]);
+        n
+    }
+
+    /// Copies `len` bytes starting at sequence `seq` (for (re)transmission).
+    /// Clamps to buffered range.
+    pub fn range(&self, seq: u32, len: usize) -> Vec<u8> {
+        let off = seq.wrapping_sub(self.base_seq) as usize;
+        if off >= self.data.len() {
+            return Vec::new();
+        }
+        let n = len.min(self.data.len() - off);
+        self.data.iter().skip(off).take(n).copied().collect()
+    }
+
+    /// Drops bytes acknowledged up to `ack` (new SND.UNA).
+    pub fn ack_to(&mut self, ack: u32) {
+        let n = (ack.wrapping_sub(self.base_seq) as usize).min(self.data.len());
+        self.data.drain(..n);
+        self.base_seq = self.base_seq.wrapping_add(n as u32);
+    }
+}
+
+/// The receiver-side reassembly buffer.
+#[derive(Debug, Clone)]
+pub struct RecvBuffer {
+    /// RCV.NXT: the next in-order sequence number expected.
+    next_seq: u32,
+    ready: VecDeque<u8>,
+    /// Out-of-order segments keyed by start seq.
+    ooo: BTreeMap<u32, Vec<u8>>,
+    capacity: usize,
+}
+
+impl RecvBuffer {
+    /// Creates a buffer expecting sequence `next_seq` first, holding at most
+    /// `capacity` in-order bytes.
+    pub fn new(next_seq: u32, capacity: usize) -> Self {
+        RecvBuffer {
+            next_seq,
+            ready: VecDeque::new(),
+            ooo: BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// The next expected sequence number (RCV.NXT) — what we ACK.
+    pub fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// In-order bytes ready for the application.
+    pub fn readable(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// The receive window to advertise (free in-order space).
+    pub fn window(&self) -> u32 {
+        (self.capacity - self.ready.len()) as u32
+    }
+
+    /// Accepts a segment at `seq`; returns `true` if RCV.NXT advanced
+    /// (i.e. new in-order data became available).
+    pub fn on_segment(&mut self, seq: u32, data: &[u8]) -> bool {
+        if data.is_empty() {
+            return false;
+        }
+        let rel = seq.wrapping_sub(self.next_seq) as i32;
+        if rel < 0 {
+            // Partially or fully duplicate: keep only the new tail.
+            let skip = (-rel) as usize;
+            if skip >= data.len() {
+                return false;
+            }
+            return self.on_segment(self.next_seq, &data[skip..]);
+        }
+        if rel > 0 {
+            // Out of order: park it (bounded by capacity to avoid DoS).
+            if (rel as usize) < self.capacity {
+                self.ooo.entry(seq).or_insert_with(|| data.to_vec());
+            }
+            return false;
+        }
+        // In order: take what fits.
+        let n = data.len().min(self.capacity - self.ready.len());
+        self.ready.extend(&data[..n]);
+        self.next_seq = self.next_seq.wrapping_add(n as u32);
+        // Drain any parked segments that are now contiguous.
+        while let Some((&s, _)) = self.ooo.iter().next() {
+            let rel = s.wrapping_sub(self.next_seq) as i32;
+            if rel > 0 {
+                break;
+            }
+            let seg = self.ooo.remove(&s).expect("present");
+            let skip = (-rel) as usize;
+            if skip < seg.len() {
+                let take = (seg.len() - skip).min(self.capacity - self.ready.len());
+                self.ready.extend(&seg[skip..skip + take]);
+                self.next_seq = self.next_seq.wrapping_add(take as u32);
+                if take < seg.len() - skip {
+                    break; // window full
+                }
+            }
+        }
+        true
+    }
+
+    /// Reads up to `max` in-order bytes for the application.
+    pub fn read(&mut self, max: usize) -> Vec<u8> {
+        let n = max.min(self.ready.len());
+        self.ready.drain(..n).collect()
+    }
+
+    /// Out-of-order segments currently parked (diagnostics).
+    pub fn ooo_segments(&self) -> usize {
+        self.ooo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_buffer_push_range_ack() {
+        let mut b = SendBuffer::new(1000, 16);
+        assert_eq!(b.push(b"hello world"), 11);
+        assert_eq!(b.push(b"0123456789"), 5, "clamped to capacity");
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.free(), 0);
+        assert_eq!(b.range(1000, 5), b"hello");
+        assert_eq!(b.range(1006, 5), b"world");
+        assert_eq!(b.end_seq(), 1016);
+        b.ack_to(1006);
+        assert_eq!(b.base_seq(), 1006);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.range(1006, 5), b"world");
+        assert_eq!(b.free(), 6);
+    }
+
+    #[test]
+    fn send_buffer_range_clamps() {
+        let b = SendBuffer::new(0, 16);
+        assert!(b.range(0, 10).is_empty());
+        let mut b = SendBuffer::new(0, 16);
+        b.push(b"abc");
+        assert_eq!(b.range(0, 100), b"abc");
+        assert!(b.range(3, 5).is_empty());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn send_buffer_wraps_sequence_space() {
+        let start = u32::MAX - 2;
+        let mut b = SendBuffer::new(start, 32);
+        b.push(b"abcdef");
+        assert_eq!(b.end_seq(), 3); // wrapped
+        assert_eq!(b.range(start, 6), b"abcdef");
+        b.ack_to(1); // 4 bytes acked across the wrap
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.range(1, 2), b"ef");
+    }
+
+    #[test]
+    fn recv_in_order_flow() {
+        let mut r = RecvBuffer::new(500, 64);
+        assert!(r.on_segment(500, b"hello "));
+        assert!(r.on_segment(506, b"world"));
+        assert_eq!(r.next_seq(), 511);
+        assert_eq!(r.readable(), 11);
+        assert_eq!(r.read(6), b"hello ");
+        assert_eq!(r.read(100), b"world");
+    }
+
+    #[test]
+    fn recv_reassembles_out_of_order() {
+        let mut r = RecvBuffer::new(0, 64);
+        assert!(!r.on_segment(6, b"world"), "gap: no advance");
+        assert_eq!(r.ooo_segments(), 1);
+        assert!(r.on_segment(0, b"hello "));
+        assert_eq!(r.next_seq(), 11);
+        assert_eq!(r.read(64), b"hello world");
+        assert_eq!(r.ooo_segments(), 0);
+    }
+
+    #[test]
+    fn recv_discards_duplicates_and_trims_overlap() {
+        let mut r = RecvBuffer::new(0, 64);
+        r.on_segment(0, b"abcdef");
+        // Full duplicate.
+        assert!(!r.on_segment(0, b"abcdef"));
+        // Overlapping: only the tail is new.
+        assert!(r.on_segment(3, b"defGHI"));
+        assert_eq!(r.read(64), b"abcdefGHI");
+    }
+
+    #[test]
+    fn recv_window_shrinks_and_bounds() {
+        let mut r = RecvBuffer::new(0, 8);
+        assert_eq!(r.window(), 8);
+        r.on_segment(0, b"abcd");
+        assert_eq!(r.window(), 4);
+        // Data beyond the window is truncated.
+        r.on_segment(4, b"efghIJKL");
+        assert_eq!(r.window(), 0);
+        assert_eq!(r.read(100), b"abcdefgh");
+        assert_eq!(r.window(), 8);
+    }
+}

@@ -1,0 +1,198 @@
+//! `ff_epoll` — the event interface the paper moved iperf3 onto.
+//!
+//! Paper §III.B: *"we replaced the select function, with the epoll
+//! mechanism, which adapts better to F-Stack."* Level-triggered: readiness
+//! is recomputed from socket state at each `ff_epoll_wait`.
+
+use chos::errno::Errno;
+use chos::fdtable::Fd;
+use std::collections::BTreeMap;
+use std::ops::{BitAnd, BitOr};
+
+/// Epoll event mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct EpollFlags(u32);
+
+impl EpollFlags {
+    /// No events.
+    pub const NONE: EpollFlags = EpollFlags(0);
+    /// Readable (`EPOLLIN`).
+    pub const IN: EpollFlags = EpollFlags(1);
+    /// Writable (`EPOLLOUT`).
+    pub const OUT: EpollFlags = EpollFlags(4);
+    /// Error (`EPOLLERR`).
+    pub const ERR: EpollFlags = EpollFlags(8);
+    /// Peer hung up (`EPOLLHUP`).
+    pub const HUP: EpollFlags = EpollFlags(16);
+
+    /// `true` if every flag in `other` is set.
+    pub fn contains(self, other: EpollFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// `true` if no flags are set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for EpollFlags {
+    type Output = EpollFlags;
+    fn bitor(self, rhs: EpollFlags) -> EpollFlags {
+        EpollFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for EpollFlags {
+    type Output = EpollFlags;
+    fn bitand(self, rhs: EpollFlags) -> EpollFlags {
+        EpollFlags(self.0 & rhs.0)
+    }
+}
+
+/// One ready event returned by `ff_epoll_wait`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpollEvent {
+    /// The ready socket.
+    pub fd: Fd,
+    /// The events that are ready (intersection with the interest mask).
+    pub events: EpollFlags,
+}
+
+/// The epoll instance table (epfds are a separate namespace from sockets,
+/// as in F-Stack's `ff_epoll_create`).
+#[derive(Debug, Clone, Default)]
+pub struct EpollTable {
+    instances: BTreeMap<Fd, BTreeMap<Fd, EpollFlags>>,
+    next: Fd,
+}
+
+impl EpollTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `ff_epoll_create`.
+    pub fn create(&mut self) -> Fd {
+        let epfd = self.next;
+        self.next += 1;
+        self.instances.insert(epfd, BTreeMap::new());
+        epfd
+    }
+
+    /// `ff_epoll_ctl(EPOLL_CTL_ADD/MOD)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] for an unknown epfd.
+    pub fn add(&mut self, epfd: Fd, fd: Fd, interest: EpollFlags) -> Result<(), Errno> {
+        self.instances
+            .get_mut(&epfd)
+            .ok_or(Errno::EBADF)?
+            .insert(fd, interest);
+        Ok(())
+    }
+
+    /// `ff_epoll_ctl(EPOLL_CTL_DEL)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] for an unknown epfd, [`Errno::ENOENT`] if `fd` was
+    /// not registered.
+    pub fn remove(&mut self, epfd: Fd, fd: Fd) -> Result<(), Errno> {
+        self.instances
+            .get_mut(&epfd)
+            .ok_or(Errno::EBADF)?
+            .remove(&fd)
+            .map(|_| ())
+            .ok_or(Errno::ENOENT)
+    }
+
+    /// `ff_epoll_wait` (non-blocking poll-mode variant): computes readiness
+    /// of each registered fd with `readiness` and returns the ready set.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] for an unknown epfd.
+    pub fn wait<F>(&self, epfd: Fd, mut readiness: F) -> Result<Vec<EpollEvent>, Errno>
+    where
+        F: FnMut(Fd) -> EpollFlags,
+    {
+        let interest = self.instances.get(&epfd).ok_or(Errno::EBADF)?;
+        let mut out = Vec::new();
+        for (&fd, &mask) in interest {
+            let ready = readiness(fd);
+            // ERR/HUP are always reported; IN/OUT follow the interest mask.
+            let delivered = (ready & mask) | (ready & (EpollFlags::ERR | EpollFlags::HUP));
+            if !delivered.is_empty() {
+                out.push(EpollEvent {
+                    fd,
+                    events: delivered,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_algebra() {
+        let io = EpollFlags::IN | EpollFlags::OUT;
+        assert!(io.contains(EpollFlags::IN));
+        assert!(!io.contains(EpollFlags::ERR));
+        assert!((io & EpollFlags::IN) == EpollFlags::IN);
+        assert!(EpollFlags::NONE.is_empty());
+    }
+
+    #[test]
+    fn wait_filters_by_interest() {
+        let mut t = EpollTable::new();
+        let ep = t.create();
+        t.add(ep, 3, EpollFlags::IN).unwrap();
+        t.add(ep, 4, EpollFlags::OUT).unwrap();
+        // fd 3 is writable only; fd 4 is writable: only fd 4 reports.
+        let ev = t
+            .wait(ep, |_fd| EpollFlags::OUT)
+            .unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].fd, 4);
+        assert_eq!(ev[0].events, EpollFlags::OUT);
+    }
+
+    #[test]
+    fn err_and_hup_bypass_the_mask() {
+        let mut t = EpollTable::new();
+        let ep = t.create();
+        t.add(ep, 3, EpollFlags::IN).unwrap();
+        let ev = t.wait(ep, |_| EpollFlags::HUP).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].events.contains(EpollFlags::HUP));
+    }
+
+    #[test]
+    fn ctl_errors() {
+        let mut t = EpollTable::new();
+        assert_eq!(t.add(9, 1, EpollFlags::IN).unwrap_err(), Errno::EBADF);
+        let ep = t.create();
+        assert_eq!(t.remove(ep, 1).unwrap_err(), Errno::ENOENT);
+        t.add(ep, 1, EpollFlags::IN).unwrap();
+        t.remove(ep, 1).unwrap();
+        assert!(t.wait(ep, |_| EpollFlags::IN).unwrap().is_empty());
+        assert_eq!(t.wait(99, |_| EpollFlags::IN).unwrap_err(), Errno::EBADF);
+    }
+
+    #[test]
+    fn distinct_instances() {
+        let mut t = EpollTable::new();
+        let a = t.create();
+        let b = t.create();
+        assert_ne!(a, b);
+        t.add(a, 1, EpollFlags::IN).unwrap();
+        assert!(t.wait(b, |_| EpollFlags::IN).unwrap().is_empty());
+    }
+}

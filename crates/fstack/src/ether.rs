@@ -1,0 +1,115 @@
+//! Ethernet II framing.
+
+use updk::nic::MacAddr;
+
+/// Length of an Ethernet II header.
+pub const ETH_HDR_LEN: usize = 14;
+
+/// EtherType values the stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// Anything else (carried verbatim).
+    Other(u16),
+}
+
+impl EtherType {
+    /// The on-wire big-endian value.
+    pub fn raw(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Decodes an on-wire value.
+    pub fn from_raw(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A parsed Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthHdr {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload type.
+    pub ethertype: EtherType,
+}
+
+impl EthHdr {
+    /// Parses the first [`ETH_HDR_LEN`] bytes of `frame`.
+    ///
+    /// Returns `None` for runt frames.
+    pub fn parse(frame: &[u8]) -> Option<(EthHdr, &[u8])> {
+        if frame.len() < ETH_HDR_LEN {
+            return None;
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&frame[0..6]);
+        src.copy_from_slice(&frame[6..12]);
+        let ethertype = EtherType::from_raw(u16::from_be_bytes([frame[12], frame[13]]));
+        Some((
+            EthHdr {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            &frame[ETH_HDR_LEN..],
+        ))
+    }
+
+    /// Serializes the header in front of `payload` into a full frame.
+    pub fn build(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ETH_HDR_LEN + payload.len());
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.ethertype.raw().to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_parse_round_trip() {
+        let hdr = EthHdr {
+            dst: MacAddr::local(2),
+            src: MacAddr::local(1),
+            ethertype: EtherType::Ipv4,
+        };
+        let frame = hdr.build(b"payload!");
+        assert_eq!(frame.len(), ETH_HDR_LEN + 8);
+        let (parsed, rest) = EthHdr::parse(&frame).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(rest, b"payload!");
+    }
+
+    #[test]
+    fn runt_frames_are_rejected() {
+        assert!(EthHdr::parse(&[0u8; 13]).is_none());
+        assert!(EthHdr::parse(&[]).is_none());
+    }
+
+    #[test]
+    fn ethertype_codes() {
+        assert_eq!(EtherType::Ipv4.raw(), 0x0800);
+        assert_eq!(EtherType::Arp.raw(), 0x0806);
+        assert_eq!(EtherType::from_raw(0x86DD), EtherType::Other(0x86DD));
+        assert_eq!(EtherType::Other(0x86DD).raw(), 0x86DD);
+    }
+}

@@ -1,0 +1,214 @@
+//! ICMP echo (ping) and destination-unreachable — reachability for the
+//! examples, and the datagram counterpart of TCP's RST: a UDP datagram to
+//! a closed port draws back a type-3/code-3 "port unreachable" carrying
+//! the offending header, which the sender surfaces as `ECONNREFUSED`.
+
+use crate::ip::checksum;
+
+/// ICMP destination unreachable codes (subset).
+pub const UNREACH_PORT: u8 = 3;
+
+/// An ICMP destination-unreachable message (type 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpUnreachable {
+    /// The unreachable code (3 = port unreachable).
+    pub code: u8,
+    /// The original IP header plus the first 8 bytes of the offending
+    /// datagram, as RFC 792 requires (enough to recover the ports).
+    pub original: Vec<u8>,
+}
+
+impl IcmpUnreachable {
+    /// Builds a port-unreachable answer quoting `original_packet` (a full
+    /// IP packet; only header + 8 bytes are kept).
+    pub fn port_unreachable(original_packet: &[u8]) -> IcmpUnreachable {
+        let keep = original_packet.len().min(28);
+        IcmpUnreachable {
+            code: UNREACH_PORT,
+            original: original_packet[..keep].to_vec(),
+        }
+    }
+
+    /// Parses a (checksum-verified) ICMP payload as destination
+    /// unreachable; `None` for other types or bad checksums.
+    pub fn parse(p: &[u8]) -> Option<IcmpUnreachable> {
+        if p.len() < 8 || p[0] != 3 || checksum(p) != 0 {
+            return None;
+        }
+        Some(IcmpUnreachable {
+            code: p[1],
+            original: p[8..].to_vec(),
+        })
+    }
+
+    /// Serializes with a correct checksum.
+    pub fn build(&self) -> Vec<u8> {
+        let mut out = vec![3, self.code, 0, 0, 0, 0, 0, 0];
+        out.extend_from_slice(&self.original);
+        let csum = checksum(&out);
+        out[2..4].copy_from_slice(&csum.to_be_bytes());
+        out
+    }
+
+    /// The UDP ports `(src, dst)` of the quoted datagram, when the quote
+    /// is a UDP packet with enough bytes.
+    pub fn quoted_udp_ports(&self) -> Option<(u16, u16)> {
+        // Quoted bytes: 20-byte IP header (IHL=5 assumed for our stack),
+        // then the UDP header.
+        if self.original.len() < 24 || self.original[9] != 17 {
+            return None;
+        }
+        let src = u16::from_be_bytes([self.original[20], self.original[21]]);
+        let dst = u16::from_be_bytes([self.original[22], self.original[23]]);
+        Some((src, dst))
+    }
+}
+
+/// ICMP message types the stack answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Echo request (8).
+    EchoRequest,
+    /// Unhandled type.
+    Other(u8),
+}
+
+/// A parsed ICMP echo message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpEcho {
+    /// Request or reply.
+    pub kind: IcmpType,
+    /// Identifier (ping session).
+    pub ident: u16,
+    /// Sequence number.
+    pub seq: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl IcmpEcho {
+    /// Builds an echo request.
+    pub fn request(ident: u16, seq: u16, payload: &[u8]) -> IcmpEcho {
+        IcmpEcho {
+            kind: IcmpType::EchoRequest,
+            ident,
+            seq,
+            payload: payload.to_vec(),
+        }
+    }
+
+    /// The reply answering this request (payload echoed back).
+    pub fn reply(&self) -> IcmpEcho {
+        IcmpEcho {
+            kind: IcmpType::EchoReply,
+            ident: self.ident,
+            seq: self.seq,
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Parses an ICMP payload, verifying the checksum.
+    pub fn parse(p: &[u8]) -> Option<IcmpEcho> {
+        if p.len() < 8 || checksum(p) != 0 {
+            return None;
+        }
+        let kind = match p[0] {
+            0 => IcmpType::EchoReply,
+            8 => IcmpType::EchoRequest,
+            other => IcmpType::Other(other),
+        };
+        Some(IcmpEcho {
+            kind,
+            ident: u16::from_be_bytes([p[4], p[5]]),
+            seq: u16::from_be_bytes([p[6], p[7]]),
+            payload: p[8..].to_vec(),
+        })
+    }
+
+    /// Serializes with a correct checksum.
+    pub fn build(&self) -> Vec<u8> {
+        let mut out = vec![
+            match self.kind {
+                IcmpType::EchoReply => 0,
+                IcmpType::EchoRequest => 8,
+                IcmpType::Other(v) => v,
+            },
+            0,
+            0,
+            0,
+        ];
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let csum = checksum(&out);
+        out[2..4].copy_from_slice(&csum.to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let req = IcmpEcho::request(0x1234, 7, b"ping data");
+        let bytes = req.build();
+        let parsed = IcmpEcho::parse(&bytes).unwrap();
+        assert_eq!(parsed, req);
+        let rep = parsed.reply();
+        assert_eq!(rep.kind, IcmpType::EchoReply);
+        assert_eq!(rep.ident, 0x1234);
+        assert_eq!(rep.seq, 7);
+        assert_eq!(rep.payload, b"ping data");
+        assert_eq!(IcmpEcho::parse(&rep.build()).unwrap(), rep);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = IcmpEcho::request(1, 1, b"x").build();
+        bytes[5] ^= 1;
+        assert!(IcmpEcho::parse(&bytes).is_none());
+        assert!(IcmpEcho::parse(&[0u8; 4]).is_none());
+    }
+
+    #[test]
+    fn unreachable_round_trips_and_recovers_ports() {
+        // A fake original packet: 20-byte IP header (proto 17) + UDP hdr.
+        let mut orig = vec![0u8; 28];
+        orig[0] = 0x45;
+        orig[9] = 17; // UDP
+        orig[20..22].copy_from_slice(&5_353u16.to_be_bytes()); // src port
+        orig[22..24].copy_from_slice(&9_999u16.to_be_bytes()); // dst port
+        let u = IcmpUnreachable::port_unreachable(&orig);
+        let wire = u.build();
+        let back = IcmpUnreachable::parse(&wire).expect("parses");
+        assert_eq!(back.code, UNREACH_PORT);
+        assert_eq!(back.quoted_udp_ports(), Some((5_353, 9_999)));
+    }
+
+    #[test]
+    fn unreachable_parse_rejects_corruption_and_non_type3() {
+        let orig = vec![0x45; 28];
+        let mut wire = IcmpUnreachable::port_unreachable(&orig).build();
+        wire[10] ^= 1;
+        assert!(IcmpUnreachable::parse(&wire).is_none(), "bad checksum");
+        let echo = IcmpEcho::request(1, 2, b"x").build();
+        assert!(IcmpUnreachable::parse(&echo).is_none(), "not type 3");
+    }
+
+    #[test]
+    fn quoted_ports_need_udp_and_enough_bytes() {
+        let mut orig = vec![0u8; 28];
+        orig[9] = 6; // TCP, not UDP
+        let u = IcmpUnreachable::port_unreachable(&orig);
+        assert_eq!(u.quoted_udp_ports(), None);
+        let short = IcmpUnreachable {
+            code: UNREACH_PORT,
+            original: vec![0; 10],
+        };
+        assert_eq!(short.quoted_udp_ports(), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! Reno congestion control (slow start + congestion avoidance,
+//! fast retransmit/recovery hooks).
+
+/// Reno congestion state for one connection.
+///
+/// # Example
+///
+/// ```
+/// use fstack::tcp::CongestionControl;
+/// let mut cc = CongestionControl::new(1448);
+/// let w0 = cc.cwnd();
+/// cc.on_ack(1448); // slow start: +MSS per ACK
+/// assert_eq!(cc.cwnd(), w0 + 1448);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CongestionControl {
+    mss: u32,
+    cwnd: u32,
+    ssthresh: u32,
+    in_recovery: bool,
+}
+
+impl CongestionControl {
+    /// Initial window: 10 segments (RFC 6928).
+    pub const INIT_SEGMENTS: u32 = 10;
+
+    /// Creates Reno state for a connection with the given MSS.
+    pub fn new(mss: u32) -> Self {
+        CongestionControl {
+            mss,
+            cwnd: Self::INIT_SEGMENTS * mss,
+            ssthresh: u32::MAX,
+            in_recovery: false,
+        }
+    }
+
+    /// The current congestion window in bytes.
+    pub fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    /// The slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    /// `true` while recovering from a fast retransmit.
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    /// `true` in the exponential-growth phase.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// New data was cumulatively acknowledged.
+    pub fn on_ack(&mut self, acked_bytes: u32) {
+        if self.in_recovery {
+            // Leaving recovery on the first new cumulative ACK.
+            self.in_recovery = false;
+        }
+        if self.in_slow_start() {
+            // cwnd += min(acked, MSS) per ACK.
+            self.cwnd = self.cwnd.saturating_add(acked_bytes.min(self.mss));
+        } else {
+            // Congestion avoidance: +MSS per RTT ≈ MSS*MSS/cwnd per ACK.
+            let inc = (u64::from(self.mss) * u64::from(self.mss)
+                / u64::from(self.cwnd.max(1))) as u32;
+            self.cwnd = self.cwnd.saturating_add(inc.max(1));
+        }
+    }
+
+    /// Triple duplicate ACK: fast retransmit → halve, enter recovery.
+    pub fn on_fast_retransmit(&mut self) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh;
+        self.in_recovery = true;
+    }
+
+    /// Retransmission timeout: collapse to one segment.
+    pub fn on_timeout(&mut self) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.in_recovery = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1448;
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = CongestionControl::new(MSS);
+        assert!(cc.in_slow_start());
+        let w0 = cc.cwnd();
+        // One full window of ACKs ≈ doubles cwnd.
+        let acks = w0 / MSS;
+        for _ in 0..acks {
+            cc.on_ack(MSS);
+        }
+        assert_eq!(cc.cwnd(), w0 + acks * MSS);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_linear() {
+        let mut cc = CongestionControl::new(MSS);
+        cc.on_timeout(); // ssthresh now finite
+        // Grow past ssthresh.
+        while cc.in_slow_start() {
+            cc.on_ack(MSS);
+        }
+        let w = cc.cwnd();
+        let acks = w / MSS;
+        for _ in 0..acks {
+            cc.on_ack(MSS);
+        }
+        let growth = cc.cwnd() - w;
+        // ≈ +1 MSS per RTT (allow rounding slack).
+        assert!((MSS / 2..=2 * MSS).contains(&growth), "growth {growth}");
+    }
+
+    #[test]
+    fn fast_retransmit_halves() {
+        let mut cc = CongestionControl::new(MSS);
+        for _ in 0..100 {
+            cc.on_ack(MSS);
+        }
+        let w = cc.cwnd();
+        cc.on_fast_retransmit();
+        assert!(cc.in_recovery());
+        assert_eq!(cc.cwnd(), (w / 2).max(2 * MSS));
+        cc.on_ack(MSS);
+        assert!(!cc.in_recovery());
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut cc = CongestionControl::new(MSS);
+        for _ in 0..100 {
+            cc.on_ack(MSS);
+        }
+        cc.on_timeout();
+        assert_eq!(cc.cwnd(), MSS);
+        assert!(cc.in_slow_start());
+        assert!(cc.ssthresh() >= 2 * MSS);
+    }
+}

@@ -1,0 +1,275 @@
+//! TCP: segments, options, congestion control and the connection machine.
+//!
+//! A real (if compact) TCP: three-way handshake, MSS and timestamp options,
+//! cumulative + duplicate ACK processing, RFC 6298 retransmission timers,
+//! Reno congestion control, delayed ACKs, out-of-order reassembly, and the
+//! full close sequence. This is the protocol engine under the paper's
+//! `ff_*` API; Table II's numbers are this code pushing the simulated
+//! 82576 to its ceilings.
+
+pub mod cc;
+pub mod seq;
+pub mod tcb;
+
+pub use cc::CongestionControl;
+pub use tcb::{Tcb, TcpState};
+
+use crate::ip::{finish_checksum, pseudo_header_sum, sum_words, IpProto};
+use std::net::Ipv4Addr;
+
+/// TCP header length without options.
+pub const TCP_HDR_LEN: usize = 20;
+
+/// Length of the timestamp option block we emit (NOP NOP TS, 12 bytes).
+pub const TS_OPT_LEN: usize = 12;
+
+/// TCP flags (subset used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// SYN.
+    pub syn: bool,
+    /// ACK.
+    pub ack: bool,
+    /// FIN.
+    pub fin: bool,
+    /// RST.
+    pub rst: bool,
+    /// PSH.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// A pure-ACK flag set.
+    pub fn only_ack() -> TcpFlags {
+        TcpFlags {
+            ack: true,
+            ..TcpFlags::default()
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        u8::from(self.fin)
+            | u8::from(self.syn) << 1
+            | u8::from(self.rst) << 2
+            | u8::from(self.psh) << 3
+            | u8::from(self.ack) << 4
+    }
+
+    fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// Parsed TCP options (subset: MSS, timestamps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpOptions {
+    /// Maximum segment size (SYN only).
+    pub mss: Option<u16>,
+    /// Timestamps `(TSval, TSecr)`.
+    pub ts: Option<(u32, u32)>,
+}
+
+/// A TCP segment (header fields + payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or of SYN/FIN).
+    pub seq: u32,
+    /// Acknowledgement number (valid when `flags.ack`).
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+    /// Options.
+    pub options: TcpOptions,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// The sequence space this segment occupies (payload + SYN/FIN).
+    pub fn seq_len(&self) -> u32 {
+        self.payload.len() as u32 + u32::from(self.flags.syn) + u32::from(self.flags.fin)
+    }
+
+    /// Serializes with a correct pseudo-header checksum.
+    pub fn build(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let mut opts = Vec::new();
+        if let Some(mss) = self.options.mss {
+            opts.extend_from_slice(&[2, 4]);
+            opts.extend_from_slice(&mss.to_be_bytes());
+        }
+        if let Some((tsval, tsecr)) = self.options.ts {
+            opts.extend_from_slice(&[1, 1, 8, 10]);
+            opts.extend_from_slice(&tsval.to_be_bytes());
+            opts.extend_from_slice(&tsecr.to_be_bytes());
+        }
+        debug_assert!(opts.len() % 4 == 0);
+        let data_off = ((TCP_HDR_LEN + opts.len()) / 4) as u8;
+        let total = TCP_HDR_LEN + opts.len() + self.payload.len();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(data_off << 4);
+        out.push(self.flags.to_byte());
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+        out.extend_from_slice(&opts);
+        out.extend_from_slice(&self.payload);
+        let acc = pseudo_header_sum(src, dst, IpProto::Tcp, total as u16);
+        let csum = finish_checksum(sum_words(&out, acc));
+        out[16..18].copy_from_slice(&csum.to_be_bytes());
+        out
+    }
+
+    /// Parses and checksum-verifies a TCP payload.
+    pub fn parse(src: Ipv4Addr, dst: Ipv4Addr, p: &[u8]) -> Option<TcpSegment> {
+        if p.len() < TCP_HDR_LEN {
+            return None;
+        }
+        let acc = pseudo_header_sum(src, dst, IpProto::Tcp, p.len() as u16);
+        if finish_checksum(sum_words(p, acc)) != 0 {
+            return None;
+        }
+        let data_off = usize::from(p[12] >> 4) * 4;
+        if data_off < TCP_HDR_LEN || data_off > p.len() {
+            return None;
+        }
+        let mut options = TcpOptions::default();
+        let mut o = &p[TCP_HDR_LEN..data_off];
+        while let Some(&kind) = o.first() {
+            match kind {
+                0 => break,            // EOL
+                1 => o = &o[1..],      // NOP
+                2 if o.len() >= 4 => {
+                    options.mss = Some(u16::from_be_bytes([o[2], o[3]]));
+                    o = &o[4..];
+                }
+                8 if o.len() >= 10 => {
+                    options.ts = Some((
+                        u32::from_be_bytes([o[2], o[3], o[4], o[5]]),
+                        u32::from_be_bytes([o[6], o[7], o[8], o[9]]),
+                    ));
+                    o = &o[10..];
+                }
+                _ if o.len() >= 2 && usize::from(o[1]) >= 2 && usize::from(o[1]) <= o.len() => {
+                    o = &o[usize::from(o[1])..]; // skip unknown option
+                }
+                _ => break, // malformed options: stop parsing them
+            }
+        }
+        Some(TcpSegment {
+            src_port: u16::from_be_bytes([p[0], p[1]]),
+            dst_port: u16::from_be_bytes([p[2], p[3]]),
+            seq: u32::from_be_bytes([p[4], p[5], p[6], p[7]]),
+            ack: u32::from_be_bytes([p[8], p[9], p[10], p[11]]),
+            flags: TcpFlags::from_byte(p[13]),
+            window: u16::from_be_bytes([p[14], p[15]]),
+            options,
+            payload: p[data_off..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn seg() -> TcpSegment {
+        TcpSegment {
+            src_port: 5000,
+            dst_port: 5201,
+            seq: 0xDEADBEEF,
+            ack: 0x12345678,
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
+            window: 65535,
+            options: TcpOptions {
+                mss: Some(1460),
+                ts: Some((111, 222)),
+            },
+            payload: vec![],
+        }
+    }
+
+    #[test]
+    fn build_parse_round_trip_with_options() {
+        let s = seg();
+        let bytes = s.build(A, B);
+        let parsed = TcpSegment::parse(A, B, &bytes).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let mut s = seg();
+        s.flags = TcpFlags::only_ack();
+        s.options.mss = None;
+        s.payload = (0..255u8).collect();
+        let bytes = s.build(A, B);
+        let parsed = TcpSegment::parse(A, B, &bytes).unwrap();
+        assert_eq!(parsed.payload, s.payload);
+        assert_eq!(parsed.seq_len(), 255);
+    }
+
+    #[test]
+    fn seq_len_counts_syn_and_fin() {
+        let mut s = seg();
+        assert_eq!(s.seq_len(), 1); // SYN
+        s.flags.fin = true;
+        assert_eq!(s.seq_len(), 2);
+        s.payload = vec![0; 10];
+        assert_eq!(s.seq_len(), 12);
+    }
+
+    #[test]
+    fn checksum_binds_addresses_and_content() {
+        let s = seg();
+        let bytes = s.build(A, B);
+        assert!(TcpSegment::parse(A, Ipv4Addr::new(9, 9, 9, 9), &bytes).is_none());
+        let mut corrupted = bytes.clone();
+        corrupted[4] ^= 1;
+        assert!(TcpSegment::parse(A, B, &corrupted).is_none());
+        assert!(TcpSegment::parse(A, B, &bytes[..10]).is_none());
+    }
+
+    #[test]
+    fn unknown_options_are_skipped() {
+        // Hand-build a segment with a window-scale option (kind 3, len 3)
+        // followed by NOP + MSS.
+        let mut s = seg();
+        s.options = TcpOptions::default();
+        let mut bytes = s.build(A, B);
+        // Splice custom options in: rebuild manually with data_off 7 (28B).
+        let mut raw = bytes.split_off(0);
+        raw[12] = 7 << 4;
+        let opts = [3u8, 3, 7, 1, 2, 4, 5, 0xB4]; // WS(7), NOP, MSS 1460
+        let mut full = raw[..20].to_vec();
+        full.extend_from_slice(&opts);
+        full[16] = 0;
+        full[17] = 0;
+        let acc = pseudo_header_sum(A, B, IpProto::Tcp, full.len() as u16);
+        let csum = finish_checksum(sum_words(&full, acc));
+        full[16..18].copy_from_slice(&csum.to_be_bytes());
+        let parsed = TcpSegment::parse(A, B, &full).unwrap();
+        assert_eq!(parsed.options.mss, Some(1460));
+    }
+}

@@ -1,0 +1,67 @@
+//! TCP sequence-number arithmetic (RFC 793 §3.3).
+//!
+//! Sequence numbers live on a mod-2³² circle; comparisons must be done with
+//! signed wrap-around differences or connections break after 4 GiB.
+
+/// `true` if `a < b` on the sequence circle.
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `true` if `a <= b` on the sequence circle.
+pub fn seq_le(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) <= 0
+}
+
+/// `true` if `a > b` on the sequence circle.
+pub fn seq_gt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) > 0
+}
+
+/// `true` if `a >= b` on the sequence circle.
+pub fn seq_ge(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) >= 0
+}
+
+/// The distance from `from` forward to `to` (wrapping).
+pub fn seq_diff(to: u32, from: u32) -> u32 {
+    to.wrapping_sub(from)
+}
+
+/// `true` if `x` lies in the half-open window `[lo, lo+len)`.
+pub fn seq_in_window(x: u32, lo: u32, len: u32) -> bool {
+    seq_diff(x, lo) < len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ordering() {
+        assert!(seq_lt(1, 2));
+        assert!(seq_le(2, 2));
+        assert!(seq_gt(3, 2));
+        assert!(seq_ge(2, 2));
+        assert!(!seq_lt(2, 2));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        let hi = u32::MAX - 5;
+        let lo = 10u32; // "after" hi on the circle
+        assert!(seq_lt(hi, lo));
+        assert!(seq_gt(lo, hi));
+        assert_eq!(seq_diff(lo, hi), 16);
+    }
+
+    #[test]
+    fn windows_wrap() {
+        assert!(seq_in_window(5, 0, 10));
+        assert!(!seq_in_window(10, 0, 10));
+        let lo = u32::MAX - 2;
+        assert!(seq_in_window(u32::MAX, lo, 10));
+        assert!(seq_in_window(3, lo, 10));
+        assert!(!seq_in_window(8, lo, 10));
+    }
+}

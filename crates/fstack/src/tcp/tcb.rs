@@ -1,0 +1,956 @@
+//! The TCP connection state machine (TCB = transmission control block).
+//!
+//! Poll-mode friendly: [`Tcb::on_segment`] only updates state;
+//! [`Tcb::poll_output`] — called every F-Stack main-loop iteration — emits
+//! whatever the connection owes the wire (SYN/SYN-ACK, data within
+//! `min(cwnd, peer window)`, retransmissions, delayed ACKs, FIN). This
+//! matches how F-Stack drives the FreeBSD stack from the DPDK loop.
+
+use crate::buffer::{RecvBuffer, SendBuffer};
+use crate::tcp::cc::CongestionControl;
+use crate::tcp::seq::{seq_gt, seq_le, seq_lt};
+use crate::tcp::{TcpFlags, TcpOptions, TcpSegment};
+use simkern::time::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// Connection states (RFC 793).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpState {
+    /// Passive open.
+    Listen,
+    /// Active open: SYN sent.
+    SynSent,
+    /// Passive open: SYN received, SYN-ACK (to be) sent.
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent, not yet acked.
+    FinWait1,
+    /// Our FIN acked; awaiting peer's FIN.
+    FinWait2,
+    /// Peer closed first; we still may send.
+    CloseWait,
+    /// Simultaneous close.
+    Closing,
+    /// Peer closed, we sent our FIN, awaiting its ACK.
+    LastAck,
+    /// Both closed; draining the network.
+    TimeWait,
+    /// Dead.
+    Closed,
+}
+
+/// Per-connection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcbStats {
+    /// Segments received.
+    pub segs_in: u64,
+    /// Segments emitted.
+    pub segs_out: u64,
+    /// Payload bytes received in order.
+    pub bytes_in: u64,
+    /// Payload bytes transmitted (first transmissions).
+    pub bytes_out: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// Duplicate ACKs received.
+    pub dupacks: u64,
+}
+
+/// Socket buffer size (64 KiB: the no-window-scale maximum; ample for the
+/// testbed's ≈50 µs RTTs).
+pub const SOCK_BUF: usize = 64 * 1024;
+
+/// Minimum retransmission timeout (scaled down from RFC 6298's 1 s to suit
+/// the LAN testbed; still ≫ any real RTT in the simulation).
+const MIN_RTO: u64 = 5_000_000; // 5 ms
+/// Maximum RTO backoff.
+const MAX_RTO: u64 = 500_000_000;
+/// 2·MSL for TIME_WAIT (scaled down; the sim runs seconds, not minutes).
+const TIME_WAIT: u64 = 50_000_000;
+/// Delayed-ACK timer.
+const DELACK: u64 = 500_000; // 500 µs
+
+/// One TCP connection.
+#[derive(Debug, Clone)]
+pub struct Tcb {
+    state: TcpState,
+    local: (Ipv4Addr, u16),
+    remote: (Ipv4Addr, u16),
+    mss: usize,
+
+    // --- send side ---
+    iss: u32,
+    snd_una: u32,
+    snd_nxt: u32,
+    snd_wnd: u32,
+    send_buf: SendBuffer,
+    cc: CongestionControl,
+    fin_seq: Option<u32>,
+    close_requested: bool,
+
+    // --- receive side ---
+    recv_buf: RecvBuffer,
+    fin_rcvd: bool,
+
+    // --- timers / RTT (all virtual ns) ---
+    srtt: Option<u64>,
+    rttvar: u64,
+    rto: u64,
+    rtx_deadline: Option<SimTime>,
+    backoff: u32,
+    time_wait_deadline: Option<SimTime>,
+
+    // --- ACK generation ---
+    ack_now: bool,
+    ack_pending: u32,
+    ack_deadline: Option<SimTime>,
+    dupacks: u32,
+    fast_rtx: bool,
+
+    // --- timestamps option ---
+    ts_recent: u32,
+
+    // --- RST bookkeeping ---
+    /// Active open answered by RST (ECONNREFUSED).
+    refused: bool,
+    /// Established connection torn down by peer RST (ECONNRESET).
+    reset_by_peer: bool,
+
+    stats: TcbStats,
+}
+
+impl Tcb {
+    /// Actively opens a connection (emits SYN on the next poll).
+    pub fn connect(
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        iss: u32,
+        mss: usize,
+    ) -> Tcb {
+        let mut t = Tcb::raw(TcpState::SynSent, local, remote, iss, mss);
+        t.ack_now = false;
+        t
+    }
+
+    /// Creates the connection TCB answering `syn` on a listener at `local`
+    /// (state `SynReceived`; SYN-ACK emitted on the next poll).
+    pub fn accept_from(
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        syn: &TcpSegment,
+        iss: u32,
+        mss: usize,
+    ) -> Tcb {
+        let mut t = Tcb::raw(TcpState::SynReceived, local, remote, iss, mss);
+        if let Some(peer_mss) = syn.options.mss {
+            t.mss = t.mss.min(usize::from(peer_mss));
+        }
+        if let Some((tsval, _)) = syn.options.ts {
+            t.ts_recent = tsval;
+        }
+        t.recv_buf = RecvBuffer::new(syn.seq.wrapping_add(1), SOCK_BUF);
+        t.snd_wnd = u32::from(syn.window);
+        t
+    }
+
+    fn raw(state: TcpState, local: (Ipv4Addr, u16), remote: (Ipv4Addr, u16), iss: u32, mss: usize) -> Tcb {
+        Tcb {
+            state,
+            local,
+            remote,
+            mss,
+            iss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_wnd: u32::from(u16::MAX),
+            send_buf: SendBuffer::new(iss.wrapping_add(1), SOCK_BUF),
+            cc: CongestionControl::new(mss as u32),
+            fin_seq: None,
+            close_requested: false,
+            recv_buf: RecvBuffer::new(0, SOCK_BUF),
+            fin_rcvd: false,
+            srtt: None,
+            rttvar: 0,
+            rto: MIN_RTO,
+            rtx_deadline: None,
+            backoff: 0,
+            time_wait_deadline: None,
+            ack_now: false,
+            ack_pending: 0,
+            ack_deadline: None,
+            dupacks: 0,
+            fast_rtx: false,
+            ts_recent: 0,
+            refused: false,
+            reset_by_peer: false,
+            stats: TcbStats::default(),
+        }
+    }
+
+    // ---- inspection ----
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// `(local, remote)` endpoints.
+    pub fn endpoints(&self) -> ((Ipv4Addr, u16), (Ipv4Addr, u16)) {
+        (self.local, self.remote)
+    }
+
+    /// Effective MSS.
+    pub fn mss(&self) -> usize {
+        self.mss
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TcbStats {
+        self.stats
+    }
+
+    /// Smoothed RTT, if measured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_nanos)
+    }
+
+    /// `true` once the handshake completed (and until close).
+    pub fn is_established(&self) -> bool {
+        matches!(
+            self.state,
+            TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2 | TcpState::CloseWait
+        )
+    }
+
+    /// Bytes the application could read right now.
+    pub fn readable_bytes(&self) -> usize {
+        self.recv_buf.readable()
+    }
+
+    /// `true` if the peer closed and everything was read (EOF).
+    pub fn at_eof(&self) -> bool {
+        self.fin_rcvd && self.recv_buf.readable() == 0
+    }
+
+    /// Free space in the send buffer.
+    pub fn send_space(&self) -> usize {
+        self.send_buf.free()
+    }
+
+    /// `true` if the application may write.
+    pub fn writable(&self) -> bool {
+        self.is_established()
+            && !self.close_requested
+            && self.send_buf.free() > 0
+            && !matches!(self.state, TcpState::FinWait1 | TcpState::FinWait2)
+    }
+
+    /// Unacknowledged bytes in flight.
+    pub fn inflight(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// The congestion controller (read-only, for diagnostics).
+    pub fn congestion(&self) -> &CongestionControl {
+        &self.cc
+    }
+
+    // ---- application surface ----
+
+    /// Buffers application data for transmission; returns bytes accepted.
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        if !self.writable() {
+            return 0;
+        }
+        self.send_buf.push(data)
+    }
+
+    /// Reads up to `max` in-order bytes.
+    pub fn read(&mut self, max: usize) -> Vec<u8> {
+        let out = self.recv_buf.read(max);
+        if !out.is_empty() {
+            // Window opened: let the peer know soon.
+            self.ack_pending += 1;
+        }
+        out
+    }
+
+    /// Requests an orderly close (FIN after the buffer drains).
+    pub fn close(&mut self) {
+        if matches!(self.state, TcpState::SynSent | TcpState::Listen) {
+            self.state = TcpState::Closed;
+            return;
+        }
+        self.close_requested = true;
+    }
+
+    /// Hard-drops the connection (RST semantics, local side).
+    pub fn abort(&mut self) {
+        self.state = TcpState::Closed;
+    }
+
+    /// `true` when the active open was answered by an RST — the condition
+    /// behind `ECONNREFUSED`.
+    pub fn was_refused(&self) -> bool {
+        self.refused
+    }
+
+    /// `true` when an established connection was torn down by a peer RST —
+    /// the condition behind `ECONNRESET`.
+    pub fn was_reset(&self) -> bool {
+        self.reset_by_peer
+    }
+
+    // ---- wire surface ----
+
+    /// Processes an incoming segment at `now`. Output (ACKs, data,
+    /// retransmits) is produced by the next [`Tcb::poll_output`].
+    pub fn on_segment(&mut self, now: SimTime, seg: &TcpSegment) {
+        self.stats.segs_in += 1;
+        if seg.flags.rst {
+            // An RST during the handshake is the peer's "connection
+            // refused"; afterwards it is a reset of an established
+            // connection. The distinction surfaces as ECONNREFUSED vs
+            // ECONNRESET at the ff_* layer.
+            if self.state == TcpState::SynSent {
+                self.refused = true;
+            } else if self.state != TcpState::Closed {
+                self.reset_by_peer = true;
+            }
+            self.state = TcpState::Closed;
+            return;
+        }
+        if let Some((tsval, _)) = seg.options.ts {
+            self.ts_recent = tsval;
+        }
+        match self.state {
+            TcpState::SynSent => self.on_segment_syn_sent(now, seg),
+            TcpState::Listen | TcpState::Closed | TcpState::TimeWait => {
+                // Listeners are handled by the stack; stray segments ignored
+                // (a fuller stack would RST).
+            }
+            _ => self.on_segment_synchronized(now, seg),
+        }
+    }
+
+    fn on_segment_syn_sent(&mut self, now: SimTime, seg: &TcpSegment) {
+        if !(seg.flags.syn && seg.flags.ack) {
+            return;
+        }
+        if seg.ack != self.iss.wrapping_add(1) {
+            return; // bogus ack: ignore (full TCP would RST)
+        }
+        if let Some(peer_mss) = seg.options.mss {
+            self.mss = self.mss.min(usize::from(peer_mss));
+            self.cc = CongestionControl::new(self.mss as u32);
+        }
+        self.snd_una = seg.ack;
+        self.snd_wnd = u32::from(seg.window);
+        self.recv_buf = RecvBuffer::new(seg.seq.wrapping_add(1), SOCK_BUF);
+        self.state = TcpState::Established;
+        self.rtx_deadline = None;
+        self.backoff = 0;
+        self.ack_now = true;
+        self.measure_rtt(now, seg);
+    }
+
+    fn on_segment_synchronized(&mut self, now: SimTime, seg: &TcpSegment) {
+        // --- ACK processing ---
+        if seg.flags.ack {
+            let ack = seg.ack;
+            if seq_gt(ack, self.snd_una) && seq_le(ack, self.snd_nxt) {
+                let acked = ack.wrapping_sub(self.snd_una);
+                self.send_buf.ack_to(ack);
+                self.snd_una = ack;
+                self.dupacks = 0;
+                self.cc.on_ack(acked);
+                self.measure_rtt(now, seg);
+                self.backoff = 0;
+                self.rtx_deadline = if self.snd_una == self.snd_nxt {
+                    None
+                } else {
+                    Some(now + SimDuration::from_nanos(self.rto))
+                };
+                // Handshake completion / FIN acknowledgment transitions.
+                if self.state == TcpState::SynReceived {
+                    self.state = TcpState::Established;
+                }
+                if let Some(fin_seq) = self.fin_seq {
+                    if seq_gt(ack, fin_seq) {
+                        self.state = match self.state {
+                            TcpState::FinWait1 => TcpState::FinWait2,
+                            TcpState::Closing => {
+                                self.time_wait_deadline =
+                                    Some(now + SimDuration::from_nanos(TIME_WAIT));
+                                TcpState::TimeWait
+                            }
+                            TcpState::LastAck => TcpState::Closed,
+                            s => s,
+                        };
+                    }
+                }
+            } else if ack == self.snd_una
+                && self.snd_una != self.snd_nxt
+                && seg.payload.is_empty()
+                && !seg.flags.syn
+                && !seg.flags.fin
+            {
+                self.dupacks += 1;
+                self.stats.dupacks += 1;
+                if self.dupacks == 3 && !self.cc.in_recovery() {
+                    self.cc.on_fast_retransmit();
+                    self.fast_rtx = true;
+                }
+            }
+            self.snd_wnd = u32::from(seg.window);
+        }
+
+        // --- payload ---
+        if !seg.payload.is_empty() {
+            let advanced = self.recv_buf.on_segment(seg.seq, &seg.payload);
+            if advanced {
+                self.stats.bytes_in += seg.payload.len() as u64;
+                self.ack_pending += 1;
+                if self.ack_pending >= 2 {
+                    self.ack_now = true; // ack every second segment
+                } else {
+                    self.ack_deadline
+                        .get_or_insert(now + SimDuration::from_nanos(DELACK));
+                }
+            } else {
+                // Out-of-order or duplicate: immediate (duplicate) ACK.
+                self.ack_now = true;
+            }
+        }
+
+        // --- FIN ---
+        let fin_seq_pos = seg.seq.wrapping_add(seg.payload.len() as u32);
+        if seg.flags.fin && fin_seq_pos == self.recv_buf.next_seq() && !self.fin_rcvd {
+            self.fin_rcvd = true;
+            self.ack_now = true;
+            self.state = match self.state {
+                TcpState::Established | TcpState::SynReceived => TcpState::CloseWait,
+                TcpState::FinWait1 => {
+                    // Did they also ack our FIN? (handled above; if we're
+                    // still FinWait1 they did not.)
+                    TcpState::Closing
+                }
+                TcpState::FinWait2 => {
+                    self.time_wait_deadline = Some(now + SimDuration::from_nanos(TIME_WAIT));
+                    TcpState::TimeWait
+                }
+                s => s,
+            };
+        } else if seg.flags.fin && !self.fin_rcvd {
+            // FIN beyond a gap: dup-ack it.
+            self.ack_now = true;
+        }
+    }
+
+    fn measure_rtt(&mut self, now: SimTime, seg: &TcpSegment) {
+        // Timestamp echo: our TSval was the microsecond clock at send time.
+        let Some((_tsval, tsecr)) = seg.options.ts else {
+            return;
+        };
+        if tsecr == 0 {
+            return;
+        }
+        let now_us = (now.as_nanos() / 1_000) as u32;
+        let rtt_us = now_us.wrapping_sub(tsecr);
+        if rtt_us > 10_000_000 {
+            return; // implausible echo (wrapped or stale)
+        }
+        let rtt = u64::from(rtt_us) * 1_000;
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let delta = srtt.abs_diff(rtt);
+                self.rttvar = (3 * self.rttvar + delta) / 4;
+                self.srtt = Some((7 * srtt + rtt) / 8);
+            }
+        }
+        self.rto = (self.srtt.unwrap() + (4 * self.rttvar).max(1_000))
+            .clamp(MIN_RTO, MAX_RTO);
+    }
+
+    /// Emits every segment the connection owes the wire at `now`.
+    pub fn poll_output(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+
+        // TIME_WAIT expiry.
+        if self.state == TcpState::TimeWait {
+            if let Some(d) = self.time_wait_deadline {
+                if now >= d {
+                    self.state = TcpState::Closed;
+                }
+            }
+        }
+        if self.state == TcpState::Closed || self.state == TcpState::Listen {
+            return out;
+        }
+
+        // --- handshake segments ---
+        match self.state {
+            TcpState::SynSent if self.snd_nxt == self.iss => {
+                out.push(self.make_syn(now, false));
+                self.snd_nxt = self.iss.wrapping_add(1);
+                self.arm_rtx(now);
+            }
+            TcpState::SynReceived if self.snd_nxt == self.iss => {
+                out.push(self.make_syn(now, true));
+                self.snd_nxt = self.iss.wrapping_add(1);
+                self.arm_rtx(now);
+            }
+            _ => {}
+        }
+
+        // --- retransmission timer ---
+        if let Some(deadline) = self.rtx_deadline {
+            if now >= deadline && seq_lt(self.snd_una, self.snd_nxt) {
+                out.push(self.retransmit_head(now, true));
+                self.backoff = (self.backoff + 1).min(10);
+                let rto = (self.rto << self.backoff).min(MAX_RTO);
+                self.rtx_deadline = Some(now + SimDuration::from_nanos(rto));
+            }
+        }
+
+        // --- fast retransmit ---
+        if self.fast_rtx {
+            self.fast_rtx = false;
+            out.push(self.retransmit_head(now, false));
+        }
+
+        // --- new data within min(cwnd, peer window) ---
+        if matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::Closing
+        ) {
+            let wnd = self.cc.cwnd().min(self.snd_wnd.max(1));
+            loop {
+                let inflight = self.inflight();
+                if inflight >= wnd {
+                    break;
+                }
+                let budget = (wnd - inflight) as usize;
+                let avail_end = self.send_buf.end_seq();
+                if !seq_lt(self.snd_nxt, avail_end) {
+                    break;
+                }
+                let len = budget
+                    .min(self.mss)
+                    .min(avail_end.wrapping_sub(self.snd_nxt) as usize);
+                if len == 0 {
+                    break;
+                }
+                let payload = self.send_buf.range(self.snd_nxt, len);
+                let seq = self.snd_nxt;
+                self.snd_nxt = self.snd_nxt.wrapping_add(len as u32);
+                self.stats.bytes_out += len as u64;
+                let mut seg = self.make_seg(now, TcpFlags::only_ack(), seq, payload);
+                seg.flags.psh = !seq_lt(self.snd_nxt, avail_end);
+                out.push(seg);
+                self.arm_rtx(now);
+            }
+        }
+
+        // --- FIN emission ---
+        if self.close_requested
+            && self.fin_seq.is_none()
+            && self.send_buf.is_empty()
+            && matches!(self.state, TcpState::Established | TcpState::CloseWait)
+            && self.snd_una == self.snd_nxt
+        {
+            let seq = self.snd_nxt;
+            let mut seg = self.make_seg(now, TcpFlags::only_ack(), seq, Vec::new());
+            seg.flags.fin = true;
+            self.fin_seq = Some(seq);
+            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            self.state = match self.state {
+                TcpState::Established => TcpState::FinWait1,
+                TcpState::CloseWait => TcpState::LastAck,
+                s => s,
+            };
+            out.push(seg);
+            self.arm_rtx(now);
+        }
+
+        // --- pure ACK (delayed-ack policy) ---
+        let delack_due = self
+            .ack_deadline
+            .map(|d| now >= d && self.ack_pending > 0)
+            .unwrap_or(false);
+        if (self.ack_now || delack_due) && out.is_empty() && self.handshake_done() {
+            out.push(self.make_seg(now, TcpFlags::only_ack(), self.snd_nxt, Vec::new()));
+        }
+        if !out.is_empty() {
+            // Any emitted segment carries the latest ACK.
+            self.ack_now = false;
+            self.ack_pending = 0;
+            self.ack_deadline = None;
+            self.stats.segs_out += out.len() as u64;
+        }
+        out
+    }
+
+    fn handshake_done(&self) -> bool {
+        !matches!(self.state, TcpState::SynSent | TcpState::SynReceived)
+            || self.snd_nxt != self.iss
+    }
+
+    fn arm_rtx(&mut self, now: SimTime) {
+        if self.rtx_deadline.is_none() {
+            self.rtx_deadline = Some(now + SimDuration::from_nanos(self.rto));
+        }
+    }
+
+    fn retransmit_head(&mut self, now: SimTime, timeout: bool) -> TcpSegment {
+        self.stats.retransmits += 1;
+        if timeout {
+            self.cc.on_timeout();
+        }
+        if self.snd_una == self.iss {
+            // The SYN (or SYN-ACK) itself is lost.
+            return self.make_syn(now, self.state == TcpState::SynReceived);
+        }
+        if Some(self.snd_una) == self.fin_seq {
+            let mut seg = self.make_seg(now, TcpFlags::only_ack(), self.snd_una, Vec::new());
+            seg.flags.fin = true;
+            return seg;
+        }
+        let payload = self.send_buf.range(self.snd_una, self.mss);
+        self.make_seg(now, TcpFlags::only_ack(), self.snd_una, payload)
+    }
+
+    fn make_syn(&mut self, now: SimTime, with_ack: bool) -> TcpSegment {
+        self.stats.segs_out += 1;
+        let mut seg = self.make_seg(
+            now,
+            TcpFlags {
+                syn: true,
+                ack: with_ack,
+                ..Default::default()
+            },
+            self.iss,
+            Vec::new(),
+        );
+        seg.options.mss = Some(1460);
+        seg
+    }
+
+    fn make_seg(&self, now: SimTime, flags: TcpFlags, seq: u32, payload: Vec<u8>) -> TcpSegment {
+        let ack = if flags.ack {
+            self.recv_buf
+                .next_seq()
+                .wrapping_add(u32::from(self.fin_rcvd))
+        } else {
+            0
+        };
+        TcpSegment {
+            src_port: self.local.1,
+            dst_port: self.remote.1,
+            seq,
+            ack,
+            flags,
+            window: self.recv_buf.window().min(u32::from(u16::MAX)) as u16,
+            options: TcpOptions {
+                mss: None,
+                ts: Some(((now.as_nanos() / 1_000) as u32, self.ts_recent)),
+            },
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 1), 40000);
+    const B: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 2), 5201);
+    const MSS: usize = 1448;
+
+    /// Drives both TCBs until neither has anything to say (in-order,
+    /// lossless delivery) — a two-node network in a test tube.
+    fn pump(now: &mut SimTime, a: &mut Tcb, b: &mut Tcb) {
+        let mut quiet_rounds = 0;
+        for _ in 0..600 {
+            let mut quiet = true;
+            for seg in a.poll_output(*now) {
+                quiet = false;
+                b.on_segment(*now, &seg);
+            }
+            for seg in b.poll_output(*now) {
+                quiet = false;
+                a.on_segment(*now, &seg);
+            }
+            *now += SimDuration::from_micros(50);
+            // Stay in the loop long enough for delayed-ACK timers (500 us)
+            // to fire even when a round is momentarily silent.
+            quiet_rounds = if quiet { quiet_rounds + 1 } else { 0 };
+            if quiet_rounds > 14 {
+                break;
+            }
+        }
+    }
+
+    fn established_pair() -> (SimTime, Tcb, Tcb) {
+        let mut now = SimTime::from_millis(1);
+        let mut client = Tcb::connect(A, B, 1000, MSS);
+        // Server side: take the SYN from the client.
+        let syn = client.poll_output(now).remove(0);
+        assert!(syn.flags.syn && !syn.flags.ack);
+        let mut server = Tcb::accept_from(B, A, &syn, 9000, MSS);
+        pump(&mut now, &mut client, &mut server);
+        assert_eq!(client.state(), TcpState::Established);
+        assert_eq!(server.state(), TcpState::Established);
+        (now, client, server)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (_, c, s) = established_pair();
+        assert!(c.is_established() && s.is_established());
+        assert_eq!(c.mss(), MSS);
+    }
+
+    #[test]
+    fn bulk_transfer_is_lossless_and_ordered() {
+        let (mut now, mut c, mut s) = established_pair();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut sent = 0;
+        let mut received = Vec::new();
+        while received.len() < data.len() {
+            if sent < data.len() {
+                sent += c.write(&data[sent..]);
+            }
+            pump(&mut now, &mut c, &mut s);
+            received.extend(s.read(usize::MAX));
+        }
+        assert_eq!(received, data);
+        assert!(s.stats().bytes_in >= data.len() as u64);
+    }
+
+    #[test]
+    fn segments_respect_mss() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.write(&vec![7u8; 10_000]);
+        let segs = c.poll_output(now);
+        assert!(!segs.is_empty());
+        for seg in &segs {
+            assert!(seg.payload.len() <= MSS);
+            s.on_segment(now, seg);
+        }
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(s.read(usize::MAX).len(), 10_000);
+    }
+
+    #[test]
+    fn cwnd_limits_inflight() {
+        let (now, mut c, _s) = established_pair();
+        c.write(&vec![0u8; 1 << 16]);
+        let segs = c.poll_output(now);
+        let inflight: usize = segs.iter().map(|s| s.payload.len()).sum();
+        assert!(inflight as u32 <= c.congestion().cwnd());
+        assert!(c.inflight() as usize == inflight);
+    }
+
+    #[test]
+    fn lost_segment_is_retransmitted_by_timeout() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.write(b"critical data");
+        // The segment is "lost": we never deliver it.
+        let lost = c.poll_output(now);
+        assert_eq!(lost.len(), 1);
+        // Before the RTO: silence.
+        now += SimDuration::from_millis(1);
+        assert!(c.poll_output(now).is_empty());
+        // After the RTO: retransmission, which we deliver.
+        now += SimDuration::from_millis(10);
+        let rtx = c.poll_output(now);
+        assert_eq!(rtx.len(), 1, "exactly one retransmission");
+        assert_eq!(rtx[0].payload, b"critical data");
+        assert_eq!(c.stats().retransmits, 1);
+        s.on_segment(now, &rtx[0]);
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(s.read(100), b"critical data");
+        assert_eq!(c.inflight(), 0);
+    }
+
+    #[test]
+    fn triple_dupack_triggers_fast_retransmit() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.write(&vec![1u8; MSS * 5]);
+        let mut segs = c.poll_output(now);
+        assert!(segs.len() >= 4);
+        // Drop the first segment; deliver the rest → dup ACKs.
+        segs.remove(0);
+        for seg in &segs {
+            s.on_segment(now, seg);
+            for ack in s.poll_output(now) {
+                c.on_segment(now, &ack);
+            }
+            now += SimDuration::from_micros(10);
+        }
+        assert!(c.stats().dupacks >= 3, "dupacks {}", c.stats().dupacks);
+        let rtx = c.poll_output(now);
+        assert!(
+            rtx.iter().any(|seg| seg.seq == segs[0].seq.wrapping_sub(MSS as u32)),
+            "head segment retransmitted"
+        );
+        assert_eq!(c.stats().retransmits, 1);
+        // Deliver the retransmission; recovery completes.
+        for seg in &rtx {
+            s.on_segment(now, seg);
+        }
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(s.read(usize::MAX).len(), MSS * 5);
+    }
+
+    #[test]
+    fn orderly_close_both_sides() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.write(b"bye");
+        c.close();
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(s.read(10), b"bye");
+        assert!(s.at_eof());
+        assert_eq!(s.state(), TcpState::CloseWait);
+        assert!(matches!(c.state(), TcpState::FinWait2));
+        s.close();
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(s.state(), TcpState::Closed);
+        assert!(matches!(c.state(), TcpState::TimeWait | TcpState::Closed));
+        // TIME_WAIT expires.
+        now += SimDuration::from_millis(100);
+        c.poll_output(now);
+        assert_eq!(c.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn rst_kills_the_connection() {
+        let (now, mut c, _s) = established_pair();
+        let rst = TcpSegment {
+            src_port: B.1,
+            dst_port: A.1,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags {
+                rst: true,
+                ..Default::default()
+            },
+            window: 0,
+            options: TcpOptions::default(),
+            payload: vec![],
+        };
+        c.on_segment(now, &rst);
+        assert_eq!(c.state(), TcpState::Closed);
+        assert!(!c.writable());
+        assert_eq!(c.write(b"x"), 0);
+        // Established + RST = reset by peer, not refused.
+        assert!(c.was_reset());
+        assert!(!c.was_refused());
+    }
+
+    #[test]
+    fn rst_during_handshake_means_refused() {
+        let now = SimTime::from_micros(5);
+        let mut c = Tcb::connect(A, B, 1_000, MSS);
+        let _syn = c.poll_output(now);
+        let rst = TcpSegment {
+            src_port: B.1,
+            dst_port: A.1,
+            seq: 0,
+            ack: 1_001,
+            flags: TcpFlags {
+                rst: true,
+                ack: true,
+                ..Default::default()
+            },
+            window: 0,
+            options: TcpOptions::default(),
+            payload: vec![],
+        };
+        c.on_segment(now, &rst);
+        assert_eq!(c.state(), TcpState::Closed);
+        assert!(c.was_refused(), "RST in SynSent is connection-refused");
+        assert!(!c.was_reset());
+    }
+
+    #[test]
+    fn orderly_close_sets_neither_error_flag() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.close();
+        s.close();
+        for _ in 0..20 {
+            pump(&mut now, &mut c, &mut s);
+            now += SimDuration::from_millis(40);
+        }
+        assert!(!c.was_refused() && !c.was_reset());
+        assert!(!s.was_refused() && !s.was_reset());
+    }
+
+    #[test]
+    fn receive_window_backpressure() {
+        let (mut now, mut c, mut s) = established_pair();
+        // Fill far more than one window; the server never reads.
+        let data = vec![9u8; SOCK_BUF * 2];
+        let mut pushed = 0;
+        for _ in 0..50 {
+            pushed += c.write(&data[pushed..]);
+            pump(&mut now, &mut c, &mut s);
+        }
+        // The server's buffer holds at most SOCK_BUF…
+        assert!(s.readable_bytes() <= SOCK_BUF);
+        // …and the client has stopped sending (peer window closed).
+        assert!(
+            s.readable_bytes() >= SOCK_BUF - MSS,
+            "receiver nearly full: {}",
+            s.readable_bytes()
+        );
+        // Reading re-opens the window and the rest flows.
+        let mut total = Vec::new();
+        for _ in 0..200 {
+            total.extend(s.read(usize::MAX));
+            pushed += c.write(&data[pushed..]);
+            pump(&mut now, &mut c, &mut s);
+            if total.len() == data.len() {
+                break;
+            }
+        }
+        assert_eq!(total.len(), data.len());
+    }
+
+    #[test]
+    fn rtt_is_measured_from_timestamps() {
+        let (_now, c, s) = established_pair();
+        assert!(c.srtt().is_some() || s.srtt().is_some());
+    }
+
+    #[test]
+    fn delayed_ack_acks_every_second_segment() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.write(&vec![1u8; MSS * 2]);
+        let segs = c.poll_output(now);
+        assert_eq!(segs.len(), 2);
+        // First segment: ACK deferred.
+        s.on_segment(now, &segs[0]);
+        assert!(s.poll_output(now).is_empty(), "delayed");
+        // Second segment: immediate ACK.
+        s.on_segment(now, &segs[1]);
+        let acks = s.poll_output(now);
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].ack, segs[1].seq.wrapping_add(MSS as u32));
+        // And a lone segment gets acked by the delack timer.
+        c.on_segment(now, &acks[0]);
+        c.write(&[2u8; 100]);
+        let seg = c.poll_output(now).remove(0);
+        s.on_segment(now, &seg);
+        assert!(s.poll_output(now).is_empty());
+        now += SimDuration::from_millis(1);
+        assert_eq!(s.poll_output(now).len(), 1, "delack fired");
+    }
+}

@@ -1,0 +1,118 @@
+//! UDP datagrams with pseudo-header checksums.
+
+use crate::ip::{finish_checksum, pseudo_header_sum, sum_words, IpProto};
+use std::net::Ipv4Addr;
+
+/// Length of a UDP header.
+pub const UDP_HDR_LEN: usize = 8;
+
+/// A parsed UDP datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// Parses a UDP payload (checksum verified against the pseudo-header).
+    pub fn parse(src: Ipv4Addr, dst: Ipv4Addr, p: &[u8]) -> Option<UdpDatagram> {
+        if p.len() < UDP_HDR_LEN {
+            return None;
+        }
+        let len = usize::from(u16::from_be_bytes([p[4], p[5]]));
+        if len < UDP_HDR_LEN || len > p.len() {
+            return None;
+        }
+        let p = &p[..len];
+        let wire_csum = u16::from_be_bytes([p[6], p[7]]);
+        if wire_csum != 0 {
+            let acc = pseudo_header_sum(src, dst, IpProto::Udp, len as u16);
+            if finish_checksum(sum_words(p, acc)) != 0 {
+                return None;
+            }
+        }
+        Some(UdpDatagram {
+            src_port: u16::from_be_bytes([p[0], p[1]]),
+            dst_port: u16::from_be_bytes([p[2], p[3]]),
+            payload: p[8..].to_vec(),
+        })
+    }
+
+    /// Serializes with a correct checksum.
+    pub fn build(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let len = (UDP_HDR_LEN + self.payload.len()) as u16;
+        let mut out = Vec::with_capacity(usize::from(len));
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&self.payload);
+        let acc = pseudo_header_sum(src, dst, IpProto::Udp, len);
+        let mut csum = finish_checksum(sum_words(&out, acc));
+        if csum == 0 {
+            csum = 0xFFFF; // RFC 768: transmitted zero means "no checksum"
+        }
+        out[6..8].copy_from_slice(&csum.to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn round_trip() {
+        let d = UdpDatagram {
+            src_port: 5000,
+            dst_port: 5201,
+            payload: b"datagram".to_vec(),
+        };
+        let bytes = d.build(A, B);
+        assert_eq!(UdpDatagram::parse(A, B, &bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        let d = UdpDatagram {
+            src_port: 1,
+            dst_port: 2,
+            payload: b"x".to_vec(),
+        };
+        let bytes = d.build(A, B);
+        // Same bytes "delivered" to the wrong address: checksum mismatch.
+        assert!(UdpDatagram::parse(A, Ipv4Addr::new(10, 0, 0, 9), &bytes).is_none());
+    }
+
+    #[test]
+    fn padding_beyond_length_is_ignored() {
+        let d = UdpDatagram {
+            src_port: 1,
+            dst_port: 2,
+            payload: b"abc".to_vec(),
+        };
+        let mut bytes = d.build(A, B);
+        bytes.extend_from_slice(&[0; 20]); // ethernet padding
+        assert_eq!(UdpDatagram::parse(A, B, &bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn corruption_and_runts_rejected() {
+        let d = UdpDatagram {
+            src_port: 1,
+            dst_port: 2,
+            payload: b"abc".to_vec(),
+        };
+        let mut bytes = d.build(A, B);
+        bytes[8] ^= 0xFF;
+        assert!(UdpDatagram::parse(A, B, &bytes).is_none());
+        assert!(UdpDatagram::parse(A, B, &[0; 4]).is_none());
+    }
+}

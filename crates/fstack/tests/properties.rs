@@ -1,0 +1,237 @@
+//! Property tests of the TCP/IP library: codec round trips, checksum laws,
+//! buffer invariants, and — most importantly — TCP's reliable-delivery
+//! invariant under adversarial segment arrival orders.
+
+use fstack::buffer::{RecvBuffer, SendBuffer};
+use fstack::ether::{EthHdr, EtherType};
+use fstack::icmp::IcmpEcho;
+use fstack::ip::{checksum, sum_words, IpProto, Ipv4Hdr};
+use fstack::tcp::seq::{seq_diff, seq_ge, seq_le, seq_lt};
+use fstack::tcp::tcb::Tcb;
+use fstack::tcp::{TcpFlags, TcpOptions, TcpSegment};
+use fstack::udp::UdpDatagram;
+use proptest::prelude::*;
+use simkern::time::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+use updk::nic::MacAddr;
+
+fn ip(a: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, a)
+}
+
+proptest! {
+    /// Internet checksum: appending the checksum makes the sum verify to 0,
+    /// for any payload.
+    #[test]
+    fn checksum_self_verifies(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let c = checksum(&data);
+        let mut with = data.clone();
+        with.extend_from_slice(&c.to_be_bytes());
+        // Odd-length payloads pad differently; verify on even lengths.
+        if data.len() % 2 == 0 {
+            prop_assert_eq!(checksum(&with), 0);
+        }
+        // Incremental equivalence: one pass equals two chunked passes.
+        let split = data.len() / 2 - data.len() / 2 % 2;
+        let (lo, hi) = data.split_at(split);
+        let acc = sum_words(hi, sum_words(lo, 0));
+        prop_assert_eq!(fstack::ip::finish_checksum(acc), c);
+    }
+
+    /// Ethernet + IPv4 + TCP round trip for arbitrary field values.
+    #[test]
+    fn tcp_over_ip_over_eth_round_trip(
+        src_port in 1u16..u16::MAX,
+        dst_port in 1u16..u16::MAX,
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        window in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+        syn in any::<bool>(),
+        fin in any::<bool>(),
+    ) {
+        let seg = TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: TcpFlags { syn, fin, ack: true, rst: false, psh: false },
+            window,
+            options: TcpOptions { mss: Some(1460), ts: Some((seq, ack)) },
+            payload,
+        };
+        let l4 = seg.build(ip(1), ip(2));
+        let pkt = Ipv4Hdr::build(ip(1), ip(2), IpProto::Tcp, 7, &l4);
+        let frame = EthHdr {
+            dst: MacAddr::local(2),
+            src: MacAddr::local(1),
+            ethertype: EtherType::Ipv4,
+        }
+        .build(&pkt);
+        let (eh, ip_bytes) = EthHdr::parse(&frame).expect("eth");
+        prop_assert_eq!(eh.ethertype, EtherType::Ipv4);
+        let (ih, l4_bytes) = Ipv4Hdr::parse(ip_bytes).expect("ip");
+        prop_assert_eq!(ih.proto, IpProto::Tcp);
+        let parsed = TcpSegment::parse(ih.src, ih.dst, l4_bytes).expect("tcp");
+        prop_assert_eq!(parsed, seg);
+    }
+
+    /// Single-bit corruption anywhere in the L4 bytes is detected.
+    #[test]
+    fn tcp_checksum_catches_bit_flips(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_byte in 0usize..100,
+        flip_bit in 0u8..8,
+    ) {
+        let seg = TcpSegment {
+            src_port: 1, dst_port: 2, seq: 3, ack: 4,
+            flags: TcpFlags::only_ack(),
+            window: 100,
+            options: TcpOptions::default(),
+            payload,
+        };
+        let mut bytes = seg.build(ip(1), ip(2));
+        let idx = flip_byte % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        prop_assert!(TcpSegment::parse(ip(1), ip(2), &bytes).is_none());
+    }
+
+    /// UDP and ICMP round trips.
+    #[test]
+    fn udp_icmp_round_trips(
+        sp in 1u16..u16::MAX,
+        dp in 1u16..u16::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        ident in any::<u16>(),
+        sq in any::<u16>(),
+    ) {
+        let d = UdpDatagram { src_port: sp, dst_port: dp, payload: payload.clone() };
+        prop_assert_eq!(UdpDatagram::parse(ip(1), ip(2), &d.build(ip(1), ip(2))).expect("udp"), d);
+        let e = IcmpEcho::request(ident, sq, &payload);
+        prop_assert_eq!(IcmpEcho::parse(&e.build()).expect("icmp"), e);
+    }
+
+    /// Sequence arithmetic is a strict total order on any window < 2^31.
+    #[test]
+    fn seq_order_laws(base in any::<u32>(), a in 0u32..1 << 30, b in 0u32..1 << 30) {
+        let x = base.wrapping_add(a);
+        let y = base.wrapping_add(b);
+        prop_assert_eq!(seq_lt(x, y), a < b);
+        prop_assert_eq!(seq_le(x, y), a <= b);
+        prop_assert_eq!(seq_ge(x, y), a >= b);
+        prop_assert_eq!(seq_diff(y, x), b.wrapping_sub(a));
+    }
+
+    /// SendBuffer: what goes in comes out of `range`, acked bytes vanish.
+    #[test]
+    fn send_buffer_invariants(
+        base in any::<u32>(),
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..100), 1..20),
+        ack_fraction in 0u32..100,
+    ) {
+        let mut buf = SendBuffer::new(base, 4096);
+        let mut model: Vec<u8> = Vec::new();
+        for chunk in &chunks {
+            let n = buf.push(chunk);
+            model.extend_from_slice(&chunk[..n]);
+        }
+        prop_assert_eq!(buf.len(), model.len());
+        prop_assert_eq!(buf.range(base, model.len()), model.clone());
+        // Ack a prefix.
+        let k = (model.len() as u32 * ack_fraction / 100) as usize;
+        buf.ack_to(base.wrapping_add(k as u32));
+        prop_assert_eq!(buf.len(), model.len() - k);
+        prop_assert_eq!(buf.range(base.wrapping_add(k as u32), model.len()), model[k..].to_vec());
+    }
+
+    /// RecvBuffer reassembles any permutation of MSS-ish segments into the
+    /// original byte stream — TCP's reliability invariant at the buffer
+    /// level.
+    #[test]
+    fn recv_buffer_reassembles_any_order(
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        seed in any::<u64>(),
+        base in any::<u32>(),
+    ) {
+        // Split into segments of varying sizes.
+        let mut segs: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut off = 0usize;
+        let mut sz = 37usize;
+        while off < data.len() {
+            let n = sz.min(data.len() - off);
+            segs.push((base.wrapping_add(off as u32), data[off..off + n].to_vec()));
+            off += n;
+            sz = (sz * 7 + 11) % 97 + 1;
+        }
+        // Shuffle deterministically.
+        let mut rng = simkern::rng::SimRng::seed_from_u64(seed);
+        for i in (1..segs.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            segs.swap(i, j);
+        }
+        let mut rb = RecvBuffer::new(base, 4096);
+        for (s, d) in &segs {
+            rb.on_segment(*s, d);
+            // Duplicates must be harmless too.
+            rb.on_segment(*s, d);
+        }
+        prop_assert_eq!(rb.read(usize::MAX), data);
+    }
+}
+
+/// TCP end-to-end reliability under random loss: every written byte is
+/// delivered exactly once, in order, despite dropping a configurable
+/// fraction of segments in both directions.
+#[test]
+fn tcp_survives_random_loss() {
+    let a = (ip(1), 40_000u16);
+    let b = (ip(2), 5_201u16);
+    for loss_per_mille in [0u64, 30, 100, 250] {
+        let mut rng = simkern::rng::SimRng::seed_from_u64(1000 + loss_per_mille);
+        let mut now = SimTime::from_millis(1);
+        let mut client = Tcb::connect(a, b, 77, 1448);
+        let syn = loop {
+            let segs = client.poll_output(now);
+            if let Some(s) = segs.into_iter().next() {
+                break s;
+            }
+            now += SimDuration::from_millis(1);
+        };
+        let mut server = Tcb::accept_from(b, a, &syn, 99, 1448);
+
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 255) as u8).collect();
+        let mut sent = 0usize;
+        let mut received = Vec::new();
+        let mut rounds = 0;
+        while received.len() < data.len() && rounds < 200_000 {
+            rounds += 1;
+            if sent < data.len() {
+                sent += client.write(&data[sent..]);
+            }
+            for seg in client.poll_output(now) {
+                if !rng.chance_per_mille(loss_per_mille) {
+                    server.on_segment(now, &seg);
+                }
+            }
+            for seg in server.poll_output(now) {
+                if !rng.chance_per_mille(loss_per_mille) {
+                    client.on_segment(now, &seg);
+                }
+            }
+            received.extend(server.read(usize::MAX));
+            now += SimDuration::from_micros(200);
+        }
+        assert_eq!(
+            received.len(),
+            data.len(),
+            "loss {loss_per_mille}‰: all bytes delivered"
+        );
+        assert_eq!(received, data, "loss {loss_per_mille}‰: in order, uncorrupted");
+        if loss_per_mille > 0 {
+            assert!(
+                client.stats().retransmits > 0,
+                "loss {loss_per_mille}‰ must cause retransmissions"
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Compartment configuration.
+//!
+//! Mirrors the paper's deployment knobs: cVMs run in *hybrid* mode (legacy
+//! pointers bounded by the DDC) today, with *pure* (purecap) mode as the
+//! natural extension; each cVM gets a fixed region split into a code window
+//! (PCC material) and a data window (DDC material).
+
+/// CHERI compilation/execution mode of a compartment (paper §II.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CvmMode {
+    /// Hybrid: only annotated pointers are capabilities; everything else is
+    /// bounded by the compartment DDC. This is what the paper evaluates.
+    #[default]
+    Hybrid,
+    /// Purecap: every pointer is a capability. Supported by the model for
+    /// forward-looking experiments.
+    Pure,
+}
+
+/// Builder-style configuration for one cVM.
+///
+/// # Example
+///
+/// ```
+/// use intravisor::{CvmConfig, CvmMode};
+/// let cfg = CvmConfig::new("fstack-svc")
+///     .mem_size(256 * 1024)
+///     .code_size(8 * 1024)
+///     .mode(CvmMode::Hybrid);
+/// assert_eq!(cfg.name(), "fstack-svc");
+/// assert_eq!(cfg.mem_size_bytes(), 256 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CvmConfig {
+    name: String,
+    mem_size: u64,
+    code_size: u64,
+    mode: CvmMode,
+}
+
+impl CvmConfig {
+    /// Default region size: enough for app + stack + mbuf staging.
+    pub const DEFAULT_MEM: u64 = 128 * 1024;
+    /// Default code window.
+    pub const DEFAULT_CODE: u64 = 4 * 1024;
+
+    /// Starts a config for a compartment called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CvmConfig {
+            name: name.into(),
+            mem_size: Self::DEFAULT_MEM,
+            code_size: Self::DEFAULT_CODE,
+            mode: CvmMode::Hybrid,
+        }
+    }
+
+    /// Sets the total region size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if smaller than the code window or not 16-byte aligned.
+    pub fn mem_size(mut self, bytes: u64) -> Self {
+        assert!(bytes.is_multiple_of(16), "region must be capability-aligned");
+        assert!(bytes > self.code_size, "region must exceed the code window");
+        self.mem_size = bytes;
+        self
+    }
+
+    /// Sets the code-window size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero, not 16-byte aligned, or ≥ the region size.
+    pub fn code_size(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0 && bytes.is_multiple_of(16), "bad code window");
+        assert!(bytes < self.mem_size, "code window must fit in the region");
+        self.code_size = bytes;
+        self
+    }
+
+    /// Sets the CHERI mode.
+    pub fn mode(mut self, mode: CvmMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The compartment name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The total region size (getter; same name as the setter is avoided by
+    /// builder-consuming-self convention — this borrows).
+    pub fn mem_size_bytes(&self) -> u64 {
+        self.mem_size
+    }
+
+    /// The code window size.
+    pub fn code_size_bytes(&self) -> u64 {
+        self.code_size
+    }
+
+    /// The CHERI mode.
+    pub fn cvm_mode(&self) -> CvmMode {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CvmConfig::new("x");
+        assert_eq!(c.mem_size_bytes(), CvmConfig::DEFAULT_MEM);
+        assert_eq!(c.code_size_bytes(), CvmConfig::DEFAULT_CODE);
+        assert_eq!(c.cvm_mode(), CvmMode::Hybrid);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = CvmConfig::new("x")
+            .mem_size(1 << 16)
+            .code_size(1 << 12)
+            .mode(CvmMode::Pure);
+        assert_eq!(c.mem_size_bytes(), 1 << 16);
+        assert_eq!(c.code_size_bytes(), 1 << 12);
+        assert_eq!(c.cvm_mode(), CvmMode::Pure);
+    }
+
+    #[test]
+    #[should_panic(expected = "capability-aligned")]
+    fn unaligned_region_panics() {
+        let _ = CvmConfig::new("x").mem_size(1000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "code window")]
+    fn code_window_must_fit() {
+        let _ = CvmConfig::new("x").mem_size(8192).code_size(8192);
+    }
+}

@@ -1,0 +1,230 @@
+//! The capability-VM: one isolated application component.
+//!
+//! A cVM in the paper "runs as a thread of the Intravisor" with its own
+//! DDC/PCC, a modified musl libc, and — in our streamlined design — no LKL.
+//! The struct here is the Intravisor's bookkeeping for one such compartment:
+//! its context, its entry sentry, a bump allocator over its data window, and
+//! counters the experiments report.
+
+use crate::config::CvmConfig;
+use cheri::{CapFault, Capability, CompartmentCtx, FaultKind};
+use std::fmt;
+
+/// An opaque compartment identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CvmId(u32);
+
+impl CvmId {
+    pub(crate) fn new(v: u32) -> Self {
+        CvmId(v)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The numeric id (stable within one Intravisor).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CvmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cVM{}", self.0 + 1) // the paper numbers cVMs from 1
+    }
+}
+
+/// One compartment: context, entry point, allocator, accounting.
+#[derive(Debug, Clone)]
+pub struct Cvm {
+    id: CvmId,
+    config: CvmConfig,
+    ctx: CompartmentCtx,
+    entry: Capability,
+    heap_next: u64,
+    // accounting
+    syscalls: u64,
+    xcalls: u64,
+    faults: u64,
+}
+
+impl Cvm {
+    pub(crate) fn new(
+        id: CvmId,
+        config: CvmConfig,
+        ctx: CompartmentCtx,
+        entry: Capability,
+        heap_base: u64,
+    ) -> Self {
+        Cvm {
+            id,
+            config,
+            ctx,
+            entry,
+            heap_next: heap_base,
+            syscalls: 0,
+            xcalls: 0,
+            faults: 0,
+        }
+    }
+
+    /// The compartment id.
+    pub fn id(&self) -> CvmId {
+        self.id
+    }
+
+    /// The compartment name.
+    pub fn name(&self) -> &str {
+        self.config.name()
+    }
+
+    /// The configuration it was created with.
+    pub fn config(&self) -> &CvmConfig {
+        &self.config
+    }
+
+    /// The DDC/PCC pair delimiting this compartment.
+    pub fn ctx(&self) -> &CompartmentCtx {
+        &self.ctx
+    }
+
+    /// The sealed entry capability other domains may jump to.
+    pub fn entry(&self) -> &Capability {
+        &self.entry
+    }
+
+    /// Bytes of data region not yet allocated.
+    pub fn heap_remaining(&self) -> u64 {
+        self.ctx.ddc().top().saturating_sub(self.heap_next)
+    }
+
+    /// Bump-allocates `size` bytes aligned to `align` from the data window.
+    ///
+    /// # Errors
+    ///
+    /// A bounds [`CapFault`] when the window is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<Capability, CapFault> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = self
+            .heap_next
+            .checked_next_multiple_of(align)
+            .ok_or_else(|| {
+                CapFault::new(FaultKind::Bounds, self.heap_next, size, *self.ctx.ddc())
+            })?;
+        let cap = self.ctx.ddc().try_restrict(base, size).map_err(|_| {
+            CapFault::new(FaultKind::Bounds, base, size, *self.ctx.ddc())
+        })?;
+        self.heap_next = base + size;
+        Ok(cap)
+    }
+
+    /// Syscalls this compartment has issued (through trampolines).
+    pub fn syscall_count(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// Cross-compartment calls this compartment has made.
+    pub fn xcall_count(&self) -> u64 {
+        self.xcalls
+    }
+
+    /// Capability faults this compartment has raised.
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+
+    pub(crate) fn note_syscall(&mut self) {
+        self.syscalls += 1;
+    }
+
+    pub(crate) fn note_xcall(&mut self) {
+        self.xcalls += 1;
+    }
+
+    pub(crate) fn note_fault(&mut self) {
+        self.faults += 1;
+    }
+
+    /// Neutralizes the compartment after teardown: its DDC/PCC become
+    /// untagged, so nothing can run or access memory as this cVM again.
+    pub(crate) fn retire(&mut self) {
+        let dead_ddc = self.ctx.ddc().without_tag();
+        let dead_pcc = self.ctx.pcc().without_tag();
+        self.ctx = CompartmentCtx::new(dead_ddc, dead_pcc);
+        self.entry = self.entry.without_tag();
+        self.heap_next = self.ctx.ddc().top(); // allocator exhausted
+    }
+}
+
+impl fmt::Display for Cvm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}) region=[{:#x},{:#x})",
+            self.id,
+            self.name(),
+            self.ctx.pcc().base(),
+            self.ctx.ddc().top()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Perms;
+
+    fn make_cvm() -> Cvm {
+        let ddc = Capability::root(0x10000, 0x10000, Perms::data());
+        let pcc = Capability::root(0xF000, 0x1000, Perms::code());
+        let entry = pcc.into_sentry().unwrap();
+        Cvm::new(
+            CvmId::new(0),
+            CvmConfig::new("test"),
+            CompartmentCtx::new(ddc, pcc),
+            entry,
+            0x10000,
+        )
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_bounds() {
+        let mut cvm = make_cvm();
+        let a = cvm.alloc(100, 64).unwrap();
+        assert_eq!(a.base() % 64, 0);
+        let b = cvm.alloc(16, 16).unwrap();
+        assert!(b.base() >= a.top());
+        assert_eq!(b.base() % 16, 0);
+        // Exhaust the window.
+        let e = cvm.alloc(1 << 20, 16).unwrap_err();
+        assert_eq!(e.kind(), FaultKind::Bounds);
+    }
+
+    #[test]
+    fn heap_remaining_shrinks() {
+        let mut cvm = make_cvm();
+        let before = cvm.heap_remaining();
+        cvm.alloc(1024, 16).unwrap();
+        assert!(cvm.heap_remaining() <= before - 1024);
+    }
+
+    #[test]
+    fn display_is_paper_style() {
+        let cvm = make_cvm();
+        let s = cvm.to_string();
+        assert!(s.starts_with("cVM1"), "{s}");
+        assert_eq!(CvmId::new(1).to_string(), "cVM2");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let mut cvm = make_cvm();
+        let _ = cvm.alloc(8, 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests of the compartment manager: spatial isolation of all
+//! allocations, trampoline cost accounting, and cross-call validation.
+
+use cheri::Capability;
+use intravisor::{CvmConfig, Intravisor};
+use chos::clock::ClockId;
+use chos::syscall::Syscall;
+use proptest::prelude::*;
+use simkern::cost::CostModel;
+use simkern::time::SimTime;
+
+fn overlap(a: &Capability, b: &Capability) -> bool {
+    a.base() < b.top() && b.base() < a.top()
+}
+
+proptest! {
+    /// Any sequence of allocations across any number of compartments yields
+    /// pairwise-disjoint capabilities, each inside its owner's DDC and
+    /// outside every other compartment's DDC.
+    #[test]
+    fn allocations_are_spatially_isolated(
+        n_cvms in 2usize..5,
+        allocs in proptest::collection::vec((0usize..5, 1u64..2_000, 0u32..4), 1..60),
+    ) {
+        let mut iv = Intravisor::new(1 << 21, CostModel::morello());
+        let ids: Vec<_> = (0..n_cvms)
+            .map(|i| {
+                iv.create_cvm(CvmConfig::new(format!("c{i}")).mem_size(64 * 1024))
+                    .unwrap()
+            })
+            .collect();
+        let mut granted: Vec<(usize, Capability)> = Vec::new();
+        for &(who, size, align_pow) in &allocs {
+            let who = who % n_cvms;
+            let align = 1u64 << (align_pow * 2); // 1,4,16,64
+            if let Ok(cap) = iv.cvm_alloc(ids[who], size, align) {
+                prop_assert_eq!(cap.len(), size);
+                prop_assert_eq!(cap.base() % align, 0);
+                prop_assert!(cap.is_subset_of(iv.cvm(ids[who]).ctx().ddc()));
+                for (owner, other) in &granted {
+                    prop_assert!(
+                        !overlap(&cap, other) || *owner == who,
+                        "allocations from different compartments must not overlap"
+                    );
+                    if *owner == who {
+                        prop_assert!(!overlap(&cap, other), "bump allocator never reuses");
+                    }
+                }
+                // The capability is invisible to every other DDC.
+                for (j, &other_id) in ids.iter().enumerate() {
+                    if j != who {
+                        prop_assert!(!cap.is_subset_of(iv.cvm(other_id).ctx().ddc()));
+                    }
+                }
+                granted.push((who, cap));
+            }
+        }
+    }
+
+    /// The trampoline charges exactly `trampoline_ns` over the native path,
+    /// for any call instant.
+    #[test]
+    fn trampoline_surcharge_is_constant(instants in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+        let costs = CostModel::morello();
+        let mut iv = Intravisor::new(1 << 20, costs.clone());
+        let app = iv.create_cvm(CvmConfig::new("a").mem_size(64 * 1024)).unwrap();
+        for &t in &instants {
+            let now = SimTime::from_nanos(t);
+            let native = iv
+                .kernel_mut()
+                .syscall(now, Syscall::ClockGettime(ClockId::MonotonicRaw));
+            let tramp = iv.trampoline_syscall(
+                app,
+                now,
+                Syscall::ClockGettime(ClockId::MonotonicRaw),
+            );
+            let native_ns = (native.completed_at - now).as_nanos();
+            let tramp_ns = (tramp.outcome.completed_at - now).as_nanos();
+            prop_assert_eq!(tramp_ns - native_ns, costs.trampoline_ns);
+        }
+    }
+
+    /// Every cross-compartment load outside the caller's DDC faults and is
+    /// logged; loads inside never fault.
+    #[test]
+    fn ddc_is_the_exact_boundary(offsets in proptest::collection::vec(0u64..(1 << 21), 1..100)) {
+        let mut iv = Intravisor::new(1 << 21, CostModel::morello());
+        let a = iv.create_cvm(CvmConfig::new("a").mem_size(64 * 1024)).unwrap();
+        let _b = iv.create_cvm(CvmConfig::new("b").mem_size(64 * 1024)).unwrap();
+        let ddc = *iv.cvm(a).ctx().ddc();
+        let mut expected_faults = 0usize;
+        for &addr in &offsets {
+            let inside = addr >= ddc.base() && addr + 8 <= ddc.top();
+            let r = iv.cvm_load(a, addr, 8);
+            if inside {
+                prop_assert!(r.is_ok(), "inside DDC at {addr:#x}");
+            } else {
+                prop_assert!(r.is_err(), "outside DDC at {addr:#x}");
+                expected_faults += 1;
+            }
+        }
+        prop_assert_eq!(iv.fault_log().len(), expected_faults);
+        prop_assert_eq!(iv.cvm(a).fault_count(), expected_faults as u64);
+    }
+
+    /// Cross-calls: every registered service is invokable by every *other*
+    /// compartment and never by its own provider.
+    #[test]
+    fn xcall_matrix(n_cvms in 2usize..5) {
+        let mut iv = Intravisor::new(1 << 21, CostModel::morello());
+        let ids: Vec<_> = (0..n_cvms)
+            .map(|i| {
+                iv.create_cvm(CvmConfig::new(format!("c{i}")).mem_size(64 * 1024))
+                    .unwrap()
+            })
+            .collect();
+        let services: Vec<_> = ids
+            .iter()
+            .map(|&id| iv.register_service(id, "svc").unwrap())
+            .collect();
+        for (si, &svc) in services.iter().enumerate() {
+            for (ci, &caller) in ids.iter().enumerate() {
+                let r = iv.xcall(caller, svc, SimTime::from_micros(1));
+                if si == ci {
+                    prop_assert!(r.is_err(), "self-invocation must fault");
+                } else {
+                    let g = r.expect("cross invocation succeeds");
+                    prop_assert_eq!(g.provider, ids[si]);
+                    prop_assert_eq!(
+                        g.ctx.ddc().base(),
+                        iv.cvm(ids[si]).ctx().ddc().base()
+                    );
+                }
+            }
+        }
+    }
+}

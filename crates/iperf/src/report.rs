@@ -1,0 +1,179 @@
+//! Bandwidth accounting and reporting.
+
+use simkern::time::{SimDuration, SimTime};
+
+/// One reporting interval (iperf3 prints one line per second).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalReport {
+    /// Interval start.
+    pub from: SimTime,
+    /// Interval end.
+    pub to: SimTime,
+    /// Payload bytes moved in the interval.
+    pub bytes: u64,
+}
+
+impl IntervalReport {
+    /// Interval bandwidth in Mbit/s.
+    pub fn mbit_per_sec(&self) -> f64 {
+        let secs = (self.to - self.from).as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / secs / 1e6
+        }
+    }
+}
+
+/// The end-of-run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthReport {
+    /// Run label (e.g. `cVM1 server`).
+    pub label: String,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Measured span.
+    pub elapsed: SimDuration,
+    /// Per-interval breakdown.
+    pub intervals: Vec<IntervalReport>,
+}
+
+impl BandwidthReport {
+    /// Mean bandwidth in Mbit/s over the whole run.
+    pub fn mbit_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / secs / 1e6
+        }
+    }
+
+    /// The paper's efficiency metric: bandwidth ÷ theoretical line rate.
+    pub fn efficiency(&self, link_bps: u64) -> f64 {
+        self.mbit_per_sec() * 1e6 / link_bps as f64
+    }
+}
+
+impl std::fmt::Display for BandwidthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.0} Mbit/s over {} ({} bytes)",
+            self.label,
+            self.mbit_per_sec(),
+            self.elapsed,
+            self.bytes
+        )
+    }
+}
+
+/// Accumulates bytes into fixed-length intervals.
+#[derive(Debug, Clone)]
+pub struct IntervalTracker {
+    interval: SimDuration,
+    current_start: SimTime,
+    current_bytes: u64,
+    done: Vec<IntervalReport>,
+}
+
+impl IntervalTracker {
+    /// Starts tracking at `start` with the given interval length.
+    pub fn new(start: SimTime, interval: SimDuration) -> Self {
+        IntervalTracker {
+            interval,
+            current_start: start,
+            current_bytes: 0,
+            done: Vec::new(),
+        }
+    }
+
+    /// Records `bytes` moved at instant `now`, rolling intervals as needed.
+    pub fn record(&mut self, now: SimTime, bytes: u64) {
+        while now - self.current_start >= self.interval {
+            let end = self.current_start + self.interval;
+            self.done.push(IntervalReport {
+                from: self.current_start,
+                to: end,
+                bytes: self.current_bytes,
+            });
+            self.current_start = end;
+            self.current_bytes = 0;
+        }
+        self.current_bytes += bytes;
+    }
+
+    /// Closes the open interval at `now` and returns all intervals.
+    pub fn finish(mut self, now: SimTime) -> Vec<IntervalReport> {
+        if now > self.current_start {
+            self.done.push(IntervalReport {
+                from: self.current_start,
+                to: now,
+                bytes: self.current_bytes,
+            });
+        }
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_bandwidth_math() {
+        let r = IntervalReport {
+            from: SimTime::ZERO,
+            to: SimTime::from_secs(1),
+            bytes: 125_000_000, // 1 Gbit
+        };
+        assert!((r.mbit_per_sec() - 1000.0).abs() < 1e-6);
+        let degenerate = IntervalReport {
+            from: SimTime::ZERO,
+            to: SimTime::ZERO,
+            bytes: 1,
+        };
+        assert_eq!(degenerate.mbit_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn summary_efficiency_matches_table2_form() {
+        // 941 Mbit/s over a 1 Gbit/s port → 94.1 % efficiency.
+        let r = BandwidthReport {
+            label: "cVM2".into(),
+            bytes: 117_625_000,
+            elapsed: SimDuration::from_secs(1),
+            intervals: vec![],
+        };
+        assert!((r.mbit_per_sec() - 941.0).abs() < 0.1);
+        assert!((r.efficiency(1_000_000_000) - 0.941).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tracker_rolls_intervals() {
+        let mut t = IntervalTracker::new(SimTime::ZERO, SimDuration::from_millis(100));
+        t.record(SimTime::from_millis(10), 100);
+        t.record(SimTime::from_millis(50), 100);
+        t.record(SimTime::from_millis(150), 100);
+        t.record(SimTime::from_millis(310), 100);
+        let intervals = t.finish(SimTime::from_millis(350));
+        assert_eq!(intervals.len(), 4);
+        assert_eq!(intervals[0].bytes, 200);
+        assert_eq!(intervals[1].bytes, 100);
+        assert_eq!(intervals[2].bytes, 0, "an idle interval is reported");
+        assert_eq!(intervals[3].bytes, 100);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = BandwidthReport {
+            label: "srv".into(),
+            bytes: 1000,
+            elapsed: SimDuration::from_millis(1),
+            intervals: vec![],
+        };
+        let s = r.to_string();
+        assert!(s.contains("srv"), "{s}");
+        assert!(s.contains("Mbit/s"), "{s}");
+    }
+}

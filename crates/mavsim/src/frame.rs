@@ -1,0 +1,279 @@
+//! MAVLink-v1-style wire framing.
+//!
+//! Layout (as in MAVLink 1.0, the format PX4 still speaks for legacy GCS
+//! links):
+//!
+//! ```text
+//! offset  0    1    2    3      4       5      6..6+len   6+len..8+len
+//!         STX  len  seq  sysid  compid  msgid  payload    crc16 (LE)
+//! ```
+//!
+//! The CRC is MCRF4XX (the X.25 CRC-16 variant MAVLink uses) over bytes
+//! `1..6+len` followed by the per-message *CRC extra* byte, which seals the
+//! message schema into the checksum.
+
+use crate::msg::{Message, MsgId};
+use crate::MavError;
+
+/// Start-of-frame marker (MAVLink 1.0's `0xFE`).
+pub const STX: u8 = 0xFE;
+
+/// Header (6) + CRC (2) bytes around the payload.
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Largest payload a frame can declare (the `len` field is one byte, but
+/// MAVLink caps payloads at 255 anyway).
+pub const MAX_PAYLOAD: usize = 255;
+
+/// CRC-16/MCRF4XX update (the MAVLink `crc_accumulate` function).
+fn crc_accumulate(mut crc: u16, byte: u8) -> u16 {
+    let mut tmp = byte ^ (crc as u8);
+    tmp ^= tmp << 4;
+    crc = (crc >> 8) ^ (u16::from(tmp) << 8) ^ (u16::from(tmp) << 3) ^ (u16::from(tmp) >> 4);
+    crc
+}
+
+/// The MCRF4XX CRC over `bytes`, then `extra`, from the standard init value.
+pub fn crc16(bytes: &[u8], extra: u8) -> u16 {
+    let mut crc = 0xFFFFu16;
+    for &b in bytes {
+        crc = crc_accumulate(crc, b);
+    }
+    crc_accumulate(crc, extra)
+}
+
+/// A parsed frame: header fields plus the raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MavFrame {
+    /// Sequence number (wraps at 256; receivers detect loss from gaps).
+    pub seq: u8,
+    /// Sending system id (vehicle or ground station).
+    pub sysid: u8,
+    /// Sending component id.
+    pub compid: u8,
+    /// Message id (see [`MsgId`]).
+    pub msgid: u8,
+    /// Raw payload bytes (schema defined by `msgid`).
+    pub payload: Vec<u8>,
+}
+
+impl MavFrame {
+    /// Encodes `message` into a complete wire frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message encodes beyond [`MAX_PAYLOAD`] — message
+    /// schemas in [`crate::msg`] are all far below the cap, so this
+    /// indicates a schema bug.
+    pub fn encode(seq: u8, sysid: u8, compid: u8, message: &Message) -> Vec<u8> {
+        let payload = message.encode();
+        assert!(payload.len() <= MAX_PAYLOAD, "schema exceeds MAX_PAYLOAD");
+        let msgid = message.id() as u8;
+        Self::encode_raw(seq, sysid, compid, msgid, &payload, message.id().crc_extra())
+    }
+
+    /// Encodes raw fields without schema validation — what an *attacker*
+    /// does. The CRC is still correct (the CVE pattern is a well-formed
+    /// frame whose *length* the receiver trusts blindly).
+    pub fn encode_raw(
+        seq: u8,
+        sysid: u8,
+        compid: u8,
+        msgid: u8,
+        payload: &[u8],
+        crc_extra: u8,
+    ) -> Vec<u8> {
+        assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds the len field");
+        let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+        out.push(STX);
+        out.push(payload.len() as u8);
+        out.push(seq);
+        out.push(sysid);
+        out.push(compid);
+        out.push(msgid);
+        out.extend_from_slice(payload);
+        let crc = crc16(&out[1..], crc_extra);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and CRC-verifies one frame from `bytes`.
+    ///
+    /// This is the *safe* decoder: every bound is checked before any copy.
+    ///
+    /// # Errors
+    ///
+    /// [`MavError::BadMagic`] / [`MavError::Truncated`] /
+    /// [`MavError::BadCrc`] / [`MavError::UnknownMsg`] as encountered.
+    pub fn decode(bytes: &[u8]) -> Result<MavFrame, MavError> {
+        if bytes.first() != Some(&STX) {
+            return Err(MavError::BadMagic);
+        }
+        if bytes.len() < FRAME_OVERHEAD {
+            return Err(MavError::Truncated);
+        }
+        let len = bytes[1] as usize;
+        if bytes.len() < FRAME_OVERHEAD + len {
+            return Err(MavError::Truncated);
+        }
+        let msgid = bytes[5];
+        let id = MsgId::try_from(msgid).map_err(|_| MavError::UnknownMsg(msgid))?;
+        let body = &bytes[1..6 + len];
+        let crc = u16::from_le_bytes([bytes[6 + len], bytes[7 + len]]);
+        if crc16(body, id.crc_extra()) != crc {
+            return Err(MavError::BadCrc);
+        }
+        Ok(MavFrame {
+            seq: bytes[2],
+            sysid: bytes[3],
+            compid: bytes[4],
+            msgid,
+            payload: bytes[6..6 + len].to_vec(),
+        })
+    }
+
+    /// Interprets the payload according to `msgid`.
+    ///
+    /// # Errors
+    ///
+    /// [`MavError::UnknownMsg`] / [`MavError::BadLength`] when the payload
+    /// does not fit the schema.
+    pub fn message(&self) -> Result<Message, MavError> {
+        Message::decode(self.msgid, &self.payload)
+    }
+
+    /// Total bytes this frame occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        FRAME_OVERHEAD + self.payload.len()
+    }
+}
+
+/// Tracks received sequence numbers and counts gaps (lost frames) the way
+/// MAVLink ground stations compute link quality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeqTracker {
+    last: Option<u8>,
+    /// Frames received.
+    pub received: u64,
+    /// Frames inferred lost from sequence gaps.
+    pub lost: u64,
+}
+
+impl SeqTracker {
+    /// A tracker that has seen nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `seq`, attributing any gap since the previous frame to loss.
+    pub fn observe(&mut self, seq: u8) {
+        self.received += 1;
+        if let Some(last) = self.last {
+            let gap = seq.wrapping_sub(last).wrapping_sub(1);
+            self.lost += u64::from(gap);
+        }
+        self.last = Some(seq);
+    }
+
+    /// Link quality in `0.0..=1.0` (received over received+lost).
+    pub fn quality(&self) -> f64 {
+        let total = self.received + self.lost;
+        if total == 0 {
+            1.0
+        } else {
+            self.received as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{Heartbeat, MavMode};
+
+    #[test]
+    fn crc16_known_vector() {
+        // MCRF4XX of "123456789" is 0x6F91; our extra byte folds in after.
+        let mut crc = 0xFFFFu16;
+        for b in b"123456789" {
+            crc = crc_accumulate(crc, *b);
+        }
+        assert_eq!(crc, 0x6F91);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let hb = Message::Heartbeat(Heartbeat {
+            mode: MavMode::Auto,
+            battery_pct: 55,
+            armed: true,
+        });
+        let wire = MavFrame::encode(3, 1, 200, &hb);
+        let frame = MavFrame::decode(&wire).unwrap();
+        assert_eq!(frame.seq, 3);
+        assert_eq!(frame.sysid, 1);
+        assert_eq!(frame.compid, 200);
+        assert_eq!(frame.message().unwrap(), hb);
+        assert_eq!(frame.wire_len(), wire.len());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut wire = MavFrame::encode(0, 1, 1, &Message::Heartbeat(Heartbeat::default()));
+        wire[0] = 0x55;
+        assert_eq!(MavFrame::decode(&wire), Err(MavError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_rejected_not_panicked() {
+        let wire = MavFrame::encode(0, 1, 1, &Message::Heartbeat(Heartbeat::default()));
+        for cut in 0..wire.len() {
+            let r = MavFrame::decode(&wire[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn flipped_bit_fails_crc() {
+        let wire = MavFrame::encode(9, 1, 1, &Message::Heartbeat(Heartbeat::default()));
+        for i in 1..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x01;
+            assert_ne!(
+                MavFrame::decode(&bad).and_then(|f| f.message()),
+                MavFrame::decode(&wire).and_then(|f| f.message()),
+                "bit flip at {i} must change the outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn crc_extra_seals_the_schema() {
+        // Same bytes, different claimed msgid → CRC must fail (the CRC
+        // extra binds the schema).
+        let wire = MavFrame::encode(0, 1, 1, &Message::Heartbeat(Heartbeat::default()));
+        let mut forged = wire.clone();
+        forged[5] = MsgId::Statustext as u8;
+        assert!(matches!(
+            MavFrame::decode(&forged),
+            Err(MavError::BadCrc) | Err(MavError::UnknownMsg(_))
+        ));
+    }
+
+    #[test]
+    fn seq_tracker_counts_gaps_and_wraps() {
+        let mut t = SeqTracker::new();
+        t.observe(250);
+        t.observe(251);
+        t.observe(254); // 252, 253 lost
+        t.observe(1); // 255, 0 lost (wrap)
+        assert_eq!(t.received, 4);
+        assert_eq!(t.lost, 4);
+        assert!((t.quality() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fresh_tracker_reports_perfect_quality() {
+        assert!((SeqTracker::new().quality() - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,347 @@
+//! The consuming side of the telemetry link: a ground-control station
+//! that folds the message stream into vehicle state and supervises link
+//! health.
+//!
+//! This is the component the paper's drone scenario ultimately protects:
+//! the operator's view of the vehicle. [`GroundControl`] tracks the last
+//! known mode/battery/attitude/position, a bounded status-text log, the
+//! parameter mirror, and — through the sequence tracker plus a staleness
+//! watchdog — whether the link itself can still be trusted. When the
+//! vehicle goes quiet past the configured timeout, the station recommends
+//! failsafe (return-to-launch), the standard MAVLink GCS behavior.
+
+use crate::frame::{MavFrame, SeqTracker};
+use crate::msg::{Attitude, GpsRaw, MavMode, Message, Severity};
+use crate::MavError;
+use std::collections::HashMap;
+
+/// Nanosecond timestamp type used by the station (virtual or wall time —
+/// the station only compares differences).
+pub type Nanos = u64;
+
+/// The operator-facing vehicle state, folded from telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VehicleState {
+    /// Last reported flight mode.
+    pub mode: MavMode,
+    /// Last reported battery percentage.
+    pub battery_pct: u8,
+    /// Last reported armed flag.
+    pub armed: bool,
+    /// Last attitude sample.
+    pub attitude: Attitude,
+    /// Last GPS fix.
+    pub gps: GpsRaw,
+}
+
+/// One retained status-text line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusLine {
+    /// Reported severity.
+    pub severity: Severity,
+    /// The text (lossy UTF-8).
+    pub text: String,
+    /// Arrival timestamp.
+    pub at: Nanos,
+}
+
+/// A ground-control station folding telemetry into state.
+///
+/// # Example
+///
+/// ```
+/// use mavsim::gcs::GroundControl;
+/// use mavsim::frame::MavFrame;
+/// use mavsim::msg::{Heartbeat, MavMode, Message};
+///
+/// let mut gcs = GroundControl::new(2_000_000_000); // 2 s link timeout
+/// let hb = Message::Heartbeat(Heartbeat { mode: MavMode::Auto, battery_pct: 77, armed: true });
+/// gcs.observe(1_000, &MavFrame::encode(0, 1, 1, &hb)).unwrap();
+/// assert_eq!(gcs.state().battery_pct, 77);
+/// assert!(!gcs.link_stale(500_000_000));
+/// assert!(gcs.link_stale(3_000_000_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroundControl {
+    state: VehicleState,
+    seq: SeqTracker,
+    params: HashMap<String, f32>,
+    status_log: Vec<StatusLine>,
+    last_heard: Option<Nanos>,
+    link_timeout: Nanos,
+    frames_ok: u64,
+    frames_bad: u64,
+}
+
+/// Retained status-text lines (older ones are dropped).
+const STATUS_LOG_CAP: usize = 64;
+
+impl GroundControl {
+    /// A station that declares the link stale after `link_timeout` ns of
+    /// silence.
+    pub fn new(link_timeout: Nanos) -> Self {
+        GroundControl {
+            state: VehicleState::default(),
+            seq: SeqTracker::new(),
+            params: HashMap::new(),
+            status_log: Vec::new(),
+            last_heard: None,
+            link_timeout,
+            frames_ok: 0,
+            frames_bad: 0,
+        }
+    }
+
+    /// Feeds one wire frame received at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors ([`MavError`]) for frames that fail validation;
+    /// the station's counters record them, its state is untouched.
+    pub fn observe(&mut self, at: Nanos, wire: &[u8]) -> Result<(), MavError> {
+        let frame = match MavFrame::decode(wire) {
+            Ok(f) => f,
+            Err(e) => {
+                self.frames_bad += 1;
+                return Err(e);
+            }
+        };
+        let msg = match frame.message() {
+            Ok(m) => m,
+            Err(e) => {
+                self.frames_bad += 1;
+                return Err(e);
+            }
+        };
+        self.frames_ok += 1;
+        self.seq.observe(frame.seq);
+        self.last_heard = Some(at);
+        match msg {
+            Message::Heartbeat(h) => {
+                self.state.mode = h.mode;
+                self.state.battery_pct = h.battery_pct;
+                self.state.armed = h.armed;
+            }
+            Message::Attitude(a) => self.state.attitude = a,
+            Message::GpsRaw(g) => self.state.gps = g,
+            Message::ParamSet(p) => {
+                let name = String::from_utf8_lossy(
+                    &p.name[..p.name.iter().position(|&b| b == 0).unwrap_or(16)],
+                )
+                .into_owned();
+                self.params.insert(name, p.value);
+            }
+            Message::Statustext(s) => {
+                if self.status_log.len() == STATUS_LOG_CAP {
+                    self.status_log.remove(0);
+                }
+                self.status_log.push(StatusLine {
+                    severity: s.severity,
+                    text: String::from_utf8_lossy(&s.text).into_owned(),
+                    at,
+                });
+            }
+            Message::CommandLong(_) => {
+                // Commands flow operator → vehicle; one arriving here is
+                // legal traffic (e.g. another GCS) but carries no state.
+            }
+        }
+        Ok(())
+    }
+
+    /// The folded vehicle state.
+    pub fn state(&self) -> &VehicleState {
+        &self.state
+    }
+
+    /// Mirror of parameters written over the link.
+    pub fn param(&self, name: &str) -> Option<f32> {
+        self.params.get(name).copied()
+    }
+
+    /// The retained status lines, oldest first.
+    pub fn status_log(&self) -> &[StatusLine] {
+        &self.status_log
+    }
+
+    /// Link quality from sequence accounting, `0.0..=1.0`.
+    pub fn link_quality(&self) -> f64 {
+        self.seq.quality()
+    }
+
+    /// `(valid frames, rejected frames)` counters.
+    pub fn frame_counts(&self) -> (u64, u64) {
+        (self.frames_ok, self.frames_bad)
+    }
+
+    /// `true` when nothing valid has been heard for longer than the
+    /// configured timeout (or ever).
+    pub fn link_stale(&self, now: Nanos) -> bool {
+        match self.last_heard {
+            None => true,
+            Some(t) => now.saturating_sub(t) > self.link_timeout,
+        }
+    }
+
+    /// Whether the station should command failsafe: the link is stale
+    /// while the vehicle was last seen armed — the operator can no longer
+    /// intervene, so the vehicle must come home on its own.
+    pub fn failsafe_recommended(&self, now: Nanos) -> bool {
+        self.state.armed && self.link_stale(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{CommandLong, Heartbeat, ParamSet, Statustext};
+
+    fn hb(seq: u8, battery: u8, armed: bool) -> Vec<u8> {
+        MavFrame::encode(
+            seq,
+            1,
+            1,
+            &Message::Heartbeat(Heartbeat {
+                mode: MavMode::Hover,
+                battery_pct: battery,
+                armed,
+            }),
+        )
+    }
+
+    #[test]
+    fn state_folds_from_the_stream() {
+        let mut g = GroundControl::new(1_000_000);
+        g.observe(10, &hb(0, 90, true)).unwrap();
+        g.observe(
+            20,
+            &MavFrame::encode(
+                1,
+                1,
+                1,
+                &Message::Attitude(Attitude {
+                    roll_mrad: 5,
+                    pitch_mrad: -7,
+                    yaw_mrad: 314,
+                }),
+            ),
+        )
+        .unwrap();
+        g.observe(
+            30,
+            &MavFrame::encode(
+                2,
+                1,
+                1,
+                &Message::GpsRaw(GpsRaw {
+                    lat_e7: 447_000_000,
+                    lon_e7: 108_000_000,
+                    alt_mm: 120_000,
+                    sats: 9,
+                }),
+            ),
+        )
+        .unwrap();
+        assert_eq!(g.state().battery_pct, 90);
+        assert!(g.state().armed);
+        assert_eq!(g.state().attitude.yaw_mrad, 314);
+        assert_eq!(g.state().gps.sats, 9);
+        assert_eq!(g.frame_counts(), (3, 0));
+        assert!((g.link_quality() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn params_and_status_are_retained() {
+        let mut g = GroundControl::new(1_000_000);
+        g.observe(
+            1,
+            &MavFrame::encode(0, 1, 1, &Message::ParamSet(ParamSet::named("BAT_LOW", 21.5))),
+        )
+        .unwrap();
+        g.observe(
+            2,
+            &MavFrame::encode(
+                1,
+                1,
+                1,
+                &Message::Statustext(Statustext {
+                    severity: Severity::Warning,
+                    text: b"low battery".to_vec(),
+                }),
+            ),
+        )
+        .unwrap();
+        assert_eq!(g.param("BAT_LOW"), Some(21.5));
+        assert_eq!(g.param("MISSING"), None);
+        assert_eq!(g.status_log().len(), 1);
+        assert_eq!(g.status_log()[0].text, "low battery");
+        assert_eq!(g.status_log()[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn status_log_is_bounded() {
+        let mut g = GroundControl::new(1_000_000);
+        for i in 0..(STATUS_LOG_CAP as u64 + 40) {
+            g.observe(
+                i,
+                &MavFrame::encode(
+                    i as u8,
+                    1,
+                    1,
+                    &Message::Statustext(Statustext {
+                        severity: Severity::Info,
+                        text: format!("line {i}").into_bytes(),
+                    }),
+                ),
+            )
+            .unwrap();
+        }
+        assert_eq!(g.status_log().len(), STATUS_LOG_CAP);
+        assert_eq!(g.status_log()[0].text, "line 40", "oldest dropped");
+    }
+
+    #[test]
+    fn staleness_and_failsafe() {
+        let mut g = GroundControl::new(1_000);
+        assert!(g.link_stale(0), "never heard = stale");
+        assert!(!g.failsafe_recommended(0), "but a disarmed vehicle needs none");
+        g.observe(100, &hb(0, 88, true)).unwrap();
+        assert!(!g.link_stale(900));
+        assert!(g.link_stale(1_200));
+        assert!(g.failsafe_recommended(1_200), "armed + stale = come home");
+        // A disarm before silence cancels the recommendation.
+        g.observe(1_300, &hb(1, 88, false)).unwrap();
+        assert!(!g.failsafe_recommended(999_999));
+    }
+
+    #[test]
+    fn bad_frames_count_but_do_not_poison_state() {
+        let mut g = GroundControl::new(1_000_000);
+        g.observe(1, &hb(0, 66, true)).unwrap();
+        let mut corrupt = hb(1, 11, false);
+        corrupt[8] ^= 0xFF;
+        assert!(g.observe(2, &corrupt).is_err());
+        assert_eq!(g.state().battery_pct, 66, "state unchanged by bad frame");
+        assert_eq!(g.frame_counts(), (1, 1));
+    }
+
+    #[test]
+    fn commands_are_accepted_but_stateless() {
+        let mut g = GroundControl::new(1_000_000);
+        g.observe(
+            1,
+            &MavFrame::encode(
+                0,
+                255,
+                190,
+                &Message::CommandLong(CommandLong {
+                    command: 400,
+                    params: [1.0; 7],
+                }),
+            ),
+        )
+        .unwrap();
+        assert_eq!(g.state(), &VehicleState::default());
+        assert_eq!(g.frame_counts(), (1, 0));
+    }
+}

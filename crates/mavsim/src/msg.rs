@@ -1,0 +1,468 @@
+//! The message vocabulary of a small UAV telemetry link.
+//!
+//! Six messages cover the traffic classes the paper's drone scenario needs:
+//! liveness ([`Heartbeat`]), state streaming ([`Attitude`], [`GpsRaw`]),
+//! command & control ([`CommandLong`]), configuration ([`ParamSet`]) and
+//! diagnostics ([`Statustext`]). Every message has a fixed wire size except
+//! `Statustext`, whose text field is length-prefixed — the variable-length
+//! message is deliberate: it is the shape of payload the CVE's unchecked
+//! `memcpy` pattern mishandles.
+
+use crate::MavError;
+
+/// Message ids (a compact subset of common.xml).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MsgId {
+    /// Liveness + mode + battery.
+    Heartbeat = 0,
+    /// Roll/pitch/yaw attitude state.
+    Attitude = 30,
+    /// Raw GPS fix.
+    GpsRaw = 24,
+    /// A command with seven float parameters (arm, takeoff, …).
+    CommandLong = 76,
+    /// Write one named parameter.
+    ParamSet = 23,
+    /// Free-text status (severity + length-prefixed text).
+    Statustext = 253,
+}
+
+impl MsgId {
+    /// The per-message CRC seed byte (MAVLink's `CRC_EXTRA`), binding the
+    /// schema version into the frame checksum.
+    pub fn crc_extra(self) -> u8 {
+        match self {
+            MsgId::Heartbeat => 50,
+            MsgId::Attitude => 39,
+            MsgId::GpsRaw => 24,
+            MsgId::CommandLong => 152,
+            MsgId::ParamSet => 168,
+            MsgId::Statustext => 83,
+        }
+    }
+
+    /// The fixed payload size, or `None` for variable-length messages.
+    pub fn wire_size(self) -> Option<usize> {
+        match self {
+            MsgId::Heartbeat => Some(3),
+            MsgId::Attitude => Some(12),
+            MsgId::GpsRaw => Some(13),
+            MsgId::CommandLong => Some(30),
+            MsgId::ParamSet => Some(20),
+            MsgId::Statustext => None,
+        }
+    }
+}
+
+impl TryFrom<u8> for MsgId {
+    type Error = MavError;
+
+    fn try_from(v: u8) -> Result<MsgId, MavError> {
+        Ok(match v {
+            0 => MsgId::Heartbeat,
+            30 => MsgId::Attitude,
+            24 => MsgId::GpsRaw,
+            76 => MsgId::CommandLong,
+            23 => MsgId::ParamSet,
+            253 => MsgId::Statustext,
+            other => return Err(MavError::UnknownMsg(other)),
+        })
+    }
+}
+
+/// Flight mode reported in the heartbeat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MavMode {
+    /// On the ground, motors idle.
+    #[default]
+    Standby = 0,
+    /// Position-holding hover.
+    Hover = 1,
+    /// Autonomous mission.
+    Auto = 2,
+    /// Returning to launch.
+    Rtl = 3,
+}
+
+impl TryFrom<u8> for MavMode {
+    type Error = MavError;
+
+    fn try_from(v: u8) -> Result<MavMode, MavError> {
+        Ok(match v {
+            0 => MavMode::Standby,
+            1 => MavMode::Hover,
+            2 => MavMode::Auto,
+            3 => MavMode::Rtl,
+            _ => return Err(MavError::BadLength),
+        })
+    }
+}
+
+/// Liveness beacon: mode, battery, armed flag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Current flight mode.
+    pub mode: MavMode,
+    /// Battery percentage `0..=100`.
+    pub battery_pct: u8,
+    /// Motors armed.
+    pub armed: bool,
+}
+
+/// Attitude state in milliradians (integer encoding keeps the wire format
+/// exact for round-trip tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Attitude {
+    /// Roll, mrad.
+    pub roll_mrad: i32,
+    /// Pitch, mrad.
+    pub pitch_mrad: i32,
+    /// Yaw, mrad.
+    pub yaw_mrad: i32,
+}
+
+/// Raw GPS fix (scaled integers, as MAVLink sends them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpsRaw {
+    /// Latitude, degrees × 1e7.
+    pub lat_e7: i32,
+    /// Longitude, degrees × 1e7.
+    pub lon_e7: i32,
+    /// Altitude above MSL, millimetres.
+    pub alt_mm: i32,
+    /// Number of visible satellites.
+    pub sats: u8,
+}
+
+/// A command with up to seven parameters (MAV_CMD semantics).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommandLong {
+    /// Command id (e.g. 400 = arm/disarm).
+    pub command: u16,
+    /// The seven float parameters.
+    pub params: [f32; 7],
+}
+
+/// Write one named parameter on the vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamSet {
+    /// Parameter name, NUL-padded to 16 bytes.
+    pub name: [u8; 16],
+    /// New value.
+    pub value: f32,
+}
+
+impl Default for ParamSet {
+    fn default() -> Self {
+        ParamSet {
+            name: [0; 16],
+            value: 0.0,
+        }
+    }
+}
+
+impl ParamSet {
+    /// Builds a parameter write from a short name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` exceeds 16 bytes.
+    pub fn named(name: &str, value: f32) -> Self {
+        assert!(name.len() <= 16, "parameter names are at most 16 bytes");
+        let mut buf = [0u8; 16];
+        buf[..name.len()].copy_from_slice(name.as_bytes());
+        ParamSet { name: buf, value }
+    }
+}
+
+/// Severity of a [`Statustext`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Severity {
+    /// Informational.
+    #[default]
+    Info = 6,
+    /// Something degraded.
+    Warning = 4,
+    /// Operator action required.
+    Critical = 2,
+}
+
+impl TryFrom<u8> for Severity {
+    type Error = MavError;
+
+    fn try_from(v: u8) -> Result<Severity, MavError> {
+        Ok(match v {
+            6 => Severity::Info,
+            4 => Severity::Warning,
+            2 => Severity::Critical,
+            _ => return Err(MavError::BadLength),
+        })
+    }
+}
+
+/// Free-text status: severity byte + length-prefixed text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Statustext {
+    /// Message severity.
+    pub severity: Severity,
+    /// The text (at most 253 bytes on the wire).
+    pub text: Vec<u8>,
+}
+
+/// One telemetry message, typed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Liveness beacon.
+    Heartbeat(Heartbeat),
+    /// Attitude state.
+    Attitude(Attitude),
+    /// GPS fix.
+    GpsRaw(GpsRaw),
+    /// Command & control.
+    CommandLong(CommandLong),
+    /// Parameter write.
+    ParamSet(ParamSet),
+    /// Status text.
+    Statustext(Statustext),
+}
+
+impl Message {
+    /// The message id of this variant.
+    pub fn id(&self) -> MsgId {
+        match self {
+            Message::Heartbeat(_) => MsgId::Heartbeat,
+            Message::Attitude(_) => MsgId::Attitude,
+            Message::GpsRaw(_) => MsgId::GpsRaw,
+            Message::CommandLong(_) => MsgId::CommandLong,
+            Message::ParamSet(_) => MsgId::ParamSet,
+            Message::Statustext(_) => MsgId::Statustext,
+        }
+    }
+
+    /// Serializes the payload (header/CRC added by [`crate::MavFrame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::Heartbeat(h) => {
+                vec![h.mode as u8, h.battery_pct, u8::from(h.armed)]
+            }
+            Message::Attitude(a) => {
+                let mut v = Vec::with_capacity(12);
+                v.extend_from_slice(&a.roll_mrad.to_le_bytes());
+                v.extend_from_slice(&a.pitch_mrad.to_le_bytes());
+                v.extend_from_slice(&a.yaw_mrad.to_le_bytes());
+                v
+            }
+            Message::GpsRaw(g) => {
+                let mut v = Vec::with_capacity(13);
+                v.extend_from_slice(&g.lat_e7.to_le_bytes());
+                v.extend_from_slice(&g.lon_e7.to_le_bytes());
+                v.extend_from_slice(&g.alt_mm.to_le_bytes());
+                v.push(g.sats);
+                v
+            }
+            Message::CommandLong(c) => {
+                let mut v = Vec::with_capacity(30);
+                v.extend_from_slice(&c.command.to_le_bytes());
+                for p in &c.params {
+                    v.extend_from_slice(&p.to_le_bytes());
+                }
+                v
+            }
+            Message::ParamSet(p) => {
+                let mut v = Vec::with_capacity(20);
+                v.extend_from_slice(&p.name);
+                v.extend_from_slice(&p.value.to_le_bytes());
+                v
+            }
+            Message::Statustext(s) => {
+                let mut v = Vec::with_capacity(2 + s.text.len());
+                v.push(s.severity as u8);
+                v.push(s.text.len().min(253) as u8);
+                v.extend_from_slice(&s.text[..s.text.len().min(253)]);
+                v
+            }
+        }
+    }
+
+    /// Deserializes a payload of message id `msgid`.
+    ///
+    /// # Errors
+    ///
+    /// [`MavError::UnknownMsg`] for unassigned ids, [`MavError::BadLength`]
+    /// when the payload does not fit the schema.
+    pub fn decode(msgid: u8, p: &[u8]) -> Result<Message, MavError> {
+        let id = MsgId::try_from(msgid)?;
+        if let Some(want) = id.wire_size() {
+            if p.len() != want {
+                return Err(MavError::BadLength);
+            }
+        }
+        let le_i32 = |b: &[u8]| i32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        let le_f32 = |b: &[u8]| f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        Ok(match id {
+            MsgId::Heartbeat => Message::Heartbeat(Heartbeat {
+                mode: MavMode::try_from(p[0])?,
+                battery_pct: p[1],
+                armed: p[2] != 0,
+            }),
+            MsgId::Attitude => Message::Attitude(Attitude {
+                roll_mrad: le_i32(&p[0..4]),
+                pitch_mrad: le_i32(&p[4..8]),
+                yaw_mrad: le_i32(&p[8..12]),
+            }),
+            MsgId::GpsRaw => Message::GpsRaw(GpsRaw {
+                lat_e7: le_i32(&p[0..4]),
+                lon_e7: le_i32(&p[4..8]),
+                alt_mm: le_i32(&p[8..12]),
+                sats: p[12],
+            }),
+            MsgId::CommandLong => {
+                let mut params = [0.0f32; 7];
+                for (i, q) in params.iter_mut().enumerate() {
+                    *q = le_f32(&p[2 + 4 * i..6 + 4 * i]);
+                }
+                Message::CommandLong(CommandLong {
+                    command: u16::from_le_bytes([p[0], p[1]]),
+                    params,
+                })
+            }
+            MsgId::ParamSet => {
+                let mut name = [0u8; 16];
+                name.copy_from_slice(&p[0..16]);
+                Message::ParamSet(ParamSet {
+                    name,
+                    value: le_f32(&p[16..20]),
+                })
+            }
+            MsgId::Statustext => {
+                if p.len() < 2 {
+                    return Err(MavError::BadLength);
+                }
+                let severity = Severity::try_from(p[0])?;
+                let text_len = p[1] as usize;
+                if p.len() != 2 + text_len {
+                    return Err(MavError::BadLength);
+                }
+                Message::Statustext(Statustext {
+                    severity,
+                    text: p[2..].to_vec(),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: Message) {
+        let wire = m.encode();
+        let back = Message::decode(m.id() as u8, &wire).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(Message::Heartbeat(Heartbeat {
+            mode: MavMode::Rtl,
+            battery_pct: 31,
+            armed: true,
+        }));
+        round_trip(Message::Attitude(Attitude {
+            roll_mrad: -314,
+            pitch_mrad: 1_571,
+            yaw_mrad: 2_000_000,
+        }));
+        round_trip(Message::GpsRaw(GpsRaw {
+            lat_e7: 447_112_280,
+            lon_e7: 108_844_170,
+            alt_mm: 42_000,
+            sats: 11,
+        }));
+        round_trip(Message::CommandLong(CommandLong {
+            command: 400,
+            params: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 21196.0],
+        }));
+        round_trip(Message::ParamSet(ParamSet::named("MPC_XY_VEL_MAX", 12.5)));
+        round_trip(Message::Statustext(Statustext {
+            severity: Severity::Warning,
+            text: b"low battery".to_vec(),
+        }));
+    }
+
+    #[test]
+    fn wire_sizes_match_schema() {
+        assert_eq!(
+            Message::Heartbeat(Heartbeat::default()).encode().len(),
+            MsgId::Heartbeat.wire_size().unwrap()
+        );
+        assert_eq!(
+            Message::Attitude(Attitude::default()).encode().len(),
+            MsgId::Attitude.wire_size().unwrap()
+        );
+        assert_eq!(
+            Message::GpsRaw(GpsRaw::default()).encode().len(),
+            MsgId::GpsRaw.wire_size().unwrap()
+        );
+        assert_eq!(
+            Message::CommandLong(CommandLong::default()).encode().len(),
+            MsgId::CommandLong.wire_size().unwrap()
+        );
+        assert_eq!(
+            Message::ParamSet(ParamSet::default()).encode().len(),
+            MsgId::ParamSet.wire_size().unwrap()
+        );
+        assert!(MsgId::Statustext.wire_size().is_none());
+    }
+
+    #[test]
+    fn wrong_length_payloads_are_rejected() {
+        assert_eq!(
+            Message::decode(MsgId::Heartbeat as u8, &[0; 4]),
+            Err(MavError::BadLength)
+        );
+        assert_eq!(
+            Message::decode(MsgId::Attitude as u8, &[0; 11]),
+            Err(MavError::BadLength)
+        );
+        assert_eq!(Message::decode(99, &[]), Err(MavError::UnknownMsg(99)));
+    }
+
+    #[test]
+    fn statustext_length_prefix_is_enforced() {
+        // Declared text length longer than the actual bytes → reject.
+        let bad = [Severity::Info as u8, 10, b'h', b'i'];
+        assert_eq!(
+            Message::decode(MsgId::Statustext as u8, &bad),
+            Err(MavError::BadLength)
+        );
+    }
+
+    #[test]
+    fn statustext_truncates_oversized_text_on_encode() {
+        let m = Message::Statustext(Statustext {
+            severity: Severity::Info,
+            text: vec![b'x'; 300],
+        });
+        let wire = m.encode();
+        assert_eq!(wire.len(), 2 + 253);
+        assert_eq!(wire[1], 253);
+    }
+
+    #[test]
+    fn param_names_pad_with_nul() {
+        let p = ParamSet::named("BAT_LOW", 21.0);
+        assert_eq!(&p.name[..7], b"BAT_LOW");
+        assert!(p.name[7..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16")]
+    fn oversized_param_names_panic() {
+        let _ = ParamSet::named("A_VERY_LONG_PARAMETER_NAME", 0.0);
+    }
+}

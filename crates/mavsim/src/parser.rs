@@ -1,0 +1,527 @@
+//! Two ground-station receive paths for the same telemetry link — one with
+//! the CVE, one compartmentalized.
+//!
+//! CVE-2024-38951 (cited in the paper's introduction) is an *unchecked
+//! buffer limit*: the MAVLink receive path copies an attacker-controlled
+//! number of bytes into a fixed-size buffer. [`VulnerableParser`] commits
+//! exactly that bug against a flat, unprotected address space — the
+//! NuttX/PX4 deployment model the paper describes, where "all applications
+//! typically run within a single address space". The bytes that overflow
+//! the 64-byte RX buffer land in whatever is adjacent; here, as on a real
+//! autopilot, that is the actuator command block.
+//!
+//! [`CheriParser`] runs the *same unchecked copy loop*, but the RX buffer
+//! is held through a bounds-restricted [`cheri::Capability`] into tagged
+//! memory. Byte 64 of the copy raises the paper's Fig. 3 capability
+//! out-of-bounds exception: the compartment dies, the actuator block —
+//! reachable only through a different capability — is untouched.
+//!
+//! Both implement [`GroundStation`], so tests and examples can run the
+//! identical attack against both and diff the blast radius.
+
+use crate::frame::{MavFrame, STX};
+use crate::msg::Message;
+use crate::MavError;
+use cheri::{CapFault, Capability, Perms, TaggedMemory};
+
+/// Size of the fixed telemetry RX buffer both parsers use.
+pub const RX_BUF: usize = 64;
+
+/// Motor idle command (PWM microseconds), the safe default.
+pub const MOTOR_IDLE: u16 = 1000;
+
+/// What handling one wire frame did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParserOutcome {
+    /// The frame decoded cleanly and was delivered.
+    Delivered(Message),
+    /// The frame was rejected by protocol validation.
+    Rejected(MavError),
+    /// The copy tripped a CHERI capability fault — the compartment is dead.
+    Faulted(CapFault),
+    /// The receive compartment is dead; the Intravisor dropped the frame.
+    Dropped,
+}
+
+impl ParserOutcome {
+    /// `true` for [`ParserOutcome::Delivered`].
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, ParserOutcome::Delivered(_))
+    }
+}
+
+/// A telemetry receive path plus the actuator state living next to it.
+pub trait GroundStation {
+    /// Feeds one wire frame to the receive path.
+    fn handle(&mut self, wire: &[u8]) -> ParserOutcome;
+
+    /// The four motor commands as the mixer would read them.
+    fn motors(&self) -> [u16; 4];
+
+    /// `false` once the receive compartment has been killed by a fault.
+    fn alive(&self) -> bool;
+
+    /// `true` when any motor command no longer reads [`MOTOR_IDLE`]
+    /// without a legitimate command having set it.
+    fn motors_corrupted(&self) -> bool {
+        self.motors().iter().any(|&m| m != MOTOR_IDLE)
+    }
+}
+
+/// Arena layout shared by both parsers: the RX buffer with the actuator
+/// command block immediately after it — the adjacency that makes the
+/// overflow weaponizable.
+const RX_OFF: usize = 0;
+const MOTOR_OFF: usize = RX_BUF;
+const FAILSAFE_OFF: usize = MOTOR_OFF + 8;
+// The arena models the *whole* flat address space around the RX buffer: a
+// maximal (255-byte) overflow must land in simulated memory, not trip
+// Rust's own bounds checks — in C there is nothing to trip.
+const ARENA: usize = RX_BUF + 256;
+
+/// The CVE pattern against flat memory: a C-style ground station in a
+/// single address space (no MMU/MPU, as on the paper's NuttX/PX4 class of
+/// devices).
+///
+/// `handle` copies `len` bytes — the *attacker's* length field — into the
+/// 64-byte RX buffer with no bound check. Overflowing bytes silently
+/// overwrite the adjacent motor command block. The parser itself never
+/// notices: validation happens after the copy, exactly the broken ordering
+/// of the CVE.
+#[derive(Debug, Clone)]
+pub struct VulnerableParser {
+    arena: Vec<u8>,
+    delivered: u64,
+}
+
+impl Default for VulnerableParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VulnerableParser {
+    /// A fresh ground station with motors at [`MOTOR_IDLE`].
+    pub fn new() -> Self {
+        let mut arena = vec![0u8; ARENA];
+        for i in 0..4 {
+            arena[MOTOR_OFF + 2 * i..MOTOR_OFF + 2 * i + 2]
+                .copy_from_slice(&MOTOR_IDLE.to_le_bytes());
+        }
+        arena[FAILSAFE_OFF] = 1; // failsafe armed
+        VulnerableParser {
+            arena,
+            delivered: 0,
+        }
+    }
+
+    /// Frames delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Whether the failsafe flag still reads armed.
+    pub fn failsafe_armed(&self) -> bool {
+        self.arena[FAILSAFE_OFF] == 1
+    }
+}
+
+impl GroundStation for VulnerableParser {
+    fn handle(&mut self, wire: &[u8]) -> ParserOutcome {
+        if wire.first() != Some(&STX) || wire.len() < 8 {
+            return ParserOutcome::Rejected(MavError::BadMagic);
+        }
+        let len = wire[1] as usize;
+        if wire.len() < 8 + len {
+            return ParserOutcome::Rejected(MavError::Truncated);
+        }
+        // THE BUG (CVE-2024-38951 pattern): `len` is attacker-controlled
+        // and RX_BUF is 64, but the copy trusts `len` blindly. In flat
+        // memory nothing stops the write at the buffer's end.
+        for (i, &b) in wire[6..6 + len].iter().enumerate() {
+            self.arena[RX_OFF + i] = b; // may run past RX_BUF
+        }
+        // Validation happens only after the damage is done.
+        match MavFrame::decode(wire) {
+            Ok(f) => match f.message() {
+                Ok(m) => {
+                    self.delivered += 1;
+                    ParserOutcome::Delivered(m)
+                }
+                Err(e) => ParserOutcome::Rejected(e),
+            },
+            Err(e) => ParserOutcome::Rejected(e),
+        }
+    }
+
+    fn motors(&self) -> [u16; 4] {
+        let mut m = [0u16; 4];
+        for (i, v) in m.iter_mut().enumerate() {
+            *v = u16::from_le_bytes([
+                self.arena[MOTOR_OFF + 2 * i],
+                self.arena[MOTOR_OFF + 2 * i + 1],
+            ]);
+        }
+        m
+    }
+
+    fn alive(&self) -> bool {
+        true // flat memory never kills the process — that is the problem
+    }
+}
+
+/// The same receive path inside a CHERI compartment.
+///
+/// The copy loop is byte-for-byte the vulnerable one; the difference is the
+/// *authority* it runs with: the RX buffer capability spans exactly
+/// [`RX_BUF`] bytes. The 65th write raises `CapFault::BoundsViolation`
+/// (Fig. 3 of the paper) and the compartment is torn down; the actuator
+/// block is only reachable through its own capability, which the parser
+/// never touches out of bounds.
+#[derive(Debug)]
+pub struct CheriParser {
+    mem: TaggedMemory,
+    rx: Capability,
+    actuators: Capability,
+    dead: Option<CapFault>,
+    delivered: u64,
+    faults_survived: u64,
+}
+
+impl Default for CheriParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CheriParser {
+    /// Builds the compartment: tagged memory with the RX buffer and the
+    /// actuator block held via separate, tightly-bounded capabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the fixed arena layout stops satisfying capability
+    /// alignment — a compile-time-style invariant of this module.
+    pub fn new() -> Self {
+        let mut mem = TaggedMemory::new(4096);
+        let data = Perms::data();
+        let rx = mem
+            .root_cap()
+            .try_restrict(RX_OFF as u64, RX_BUF as u64)
+            .expect("rx buffer capability")
+            .try_restrict_perms(data)
+            .expect("rx perms");
+        let actuators = mem
+            .root_cap()
+            .try_restrict(MOTOR_OFF as u64, 16)
+            .expect("actuator capability")
+            .try_restrict_perms(data)
+            .expect("actuator perms");
+        for i in 0..4u64 {
+            mem.write_u16(&actuators, MOTOR_OFF as u64 + 2 * i, MOTOR_IDLE)
+                .expect("motor init");
+        }
+        mem.write_u8(&actuators, FAILSAFE_OFF as u64, 1)
+            .expect("failsafe init");
+        CheriParser {
+            mem,
+            rx,
+            actuators,
+            dead: None,
+            delivered: 0,
+            faults_survived: 0,
+        }
+    }
+
+    /// The fault that killed the compartment, if any.
+    pub fn fault(&self) -> Option<&CapFault> {
+        self.dead.as_ref()
+    }
+
+    /// Faults absorbed over the compartment's lifetime (across respawns).
+    pub fn faults_survived(&self) -> u64 {
+        self.faults_survived
+    }
+
+    /// Restarts the dead compartment: fresh tagged memory for the RX
+    /// buffer, delivery resumes — the recovery the Intravisor's cVM
+    /// lifecycle management enables.
+    ///
+    /// This is what turns the CVE's *denial of service* into a bounded
+    /// availability blip: flat memory gives the attacker silent control
+    /// forever; the CHERI deployment loses one compartment for one restart
+    /// and keeps its actuator state intact throughout. The actuator block
+    /// is deliberately *not* reset — it was never corrupted, and a real
+    /// autopilot must not glitch its motors on a telemetry-parser restart.
+    ///
+    /// Calling this on a live compartment is a no-op.
+    pub fn respawn(&mut self) {
+        if self.dead.take().is_some() {
+            self.faults_survived += 1;
+            // Scrub the RX buffer (a fresh cVM gets zeroed pages).
+            for i in 0..RX_BUF as u64 {
+                self.mem
+                    .write_u8(&self.rx, RX_OFF as u64 + i, 0)
+                    .expect("rx scrub stays in bounds");
+            }
+        }
+    }
+
+    /// Frames delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Whether the failsafe flag still reads armed.
+    pub fn failsafe_armed(&mut self) -> bool {
+        self.mem
+            .read_u8(&self.actuators, FAILSAFE_OFF as u64)
+            .map(|b| b == 1)
+            .unwrap_or(false)
+    }
+}
+
+impl GroundStation for CheriParser {
+    fn handle(&mut self, wire: &[u8]) -> ParserOutcome {
+        if self.dead.is_some() {
+            // The compartment is gone; the Intravisor would refuse to
+            // schedule it. Frames to a dead cVM are dropped.
+            return ParserOutcome::Dropped;
+        }
+        if wire.first() != Some(&STX) || wire.len() < 8 {
+            return ParserOutcome::Rejected(MavError::BadMagic);
+        }
+        let len = wire[1] as usize;
+        if wire.len() < 8 + len {
+            return ParserOutcome::Rejected(MavError::Truncated);
+        }
+        // The SAME unchecked loop as VulnerableParser::handle — but every
+        // store is checked against the rx capability's bounds in hardware.
+        for (i, &b) in wire[6..6 + len].iter().enumerate() {
+            if let Err(fault) = self.mem.write_u8(&self.rx, (RX_OFF + i) as u64, b) {
+                self.dead = Some(fault.clone());
+                return ParserOutcome::Faulted(fault);
+            }
+        }
+        match MavFrame::decode(wire) {
+            Ok(f) => match f.message() {
+                Ok(m) => {
+                    self.delivered += 1;
+                    ParserOutcome::Delivered(m)
+                }
+                Err(e) => ParserOutcome::Rejected(e),
+            },
+            Err(e) => ParserOutcome::Rejected(e),
+        }
+    }
+
+    fn motors(&self) -> [u16; 4] {
+        // Reading state of a (possibly dead) compartment is the
+        // Intravisor's privilege; we model it with a scoped clone of the
+        // actuator capability.
+        let mut mem = self.mem.clone();
+        let mut m = [0u16; 4];
+        for (i, v) in m.iter_mut().enumerate() {
+            *v = mem
+                .read_u16(&self.actuators, (MOTOR_OFF + 2 * i) as u64)
+                .unwrap_or(0);
+        }
+        m
+    }
+
+    fn alive(&self) -> bool {
+        self.dead.is_none()
+    }
+}
+
+/// Builders for the attack traffic the tests and the example inject.
+pub mod attack {
+    use super::RX_BUF;
+    use crate::frame::{crc16, STX};
+    use crate::msg::MsgId;
+
+    /// A CRC-valid Statustext frame whose declared length (`payload_len`)
+    /// exceeds the receiver's 64-byte buffer. Bytes past the buffer are
+    /// chosen to rewrite the adjacent motor block to `motor_cmd` and clear
+    /// the failsafe flag — "take full control of a drone" (paper §I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_len` is not in `(RX_BUF + 9) ..= 255` — too short
+    /// to reach the actuator block or too long for the length field.
+    pub fn oversized_statustext(payload_len: usize, motor_cmd: u16) -> Vec<u8> {
+        assert!(
+            payload_len > RX_BUF + 9 && payload_len <= 255,
+            "payload must overrun into the 9-byte actuator block"
+        );
+        let mut payload = vec![0u8; payload_len];
+        payload[0] = 6; // severity: Info (valid, to get past shallow checks)
+        payload[1] = (payload_len - 2) as u8; // self-consistent text length
+        for b in payload[2..RX_BUF].iter_mut() {
+            *b = b'A';
+        }
+        // Bytes that land on the motor block after the overflow.
+        for i in 0..4 {
+            let le = motor_cmd.to_le_bytes();
+            payload[RX_BUF + 2 * i] = le[0];
+            payload[RX_BUF + 2 * i + 1] = le[1];
+        }
+        payload[RX_BUF + 8] = 0; // disarm the failsafe flag
+        let mut wire = Vec::with_capacity(8 + payload_len);
+        wire.push(STX);
+        wire.push(payload_len as u8);
+        wire.push(77); // seq
+        wire.push(255); // sysid: a GCS id, as a spoofed sender would use
+        wire.push(1);
+        wire.push(MsgId::Statustext as u8);
+        wire.extend_from_slice(&payload);
+        let crc = crc16(&wire[1..], MsgId::Statustext.crc_extra());
+        wire.extend_from_slice(&crc.to_le_bytes());
+        wire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{Heartbeat, MavMode, MsgId};
+
+    fn benign() -> Vec<u8> {
+        MavFrame::encode(
+            1,
+            1,
+            1,
+            &Message::Heartbeat(Heartbeat {
+                mode: MavMode::Hover,
+                battery_pct: 90,
+                armed: true,
+            }),
+        )
+    }
+
+    #[test]
+    fn both_parsers_deliver_benign_traffic() {
+        let wire = benign();
+        let mut v = VulnerableParser::new();
+        let mut c = CheriParser::new();
+        assert!(v.handle(&wire).is_delivered());
+        assert!(c.handle(&wire).is_delivered());
+        assert_eq!(v.motors(), [MOTOR_IDLE; 4]);
+        assert_eq!(c.motors(), [MOTOR_IDLE; 4]);
+        assert!(v.alive() && c.alive());
+        assert_eq!(v.delivered(), 1);
+        assert_eq!(c.delivered(), 1);
+    }
+
+    #[test]
+    fn attack_corrupts_flat_memory_silently() {
+        let mut v = VulnerableParser::new();
+        let wire = attack::oversized_statustext(90, 2000);
+        let out = v.handle(&wire);
+        // The frame may even validate — the copy already happened.
+        assert!(!matches!(out, ParserOutcome::Faulted(_)));
+        assert!(v.alive(), "flat memory: nothing crashes…");
+        assert_eq!(v.motors(), [2000; 4], "…but the motors are overwritten");
+        assert!(!v.failsafe_armed(), "and the failsafe flag is cleared");
+        assert!(v.motors_corrupted());
+    }
+
+    #[test]
+    fn attack_faults_the_cheri_compartment_and_nothing_else() {
+        let mut c = CheriParser::new();
+        let wire = attack::oversized_statustext(90, 2000);
+        let out = c.handle(&wire);
+        let ParserOutcome::Faulted(fault) = out else {
+            panic!("expected a capability fault, got {out:?}");
+        };
+        assert!(
+            format!("{fault}").to_lowercase().contains("bound"),
+            "Fig. 3's out-of-bounds exception: {fault}"
+        );
+        assert!(!c.alive(), "the compartment is dead…");
+        assert_eq!(c.motors(), [MOTOR_IDLE; 4], "…and the motors are intact");
+        assert!(c.failsafe_armed());
+        assert!(!c.motors_corrupted());
+    }
+
+    #[test]
+    fn dead_compartment_drops_subsequent_frames() {
+        let mut c = CheriParser::new();
+        let _ = c.handle(&attack::oversized_statustext(90, 2000));
+        let out = c.handle(&benign());
+        assert!(!out.is_delivered());
+        assert_eq!(c.delivered(), 0);
+    }
+
+    #[test]
+    fn respawn_restores_service_with_actuators_untouched() {
+        let mut c = CheriParser::new();
+        assert!(c.handle(&benign()).is_delivered());
+        let _ = c.handle(&attack::oversized_statustext(90, 2000));
+        assert!(!c.alive());
+        c.respawn();
+        assert!(c.alive(), "compartment restarted");
+        assert_eq!(c.faults_survived(), 1);
+        assert!(c.fault().is_none(), "fault record cleared on respawn");
+        assert!(c.handle(&benign()).is_delivered(), "telemetry resumes");
+        assert_eq!(c.delivered(), 2);
+        assert_eq!(c.motors(), [MOTOR_IDLE; 4], "motors never glitched");
+        assert!(c.failsafe_armed());
+    }
+
+    #[test]
+    fn respawn_survives_repeated_attacks() {
+        // The CVE is a DoS; with fail-stop + restart each exploit costs one
+        // compartment restart, never state. Ten attack waves:
+        let mut c = CheriParser::new();
+        for wave in 1..=10u64 {
+            let _ = c.handle(&attack::oversized_statustext(100, 0xFFFF));
+            assert!(!c.alive());
+            c.respawn();
+            assert_eq!(c.faults_survived(), wave);
+            assert!(c.handle(&benign()).is_delivered());
+        }
+        assert_eq!(c.motors(), [MOTOR_IDLE; 4]);
+        assert_eq!(c.delivered(), 10);
+    }
+
+    #[test]
+    fn respawn_on_live_compartment_is_a_noop() {
+        let mut c = CheriParser::new();
+        assert!(c.handle(&benign()).is_delivered());
+        c.respawn();
+        assert_eq!(c.faults_survived(), 0);
+        assert_eq!(c.delivered(), 1);
+        assert!(c.alive());
+    }
+
+    #[test]
+    fn attack_frame_is_crc_valid() {
+        // The exploit is not a malformed frame — the safe decoder accepts
+        // it as a (weird) Statustext. Only the *copy bound* is the bug.
+        let wire = attack::oversized_statustext(100, 1500);
+        let f = MavFrame::decode(&wire).expect("attack frame is well-formed");
+        assert_eq!(f.payload.len(), 100);
+    }
+
+    #[test]
+    fn short_overflow_that_stays_in_bounds_is_harmless_everywhere() {
+        // A 64-byte payload exactly fills the buffer: legal for both.
+        let mut payload = vec![0u8; RX_BUF];
+        payload[0] = 6;
+        payload[1] = (RX_BUF - 2) as u8;
+        let wire = MavFrame::encode_raw(0, 1, 1, MsgId::Statustext as u8, &payload, 83);
+        let mut v = VulnerableParser::new();
+        let mut c = CheriParser::new();
+        assert!(v.handle(&wire).is_delivered());
+        assert!(c.handle(&wire).is_delivered());
+        assert!(!v.motors_corrupted());
+        assert!(!c.motors_corrupted());
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun")]
+    fn attack_builder_rejects_in_bounds_payloads() {
+        let _ = attack::oversized_statustext(64, 2000);
+    }
+}

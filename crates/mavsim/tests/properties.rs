@@ -1,0 +1,199 @@
+//! Property-based tests for the mavsim protocol and the two parsers.
+
+use mavsim::frame::{MavFrame, SeqTracker};
+use mavsim::msg::{
+    Attitude, CommandLong, GpsRaw, Heartbeat, MavMode, Message, ParamSet, Severity, Statustext,
+};
+use mavsim::parser::{attack, CheriParser, GroundStation, ParserOutcome, VulnerableParser, MOTOR_IDLE};
+use proptest::prelude::*;
+
+fn arb_mode() -> impl Strategy<Value = MavMode> {
+    prop_oneof![
+        Just(MavMode::Standby),
+        Just(MavMode::Hover),
+        Just(MavMode::Auto),
+        Just(MavMode::Rtl),
+    ]
+}
+
+fn arb_severity() -> impl Strategy<Value = Severity> {
+    prop_oneof![
+        Just(Severity::Info),
+        Just(Severity::Warning),
+        Just(Severity::Critical),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (arb_mode(), 0u8..=100, any::<bool>()).prop_map(|(mode, battery_pct, armed)| {
+            Message::Heartbeat(Heartbeat {
+                mode,
+                battery_pct,
+                armed,
+            })
+        }),
+        (any::<i32>(), any::<i32>(), any::<i32>()).prop_map(|(r, p, y)| {
+            Message::Attitude(Attitude {
+                roll_mrad: r,
+                pitch_mrad: p,
+                yaw_mrad: y,
+            })
+        }),
+        (any::<i32>(), any::<i32>(), any::<i32>(), any::<u8>()).prop_map(|(lat, lon, alt, sats)| {
+            Message::GpsRaw(GpsRaw {
+                lat_e7: lat,
+                lon_e7: lon,
+                alt_mm: alt,
+                sats,
+            })
+        }),
+        (any::<u16>(), proptest::array::uniform7(any::<f32>())).prop_map(|(command, params)| {
+            Message::CommandLong(CommandLong { command, params })
+        }),
+        ("[A-Z_]{1,16}", any::<f32>())
+            .prop_map(|(name, value)| Message::ParamSet(ParamSet::named(&name, value))),
+        (arb_severity(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(
+            |(severity, text)| Message::Statustext(Statustext { severity, text })
+        ),
+    ]
+}
+
+proptest! {
+    /// Encode → decode is the identity for every message (NaN-free floats;
+    /// NaN breaks PartialEq, not the codec).
+    #[test]
+    fn frames_round_trip(m in arb_message(), seq: u8, sysid: u8, compid: u8) {
+        prop_assume!(match &m {
+            Message::CommandLong(c) => c.params.iter().all(|p| !p.is_nan()),
+            Message::ParamSet(p) => !p.value.is_nan(),
+            _ => true,
+        });
+        let wire = MavFrame::encode(seq, sysid, compid, &m);
+        let f = MavFrame::decode(&wire).unwrap();
+        prop_assert_eq!(f.seq, seq);
+        prop_assert_eq!(f.sysid, sysid);
+        prop_assert_eq!(f.compid, compid);
+        prop_assert_eq!(f.message().unwrap(), m);
+    }
+
+    /// The safe decoder never panics, whatever bytes arrive.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = MavFrame::decode(&bytes);
+    }
+
+    /// Neither parser panics on arbitrary input, and the CHERI parser's
+    /// actuator block survives arbitrary input unchanged.
+    #[test]
+    fn parsers_survive_fuzz(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut v = VulnerableParser::new();
+        let _ = v.handle(&bytes);
+        let mut c = CheriParser::new();
+        let _ = c.handle(&bytes);
+        prop_assert_eq!(c.motors(), [MOTOR_IDLE; 4], "CHERI actuators are inviolable");
+    }
+
+    /// The attack succeeds against flat memory and is contained by CHERI,
+    /// for every overflow length and payload value.
+    #[test]
+    fn attack_outcome_is_universal(extra in 74usize..=255, cmd in 1001u16..u16::MAX) {
+        let wire = attack::oversized_statustext(extra, cmd);
+        let mut v = VulnerableParser::new();
+        let _ = v.handle(&wire);
+        prop_assert!(v.motors_corrupted(), "flat memory always corrupted");
+        prop_assert_eq!(v.motors(), [cmd; 4]);
+
+        let mut c = CheriParser::new();
+        let out = c.handle(&wire);
+        prop_assert!(matches!(out, ParserOutcome::Faulted(_)), "CHERI always faults");
+        prop_assert!(!c.motors_corrupted(), "CHERI actuators always intact");
+    }
+
+    /// Benign traffic behaves identically through both parsers.
+    #[test]
+    fn benign_equivalence(m in arb_message(), seq: u8) {
+        prop_assume!(match &m {
+            Message::CommandLong(c) => c.params.iter().all(|p| !p.is_nan()),
+            Message::ParamSet(p) => !p.value.is_nan(),
+            _ => true,
+        });
+        // Keep payloads inside the 64-byte RX buffer — the legitimate
+        // traffic class both receive paths must agree on.
+        prop_assume!(m.encode().len() <= 64);
+        let wire = MavFrame::encode(seq, 1, 1, &m);
+        let mut v = VulnerableParser::new();
+        let mut c = CheriParser::new();
+        let rv = v.handle(&wire);
+        let rc = c.handle(&wire);
+        prop_assert_eq!(rv, rc);
+        prop_assert!(!v.motors_corrupted());
+        prop_assert!(!c.motors_corrupted());
+    }
+
+    /// The sequence tracker's quality is always in [0, 1] and total
+    /// accounting is consistent.
+    #[test]
+    fn seq_tracker_accounting(seqs in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut t = SeqTracker::new();
+        for s in &seqs {
+            t.observe(*s);
+        }
+        prop_assert_eq!(t.received, seqs.len() as u64);
+        let q = t.quality();
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+}
+
+mod gcs_properties {
+    use super::{arb_message, Message};
+    use mavsim::frame::MavFrame;
+    use mavsim::gcs::GroundControl;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The ground station never panics and its counters are consistent
+        /// over any mix of valid frames and garbage.
+        #[test]
+        fn gcs_accounting_is_total(
+            stream in proptest::collection::vec(
+                prop_oneof![
+                    arb_message().prop_map(Some),
+                    proptest::collection::vec(any::<u8>(), 0..64).prop_map(|_| None),
+                ],
+                0..64,
+            ),
+            garbage in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut g = GroundControl::new(1_000_000);
+            let mut sent_ok = 0u64;
+            let mut sent_junk = 0u64;
+            for (i, item) in stream.iter().enumerate() {
+                match item {
+                    Some(m) => {
+                        prop_assume!(match m {
+                            Message::CommandLong(c) => c.params.iter().all(|p| !p.is_nan()),
+                            Message::ParamSet(p) => !p.value.is_nan(),
+                            _ => true,
+                        });
+                        let wire = MavFrame::encode(i as u8, 1, 1, m);
+                        prop_assert!(g.observe(i as u64, &wire).is_ok());
+                        sent_ok += 1;
+                    }
+                    None => {
+                        if g.observe(i as u64, &garbage).is_err() {
+                            sent_junk += 1;
+                        } else {
+                            sent_ok += 1; // garbage that happened to be valid
+                        }
+                    }
+                }
+            }
+            let (ok, bad) = g.frame_counts();
+            prop_assert_eq!(ok, sent_ok);
+            prop_assert_eq!(bad, sent_junk);
+            let q = g.link_quality();
+            prop_assert!((0.0..=1.0).contains(&q));
+        }
+    }
+}

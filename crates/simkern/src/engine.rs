@@ -1,0 +1,300 @@
+//! The event engine: a calendar queue of scheduled actions over a world `W`.
+//!
+//! Handlers are boxed `FnOnce(&mut W, &mut Engine<W>)` closures. The engine
+//! owns no domain state — the scenario drivers in the `capnet` crate define
+//! their own world structs holding the Intravisor, NICs, stacks and apps, and
+//! every event is a closure over ids into that world. This keeps the borrow
+//! checker happy without `Rc<RefCell<…>>` webs and keeps runs deterministic:
+//! ties in time are broken by a monotonically increasing sequence number.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // with FIFO order among same-instant events.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event engine over a caller-owned world type `W`.
+///
+/// # Example
+///
+/// ```
+/// use simkern::engine::Engine;
+/// use simkern::time::SimTime;
+///
+/// let mut engine: Engine<u32> = Engine::new();
+/// let mut counter = 0u32;
+/// engine.schedule(SimTime::from_nanos(10), |c: &mut u32, _| *c += 1);
+/// engine.schedule(SimTime::from_nanos(5), |c: &mut u32, _| *c += 10);
+/// engine.run(&mut counter);
+/// assert_eq!(counter, 11);
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    executed: u64,
+    event_cap: u64,
+}
+
+impl<W> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// A generous default runaway guard (see [`Engine::set_event_cap`]).
+    pub const DEFAULT_EVENT_CAP: u64 = 2_000_000_000;
+
+    /// Creates an engine at virtual time zero with an empty calendar.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+            event_cap: Self::DEFAULT_EVENT_CAP,
+        }
+    }
+
+    /// The current virtual instant (the timestamp of the running event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Caps the number of events a run may execute, as a guard against
+    /// accidentally non-terminating schedules in tests.
+    pub fn set_event_cap(&mut self, cap: u64) {
+        self.event_cap = cap;
+    }
+
+    /// Schedules `action` to run at instant `at`.
+    ///
+    /// Events scheduled in the past of the current event are executed at the
+    /// current instant instead (time never goes backwards); this matches how
+    /// a hardware completion that "already happened" is observed at poll time.
+    pub fn schedule<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` `delay` after the current instant.
+    pub fn schedule_in<F>(&mut self, delay: crate::time::SimDuration, action: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule(at, action);
+    }
+
+    /// Runs events until the calendar is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event cap is exceeded (runaway schedule).
+    pub fn run(&mut self, world: &mut W) {
+        self.run_until(world, SimTime::MAX);
+    }
+
+    /// Runs events with timestamps `<= deadline`, then stops.
+    ///
+    /// The virtual clock is left at the later of the last executed event and
+    /// any previous `now` — it does *not* jump to `deadline`, so interleaved
+    /// `run_until` calls compose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event cap is exceeded (runaway schedule).
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must pop");
+            self.now = ev.at;
+            self.executed += 1;
+            assert!(
+                self.executed <= self.event_cap,
+                "simulation exceeded event cap of {} events at t={}",
+                self.event_cap,
+                self.now
+            );
+            (ev.action)(world, self);
+        }
+    }
+
+    /// Runs exactly one event if one is pending, returning `true` if it ran.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        if let Some(ev) = self.queue.pop() {
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.action)(world, self);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Discards all pending events (used when tearing a scenario down).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule(SimTime::from_nanos(30), |l: &mut Vec<u32>, _| l.push(3));
+        eng.schedule(SimTime::from_nanos(10), |l: &mut Vec<u32>, _| l.push(1));
+        eng.schedule(SimTime::from_nanos(20), |l: &mut Vec<u32>, _| l.push(2));
+        eng.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_events_are_fifo() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        for i in 0..5 {
+            eng.schedule(SimTime::from_nanos(7), move |l: &mut Vec<u32>, _| {
+                l.push(i)
+            });
+        }
+        eng.run(&mut log);
+        assert_eq!(log, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handlers_can_reschedule_themselves() {
+        struct W {
+            count: u32,
+        }
+        fn tick(w: &mut W, eng: &mut Engine<W>) {
+            w.count += 1;
+            if w.count < 10 {
+                eng.schedule_in(SimDuration::from_nanos(100), tick);
+            }
+        }
+        let mut eng = Engine::new();
+        let mut w = W { count: 0 };
+        eng.schedule(SimTime::ZERO, tick);
+        eng.run(&mut w);
+        assert_eq!(w.count, 10);
+        assert_eq!(eng.now(), SimTime::from_nanos(900));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut w = 0;
+        for i in 1..=10u64 {
+            eng.schedule(SimTime::from_nanos(i * 10), |w: &mut u32, _| *w += 1);
+        }
+        eng.run_until(&mut w, SimTime::from_nanos(50));
+        assert_eq!(w, 5);
+        assert_eq!(eng.pending(), 5);
+        eng.run(&mut w);
+        assert_eq!(w, 10);
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule(SimTime::from_nanos(100), |l: &mut Vec<u64>, e: &mut Engine<_>| {
+            // Scheduling "in the past" executes at the current instant.
+            e.schedule(SimTime::from_nanos(1), |l: &mut Vec<u64>, e: &mut Engine<_>| {
+                l.push(e.now().as_nanos());
+            });
+            l.push(e.now().as_nanos());
+        });
+        eng.run(&mut log);
+        assert_eq!(log, vec![100, 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event cap")]
+    fn runaway_schedules_trip_the_cap() {
+        fn forever(_: &mut (), eng: &mut Engine<()>) {
+            eng.schedule_in(SimDuration::from_nanos(1), forever);
+        }
+        let mut eng = Engine::new();
+        eng.set_event_cap(1_000);
+        eng.schedule(SimTime::ZERO, forever);
+        eng.run(&mut ());
+    }
+
+    #[test]
+    fn step_runs_one_event() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut w = 0;
+        eng.schedule(SimTime::from_nanos(1), |w: &mut u32, _| *w += 1);
+        eng.schedule(SimTime::from_nanos(2), |w: &mut u32, _| *w += 1);
+        assert!(eng.step(&mut w));
+        assert_eq!(w, 1);
+        eng.clear();
+        assert!(!eng.step(&mut w));
+    }
+}

@@ -1,0 +1,162 @@
+//! The kernel-detach module.
+//!
+//! Paper §III.B: *"We implemented the module that detaches the NIC from
+//! kernel-space and attaches it to user-space, ensuring that the memory
+//! allocations it requests are performed with the correct permission
+//! flags."* DPDK's equivalent is binding the device to `uio`/`vfio`. This
+//! registry models the handoff: a device starts owned by the kernel driver
+//! and must be explicitly rebound before [`crate::ethdev::EthDev::start`]
+//! will touch it.
+
+use crate::UpdkError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A PCI bus/device/function address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PciAddress {
+    bus: u8,
+    device: u8,
+    function: u8,
+}
+
+impl PciAddress {
+    /// Creates a `bus:device.function` address.
+    pub fn new(bus: u8, device: u8, function: u8) -> Self {
+        PciAddress {
+            bus,
+            device,
+            function,
+        }
+    }
+}
+
+impl fmt::Display for PciAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "0000:{:02x}:{:02x}.{}",
+            self.bus, self.device, self.function
+        )
+    }
+}
+
+/// Who owns a PCI device right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceBinding {
+    /// The in-kernel driver (e.g. CheriBSD's `igb`); userspace I/O refused.
+    #[default]
+    KernelDriver,
+    /// Userspace I/O (uio/vfio style): poll-mode drivers may map it.
+    Userspace,
+}
+
+/// The system's device-binding table.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Default)]
+pub struct BindingRegistry {
+    devices: BTreeMap<PciAddress, (String, DeviceBinding)>,
+}
+
+impl BindingRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a device as discovered (kernel-bound, like after boot).
+    pub fn discover(&mut self, addr: PciAddress, name: impl Into<String>) {
+        self.devices
+            .insert(addr, (name.into(), DeviceBinding::KernelDriver));
+    }
+
+    /// Detaches `addr` from the kernel and hands it to userspace.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdkError::NoSuchDevice`] for unknown addresses.
+    pub fn bind_userspace(&mut self, addr: PciAddress) -> Result<(), UpdkError> {
+        let dev = self.devices.get_mut(&addr).ok_or(UpdkError::NoSuchDevice)?;
+        dev.1 = DeviceBinding::Userspace;
+        Ok(())
+    }
+
+    /// Returns `addr` to the kernel driver.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdkError::NoSuchDevice`] for unknown addresses.
+    pub fn bind_kernel(&mut self, addr: PciAddress) -> Result<(), UpdkError> {
+        let dev = self.devices.get_mut(&addr).ok_or(UpdkError::NoSuchDevice)?;
+        dev.1 = DeviceBinding::KernelDriver;
+        Ok(())
+    }
+
+    /// The current binding of `addr`.
+    pub fn binding(&self, addr: PciAddress) -> Option<DeviceBinding> {
+        self.devices.get(&addr).map(|(_, b)| *b)
+    }
+
+    /// The device's name string.
+    pub fn device_name(&self, addr: PciAddress) -> Option<&str> {
+        self.devices.get(&addr).map(|(n, _)| n.as_str())
+    }
+
+    /// Verifies `addr` is userspace-bound (the precondition for poll-mode
+    /// drivers).
+    ///
+    /// # Errors
+    ///
+    /// [`UpdkError::NoSuchDevice`] or [`UpdkError::DeviceBoundToKernel`].
+    pub fn require_userspace(&self, addr: PciAddress) -> Result<(), UpdkError> {
+        match self.binding(addr) {
+            None => Err(UpdkError::NoSuchDevice),
+            Some(DeviceBinding::KernelDriver) => Err(UpdkError::DeviceBoundToKernel),
+            Some(DeviceBinding::Userspace) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_start_kernel_bound() {
+        let mut r = BindingRegistry::new();
+        let a = PciAddress::new(0, 3, 0);
+        r.discover(a, "82576");
+        assert_eq!(r.binding(a), Some(DeviceBinding::KernelDriver));
+        assert_eq!(
+            r.require_userspace(a).unwrap_err(),
+            UpdkError::DeviceBoundToKernel
+        );
+    }
+
+    #[test]
+    fn rebind_round_trip() {
+        let mut r = BindingRegistry::new();
+        let a = PciAddress::new(0, 3, 0);
+        r.discover(a, "82576");
+        r.bind_userspace(a).unwrap();
+        assert!(r.require_userspace(a).is_ok());
+        r.bind_kernel(a).unwrap();
+        assert_eq!(r.binding(a), Some(DeviceBinding::KernelDriver));
+    }
+
+    #[test]
+    fn unknown_devices_error() {
+        let mut r = BindingRegistry::new();
+        let a = PciAddress::new(9, 9, 9);
+        assert_eq!(r.bind_userspace(a).unwrap_err(), UpdkError::NoSuchDevice);
+        assert_eq!(r.require_userspace(a).unwrap_err(), UpdkError::NoSuchDevice);
+        assert_eq!(r.binding(a), None);
+        assert_eq!(r.device_name(a), None);
+    }
+
+    #[test]
+    fn display_is_lspci_style() {
+        assert_eq!(PciAddress::new(0, 3, 1).to_string(), "0000:00:03.1");
+    }
+}

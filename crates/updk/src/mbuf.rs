@@ -1,0 +1,257 @@
+//! Packet buffers (mbufs) with capability-bounded data.
+//!
+//! DPDK's `rte_mbuf` is a descriptor pointing into a pool buffer, with
+//! headroom for prepending headers. Our [`Mbuf`] replaces the raw pointer
+//! with a [`Capability`] bounded to its buffer: the F-Stack port's headline
+//! change ("we extended its data structures to use capabilities") applied at
+//! the layer where it matters most.
+
+use cheri::{CapFault, Capability, TaggedMemory};
+
+/// A packet buffer descriptor.
+///
+/// Data occupies `[data_off, data_off + data_len)` within the buffer; the
+/// initial `data_off` (headroom) leaves space to prepend headers without
+/// copying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mbuf {
+    pool_index: u32,
+    buf: Capability,
+    data_off: u16,
+    data_len: u16,
+    /// Ingress port (set by the driver on RX).
+    port: u16,
+}
+
+impl Mbuf {
+    pub(crate) fn new(pool_index: u32, buf: Capability, headroom: u16) -> Self {
+        debug_assert!(u64::from(headroom) < buf.len());
+        Mbuf {
+            pool_index,
+            buf,
+            data_off: headroom,
+            data_len: 0,
+            port: 0,
+        }
+    }
+
+    /// The owning pool's buffer index (used by [`crate::Mempool::free`]).
+    pub fn pool_index(&self) -> u32 {
+        self.pool_index
+    }
+
+    /// The capability over the whole buffer.
+    pub fn buf_cap(&self) -> &Capability {
+        &self.buf
+    }
+
+    /// A capability bounded to exactly the current data bytes — what the
+    /// paper's `ff_write(…, const void *__capability buf, …)` passes around.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the derivation fault if the data window is corrupt.
+    pub fn data_cap(&self) -> Result<Capability, CapFault> {
+        self.buf
+            .try_restrict(self.data_addr(), u64::from(self.data_len))
+    }
+
+    /// Absolute address of the first data byte.
+    pub fn data_addr(&self) -> u64 {
+        self.buf.base() + u64::from(self.data_off)
+    }
+
+    /// Current data length in bytes.
+    pub fn data_len(&self) -> u16 {
+        self.data_len
+    }
+
+    /// `true` if the mbuf carries no data.
+    pub fn is_empty(&self) -> bool {
+        self.data_len == 0
+    }
+
+    /// Headroom still available for prepends.
+    pub fn headroom(&self) -> u16 {
+        self.data_off
+    }
+
+    /// Tailroom still available for appends.
+    pub fn tailroom(&self) -> u16 {
+        (self.buf.len() as u16).saturating_sub(self.data_off + self.data_len)
+    }
+
+    /// The ingress port recorded by the driver.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Sets the ingress port (driver use).
+    pub fn set_port(&mut self, port: u16) {
+        self.port = port;
+    }
+
+    /// Writes `data` as the entire packet contents (at the headroom mark).
+    ///
+    /// # Errors
+    ///
+    /// A bounds fault if `data` exceeds the buffer's tailroom, or any
+    /// capability fault from the store.
+    pub fn set_data(&mut self, mem: &mut TaggedMemory, data: &[u8]) -> Result<(), CapFault> {
+        self.data_len = 0;
+        self.append(mem, data)
+    }
+
+    /// Appends `data` after the current contents.
+    ///
+    /// # Errors
+    ///
+    /// Bounds/permission faults from the capability-checked store.
+    pub fn append(&mut self, mem: &mut TaggedMemory, data: &[u8]) -> Result<(), CapFault> {
+        let addr = self.data_addr() + u64::from(self.data_len);
+        mem.write(&self.buf, addr, data)?;
+        self.data_len += data.len() as u16;
+        Ok(())
+    }
+
+    /// Prepends `data` into the headroom (how L2/L3 headers are added).
+    ///
+    /// # Errors
+    ///
+    /// Bounds faults when the headroom is exhausted, or store faults.
+    pub fn prepend(&mut self, mem: &mut TaggedMemory, data: &[u8]) -> Result<(), CapFault> {
+        let len = data.len() as u16;
+        let new_off = self.data_off.checked_sub(len).ok_or_else(|| {
+            CapFault::new(
+                cheri::FaultKind::Bounds,
+                self.buf.base(),
+                u64::from(len),
+                self.buf,
+            )
+        })?;
+        mem.write(&self.buf, self.buf.base() + u64::from(new_off), data)?;
+        self.data_off = new_off;
+        self.data_len += len;
+        Ok(())
+    }
+
+    /// Drops `len` bytes from the front (header consumption on RX).
+    ///
+    /// # Errors
+    ///
+    /// A bounds fault if `len` exceeds the data length.
+    pub fn adj(&mut self, len: u16) -> Result<(), CapFault> {
+        if len > self.data_len {
+            return Err(CapFault::new(
+                cheri::FaultKind::Bounds,
+                self.data_addr(),
+                u64::from(len),
+                self.buf,
+            ));
+        }
+        self.data_off += len;
+        self.data_len -= len;
+        Ok(())
+    }
+
+    /// Reads the current contents out of packet memory.
+    ///
+    /// # Errors
+    ///
+    /// Capability faults from the checked load.
+    pub fn read(&self, mem: &mut TaggedMemory) -> Result<Vec<u8>, CapFault> {
+        mem.read_vec(&self.buf, self.data_addr(), u64::from(self.data_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mempool::{Mempool, DEFAULT_BUF_SIZE, DEFAULT_HEADROOM};
+    use cheri::TaggedMemory;
+
+    fn setup() -> (TaggedMemory, Mempool) {
+        let mem = TaggedMemory::new(1 << 20);
+        let region = mem
+            .root_cap()
+            .try_restrict(0x1000, 8 * DEFAULT_BUF_SIZE)
+            .unwrap();
+        let pool = Mempool::new("t", region, DEFAULT_BUF_SIZE).unwrap();
+        (mem, pool)
+    }
+
+    #[test]
+    fn set_read_round_trip() {
+        let (mut mem, mut pool) = setup();
+        let mut m = pool.alloc().unwrap();
+        m.set_data(&mut mem, b"hello packet").unwrap();
+        assert_eq!(m.data_len(), 12);
+        assert_eq!(m.read(&mut mem).unwrap(), b"hello packet");
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn prepend_consumes_headroom() {
+        let (mut mem, mut pool) = setup();
+        let mut m = pool.alloc().unwrap();
+        m.set_data(&mut mem, b"payload").unwrap();
+        let before = m.headroom();
+        m.prepend(&mut mem, b"HDR:").unwrap();
+        assert_eq!(m.headroom(), before - 4);
+        assert_eq!(m.read(&mut mem).unwrap(), b"HDR:payload");
+        // adj strips it again.
+        m.adj(4).unwrap();
+        assert_eq!(m.read(&mut mem).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn headroom_exhaustion_faults() {
+        let (mut mem, mut pool) = setup();
+        let mut m = pool.alloc().unwrap();
+        let big = vec![0u8; usize::from(DEFAULT_HEADROOM) + 1];
+        assert!(m.prepend(&mut mem, &big).is_err());
+        // And the mbuf is unchanged.
+        assert_eq!(m.data_len(), 0);
+    }
+
+    #[test]
+    fn overflow_beyond_buffer_faults() {
+        let (mut mem, mut pool) = setup();
+        let mut m = pool.alloc().unwrap();
+        // Tailroom is buf_size - headroom; one byte more must fault…
+        let too_big = vec![0u8; usize::from(m.tailroom()) + 1];
+        assert!(m.set_data(&mut mem, &too_big).is_err());
+        // …and crucially the *neighbouring buffer* is untouched: that's the
+        // CVE class CHERI kills.
+        let neighbour = pool.alloc().unwrap();
+        assert_eq!(neighbour.read(&mut mem).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn data_cap_is_tightly_bounded() {
+        let (mut mem, mut pool) = setup();
+        let mut m = pool.alloc().unwrap();
+        m.set_data(&mut mem, b"0123456789").unwrap();
+        let dc = m.data_cap().unwrap();
+        assert_eq!(dc.len(), 10);
+        assert!(mem.read_vec(&dc, dc.base(), 10).is_ok());
+        assert!(mem.read_vec(&dc, dc.base(), 11).is_err());
+    }
+
+    #[test]
+    fn adj_beyond_data_faults() {
+        let (mut mem, mut pool) = setup();
+        let mut m = pool.alloc().unwrap();
+        m.set_data(&mut mem, b"abc").unwrap();
+        assert!(m.adj(4).is_err());
+        assert!(m.adj(3).is_ok());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn port_round_trips() {
+        let (_mem, mut pool) = setup();
+        let mut m = pool.alloc().unwrap();
+        m.set_port(1);
+        assert_eq!(m.port(), 1);
+    }
+}

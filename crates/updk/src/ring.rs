@@ -1,0 +1,157 @@
+//! Fixed-capacity descriptor rings.
+//!
+//! The e1000-family NIC (and DPDK's software rings) move packets through
+//! power-of-two circular descriptor queues; when the RX ring overflows the
+//! hardware drops and counts (`imissed`). [`DescRing`] models that contract
+//! generically for any payload type.
+
+/// A bounded FIFO ring with drop accounting.
+///
+/// # Example
+///
+/// ```
+/// use updk::ring::DescRing;
+/// let mut r: DescRing<u32> = DescRing::new(4);
+/// assert_eq!(r.enqueue_burst(vec![1, 2, 3, 4, 5]), 4); // 5th dropped
+/// assert_eq!(r.dequeue_burst(2), vec![1, 2]);
+/// assert_eq!(r.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DescRing<T> {
+    slots: std::collections::VecDeque<T>,
+    capacity: usize,
+    enqueued: u64,
+    dequeued: u64,
+    dropped: u64,
+}
+
+impl<T> DescRing<T> {
+    /// Creates a ring holding up to `capacity` descriptors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or not a power of two (hardware rings
+    /// are power-of-two sized; keeping the constraint catches config typos).
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two(),
+            "ring capacity must be a power of two, got {capacity}"
+        );
+        DescRing {
+            slots: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            enqueued: 0,
+            dequeued: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The ring size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Descriptors currently queued.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// `true` when no descriptor can be added.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() == self.capacity
+    }
+
+    /// Free slots.
+    pub fn free_count(&self) -> usize {
+        self.capacity - self.slots.len()
+    }
+
+    /// Enqueues one descriptor; returns it back on overflow.
+    pub fn enqueue(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.dropped += 1;
+            return Err(item);
+        }
+        self.enqueued += 1;
+        self.slots.push_back(item);
+        Ok(())
+    }
+
+    /// Enqueues as many of `items` as fit, dropping (and counting) the rest;
+    /// returns how many were accepted — DPDK `rte_ring_enqueue_burst`.
+    pub fn enqueue_burst(&mut self, items: impl IntoIterator<Item = T>) -> usize {
+        let mut accepted = 0;
+        for item in items {
+            match self.enqueue(item) {
+                Ok(()) => accepted += 1,
+                Err(_) => { /* enqueue counted the drop */ }
+            }
+        }
+        accepted
+    }
+
+    /// Dequeues up to `max` descriptors — DPDK `rte_ring_dequeue_burst`.
+    pub fn dequeue_burst(&mut self, max: usize) -> Vec<T> {
+        let n = max.min(self.slots.len());
+        self.dequeued += n as u64;
+        self.slots.drain(..n).collect()
+    }
+
+    /// Lifetime drop count (RX `imissed` analog).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Lifetime counters `(enqueued, dequeued, dropped)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.enqueued, self.dequeued, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut r: DescRing<u32> = DescRing::new(8);
+        r.enqueue_burst(0..5);
+        assert_eq!(r.dequeue_burst(3), vec![0, 1, 2]);
+        assert_eq!(r.dequeue_burst(10), vec![3, 4]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut r: DescRing<u32> = DescRing::new(2);
+        assert_eq!(r.enqueue_burst(0..5), 2);
+        assert!(r.is_full());
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.enqueue(9), Err(9));
+        assert_eq!(r.dropped(), 4);
+        assert_eq!(r.stats(), (2, 0, 4));
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut r: DescRing<u8> = DescRing::new(4);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.free_count(), 4);
+        r.enqueue(1).unwrap();
+        assert_eq!(r.free_count(), 3);
+        assert_eq!(r.len(), 1);
+        r.dequeue_burst(1);
+        assert_eq!(r.free_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _: DescRing<u8> = DescRing::new(3);
+    }
+}

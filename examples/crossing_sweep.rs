@@ -1,0 +1,54 @@
+//! Extension experiment — where does "the overhead introduced by this
+//! architecture is minimal" stop being true?
+//!
+//! The paper's headline (key point (ii)) holds because a sealed
+//! cross-compartment call costs ≈170 ns on Morello while a 1448-byte MSS
+//! occupies ≈12.3 µs of 1 Gbit/s wire: the crossing hides under the
+//! serialization time. This sweep scales the crossing cost (as slower
+//! hardware, software fault isolation, or deeper capability revocation
+//! checks would) and reruns Table II's single-port rows for Scenario 2,
+//! 3 and 4 until the ceiling gives way — mapping the *boundary* of the
+//! paper's claim instead of just its interior.
+//!
+//! Run with: `cargo run --release --example crossing_sweep`
+
+use capnet::scenario::{run_bandwidth, ScenarioKind, TrafficMode};
+use simkern::{CostModel, SimDuration};
+
+fn bw(kind: ScenarioKind, costs: &CostModel) -> f64 {
+    run_bandwidth(
+        kind,
+        TrafficMode::Server,
+        SimDuration::from_millis(80),
+        costs.clone(),
+    )
+    .expect("sweep cell")
+    .servers[0]
+        .mbit_per_sec()
+}
+
+fn main() {
+    let base = CostModel::morello();
+    println!("TCP goodput (Mbit/s, single port) vs cross-compartment call cost\n");
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "xcall", "Baseline", "Scenario2", "Scenario3", "Scenario4"
+    );
+    for mult in [1u64, 4, 16, 64, 128, 256, 512] {
+        let mut costs = base.clone();
+        costs.xcall_ns = base.xcall_ns * mult;
+        costs.mutex_fast_ns = base.mutex_fast_ns * mult;
+        let b = bw(ScenarioKind::BaselineSingleProcess, &costs);
+        let s2 = bw(ScenarioKind::Scenario2Uncontended, &costs);
+        let s3 = bw(ScenarioKind::Scenario3, &costs);
+        let s4 = bw(ScenarioKind::Scenario4, &costs);
+        println!(
+            "{:>7} ns  {:>10.0}  {:>10.0}  {:>10.0}  {:>10.0}",
+            costs.xcall_ns, b, s2, s3, s4
+        );
+    }
+    println!("\nreading: at the Morello-calibrated 170 ns every split rides the");
+    println!("941 Mbit/s ceiling — the paper's claim. The deeper splits fall off");
+    println!("first as crossings grow (Scenario 4 pays 3 per call), mapping how");
+    println!("much hardware slack the compartmentalization actually has.");
+}

@@ -1,0 +1,94 @@
+//! Domain scenario from the paper's introduction: a drone whose telemetry
+//! parser has a buffer-overflow bug (the CVE-2024-38951 class — unchecked
+//! buffer limits in MAVLink handling on PX4).
+//!
+//! Without isolation (NuttX/PX4-style single address space) the overflow
+//! silently corrupts the adjacent actuator command block — the "attacker
+//! takes control of the drone" outcome. With the telemetry component in a
+//! CHERI cVM, the same bug dies with a capability exception and the
+//! actuators never see a corrupted command.
+//!
+//! Run with: `cargo run --release --example drone_telemetry`
+
+use cheri::{Perms, TaggedMemory};
+use intravisor::{CvmConfig, Intravisor};
+use simkern::CostModel;
+use std::error::Error;
+
+/// The vulnerable parser: copies an attacker-controlled payload into a
+/// fixed 64-byte telemetry buffer *without checking the length* —
+/// deliberately, to model the CVE class.
+fn vulnerable_parse(
+    mem: &mut TaggedMemory,
+    buf_cap: &cheri::Capability,
+    buf_addr: u64,
+    payload: &[u8],
+) -> Result<(), cheri::CapFault> {
+    // NB: no `payload.len() <= 64` check — that's the bug.
+    mem.write(buf_cap, buf_addr, payload)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let attack_payload = {
+        // 64 bytes of telemetry… followed by a forged actuator command.
+        let mut p = vec![0x11u8; 64];
+        p.extend_from_slice(b"MOTORS:FULL-THROTTLE;DISABLE-FAILSAFE");
+        p
+    };
+
+    println!("== flight controller WITHOUT isolation (single address space) ==");
+    {
+        let mut mem = TaggedMemory::new(4096);
+        let root = mem.root_cap(); // every pointer has this authority
+        let telemetry_buf = 1024u64;
+        let actuator_block = 1088u64; // adjacent!
+        mem.write(&root, actuator_block, b"MOTORS:HOVER;FAILSAFE-ON________")?;
+
+        // On a machine without an MPU the "capability" is the whole space:
+        vulnerable_parse(&mut mem, &root, telemetry_buf, &attack_payload)?;
+
+        let cmd = mem.read_vec(&root, actuator_block, 32)?;
+        println!(
+            "actuator block after telemetry parse: {:?}",
+            String::from_utf8_lossy(&cmd)
+        );
+        println!("-> the forged command reached the motors.\n");
+    }
+
+    println!("== flight controller WITH CHERI compartmentalization ==");
+    {
+        let mut iv = Intravisor::new(1 << 20, CostModel::morello());
+        let telemetry = iv.create_cvm(CvmConfig::new("mavlink-telemetry").mem_size(64 * 1024))?;
+        let actuation = iv.create_cvm(CvmConfig::new("actuation").mem_size(64 * 1024))?;
+
+        // The actuator command block lives in the actuation cVM.
+        let act_buf = iv.cvm_alloc(actuation, 32, 16)?;
+        iv.memory_mut()
+            .write(&act_buf, act_buf.base(), b"MOTORS:HOVER;FAILSAFE-ON________")?;
+
+        // The telemetry cVM gets a capability bounded to exactly 64 bytes.
+        let tele_buf = iv
+            .cvm_alloc(telemetry, 64, 16)?
+            .try_restrict_perms(Perms::LOAD | Perms::STORE)?;
+
+        match vulnerable_parse(
+            iv.memory_mut(),
+            &tele_buf,
+            tele_buf.base(),
+            &attack_payload,
+        ) {
+            Err(fault) => {
+                println!("telemetry parse -> {fault}");
+                println!("telemetry cVM terminated; actuation cVM unaffected:");
+            }
+            Ok(()) => unreachable!("the bounded capability must fault"),
+        }
+        let cmd = iv.memory_mut().read_vec(&act_buf, act_buf.base(), 32)?;
+        println!(
+            "actuator block after the attack: {:?}",
+            String::from_utf8_lossy(&cmd)
+        );
+        println!("-> the drone keeps hovering; the exploit became a clean fault.");
+    }
+    Ok(())
+}

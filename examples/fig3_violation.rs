@@ -1,0 +1,17 @@
+//! Fig. 3 — applications accessing memory outside their boundaries cause
+//! exceptions under CHERI.
+//!
+//! Run with: `cargo run --release --example fig3_violation`
+
+use capnet::experiment::fig3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let outcome = fig3::run()?;
+    print!("{outcome}");
+    println!(
+        "\nIntravisor fault log: {} capability exception(s) recorded",
+        outcome.faults_logged
+    );
+    assert!(outcome.fault.is_out_of_bounds());
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! The paper's §I motivating attack, as a demo: a MAVLink-style buffer
+//! overflow (the CVE-2024-38951 pattern) against the same ground-station
+//! code deployed two ways — flat memory vs. a CHERI compartment.
+//!
+//! Run with: `cargo run --release --example mavlink_attack`
+
+use mavsim::frame::MavFrame;
+use mavsim::msg::{Heartbeat, MavMode, Message};
+use mavsim::parser::{attack, CheriParser, GroundStation, ParserOutcome, VulnerableParser};
+
+fn telemetry(seq: u8) -> Vec<u8> {
+    MavFrame::encode(
+        seq,
+        1,
+        1,
+        &Message::Heartbeat(Heartbeat {
+            mode: MavMode::Auto,
+            battery_pct: 88,
+            armed: true,
+        }),
+    )
+}
+
+fn show<G: GroundStation>(name: &str, gs: &mut G) {
+    println!("== {name} ==");
+    for seq in 0..3 {
+        let out = gs.handle(&telemetry(seq));
+        println!("  telemetry seq={seq}: {}", describe(&out));
+    }
+    println!("  motors before attack: {:?}", gs.motors());
+
+    let exploit = attack::oversized_statustext(120, 0xFFFF);
+    println!(
+        "  >>> attacker injects a CRC-valid frame declaring {} payload bytes (RX buffer: 64)",
+        exploit[1]
+    );
+    let out = gs.handle(&exploit);
+    println!("  exploit frame: {}", describe(&out));
+    println!("  motors after attack:  {:?}", gs.motors());
+    println!(
+        "  compartment alive: {}   motors corrupted: {}",
+        gs.alive(),
+        gs.motors_corrupted()
+    );
+    let out = gs.handle(&telemetry(3));
+    println!("  next telemetry frame: {}\n", describe(&out));
+}
+
+fn describe(out: &ParserOutcome) -> String {
+    match out {
+        ParserOutcome::Delivered(m) => format!("delivered ({:?})", m.id()),
+        ParserOutcome::Rejected(e) => format!("rejected ({e})"),
+        ParserOutcome::Faulted(f) => format!("SIGPROT — {f}"),
+        ParserOutcome::Dropped => "dropped (compartment dead, Intravisor refuses delivery)".into(),
+    }
+}
+
+fn main() {
+    println!("CVE-2024-38951 pattern: unchecked buffer limit in a MAVLink receive path\n");
+    show("Baseline: flat address space (NuttX/PX4 deployment model)", &mut VulnerableParser::new());
+    let mut cheri = CheriParser::new();
+    show("CHERI compartment (bounds-restricted capability RX buffer)", &mut cheri);
+
+    // The recovery the Intravisor's cVM lifecycle enables: restart the dead
+    // compartment and resume — the DoS costs one restart, never state.
+    println!("== Intravisor respawns the dead telemetry cVM ==");
+    cheri.respawn();
+    let out = cheri.handle(&telemetry(4));
+    println!("  telemetry seq=4: {}", describe(&out));
+    println!(
+        "  motors: {:?}   faults survived: {}\n",
+        cheri.motors(),
+        cheri.faults_survived()
+    );
+
+    println!("reading: flat memory hijacks the actuator block and keeps running;");
+    println!("the CHERI compartment dies with the paper's Fig. 3 out-of-bounds");
+    println!("exception at the exact violating store — fail-stop, state intact —");
+    println!("and one cVM respawn later the link is serving telemetry again.");
+}

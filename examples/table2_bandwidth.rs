@@ -1,0 +1,25 @@
+//! Table II — TCP bandwidth in every scenario, server and client side.
+//!
+//! Run with: `cargo run --release --example table2_bandwidth`
+//! (add `--quick` for a shorter measurement window).
+
+use capnet::experiment::table2;
+use simkern::{CostModel, SimDuration};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick {
+        SimDuration::from_millis(80)
+    } else {
+        SimDuration::from_millis(250)
+    };
+    eprintln!(
+        "measuring all scenarios, both directions, {} ms of virtual time per cell…",
+        duration.as_nanos() / 1_000_000
+    );
+    let table = table2::run(duration, CostModel::morello())?;
+    println!("{table}");
+    println!("paper reference: dual-port 658/757, single-port 941/941,");
+    println!("contended 470+470 (server) and 531+410 (client) Mbit/s.");
+    Ok(())
+}
