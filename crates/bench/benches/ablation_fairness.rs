@@ -23,10 +23,7 @@ fn split(sched: AppSched) -> (f64, f64) {
         sched,
     )
     .expect("contended cell");
-    (
-        out.clients[0].mbit_per_sec(),
-        out.clients[1].mbit_per_sec(),
-    )
+    (out.clients[0].mbit_per_sec(), out.clients[1].mbit_per_sec())
 }
 
 fn bench_fairness(c: &mut Criterion) {

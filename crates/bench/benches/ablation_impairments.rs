@@ -39,7 +39,9 @@ fn bench_loss_sweep(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("baseline", per_mille),
             &per_mille,
-            |b, &pm| b.iter(|| goodput(ScenarioKind::BaselineSingleProcess, Impairments::lossy(pm))),
+            |b, &pm| {
+                b.iter(|| goodput(ScenarioKind::BaselineSingleProcess, Impairments::lossy(pm)))
+            },
         );
     }
     g.finish();

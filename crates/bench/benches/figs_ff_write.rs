@@ -5,8 +5,8 @@
 //! Each group prints the simulated box-plot statistics once (the paper
 //! artifact) and lets Criterion time the measurement harness itself.
 
-use capnet::experiment::figs::{measure, LatencyScenario};
 use capnet::experiment::fig3;
+use capnet::experiment::figs::{measure, LatencyScenario};
 use criterion::{criterion_group, criterion_main, Criterion};
 use simkern::CostModel;
 

@@ -30,7 +30,12 @@ fn bench_capability_ops(c: &mut Criterion) {
         })
     });
     g.bench_function("compressed_bounds", |b| {
-        b.iter(|| black_box(cheri::compress::representable_bounds(black_box(12_345), 1 << 22)))
+        b.iter(|| {
+            black_box(cheri::compress::representable_bounds(
+                black_box(12_345),
+                1 << 22,
+            ))
+        })
     });
     g.finish();
 }

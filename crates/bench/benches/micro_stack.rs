@@ -5,10 +5,10 @@
 use chos::clock::ClockId;
 use chos::syscall::Syscall;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fstack::ip::IpProto;
 use fstack::ip::{checksum, Ipv4Hdr};
 use fstack::tcp::tcb::Tcb;
 use fstack::tcp::{TcpFlags, TcpOptions, TcpSegment};
-use fstack::ip::IpProto;
 use intravisor::{CvmConfig, Intravisor};
 use simkern::{CostModel, SimDuration, SimTime};
 use std::net::Ipv4Addr;
@@ -108,11 +108,7 @@ fn bench_compartment_crossings(c: &mut Criterion) {
         let mut t = SimTime::ZERO;
         b.iter(|| {
             t += SimDuration::from_micros(1);
-            black_box(iv.trampoline_syscall(
-                app,
-                t,
-                Syscall::ClockGettime(ClockId::MonotonicRaw),
-            ))
+            black_box(iv.trampoline_syscall(app, t, Syscall::ClockGettime(ClockId::MonotonicRaw)))
         })
     });
     g.bench_function("xcall_sealed_pair", |b| {

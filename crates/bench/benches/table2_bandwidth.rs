@@ -17,8 +17,8 @@ fn bench_table2(c: &mut Criterion) {
     for kind in ScenarioKind::all() {
         for mode in [TrafficMode::Server, TrafficMode::Client] {
             // Print the paper-facing number once.
-            let out = run_bandwidth(kind, mode, duration, CostModel::morello())
-                .expect("scenario runs");
+            let out =
+                run_bandwidth(kind, mode, duration, CostModel::morello()).expect("scenario runs");
             let reports = match mode {
                 TrafficMode::Server => &out.servers,
                 TrafficMode::Client => &out.clients,

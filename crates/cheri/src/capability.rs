@@ -201,9 +201,9 @@ impl Capability {
     /// * [`FaultKind::Monotonicity`] if the new range is not a subset.
     pub fn try_restrict(&self, base: u64, len: u64) -> Result<Capability, CapFault> {
         self.check_derivable(base, len)?;
-        let top = base.checked_add(len).ok_or_else(|| {
-            CapFault::new(FaultKind::Monotonicity, base, len, *self)
-        })?;
+        let top = base
+            .checked_add(len)
+            .ok_or_else(|| CapFault::new(FaultKind::Monotonicity, base, len, *self))?;
         if base < self.base || top > self.top {
             return Err(CapFault::new(FaultKind::Monotonicity, base, len, *self));
         }
@@ -289,7 +289,12 @@ impl Capability {
             return Err(CapFault::new(FaultKind::Seal, sealer.addr, 0, *sealer));
         }
         if !sealer.perms.contains(Perms::SEAL) {
-            return Err(CapFault::new(FaultKind::PermitSeal, sealer.addr, 0, *sealer));
+            return Err(CapFault::new(
+                FaultKind::PermitSeal,
+                sealer.addr,
+                0,
+                *sealer,
+            ));
         }
         if sealer.addr < sealer.base || sealer.addr >= sealer.top {
             return Err(CapFault::new(FaultKind::Bounds, sealer.addr, 0, *sealer));
@@ -350,9 +355,7 @@ impl Capability {
     /// `other`'s — the `CTestSubset` predicate used when auditing
     /// compartment configurations.
     pub fn is_subset_of(&self, other: &Capability) -> bool {
-        self.base >= other.base
-            && self.top <= other.top
-            && self.perms.is_subset_of(other.perms)
+        self.base >= other.base && self.top <= other.top && self.perms.is_subset_of(other.perms)
     }
 
     /// `true` if `[addr, addr+len)` lies within bounds (no perm check).
@@ -470,7 +473,9 @@ mod tests {
         );
         // Overflowing end is out of bounds, not a panic.
         assert_eq!(
-            c.check_access(u64::MAX, 2, Access::Load).unwrap_err().kind(),
+            c.check_access(u64::MAX, 2, Access::Load)
+                .unwrap_err()
+                .kind(),
             FaultKind::Bounds
         );
     }
@@ -479,7 +484,9 @@ mod tests {
     fn untagged_caps_authorize_nothing() {
         let dead = data_root().without_tag();
         assert_eq!(
-            dead.check_access(0x1000, 1, Access::Load).unwrap_err().kind(),
+            dead.check_access(0x1000, 1, Access::Load)
+                .unwrap_err()
+                .kind(),
             FaultKind::Tag
         );
         assert_eq!(
@@ -494,7 +501,9 @@ mod tests {
         let oob = c.with_addr(0x9000);
         assert!(oob.tag(), "moving the cursor keeps the tag");
         assert_eq!(
-            oob.check_access(0x9000, 1, Access::Load).unwrap_err().kind(),
+            oob.check_access(0x9000, 1, Access::Load)
+                .unwrap_err()
+                .kind(),
             FaultKind::Bounds
         );
         let back = oob.offset_by(-0x8000i64);
@@ -512,7 +521,10 @@ mod tests {
         assert_eq!(sealed.otype().raw(), 42);
         // Sealed capability cannot be used or modified.
         assert_eq!(
-            sealed.check_access(0x1000, 1, Access::Load).unwrap_err().kind(),
+            sealed
+                .check_access(0x1000, 1, Access::Load)
+                .unwrap_err()
+                .kind(),
             FaultKind::Seal
         );
         assert_eq!(
@@ -533,7 +545,10 @@ mod tests {
     fn sealing_requires_permissions() {
         let c = data_root();
         let no_seal_perm = Capability::root(40, 10, Perms::UNSEAL).with_addr(42);
-        assert_eq!(c.seal(&no_seal_perm).unwrap_err().kind(), FaultKind::PermitSeal);
+        assert_eq!(
+            c.seal(&no_seal_perm).unwrap_err().kind(),
+            FaultKind::PermitSeal
+        );
         let sealer = Capability::root(40, 10, Perms::SEAL).with_addr(42);
         let sealed = c.seal(&sealer).unwrap();
         // Unseal needs UNSEAL perm.

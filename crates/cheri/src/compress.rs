@@ -71,9 +71,7 @@ pub fn representable_bounds(base: u64, len: u64) -> (u64, u64) {
     loop {
         let new_base = base & !(align - 1);
         let end = base.saturating_add(len);
-        let new_end = end
-            .checked_next_multiple_of(align)
-            .unwrap_or(!(align - 1));
+        let new_end = end.checked_next_multiple_of(align).unwrap_or(!(align - 1));
         let new_len = new_end - new_base;
         // Out-rounding can push the length across a power-of-two boundary,
         // requiring a coarser alignment; iterate until stable (≤ 2 rounds).
@@ -109,7 +107,12 @@ pub fn restrict_compressed(
 ) -> Result<Capability, CapFault> {
     let (rb, rl) = representable_bounds(base, len);
     if rb < parent.base() || rb.saturating_add(rl) > parent.top() {
-        return Err(CapFault::new(FaultKind::Representability, base, len, *parent));
+        return Err(CapFault::new(
+            FaultKind::Representability,
+            base,
+            len,
+            *parent,
+        ));
     }
     parent.try_restrict(rb, rl)
 }

@@ -61,9 +61,7 @@ impl FaultKind {
             FaultKind::PermitExecute => "Capability Permit-Execute Violation",
             FaultKind::PermitLoadCap => "Capability Permit-Load-Capability Violation",
             FaultKind::PermitStoreCap => "Capability Permit-Store-Capability Violation",
-            FaultKind::PermitStoreLocalCap => {
-                "Capability Permit-Store-Local-Capability Violation"
-            }
+            FaultKind::PermitStoreLocalCap => "Capability Permit-Store-Local-Capability Violation",
             FaultKind::PermitSeal => "Capability Permit-Seal Violation",
             FaultKind::PermitUnseal => "Capability Permit-Unseal Violation",
             FaultKind::PermitInvoke => "Capability Permit-Invoke Violation",

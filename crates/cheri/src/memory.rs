@@ -279,13 +279,7 @@ impl TaggedMemory {
         }
     }
 
-    fn check(
-        &self,
-        cap: &Capability,
-        addr: u64,
-        len: u64,
-        access: Access,
-    ) -> Result<(), CapFault> {
+    fn check(&self, cap: &Capability, addr: u64, len: u64, access: Access) -> Result<(), CapFault> {
         cap.check_access(addr, len, access)?;
         // The capability must also refer to real memory; a root minted for a
         // different memory would escape the arena.
@@ -438,10 +432,7 @@ mod tests {
     #[test]
     fn permission_checks_apply() {
         let mut m = mem();
-        let ro = m
-            .root_cap()
-            .try_restrict_perms(Perms::read_only())
-            .unwrap();
+        let ro = m.root_cap().try_restrict_perms(Perms::read_only()).unwrap();
         assert!(m.read_vec(&ro, 0, 4).is_ok());
         assert_eq!(
             m.write(&ro, 0, &[1]).unwrap_err().kind(),
@@ -493,9 +484,7 @@ mod tests {
     fn cap_access_requires_cap_perms_and_alignment() {
         let mut m = mem();
         let root = m.root_cap();
-        let data_only = root
-            .try_restrict_perms(Perms::LOAD | Perms::STORE)
-            .unwrap();
+        let data_only = root.try_restrict_perms(Perms::LOAD | Perms::STORE).unwrap();
         let value = root.try_restrict(0, 16).unwrap();
         assert_eq!(
             m.store_cap(&data_only, 512, value).unwrap_err().kind(),

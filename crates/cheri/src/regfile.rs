@@ -193,12 +193,16 @@ impl RegFile {
         }
         if data.perms().contains(Perms::EXECUTE) {
             // Data half must not be executable: W^X across the pair.
-            return Err(CapFault::new(FaultKind::PermitInvoke, data.addr(), 0, *data));
+            return Err(CapFault::new(
+                FaultKind::PermitInvoke,
+                data.addr(),
+                0,
+                *data,
+            ));
         }
         let prev = self.ctx;
-        let unseal = |c: &Capability| {
-            Capability::root(c.base(), c.len(), c.perms()).with_addr(c.addr())
-        };
+        let unseal =
+            |c: &Capability| Capability::root(c.base(), c.len(), c.perms()).with_addr(c.addr());
         self.ctx = CompartmentCtx::new(unseal(data), unseal(code));
         Ok(prev)
     }

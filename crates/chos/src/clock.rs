@@ -61,9 +61,9 @@ impl SysClock {
         let q = now.quantize(self.tick);
         match id {
             ClockId::MonotonicRaw | ClockId::Monotonic => q,
-            ClockId::Realtime => SimTime::from_nanos(
-                q.as_nanos().saturating_add(self.realtime_epoch_ns),
-            ),
+            ClockId::Realtime => {
+                SimTime::from_nanos(q.as_nanos().saturating_add(self.realtime_epoch_ns))
+            }
         }
     }
 
@@ -92,11 +92,13 @@ mod tests {
     fn monotonic_is_quantized() {
         let c = SysClock::new(SimDuration::from_nanos(10));
         assert_eq!(
-            c.read(SimTime::from_nanos(99), ClockId::MonotonicRaw).as_nanos(),
+            c.read(SimTime::from_nanos(99), ClockId::MonotonicRaw)
+                .as_nanos(),
             90
         );
         assert_eq!(
-            c.read(SimTime::from_nanos(100), ClockId::Monotonic).as_nanos(),
+            c.read(SimTime::from_nanos(100), ClockId::Monotonic)
+                .as_nanos(),
             100
         );
     }
@@ -120,10 +122,7 @@ mod tests {
 
     #[test]
     fn resolution_is_never_zero() {
-        assert_eq!(
-            SysClock::new(SimDuration::ZERO).resolution().as_nanos(),
-            1
-        );
+        assert_eq!(SysClock::new(SimDuration::ZERO).resolution().as_nanos(), 1);
         assert_eq!(SysClock::default().resolution().as_nanos(), 25);
     }
 

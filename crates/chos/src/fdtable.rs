@@ -68,10 +68,7 @@ impl<T> FdTable<T> {
     ///
     /// [`Errno::EBADF`] if `fd` is not open.
     pub fn free(&mut self, fd: Fd) -> Result<T, Errno> {
-        let slot = self
-            .slots
-            .get_mut(fd.max(0) as usize)
-            .ok_or(Errno::EBADF)?;
+        let slot = self.slots.get_mut(fd.max(0) as usize).ok_or(Errno::EBADF)?;
         let entry = slot.take().ok_or(Errno::EBADF)?;
         self.free.insert(fd);
         Ok(entry)

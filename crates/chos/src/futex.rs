@@ -74,9 +74,7 @@ pub fn translate_futex(
                 WaitOutcome::WouldSleep => FutexOutcome::WouldSleep,
             }
         }
-        FutexOp::Wake { uaddr, count } => {
-            FutexOutcome::Woken(umtx.wake(uaddr, count as usize))
-        }
+        FutexOp::Wake { uaddr, count } => FutexOutcome::Woken(umtx.wake(uaddr, count as usize)),
     }
 }
 
@@ -91,8 +89,14 @@ mod tests {
             uaddr: 0x40,
             expected: 7,
         };
-        assert_eq!(translate_futex(&mut umtx, w, 7, 1), FutexOutcome::WouldSleep);
-        assert_eq!(translate_futex(&mut umtx, w, 7, 2), FutexOutcome::WouldSleep);
+        assert_eq!(
+            translate_futex(&mut umtx, w, 7, 1),
+            FutexOutcome::WouldSleep
+        );
+        assert_eq!(
+            translate_futex(&mut umtx, w, 7, 2),
+            FutexOutcome::WouldSleep
+        );
         let wake = FutexOp::Wake {
             uaddr: 0x40,
             count: 2,

@@ -90,7 +90,9 @@ impl ProcessTable {
     /// Panics if `pid` is already live (pids come from
     /// [`crate::syscall::Kernel::next_pid`], so this indicates driver misuse).
     pub fn spawn(&mut self, pid: Pid, name: impl Into<String>, mem_size: u64) -> Pid {
-        let prev = self.procs.insert(pid, HostProcess::new(pid, name, mem_size));
+        let prev = self
+            .procs
+            .insert(pid, HostProcess::new(pid, name, mem_size));
         assert!(prev.is_none(), "pid {pid} reused while alive");
         pid
     }
@@ -158,7 +160,9 @@ mod tests {
         let p = HostProcess::new(1, "px4-like", 8192);
         let root = p.root_cap();
         assert_eq!(root.len(), 8192);
-        assert!(root.check_access(0, 8192, cheri::capability::Access::Store).is_ok());
+        assert!(root
+            .check_access(0, 8192, cheri::capability::Access::Store)
+            .is_ok());
     }
 
     #[test]

@@ -61,8 +61,11 @@ pub fn run() -> Result<Fig3Outcome, CapnetError> {
     // The victim stores a secret in its own region (allowed).
     let secret_buf = iv.cvm_alloc(victim, 64, 16)?;
     let secret_addr = secret_buf.base();
-    iv.memory_mut()
-        .write(&secret_buf, secret_addr, b"drone telemetry encryption key!!")?;
+    iv.memory_mut().write(
+        &secret_buf,
+        secret_addr,
+        b"drone telemetry encryption key!!",
+    )?;
     let victim_could_read_own = iv.cvm_load(victim, secret_addr, 32).is_ok();
 
     // Fig. 3 proper: the attacker dereferences the victim's address.
@@ -144,8 +147,7 @@ mod tests {
     fn the_matrix_covers_distinct_fault_kinds() {
         let out = run().unwrap();
         assert_eq!(out.matrix.len(), 6);
-        let kinds: std::collections::HashSet<_> =
-            out.matrix.iter().map(|(_, k)| *k).collect();
+        let kinds: std::collections::HashSet<_> = out.matrix.iter().map(|(_, k)| *k).collect();
         assert!(kinds.contains(&FaultKind::Bounds));
         assert!(kinds.contains(&FaultKind::Monotonicity));
         assert!(kinds.contains(&FaultKind::Tag));

@@ -319,7 +319,8 @@ impl Rig {
                 let iv_ref = iv.as_mut().expect("cheri mode");
                 let svc_cvm =
                     iv_ref.create_cvm(CvmConfig::new("fstack-svc").mem_size(128 * 1024))?;
-                let _third = iv_ref.create_cvm(CvmConfig::new("iperf-app-2").mem_size(64 * 1024))?;
+                let _third =
+                    iv_ref.create_cvm(CvmConfig::new("iperf-app-2").mem_size(64 * 1024))?;
                 let svc = iv_ref.register_service(svc_cvm, "ff-api")?;
                 // The loop is saturated serving two flows and the second
                 // app writes back-to-back: long holds, short gaps.
@@ -395,10 +396,12 @@ impl Rig {
                 self.receiver.input_frame(now, &f);
             }
             loop {
-                match self
-                    .receiver
-                    .ff_read(&mut self.mem, self.recv_fd, &self.recv_buf, WRITE_BYTES)
-                {
+                match self.receiver.ff_read(
+                    &mut self.mem,
+                    self.recv_fd,
+                    &self.recv_buf,
+                    WRITE_BYTES,
+                ) {
                     Ok(n) if n > 0 => moved = true,
                     _ => break,
                 }
@@ -453,9 +456,8 @@ pub fn measure(
                 let g = mutex.acquire(entered, work);
                 // Deeper splits hand the payload onward through sealed
                 // SPSC crossings before ff_write can return.
-                let inner = SimDuration::from_nanos(
-                    rig.costs.xcall_ns * scenario.inner_crossings(),
-                );
+                let inner =
+                    SimDuration::from_nanos(rig.costs.xcall_ns * scenario.inner_crossings());
                 // Return crossing mirrors the entry crossing.
                 g.released_at + inner + grant.crossing
             }
@@ -500,7 +502,11 @@ pub fn measure(
 /// # Errors
 ///
 /// Propagates the first scenario failure.
-pub fn run_all(iterations: usize, costs: CostModel, seed: u64) -> Result<Vec<FfWriteRun>, CapnetError> {
+pub fn run_all(
+    iterations: usize,
+    costs: CostModel,
+    seed: u64,
+) -> Result<Vec<FfWriteRun>, CapnetError> {
     [
         LatencyScenario::Baseline,
         LatencyScenario::Scenario1,

@@ -131,10 +131,7 @@ pub fn run() -> Table1 {
     let fstack = here.join("../fstack/src");
     let updk = here.join("../updk/src");
     Table1 {
-        rows: vec![
-            analyze_dir("F-Stack", &fstack),
-            analyze_dir("DPDK", &updk),
-        ],
+        rows: vec![analyze_dir("F-Stack", &fstack), analyze_dir("DPDK", &updk)],
     }
 }
 

@@ -72,12 +72,24 @@ impl fmt::Display for Table2 {
                 let (sl, sm, se) = b
                     .server
                     .get(i)
-                    .map(|c| (c.label.clone(), format!("{:.0}", c.mbit), format!("{:.1}%", c.efficiency * 100.0)))
+                    .map(|c| {
+                        (
+                            c.label.clone(),
+                            format!("{:.0}", c.mbit),
+                            format!("{:.1}%", c.efficiency * 100.0),
+                        )
+                    })
                     .unwrap_or_default();
                 let (cl, cm, ce) = b
                     .client
                     .get(i)
-                    .map(|c| (c.label.clone(), format!("{:.0}", c.mbit), format!("{:.1}%", c.efficiency * 100.0)))
+                    .map(|c| {
+                        (
+                            c.label.clone(),
+                            format!("{:.0}", c.mbit),
+                            format!("{:.1}%", c.efficiency * 100.0),
+                        )
+                    })
                     .unwrap_or_default();
                 let label = if sl.is_empty() { cl } else { sl };
                 writeln!(f, "{label:<28} {sm:>9} {se:>11} {cm:>9} {ce:>11}")?;
@@ -194,7 +206,11 @@ mod tests {
         }
 
         let s2u = &t.blocks[1];
-        assert!((s2u.server[0].mbit - 941.0).abs() < 25.0, "{:.0}", s2u.server[0].mbit);
+        assert!(
+            (s2u.server[0].mbit - 941.0).abs() < 25.0,
+            "{:.0}",
+            s2u.server[0].mbit
+        );
 
         let s2c = &t.blocks[2];
         assert_eq!(s2c.server.len(), 2);

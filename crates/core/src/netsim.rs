@@ -22,7 +22,7 @@ use std::net::Ipv4Addr;
 use updk::ethdev::EthDev;
 use updk::kmod::{BindingRegistry, PciAddress};
 use updk::nic::NicModel;
-use updk::wire::{Impairments, ImpairmentStats, Wire};
+use updk::wire::{ImpairmentStats, Impairments, Wire};
 
 /// Handle to a node in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -199,10 +199,10 @@ impl NetSim {
     pub fn add_dev(&mut self, model: NicModel) -> Result<DevId, CapnetError> {
         let addr = PciAddress::new(0, self.next_pci, 0);
         self.next_pci += 1;
-        self.kmod.discover(addr, "Intel 82576 Gigabit Network Connection");
+        self.kmod
+            .discover(addr, "Intel 82576 Gigabit Network Connection");
         self.kmod.bind_userspace(addr)?;
-        self.devs
-            .push(EthDev::new(addr, model, self.costs.clone()));
+        self.devs.push(EthDev::new(addr, model, self.costs.clone()));
         Ok(DevId(self.devs.len() - 1))
     }
 
@@ -223,6 +223,14 @@ impl NetSim {
     /// Selects how contending app cVMs are scheduled (see [`AppSched`]).
     pub fn set_app_sched(&mut self, sched: AppSched) {
         self.app_sched = sched;
+    }
+
+    /// Reseeds the simulation's deterministic RNG (which drives impairment
+    /// draws). Two simulations built identically and seeded identically
+    /// produce identical outcomes; without a call the fixed default seed
+    /// applies, so unseeded runs are already reproducible.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.rng = SimRng::seed_from_u64(seed);
     }
 
     /// Creates a node: its own memory arena, a stack on `(dev, port)` with
@@ -363,10 +371,7 @@ impl NetSim {
         let mut port_stats = Vec::new();
         let mut stack_stats = Vec::new();
         for node in &self.nodes {
-            port_stats.push((
-                node.name.clone(),
-                self.devs[node.dev].stats(node.port),
-            ));
+            port_stats.push((node.name.clone(), self.devs[node.dev].stats(node.port)));
             stack_stats.push((node.name.clone(), node.stack.stats()));
         }
         Ok(SimOutcome {
@@ -585,10 +590,22 @@ mod tests {
         let b = sim.add_dev(NicModel::Host).unwrap();
         sim.link(a, 0, b, 0);
         let srv = sim
-            .add_node("srv", a, 0, Ipv4Addr::new(10, 0, 0, 1), IsolationProfile::default())
+            .add_node(
+                "srv",
+                a,
+                0,
+                Ipv4Addr::new(10, 0, 0, 1),
+                IsolationProfile::default(),
+            )
             .unwrap();
         let cli = sim
-            .add_node("cli", b, 0, Ipv4Addr::new(10, 0, 0, 2), IsolationProfile::default())
+            .add_node(
+                "cli",
+                b,
+                0,
+                Ipv4Addr::new(10, 0, 0, 2),
+                IsolationProfile::default(),
+            )
             .unwrap();
         sim.add_server(srv, "srv", 5201).unwrap();
         sim.add_client(

@@ -120,7 +120,13 @@ pub fn run_bandwidth(
     duration: SimDuration,
     costs: CostModel,
 ) -> Result<SimOutcome, CapnetError> {
-    run_bandwidth_impaired(kind, mode, duration, costs, updk::wire::Impairments::default())
+    run_bandwidth_impaired(
+        kind,
+        mode,
+        duration,
+        costs,
+        updk::wire::Impairments::default(),
+    )
 }
 
 /// [`run_bandwidth`] over degraded cables: every wire in the topology is
@@ -139,7 +145,14 @@ pub fn run_bandwidth_impaired(
     costs: CostModel,
     impairments: updk::wire::Impairments,
 ) -> Result<SimOutcome, CapnetError> {
-    run_bandwidth_full(kind, mode, duration, costs, impairments, AppSched::RoundRobin)
+    run_bandwidth_full(
+        kind,
+        mode,
+        duration,
+        costs,
+        impairments,
+        AppSched::RoundRobin,
+    )
 }
 
 /// The fully parameterized [`run_bandwidth`]: degraded cables *and* an

@@ -66,6 +66,23 @@ impl Summary {
     pub fn iqr(&self) -> u64 {
         self.q3 - self.q1
     }
+
+    /// Half-width of the 95 % confidence interval of the mean (normal
+    /// approximation, `1.96·σ/√n`). Zero for a single sample: one
+    /// measurement carries no spread information, not infinite spread.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std / (self.n as f64).sqrt()
+        }
+    }
+
+    /// The 95 % confidence interval of the mean as `(lo, hi)`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let hw = self.ci95_half_width();
+        (self.mean - hw, self.mean + hw)
+    }
 }
 
 /// The `p`-quantile of an ascending-sorted slice (nearest-rank).
@@ -219,5 +236,86 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_summary_panics() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn single_sample_collapses_cleanly() {
+        let s = Summary::of(&[42]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std, 0.0, "one sample has no spread, not NaN spread");
+        assert_eq!((s.min, s.q1, s.median, s.q3, s.max), (42, 42, 42, 42, 42));
+        assert_eq!(s.iqr(), 0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert_eq!(s.ci95(), (42.0, 42.0));
+    }
+
+    #[test]
+    fn extreme_values_stay_nan_free() {
+        // u64::MAX as f64 squares to ~3.4e38 — far inside f64 range, but a
+        // careless implementation (f32, or sum-of-squares overflow paths)
+        // would go infinite/NaN. Lock the guarantee down.
+        for sample in [
+            vec![u64::MAX],
+            vec![0, u64::MAX],
+            vec![u64::MAX; 3],
+            vec![0, 1, u64::MAX - 1, u64::MAX],
+        ] {
+            let s = Summary::of(&sample);
+            assert!(s.mean.is_finite(), "mean finite for {sample:?}");
+            assert!(s.std.is_finite(), "std finite for {sample:?}");
+            assert!(s.ci95_half_width().is_finite());
+            let (lo, hi) = s.ci95();
+            assert!(lo.is_finite() && hi.is_finite());
+            assert!(lo <= s.mean && s.mean <= hi);
+        }
+    }
+
+    #[test]
+    fn ci95_shrinks_with_sample_size() {
+        // Same alternating spread, 100× the samples → ~10× tighter interval
+        // (exact up to the Bessel n−1 correction).
+        let small: Vec<u64> = (0..10).map(|i| 100 + (i % 2) * 10).collect();
+        let large: Vec<u64> = (0..1000).map(|i| 100 + (i % 2) * 10).collect();
+        let (s, l) = (Summary::of(&small), Summary::of(&large));
+        assert!(s.ci95_half_width() > 0.0);
+        assert!(l.ci95_half_width() < s.ci95_half_width());
+        let shrink = s.ci95_half_width() / l.ci95_half_width();
+        assert!((shrink - 10.0).abs() < 0.6, "√n scaling, got {shrink}");
+    }
+
+    #[test]
+    fn ci95_matches_hand_computation() {
+        // [10, 20]: mean 15, sample std √50, hw = 1.96·√50/√2 = 9.8.
+        let s = Summary::of(&[10, 20]);
+        assert!((s.ci95_half_width() - 9.8).abs() < 1e-9);
+        let (lo, hi) = s.ci95();
+        assert!((lo - 5.2).abs() < 1e-9 && (hi - 24.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_interior_points() {
+        // Nearest-rank on 4 points: idx = round(3p).
+        let sorted = vec![10, 20, 30, 40];
+        assert_eq!(quantile_sorted(&sorted, 0.25), 20);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 30);
+        assert_eq!(quantile_sorted(&sorted, 0.75), 30);
+    }
+
+    #[test]
+    fn iqr_filter_single_and_pair_keep_everything() {
+        for sample in [vec![7u64], vec![1u64, 1_000_000]] {
+            let f = iqr_filter(&sample);
+            assert_eq!(f.removed, 0, "small samples define their own spread");
+            assert_eq!(f.kept, sample);
+            assert_eq!(f.removed_fraction(), 0.0);
+        }
+    }
+
+    #[test]
+    fn removed_fraction_of_empty_is_zero_not_nan() {
+        let f = iqr_filter(&[]);
+        assert_eq!(f.removed_fraction(), 0.0);
+        assert!(!f.removed_fraction().is_nan());
     }
 }

@@ -356,7 +356,8 @@ impl FStack {
         }
         let take = nbytes.min(buf.len()).min(tcb.readable_bytes() as u64);
         let data = tcb.read(take as usize);
-        mem.write(buf, buf.addr(), &data).map_err(|_| Errno::EFAULT)?;
+        mem.write(buf, buf.addr(), &data)
+            .map_err(|_| Errno::EFAULT)?;
         Ok(data.len() as u64)
     }
 
@@ -489,7 +490,12 @@ impl FStack {
     /// # Errors
     ///
     /// [`Errno::EBADF`] for an unknown epoll fd.
-    pub fn ff_epoll_ctl_add(&mut self, epfd: Fd, fd: Fd, interest: EpollFlags) -> Result<(), Errno> {
+    pub fn ff_epoll_ctl_add(
+        &mut self,
+        epfd: Fd,
+        fd: Fd,
+        interest: EpollFlags,
+    ) -> Result<(), Errno> {
         self.epoll.add(epfd, fd, interest)
     }
 
@@ -626,8 +632,7 @@ impl FStack {
                     // socket; deliver the asynchronous error to it.
                     if let Some((sport, _)) = unreach.quoted_udp_ports() {
                         if let Some(&fd) = self.udp_map.get(&sport) {
-                            if let Some(Socket::Udp { pending_err, .. }) =
-                                self.sockets.get_mut(fd)
+                            if let Some(Socket::Udp { pending_err, .. }) = self.sockets.get_mut(fd)
                             {
                                 *pending_err = Some(Errno::ECONNREFUSED);
                             }
@@ -793,10 +798,7 @@ impl FStack {
                     // Orderly-closed TCBs are reaped; error'd ones
                     // (refused/reset) stay valid until the application
                     // observes the errno and ff_close()s, per POSIX.
-                    if tcb.state() == TcpState::Closed
-                        && !tcb.was_refused()
-                        && !tcb.was_reset()
-                    {
+                    if tcb.state() == TcpState::Closed && !tcb.was_refused() && !tcb.was_reset() {
                         reap.push((fd, Some((local.1, remote.0, remote.1))));
                     }
                 }
@@ -810,13 +812,7 @@ impl FStack {
                             payload: d.data,
                         };
                         let l4 = dg.build(src_ip, d.from.0);
-                        let pkt = Ipv4Hdr::build(
-                            src_ip,
-                            d.from.0,
-                            IpProto::Udp,
-                            self.ident,
-                            &l4,
-                        );
+                        let pkt = Ipv4Hdr::build(src_ip, d.from.0, IpProto::Udp, self.ident, &l4);
                         self.ident = self.ident.wrapping_add(1);
                         to_send.push((d.from.0, pkt));
                     }

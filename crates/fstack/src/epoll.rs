@@ -156,9 +156,7 @@ mod tests {
         t.add(ep, 3, EpollFlags::IN).unwrap();
         t.add(ep, 4, EpollFlags::OUT).unwrap();
         // fd 3 is writable only; fd 4 is writable: only fd 4 reports.
-        let ev = t
-            .wait(ep, |_fd| EpollFlags::OUT)
-            .unwrap();
+        let ev = t.wait(ep, |_fd| EpollFlags::OUT).unwrap();
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].fd, 4);
         assert_eq!(ev[0].events, EpollFlags::OUT);

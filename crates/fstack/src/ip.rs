@@ -118,7 +118,13 @@ impl Ipv4Hdr {
     }
 
     /// Builds a packet: 20-byte header (checksummed) followed by `payload`.
-    pub fn build(src: Ipv4Addr, dst: Ipv4Addr, proto: IpProto, ident: u16, payload: &[u8]) -> Vec<u8> {
+    pub fn build(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: IpProto,
+        ident: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
         let total = (IPV4_HDR_LEN + payload.len()) as u16;
         let mut h = [0u8; IPV4_HDR_LEN];
         h[0] = 0x45; // v4, IHL 5

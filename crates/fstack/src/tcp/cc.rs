@@ -65,8 +65,8 @@ impl CongestionControl {
             self.cwnd = self.cwnd.saturating_add(acked_bytes.min(self.mss));
         } else {
             // Congestion avoidance: +MSS per RTT ≈ MSS*MSS/cwnd per ACK.
-            let inc = (u64::from(self.mss) * u64::from(self.mss)
-                / u64::from(self.cwnd.max(1))) as u32;
+            let inc =
+                (u64::from(self.mss) * u64::from(self.mss) / u64::from(self.cwnd.max(1))) as u32;
             self.cwnd = self.cwnd.saturating_add(inc.max(1));
         }
     }
@@ -109,7 +109,7 @@ mod tests {
     fn congestion_avoidance_is_linear() {
         let mut cc = CongestionControl::new(MSS);
         cc.on_timeout(); // ssthresh now finite
-        // Grow past ssthresh.
+                         // Grow past ssthresh.
         while cc.in_slow_start() {
             cc.on_ack(MSS);
         }

@@ -151,8 +151,8 @@ impl TcpSegment {
         let mut o = &p[TCP_HDR_LEN..data_off];
         while let Some(&kind) = o.first() {
             match kind {
-                0 => break,            // EOL
-                1 => o = &o[1..],      // NOP
+                0 => break,       // EOL
+                1 => o = &o[1..], // NOP
                 2 if o.len() >= 4 => {
                     options.mss = Some(u16::from_be_bytes([o[2], o[3]]));
                     o = &o[4..];

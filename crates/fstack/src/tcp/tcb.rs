@@ -122,12 +122,7 @@ pub struct Tcb {
 
 impl Tcb {
     /// Actively opens a connection (emits SYN on the next poll).
-    pub fn connect(
-        local: (Ipv4Addr, u16),
-        remote: (Ipv4Addr, u16),
-        iss: u32,
-        mss: usize,
-    ) -> Tcb {
+    pub fn connect(local: (Ipv4Addr, u16), remote: (Ipv4Addr, u16), iss: u32, mss: usize) -> Tcb {
         let mut t = Tcb::raw(TcpState::SynSent, local, remote, iss, mss);
         t.ack_now = false;
         t
@@ -154,7 +149,13 @@ impl Tcb {
         t
     }
 
-    fn raw(state: TcpState, local: (Ipv4Addr, u16), remote: (Ipv4Addr, u16), iss: u32, mss: usize) -> Tcb {
+    fn raw(
+        state: TcpState,
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        iss: u32,
+        mss: usize,
+    ) -> Tcb {
         Tcb {
             state,
             local,
@@ -473,8 +474,7 @@ impl Tcb {
                 self.srtt = Some((7 * srtt + rtt) / 8);
             }
         }
-        self.rto = (self.srtt.unwrap() + (4 * self.rttvar).max(1_000))
-            .clamp(MIN_RTO, MAX_RTO);
+        self.rto = (self.srtt.unwrap() + (4 * self.rttvar).max(1_000)).clamp(MIN_RTO, MAX_RTO);
     }
 
     /// Emits every segment the connection owes the wire at `now`.
@@ -597,8 +597,7 @@ impl Tcb {
     }
 
     fn handshake_done(&self) -> bool {
-        !matches!(self.state, TcpState::SynSent | TcpState::SynReceived)
-            || self.snd_nxt != self.iss
+        !matches!(self.state, TcpState::SynSent | TcpState::SynReceived) || self.snd_nxt != self.iss
     }
 
     fn arm_rtx(&mut self, now: SimTime) {
@@ -798,7 +797,8 @@ mod tests {
         assert!(c.stats().dupacks >= 3, "dupacks {}", c.stats().dupacks);
         let rtx = c.poll_output(now);
         assert!(
-            rtx.iter().any(|seg| seg.seq == segs[0].seq.wrapping_sub(MSS as u32)),
+            rtx.iter()
+                .any(|seg| seg.seq == segs[0].seq.wrapping_sub(MSS as u32)),
             "head segment retransmitted"
         );
         assert_eq!(c.stats().retransmits, 1);

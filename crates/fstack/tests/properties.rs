@@ -226,7 +226,10 @@ fn tcp_survives_random_loss() {
             data.len(),
             "loss {loss_per_mille}‰: all bytes delivered"
         );
-        assert_eq!(received, data, "loss {loss_per_mille}‰: in order, uncorrupted");
+        assert_eq!(
+            received, data,
+            "loss {loss_per_mille}‰: in order, uncorrupted"
+        );
         if loss_per_mille > 0 {
             assert!(
                 client.stats().retransmits > 0,

@@ -60,7 +60,10 @@ impl CvmConfig {
     ///
     /// Panics if smaller than the code window or not 16-byte aligned.
     pub fn mem_size(mut self, bytes: u64) -> Self {
-        assert!(bytes.is_multiple_of(16), "region must be capability-aligned");
+        assert!(
+            bytes.is_multiple_of(16),
+            "region must be capability-aligned"
+        );
         assert!(bytes > self.code_size, "region must exceed the code window");
         self.mem_size = bytes;
         self

@@ -116,9 +116,11 @@ impl Cvm {
             .ok_or_else(|| {
                 CapFault::new(FaultKind::Bounds, self.heap_next, size, *self.ctx.ddc())
             })?;
-        let cap = self.ctx.ddc().try_restrict(base, size).map_err(|_| {
-            CapFault::new(FaultKind::Bounds, base, size, *self.ctx.ddc())
-        })?;
+        let cap = self
+            .ctx
+            .ddc()
+            .try_restrict(base, size)
+            .map_err(|_| CapFault::new(FaultKind::Bounds, base, size, *self.ctx.ddc()))?;
         self.heap_next = base + size;
         Ok(cap)
     }

@@ -208,12 +208,7 @@ impl Intravisor {
     ///
     /// Bounds fault when the region is exhausted, or monotonicity faults if
     /// the cVM's DDC cannot cover the request.
-    pub fn cvm_alloc(
-        &mut self,
-        id: CvmId,
-        size: u64,
-        align: u64,
-    ) -> Result<Capability, CapFault> {
+    pub fn cvm_alloc(&mut self, id: CvmId, size: u64, align: u64) -> Result<Capability, CapFault> {
         let cvm = &mut self.cvms[id.index()];
         cvm.alloc(size, align)
     }
@@ -262,10 +257,7 @@ impl Intravisor {
         let ot = self.otypes.next_otype();
         let sealer = self.sealer(ot);
         let cvm = &self.cvms[provider.index()];
-        let code = cvm
-            .ctx()
-            .pcc()
-            .try_restrict_perms(Perms::code())?;
+        let code = cvm.ctx().pcc().try_restrict_perms(Perms::code())?;
         let code = Capability::root(code.base(), code.len(), Perms::code() | Perms::INVOKE)
             .seal(&sealer)?;
         let data_src = cvm.ctx().ddc();
@@ -419,8 +411,12 @@ mod tests {
     #[test]
     fn cvm_regions_are_disjoint() {
         let mut iv = boot();
-        let a = iv.create_cvm(CvmConfig::new("a").mem_size(64 * 1024)).unwrap();
-        let b = iv.create_cvm(CvmConfig::new("b").mem_size(64 * 1024)).unwrap();
+        let a = iv
+            .create_cvm(CvmConfig::new("a").mem_size(64 * 1024))
+            .unwrap();
+        let b = iv
+            .create_cvm(CvmConfig::new("b").mem_size(64 * 1024))
+            .unwrap();
         let da = *iv.cvm(a).ctx().ddc();
         let db = *iv.cvm(b).ctx().ddc();
         assert!(da.top() <= db.base() || db.top() <= da.base());
@@ -430,8 +426,12 @@ mod tests {
     #[test]
     fn cvm_cannot_reach_other_cvm_or_intravisor() {
         let mut iv = boot();
-        let a = iv.create_cvm(CvmConfig::new("a").mem_size(64 * 1024)).unwrap();
-        let b = iv.create_cvm(CvmConfig::new("b").mem_size(64 * 1024)).unwrap();
+        let a = iv
+            .create_cvm(CvmConfig::new("a").mem_size(64 * 1024))
+            .unwrap();
+        let b = iv
+            .create_cvm(CvmConfig::new("b").mem_size(64 * 1024))
+            .unwrap();
         let victim = iv.cvm(b).ctx().ddc().base();
         // Fig. 3: load outside the DDC.
         let e = iv.cvm_load(a, victim, 16).unwrap_err();
@@ -446,7 +446,9 @@ mod tests {
     #[test]
     fn cvm_alloc_hands_out_bounded_caps() {
         let mut iv = boot();
-        let a = iv.create_cvm(CvmConfig::new("a").mem_size(64 * 1024)).unwrap();
+        let a = iv
+            .create_cvm(CvmConfig::new("a").mem_size(64 * 1024))
+            .unwrap();
         let c1 = iv.cvm_alloc(a, 100, 16).unwrap();
         let c2 = iv.cvm_alloc(a, 100, 16).unwrap();
         assert_eq!(c1.len(), 100);
@@ -454,13 +456,18 @@ mod tests {
         assert!(c1.is_subset_of(iv.cvm(a).ctx().ddc()));
         // The capability is usable for exactly its object.
         iv.memory_mut().write(&c1, c1.base(), &[7; 100]).unwrap();
-        assert!(iv.memory_mut().write(&c1, c1.base() + 1, &[7; 100]).is_err());
+        assert!(iv
+            .memory_mut()
+            .write(&c1, c1.base() + 1, &[7; 100])
+            .is_err());
     }
 
     #[test]
     fn boundary_validation_rejects_escalation() {
         let mut iv = boot();
-        let a = iv.create_cvm(CvmConfig::new("a").mem_size(64 * 1024)).unwrap();
+        let a = iv
+            .create_cvm(CvmConfig::new("a").mem_size(64 * 1024))
+            .unwrap();
         let ddc = *iv.cvm(a).ctx().ddc();
         let ok = iv.cvm_alloc(a, 64, 16).unwrap();
         assert!(validate_boundary_cap(&ddc, &ok).is_ok());
@@ -471,7 +478,9 @@ mod tests {
             FaultKind::Tag
         );
         // A capability from another compartment is rejected by subset check.
-        let b = iv.create_cvm(CvmConfig::new("b").mem_size(64 * 1024)).unwrap();
+        let b = iv
+            .create_cvm(CvmConfig::new("b").mem_size(64 * 1024))
+            .unwrap();
         let other = iv.cvm_alloc(b, 64, 16).unwrap();
         assert_eq!(
             validate_boundary_cap(&ddc, &other).unwrap_err().kind(),
@@ -482,14 +491,22 @@ mod tests {
     #[test]
     fn destroy_cvm_revokes_escaped_capabilities() {
         let mut iv = boot();
-        let a = iv.create_cvm(CvmConfig::new("a").mem_size(64 * 1024)).unwrap();
-        let b = iv.create_cvm(CvmConfig::new("b").mem_size(64 * 1024)).unwrap();
+        let a = iv
+            .create_cvm(CvmConfig::new("a").mem_size(64 * 1024))
+            .unwrap();
+        let b = iv
+            .create_cvm(CvmConfig::new("b").mem_size(64 * 1024))
+            .unwrap();
         // A capability into A's region "escapes" into B's memory through a
         // legitimate capability store (an IPC grant, say).
         let a_buf = iv.cvm_alloc(a, 64, 16).unwrap();
-        iv.memory_mut().write(&a_buf, a_buf.base(), b"live secret data").unwrap();
+        iv.memory_mut()
+            .write(&a_buf, a_buf.base(), b"live secret data")
+            .unwrap();
         let b_slot = iv.cvm_alloc(b, 16, 16).unwrap();
-        iv.memory_mut().store_cap(&b_slot, b_slot.base(), a_buf).unwrap();
+        iv.memory_mut()
+            .store_cap(&b_slot, b_slot.base(), a_buf)
+            .unwrap();
         // While A lives, B can use the grant.
         let held = iv.memory_mut().load_cap(&b_slot, b_slot.base()).unwrap();
         assert!(iv.memory_mut().read_vec(&held, a_buf.base(), 16).is_ok());

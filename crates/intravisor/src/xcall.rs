@@ -195,9 +195,6 @@ mod tests {
         let (mut iv, svc, app) = boot();
         let sid = iv.register_service(svc, "ff-api").unwrap();
         let g = iv.xcall(app, sid, SimTime::ZERO).unwrap();
-        assert_eq!(
-            g.crossing.as_nanos(),
-            CostModel::morello().xcall_ns / 2
-        );
+        assert_eq!(g.crossing.as_nanos(), CostModel::morello().xcall_ns / 2);
     }
 }

@@ -2,9 +2,9 @@
 //! allocations, trampoline cost accounting, and cross-call validation.
 
 use cheri::Capability;
-use intravisor::{CvmConfig, Intravisor};
 use chos::clock::ClockId;
 use chos::syscall::Syscall;
+use intravisor::{CvmConfig, Intravisor};
 use proptest::prelude::*;
 use simkern::cost::CostModel;
 use simkern::time::SimTime;

@@ -113,8 +113,7 @@ impl ClientApp {
                 {
                     self.phase = Phase::Running;
                     self.started = Some(now);
-                    self.tracker =
-                        Some(IntervalTracker::new(now, SimDuration::from_millis(100)));
+                    self.tracker = Some(IntervalTracker::new(now, SimDuration::from_millis(100)));
                 }
             }
             Phase::Running => {

@@ -90,8 +90,7 @@ impl ServerApp {
                 self.conns.push(fd);
                 if self.started.is_none() {
                     self.started = Some(now);
-                    self.tracker =
-                        Some(IntervalTracker::new(now, SimDuration::from_millis(100)));
+                    self.tracker = Some(IntervalTracker::new(now, SimDuration::from_millis(100)));
                 }
             }
             Err(Errno::EAGAIN) => {}
@@ -141,10 +140,7 @@ impl ServerApp {
             label: self.label,
             bytes: self.bytes,
             elapsed: end - started,
-            intervals: self
-                .tracker
-                .map(|t| t.finish(now))
-                .unwrap_or_default(),
+            intervals: self.tracker.map(|t| t.finish(now)).unwrap_or_default(),
         }
     }
 }

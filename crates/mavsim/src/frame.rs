@@ -69,7 +69,14 @@ impl MavFrame {
         let payload = message.encode();
         assert!(payload.len() <= MAX_PAYLOAD, "schema exceeds MAX_PAYLOAD");
         let msgid = message.id() as u8;
-        Self::encode_raw(seq, sysid, compid, msgid, &payload, message.id().crc_extra())
+        Self::encode_raw(
+            seq,
+            sysid,
+            compid,
+            msgid,
+            &payload,
+            message.id().crc_extra(),
+        )
     }
 
     /// Encodes raw fields without schema validation — what an *attacker*
@@ -83,7 +90,10 @@ impl MavFrame {
         payload: &[u8],
         crc_extra: u8,
     ) -> Vec<u8> {
-        assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds the len field");
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "payload exceeds the len field"
+        );
         let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
         out.push(STX);
         out.push(payload.len() as u8);

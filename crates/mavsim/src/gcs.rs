@@ -255,7 +255,12 @@ mod tests {
         let mut g = GroundControl::new(1_000_000);
         g.observe(
             1,
-            &MavFrame::encode(0, 1, 1, &Message::ParamSet(ParamSet::named("BAT_LOW", 21.5))),
+            &MavFrame::encode(
+                0,
+                1,
+                1,
+                &Message::ParamSet(ParamSet::named("BAT_LOW", 21.5)),
+            ),
         )
         .unwrap();
         g.observe(
@@ -304,7 +309,10 @@ mod tests {
     fn staleness_and_failsafe() {
         let mut g = GroundControl::new(1_000);
         assert!(g.link_stale(0), "never heard = stale");
-        assert!(!g.failsafe_recommended(0), "but a disarmed vehicle needs none");
+        assert!(
+            !g.failsafe_recommended(0),
+            "but a disarmed vehicle needs none"
+        );
         g.observe(100, &hb(0, 88, true)).unwrap();
         assert!(!g.link_stale(900));
         assert!(g.link_stale(1_200));

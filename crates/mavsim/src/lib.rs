@@ -47,8 +47,8 @@ pub mod msg;
 pub mod parser;
 
 pub use frame::{MavFrame, FRAME_OVERHEAD, MAX_PAYLOAD, STX};
-pub use msg::{Message, MsgId};
 pub use gcs::{GroundControl, VehicleState};
+pub use msg::{Message, MsgId};
 pub use parser::{CheriParser, GroundStation, ParserOutcome, VulnerableParser};
 
 /// Errors of the mavsim protocol layer.

@@ -4,7 +4,9 @@ use mavsim::frame::{MavFrame, SeqTracker};
 use mavsim::msg::{
     Attitude, CommandLong, GpsRaw, Heartbeat, MavMode, Message, ParamSet, Severity, Statustext,
 };
-use mavsim::parser::{attack, CheriParser, GroundStation, ParserOutcome, VulnerableParser, MOTOR_IDLE};
+use mavsim::parser::{
+    attack, CheriParser, GroundStation, ParserOutcome, VulnerableParser, MOTOR_IDLE,
+};
 use proptest::prelude::*;
 
 fn arb_mode() -> impl Strategy<Value = MavMode> {
@@ -40,22 +42,26 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 yaw_mrad: y,
             })
         }),
-        (any::<i32>(), any::<i32>(), any::<i32>(), any::<u8>()).prop_map(|(lat, lon, alt, sats)| {
-            Message::GpsRaw(GpsRaw {
-                lat_e7: lat,
-                lon_e7: lon,
-                alt_mm: alt,
-                sats,
-            })
-        }),
+        (any::<i32>(), any::<i32>(), any::<i32>(), any::<u8>()).prop_map(
+            |(lat, lon, alt, sats)| {
+                Message::GpsRaw(GpsRaw {
+                    lat_e7: lat,
+                    lon_e7: lon,
+                    alt_mm: alt,
+                    sats,
+                })
+            }
+        ),
         (any::<u16>(), proptest::array::uniform7(any::<f32>())).prop_map(|(command, params)| {
             Message::CommandLong(CommandLong { command, params })
         }),
         ("[A-Z_]{1,16}", any::<f32>())
             .prop_map(|(name, value)| Message::ParamSet(ParamSet::named(&name, value))),
-        (arb_severity(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(
-            |(severity, text)| Message::Statustext(Statustext { severity, text })
-        ),
+        (
+            arb_severity(),
+            proptest::collection::vec(any::<u8>(), 0..200)
+        )
+            .prop_map(|(severity, text)| Message::Statustext(Statustext { severity, text })),
     ]
 }
 

@@ -251,6 +251,9 @@ mod tests {
     fn copy_cost_scales_linearly() {
         let c = CostModel::morello();
         assert_eq!(c.copy_cost(0), SimDuration::ZERO);
-        assert_eq!(c.copy_cost(2000).as_nanos(), 2 * c.copy_cost(1000).as_nanos());
+        assert_eq!(
+            c.copy_cost(2000).as_nanos(),
+            2 * c.copy_cost(1000).as_nanos()
+        );
     }
 }

@@ -218,9 +218,7 @@ mod tests {
         let mut eng: Engine<Vec<u32>> = Engine::new();
         let mut log = Vec::new();
         for i in 0..5 {
-            eng.schedule(SimTime::from_nanos(7), move |l: &mut Vec<u32>, _| {
-                l.push(i)
-            });
+            eng.schedule(SimTime::from_nanos(7), move |l: &mut Vec<u32>, _| l.push(i));
         }
         eng.run(&mut log);
         assert_eq!(log, vec![0, 1, 2, 3, 4]);
@@ -263,13 +261,19 @@ mod tests {
     fn past_events_are_clamped_to_now() {
         let mut eng: Engine<Vec<u64>> = Engine::new();
         let mut log = Vec::new();
-        eng.schedule(SimTime::from_nanos(100), |l: &mut Vec<u64>, e: &mut Engine<_>| {
-            // Scheduling "in the past" executes at the current instant.
-            e.schedule(SimTime::from_nanos(1), |l: &mut Vec<u64>, e: &mut Engine<_>| {
+        eng.schedule(
+            SimTime::from_nanos(100),
+            |l: &mut Vec<u64>, e: &mut Engine<_>| {
+                // Scheduling "in the past" executes at the current instant.
+                e.schedule(
+                    SimTime::from_nanos(1),
+                    |l: &mut Vec<u64>, e: &mut Engine<_>| {
+                        l.push(e.now().as_nanos());
+                    },
+                );
                 l.push(e.now().as_nanos());
-            });
-            l.push(e.now().as_nanos());
-        });
+            },
+        );
         eng.run(&mut log);
         assert_eq!(log, vec![100, 100]);
     }

@@ -158,10 +158,7 @@ impl FifoMutex {
             self.contentions += 1;
             // The waiter blocks via umtx; the holder's release wakes it.
             let woken = self.next_free + SimDuration::from_nanos(self.wake_ns);
-            (
-                woken,
-                SimDuration::from_nanos(self.block_ns + self.fast_ns),
-            )
+            (woken, SimDuration::from_nanos(self.block_ns + self.fast_ns))
         } else {
             (now, SimDuration::from_nanos(self.fast_ns))
         };
@@ -247,7 +244,10 @@ mod tests {
         let g1 = m.acquire(SimTime::ZERO, SimDuration::from_nanos(10_000));
         let g2 = m.acquire(SimTime::from_nanos(100), SimDuration::from_nanos(500));
         assert!(g2.contended);
-        assert_eq!(g2.acquired_at, g1.released_at + SimDuration::from_nanos(1_900));
+        assert_eq!(
+            g2.acquired_at,
+            g1.released_at + SimDuration::from_nanos(1_900)
+        );
         assert_eq!(
             g2.released_at,
             g2.acquired_at + SimDuration::from_nanos(500 + 2_600 + 30)

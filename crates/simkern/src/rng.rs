@@ -40,10 +40,7 @@ impl SimRng {
 
     /// The next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -149,9 +146,7 @@ mod tests {
     #[test]
     fn chance_per_mille_is_roughly_calibrated() {
         let mut r = SimRng::seed_from_u64(5);
-        let hits = (0..100_000)
-            .filter(|_| r.chance_per_mille(100))
-            .count() as f64;
+        let hits = (0..100_000).filter(|_| r.chance_per_mille(100)).count() as f64;
         let rate = hits / 100_000.0;
         assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
     }

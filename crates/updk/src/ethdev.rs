@@ -91,8 +91,13 @@ impl EthDev {
         // Touch the region once through the capability: a misconfigured
         // (out-of-arena) region must fail at configure time, not in the
         // datapath.
-        mem.read_vec(&region, region.base(), 1).map_err(UpdkError::Cap)?;
-        let pool = Mempool::new(format!("port{port}-pool"), region, crate::mempool::DEFAULT_BUF_SIZE)?;
+        mem.read_vec(&region, region.base(), 1)
+            .map_err(UpdkError::Cap)?;
+        let pool = Mempool::new(
+            format!("port{port}-pool"),
+            region,
+            crate::mempool::DEFAULT_BUF_SIZE,
+        )?;
         self.pools[port] = Some(pool);
         Ok(())
     }

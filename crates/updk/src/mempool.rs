@@ -149,7 +149,11 @@ impl Mempool {
     /// corrupt real DPDK pools silently; we fail loudly instead.
     pub fn free(&mut self, mbuf: Mbuf) {
         let idx = mbuf.pool_index();
-        assert!(idx < self.capacity, "mbuf {idx} does not belong to {}", self.name);
+        assert!(
+            idx < self.capacity,
+            "mbuf {idx} does not belong to {}",
+            self.name
+        );
         assert!(
             !self.free.contains(&idx),
             "double free of mbuf {idx} in {}",

@@ -267,8 +267,7 @@ impl Nic {
                 // rotating — but since completion order is monotone, nothing
                 // behind it can be ready either, so we can simply re-insert
                 // at the back of an empty prefix: drain and rebuild.
-                let mut rest: Vec<(SimTime, Frame)> =
-                    p.rx_ready.dequeue_burst(usize::MAX);
+                let mut rest: Vec<(SimTime, Frame)> = p.rx_ready.dequeue_burst(usize::MAX);
                 p.rx_ready.enqueue(entry).ok();
                 for e in rest.drain(..) {
                     p.rx_ready.enqueue(e).ok();
@@ -338,7 +337,10 @@ mod tests {
         // Back-to-back frames serialize at 12 304 ns each (wire limited,
         // because a single port's PCI demand is below the bus capacity).
         let per_frame = last.as_nanos() as f64 / n as f64;
-        assert!((per_frame - 12_304.0).abs() < 120.0, "per frame {per_frame}");
+        assert!(
+            (per_frame - 12_304.0).abs() < 120.0,
+            "per frame {per_frame}"
+        );
     }
 
     #[test]
@@ -353,8 +355,7 @@ mod tests {
             last = last.max(a).max(b);
         }
         // 2n frames of 1448B payload through the shared TX bus:
-        let goodput_mbps =
-            (2 * n) as f64 * 1448.0 * 8.0 / (last.as_nanos() as f64 / 1e9) / 1e6;
+        let goodput_mbps = (2 * n) as f64 * 1448.0 * 8.0 / (last.as_nanos() as f64 / 1e9) / 1e6;
         // Both ports together ≈ 1514 Mbit/s → 757 each (Table II client).
         assert!(
             (goodput_mbps - 1514.0).abs() < 25.0,

@@ -394,7 +394,10 @@ mod tests {
         assert_eq!(total, 125_000);
         let span_s = now.as_nanos() as f64 / 1e9;
         let rate = (total - 2_500) as f64 / span_s; // minus the initial burst
-        assert!((rate - 1_000_000.0).abs() < 10_000.0, "measured {rate:.0} B/s");
+        assert!(
+            (rate - 1_000_000.0).abs() < 10_000.0,
+            "measured {rate:.0} B/s"
+        );
     }
 
     #[test]

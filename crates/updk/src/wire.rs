@@ -318,10 +318,7 @@ mod tests {
     #[test]
     fn propagation_is_additive() {
         let w = Wire::new(SimDuration::from_nanos(500));
-        assert_eq!(
-            w.propagate(SimTime::from_nanos(100)).as_nanos(),
-            600
-        );
+        assert_eq!(w.propagate(SimTime::from_nanos(100)).as_nanos(), 600);
         assert_eq!(w.latency().as_nanos(), 500);
     }
 

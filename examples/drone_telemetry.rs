@@ -63,20 +63,18 @@ fn main() -> Result<(), Box<dyn Error>> {
 
         // The actuator command block lives in the actuation cVM.
         let act_buf = iv.cvm_alloc(actuation, 32, 16)?;
-        iv.memory_mut()
-            .write(&act_buf, act_buf.base(), b"MOTORS:HOVER;FAILSAFE-ON________")?;
+        iv.memory_mut().write(
+            &act_buf,
+            act_buf.base(),
+            b"MOTORS:HOVER;FAILSAFE-ON________",
+        )?;
 
         // The telemetry cVM gets a capability bounded to exactly 64 bytes.
         let tele_buf = iv
             .cvm_alloc(telemetry, 64, 16)?
             .try_restrict_perms(Perms::LOAD | Perms::STORE)?;
 
-        match vulnerable_parse(
-            iv.memory_mut(),
-            &tele_buf,
-            tele_buf.base(),
-            &attack_payload,
-        ) {
+        match vulnerable_parse(iv.memory_mut(), &tele_buf, tele_buf.base(), &attack_payload) {
             Err(fault) => {
                 println!("telemetry parse -> {fault}");
                 println!("telemetry cVM terminated; actuation cVM unaffected:");

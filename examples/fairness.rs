@@ -40,18 +40,43 @@ fn row(mode: TrafficMode, sched: AppSched, name: &str) {
 
 fn main() {
     println!("Scenario 2 contended: two app cVMs sharing the F-Stack service mutex\n");
-    row(TrafficMode::Client, AppSched::paper_barging(), "barging (paper model)");
-    println!("  {:<22} {:<7}  cVM2  531  cVM3  410  joint  941  ratio 1.30", "paper Table II", "Client");
-    row(TrafficMode::Client, AppSched::RoundRobin, "round-robin (fair)");
     row(
         TrafficMode::Client,
-        AppSched::Weighted { weight_first: 2, weight_rest: 1 },
+        AppSched::paper_barging(),
+        "barging (paper model)",
+    );
+    println!(
+        "  {:<22} {:<7}  cVM2  531  cVM3  410  joint  941  ratio 1.30",
+        "paper Table II", "Client"
+    );
+    row(
+        TrafficMode::Client,
+        AppSched::RoundRobin,
+        "round-robin (fair)",
+    );
+    row(
+        TrafficMode::Client,
+        AppSched::Weighted {
+            weight_first: 2,
+            weight_rest: 1,
+        },
         "weighted 2:1 (QoS)",
     );
     println!();
-    row(TrafficMode::Server, AppSched::paper_barging(), "barging (paper model)");
-    println!("  {:<22} {:<7}  cVM2  470  cVM3  470  joint  940  ratio 1.00", "paper Table II", "Server");
-    row(TrafficMode::Server, AppSched::RoundRobin, "round-robin (fair)");
+    row(
+        TrafficMode::Server,
+        AppSched::paper_barging(),
+        "barging (paper model)",
+    );
+    println!(
+        "  {:<22} {:<7}  cVM2  470  cVM3  470  joint  940  ratio 1.00",
+        "paper Table II", "Server"
+    );
+    row(
+        TrafficMode::Server,
+        AppSched::RoundRobin,
+        "round-robin (fair)",
+    );
     println!("\nreading: the barging model reproduces the paper's unbalanced client");
     println!("split; round-robin scheduling — the QoS fix the paper defers to future");
     println!("work — levels it. Both keep the aggregate at the port ceiling.");

@@ -33,15 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Fig. 6: uncontended vs contended on a microsecond axis.
     println!("\nFig. 6 (0..40000 ns):");
-    for run in runs
-        .iter()
-        .filter(|r| {
-            matches!(
-                r.scenario,
-                LatencyScenario::Scenario2Uncontended | LatencyScenario::Scenario2Contended
-            )
-        })
-    {
+    for run in runs.iter().filter(|r| {
+        matches!(
+            r.scenario,
+            LatencyScenario::Scenario2Uncontended | LatencyScenario::Scenario2Contended
+        )
+    }) {
         println!(
             "{:<26} |{}|",
             run.scenario.label(),

@@ -11,10 +11,10 @@ use capnet::experiment::{fig3, figs, table1, table2};
 use capnet::netsim::AppSched;
 use capnet::scenario::{run_bandwidth_full, run_bandwidth_impaired, ScenarioKind, TrafficMode};
 use simkern::{CostModel, SimDuration};
-use updk::wire::Impairments;
 use std::error::Error;
 use std::fmt::Write as _;
 use std::fs;
+use updk::wire::Impairments;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -31,11 +31,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let t1 = table1::run();
     writeln!(report, "{t1}")?;
     for row in &t1.rows {
-        writeln!(
-            csv,
-            "table1,{},cap_loc,{},152",
-            row.library, row.cap_loc
-        )?;
+        writeln!(csv, "table1,{},cap_loc,{},152", row.library, row.cap_loc)?;
         writeln!(
             csv,
             "table1,{},percent,{:.2},0.99",
@@ -95,8 +91,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Extension: S3/S4 latency ladder.
     eprintln!("[5/7] extension scenarios S3/S4…");
     let ext = figs::run_extensions(iters.min(100_000), CostModel::morello(), 0xF1C5)?;
-    writeln!(report, "
-EXTENSIONS: DEEPER SPLITS (paper future work)")?;
+    writeln!(
+        report,
+        "
+EXTENSIONS: DEEPER SPLITS (paper future work)"
+    )?;
     for r in &ext {
         writeln!(report, "{r}")?;
         writeln!(
@@ -109,10 +108,17 @@ EXTENSIONS: DEEPER SPLITS (paper future work)")?;
 
     // Extension: fairness — barging vs round-robin contended client split.
     eprintln!("[6/7] fairness (contended client split)…");
-    writeln!(report, "
-EXTENSION: CONTENDED-CLIENT FAIRNESS")?;
+    writeln!(
+        report,
+        "
+EXTENSION: CONTENDED-CLIENT FAIRNESS"
+    )?;
     for (name, sched, paper) in [
-        ("barging (paper model)", AppSched::paper_barging(), "531/410"),
+        (
+            "barging (paper model)",
+            AppSched::paper_barging(),
+            "531/410",
+        ),
         ("round-robin (fair)", AppSched::RoundRobin, "-"),
     ] {
         let out = run_bandwidth_full(
@@ -123,18 +129,21 @@ EXTENSION: CONTENDED-CLIENT FAIRNESS")?;
             Impairments::default(),
             sched,
         )?;
-        let (x, y) = (
-            out.clients[0].mbit_per_sec(),
-            out.clients[1].mbit_per_sec(),
-        );
-        writeln!(report, "{name:<24} {x:>4.0} / {y:<4.0} Mbit/s (paper {paper})")?;
+        let (x, y) = (out.clients[0].mbit_per_sec(), out.clients[1].mbit_per_sec());
+        writeln!(
+            report,
+            "{name:<24} {x:>4.0} / {y:<4.0} Mbit/s (paper {paper})"
+        )?;
         writeln!(csv, "fairness,{name},split_mbit,{x:.0}/{y:.0},{paper}")?;
     }
 
     // Extension: loss sweep (three points).
     eprintln!("[7/7] loss sweep…");
-    writeln!(report, "
-EXTENSION: GOODPUT UNDER FRAME LOSS (Baseline 1-proc)")?;
+    writeln!(
+        report,
+        "
+EXTENSION: GOODPUT UNDER FRAME LOSS (Baseline 1-proc)"
+    )?;
     for per_mille in [0u16, 5, 20] {
         let out = run_bandwidth_impaired(
             ScenarioKind::BaselineSingleProcess,

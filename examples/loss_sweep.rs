@@ -35,8 +35,14 @@ fn main() {
     } else {
         SimDuration::from_millis(150)
     };
-    println!("TCP goodput vs. frame loss ({} ms virtual time per cell)\n", dur.as_nanos() / 1_000_000);
-    println!("{:>8}  {:>18}  {:>18}  {:>9}", "loss", "Baseline (Mbit/s)", "Scenario2 (Mbit/s)", "S2/Base");
+    println!(
+        "TCP goodput vs. frame loss ({} ms virtual time per cell)\n",
+        dur.as_nanos() / 1_000_000
+    );
+    println!(
+        "{:>8}  {:>18}  {:>18}  {:>9}",
+        "loss", "Baseline (Mbit/s)", "Scenario2 (Mbit/s)", "S2/Base"
+    );
     for per_mille in [0u16, 1, 2, 5, 10, 20, 50] {
         let (base, _) = cell(ScenarioKind::BaselineSingleProcess, per_mille, dur);
         let (s2, lost) = cell(ScenarioKind::Scenario2Uncontended, per_mille, dur);

@@ -57,9 +57,15 @@ fn describe(out: &ParserOutcome) -> String {
 
 fn main() {
     println!("CVE-2024-38951 pattern: unchecked buffer limit in a MAVLink receive path\n");
-    show("Baseline: flat address space (NuttX/PX4 deployment model)", &mut VulnerableParser::new());
+    show(
+        "Baseline: flat address space (NuttX/PX4 deployment model)",
+        &mut VulnerableParser::new(),
+    );
     let mut cheri = CheriParser::new();
-    show("CHERI compartment (bounds-restricted capability RX buffer)", &mut cheri);
+    show(
+        "CHERI compartment (bounds-restricted capability RX buffer)",
+        &mut cheri,
+    );
 
     // The recovery the Intravisor's cVM lifecycle enables: restart the dead
     // compartment and resume — the DoS costs one restart, never state.

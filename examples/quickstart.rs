@@ -26,7 +26,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // The app works happily inside its own region…
     let buf = iv.cvm_alloc(app, 1024, 16)?;
-    iv.memory_mut().write(&buf, buf.base(), b"telemetry frame")?;
+    iv.memory_mut()
+        .write(&buf, buf.base(), b"telemetry frame")?;
     println!("\napp wrote 15 bytes through its bounded capability: ok");
 
     // …and dies trying to touch the network compartment.

@@ -39,8 +39,11 @@ fn pump(now: SimTime, a: &mut FStack, b: &mut FStack) {
 fn main() -> Result<(), Box<dyn Error>> {
     let mut drone = FStack::new(StackConfig::new("drone", MacAddr::local(1), DRONE_IP));
     let mut gcs = FStack::new(StackConfig::new("gcs", MacAddr::local(2), GCS_IP));
-    drone.arp_cache_mut().insert_static(GCS_IP, MacAddr::local(2));
-    gcs.arp_cache_mut().insert_static(DRONE_IP, MacAddr::local(1));
+    drone
+        .arp_cache_mut()
+        .insert_static(GCS_IP, MacAddr::local(2));
+    gcs.arp_cache_mut()
+        .insert_static(DRONE_IP, MacAddr::local(1));
 
     let mut mem = TaggedMemory::new(1 << 20);
     let carve = |mem: &TaggedMemory, base: u64, len: u64| {
@@ -63,11 +66,22 @@ fn main() -> Result<(), Box<dyn Error>> {
     for seq in 1..=3u32 {
         let hb = format!("HEARTBEAT seq={seq} mode=HOVER bat={}%", 90 - seq);
         mem.write(&tx, tx.base(), hb.as_bytes())?;
-        drone.ff_sendto(&mut mem, drone_sock, &tx, hb.len() as u64, (GCS_IP, MAVLINK_PORT))?;
+        drone.ff_sendto(
+            &mut mem,
+            drone_sock,
+            &tx,
+            hb.len() as u64,
+            (GCS_IP, MAVLINK_PORT),
+        )?;
         pump(now, &mut drone, &mut gcs);
         let (n, from) = gcs.ff_recvfrom(&mut mem, gcs_sock, &gcs_rx)?;
         let text = mem.read_vec(&gcs_rx, gcs_rx.base(), n)?;
-        println!("  gcs got {n}B from {}:{}: {}", from.0, from.1, String::from_utf8_lossy(&text));
+        println!(
+            "  gcs got {n}B from {}:{}: {}",
+            from.0,
+            from.1,
+            String::from_utf8_lossy(&text)
+        );
         now += SimDuration::from_millis(100);
     }
 

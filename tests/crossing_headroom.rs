@@ -51,8 +51,14 @@ fn past_the_headroom_deeper_splits_degrade_first() {
     let s2 = bw(ScenarioKind::Scenario2Uncontended, &costs);
     let s3 = bw(ScenarioKind::Scenario3, &costs);
     let s4 = bw(ScenarioKind::Scenario4, &costs);
-    assert!(s2 > s3 && s3 > s4, "ordering: S2 {s2:.0} > S3 {s3:.0} > S4 {s4:.0}");
-    assert!(s4 < 700.0, "the full split is clearly off the ceiling: {s4:.0}");
+    assert!(
+        s2 > s3 && s3 > s4,
+        "ordering: S2 {s2:.0} > S3 {s3:.0} > S4 {s4:.0}"
+    );
+    assert!(
+        s4 < 700.0,
+        "the full split is clearly off the ceiling: {s4:.0}"
+    );
     // The monolithic baseline does not pay crossings and must not care.
     let b = bw(ScenarioKind::BaselineSingleProcess, &costs);
     assert!((b - 941.0).abs() < 25.0, "baseline unaffected: {b:.0}");

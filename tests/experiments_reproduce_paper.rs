@@ -34,10 +34,20 @@ fn table2_dual_port_rows_are_pci_limited_and_symmetric() {
     for block in &t.blocks {
         assert_eq!(block.server.len(), 2, "{}", block.scenario);
         for c in &block.server {
-            assert!((c.mbit - 658.0).abs() < 35.0, "{} server {:.0}", c.label, c.mbit);
+            assert!(
+                (c.mbit - 658.0).abs() < 35.0,
+                "{} server {:.0}",
+                c.label,
+                c.mbit
+            );
         }
         for c in &block.client {
-            assert!((c.mbit - 757.0).abs() < 35.0, "{} client {:.0}", c.label, c.mbit);
+            assert!(
+                (c.mbit - 757.0).abs() < 35.0,
+                "{} client {:.0}",
+                c.label,
+                c.mbit
+            );
         }
     }
     // Scenario 1 must equal Baseline within noise: CHERI costs nothing at
@@ -85,8 +95,14 @@ fn table2_contended_flows_share_the_port() {
     let server_sum: f64 = block.server.iter().map(|c| c.mbit).sum();
     let client_sum: f64 = block.client.iter().map(|c| c.mbit).sum();
     // Paper: 470+470 server, 531+410 client — the *sum* saturates the port.
-    assert!((server_sum - 941.0).abs() < 45.0, "server sum {server_sum:.0}");
-    assert!((client_sum - 941.0).abs() < 45.0, "client sum {client_sum:.0}");
+    assert!(
+        (server_sum - 941.0).abs() < 45.0,
+        "server sum {server_sum:.0}"
+    );
+    assert!(
+        (client_sum - 941.0).abs() < 45.0,
+        "client sum {client_sum:.0}"
+    );
 }
 
 #[test]

@@ -1,0 +1,184 @@
+//! Determinism of the end-to-end harness: identical seeds yield
+//! byte-identical traces — and identical outcomes — through the full stack
+//! (`ff_*` API → TCP/UDP → IP → Ethernet → poll-mode driver → tagged packet
+//! memory → impaired wire), and through the compartmentalized `NetSim` world
+//! on top of it.
+//!
+//! Every scale/perf PR that follows leans on this suite: once sharding,
+//! batching or caching lands, "same seed, same trace" is what proves the
+//! optimization didn't change behavior.
+
+mod testutil;
+
+use capnet::netsim::{IsolationProfile, NetSim};
+use simkern::{CostModel, SimDuration};
+use std::net::Ipv4Addr;
+use testutil::TwoHost;
+use updk::nic::NicModel;
+use updk::wire::Impairments;
+
+const TCP_PORT: u16 = 7100;
+const UDP_PORT: u16 = 5600;
+const TCP_BYTES: u64 = 96 * 1024;
+
+/// Scenario 1 — TCP bulk transfer over the ideal cable. With no stochastic
+/// impairments the trace must not depend on the seed at all: any two runs,
+/// same seed or not, are byte-identical.
+#[test]
+fn tcp_transfer_on_ideal_wire_is_fully_deterministic() {
+    let run = |seed: u64| {
+        let mut net = TwoHost::new(seed);
+        let received = net.run_tcp_transfer(TCP_PORT, TCP_BYTES, 40_000);
+        assert_eq!(received, TCP_BYTES, "ideal wire delivers every byte");
+        net.trace
+    };
+    let t1 = run(1);
+    let t2 = run(1);
+    let t3 = run(999);
+    assert!(!t1.is_empty(), "the transfer produced traffic");
+    t1.assert_identical(&t2);
+    t1.assert_identical(&t3); // seed is irrelevant without impairments
+}
+
+/// Scenario 2 — TCP over a lossy cable. The loss pattern is drawn from the
+/// seed, so identical seeds give byte-identical traces (including every
+/// retransmission), different seeds give different traces, and TCP recovers
+/// in all cases.
+#[test]
+fn tcp_transfer_over_lossy_wire_is_seed_deterministic() {
+    let run = |seed: u64| {
+        let mut net = TwoHost::with_impairments(seed, Impairments::lossy(30));
+        let received = net.run_tcp_transfer(TCP_PORT, TCP_BYTES, 60_000);
+        assert_eq!(received, TCP_BYTES, "TCP recovered all {TCP_BYTES} bytes");
+        (net.trace, net.wire_stats)
+    };
+    let (t1, s1) = run(42);
+    let (t2, s2) = run(42);
+    let (t3, s3) = run(43);
+    assert!(s1.lost > 0, "the cable actually lost frames: {s1:?}");
+    t1.assert_identical(&t2);
+    assert_eq!(
+        s1, s2,
+        "wire counters are part of the deterministic outcome"
+    );
+    assert_ne!(
+        t1.digest(),
+        t3.digest(),
+        "a different seed draws a different loss pattern"
+    );
+    assert_ne!(s1, s3);
+}
+
+/// Scenario 3 — TCP over a cable that reorders, duplicates AND corrupts.
+/// The hardest recovery path (out-of-order reassembly + checksum discard +
+/// dup suppression) is still a pure function of the seed.
+#[test]
+fn tcp_transfer_over_chaotic_wire_is_seed_deterministic() {
+    let imp = Impairments {
+        corrupt_per_mille: 10,
+        dup_per_mille: 20,
+        reorder_per_mille: 40,
+        reorder_delay: SimDuration::from_micros(300),
+        ..Impairments::default()
+    };
+    let run = |seed: u64| {
+        let mut net = TwoHost::with_impairments(seed, imp);
+        let received = net.run_tcp_transfer(TCP_PORT, TCP_BYTES, 60_000);
+        assert_eq!(received, TCP_BYTES, "TCP survived the chaotic cable");
+        (net.trace, net.wire_stats)
+    };
+    let (t1, s1) = run(7);
+    let (t2, s2) = run(7);
+    assert!(
+        s1.reordered > 0 && s1.duplicated > 0 && s1.corrupted > 0,
+        "every impairment class fired: {s1:?}"
+    );
+    t1.assert_identical(&t2);
+    assert_eq!(s1, s2);
+}
+
+/// Scenario 4 — UDP telemetry burst over a lossy cable. The datagrams that
+/// survive (and their payload bytes) are identical for identical seeds and
+/// differ across seeds.
+#[test]
+fn udp_burst_over_lossy_wire_is_seed_deterministic() {
+    let run = |seed: u64| {
+        let mut net = TwoHost::with_impairments(seed, Impairments::lossy(100));
+        let got = net.run_udp_burst(UDP_PORT, 64, 4_000);
+        (got, net.trace, net.wire_stats)
+    };
+    let (g1, t1, s1) = run(11);
+    let (g2, t2, s2) = run(11);
+    let (g3, t3, _) = run(12);
+    assert!(s1.lost > 0, "the cable actually lost datagrams: {s1:?}");
+    assert!(!g1.is_empty() && g1.len() < 64, "some but not all arrived");
+    assert_eq!(g1, g2, "identical survivor payloads for identical seeds");
+    t1.assert_identical(&t2);
+    assert_eq!(s1, s2);
+    assert_ne!(t1.digest(), t3.digest(), "seed 12 draws differently");
+    assert_ne!(g1, g3, "different survivors for a different seed");
+}
+
+/// Scenario 5 — the full compartment world: two `NetSim` runs built the same
+/// way (CAP-VM isolation charges, S2 service mutex, impaired cable) and
+/// seeded the same produce identical reports, byte counts and wire
+/// counters; a different seed produces different wire counters.
+#[test]
+fn netsim_compartment_run_is_seed_deterministic() {
+    let build = |seed: u64| {
+        let costs = CostModel::morello();
+        let mut sim = NetSim::new(costs.clone());
+        sim.set_seed(seed);
+        sim.set_impairments(Impairments::lossy(20));
+        let a = sim.add_dev(NicModel::Dual82576).unwrap();
+        let h = sim.add_dev(NicModel::Host).unwrap();
+        sim.link(a, 0, h, 0);
+        let dut = sim
+            .add_node(
+                "dut",
+                a,
+                0,
+                Ipv4Addr::new(10, 9, 0, 1),
+                IsolationProfile {
+                    per_ff_call_ns: costs.xcall_ns + costs.mutex_fast_ns,
+                    s2_service: true,
+                },
+            )
+            .unwrap();
+        let host = sim
+            .add_node(
+                "host",
+                h,
+                0,
+                Ipv4Addr::new(10, 9, 0, 2),
+                IsolationProfile::default(),
+            )
+            .unwrap();
+        sim.add_server(dut, "dut-rx", 5201).unwrap();
+        sim.add_client(
+            host,
+            "host-tx",
+            (Ipv4Addr::new(10, 9, 0, 1), 5201),
+            SimDuration::from_millis(40),
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        sim.run(SimDuration::from_millis(50)).unwrap()
+    };
+    let o1 = build(21);
+    let o2 = build(21);
+    let o3 = build(22);
+    assert_eq!(o1.servers, o2.servers, "server reports are bit-identical");
+    assert_eq!(o1.clients, o2.clients, "client reports are bit-identical");
+    assert_eq!(o1.ended_at, o2.ended_at);
+    assert_eq!(o1.impairment_stats, o2.impairment_stats);
+    assert!(
+        o1.impairment_stats.lost > 0,
+        "the impaired cable did its job: {:?}",
+        o1.impairment_stats
+    );
+    assert_ne!(
+        o1.impairment_stats, o3.impairment_stats,
+        "a different seed loses different frames"
+    );
+}

@@ -82,7 +82,10 @@ fn duplication_is_harmless_to_goodput() {
     assert!(out.impairment_stats.duplicated > 0);
     // Duplicates waste wire and RX-ring slots but TCP sequence numbers
     // de-duplicate them; goodput stays near the ceiling.
-    assert!(bw > 800.0, "duplication should not collapse goodput: {bw:.0}");
+    assert!(
+        bw > 800.0,
+        "duplication should not collapse goodput: {bw:.0}"
+    );
 }
 
 #[test]

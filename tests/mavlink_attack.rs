@@ -18,7 +18,9 @@ use fstack::socket::SockType;
 use fstack::{FStack, StackConfig};
 use mavsim::frame::{MavFrame, SeqTracker};
 use mavsim::msg::{Attitude, Heartbeat, MavMode, Message};
-use mavsim::parser::{attack, CheriParser, GroundStation, ParserOutcome, VulnerableParser, MOTOR_IDLE};
+use mavsim::parser::{
+    attack, CheriParser, GroundStation, ParserOutcome, VulnerableParser, MOTOR_IDLE,
+};
 use simkern::SimTime;
 use std::net::Ipv4Addr;
 use updk::nic::MacAddr;
@@ -94,7 +96,13 @@ fn send_mav(
 ) {
     mem.write(scratch, scratch.base(), frame_bytes).unwrap();
     stack
-        .ff_sendto(mem, fd, scratch, frame_bytes.len() as u64, (GCS_IP, MAV_PORT))
+        .ff_sendto(
+            mem,
+            fd,
+            scratch,
+            frame_bytes.len() as u64,
+            (GCS_IP, MAV_PORT),
+        )
         .unwrap();
 }
 
@@ -116,7 +124,11 @@ fn run_attack<G: GroundStation>(mut gs: G) -> (G, u64, u64) {
     let mut seq = SeqTracker::new();
     let mut delivered_pre = 0u64;
     let mut delivered_post = 0u64;
-    let recv_all = |net: &mut Net, mem: &mut TaggedMemory, gs: &mut G, count: &mut u64, seq: &mut SeqTracker| {
+    let recv_all = |net: &mut Net,
+                    mem: &mut TaggedMemory,
+                    gs: &mut G,
+                    count: &mut u64,
+                    seq: &mut SeqTracker| {
         while let Ok((n, _from)) = net.gcs.ff_recvfrom(mem, s_gcs, &rx) {
             let bytes = mem.read_vec(&rx, rx.base(), n).unwrap();
             if let Ok(f) = MavFrame::decode(&bytes) {
@@ -143,7 +155,13 @@ fn run_attack<G: GroundStation>(mut gs: G) -> (G, u64, u64) {
                 yaw_mrad: 1_570,
             })
         };
-        send_mav(&mut net.drone, &mut mem, s_drone, &tx, &MavFrame::encode(i, 1, 1, &m));
+        send_mav(
+            &mut net.drone,
+            &mut mem,
+            s_drone,
+            &tx,
+            &MavFrame::encode(i, 1, 1, &m),
+        );
         net.pump(now);
         recv_all(&mut net, &mut mem, &mut gs, &mut delivered_pre, &mut seq);
     }
@@ -163,7 +181,13 @@ fn run_attack<G: GroundStation>(mut gs: G) -> (G, u64, u64) {
             battery_pct: 80,
             armed: true,
         });
-        send_mav(&mut net.drone, &mut mem, s_drone, &tx, &MavFrame::encode(i, 1, 1, &m));
+        send_mav(
+            &mut net.drone,
+            &mut mem,
+            s_drone,
+            &tx,
+            &MavFrame::encode(i, 1, 1, &m),
+        );
         net.pump(now);
         recv_all(&mut net, &mut mem, &mut gs, &mut delivered_post, &mut seq);
     }
@@ -179,7 +203,11 @@ fn baseline_flat_memory_is_silently_hijacked() {
     assert!(gs.alive());
     assert_eq!(post, 10, "telemetry keeps flowing as if nothing happened");
     // …but the actuator block is attacker-controlled now.
-    assert_eq!(gs.motors(), [0xFFFF; 4], "motors at attacker's full throttle");
+    assert_eq!(
+        gs.motors(),
+        [0xFFFF; 4],
+        "motors at attacker's full throttle"
+    );
     assert!(!gs.failsafe_armed(), "failsafe disarmed by the overflow");
 }
 
@@ -194,7 +222,10 @@ fn cheri_compartment_contains_the_same_attack() {
         format!("{fault}").to_lowercase().contains("bound"),
         "Fig. 3 out-of-bounds exception: {fault}"
     );
-    assert_eq!(post, 0, "a dead cVM receives nothing (fail-stop, not fail-open)");
+    assert_eq!(
+        post, 0,
+        "a dead cVM receives nothing (fail-stop, not fail-open)"
+    );
     // …and the safety-critical state is exactly as it was.
     assert_eq!(gs.motors(), [MOTOR_IDLE; 4]);
 }
@@ -241,7 +272,10 @@ fn cheri_gcs_recovers_from_attack_via_respawn() {
             armed: true,
         }),
     );
-    assert!(gs.handle(&hb).is_delivered(), "telemetry resumes post-respawn");
+    assert!(
+        gs.handle(&hb).is_delivered(),
+        "telemetry resumes post-respawn"
+    );
     assert_eq!(gs.motors(), [MOTOR_IDLE; 4]);
     assert_eq!(gs.faults_survived(), 1);
 }
@@ -304,8 +338,12 @@ fn legit_command_traffic_still_decodes_through_both_parsers() {
     let wire = MavFrame::encode(0, 255, 190, &arm);
     let mut v = VulnerableParser::new();
     let mut c = CheriParser::new();
-    assert!(matches!(v.handle(&wire), ParserOutcome::Delivered(Message::CommandLong(k)) if k.command == 400));
-    assert!(matches!(c.handle(&wire), ParserOutcome::Delivered(Message::CommandLong(k)) if k.command == 400));
+    assert!(
+        matches!(v.handle(&wire), ParserOutcome::Delivered(Message::CommandLong(k)) if k.command == 400)
+    );
+    assert!(
+        matches!(c.handle(&wire), ParserOutcome::Delivered(Message::CommandLong(k)) if k.command == 400)
+    );
 }
 
 #[test]

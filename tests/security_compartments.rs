@@ -26,7 +26,9 @@ fn fig3_full_experiment() {
     assert!(out.fault.is_out_of_bounds());
     assert!(out.victim_could_read_own);
     // The rendered figure mentions the exception by name.
-    assert!(out.to_string().contains("Capability Out-of-Bounds Exception"));
+    assert!(out
+        .to_string()
+        .contains("Capability Out-of-Bounds Exception"));
 }
 
 #[test]
@@ -110,7 +112,10 @@ fn capability_leak_through_shared_memory_is_neutralized() {
     // untagged value, and using it faults.
     let forged = iv
         .memory_mut()
-        .load_cap(&a_slot.try_restrict_perms(Perms::data()).unwrap(), a_slot.base())
+        .load_cap(
+            &a_slot.try_restrict_perms(Perms::data()).unwrap(),
+            a_slot.base(),
+        )
         .unwrap();
     assert!(!forged.tag(), "forged capability must be untagged");
     assert_eq!(

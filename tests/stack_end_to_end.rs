@@ -130,8 +130,10 @@ fn ff_write_rejects_bad_capabilities_with_efault() {
     let mut mem = TaggedMemory::new(1 << 20);
     let mut a = FStack::new(StackConfig::new("a", updk::nic::MacAddr::local(1), ip_a));
     let mut b = FStack::new(StackConfig::new("b", updk::nic::MacAddr::local(2), ip_b));
-    a.arp_cache_mut().insert_static(ip_b, updk::nic::MacAddr::local(2));
-    b.arp_cache_mut().insert_static(ip_a, updk::nic::MacAddr::local(1));
+    a.arp_cache_mut()
+        .insert_static(ip_b, updk::nic::MacAddr::local(2));
+    b.arp_cache_mut()
+        .insert_static(ip_a, updk::nic::MacAddr::local(1));
     let lfd = b.ff_socket(SockType::Stream).unwrap();
     b.ff_bind(lfd, 9000).unwrap();
     b.ff_listen(lfd, 2).unwrap();
@@ -187,8 +189,10 @@ fn epoll_tracks_connection_lifecycle() {
     let mut mem = TaggedMemory::new(1 << 20);
     let mut a = FStack::new(StackConfig::new("a", updk::nic::MacAddr::local(3), ip_a));
     let mut b = FStack::new(StackConfig::new("b", updk::nic::MacAddr::local(4), ip_b));
-    a.arp_cache_mut().insert_static(ip_b, updk::nic::MacAddr::local(4));
-    b.arp_cache_mut().insert_static(ip_a, updk::nic::MacAddr::local(3));
+    a.arp_cache_mut()
+        .insert_static(ip_b, updk::nic::MacAddr::local(4));
+    b.arp_cache_mut()
+        .insert_static(ip_a, updk::nic::MacAddr::local(3));
 
     let lfd = b.ff_socket(SockType::Stream).unwrap();
     b.ff_bind(lfd, 9100).unwrap();
@@ -216,8 +220,12 @@ fn epoll_tracks_connection_lifecycle() {
         now += SimDuration::from_micros(50);
     }
     // Connected: client is writable, listener readable.
-    assert!(a.ff_epoll_wait(aep).unwrap()[0].events.contains(EpollFlags::OUT));
-    assert!(b.ff_epoll_wait(bep).unwrap()[0].events.contains(EpollFlags::IN));
+    assert!(a.ff_epoll_wait(aep).unwrap()[0]
+        .events
+        .contains(EpollFlags::OUT));
+    assert!(b.ff_epoll_wait(bep).unwrap()[0]
+        .events
+        .contains(EpollFlags::IN));
     let sfd = b.ff_accept(lfd).unwrap();
     b.ff_epoll_ctl_add(bep, sfd, EpollFlags::IN).unwrap();
 
@@ -260,7 +268,13 @@ fn netsim_with_isolation_charges_still_converges() {
         )
         .unwrap();
     let host = sim
-        .add_node("host", h, 0, Ipv4Addr::new(10, 3, 0, 2), IsolationProfile::default())
+        .add_node(
+            "host",
+            h,
+            0,
+            Ipv4Addr::new(10, 3, 0, 2),
+            IsolationProfile::default(),
+        )
         .unwrap();
     sim.add_server(dut, "dut-rx", 5201).unwrap();
     sim.add_client(

@@ -68,7 +68,10 @@ fn syn_to_closed_port_is_refused() {
         Errno::ECONNREFUSED,
         "the client sees connection-refused, not a silent hang"
     );
-    assert_eq!(a.ff_read(&mut mem, fd, &buf, 16).unwrap_err(), Errno::ECONNREFUSED);
+    assert_eq!(
+        a.ff_read(&mut mem, fd, &buf, 16).unwrap_err(),
+        Errno::ECONNREFUSED
+    );
 }
 
 #[test]
@@ -86,7 +89,10 @@ fn connect_to_listening_port_is_not_refused() {
 
     assert_eq!(b.stats().rsts_out, 0);
     let buf = data_buf(&mut mem, 0x1000);
-    assert!(a.ff_write(&mut mem, fd, &buf, 64).is_ok(), "handshake completed");
+    assert!(
+        a.ff_write(&mut mem, fd, &buf, 64).is_ok(),
+        "handshake completed"
+    );
 }
 
 #[test]

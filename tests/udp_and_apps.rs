@@ -46,7 +46,7 @@ fn udp_request_reply_round_trip() {
     // B: bound UDP "telemetry" service.
     let sb = b.ff_socket(SockType::Dgram).unwrap();
     b.ff_bind(sb, 14_550).unwrap(); // the MAVLink UDP port
-    // A: unbound client.
+                                    // A: unbound client.
     let sa = a.ff_socket(SockType::Dgram).unwrap();
 
     let msg = mem
@@ -55,8 +55,12 @@ fn udp_request_reply_round_trip() {
         .unwrap()
         .try_restrict_perms(Perms::data())
         .unwrap();
-    mem.write(&msg, msg.base(), b"HEARTBEAT drone-1 mode=HOVER bat=87%____________________________"[..64].as_ref())
-        .unwrap();
+    mem.write(
+        &msg,
+        msg.base(),
+        b"HEARTBEAT drone-1 mode=HOVER bat=87%____________________________"[..64].as_ref(),
+    )
+    .unwrap();
 
     let sent = a.ff_sendto(&mut mem, sa, &msg, 64, (IP_B, 14_550)).unwrap();
     assert_eq!(sent, 64);
@@ -101,11 +105,15 @@ fn udp_errors_are_posixy() {
 
     // Oversized datagram.
     assert_eq!(
-        a.ff_sendto(&mut mem, sa, &buf, 2_000, (IP_B, 1)).unwrap_err(),
+        a.ff_sendto(&mut mem, sa, &buf, 2_000, (IP_B, 1))
+            .unwrap_err(),
         Errno::EMSGSIZE
     );
     // Empty receive queue.
-    assert_eq!(a.ff_recvfrom(&mut mem, sa, &buf).unwrap_err(), Errno::EAGAIN);
+    assert_eq!(
+        a.ff_recvfrom(&mut mem, sa, &buf).unwrap_err(),
+        Errno::EAGAIN
+    );
     // sendto with a dead capability.
     let dead = buf.without_tag();
     assert_eq!(
@@ -251,7 +259,10 @@ fn udp_to_closed_port_draws_port_unreachable_and_econnrefused() {
         a.ff_recvfrom(&mut mem, sa, &msg).unwrap_err(),
         Errno::ECONNREFUSED
     );
-    assert_eq!(a.ff_recvfrom(&mut mem, sa, &msg).unwrap_err(), Errno::EAGAIN);
+    assert_eq!(
+        a.ff_recvfrom(&mut mem, sa, &msg).unwrap_err(),
+        Errno::EAGAIN
+    );
 }
 
 #[test]
@@ -280,11 +291,14 @@ fn udp_unreachable_raises_epollerr_until_observed() {
         }
     }
     let ev = a.ff_epoll_wait(ep).unwrap();
-    assert!(ev.iter().any(|e| e.fd == sa && e.events.contains(EpollFlags::ERR)));
+    assert!(ev
+        .iter()
+        .any(|e| e.fd == sa && e.events.contains(EpollFlags::ERR)));
     let _ = a.ff_recvfrom(&mut mem, sa, &msg);
     let ev = a.ff_epoll_wait(ep).unwrap();
     assert!(
-        !ev.iter().any(|e| e.fd == sa && e.events.contains(EpollFlags::ERR)),
+        !ev.iter()
+            .any(|e| e.fd == sa && e.events.contains(EpollFlags::ERR)),
         "error cleared after observation"
     );
 }
@@ -314,7 +328,10 @@ fn udp_to_open_port_never_raises_unreachable() {
         }
     }
     assert_eq!(b.stats().unreach_out, 0);
-    assert_eq!(a.ff_recvfrom(&mut mem, sa, &msg).unwrap_err(), Errno::EAGAIN);
+    assert_eq!(
+        a.ff_recvfrom(&mut mem, sa, &msg).unwrap_err(),
+        Errno::EAGAIN
+    );
     let (n, _) = b.ff_recvfrom(&mut mem, sb, &msg).unwrap();
     assert_eq!(n, 32);
 }

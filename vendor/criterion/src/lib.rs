@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the API the `capnet-bench` targets use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `throughput`,
+//! `sample_size`, `iter`, `iter_with_setup`, `criterion_group!`,
+//! `criterion_main!`, `black_box`). Instead of criterion's statistical
+//! engine it runs a short warmup, then `sample_size` timed samples, and
+//! prints mean time per iteration (plus throughput when set). Good enough to
+//! regenerate the paper-facing numbers the benches print; swap in the real
+//! crate when network access exists.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-sample iteration budget: keep each bench under roughly this long.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a bench id: a `&str` name or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+
+        // Warmup and iteration-count calibration.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += b.iters;
+        }
+
+        let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        let mut line = format!("{label:<56} {mean_ns:>12.1} ns/iter");
+        if let Some(t) = self.throughput {
+            let per_sec = 1e9 / mean_ns;
+            match t {
+                Throughput::Bytes(n) => {
+                    let mib = per_sec * n as f64 / (1024.0 * 1024.0);
+                    line.push_str(&format!("  {mib:>10.1} MiB/s"));
+                }
+                Throughput::Elements(n) => {
+                    let elems = per_sec * n as f64;
+                    line.push_str(&format!("  {elems:>12.0} elem/s"));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_with_setup<S, O, SF, RF>(&mut self, mut setup: SF, mut routine: RF)
+    where
+        SF: FnMut() -> S,
+        RF: FnMut(S) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// `criterion_group!(name, target_a, target_b, ...)`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group_a, group_b, ...)`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,76 @@
+//! `any::<T>()` for the primitive types the suites generate.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::marker::PhantomData;
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Floats come from raw bits so infinities and NaNs do appear, as with real
+// proptest's full-range float strategies; suites `prop_assume!` them away
+// where they matter.
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.below(8) == 0 {
+            char::from_u32(rng.next_u32() % 0xD800).unwrap_or('\u{FFFD}')
+        } else {
+            (0x20u8 + rng.below(0x5F) as u8) as char
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixed-size array strategies: `array::uniformN(element)`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+pub struct ArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        pub fn $name<S: Strategy>(element: S) -> ArrayStrategy<S, $n> {
+            ArrayStrategy { element }
+        }
+    )*};
+}
+
+uniform! {
+    uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+    uniform5 => 5, uniform6 => 6, uniform7 => 7, uniform8 => 8,
+    uniform16 => 16, uniform32 => 32,
+}

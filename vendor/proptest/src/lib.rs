@@ -1,0 +1,173 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no network access, so the real
+//! crates.io `proptest` cannot be vendored. This crate re-implements exactly
+//! the subset of the API the workspace's property suites use:
+//!
+//! * the [`proptest!`] macro (with `pat in strategy` and `name: Type` params),
+//! * [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`]/[`prop_assume!`],
+//! * [`prop_oneof!`], [`strategy::Just`], [`Strategy::prop_map`],
+//! * `any::<T>()` for the primitive types, `Option<T>`,
+//! * [`collection::vec`], `array::uniform*`, and `&str` character-class
+//!   patterns like `"[A-Z_]{1,16}"`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic by default.** Case seeds derive from a hash of the test
+//!   name, so every run of the suite generates the same inputs. Set
+//!   `PROPTEST_CASES` to change the case count (default 64).
+//! * **No shrinking.** A failure reports the case seed instead; replaying is
+//!   exact because generation is deterministic in the seed.
+//! * **Regression persistence.** Failing seeds are appended to
+//!   `proptest-regressions/<test-file-stem>.txt` under the crate root, and any
+//!   seeds already recorded there are replayed before the random cases — the
+//!   same contract as real proptest's `.txt` regression files, with a
+//!   different line format (`<test_name> seed=0x<hex>`).
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod rng;
+pub mod runner;
+pub mod strategy;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// `proptest! { #[test] fn name(a in strat, b: Type, ...) { body } ... }`
+///
+/// Each function becomes a `#[test]` that runs the body over generated inputs
+/// via [`runner::run`]. Parameters are either `pattern in strategy` or
+/// `ident: Type` (shorthand for `ident in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_parse!([] [] $($params)*, ; $name $body);
+            }
+        )*
+    };
+}
+
+/// Internal: fold the parameter list into one tuple pattern + one tuple
+/// strategy, then hand off to `__proptest_run!`. Not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_parse {
+    // terminal: nothing left but stray commas
+    ([$($pats:pat_param)*] [$($strats:expr,)*] $(,)* ; $name:ident $body:block) => {
+        $crate::__proptest_run!([$($pats)*] [$($strats,)*] $name $body)
+    };
+    // `pattern in strategy`
+    ([$($pats:pat_param)*] [$($strats:expr,)*] $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_parse!([$($pats)* $pat] [$($strats,)* $strat,] $($rest)*)
+    };
+    // `ident: Type` shorthand
+    ([$($pats:pat_param)*] [$($strats:expr,)*] $id:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_parse!(
+            [$($pats)* $id] [$($strats,)* $crate::arbitrary::any::<$ty>(),] $($rest)*
+        )
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_run {
+    ([$($pats:pat_param)*] [$($strats:expr,)*] $name:ident $body:block) => {
+        $crate::runner::run(
+            env!("CARGO_MANIFEST_DIR"),
+            file!(),
+            stringify!($name),
+            ($($strats,)*),
+            |($($pats,)*)| -> ::std::result::Result<(), $crate::runner::TestCaseError> {
+                $body
+                Ok(())
+            },
+        )
+    };
+}
+
+/// Like `assert!` but fails the current case (reporting its seed) instead of
+/// panicking bare.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (it counts as neither pass nor fail) when the
+/// generated input does not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

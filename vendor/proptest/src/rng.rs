@@ -1,0 +1,56 @@
+//! SplitMix64-based deterministic RNG used for all generation.
+
+/// Deterministic 64-bit generator. Identical seeds produce identical streams
+/// on every platform, which is what makes failing-seed replay exact.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounded rejection is overkill for test generation;
+        // simple modulo bias is fine at these bound sizes.
+        self.next_u64() % bound
+    }
+
+    /// Uniform in the inclusive span `[lo, hi]` over u64 arithmetic.
+    pub fn span(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let width = hi - lo;
+        if width == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(width + 1)
+        }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from its name.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

@@ -1,0 +1,246 @@
+//! The deterministic case runner behind `proptest!`.
+
+use crate::rng::{fnv1a, TestRng};
+use crate::strategy::Strategy;
+use std::fmt;
+use std::fs;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the input is outside the property's domain.
+    Reject(String),
+    /// `prop_assert*!` failed: the property is false for this input.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+fn default_cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// `proptest-regressions/<test-file-stem>.txt` next to the crate manifest.
+fn regression_path(manifest_dir: &str, file: &str) -> PathBuf {
+    let stem = Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Parse recorded `"<name> seed=0x<hex>"` lines for this test.
+fn recorded_seeds(path: &Path, name: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let (test, seed) = line.split_once(" seed=")?;
+            if test.trim() != name {
+                return None;
+            }
+            let seed = seed.trim().trim_start_matches("0x");
+            u64::from_str_radix(seed, 16).ok()
+        })
+        .collect()
+}
+
+fn persist_failure(path: &Path, name: &str, seed: u64) {
+    if recorded_seeds(path, name).contains(&seed) {
+        return;
+    }
+    let _ = fs::create_dir_all(path.parent().unwrap());
+    let header = if path.exists() {
+        String::new()
+    } else {
+        "# Seeds for failure cases found by the proptest stand-in. It is\n\
+         # recommended to check this file in to source control so that\n\
+         # everyone who runs the test benefits from these saved cases.\n"
+            .to_string()
+    };
+    let mut text = header;
+    text.push_str(&format!("{name} seed=0x{seed:016x}\n"));
+    use std::io::Write;
+    if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = f.write_all(text.as_bytes());
+    }
+}
+
+/// Run one property over its recorded regression seeds, then over
+/// `PROPTEST_CASES` deterministic fresh cases.
+pub fn run<S, F>(manifest_dir: &str, file: &str, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let cases = default_cases();
+    let reg_path = regression_path(manifest_dir, file);
+    let base = fnv1a(format!("{file}::{name}").as_bytes());
+
+    // Replay persisted regressions first, exactly once each, no reject retry.
+    for seed in recorded_seeds(&reg_path, name) {
+        match run_one(&strategy, &test, seed) {
+            CaseOutcome::Pass | CaseOutcome::Reject(_) => {}
+            CaseOutcome::Fail(msg) => {
+                panic!("[{name}] persisted regression seed=0x{seed:016x} still fails: {msg}")
+            }
+        }
+    }
+
+    let mut rejects: u64 = 0;
+    let max_rejects = cases.saturating_mul(32).max(1024);
+    let mut case = 0u64;
+    let mut attempt = 0u64;
+    while case < cases {
+        let seed = base
+            .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .rotate_left(17);
+        attempt += 1;
+        match run_one(&strategy, &test, seed) {
+            CaseOutcome::Pass => case += 1,
+            CaseOutcome::Reject(_) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "[{name}] too many prop_assume! rejections \
+                         ({rejects} rejects for {case}/{cases} cases)"
+                    );
+                }
+            }
+            CaseOutcome::Fail(msg) => {
+                persist_failure(&reg_path, name, seed);
+                panic!(
+                    "[{name}] property failed at case {case} (seed=0x{seed:016x}, \
+                     persisted to {}):\n{msg}",
+                    reg_path.display()
+                );
+            }
+        }
+    }
+}
+
+enum CaseOutcome {
+    Pass,
+    Reject(#[allow(dead_code)] String),
+    Fail(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_lines_parse_and_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pt-reg-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("properties.txt");
+
+        assert!(recorded_seeds(&path, "my_test").is_empty());
+        persist_failure(&path, "my_test", 0xDEAD_BEEF_0000_0001);
+        persist_failure(&path, "my_test", 0xDEAD_BEEF_0000_0002);
+        persist_failure(&path, "other_test", 0x1234);
+        // Duplicate seeds are not re-recorded.
+        persist_failure(&path, "my_test", 0xDEAD_BEEF_0000_0001);
+
+        assert_eq!(
+            recorded_seeds(&path, "my_test"),
+            vec![0xDEAD_BEEF_0000_0001, 0xDEAD_BEEF_0000_0002]
+        );
+        assert_eq!(recorded_seeds(&path, "other_test"), vec![0x1234]);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('#'), "header comment present:\n{text}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn comments_and_foreign_tests_are_ignored() {
+        let dir = std::env::temp_dir().join(format!("pt-reg2-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("properties.txt");
+        fs::write(
+            &path,
+            "# comment\n\nalpha seed=0x10\nbeta seed=0x20\nalpha seed=0x30\nnot a seed line\n",
+        )
+        .unwrap();
+        assert_eq!(recorded_seeds(&path, "alpha"), vec![0x10, 0x30]);
+        assert_eq!(recorded_seeds(&path, "beta"), vec![0x20]);
+        assert!(recorded_seeds(&path, "gamma").is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_property_panics_and_persists_its_seed() {
+        let dir = std::env::temp_dir().join(format!("pt-reg3-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_string_lossy().into_owned();
+
+        let result = panic::catch_unwind(|| {
+            run(
+                &manifest,
+                "tests/properties.rs",
+                "always_fails",
+                (0u64..10,),
+                |(_n,)| Err(TestCaseError::fail("nope")),
+            );
+        });
+        assert!(result.is_err(), "a failing property panics");
+        let seeds = recorded_seeds(
+            &dir.join("proptest-regressions").join("properties.txt"),
+            "always_fails",
+        );
+        assert_eq!(seeds.len(), 1, "exactly one failing seed persisted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+fn run_one<S, F>(strategy: &S, test: &F, seed: u64) -> CaseOutcome
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::new(seed);
+    let value = strategy.generate(&mut rng);
+    match panic::catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(TestCaseError::Reject(m))) => CaseOutcome::Reject(m),
+        Ok(Err(TestCaseError::Fail(m))) => CaseOutcome::Fail(m),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            CaseOutcome::Fail(format!("panicked: {msg}"))
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The `Strategy` trait and the combinators the workspace uses.
+
+use crate::rng::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type. Unlike real proptest there is
+/// no shrinking: replay uses the recorded case seed instead.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Type-erase a strategy so heterogeneous alternatives can share a `Vec`.
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-typed alternatives; built by `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+// Integer range strategies. Signed values map to u64 through a sign-bit flip
+// so one uniform-span primitive covers every width.
+macro_rules! int_range_strategy {
+    ($($ty:ty => $to:expr, $from:expr;)*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = $to(self.start);
+                let hi = $to(self.end) - 1;
+                $from(rng.span(lo, hi))
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let lo = $to(*self.start());
+                let hi = $to(*self.end());
+                $from(rng.span(lo, hi))
+            }
+        }
+    )*};
+}
+
+int_range_strategy! {
+    u8    => (|v| v as u64), (|v| v as u8);
+    u16   => (|v| v as u64), (|v| v as u16);
+    u32   => (|v| v as u64), (|v| v as u32);
+    u64   => (|v| v), (|v| v);
+    usize => (|v| v as u64), (|v| v as usize);
+    i8    => (|v: i8| (v as u8 ^ 0x80) as u64), (|v: u64| (v as u8 ^ 0x80) as i8);
+    i16   => (|v: i16| (v as u16 ^ 0x8000) as u64), (|v: u64| (v as u16 ^ 0x8000) as i16);
+    i32   => (|v: i32| (v as u32 ^ 0x8000_0000) as u64),
+             (|v: u64| (v as u32 ^ 0x8000_0000) as i32);
+    i64   => (|v: i64| v as u64 ^ 0x8000_0000_0000_0000),
+             (|v: u64| (v ^ 0x8000_0000_0000_0000) as i64);
+    isize => (|v: isize| v as u64 ^ 0x8000_0000_0000_0000),
+             (|v: u64| (v ^ 0x8000_0000_0000_0000) as isize);
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// `&str` strategies: a character-class pattern such as `"[A-Z_]{1,16}"`.
+///
+/// Supported grammar (a deliberate sliver of regex, enough for the suites):
+/// literal characters, `[...]` classes with `a-z` ranges, and an optional
+/// `{n}` / `{m,n}` repeat suffix per atom.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom: either a class or a literal char.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed [ in pattern strategy")
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            assert!(!alphabet.is_empty(), "empty character class in pattern");
+
+            // Parse an optional {m,n} repeat.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed {{ in pattern strategy")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad repeat lower bound"),
+                        n.trim().parse::<usize>().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+
+            let reps = rng.span(lo as u64, hi as u64) as usize;
+            for _ in 0..reps {
+                out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}

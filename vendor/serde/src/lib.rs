@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize)]` as a marker on result
+//! structs (nothing is actually serialized anywhere in-tree), so this crate
+//! provides blanket-implemented marker traits and re-exports no-op derives
+//! from `serde_derive`. If real serialization lands later, swap this vendor
+//! crate for the real one.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

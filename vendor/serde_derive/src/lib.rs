@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde_derive`: the derives parse (and swallow
+//! `#[serde(...)]` attributes) but emit nothing. The sibling `serde` crate
+//! provides a blanket trait impl, so `#[derive(Serialize)]` + `T: Serialize`
+//! bounds both work without any real serialization machinery.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
