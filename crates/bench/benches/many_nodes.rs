@@ -1,0 +1,120 @@
+//! Bench target for the **switched N-node topologies**: star fan-in,
+//! switch-chain depth, and dumbbell fairness.
+//!
+//! Criterion times the harness (wall clock of the discrete-event run); the
+//! *measured artifacts* — aggregate Mbit/s through the shared bottleneck,
+//! per-hop chain throughput, Jain's fairness index — are printed once per
+//! case and serialized to `BENCH_topology.json` via
+//! [`capnet_bench::BenchReport`], the repo's machine-readable perf
+//! trajectory (uploaded per-PR by CI's bench-smoke job).
+
+use capnet::netsim::NetSim;
+use capnet::scenario::{fairness_index, run_dumbbell_fairness, run_star_iperf};
+use capnet::topology::build_chain;
+use capnet::SimOutcome;
+use capnet_bench::BenchReport;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkern::{CostModel, SimDuration};
+
+const SEED: u64 = 0x70B0;
+const RUN: SimDuration = SimDuration::from_millis(25);
+
+fn run_chain(hops: usize) -> SimOutcome {
+    let mut sim = NetSim::new(CostModel::morello());
+    sim.set_seed(SEED);
+    let chain = build_chain(&mut sim, hops).expect("chain builds");
+    sim.add_server(chain.b, "b-rx", 5501).expect("server");
+    sim.add_client(chain.a, "a-tx", (chain.b_ip, 5501), RUN, SimDuration::ZERO)
+        .expect("client");
+    sim.run(RUN + SimDuration::from_millis(30)).expect("runs")
+}
+
+fn server_mbits(out: &SimOutcome) -> Vec<f64> {
+    out.servers.iter().map(|r| r.mbit_per_sec()).collect()
+}
+
+fn bench_many_nodes(c: &mut Criterion) {
+    let mut report = BenchReport::new("topology");
+    let mut group = c.benchmark_group("many_nodes");
+    group.sample_size(10);
+
+    // Star fan-in: N clients share the hub's one switch port.
+    for clients in [2usize, 4, 8] {
+        let out = run_star_iperf(clients, RUN, CostModel::morello(), SEED).expect("star runs");
+        let flows = server_mbits(&out);
+        let aggregate: f64 = flows.iter().sum();
+        let jain = fairness_index(&flows);
+        eprintln!(
+            "[topology] star/{clients} clients: {aggregate:.0} Mbit/s aggregate, Jain {jain:.3}"
+        );
+        report.record(
+            "star",
+            &format!("clients={clients}"),
+            &[
+                ("aggregate_mbit_per_sec", aggregate),
+                ("fairness_jain", jain),
+                ("flows", clients as f64),
+                ("switch_forwarded", out.switch_stats[0].forwarded as f64),
+                ("switch_dropped", out.switch_stats[0].dropped as f64),
+                ("trace_frames", out.trace.frames as f64),
+            ],
+        );
+        group.bench_with_input(
+            BenchmarkId::new("star", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| run_star_iperf(clients, RUN, CostModel::morello(), SEED).expect("star"))
+            },
+        );
+    }
+
+    // Chain depth: one flow across K store-and-forward hops.
+    for hops in [1usize, 2, 4] {
+        let out = run_chain(hops);
+        let mbit = out.servers[0].mbit_per_sec();
+        eprintln!("[topology] chain/{hops} hops: {mbit:.0} Mbit/s");
+        report.record(
+            "chain",
+            &format!("hops={hops}"),
+            &[
+                ("mbit_per_sec", mbit),
+                ("hops", hops as f64),
+                ("trace_frames", out.trace.frames as f64),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("chain", hops), &hops, |b, &hops| {
+            b.iter(|| run_chain(hops))
+        });
+    }
+
+    // Dumbbell: pairs contending for one trunk.
+    for pairs in [2usize, 4] {
+        let out =
+            run_dumbbell_fairness(pairs, RUN, CostModel::morello(), SEED).expect("dumbbell runs");
+        let flows = server_mbits(&out);
+        let aggregate: f64 = flows.iter().sum();
+        let jain = fairness_index(&flows);
+        eprintln!(
+            "[topology] dumbbell/{pairs} pairs: {aggregate:.0} Mbit/s aggregate, Jain {jain:.3}"
+        );
+        report.record(
+            "dumbbell",
+            &format!("pairs={pairs}"),
+            &[
+                ("aggregate_mbit_per_sec", aggregate),
+                ("fairness_jain", jain),
+                ("flows", pairs as f64),
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("dumbbell", pairs), &pairs, |b, &pairs| {
+            b.iter(|| run_dumbbell_fairness(pairs, RUN, CostModel::morello(), SEED).expect("bell"))
+        });
+    }
+
+    group.finish();
+    let path = report.write().expect("BENCH_topology.json written");
+    eprintln!("[topology] perf trajectory: {}", path.display());
+}
+
+criterion_group!(benches, bench_many_nodes);
+criterion_main!(benches);

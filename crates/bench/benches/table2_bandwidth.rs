@@ -6,10 +6,12 @@
 //! live in `tests/experiments_reproduce_paper.rs`.
 
 use capnet::scenario::{run_bandwidth, ScenarioKind, TrafficMode};
+use capnet_bench::BenchReport;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simkern::{CostModel, SimDuration};
 
 fn bench_table2(c: &mut Criterion) {
+    let mut report = BenchReport::new("table2");
     let mut group = c.benchmark_group("table2_tcp_bandwidth");
     group.sample_size(10);
     let duration = SimDuration::from_millis(40);
@@ -29,6 +31,11 @@ fn bench_table2(c: &mut Criterion) {
                     r.label,
                     r.mbit_per_sec()
                 );
+                report.record(
+                    &format!("{kind}"),
+                    &format!("{mode}/{}", r.label),
+                    &[("mbit_per_sec", r.mbit_per_sec())],
+                );
             }
             group.bench_with_input(
                 BenchmarkId::new(kind.label(), mode.to_string()),
@@ -43,6 +50,8 @@ fn bench_table2(c: &mut Criterion) {
         }
     }
     group.finish();
+    let path = report.write().expect("BENCH_table2.json written");
+    eprintln!("[table2] perf trajectory: {}", path.display());
 }
 
 criterion_group!(benches, bench_table2);

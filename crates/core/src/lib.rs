@@ -12,6 +12,9 @@
 //!   future-work **Scenario 3** (DPDK split from F-Stack) as an extension.
 //! * [`netsim`] — the discrete-event driver that cables simulated 82576
 //!   ports to measurement hosts and runs iperf over real TCP.
+//! * [`topology`] — switched N-node topology builders (star, chain,
+//!   dumbbell) over `updk`'s LinkFabric learning switch, opening the
+//!   scenario space beyond the paper's two-hosts-on-a-cable testbed.
 //! * [`experiment`] — one module per paper artifact: Table I, Table II,
 //!   Fig. 3 (capability violation), Figs. 4–6 (`ff_write` latency).
 //! * [`stats`] — the measurement pipeline (1 M iterations, IQR outlier
@@ -33,8 +36,9 @@ pub mod experiment;
 pub mod netsim;
 pub mod scenario;
 pub mod stats;
+pub mod topology;
 
-pub use netsim::{IsolationProfile, NetSim, SimOutcome};
+pub use netsim::{IsolationProfile, NetSim, SimOutcome, SwitchId, TraceDigest};
 pub use scenario::ScenarioKind;
 
 use std::fmt;

@@ -22,7 +22,8 @@ use std::net::Ipv4Addr;
 use updk::ethdev::EthDev;
 use updk::kmod::{BindingRegistry, PciAddress};
 use updk::nic::NicModel;
-use updk::wire::{ImpairmentStats, Impairments, Wire};
+use updk::switch::{LinkFabric, SwitchStats};
+use updk::wire::{Frame, ImpairmentStats, Impairments, Wire};
 
 /// Handle to a node in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +32,74 @@ pub struct NodeId(usize);
 /// Handle to a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DevId(pub(crate) usize);
+
+/// Handle to a switching fabric added with [`NetSim::add_switch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchId(usize);
+
+/// One cable endpoint: a NIC port or a switch port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Ep {
+    Dev(usize, usize),
+    Sw(usize, usize),
+}
+
+impl std::fmt::Display for Ep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ep::Dev(d, p) => write!(f, "device {d} port {p}"),
+            Ep::Sw(s, p) => write!(f, "switch {s} port {p}"),
+        }
+    }
+}
+
+/// A rolling digest over every frame delivery of a run: the
+/// `harness_determinism`-style trace identity witness, cheap enough to keep
+/// always-on. Two runs with identical construction and seed must produce
+/// identical digests; any divergence in delivery instant, destination or
+/// payload bytes changes the FNV-1a fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceDigest {
+    /// FNV-1a over `(at_ns, dev, port, len, bytes)` of every delivery.
+    pub digest: u64,
+    /// Deliveries folded in.
+    pub frames: u64,
+    /// Frame bytes folded in.
+    pub bytes: u64,
+}
+
+impl Default for TraceDigest {
+    fn default() -> Self {
+        TraceDigest {
+            digest: 0xCBF2_9CE4_8422_2325, // FNV-1a offset basis
+            frames: 0,
+            bytes: 0,
+        }
+    }
+}
+
+impl TraceDigest {
+    fn eat(&mut self, b: u8) {
+        self.digest ^= u64::from(b);
+        self.digest = self.digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn record(&mut self, at: SimTime, dev: usize, port: usize, frame: &[u8]) {
+        for b in at.as_nanos().to_le_bytes() {
+            self.eat(b);
+        }
+        self.eat(dev as u8);
+        self.eat(port as u8);
+        for b in (frame.len() as u32).to_le_bytes() {
+            self.eat(b);
+        }
+        for &b in frame {
+            self.eat(b);
+        }
+        self.frames += 1;
+        self.bytes += frame.len() as u64;
+    }
+}
 
 /// How contending app cVMs are scheduled against the Scenario 2 service
 /// loop.
@@ -145,7 +214,9 @@ pub struct NetSim {
     mems: Vec<TaggedMemory>,
     mem_bump: Vec<u64>,
     nodes: Vec<Node>,
-    links: HashMap<(usize, usize), (usize, usize)>,
+    links: HashMap<Ep, Ep>,
+    switches: Vec<LinkFabric>,
+    trace: TraceDigest,
     wire: Wire,
     impairments: Impairments,
     impairment_stats: ImpairmentStats,
@@ -183,6 +254,8 @@ impl NetSim {
             mem_bump: Vec::new(),
             nodes: Vec::new(),
             links: HashMap::new(),
+            switches: Vec::new(),
+            trace: TraceDigest::default(),
             wire: Wire::new(SimDuration::from_nanos(1_000)),
             impairments: Impairments::default(),
             impairment_stats: ImpairmentStats::default(),
@@ -207,14 +280,152 @@ impl NetSim {
     }
 
     /// Cables `(a, port_a)` to `(b, port_b)` (full duplex).
-    pub fn link(&mut self, a: DevId, port_a: usize, b: DevId, port_b: usize) {
-        self.links.insert((a.0, port_a), (b.0, port_b));
-        self.links.insert((b.0, port_b), (a.0, port_a));
+    ///
+    /// # Errors
+    ///
+    /// [`CapnetError::Config`] if a port index is out of range for its
+    /// device, if both endpoints are the same port, or if either port is
+    /// already cabled (to a device or a switch) — a port holds one cable.
+    pub fn link(
+        &mut self,
+        a: DevId,
+        port_a: usize,
+        b: DevId,
+        port_b: usize,
+    ) -> Result<(), CapnetError> {
+        let ea = self.dev_ep(a, port_a)?;
+        let eb = self.dev_ep(b, port_b)?;
+        self.connect(ea, eb)
     }
 
-    /// Degrades every cable in the simulation with `imp` (loss, corruption,
-    /// duplication, reordering, jitter). The default is the ideal cable of
-    /// the paper's testbed. Decisions are drawn from the simulation's
+    /// Adds an N-port [`LinkFabric`] learning switch with the default
+    /// egress queue depth ([`LinkFabric::DEFAULT_QUEUE`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CapnetError::Config`] if `ports < 2`.
+    pub fn add_switch(&mut self, ports: usize) -> Result<SwitchId, CapnetError> {
+        self.add_switch_with_queue(ports, LinkFabric::DEFAULT_QUEUE)
+    }
+
+    /// [`NetSim::add_switch`] with an explicit per-port egress queue depth
+    /// (frames); shallow queues drop earlier under convergence, deep queues
+    /// trade drops for latency.
+    ///
+    /// # Errors
+    ///
+    /// [`CapnetError::Config`] if `ports < 2` or `queue == 0`.
+    pub fn add_switch_with_queue(
+        &mut self,
+        ports: usize,
+        queue: usize,
+    ) -> Result<SwitchId, CapnetError> {
+        if ports < 2 {
+            return Err(CapnetError::Config(format!(
+                "a switch needs at least 2 ports, got {ports}"
+            )));
+        }
+        if queue == 0 {
+            return Err(CapnetError::Config(
+                "switch egress queue depth must be nonzero".into(),
+            ));
+        }
+        self.switches.push(LinkFabric::new(ports, queue));
+        Ok(SwitchId(self.switches.len() - 1))
+    }
+
+    /// Cables NIC port `(dev, dev_port)` into switch port `(sw, sw_port)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CapnetError::Config`] on out-of-range ports or already-cabled
+    /// endpoints.
+    pub fn attach(
+        &mut self,
+        dev: DevId,
+        dev_port: usize,
+        sw: SwitchId,
+        sw_port: usize,
+    ) -> Result<(), CapnetError> {
+        let ed = self.dev_ep(dev, dev_port)?;
+        let es = self.sw_ep(sw, sw_port)?;
+        self.connect(ed, es)
+    }
+
+    /// Trunks two switches together: `(a, port_a)` to `(b, port_b)`. The
+    /// resulting graph must stay loop-free (tree topologies: star, chain,
+    /// dumbbell) — there is no spanning-tree protocol, so a cycle floods
+    /// forever.
+    ///
+    /// # Errors
+    ///
+    /// [`CapnetError::Config`] on out-of-range ports, a self-trunk, or
+    /// already-cabled endpoints.
+    pub fn link_switches(
+        &mut self,
+        a: SwitchId,
+        port_a: usize,
+        b: SwitchId,
+        port_b: usize,
+    ) -> Result<(), CapnetError> {
+        let ea = self.sw_ep(a, port_a)?;
+        let eb = self.sw_ep(b, port_b)?;
+        self.connect(ea, eb)
+    }
+
+    fn dev_ep(&self, dev: DevId, port: usize) -> Result<Ep, CapnetError> {
+        let ports = self
+            .devs
+            .get(dev.0)
+            .ok_or_else(|| CapnetError::Config(format!("no such device {}", dev.0)))?
+            .port_count();
+        if port >= ports {
+            return Err(CapnetError::Config(format!(
+                "device {} has {ports} port(s), no port {port}",
+                dev.0
+            )));
+        }
+        Ok(Ep::Dev(dev.0, port))
+    }
+
+    fn sw_ep(&self, sw: SwitchId, port: usize) -> Result<Ep, CapnetError> {
+        let ports = self
+            .switches
+            .get(sw.0)
+            .ok_or_else(|| CapnetError::Config(format!("no such switch {}", sw.0)))?
+            .port_count();
+        if port >= ports {
+            return Err(CapnetError::Config(format!(
+                "switch {} has {ports} port(s), no port {port}",
+                sw.0
+            )));
+        }
+        Ok(Ep::Sw(sw.0, port))
+    }
+
+    fn connect(&mut self, a: Ep, b: Ep) -> Result<(), CapnetError> {
+        if a == b {
+            return Err(CapnetError::Config(format!("cannot cable {a} to itself")));
+        }
+        for ep in [a, b] {
+            if let Some(peer) = self.links.get(&ep) {
+                return Err(CapnetError::Config(format!(
+                    "{ep} is already cabled to {peer}"
+                )));
+            }
+        }
+        self.links.insert(a, b);
+        self.links.insert(b, a);
+        Ok(())
+    }
+
+    /// Degrades frame delivery with `imp` (loss, corruption, duplication,
+    /// reordering, jitter). The default is the ideal cabling of the paper's
+    /// testbed. Impairments are applied **once per end-to-end path**, on
+    /// the final hop into the destination NIC — on a pairwise link that is
+    /// the cable itself; on a switched path the switch hops stay clean and
+    /// the last switch-to-NIC cable degrades (loss does *not* compound
+    /// with hop count). Decisions are drawn from the simulation's
     /// deterministic RNG, so runs stay reproducible.
     pub fn set_impairments(&mut self, imp: Impairments) {
         self.impairments = imp;
@@ -374,14 +585,17 @@ impl NetSim {
             port_stats.push((node.name.clone(), self.devs[node.dev].stats(node.port)));
             stack_stats.push((node.name.clone(), node.stack.stats()));
         }
+        let switch_stats = self.switches.iter().map(LinkFabric::stats).collect();
         Ok(SimOutcome {
             servers,
             clients,
             ended_at: end,
             port_stats,
             stack_stats,
+            switch_stats,
             mutex_stats,
             impairment_stats: self.impairment_stats,
+            trace: self.trace,
         })
     }
 
@@ -446,29 +660,26 @@ impl NetSim {
         // (iii) stack timers + TX ring.
         let tx = tx_phase(&mut node.stack, dev, pi, mem, now).unwrap_or_default();
 
-        // Wire propagation to the cabled peer (through any impairments).
+        // Wire propagation to whatever the port is cabled to (a peer NIC
+        // directly, or a switch that forwards hop by hop).
         let n_tx = tx.len();
-        if let Some(&(pd, pp)) = self.links.get(&(di, pi)) {
-            for (frame, departure) in tx {
-                let arrival = self.wire.propagate(departure);
-                if self.impairments.is_ideal() {
-                    engine.schedule(arrival, move |w: &mut NetSim, _| {
-                        w.devs[pd].deliver(pp, arrival, frame);
-                    });
-                    continue;
+        if n_tx > 0 {
+            match self.links.get(&Ep::Dev(di, pi)).copied() {
+                Some(Ep::Dev(pd, pp)) => {
+                    for (frame, departure) in tx {
+                        let arrival = self.wire.propagate(departure);
+                        self.schedule_delivery(engine, pd, pp, arrival, frame);
+                    }
                 }
-                let plan = self.impairments.plan(&mut self.rng, arrival);
-                self.impairment_stats.absorb(plan.stats);
-                for (at, corrupt) in plan.deliveries {
-                    let copy = if corrupt {
-                        frame.corrupted(&mut self.rng)
-                    } else {
-                        frame.clone()
-                    };
-                    engine.schedule(at, move |w: &mut NetSim, _| {
-                        w.devs[pd].deliver(pp, at, copy);
-                    });
+                Some(Ep::Sw(sw, sp)) => {
+                    for (frame, departure) in tx {
+                        let arrival = self.wire.propagate(departure);
+                        engine.schedule(arrival, move |w: &mut NetSim, e| {
+                            w.switch_ingress(sw, sp, arrival, frame, e);
+                        });
+                    }
                 }
+                None => {}
             }
         }
 
@@ -489,6 +700,75 @@ impl NetSim {
         };
         engine.schedule(next, move |w: &mut NetSim, e| w.loop_iter(i, e));
     }
+
+    /// One switch hop: run the fabric's forwarding decision for a frame
+    /// arriving on `(sw, sp)` at `now`, then propagate every surviving
+    /// egress copy down its cable — to a NIC (final hop, impairments
+    /// apply) or into the next switch of a chain.
+    fn switch_ingress(
+        &mut self,
+        sw: usize,
+        sp: usize,
+        now: SimTime,
+        frame: Frame,
+        engine: &mut Engine<NetSim>,
+    ) {
+        let outputs = self.switches[sw].ingress(sp, now, frame, &self.costs);
+        for tx in outputs {
+            match self.links.get(&Ep::Sw(sw, tx.port)).copied() {
+                Some(Ep::Dev(pd, pp)) => {
+                    let arrival = self.wire.propagate(tx.departure);
+                    self.schedule_delivery(engine, pd, pp, arrival, tx.frame);
+                }
+                Some(Ep::Sw(sw2, sp2)) => {
+                    let arrival = self.wire.propagate(tx.departure);
+                    let frame = tx.frame;
+                    engine.schedule(arrival, move |w: &mut NetSim, e| {
+                        w.switch_ingress(sw2, sp2, arrival, frame, e);
+                    });
+                }
+                None => { /* unattached switch port: the copy goes nowhere */ }
+            }
+        }
+    }
+
+    /// Schedules delivery of `frame` to NIC `(dev, port)` at nominal
+    /// instant `at`, applying the configured cable impairments (loss,
+    /// corruption, duplication, reordering, jitter) on this final hop.
+    fn schedule_delivery(
+        &mut self,
+        engine: &mut Engine<NetSim>,
+        dev: usize,
+        port: usize,
+        at: SimTime,
+        frame: Frame,
+    ) {
+        if self.impairments.is_ideal() {
+            engine.schedule(at, move |w: &mut NetSim, _| {
+                w.record_and_deliver(dev, port, at, frame);
+            });
+            return;
+        }
+        let plan = self.impairments.plan(&mut self.rng, at);
+        self.impairment_stats.absorb(plan.stats);
+        for (at, corrupt) in plan.deliveries {
+            let copy = if corrupt {
+                frame.corrupted(&mut self.rng)
+            } else {
+                frame.clone()
+            };
+            engine.schedule(at, move |w: &mut NetSim, _| {
+                w.record_and_deliver(dev, port, at, copy);
+            });
+        }
+    }
+
+    /// Folds the delivery into the run's [`TraceDigest`] and hands the
+    /// frame to the NIC.
+    fn record_and_deliver(&mut self, dev: usize, port: usize, at: SimTime, frame: Frame) {
+        self.trace.record(at, dev, port, frame.bytes());
+        self.devs[dev].deliver(port, at, frame);
+    }
 }
 
 /// The results of one simulation run.
@@ -504,10 +784,14 @@ pub struct SimOutcome {
     pub port_stats: Vec<(String, updk::ethdev::PortStats)>,
     /// `(node name, protocol stack counters)`.
     pub stack_stats: Vec<(String, fstack::StackStats)>,
+    /// Per-fabric forwarding counters, in [`NetSim::add_switch`] order.
+    pub switch_stats: Vec<SwitchStats>,
     /// `(acquisitions, contentions, total wait)` of the S2 mutex, if any.
     pub mutex_stats: Option<(u64, u64, SimDuration)>,
     /// What the (possibly impaired) cables did over the run.
     pub impairment_stats: ImpairmentStats,
+    /// The run's delivery-trace digest (the determinism witness).
+    pub trace: TraceDigest,
 }
 
 #[cfg(test)]
@@ -579,6 +863,47 @@ mod tests {
         assert!(first > 0 && first < 1_000);
     }
 
+    /// A port holds one cable: re-linking a connected port must fail
+    /// loudly instead of silently overwriting the topology.
+    #[test]
+    fn linking_a_connected_port_is_an_error() {
+        let mut sim = NetSim::new(CostModel::morello());
+        let a = sim.add_dev(NicModel::Host).unwrap();
+        let b = sim.add_dev(NicModel::Host).unwrap();
+        let c = sim.add_dev(NicModel::Host).unwrap();
+        sim.link(a, 0, b, 0).unwrap();
+        let err = sim.link(a, 0, c, 0).unwrap_err();
+        assert!(
+            matches!(&err, CapnetError::Config(m) if m.contains("already cabled")),
+            "got {err}"
+        );
+        // The same port cannot be attached to a switch either.
+        let sw = sim.add_switch(2).unwrap();
+        assert!(sim.attach(a, 0, sw, 0).is_err());
+        // A fresh port attaches fine; its switch port is then taken too.
+        sim.attach(c, 0, sw, 0).unwrap();
+        let d = sim.add_dev(NicModel::Host).unwrap();
+        assert!(sim.attach(d, 0, sw, 0).is_err());
+        sim.attach(d, 0, sw, 1).unwrap();
+    }
+
+    #[test]
+    fn link_validates_port_ranges_and_self_links() {
+        let mut sim = NetSim::new(CostModel::morello());
+        let a = sim.add_dev(NicModel::Host).unwrap();
+        let b = sim.add_dev(NicModel::Host).unwrap();
+        assert!(sim.link(a, 1, b, 0).is_err(), "Host NIC has one port");
+        assert!(sim.link(a, 0, a, 0).is_err(), "self-link rejected");
+        assert!(sim.add_switch(1).is_err(), "one-port switch rejected");
+        assert!(sim.add_switch_with_queue(2, 0).is_err(), "zero queue");
+        let sw = sim.add_switch(2).unwrap();
+        assert!(sim.attach(a, 0, sw, 7).is_err(), "switch port range");
+        let sw2 = sim.add_switch(2).unwrap();
+        assert!(sim.link_switches(sw, 0, sw, 0).is_err(), "self-trunk");
+        sim.link_switches(sw, 0, sw2, 0).unwrap();
+        assert!(sim.link_switches(sw, 0, sw2, 1).is_err(), "trunk port busy");
+    }
+
     /// A single 1 Gbit/s flow between two ideal hosts must reach the
     /// 941 Mbit/s TCP goodput ceiling — the physics check underneath all of
     /// Table II.
@@ -588,7 +913,7 @@ mod tests {
         let mut sim = NetSim::new(costs);
         let a = sim.add_dev(NicModel::Host).unwrap();
         let b = sim.add_dev(NicModel::Host).unwrap();
-        sim.link(a, 0, b, 0);
+        sim.link(a, 0, b, 0).unwrap();
         let srv = sim
             .add_node(
                 "srv",

@@ -214,7 +214,7 @@ pub fn run_bandwidth_full(
 
     for port in 0..ports {
         let peer_dev = sim.add_dev(NicModel::Host)?;
-        sim.link(dut_dev, port, peer_dev, 0);
+        sim.link(dut_dev, port, peer_dev, 0)?;
         let dut = sim.add_node(
             format!("cVM{}", port + 1),
             dut_dev,
@@ -264,6 +264,122 @@ pub fn run_bandwidth_full(
     sim.run(run_for)
 }
 
+/// Port base for the star scenario's per-leaf flows.
+const STAR_PORT: u16 = 5301;
+/// Port base for the dumbbell scenario's per-pair flows.
+const DUMBBELL_PORT: u16 = 5401;
+
+/// Runs the **N-client iperf star**: `clients` leaf hosts all sending TCP
+/// to one hub host across a single [`updk::switch::LinkFabric`], so every
+/// flow shares the switch's one hub-facing egress port — a 1 Gbit/s
+/// bottleneck the senders must divide. Ideal cables; see
+/// [`run_star_iperf_impaired`] to degrade them.
+///
+/// The run is a pure function of `(clients, duration, costs, seed)`: the
+/// returned [`SimOutcome::trace`] digest is byte-exact reproducible.
+///
+/// # Errors
+///
+/// Propagates configuration and datapath failures.
+pub fn run_star_iperf(
+    clients: usize,
+    duration: SimDuration,
+    costs: CostModel,
+    seed: u64,
+) -> Result<SimOutcome, CapnetError> {
+    run_star_iperf_impaired(
+        clients,
+        duration,
+        costs,
+        seed,
+        updk::wire::Impairments::default(),
+    )
+}
+
+/// [`run_star_iperf`] over degraded cables: each delivery is subject to
+/// `impairments` once on its final switch-to-host hop (see
+/// [`NetSim::set_impairments`] for the exact model), drawn
+/// deterministically from `seed`.
+///
+/// # Errors
+///
+/// Propagates configuration and datapath failures.
+pub fn run_star_iperf_impaired(
+    clients: usize,
+    duration: SimDuration,
+    costs: CostModel,
+    seed: u64,
+    impairments: updk::wire::Impairments,
+) -> Result<SimOutcome, CapnetError> {
+    let mut sim = NetSim::new(costs);
+    sim.set_seed(seed);
+    sim.set_impairments(impairments);
+    let star = crate::topology::build_star(&mut sim, clients)?;
+    for (i, &leaf) in star.leaves.iter().enumerate() {
+        let port = STAR_PORT + i as u16;
+        sim.add_server(star.hub, format!("hub-rx{i}"), port)?;
+        sim.add_client(
+            leaf,
+            format!("leaf-tx{i}"),
+            (star.hub_ip, port),
+            duration,
+            SimDuration::ZERO,
+        )?;
+    }
+    // Room for ARP + handshakes before and FIN drains after the timed part.
+    sim.run(duration + SimDuration::from_millis(30))
+}
+
+/// Runs the **dumbbell fairness scenario**: `pairs` client/server pairs on
+/// two switches joined by one trunk, every pair's TCP flow crossing the
+/// shared 1 Gbit/s trunk. With the switch's FIFO egress queue and
+/// identical flows, the bandwidth split is the fairness measurement the
+/// paper defers to future work — quantify it with
+/// [`fairness_index`] over the returned server reports.
+///
+/// Deterministic in `(pairs, duration, costs, seed)` like the star.
+///
+/// # Errors
+///
+/// Propagates configuration and datapath failures.
+pub fn run_dumbbell_fairness(
+    pairs: usize,
+    duration: SimDuration,
+    costs: CostModel,
+    seed: u64,
+) -> Result<SimOutcome, CapnetError> {
+    let mut sim = NetSim::new(costs);
+    sim.set_seed(seed);
+    let bell = crate::topology::build_dumbbell(&mut sim, pairs)?;
+    for i in 0..pairs {
+        let port = DUMBBELL_PORT + i as u16;
+        sim.add_server(bell.servers[i], format!("srv-rx{i}"), port)?;
+        sim.add_client(
+            bell.clients[i],
+            format!("cli-tx{i}"),
+            (bell.server_ips[i], port),
+            duration,
+            SimDuration::ZERO,
+        )?;
+    }
+    sim.run(duration + SimDuration::from_millis(30))
+}
+
+/// Jain's fairness index over per-flow throughputs: `1.0` is a perfectly
+/// even split, `1/n` is total starvation of all but one flow. Empty input
+/// returns `0.0`.
+pub fn fairness_index(mbits: &[f64]) -> f64 {
+    if mbits.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = mbits.iter().sum();
+    let sq_sum: f64 = mbits.iter().map(|m| m * m).sum();
+    if sq_sum == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (mbits.len() as f64 * sq_sum)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +409,37 @@ mod tests {
         .unwrap();
         let bw = out.servers[0].mbit_per_sec();
         assert!((bw - 941.0).abs() < 20.0, "got {bw:.0} Mbit/s");
+    }
+
+    #[test]
+    fn fairness_index_behaves() {
+        assert_eq!(fairness_index(&[]), 0.0);
+        assert_eq!(fairness_index(&[0.0, 0.0]), 0.0);
+        assert!((fairness_index(&[500.0, 500.0]) - 1.0).abs() < 1e-12);
+        // One of two flows starved: index is 1/2.
+        assert!((fairness_index(&[900.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    /// Two leaves sharing the star's hub uplink split the 941 Mbit/s
+    /// goodput ceiling; the switch's single egress port is the bottleneck.
+    #[test]
+    fn star_two_clients_share_the_uplink() {
+        let out = run_star_iperf(
+            2,
+            SimDuration::from_millis(120),
+            CostModel::morello(),
+            0xA11CE,
+        )
+        .unwrap();
+        assert_eq!(out.servers.len(), 2);
+        let total: f64 = out.servers.iter().map(|r| r.mbit_per_sec()).sum();
+        assert!(
+            (total - 941.0).abs() < 45.0,
+            "aggregate {total:.0} Mbit/s through the shared uplink"
+        );
+        assert_eq!(out.switch_stats.len(), 1);
+        assert!(out.switch_stats[0].forwarded > 0);
+        assert!(out.trace.frames > 0);
     }
 
     /// Scenario 1 server side: both ports receiving share the PCI bus,

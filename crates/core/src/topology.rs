@@ -1,0 +1,248 @@
+//! Switched N-node topology builders on [`NetSim`].
+//!
+//! The paper's testbed is two hosts on a cable; these builders use the
+//! [`updk::switch::LinkFabric`] learning switch to assemble the three
+//! canonical multi-node shapes the scenario layer (and the `many_nodes`
+//! bench) measure:
+//!
+//! * **star** — N leaf hosts and one hub host on a single switch; every
+//!   leaf→hub flow shares the hub's one uplink port, the bottleneck;
+//! * **chain** — two hosts separated by K switches in a row; each hop adds
+//!   store-and-forward latency and another serialization;
+//! * **dumbbell** — N client/server pairs on two switches joined by one
+//!   trunk; all pairs contend for the trunk, the classic fairness shape.
+//!
+//! Builders only wire devices, nodes and cables; callers install iperf
+//! apps on the returned [`NodeId`]s (see `scenario::run_star_iperf` and
+//! `scenario::run_dumbbell_fairness`).
+
+use crate::netsim::{DevId, IsolationProfile, NetSim, NodeId, SwitchId};
+use crate::CapnetError;
+use std::net::Ipv4Addr;
+use updk::nic::NicModel;
+
+/// Most hosts a builder places in one subnet (IP allocation limit).
+const MAX_HOSTS: usize = 90;
+
+/// Depth of **each** egress queue for a fabric with `ports` ports:
+/// `64 × ports` frames, i.e. 64 frames (≈ one 64 KiB no-window-scale TCP
+/// send window of MTU segments) per *potential sender*. A bottleneck port
+/// can then absorb a full fan-in of window-limited flows from every other
+/// port without tail loss — TCP self-clocks against queueing delay
+/// instead of RTO-collapsing — while the bound still drops pathological
+/// overload. Build topologies with `NetSim::add_switch_with_queue`
+/// directly to study the shallow-buffer (loss-driven) regime.
+fn fabric_queue(ports: usize) -> usize {
+    64 * ports
+}
+
+fn add_fabric(sim: &mut NetSim, ports: usize) -> Result<SwitchId, CapnetError> {
+    sim.add_switch_with_queue(ports, fabric_queue(ports))
+}
+
+fn host_on_switch(
+    sim: &mut NetSim,
+    name: String,
+    ip: Ipv4Addr,
+    sw: SwitchId,
+    sw_port: usize,
+) -> Result<(NodeId, DevId), CapnetError> {
+    let dev = sim.add_dev(NicModel::Host)?;
+    sim.attach(dev, 0, sw, sw_port)?;
+    let node = sim.add_node(name, dev, 0, ip, IsolationProfile::default())?;
+    Ok((node, dev))
+}
+
+/// A star built by [`build_star`].
+#[derive(Debug)]
+pub struct Star {
+    /// The central fabric (`leaves + 1` ports; port 0 is the hub's).
+    pub switch: SwitchId,
+    /// The hub host (the shared-uplink side; iperf server in scenarios).
+    pub hub: NodeId,
+    /// The hub's address.
+    pub hub_ip: Ipv4Addr,
+    /// Leaf hosts, port `i + 1` each.
+    pub leaves: Vec<NodeId>,
+    /// Leaf addresses, same order as [`Star::leaves`].
+    pub leaf_ips: Vec<Ipv4Addr>,
+}
+
+/// Builds a star: `leaves` hosts and one hub on a `leaves + 1`-port
+/// switch, all in `10.1.0.0/24`. Every leaf-to-hub flow serializes
+/// through the switch's port 0 — one shared 1 Gbit/s bottleneck.
+///
+/// # Errors
+///
+/// [`CapnetError::Config`] if `leaves` is 0 or exceeds the subnet
+/// allocation; propagated wiring failures otherwise.
+pub fn build_star(sim: &mut NetSim, leaves: usize) -> Result<Star, CapnetError> {
+    if leaves == 0 || leaves > MAX_HOSTS {
+        return Err(CapnetError::Config(format!(
+            "star supports 1..={MAX_HOSTS} leaves, got {leaves}"
+        )));
+    }
+    let switch = add_fabric(sim, leaves + 1)?;
+    let hub_ip = Ipv4Addr::new(10, 1, 0, 100);
+    let (hub, _) = host_on_switch(sim, "hub".into(), hub_ip, switch, 0)?;
+    let mut nodes = Vec::with_capacity(leaves);
+    let mut ips = Vec::with_capacity(leaves);
+    for i in 0..leaves {
+        let ip = Ipv4Addr::new(10, 1, 0, (i + 1) as u8);
+        let (node, _) = host_on_switch(sim, format!("leaf{i}"), ip, switch, i + 1)?;
+        nodes.push(node);
+        ips.push(ip);
+    }
+    Ok(Star {
+        switch,
+        hub,
+        hub_ip,
+        leaves: nodes,
+        leaf_ips: ips,
+    })
+}
+
+/// A chain built by [`build_chain`].
+#[derive(Debug)]
+pub struct Chain {
+    /// The switches, end host `a` on the first, `b` on the last.
+    pub switches: Vec<SwitchId>,
+    /// The host on the first switch.
+    pub a: NodeId,
+    /// `a`'s address.
+    pub a_ip: Ipv4Addr,
+    /// The host on the last switch.
+    pub b: NodeId,
+    /// `b`'s address.
+    pub b_ip: Ipv4Addr,
+}
+
+/// Builds a chain: host A — switch₀ — … — switch₍ₖ₋₁₎ — host B in
+/// `10.3.0.0/24`. Every frame pays `hops` store-and-forward latencies and
+/// serializations end to end.
+///
+/// # Errors
+///
+/// [`CapnetError::Config`] if `hops` is 0; propagated wiring failures.
+pub fn build_chain(sim: &mut NetSim, hops: usize) -> Result<Chain, CapnetError> {
+    if hops == 0 {
+        return Err(CapnetError::Config(
+            "a chain needs at least 1 switch".into(),
+        ));
+    }
+    let switches: Vec<SwitchId> = (0..hops)
+        .map(|_| add_fabric(sim, 4))
+        .collect::<Result<_, _>>()?;
+    for w in switches.windows(2) {
+        // Port 3 of each switch trunks forward into port 2 of the next.
+        sim.link_switches(w[0], 3, w[1], 2)?;
+    }
+    let a_ip = Ipv4Addr::new(10, 3, 0, 1);
+    let b_ip = Ipv4Addr::new(10, 3, 0, 2);
+    let (a, _) = host_on_switch(sim, "chain-a".into(), a_ip, switches[0], 0)?;
+    let (b, _) = host_on_switch(sim, "chain-b".into(), b_ip, switches[hops - 1], 1)?;
+    Ok(Chain {
+        switches,
+        a,
+        a_ip,
+        b,
+        b_ip,
+    })
+}
+
+/// A dumbbell built by [`build_dumbbell`].
+#[derive(Debug)]
+pub struct Dumbbell {
+    /// The client-side switch (trunk on port 0).
+    pub left: SwitchId,
+    /// The server-side switch (trunk on port 0).
+    pub right: SwitchId,
+    /// Client hosts, one per pair.
+    pub clients: Vec<NodeId>,
+    /// Client addresses.
+    pub client_ips: Vec<Ipv4Addr>,
+    /// Server hosts, one per pair.
+    pub servers: Vec<NodeId>,
+    /// Server addresses.
+    pub server_ips: Vec<Ipv4Addr>,
+}
+
+/// Builds a dumbbell: `pairs` clients on a left switch, `pairs` servers
+/// on a right switch, one trunk between them, all in `10.2.0.0/24`.
+/// Every pair's flow crosses the single 1 Gbit/s trunk — the canonical
+/// shared-bottleneck fairness topology.
+///
+/// # Errors
+///
+/// [`CapnetError::Config`] if `pairs` is 0 or exceeds the subnet
+/// allocation; propagated wiring failures otherwise.
+pub fn build_dumbbell(sim: &mut NetSim, pairs: usize) -> Result<Dumbbell, CapnetError> {
+    if pairs == 0 || pairs > MAX_HOSTS {
+        return Err(CapnetError::Config(format!(
+            "dumbbell supports 1..={MAX_HOSTS} pairs, got {pairs}"
+        )));
+    }
+    let left = add_fabric(sim, pairs + 1)?;
+    let right = add_fabric(sim, pairs + 1)?;
+    sim.link_switches(left, 0, right, 0)?;
+    let mut clients = Vec::with_capacity(pairs);
+    let mut client_ips = Vec::with_capacity(pairs);
+    let mut servers = Vec::with_capacity(pairs);
+    let mut server_ips = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        let cip = Ipv4Addr::new(10, 2, 0, (i + 1) as u8);
+        let (c, _) = host_on_switch(sim, format!("cli{i}"), cip, left, i + 1)?;
+        clients.push(c);
+        client_ips.push(cip);
+        let sip = Ipv4Addr::new(10, 2, 0, (100 + i) as u8);
+        let (s, _) = host_on_switch(sim, format!("srv{i}"), sip, right, i + 1)?;
+        servers.push(s);
+        server_ips.push(sip);
+    }
+    Ok(Dumbbell {
+        left,
+        right,
+        clients,
+        client_ips,
+        servers,
+        server_ips,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkern::cost::CostModel;
+
+    #[test]
+    fn builders_validate_sizes() {
+        let mut sim = NetSim::new(CostModel::morello());
+        assert!(build_star(&mut sim, 0).is_err());
+        assert!(build_star(&mut sim, MAX_HOSTS + 1).is_err());
+        let mut sim = NetSim::new(CostModel::morello());
+        assert!(build_chain(&mut sim, 0).is_err());
+        let mut sim = NetSim::new(CostModel::morello());
+        assert!(build_dumbbell(&mut sim, 0).is_err());
+    }
+
+    #[test]
+    fn star_allocates_distinct_addresses() {
+        let mut sim = NetSim::new(CostModel::morello());
+        let star = build_star(&mut sim, 8).unwrap();
+        assert_eq!(star.leaves.len(), 8);
+        let mut ips = star.leaf_ips.clone();
+        ips.push(star.hub_ip);
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), 9, "no duplicate addresses");
+    }
+
+    #[test]
+    fn dumbbell_wires_both_sides() {
+        let mut sim = NetSim::new(CostModel::morello());
+        let d = build_dumbbell(&mut sim, 3).unwrap();
+        assert_eq!(d.clients.len(), 3);
+        assert_eq!(d.servers.len(), 3);
+        assert_ne!(d.left, d.right);
+    }
+}

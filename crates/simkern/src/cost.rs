@@ -100,6 +100,10 @@ pub struct CostModel {
     pub pci_tx_ns_per_byte_x1000: u64,
     /// Fixed per-DMA-transaction overhead on the PCI bus.
     pub pci_per_frame_ns: u64,
+    /// Store-and-forward processing latency of a switching element
+    /// (lookup + buffer copy), charged once per frame per switch hop on
+    /// top of the egress-port serialization at [`CostModel::link_bps`].
+    pub switch_latency_ns: u64,
 
     // ---- measurement noise ----
     /// Probability (per mille) that an iteration takes a long detour
@@ -134,6 +138,7 @@ impl CostModel {
             pci_rx_ns_per_byte_x1000: 5_724,
             pci_tx_ns_per_byte_x1000: 4_975,
             pci_per_frame_ns: 0,
+            switch_latency_ns: 2_000,
             jitter_per_mille: 100, // ~10% of iterations, as the paper removes
             jitter_ns: 2_400,
         }
@@ -163,6 +168,7 @@ impl CostModel {
             pci_rx_ns_per_byte_x1000: 0,
             pci_tx_ns_per_byte_x1000: 0,
             pci_per_frame_ns: 0,
+            switch_latency_ns: 0,
             jitter_per_mille: 0,
             jitter_ns: 0,
         }

@@ -39,9 +39,11 @@ pub struct EthDev {
 }
 
 impl EthDev {
-    /// Creates a (stopped, unconfigured) device at `addr`.
+    /// Creates a (stopped, unconfigured) device at `addr`. Port MACs derive
+    /// from the PCI address, so distinct devices never share a station
+    /// address (a learning switch relies on that).
     pub fn new(addr: PciAddress, model: NicModel, costs: CostModel) -> Self {
-        let nic = Nic::new(model, (addr.to_string().len() as u8).wrapping_mul(7));
+        let nic = Nic::new(model, addr.mac_seed());
         let ports = nic.port_count();
         EthDev {
             addr,

@@ -29,6 +29,12 @@ impl PciAddress {
             function,
         }
     }
+
+    /// A 24-bit device identity (`bus:device.function` packed), used to
+    /// derive unique per-port MAC addresses.
+    pub fn mac_seed(&self) -> u32 {
+        u32::from(self.bus) << 16 | u32::from(self.device) << 8 | u32::from(self.function)
+    }
 }
 
 impl fmt::Display for PciAddress {

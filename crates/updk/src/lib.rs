@@ -19,6 +19,9 @@
 //!   receiving, ≈ 757 Mbit/s sending).
 //! * [`wire`] — frames and cables: Ethernet framing overhead (preamble,
 //!   IFG, FCS), propagation latency, and stochastic link impairments.
+//! * [`switch`] — **LinkFabric**, an N-port learning switch (MAC table,
+//!   flood-on-unknown/broadcast, bounded per-port egress queues) that turns
+//!   pairwise cables into star/chain/dumbbell topologies.
 //! * [`qos`] — traffic metering and scheduling (token bucket, RFC 2697
 //!   srTCM, deficit round robin): the "DPDK QoS features" the paper defers
 //!   to future work.
@@ -63,6 +66,7 @@ pub mod mempool;
 pub mod nic;
 pub mod qos;
 pub mod ring;
+pub mod switch;
 pub mod wire;
 
 pub use ethdev::{EthDev, PortStats};
@@ -70,6 +74,7 @@ pub use kmod::{BindingRegistry, DeviceBinding, PciAddress};
 pub use mbuf::Mbuf;
 pub use mempool::Mempool;
 pub use nic::{MacAddr, Nic, NicModel};
+pub use switch::{LinkFabric, SwitchStats, SwitchTx};
 pub use wire::{Frame, ImpairmentStats, Impairments, Wire};
 
 use std::fmt;

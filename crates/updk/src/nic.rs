@@ -38,6 +38,21 @@ impl MacAddr {
         MacAddr([0x02, 0x00, 0x00, 0x00, 0x00, id])
     }
 
+    /// A locally administered station address for `port` of the device
+    /// identified by `seed` (24 bits of device identity, so large switched
+    /// topologies never collide — unlike [`MacAddr::local`], whose single
+    /// byte wraps).
+    pub fn station(seed: u32, port: u8) -> MacAddr {
+        MacAddr([
+            0x02,
+            0x00,
+            (seed >> 16) as u8,
+            (seed >> 8) as u8,
+            seed as u8,
+            port,
+        ])
+    }
+
     /// The raw octets.
     pub fn octets(&self) -> [u8; 6] {
         self.0
@@ -132,11 +147,12 @@ impl Nic {
     /// Default RX ring depth per port.
     pub const RX_RING: usize = 512;
 
-    /// Instantiates `model` with MACs derived from `mac_seed`.
-    pub fn new(model: NicModel, mac_seed: u8) -> Self {
+    /// Instantiates `model` with per-port MACs derived from `mac_seed`
+    /// (device identity; every distinct seed yields disjoint MACs).
+    pub fn new(model: NicModel, mac_seed: u32) -> Self {
         let ports = (0..model.port_count())
             .map(|i| Port {
-                mac: MacAddr::local(mac_seed + i as u8),
+                mac: MacAddr::station(mac_seed, i as u8),
                 link_up: false,
                 egress: BusyResource::new(),
                 rx_ready: DescRing::new(Self::RX_RING),
@@ -307,9 +323,14 @@ mod tests {
         let nic = Nic::new(NicModel::Dual82576, 1);
         assert_ne!(nic.mac(0), nic.mac(1));
         assert_eq!(nic.mac(0).octets()[0], 0x02);
-        assert_eq!(nic.mac(0).to_string(), "02:00:00:00:00:01");
+        assert_eq!(nic.mac(0).to_string(), "02:00:00:00:01:00");
         assert!(MacAddr::BROADCAST.is_broadcast());
         assert!(!nic.mac(0).is_broadcast());
+        // Distinct device seeds yield disjoint MACs on every port — the
+        // property the LinkFabric learning table depends on.
+        let other = Nic::new(NicModel::Dual82576, 2);
+        assert_ne!(nic.mac(0), other.mac(0));
+        assert_ne!(nic.mac(1), other.mac(1));
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut sim = NetSim::new(costs.clone());
     let dut = sim.add_dev(NicModel::Dual82576)?;
     let host = sim.add_dev(NicModel::Host)?;
-    sim.link(dut, 0, host, 0);
+    sim.link(dut, 0, host, 0)?;
     let srv = sim.add_node(
         "dut",
         dut,

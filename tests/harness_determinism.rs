@@ -132,7 +132,7 @@ fn netsim_compartment_run_is_seed_deterministic() {
         sim.set_impairments(Impairments::lossy(20));
         let a = sim.add_dev(NicModel::Dual82576).unwrap();
         let h = sim.add_dev(NicModel::Host).unwrap();
-        sim.link(a, 0, h, 0);
+        sim.link(a, 0, h, 0).unwrap();
         let dut = sim
             .add_node(
                 "dut",

@@ -254,7 +254,7 @@ fn netsim_with_isolation_charges_still_converges() {
     let mut sim = NetSim::new(costs.clone());
     let a = sim.add_dev(NicModel::Dual82576).unwrap();
     let h = sim.add_dev(NicModel::Host).unwrap();
-    sim.link(a, 0, h, 0);
+    sim.link(a, 0, h, 0).unwrap();
     let dut = sim
         .add_node(
             "dut",

@@ -15,6 +15,11 @@
 //! All randomness in a `TwoHost` run flows from the constructor seed, so a
 //! run is a pure function of `(seed, impairments, workload)` — which is the
 //! property `tests/harness_determinism.rs` locks in.
+//!
+//! A fourth piece, [`SwitchedSegment`], generalizes the builder from a
+//! cable to a shared L2 segment: N full stacks on one
+//! [`updk::switch::LinkFabric`] learning switch, every delivery recorded,
+//! for broadcast/ARP and flood-behavior suites.
 
 #![allow(dead_code)]
 
@@ -27,7 +32,8 @@ use simkern::rng::SimRng;
 use simkern::{CostModel, SimDuration, SimTime};
 use std::net::Ipv4Addr;
 use updk::kmod::{BindingRegistry, PciAddress};
-use updk::nic::NicModel;
+use updk::nic::{MacAddr, NicModel};
+use updk::switch::LinkFabric;
 use updk::wire::{Frame, ImpairmentStats, Impairments};
 use updk::EthDev;
 
@@ -409,15 +415,237 @@ impl TwoHost {
                 sent += 1;
             }
             self.tick();
-            loop {
-                match self.b.stack.ff_recvfrom(&mut self.b.mem, sfd, &sink) {
-                    Ok((n, _from)) => {
-                        got.push(self.b.mem.read_vec(&sink, sink.base(), n).unwrap());
-                    }
-                    Err(_) => break,
-                }
+            while let Ok((n, _from)) = self.b.stack.ff_recvfrom(&mut self.b.mem, sfd, &sink) {
+                got.push(self.b.mem.read_vec(&sink, sink.base(), n).unwrap());
             }
             if sent == count && self.in_flight.is_empty() && got.len() >= count {
+                break;
+            }
+        }
+        got
+    }
+}
+
+/// One recorded delivery on a [`SwitchedSegment`]: when, to which host,
+/// and the exact frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegDelivery {
+    pub at_ns: u64,
+    pub host: usize,
+    pub bytes: Vec<u8>,
+}
+
+/// N full stacks on one [`LinkFabric`] learning switch: host `i` sits on
+/// fabric port `i`, every layer in between is real (as in [`TwoHost`]),
+/// and every frame the fabric delivers to a host is recorded. Ideal
+/// cables; the fabric's own queues and flooding are the object under test.
+pub struct SwitchedSegment {
+    hosts: Vec<Host>,
+    macs: Vec<MacAddr>,
+    fabric: LinkFabric,
+    costs: CostModel,
+    pub now: SimTime,
+    /// Frames in flight toward the switch: `(arrival, seq, ingress port)`.
+    to_switch: Vec<(SimTime, u64, usize, Frame)>,
+    /// Frames in flight from the switch: `(arrival, seq, host)`.
+    to_host: Vec<(SimTime, u64, usize, Frame)>,
+    next_seq: u64,
+    /// Every frame handed to a host NIC, in delivery order.
+    pub deliveries: Vec<SegDelivery>,
+}
+
+impl SwitchedSegment {
+    /// Host `i`'s address: `10.88.0.(i + 1)`.
+    pub fn ip(i: usize) -> Ipv4Addr {
+        Ipv4Addr::new(10, 88, 0, (i + 1) as u8)
+    }
+
+    /// Builds `n` hosts on an `n`-port fabric.
+    pub fn new(n: usize) -> Self {
+        assert!((2..=200).contains(&n), "segment size out of range: {n}");
+        let costs = CostModel::morello();
+        let mut kmod = BindingRegistry::new();
+        let mut hosts = Vec::with_capacity(n);
+        let mut macs = Vec::with_capacity(n);
+        for i in 0..n {
+            let addr = PciAddress::new((i + 1) as u8, 0, 0);
+            kmod.discover(addr, "segment nic");
+            kmod.bind_userspace(addr).unwrap();
+            let mut dev = EthDev::new(addr, NicModel::Host, CostModel::morello());
+            let mut mem = TaggedMemory::new(MEM_BYTES);
+            let pool = mem.root_cap().try_restrict(POOL_BASE, POOL_BYTES).unwrap();
+            dev.configure_port(0, &mut mem, pool, 256).unwrap();
+            dev.start(&kmod).unwrap();
+            macs.push(dev.mac(0));
+            let stack = FStack::new(StackConfig::new(format!("h{i}"), dev.mac(0), Self::ip(i)));
+            hosts.push(Host { stack, dev, mem });
+        }
+        SwitchedSegment {
+            hosts,
+            macs,
+            fabric: LinkFabric::new(n, LinkFabric::DEFAULT_QUEUE),
+            costs,
+            now: SimTime::from_micros(5),
+            to_switch: Vec::new(),
+            to_host: Vec::new(),
+            next_seq: 0,
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Segments are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Host `i`'s stack.
+    pub fn stack(&mut self, i: usize) -> &mut FStack {
+        &mut self.hosts[i].stack
+    }
+
+    /// Host `i`'s NIC MAC.
+    pub fn mac(&self, i: usize) -> MacAddr {
+        self.macs[i]
+    }
+
+    /// The fabric under the segment.
+    pub fn fabric(&self) -> &LinkFabric {
+        &self.fabric
+    }
+
+    /// A `Perms::data()` capability over host `i`'s app-buffer region.
+    pub fn app_buffer(&mut self, i: usize) -> Capability {
+        self.hosts[i]
+            .mem
+            .root_cap()
+            .try_restrict(APP_BASE, APP_BYTES)
+            .unwrap()
+            .try_restrict_perms(Perms::data())
+            .unwrap()
+    }
+
+    /// Whether host `i` has host `j`'s MAC in its ARP cache.
+    pub fn resolved(&mut self, i: usize, j: usize) -> bool {
+        let want = self.macs[j];
+        self.hosts[i].stack.arp_cache_mut().lookup(Self::ip(j)) == Some(want)
+    }
+
+    /// One round: run every host's main loop, move frames host → fabric →
+    /// host(s) respecting each hop's arrival instant, record deliveries.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        for i in 0..self.hosts.len() {
+            let h = &mut self.hosts[i];
+            let out = iterate(&mut h.stack, &mut h.dev, 0, &mut h.mem, now, &self.costs).unwrap();
+            for (frame, dep) in out.tx {
+                self.to_switch
+                    .push((dep + WIRE_LATENCY, self.next_seq, i, frame));
+                self.next_seq += 1;
+            }
+        }
+
+        // Fabric ingress for everything that has reached it, in arrival
+        // order (seq breaks ties deterministically).
+        self.to_switch.sort_by_key(|e| (e.0, e.1));
+        while let Some(first) = self.to_switch.first() {
+            if first.0 > now {
+                break;
+            }
+            let (at, _, port, frame) = self.to_switch.remove(0);
+            for tx in self.fabric.ingress(port, at, frame, &self.costs) {
+                self.to_host.push((
+                    tx.departure + WIRE_LATENCY,
+                    self.next_seq,
+                    tx.port,
+                    tx.frame,
+                ));
+                self.next_seq += 1;
+            }
+        }
+
+        // Host deliveries that have arrived.
+        self.to_host.sort_by_key(|e| (e.0, e.1));
+        while let Some(first) = self.to_host.first() {
+            if first.0 > now {
+                break;
+            }
+            let (at, _, host, frame) = self.to_host.remove(0);
+            self.deliveries.push(SegDelivery {
+                at_ns: at.as_nanos(),
+                host,
+                bytes: frame.bytes().to_vec(),
+            });
+            self.hosts[host].dev.deliver(0, at, frame);
+        }
+        self.now += TICK;
+    }
+
+    /// `true` once nothing is in flight in either direction.
+    pub fn quiesced(&self) -> bool {
+        self.to_switch.is_empty() && self.to_host.is_empty()
+    }
+
+    /// Every host sends one UDP datagram to every other host (bound on
+    /// `port`), forcing a full mesh of ARP resolutions, then runs up to
+    /// `max_ticks`. Returns the datagrams each host received.
+    pub fn mesh_udp(&mut self, port: u16, max_ticks: usize) -> Vec<Vec<Vec<u8>>> {
+        let n = self.hosts.len();
+        let mut rx_fds = Vec::with_capacity(n);
+        let mut tx_fds = Vec::with_capacity(n);
+        for i in 0..n {
+            let rfd = self.hosts[i].stack.ff_socket(SockType::Dgram).unwrap();
+            self.hosts[i].stack.ff_bind(rfd, port).unwrap();
+            rx_fds.push(rfd);
+            tx_fds.push(self.hosts[i].stack.ff_socket(SockType::Dgram).unwrap());
+        }
+        for (i, &tfd) in tx_fds.iter().enumerate() {
+            let pay = self.app_buffer(i);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                // Payload encodes (sender, receiver) so every frame on the
+                // segment is unique.
+                let dgram = [b"mesh:".as_slice(), &[i as u8, j as u8]].concat();
+                let h = &mut self.hosts[i];
+                h.mem.write(&pay, pay.base(), &dgram).unwrap();
+                h.stack
+                    .ff_sendto(
+                        &mut h.mem,
+                        tfd,
+                        &pay,
+                        dgram.len() as u64,
+                        (Self::ip(j), port),
+                    )
+                    .unwrap();
+            }
+        }
+        let mut got = vec![Vec::new(); n];
+        for _ in 0..max_ticks {
+            self.tick();
+            for (i, &rfd) in rx_fds.iter().enumerate() {
+                let sink = self.app_buffer(i);
+                loop {
+                    let h = &mut self.hosts[i];
+                    match h.stack.ff_recvfrom(&mut h.mem, rfd, &sink) {
+                        Ok((nbytes, _from)) => {
+                            let d = self.hosts[i]
+                                .mem
+                                .read_vec(&sink, sink.base(), nbytes)
+                                .unwrap();
+                            got[i].push(d);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            let done = got.iter().all(|g| g.len() >= n - 1);
+            if done && self.quiesced() {
                 break;
             }
         }

@@ -137,13 +137,21 @@ impl BenchmarkGroup<'_> {
             elapsed: Duration::ZERO,
         };
         f(&mut b);
+        // Smoke mode (CI's per-PR bench step): one iteration, one sample —
+        // enough to execute every bench body (and emit its report numbers)
+        // without paying for statistical confidence.
+        let smoke = std::env::var_os("BENCH_SMOKE").is_some();
         let per_iter = b.elapsed.max(Duration::from_nanos(1));
-        let iters_per_sample =
-            (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+        let iters_per_sample = if smoke {
+            1
+        } else {
+            (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64
+        };
+        let sample_size = if smoke { 1 } else { self.sample_size };
 
         let mut total = Duration::ZERO;
         let mut total_iters = 0u64;
-        for _ in 0..self.sample_size {
+        for _ in 0..sample_size {
             let mut b = Bencher {
                 iters: iters_per_sample,
                 elapsed: Duration::ZERO,
