@@ -34,22 +34,27 @@ fn server_mbits(out: &SimOutcome) -> Vec<f64> {
 }
 
 fn bench_many_nodes(c: &mut Criterion) {
-    let mut report = BenchReport::new("topology");
+    let mut report = BenchReport::new("many_nodes");
     let mut group = c.benchmark_group("many_nodes");
     group.sample_size(10);
 
     // Star fan-in: N clients share the hub's one switch port.
     for clients in [2usize, 4, 8] {
+        let t0 = std::time::Instant::now();
         let out = run_star_iperf(clients, RUN, CostModel::morello(), SEED).expect("star runs");
+        let wall = t0.elapsed();
         let flows = server_mbits(&out);
         let aggregate: f64 = flows.iter().sum();
         let jain = fairness_index(&flows);
         eprintln!(
-            "[topology] star/{clients} clients: {aggregate:.0} Mbit/s aggregate, Jain {jain:.3}"
+            "[many_nodes] star/{clients} clients: {aggregate:.0} Mbit/s aggregate, Jain {jain:.3}"
         );
-        report.record(
+        report.record_timed(
             "star",
             &format!("clients={clients}"),
+            wall,
+            out.events,
+            out.ended_at.as_nanos() as f64 / 1e9,
             &[
                 ("aggregate_mbit_per_sec", aggregate),
                 ("fairness_jain", jain),
@@ -70,12 +75,17 @@ fn bench_many_nodes(c: &mut Criterion) {
 
     // Chain depth: one flow across K store-and-forward hops.
     for hops in [1usize, 2, 4] {
+        let t0 = std::time::Instant::now();
         let out = run_chain(hops);
+        let wall = t0.elapsed();
         let mbit = out.servers[0].mbit_per_sec();
-        eprintln!("[topology] chain/{hops} hops: {mbit:.0} Mbit/s");
-        report.record(
+        eprintln!("[many_nodes] chain/{hops} hops: {mbit:.0} Mbit/s");
+        report.record_timed(
             "chain",
             &format!("hops={hops}"),
+            wall,
+            out.events,
+            out.ended_at.as_nanos() as f64 / 1e9,
             &[
                 ("mbit_per_sec", mbit),
                 ("hops", hops as f64),
@@ -89,17 +99,22 @@ fn bench_many_nodes(c: &mut Criterion) {
 
     // Dumbbell: pairs contending for one trunk.
     for pairs in [2usize, 4] {
+        let t0 = std::time::Instant::now();
         let out =
             run_dumbbell_fairness(pairs, RUN, CostModel::morello(), SEED).expect("dumbbell runs");
+        let wall = t0.elapsed();
         let flows = server_mbits(&out);
         let aggregate: f64 = flows.iter().sum();
         let jain = fairness_index(&flows);
         eprintln!(
-            "[topology] dumbbell/{pairs} pairs: {aggregate:.0} Mbit/s aggregate, Jain {jain:.3}"
+            "[many_nodes] dumbbell/{pairs} pairs: {aggregate:.0} Mbit/s aggregate, Jain {jain:.3}"
         );
-        report.record(
+        report.record_timed(
             "dumbbell",
             &format!("pairs={pairs}"),
+            wall,
+            out.events,
+            out.ended_at.as_nanos() as f64 / 1e9,
             &[
                 ("aggregate_mbit_per_sec", aggregate),
                 ("fairness_jain", jain),
@@ -112,8 +127,8 @@ fn bench_many_nodes(c: &mut Criterion) {
     }
 
     group.finish();
-    let path = report.write().expect("BENCH_topology.json written");
-    eprintln!("[topology] perf trajectory: {}", path.display());
+    let path = report.write().expect("BENCH_many_nodes.json written");
+    eprintln!("[many_nodes] perf trajectory: {}", path.display());
 }
 
 criterion_group!(benches, bench_many_nodes);

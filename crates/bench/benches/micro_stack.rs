@@ -34,7 +34,7 @@ fn bench_codecs(c: &mut Criterion) {
             mss: None,
             ts: Some((1, 2)),
         },
-        payload: payload.clone(),
+        payload: payload.clone().into(),
     };
     g.bench_function("tcp_segment_build", |b| {
         b.iter(|| black_box(seg.build(A.0, B.0)))

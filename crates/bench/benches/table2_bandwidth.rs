@@ -18,9 +18,13 @@ fn bench_table2(c: &mut Criterion) {
 
     for kind in ScenarioKind::all() {
         for mode in [TrafficMode::Server, TrafficMode::Client] {
-            // Print the paper-facing number once.
+            // Print the paper-facing number once, timing the run so the
+            // trajectory captures host speed alongside simulated Mbit/s.
+            let t0 = std::time::Instant::now();
             let out =
                 run_bandwidth(kind, mode, duration, CostModel::morello()).expect("scenario runs");
+            let wall = t0.elapsed();
+            let sim_s = out.ended_at.as_nanos() as f64 / 1e9;
             let reports = match mode {
                 TrafficMode::Server => &out.servers,
                 TrafficMode::Client => &out.clients,
@@ -31,9 +35,12 @@ fn bench_table2(c: &mut Criterion) {
                     r.label,
                     r.mbit_per_sec()
                 );
-                report.record(
+                report.record_timed(
                     &format!("{kind}"),
                     &format!("{mode}/{}", r.label),
+                    wall,
+                    out.events,
+                    sim_s,
                     &[("mbit_per_sec", r.mbit_per_sec())],
                 );
             }

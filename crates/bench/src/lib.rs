@@ -60,6 +60,48 @@ impl BenchReport {
         });
     }
 
+    /// Records `metrics` plus the host-speed trio derived from a measured
+    /// run: `host_wall_ms` (wall clock of the run), `events_per_sec`
+    /// (simulation events executed per host second) and
+    /// `host_ns_per_sim_sec` (host nanoseconds spent per simulated
+    /// second — the number the perf trajectory tracks across PRs; smaller
+    /// is faster).
+    pub fn record_timed(
+        &mut self,
+        bench: &str,
+        case: &str,
+        wall: std::time::Duration,
+        events: u64,
+        sim_seconds: f64,
+        metrics: &[(&str, f64)],
+    ) {
+        let wall_s = wall.as_secs_f64();
+        let mut all: Vec<(String, f64)> =
+            metrics.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+        all.push(("host_wall_ms".to_string(), wall_s * 1e3));
+        all.push((
+            "events_per_sec".to_string(),
+            if wall_s > 0.0 {
+                events as f64 / wall_s
+            } else {
+                f64::NAN
+            },
+        ));
+        all.push((
+            "host_ns_per_sim_sec".to_string(),
+            if sim_seconds > 0.0 {
+                wall_s * 1e9 / sim_seconds
+            } else {
+                f64::NAN
+            },
+        ));
+        self.entries.push(Entry {
+            bench: bench.to_string(),
+            case: case.to_string(),
+            metrics: all,
+        });
+    }
+
     /// Cases recorded so far.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -189,6 +231,29 @@ mod tests {
             "{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn record_timed_derives_speed_metrics() {
+        let mut r = BenchReport::new("timed");
+        r.record_timed(
+            "star",
+            "clients=8",
+            std::time::Duration::from_millis(50),
+            1_000_000,
+            0.025,
+            &[("aggregate_mbit_per_sec", 900.0)],
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"host_wall_ms\": 50"));
+        assert!(json.contains("\"events_per_sec\": 20000000"));
+        // 50 ms of host time for 25 ms simulated = 2e9 ns per sim second.
+        assert!(json.contains("\"host_ns_per_sim_sec\": 2000000000"));
+        assert!(json.contains("\"aggregate_mbit_per_sec\": 900"));
+        // Degenerate denominators serialize as null, not a crash.
+        let mut r = BenchReport::new("degenerate");
+        r.record_timed("b", "c", std::time::Duration::ZERO, 1, 0.0, &[]);
+        assert!(r.to_json().contains("null"));
     }
 
     #[test]

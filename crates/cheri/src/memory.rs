@@ -102,6 +102,42 @@ impl TaggedMemory {
         Ok(self.bytes[a..a + len as usize].to_vec())
     }
 
+    /// Borrows `len` bytes at `addr` through `cap` — a capability-checked
+    /// *load* that hands out the memory itself instead of a copy. The
+    /// zero-copy `ff_write` path reads application payload through this
+    /// view straight into the socket buffer.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]); nothing is borrowed.
+    pub fn view(&mut self, cap: &Capability, addr: u64, len: u64) -> Result<&[u8], CapFault> {
+        let r = self.check(cap, addr, len, Access::Load);
+        self.record(r)?;
+        let a = addr as usize;
+        Ok(&self.bytes[a..a + len as usize])
+    }
+
+    /// Mutably borrows `len` bytes at `addr` through `cap` — a
+    /// capability-checked *store* window. Tags covering the window are
+    /// cleared up front (the anti-forgery rule), so filling the window is
+    /// equivalent to a checked [`TaggedMemory::write`] of the same bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any capability check failure ([`CapFault`]); memory is untouched.
+    pub fn view_mut(
+        &mut self,
+        cap: &Capability,
+        addr: u64,
+        len: u64,
+    ) -> Result<&mut [u8], CapFault> {
+        let r = self.check(cap, addr, len, Access::Store);
+        self.record(r)?;
+        self.clear_tags(addr, len);
+        let a = addr as usize;
+        Ok(&mut self.bytes[a..a + len as usize])
+    }
+
     /// Writes `data` at `addr` through `cap`, clearing any capability tags
     /// in the granules touched (the anti-forgery rule).
     ///

@@ -108,6 +108,15 @@ impl<T> FdTable<T> {
             .filter_map(|(i, s)| s.as_ref().map(|e| (i as Fd, e)))
     }
 
+    /// Iterates over `(fd, entry)` pairs in ascending fd order, mutably —
+    /// the poll loop's allocation-free walk over open sockets.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Fd, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|e| (i as Fd, e)))
+    }
+
     /// Descriptor numbers currently open, ascending.
     pub fn fds(&self) -> Vec<Fd> {
         self.iter().map(|(fd, _)| fd).collect()

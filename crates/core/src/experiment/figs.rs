@@ -264,10 +264,10 @@ impl Rig {
         let mut now = SimTime::from_micros(1);
         for _ in 0..16 {
             for f in sender.poll_tx(now) {
-                receiver.input_frame(now, &f);
+                receiver.input_buf(now, &f);
             }
             for f in receiver.poll_tx(now) {
-                sender.input_frame(now, &f);
+                sender.input_buf(now, &f);
             }
             now += SimDuration::from_micros(20);
         }
@@ -393,7 +393,7 @@ impl Rig {
             let mut moved = false;
             for f in self.sender.poll_tx(now) {
                 moved = true;
-                self.receiver.input_frame(now, &f);
+                self.receiver.input_buf(now, &f);
             }
             loop {
                 match self.receiver.ff_read(
@@ -408,7 +408,7 @@ impl Rig {
             }
             for f in self.receiver.poll_tx(now) {
                 moved = true;
-                self.sender.input_frame(now, &f);
+                self.sender.input_buf(now, &f);
             }
             if !moved {
                 break;

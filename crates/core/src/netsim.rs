@@ -559,6 +559,7 @@ impl NetSim {
         let stop = self.stop_at;
         engine.run_until(&mut self, stop);
         let end = engine.now();
+        let events = engine.executed();
 
         // Collect reports.
         let mut servers = Vec::new();
@@ -590,6 +591,7 @@ impl NetSim {
             servers,
             clients,
             ended_at: end,
+            events,
             port_stats,
             stack_stats,
             switch_stats,
@@ -780,6 +782,9 @@ pub struct SimOutcome {
     pub clients: Vec<BandwidthReport>,
     /// The virtual instant the run stopped.
     pub ended_at: SimTime,
+    /// Discrete events the engine executed — the denominator of the
+    /// events-per-second speed metric in the perf trajectory.
+    pub events: u64,
     /// `(node name, port hardware stats)`.
     pub port_stats: Vec<(String, updk::ethdev::PortStats)>,
     /// `(node name, protocol stack counters)`.

@@ -15,12 +15,12 @@
 
 use crate::arp::{ArpCache, ArpOp, ArpPacket};
 use crate::epoll::{EpollEvent, EpollFlags, EpollTable};
-use crate::ether::{EthHdr, EtherType};
+use crate::ether::{EthHdr, EtherType, ETH_HDR_LEN};
 use crate::icmp::{IcmpEcho, IcmpType};
-use crate::ip::{IpProto, Ipv4Hdr};
+use crate::ip::{IpProto, Ipv4Hdr, IPV4_HDR_LEN};
 use crate::socket::{DgramEntry, SockType, Socket};
 use crate::tcp::tcb::{Tcb, TcpState};
-use crate::tcp::TcpSegment;
+use crate::tcp::{SegPayload, TcpSegment, MAX_TCP_HDR};
 use crate::udp::UdpDatagram;
 use crate::MSS;
 use cheri::{Capability, TaggedMemory};
@@ -29,7 +29,14 @@ use chos::fdtable::{Fd, FdTable};
 use simkern::time::SimTime;
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
+use updk::framebuf::{FrameBuf, FrameBufMut};
 use updk::nic::MacAddr;
+use updk::wire::MIN_FRAME;
+
+/// Headroom reserved at the front of every transmitted frame buffer:
+/// enough to prepend the largest TCP header, the IPv4 header and the
+/// Ethernet header in place after the payload is written once.
+const TX_HEADROOM: usize = ETH_HDR_LEN + IPV4_HDR_LEN + MAX_TCP_HDR;
 
 /// Interface configuration for one stack instance.
 #[derive(Debug, Clone)]
@@ -108,9 +115,10 @@ pub struct FStack {
     /// UDP demux by local port.
     udp_map: HashMap<u16, Fd>,
     /// Link-layer frames ready to transmit (ARP/ICMP replies etc.).
-    pending_tx: VecDeque<Vec<u8>>,
-    /// IP packets parked awaiting ARP resolution, keyed by next hop.
-    arp_wait: Vec<(Ipv4Addr, Vec<u8>)>,
+    pending_tx: VecDeque<FrameBuf>,
+    /// IP packets (with Ethernet headroom still free) parked awaiting ARP
+    /// resolution, keyed by next hop.
+    arp_wait: Vec<(Ipv4Addr, FrameBufMut)>,
     epoll: EpollTable,
     isn: u32,
     ident: u16,
@@ -316,9 +324,9 @@ impl FStack {
             });
         }
         let data = mem
-            .read_vec(buf, buf.addr(), nbytes)
+            .view(buf, buf.addr(), nbytes)
             .map_err(|_| Errno::EFAULT)?;
-        let accepted = tcb.write(&data);
+        let accepted = tcb.write(data);
         if accepted == 0 {
             return Err(Errno::EAGAIN);
         }
@@ -355,10 +363,12 @@ impl FStack {
             };
         }
         let take = nbytes.min(buf.len()).min(tcb.readable_bytes() as u64);
-        let data = tcb.read(take as usize);
-        mem.write(buf, buf.addr(), &data)
+        let dst = mem
+            .view_mut(buf, buf.addr(), take)
             .map_err(|_| Errno::EFAULT)?;
-        Ok(data.len() as u64)
+        let n = tcb.read_into(dst);
+        debug_assert_eq!(n as u64, take, "readable bytes shrank underfoot");
+        Ok(n as u64)
     }
 
     /// `ff_sendto` for UDP sockets.
@@ -378,9 +388,10 @@ impl FStack {
         if nbytes > 1472 {
             return Err(Errno::EMSGSIZE);
         }
-        let data = mem
-            .read_vec(buf, buf.addr(), nbytes)
-            .map_err(|_| Errno::EFAULT)?;
+        let data = FrameBuf::copy_from(
+            mem.view(buf, buf.addr(), nbytes)
+                .map_err(|_| Errno::EFAULT)?,
+        );
         let eph = self.alloc_ephemeral();
         let (udp_port, fd_needs_map) = {
             let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
@@ -517,6 +528,17 @@ impl FStack {
         self.epoll.wait(epfd, |fd| self.readiness(fd))
     }
 
+    /// [`FStack::ff_epoll_wait`] into a caller-reused event vector
+    /// (cleared first) — the allocation-free poll the iperf apps run every
+    /// main-loop turn.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] for an unknown epoll fd.
+    pub fn ff_epoll_wait_into(&self, epfd: Fd, out: &mut Vec<EpollEvent>) -> Result<(), Errno> {
+        self.epoll.wait_into(epfd, |fd| self.readiness(fd), out)
+    }
+
     /// Level-triggered readiness of `fd`.
     pub fn readiness(&self, fd: Fd) -> EpollFlags {
         let Some(sock) = self.sockets.get(fd) else {
@@ -576,10 +598,20 @@ impl FStack {
     // driver surface
     // ------------------------------------------------------------------
 
-    /// Feeds one received Ethernet frame into the stack.
+    /// Feeds one received Ethernet frame into the stack (compatibility
+    /// wrapper: stages `frame` into a pooled buffer; the zero-copy driver
+    /// path is [`FStack::input_buf`]).
     pub fn input_frame(&mut self, now: SimTime, frame: &[u8]) {
+        self.input_buf(now, &FrameBuf::copy_from(frame));
+    }
+
+    /// Feeds one received Ethernet frame into the stack, parsing by
+    /// **slicing the shared buffer**: TCP/UDP payloads delivered to
+    /// sockets (and parked by out-of-order reassembly) alias `frame`'s
+    /// storage instead of copying it.
+    pub fn input_buf(&mut self, now: SimTime, frame: &FrameBuf) {
         self.stats.frames_in += 1;
-        let Some((eth, payload)) = EthHdr::parse(frame) else {
+        let Some((eth, _)) = EthHdr::parse(frame.as_slice()) else {
             self.stats.drops += 1;
             return;
         };
@@ -588,8 +620,8 @@ impl FStack {
             return;
         }
         match eth.ethertype {
-            EtherType::Arp => self.input_arp(payload),
-            EtherType::Ipv4 => self.input_ipv4(now, eth.src, payload),
+            EtherType::Arp => self.input_arp(&frame.as_slice()[ETH_HDR_LEN..]),
+            EtherType::Ipv4 => self.input_ipv4(now, eth.src, &frame.slice_from(ETH_HDR_LEN)),
             EtherType::Other(_) => self.stats.drops += 1,
         }
     }
@@ -602,19 +634,15 @@ impl FStack {
         self.arp.learn(pkt.spa, pkt.sha);
         if pkt.op == ArpOp::Request && pkt.tpa == self.cfg.ip {
             let reply = pkt.reply_to(self.cfg.mac);
-            let frame = EthHdr {
-                dst: pkt.sha,
-                src: self.cfg.mac,
-                ethertype: EtherType::Arp,
-            }
-            .build(&reply.build());
+            let frame = self.l2_frame(pkt.sha, EtherType::Arp, &reply.build());
             self.pending_tx.push_back(frame);
         }
         self.flush_arp_wait();
     }
 
-    fn input_ipv4(&mut self, now: SimTime, src_mac: MacAddr, payload: &[u8]) {
-        let Some((ip, l4)) = Ipv4Hdr::parse(payload) else {
+    fn input_ipv4(&mut self, now: SimTime, src_mac: MacAddr, l3: &FrameBuf) {
+        let payload = l3.as_slice();
+        let Some((ip, l4_range)) = Ipv4Hdr::parse_range(payload) else {
             self.stats.drops += 1;
             return;
         };
@@ -627,6 +655,7 @@ impl FStack {
         self.arp.learn(ip.src, src_mac);
         match ip.proto {
             IpProto::Icmp => {
+                let l4 = &payload[l4_range];
                 if let Some(unreach) = crate::icmp::IcmpUnreachable::parse(l4) {
                     // The quoted datagram's *source* port identifies our
                     // socket; deliver the asynchronous error to it.
@@ -641,14 +670,16 @@ impl FStack {
                 } else if let Some(echo) = IcmpEcho::parse(l4) {
                     if echo.kind == IcmpType::EchoRequest {
                         self.stats.pings_answered += 1;
-                        let reply = echo.reply().build();
-                        let pkt = self.build_ipv4(ip.src, IpProto::Icmp, &reply);
-                        self.enqueue_ip(ip.src, pkt);
+                        let mut fb = FrameBufMut::with_headroom(ETH_HDR_LEN + IPV4_HDR_LEN);
+                        fb.append(&echo.reply().build());
+                        self.ip_wrap(ip.src, IpProto::Icmp, &mut fb);
+                        self.enqueue_ip(ip.src, fb);
                     }
                 }
             }
             IpProto::Tcp => {
-                let Some(seg) = TcpSegment::parse(ip.src, ip.dst, l4) else {
+                let l4 = l3.slice(l4_range.start, l4_range.len());
+                let Some(seg) = TcpSegment::parse_buf(ip.src, ip.dst, &l4) else {
                     self.stats.drops += 1;
                     return;
                 };
@@ -656,7 +687,8 @@ impl FStack {
                 self.input_tcp(now, ip.src, seg);
             }
             IpProto::Udp => {
-                let Some(d) = UdpDatagram::parse(ip.src, ip.dst, l4) else {
+                let l4 = l3.slice(l4_range.start, l4_range.len());
+                let Some(d) = UdpDatagram::parse_buf(ip.src, ip.dst, &l4) else {
                     self.stats.drops += 1;
                     return;
                 };
@@ -673,8 +705,10 @@ impl FStack {
                     // unreachable (RFC 1122 §4.1.3.1), the datagram twin
                     // of TCP's RST, so the sender fails fast.
                     let unreach = crate::icmp::IcmpUnreachable::port_unreachable(payload);
-                    let pkt = self.build_ipv4(ip.src, IpProto::Icmp, &unreach.build());
-                    self.enqueue_ip(ip.src, pkt);
+                    let mut fb = FrameBufMut::with_headroom(ETH_HDR_LEN + IPV4_HDR_LEN);
+                    fb.append(&unreach.build());
+                    self.ip_wrap(ip.src, IpProto::Icmp, &mut fb);
+                    self.enqueue_ip(ip.src, fb);
                     self.stats.unreach_out += 1;
                 }
             }
@@ -758,43 +792,41 @@ impl FStack {
             },
             window: 0,
             options: crate::tcp::TcpOptions::default(),
-            payload: Vec::new(),
+            payload: FrameBuf::new(),
         };
-        let l4 = rst.build(self.cfg.ip, src);
-        let pkt = self.build_ipv4(src, IpProto::Tcp, &l4);
-        self.enqueue_ip(src, pkt);
+        let mut fb = FrameBufMut::with_headroom(TX_HEADROOM);
+        rst.build_into(self.cfg.ip, src, SegPayload::Inline, &mut fb);
+        self.ip_wrap(src, IpProto::Tcp, &mut fb);
+        self.enqueue_ip(src, fb);
         self.stats.rsts_out += 1;
     }
 
     /// Collects every frame the stack wants to transmit at `now` (TCP
     /// output, parked ARP traffic, ICMP replies), and reaps dead TCBs.
-    pub fn poll_tx(&mut self, now: SimTime) -> Vec<Vec<u8>> {
-        let mut frames: Vec<Vec<u8>> = Vec::new();
-        let fds: Vec<Fd> = self.sockets.fds();
+    ///
+    /// Zero-copy: each TCP segment's payload is copied **once**, from the
+    /// socket send buffer straight into a pooled frame buffer with
+    /// protocol headroom reserved, then the TCP, IPv4 and Ethernet headers
+    /// are prepended in place. The returned [`FrameBuf`]s are shared
+    /// views; the driver wraps them into wire frames without copying.
+    pub fn poll_tx(&mut self, now: SimTime) -> Vec<FrameBuf> {
+        let mut frames: Vec<FrameBuf> = Vec::new();
         type ConnKey = (u16, Ipv4Addr, u16);
         let mut reap: Vec<(Fd, Option<ConnKey>)> = Vec::new();
-        let mut to_send: Vec<(Ipv4Addr, Vec<u8>)> = Vec::new();
-        for fd in fds {
-            let Some(sock) = self.sockets.get_mut(fd) else {
-                continue;
-            };
+        let mut to_send: Vec<(Ipv4Addr, FrameBufMut)> = Vec::new();
+        let mut ident = self.ident;
+        let src_ip = self.cfg.ip;
+        for (fd, sock) in self.sockets.iter_mut() {
             match sock {
                 Socket::TcpConn(tcb) => {
                     let (local, remote) = tcb.endpoints();
-                    let segs = tcb.poll_output(now);
-                    let ident_base = self.ident;
-                    self.ident = self.ident.wrapping_add(segs.len() as u16);
-                    for (i, seg) in segs.into_iter().enumerate() {
-                        let l4 = seg.build(local.0, remote.0);
-                        let pkt = Ipv4Hdr::build(
-                            local.0,
-                            remote.0,
-                            IpProto::Tcp,
-                            ident_base.wrapping_add(i as u16),
-                            &l4,
-                        );
-                        to_send.push((remote.0, pkt));
-                    }
+                    tcb.poll_output_into(now, &mut |seg, payload| {
+                        let mut fb = FrameBufMut::with_headroom(TX_HEADROOM);
+                        seg.build_into(local.0, remote.0, payload, &mut fb);
+                        Ipv4Hdr::prepend_to(local.0, remote.0, IpProto::Tcp, ident, &mut fb);
+                        ident = ident.wrapping_add(1);
+                        to_send.push((remote.0, fb));
+                    });
                     // Orderly-closed TCBs are reaped; error'd ones
                     // (refused/reset) stay valid until the application
                     // observes the errno and ff_close()s, per POSIX.
@@ -804,22 +836,23 @@ impl FStack {
                 }
                 Socket::Udp { local, tx, .. } => {
                     let Some((_, sport)) = *local else { continue };
-                    let src_ip = self.cfg.ip;
                     while let Some(d) = tx.pop_front() {
                         let dg = UdpDatagram {
                             src_port: sport,
                             dst_port: d.from.1,
                             payload: d.data,
                         };
-                        let l4 = dg.build(src_ip, d.from.0);
-                        let pkt = Ipv4Hdr::build(src_ip, d.from.0, IpProto::Udp, self.ident, &l4);
-                        self.ident = self.ident.wrapping_add(1);
-                        to_send.push((d.from.0, pkt));
+                        let mut fb = FrameBufMut::with_headroom(TX_HEADROOM);
+                        dg.build_into(src_ip, d.from.0, &mut fb);
+                        Ipv4Hdr::prepend_to(src_ip, d.from.0, IpProto::Udp, ident, &mut fb);
+                        ident = ident.wrapping_add(1);
+                        to_send.push((d.from.0, fb));
                     }
                 }
                 _ => {}
             }
         }
+        self.ident = ident;
         for (dst, pkt) in to_send {
             if let Some(frame) = self.wrap_or_park(dst, pkt) {
                 frames.push(frame);
@@ -842,38 +875,56 @@ impl FStack {
     // helpers
     // ------------------------------------------------------------------
 
-    fn build_ipv4(&mut self, dst: Ipv4Addr, proto: IpProto, l4: &[u8]) -> Vec<u8> {
-        let pkt = Ipv4Hdr::build(self.cfg.ip, dst, proto, self.ident, l4);
+    /// Prepends an IPv4 header (with a fresh ident) onto the L4 bytes
+    /// already in `fb`.
+    fn ip_wrap(&mut self, dst: Ipv4Addr, proto: IpProto, fb: &mut FrameBufMut) {
+        Ipv4Hdr::prepend_to(self.cfg.ip, dst, proto, self.ident, fb);
         self.ident = self.ident.wrapping_add(1);
-        pkt
     }
 
-    fn enqueue_ip(&mut self, dst: Ipv4Addr, pkt: Vec<u8>) {
+    /// Prepends `hdr` and the minimum-frame padding, freezing `pkt` into a
+    /// sharable wire frame.
+    fn finish_l2(mut pkt: FrameBufMut, hdr: EthHdr) -> FrameBuf {
+        hdr.prepend_to(&mut pkt);
+        pkt.pad_to(MIN_FRAME);
+        pkt.freeze()
+    }
+
+    /// Builds a control frame (ARP request/reply) around `payload`.
+    fn l2_frame(&self, dst: MacAddr, ethertype: EtherType, payload: &[u8]) -> FrameBuf {
+        let mut fb = FrameBufMut::with_headroom(ETH_HDR_LEN);
+        fb.append(payload);
+        Self::finish_l2(
+            fb,
+            EthHdr {
+                dst,
+                src: self.cfg.mac,
+                ethertype,
+            },
+        )
+    }
+
+    fn enqueue_ip(&mut self, dst: Ipv4Addr, pkt: FrameBufMut) {
         if let Some(frame) = self.wrap_or_park(dst, pkt) {
             self.pending_tx.push_back(frame);
         }
     }
 
     /// Wraps `pkt` in an Ethernet header if the next hop resolves; otherwise
-    /// parks it and emits an ARP request.
-    fn wrap_or_park(&mut self, dst: Ipv4Addr, pkt: Vec<u8>) -> Option<Vec<u8>> {
+    /// parks it (Ethernet headroom still free) and emits an ARP request.
+    fn wrap_or_park(&mut self, dst: Ipv4Addr, pkt: FrameBufMut) -> Option<FrameBuf> {
         match self.arp.lookup(dst) {
-            Some(mac) => Some(
+            Some(mac) => Some(Self::finish_l2(
+                pkt,
                 EthHdr {
                     dst: mac,
                     src: self.cfg.mac,
                     ethertype: EtherType::Ipv4,
-                }
-                .build(&pkt),
-            ),
+                },
+            )),
             None => {
                 let req = ArpPacket::request(self.cfg.mac, self.cfg.ip, dst);
-                let frame = EthHdr {
-                    dst: MacAddr::BROADCAST,
-                    src: self.cfg.mac,
-                    ethertype: EtherType::Arp,
-                }
-                .build(&req.build());
+                let frame = self.l2_frame(MacAddr::BROADCAST, EtherType::Arp, &req.build());
                 self.arp.note_request();
                 self.pending_tx.push_back(frame);
                 self.arp_wait.push((dst, pkt));
@@ -887,12 +938,14 @@ impl FStack {
         for (dst, pkt) in parked {
             match self.arp.lookup(dst) {
                 Some(mac) => {
-                    let frame = EthHdr {
-                        dst: mac,
-                        src: self.cfg.mac,
-                        ethertype: EtherType::Ipv4,
-                    }
-                    .build(&pkt);
+                    let frame = Self::finish_l2(
+                        pkt,
+                        EthHdr {
+                            dst: mac,
+                            src: self.cfg.mac,
+                            ethertype: EtherType::Ipv4,
+                        },
+                    );
                     self.pending_tx.push_back(frame);
                 }
                 None => self.arp_wait.push((dst, pkt)),

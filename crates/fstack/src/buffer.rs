@@ -1,11 +1,14 @@
 //! Socket byte buffers.
 //!
 //! [`SendBuffer`] keeps unacknowledged + unsent bytes addressed by absolute
-//! TCP sequence number (so retransmission is a plain range copy);
-//! [`RecvBuffer`] reassembles in-order data and parks out-of-order segments
-//! until the gap fills.
+//! TCP sequence number; (re)transmission copies a range **directly into the
+//! caller's frame buffer** ([`SendBuffer::range_into`]) instead of
+//! materializing a `Vec` per segment. [`RecvBuffer`] reassembles in-order
+//! data and parks out-of-order segments as shared [`FrameBuf`] views of the
+//! frames they arrived in — parking is a refcount bump, not a copy.
 
 use std::collections::{BTreeMap, VecDeque};
+use updk::framebuf::FrameBuf;
 
 /// The sender-side byte store, addressed by sequence number.
 #[derive(Debug, Clone)]
@@ -59,15 +62,37 @@ impl SendBuffer {
         n
     }
 
-    /// Copies `len` bytes starting at sequence `seq` (for (re)transmission).
-    /// Clamps to buffered range.
-    pub fn range(&self, seq: u32, len: usize) -> Vec<u8> {
+    /// How many bytes a copy of up to `len` starting at sequence `seq`
+    /// would yield (clamped to the buffered range).
+    pub fn range_len(&self, seq: u32, len: usize) -> usize {
         let off = seq.wrapping_sub(self.base_seq) as usize;
         if off >= self.data.len() {
-            return Vec::new();
+            return 0;
         }
-        let n = len.min(self.data.len() - off);
-        self.data.iter().skip(off).take(n).copied().collect()
+        len.min(self.data.len() - off)
+    }
+
+    /// Copies bytes starting at sequence `seq` into `dst` (clamped to the
+    /// buffered range), returning the count — the allocation-free
+    /// (re)transmission path: the destination is the frame buffer itself.
+    pub fn range_into(&self, seq: u32, dst: &mut [u8]) -> usize {
+        let off = seq.wrapping_sub(self.base_seq) as usize;
+        if off >= self.data.len() {
+            return 0;
+        }
+        let n = dst.len().min(self.data.len() - off);
+        let (front, back) = self.data.as_slices();
+        if off < front.len() {
+            let take = n.min(front.len() - off);
+            dst[..take].copy_from_slice(&front[off..off + take]);
+            if take < n {
+                dst[take..n].copy_from_slice(&back[..n - take]);
+            }
+        } else {
+            let boff = off - front.len();
+            dst[..n].copy_from_slice(&back[boff..boff + n]);
+        }
+        n
     }
 
     /// Drops bytes acknowledged up to `ack` (new SND.UNA).
@@ -84,8 +109,9 @@ pub struct RecvBuffer {
     /// RCV.NXT: the next in-order sequence number expected.
     next_seq: u32,
     ready: VecDeque<u8>,
-    /// Out-of-order segments keyed by start seq.
-    ooo: BTreeMap<u32, Vec<u8>>,
+    /// Out-of-order segments keyed by start seq — shared views of the
+    /// frames they arrived in, parked without copying.
+    ooo: BTreeMap<u32, FrameBuf>,
     capacity: usize,
 }
 
@@ -117,8 +143,10 @@ impl RecvBuffer {
     }
 
     /// Accepts a segment at `seq`; returns `true` if RCV.NXT advanced
-    /// (i.e. new in-order data became available).
-    pub fn on_segment(&mut self, seq: u32, data: &[u8]) -> bool {
+    /// (i.e. new in-order data became available). In-order bytes go
+    /// straight to the ready queue; out-of-order segments are parked as
+    /// shared sub-views of `data` (no copy) until the gap fills.
+    pub fn on_segment(&mut self, seq: u32, data: &FrameBuf) -> bool {
         if data.is_empty() {
             return false;
         }
@@ -129,12 +157,12 @@ impl RecvBuffer {
             if skip >= data.len() {
                 return false;
             }
-            return self.on_segment(self.next_seq, &data[skip..]);
+            return self.on_segment(self.next_seq, &data.slice_from(skip));
         }
         if rel > 0 {
-            // Out of order: park it (bounded by capacity to avoid DoS).
+            // Out of order: park a shared view (bounded to avoid DoS).
             if (rel as usize) < self.capacity {
-                self.ooo.entry(seq).or_insert_with(|| data.to_vec());
+                self.ooo.entry(seq).or_insert_with(|| data.clone());
             }
             return false;
         }
@@ -168,6 +196,20 @@ impl RecvBuffer {
         self.ready.drain(..n).collect()
     }
 
+    /// Copies up to `dst.len()` in-order bytes into `dst`, returning the
+    /// count — the allocation-free `ff_read` path.
+    pub fn read_into(&mut self, dst: &mut [u8]) -> usize {
+        let n = dst.len().min(self.ready.len());
+        let (front, back) = self.ready.as_slices();
+        let take = n.min(front.len());
+        dst[..take].copy_from_slice(&front[..take]);
+        if take < n {
+            dst[take..n].copy_from_slice(&back[..n - take]);
+        }
+        self.ready.drain(..n);
+        n
+    }
+
     /// Out-of-order segments currently parked (diagnostics).
     pub fn ooo_segments(&self) -> usize {
         self.ooo.len()
@@ -178,6 +220,18 @@ impl RecvBuffer {
 mod tests {
     use super::*;
 
+    fn range(b: &SendBuffer, seq: u32, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        let n = b.range_into(seq, &mut v);
+        assert_eq!(n, b.range_len(seq, len));
+        v.truncate(n);
+        v
+    }
+
+    fn buf(data: &[u8]) -> FrameBuf {
+        FrameBuf::copy_from(data)
+    }
+
     #[test]
     fn send_buffer_push_range_ack() {
         let mut b = SendBuffer::new(1000, 16);
@@ -185,25 +239,37 @@ mod tests {
         assert_eq!(b.push(b"0123456789"), 5, "clamped to capacity");
         assert_eq!(b.len(), 16);
         assert_eq!(b.free(), 0);
-        assert_eq!(b.range(1000, 5), b"hello");
-        assert_eq!(b.range(1006, 5), b"world");
+        assert_eq!(range(&b, 1000, 5), b"hello");
+        assert_eq!(range(&b, 1006, 5), b"world");
         assert_eq!(b.end_seq(), 1016);
         b.ack_to(1006);
         assert_eq!(b.base_seq(), 1006);
         assert_eq!(b.len(), 10);
-        assert_eq!(b.range(1006, 5), b"world");
+        assert_eq!(range(&b, 1006, 5), b"world");
         assert_eq!(b.free(), 6);
     }
 
     #[test]
     fn send_buffer_range_clamps() {
         let b = SendBuffer::new(0, 16);
-        assert!(b.range(0, 10).is_empty());
+        assert!(range(&b, 0, 10).is_empty());
         let mut b = SendBuffer::new(0, 16);
         b.push(b"abc");
-        assert_eq!(b.range(0, 100), b"abc");
-        assert!(b.range(3, 5).is_empty());
+        assert_eq!(range(&b, 0, 100), b"abc");
+        assert!(range(&b, 3, 5).is_empty());
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn send_buffer_copies_across_the_deque_seam() {
+        // Force a wrapped VecDeque: fill, ack, refill so as_slices() splits.
+        let mut b = SendBuffer::new(0, 8);
+        b.push(b"abcdef");
+        b.ack_to(4); // drop "abcd", leaving "ef" near the tail
+        b.push(b"ghijkl");
+        assert_eq!(b.len(), 8);
+        assert_eq!(range(&b, 4, 8), b"efghijkl");
+        assert_eq!(range(&b, 6, 4), b"ghij");
     }
 
     #[test]
@@ -212,17 +278,17 @@ mod tests {
         let mut b = SendBuffer::new(start, 32);
         b.push(b"abcdef");
         assert_eq!(b.end_seq(), 3); // wrapped
-        assert_eq!(b.range(start, 6), b"abcdef");
+        assert_eq!(range(&b, start, 6), b"abcdef");
         b.ack_to(1); // 4 bytes acked across the wrap
         assert_eq!(b.len(), 2);
-        assert_eq!(b.range(1, 2), b"ef");
+        assert_eq!(range(&b, 1, 2), b"ef");
     }
 
     #[test]
     fn recv_in_order_flow() {
         let mut r = RecvBuffer::new(500, 64);
-        assert!(r.on_segment(500, b"hello "));
-        assert!(r.on_segment(506, b"world"));
+        assert!(r.on_segment(500, &buf(b"hello ")));
+        assert!(r.on_segment(506, &buf(b"world")));
         assert_eq!(r.next_seq(), 511);
         assert_eq!(r.readable(), 11);
         assert_eq!(r.read(6), b"hello ");
@@ -232,9 +298,9 @@ mod tests {
     #[test]
     fn recv_reassembles_out_of_order() {
         let mut r = RecvBuffer::new(0, 64);
-        assert!(!r.on_segment(6, b"world"), "gap: no advance");
+        assert!(!r.on_segment(6, &buf(b"world")), "gap: no advance");
         assert_eq!(r.ooo_segments(), 1);
-        assert!(r.on_segment(0, b"hello "));
+        assert!(r.on_segment(0, &buf(b"hello ")));
         assert_eq!(r.next_seq(), 11);
         assert_eq!(r.read(64), b"hello world");
         assert_eq!(r.ooo_segments(), 0);
@@ -243,11 +309,11 @@ mod tests {
     #[test]
     fn recv_discards_duplicates_and_trims_overlap() {
         let mut r = RecvBuffer::new(0, 64);
-        r.on_segment(0, b"abcdef");
+        r.on_segment(0, &buf(b"abcdef"));
         // Full duplicate.
-        assert!(!r.on_segment(0, b"abcdef"));
+        assert!(!r.on_segment(0, &buf(b"abcdef")));
         // Overlapping: only the tail is new.
-        assert!(r.on_segment(3, b"defGHI"));
+        assert!(r.on_segment(3, &buf(b"defGHI")));
         assert_eq!(r.read(64), b"abcdefGHI");
     }
 
@@ -255,12 +321,45 @@ mod tests {
     fn recv_window_shrinks_and_bounds() {
         let mut r = RecvBuffer::new(0, 8);
         assert_eq!(r.window(), 8);
-        r.on_segment(0, b"abcd");
+        r.on_segment(0, &buf(b"abcd"));
         assert_eq!(r.window(), 4);
         // Data beyond the window is truncated.
-        r.on_segment(4, b"efghIJKL");
+        r.on_segment(4, &buf(b"efghIJKL"));
         assert_eq!(r.window(), 0);
         assert_eq!(r.read(100), b"abcdefgh");
         assert_eq!(r.window(), 8);
+    }
+
+    #[test]
+    fn read_into_drains_like_read() {
+        let mut r = RecvBuffer::new(0, 32);
+        r.on_segment(0, &buf(b"abcdefgh"));
+        let mut out = [0u8; 5];
+        assert_eq!(r.read_into(&mut out), 5);
+        assert_eq!(&out, b"abcde");
+        let mut rest = [0u8; 8];
+        assert_eq!(r.read_into(&mut rest), 3);
+        assert_eq!(&rest[..3], b"fgh");
+        assert_eq!(r.read_into(&mut rest), 0);
+    }
+
+    #[test]
+    fn parked_ooo_segments_share_the_arrival_frame() {
+        use updk::framebuf::pool_stats;
+        let frame = buf(b"0123456789");
+        let mut r = RecvBuffer::new(0, 64);
+        let takes_before = {
+            let s = pool_stats();
+            s.fresh + s.reused
+        };
+        // Park a sub-view: no pooled buffer is taken, no bytes copied.
+        assert!(!r.on_segment(4, &frame.slice_from(4)));
+        let takes_after = {
+            let s = pool_stats();
+            s.fresh + s.reused
+        };
+        assert_eq!(takes_before, takes_after, "parking is a refcount bump");
+        assert!(r.on_segment(0, &frame.slice(0, 4)));
+        assert_eq!(r.read(64), b"0123456789");
     }
 }

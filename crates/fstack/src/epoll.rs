@@ -115,12 +115,34 @@ impl EpollTable {
     /// # Errors
     ///
     /// [`Errno::EBADF`] for an unknown epfd.
-    pub fn wait<F>(&self, epfd: Fd, mut readiness: F) -> Result<Vec<EpollEvent>, Errno>
+    pub fn wait<F>(&self, epfd: Fd, readiness: F) -> Result<Vec<EpollEvent>, Errno>
+    where
+        F: FnMut(Fd) -> EpollFlags,
+    {
+        let mut out = Vec::new();
+        self.wait_into(epfd, readiness, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`EpollTable::wait`], collecting into a caller-supplied vector
+    /// (cleared first). Poll-mode applications call this every loop turn;
+    /// reusing their event vector keeps the steady-state poll
+    /// allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::EBADF`] for an unknown epfd.
+    pub fn wait_into<F>(
+        &self,
+        epfd: Fd,
+        mut readiness: F,
+        out: &mut Vec<EpollEvent>,
+    ) -> Result<(), Errno>
     where
         F: FnMut(Fd) -> EpollFlags,
     {
         let interest = self.instances.get(&epfd).ok_or(Errno::EBADF)?;
-        let mut out = Vec::new();
+        out.clear();
         for (&fd, &mask) in interest {
             let ready = readiness(fd);
             // ERR/HUP are always reported; IN/OUT follow the interest mask.
@@ -132,7 +154,7 @@ impl EpollTable {
                 });
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

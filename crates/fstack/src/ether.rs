@@ -1,5 +1,6 @@
 //! Ethernet II framing.
 
+use updk::framebuf::FrameBufMut;
 use updk::nic::MacAddr;
 
 /// Length of an Ethernet II header.
@@ -70,12 +71,25 @@ impl EthHdr {
         ))
     }
 
+    /// The 14 header bytes.
+    pub fn to_bytes(&self) -> [u8; ETH_HDR_LEN] {
+        let mut h = [0u8; ETH_HDR_LEN];
+        h[0..6].copy_from_slice(&self.dst.octets());
+        h[6..12].copy_from_slice(&self.src.octets());
+        h[12..14].copy_from_slice(&self.ethertype.raw().to_be_bytes());
+        h
+    }
+
+    /// Prepends the header into `fb`'s headroom — the zero-copy L2 step:
+    /// the payload already sits in the buffer and is not touched.
+    pub fn prepend_to(&self, fb: &mut FrameBufMut) {
+        fb.prepend(&self.to_bytes());
+    }
+
     /// Serializes the header in front of `payload` into a full frame.
     pub fn build(&self, payload: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(ETH_HDR_LEN + payload.len());
-        out.extend_from_slice(&self.dst.octets());
-        out.extend_from_slice(&self.src.octets());
-        out.extend_from_slice(&self.ethertype.raw().to_be_bytes());
+        out.extend_from_slice(&self.to_bytes());
         out.extend_from_slice(payload);
         out
     }

@@ -1,6 +1,8 @@
 //! IPv4: header build/parse and the internet checksum.
 
 use std::net::Ipv4Addr;
+use std::ops::Range;
+use updk::framebuf::FrameBufMut;
 
 /// Length of a minimal IPv4 header (no options).
 pub const IPV4_HDR_LEN: usize = 20;
@@ -87,6 +89,14 @@ impl Ipv4Hdr {
     /// Parses a header from `packet`, verifying version, length and
     /// checksum. Returns the header and the payload slice.
     pub fn parse(packet: &[u8]) -> Option<(Ipv4Hdr, &[u8])> {
+        let (hdr, range) = Ipv4Hdr::parse_range(packet)?;
+        Some((hdr, &packet[range]))
+    }
+
+    /// [`Ipv4Hdr::parse`], but returning the payload as a byte *range*
+    /// within `packet` — so callers holding a shared frame buffer can
+    /// slice the payload out of it without copying.
+    pub fn parse_range(packet: &[u8]) -> Option<(Ipv4Hdr, Range<usize>)> {
         if packet.len() < IPV4_HDR_LEN {
             return None;
         }
@@ -114,18 +124,18 @@ impl Ipv4Hdr {
             ident: u16::from_be_bytes([packet[4], packet[5]]),
             total_len,
         };
-        Some((hdr, &packet[ihl..tl]))
+        Some((hdr, ihl..tl))
     }
 
-    /// Builds a packet: 20-byte header (checksummed) followed by `payload`.
-    pub fn build(
+    /// The checksummed 20-byte header for a payload of `payload_len` bytes.
+    pub fn header_bytes(
         src: Ipv4Addr,
         dst: Ipv4Addr,
         proto: IpProto,
         ident: u16,
-        payload: &[u8],
-    ) -> Vec<u8> {
-        let total = (IPV4_HDR_LEN + payload.len()) as u16;
+        payload_len: usize,
+    ) -> [u8; IPV4_HDR_LEN] {
+        let total = (IPV4_HDR_LEN + payload_len) as u16;
         let mut h = [0u8; IPV4_HDR_LEN];
         h[0] = 0x45; // v4, IHL 5
         h[1] = 0; // DSCP/ECN
@@ -138,7 +148,32 @@ impl Ipv4Hdr {
         h[16..20].copy_from_slice(&dst.octets());
         let csum = checksum(&h);
         h[10..12].copy_from_slice(&csum.to_be_bytes());
-        let mut out = Vec::with_capacity(usize::from(total));
+        h
+    }
+
+    /// Prepends a checksummed header in front of the L4 bytes already in
+    /// `fb` — the zero-copy L3 step (the payload is not touched).
+    pub fn prepend_to(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: IpProto,
+        ident: u16,
+        fb: &mut FrameBufMut,
+    ) {
+        let h = Ipv4Hdr::header_bytes(src, dst, proto, ident, fb.len());
+        fb.prepend(&h);
+    }
+
+    /// Builds a packet: 20-byte header (checksummed) followed by `payload`.
+    pub fn build(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: IpProto,
+        ident: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let h = Ipv4Hdr::header_bytes(src, dst, proto, ident, payload.len());
+        let mut out = Vec::with_capacity(IPV4_HDR_LEN + payload.len());
         out.extend_from_slice(&h);
         out.extend_from_slice(payload);
         out

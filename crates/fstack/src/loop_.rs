@@ -72,14 +72,16 @@ pub fn rx_phase(
     mem: &mut TaggedMemory,
     now: SimTime,
 ) -> Result<usize, UpdkError> {
-    let rx_mbufs = dev.rx_burst(port, now, 32, mem)?;
-    let rx = rx_mbufs.len();
-    for mbuf in rx_mbufs {
-        let bytes = mbuf.read(mem)?;
-        stack.input_frame(now, &bytes);
+    let rx = dev.rx_burst_shared(port, now, 32, mem)?;
+    let n = rx.len();
+    for (mbuf, frame) in rx {
+        // The mbuf holds the capability-checked DMA copy in packet memory;
+        // the stack parses the shared frame buffer by slicing it — no
+        // read-back copy out of `mem`.
+        stack.input_buf(now, frame.buf());
         dev.free_mbuf(port, mbuf);
     }
-    Ok(rx)
+    Ok(n)
 }
 
 /// The transmit half of one iteration: TCP timers/output into the TX ring.
@@ -99,13 +101,16 @@ pub fn tx_phase(
     if out_frames.is_empty() {
         return Ok(Vec::new());
     }
-    let mut mbufs = Vec::with_capacity(out_frames.len());
-    for bytes in &out_frames {
+    let mut batch = Vec::with_capacity(out_frames.len());
+    for fb in out_frames {
+        // DMA-write the frame into packet memory through the mbuf's
+        // capability (the checked store), then hand the *shared* buffer to
+        // the NIC — no read-back copy.
         let mut m = dev.alloc_mbuf(port)?;
-        m.set_data(mem, bytes)?;
-        mbufs.push(m);
+        m.set_data(mem, &fb)?;
+        batch.push((m, Frame::from_buf(fb)));
     }
-    dev.tx_burst(port, now, mbufs, mem)
+    dev.tx_burst_shared(port, now, batch)
 }
 
 /// The Scenario 2 F-Stack service mutex: serializes app-side `ff_*` calls

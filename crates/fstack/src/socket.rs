@@ -3,6 +3,7 @@
 use crate::tcp::tcb::Tcb;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
+use updk::framebuf::FrameBuf;
 
 /// Socket type (`SOCK_STREAM` / `SOCK_DGRAM`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,8 +19,9 @@ pub enum SockType {
 pub struct DgramEntry {
     /// Sender address.
     pub from: (Ipv4Addr, u16),
-    /// Payload.
-    pub data: Vec<u8>,
+    /// Payload — a shared view of the frame it arrived in (RX) or of the
+    /// staged application bytes (TX); queueing never copies it.
+    pub data: FrameBuf,
 }
 
 /// One socket's state.

@@ -14,14 +14,34 @@ pub mod tcb;
 pub use cc::CongestionControl;
 pub use tcb::{Tcb, TcpState};
 
+use crate::buffer::SendBuffer;
 use crate::ip::{finish_checksum, pseudo_header_sum, sum_words, IpProto};
 use std::net::Ipv4Addr;
+use updk::framebuf::{FrameBuf, FrameBufMut};
 
 /// TCP header length without options.
 pub const TCP_HDR_LEN: usize = 20;
 
 /// Length of the timestamp option block we emit (NOP NOP TS, 12 bytes).
 pub const TS_OPT_LEN: usize = 12;
+
+/// Largest TCP header we ever emit: base + MSS option + timestamps.
+pub const MAX_TCP_HDR: usize = TCP_HDR_LEN + 4 + TS_OPT_LEN;
+
+/// Where a transmitted segment's payload bytes come from.
+///
+/// The zero-copy transmit path never materializes payload vectors: a data
+/// (or re-) transmission names a sequence range of the socket's
+/// [`SendBuffer`], and [`TcpSegment::build_into`] copies that range
+/// straight into the frame buffer — once.
+#[derive(Debug, Clone, Copy)]
+pub enum SegPayload<'a> {
+    /// Use the bytes already inline in [`TcpSegment::payload`] (control
+    /// segments; parsed segments).
+    Inline,
+    /// Copy `len` bytes starting at sequence `seq` out of the send buffer.
+    Range(&'a SendBuffer, u32, usize),
+}
 
 /// TCP flags (subset used).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +96,10 @@ pub struct TcpOptions {
 }
 
 /// A TCP segment (header fields + payload).
+///
+/// The payload is a shared [`FrameBuf`] view: a parsed segment's payload
+/// aliases the frame it arrived in, so reassembly can park and deliver it
+/// without copying.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TcpSegment {
     /// Source port.
@@ -93,7 +117,7 @@ pub struct TcpSegment {
     /// Options.
     pub options: TcpOptions,
     /// Payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: FrameBuf,
 }
 
 impl TcpSegment {
@@ -102,53 +126,98 @@ impl TcpSegment {
         self.payload.len() as u32 + u32::from(self.flags.syn) + u32::from(self.flags.fin)
     }
 
-    /// Serializes with a correct pseudo-header checksum.
-    pub fn build(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
-        let mut opts = Vec::new();
+    /// Writes the header (with zeroed checksum) into `out`, returning its
+    /// length. Options are MSS (SYN only) and timestamps, both 32-bit
+    /// aligned, so the header length is always a multiple of four.
+    fn header_into(&self, out: &mut [u8; MAX_TCP_HDR]) -> usize {
+        let mut hl = TCP_HDR_LEN;
         if let Some(mss) = self.options.mss {
-            opts.extend_from_slice(&[2, 4]);
-            opts.extend_from_slice(&mss.to_be_bytes());
+            out[hl..hl + 2].copy_from_slice(&[2, 4]);
+            out[hl + 2..hl + 4].copy_from_slice(&mss.to_be_bytes());
+            hl += 4;
         }
         if let Some((tsval, tsecr)) = self.options.ts {
-            opts.extend_from_slice(&[1, 1, 8, 10]);
-            opts.extend_from_slice(&tsval.to_be_bytes());
-            opts.extend_from_slice(&tsecr.to_be_bytes());
+            out[hl..hl + 4].copy_from_slice(&[1, 1, 8, 10]);
+            out[hl + 4..hl + 8].copy_from_slice(&tsval.to_be_bytes());
+            out[hl + 8..hl + 12].copy_from_slice(&tsecr.to_be_bytes());
+            hl += TS_OPT_LEN;
         }
-        debug_assert!(opts.len() % 4 == 0);
-        let data_off = ((TCP_HDR_LEN + opts.len()) / 4) as u8;
-        let total = TCP_HDR_LEN + opts.len() + self.payload.len();
-        let mut out = Vec::with_capacity(total);
-        out.extend_from_slice(&self.src_port.to_be_bytes());
-        out.extend_from_slice(&self.dst_port.to_be_bytes());
-        out.extend_from_slice(&self.seq.to_be_bytes());
-        out.extend_from_slice(&self.ack.to_be_bytes());
-        out.push(data_off << 4);
-        out.push(self.flags.to_byte());
-        out.extend_from_slice(&self.window.to_be_bytes());
-        out.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
-        out.extend_from_slice(&opts);
-        out.extend_from_slice(&self.payload);
+        debug_assert!(hl.is_multiple_of(4));
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        out[12] = ((hl / 4) as u8) << 4;
+        out[13] = self.flags.to_byte();
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[16..20].fill(0); // checksum + urgent
+        hl
+    }
+
+    /// Builds the segment **in place**: payload copied once into `fb` (from
+    /// the inline bytes or straight out of the send buffer), then the
+    /// checksummed header prepended into the headroom. This is the
+    /// zero-copy transmit path — no intermediate `Vec` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fb` is empty (the segment becomes its contents).
+    pub fn build_into(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: SegPayload<'_>,
+        fb: &mut FrameBufMut,
+    ) {
+        assert!(fb.is_empty(), "segment must be the buffer's only payload");
+        match payload {
+            SegPayload::Inline => fb.append(&self.payload),
+            SegPayload::Range(buf, seq, len) => fb.append_with(len, |dst| {
+                let n = buf.range_into(seq, dst);
+                debug_assert_eq!(n, len, "send-buffer range shrank underfoot");
+            }),
+        }
+        let mut hdr = [0u8; MAX_TCP_HDR];
+        let hl = self.header_into(&mut hdr);
+        let total = hl + fb.len();
+        // The header length is a multiple of four, so summing header and
+        // payload separately matches the sum over their concatenation.
         let acc = pseudo_header_sum(src, dst, IpProto::Tcp, total as u16);
-        let csum = finish_checksum(sum_words(&out, acc));
-        out[16..18].copy_from_slice(&csum.to_be_bytes());
-        out
+        let acc = sum_words(&hdr[..hl], acc);
+        let csum = finish_checksum(sum_words(fb.as_slice(), acc));
+        hdr[16..18].copy_from_slice(&csum.to_be_bytes());
+        fb.prepend(&hdr[..hl]);
+    }
+
+    /// Serializes with a correct pseudo-header checksum.
+    pub fn build(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let mut fb = FrameBufMut::with_headroom(MAX_TCP_HDR);
+        self.build_into(src, dst, SegPayload::Inline, &mut fb);
+        fb.as_slice().to_vec()
     }
 
     /// Parses and checksum-verifies a TCP payload.
     pub fn parse(src: Ipv4Addr, dst: Ipv4Addr, p: &[u8]) -> Option<TcpSegment> {
-        if p.len() < TCP_HDR_LEN {
+        Self::parse_buf(src, dst, &FrameBuf::copy_from(p))
+    }
+
+    /// [`TcpSegment::parse`] over a shared buffer: the returned payload is
+    /// a sub-view of `p`, not a copy.
+    pub fn parse_buf(src: Ipv4Addr, dst: Ipv4Addr, p: &FrameBuf) -> Option<TcpSegment> {
+        let b = p.as_slice();
+        if b.len() < TCP_HDR_LEN {
             return None;
         }
-        let acc = pseudo_header_sum(src, dst, IpProto::Tcp, p.len() as u16);
-        if finish_checksum(sum_words(p, acc)) != 0 {
+        let acc = pseudo_header_sum(src, dst, IpProto::Tcp, b.len() as u16);
+        if finish_checksum(sum_words(b, acc)) != 0 {
             return None;
         }
-        let data_off = usize::from(p[12] >> 4) * 4;
-        if data_off < TCP_HDR_LEN || data_off > p.len() {
+        let data_off = usize::from(b[12] >> 4) * 4;
+        if data_off < TCP_HDR_LEN || data_off > b.len() {
             return None;
         }
         let mut options = TcpOptions::default();
-        let mut o = &p[TCP_HDR_LEN..data_off];
+        let mut o = &b[TCP_HDR_LEN..data_off];
         while let Some(&kind) = o.first() {
             match kind {
                 0 => break,       // EOL
@@ -171,14 +240,14 @@ impl TcpSegment {
             }
         }
         Some(TcpSegment {
-            src_port: u16::from_be_bytes([p[0], p[1]]),
-            dst_port: u16::from_be_bytes([p[2], p[3]]),
-            seq: u32::from_be_bytes([p[4], p[5], p[6], p[7]]),
-            ack: u32::from_be_bytes([p[8], p[9], p[10], p[11]]),
-            flags: TcpFlags::from_byte(p[13]),
-            window: u16::from_be_bytes([p[14], p[15]]),
+            src_port: u16::from_be_bytes([b[0], b[1]]),
+            dst_port: u16::from_be_bytes([b[2], b[3]]),
+            seq: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+            ack: u32::from_be_bytes([b[8], b[9], b[10], b[11]]),
+            flags: TcpFlags::from_byte(b[13]),
+            window: u16::from_be_bytes([b[14], b[15]]),
             options,
-            payload: p[data_off..].to_vec(),
+            payload: p.slice_from(data_off),
         })
     }
 }
@@ -206,7 +275,7 @@ mod tests {
                 mss: Some(1460),
                 ts: Some((111, 222)),
             },
-            payload: vec![],
+            payload: FrameBuf::new(),
         }
     }
 
@@ -223,7 +292,7 @@ mod tests {
         let mut s = seg();
         s.flags = TcpFlags::only_ack();
         s.options.mss = None;
-        s.payload = (0..255u8).collect();
+        s.payload = (0..255u8).collect::<Vec<u8>>().into();
         let bytes = s.build(A, B);
         let parsed = TcpSegment::parse(A, B, &bytes).unwrap();
         assert_eq!(parsed.payload, s.payload);
@@ -236,7 +305,7 @@ mod tests {
         assert_eq!(s.seq_len(), 1); // SYN
         s.flags.fin = true;
         assert_eq!(s.seq_len(), 2);
-        s.payload = vec![0; 10];
+        s.payload = vec![0u8; 10].into();
         assert_eq!(s.seq_len(), 12);
     }
 

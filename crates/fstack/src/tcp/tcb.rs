@@ -9,9 +9,10 @@
 use crate::buffer::{RecvBuffer, SendBuffer};
 use crate::tcp::cc::CongestionControl;
 use crate::tcp::seq::{seq_gt, seq_le, seq_lt};
-use crate::tcp::{TcpFlags, TcpOptions, TcpSegment};
+use crate::tcp::{SegPayload, TcpFlags, TcpOptions, TcpSegment};
 use simkern::time::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
+use updk::framebuf::FrameBuf;
 
 /// Connection states (RFC 793).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -277,6 +278,17 @@ impl Tcb {
         out
     }
 
+    /// Copies up to `dst.len()` in-order bytes into `dst`, returning the
+    /// count — the allocation-free `ff_read` path.
+    pub fn read_into(&mut self, dst: &mut [u8]) -> usize {
+        let n = self.recv_buf.read_into(dst);
+        if n > 0 {
+            // Window opened: let the peer know soon.
+            self.ack_pending += 1;
+        }
+        n
+    }
+
     /// Requests an orderly close (FIN after the buffer drains).
     pub fn close(&mut self) {
         if matches!(self.state, TcpState::SynSent | TcpState::Listen) {
@@ -478,8 +490,37 @@ impl Tcb {
     }
 
     /// Emits every segment the connection owes the wire at `now`.
+    ///
+    /// Compatibility wrapper over [`Tcb::poll_output_into`] that
+    /// materializes payload ranges into owned segments — tests and simple
+    /// drivers use this; the zero-copy main loop passes an emitter that
+    /// builds frames in place instead.
     pub fn poll_output(&mut self, now: SimTime) -> Vec<TcpSegment> {
         let mut out = Vec::new();
+        self.poll_output_into(now, &mut |seg, payload| {
+            let mut seg = seg.clone();
+            if let SegPayload::Range(buf, seq, len) = payload {
+                let mut v = vec![0u8; len];
+                let n = buf.range_into(seq, &mut v);
+                debug_assert_eq!(n, len);
+                seg.payload = FrameBuf::copy_from(&v);
+            }
+            out.push(seg);
+        });
+        out
+    }
+
+    /// Emits every segment the connection owes the wire at `now`, handing
+    /// each to `emit` as a header-only [`TcpSegment`] plus a
+    /// [`SegPayload`] naming where its payload bytes live. Data and
+    /// retransmitted segments reference the send buffer directly, so the
+    /// emitter can copy the bytes exactly once — into the frame buffer.
+    pub fn poll_output_into(
+        &mut self,
+        now: SimTime,
+        emit: &mut dyn FnMut(&TcpSegment, SegPayload<'_>),
+    ) {
+        let mut emitted: u64 = 0;
 
         // TIME_WAIT expiry.
         if self.state == TcpState::TimeWait {
@@ -490,18 +531,22 @@ impl Tcb {
             }
         }
         if self.state == TcpState::Closed || self.state == TcpState::Listen {
-            return out;
+            return;
         }
 
         // --- handshake segments ---
         match self.state {
             TcpState::SynSent if self.snd_nxt == self.iss => {
-                out.push(self.make_syn(now, false));
+                let seg = self.make_syn(now, false);
+                emit(&seg, SegPayload::Inline);
+                emitted += 1;
                 self.snd_nxt = self.iss.wrapping_add(1);
                 self.arm_rtx(now);
             }
             TcpState::SynReceived if self.snd_nxt == self.iss => {
-                out.push(self.make_syn(now, true));
+                let seg = self.make_syn(now, true);
+                emit(&seg, SegPayload::Inline);
+                emitted += 1;
                 self.snd_nxt = self.iss.wrapping_add(1);
                 self.arm_rtx(now);
             }
@@ -511,7 +556,8 @@ impl Tcb {
         // --- retransmission timer ---
         if let Some(deadline) = self.rtx_deadline {
             if now >= deadline && seq_lt(self.snd_una, self.snd_nxt) {
-                out.push(self.retransmit_head(now, true));
+                self.retransmit_head(now, true, emit);
+                emitted += 1;
                 self.backoff = (self.backoff + 1).min(10);
                 let rto = (self.rto << self.backoff).min(MAX_RTO);
                 self.rtx_deadline = Some(now + SimDuration::from_nanos(rto));
@@ -521,7 +567,8 @@ impl Tcb {
         // --- fast retransmit ---
         if self.fast_rtx {
             self.fast_rtx = false;
-            out.push(self.retransmit_head(now, false));
+            self.retransmit_head(now, false, emit);
+            emitted += 1;
         }
 
         // --- new data within min(cwnd, peer window) ---
@@ -546,13 +593,13 @@ impl Tcb {
                 if len == 0 {
                     break;
                 }
-                let payload = self.send_buf.range(self.snd_nxt, len);
                 let seq = self.snd_nxt;
                 self.snd_nxt = self.snd_nxt.wrapping_add(len as u32);
                 self.stats.bytes_out += len as u64;
-                let mut seg = self.make_seg(now, TcpFlags::only_ack(), seq, payload);
+                let mut seg = self.make_seg(now, TcpFlags::only_ack(), seq, FrameBuf::new());
                 seg.flags.psh = !seq_lt(self.snd_nxt, avail_end);
-                out.push(seg);
+                emit(&seg, SegPayload::Range(&self.send_buf, seq, len));
+                emitted += 1;
                 self.arm_rtx(now);
             }
         }
@@ -565,7 +612,7 @@ impl Tcb {
             && self.snd_una == self.snd_nxt
         {
             let seq = self.snd_nxt;
-            let mut seg = self.make_seg(now, TcpFlags::only_ack(), seq, Vec::new());
+            let mut seg = self.make_seg(now, TcpFlags::only_ack(), seq, FrameBuf::new());
             seg.flags.fin = true;
             self.fin_seq = Some(seq);
             self.snd_nxt = self.snd_nxt.wrapping_add(1);
@@ -574,7 +621,8 @@ impl Tcb {
                 TcpState::CloseWait => TcpState::LastAck,
                 s => s,
             };
-            out.push(seg);
+            emit(&seg, SegPayload::Inline);
+            emitted += 1;
             self.arm_rtx(now);
         }
 
@@ -583,17 +631,18 @@ impl Tcb {
             .ack_deadline
             .map(|d| now >= d && self.ack_pending > 0)
             .unwrap_or(false);
-        if (self.ack_now || delack_due) && out.is_empty() && self.handshake_done() {
-            out.push(self.make_seg(now, TcpFlags::only_ack(), self.snd_nxt, Vec::new()));
+        if (self.ack_now || delack_due) && emitted == 0 && self.handshake_done() {
+            let seg = self.make_seg(now, TcpFlags::only_ack(), self.snd_nxt, FrameBuf::new());
+            emit(&seg, SegPayload::Inline);
+            emitted += 1;
         }
-        if !out.is_empty() {
+        if emitted > 0 {
             // Any emitted segment carries the latest ACK.
             self.ack_now = false;
             self.ack_pending = 0;
             self.ack_deadline = None;
-            self.stats.segs_out += out.len() as u64;
+            self.stats.segs_out += emitted;
         }
-        out
     }
 
     fn handshake_done(&self) -> bool {
@@ -606,22 +655,34 @@ impl Tcb {
         }
     }
 
-    fn retransmit_head(&mut self, now: SimTime, timeout: bool) -> TcpSegment {
+    /// Re-emits the oldest unacknowledged segment (SYN, FIN or the head of
+    /// the send buffer — the latter as a [`SegPayload::Range`], copied
+    /// straight into the emitter's frame buffer).
+    fn retransmit_head(
+        &mut self,
+        now: SimTime,
+        timeout: bool,
+        emit: &mut dyn FnMut(&TcpSegment, SegPayload<'_>),
+    ) {
         self.stats.retransmits += 1;
         if timeout {
             self.cc.on_timeout();
         }
         if self.snd_una == self.iss {
             // The SYN (or SYN-ACK) itself is lost.
-            return self.make_syn(now, self.state == TcpState::SynReceived);
+            let seg = self.make_syn(now, self.state == TcpState::SynReceived);
+            emit(&seg, SegPayload::Inline);
+            return;
         }
         if Some(self.snd_una) == self.fin_seq {
-            let mut seg = self.make_seg(now, TcpFlags::only_ack(), self.snd_una, Vec::new());
+            let mut seg = self.make_seg(now, TcpFlags::only_ack(), self.snd_una, FrameBuf::new());
             seg.flags.fin = true;
-            return seg;
+            emit(&seg, SegPayload::Inline);
+            return;
         }
-        let payload = self.send_buf.range(self.snd_una, self.mss);
-        self.make_seg(now, TcpFlags::only_ack(), self.snd_una, payload)
+        let len = self.send_buf.range_len(self.snd_una, self.mss);
+        let seg = self.make_seg(now, TcpFlags::only_ack(), self.snd_una, FrameBuf::new());
+        emit(&seg, SegPayload::Range(&self.send_buf, self.snd_una, len));
     }
 
     fn make_syn(&mut self, now: SimTime, with_ack: bool) -> TcpSegment {
@@ -634,13 +695,13 @@ impl Tcb {
                 ..Default::default()
             },
             self.iss,
-            Vec::new(),
+            FrameBuf::new(),
         );
         seg.options.mss = Some(1460);
         seg
     }
 
-    fn make_seg(&self, now: SimTime, flags: TcpFlags, seq: u32, payload: Vec<u8>) -> TcpSegment {
+    fn make_seg(&self, now: SimTime, flags: TcpFlags, seq: u32, payload: FrameBuf) -> TcpSegment {
         let ack = if flags.ack {
             self.recv_buf
                 .next_seq()
@@ -844,7 +905,7 @@ mod tests {
             },
             window: 0,
             options: TcpOptions::default(),
-            payload: vec![],
+            payload: FrameBuf::new(),
         };
         c.on_segment(now, &rst);
         assert_eq!(c.state(), TcpState::Closed);
@@ -872,7 +933,7 @@ mod tests {
             },
             window: 0,
             options: TcpOptions::default(),
-            payload: vec![],
+            payload: FrameBuf::new(),
         };
         c.on_segment(now, &rst);
         assert_eq!(c.state(), TcpState::Closed);

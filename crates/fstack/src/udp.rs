@@ -2,11 +2,13 @@
 
 use crate::ip::{finish_checksum, pseudo_header_sum, sum_words, IpProto};
 use std::net::Ipv4Addr;
+use updk::framebuf::{FrameBuf, FrameBufMut};
 
 /// Length of a UDP header.
 pub const UDP_HDR_LEN: usize = 8;
 
-/// A parsed UDP datagram.
+/// A parsed UDP datagram. The payload is a shared [`FrameBuf`] view: on
+/// the receive path it aliases the frame buffer the bytes arrived in.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UdpDatagram {
     /// Source port.
@@ -14,49 +16,77 @@ pub struct UdpDatagram {
     /// Destination port.
     pub dst_port: u16,
     /// Payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: FrameBuf,
 }
 
 impl UdpDatagram {
     /// Parses a UDP payload (checksum verified against the pseudo-header).
     pub fn parse(src: Ipv4Addr, dst: Ipv4Addr, p: &[u8]) -> Option<UdpDatagram> {
-        if p.len() < UDP_HDR_LEN {
+        Self::parse_buf(src, dst, &FrameBuf::copy_from(p))
+    }
+
+    /// [`UdpDatagram::parse`] over a shared buffer: the returned payload
+    /// is a sub-view of `p`, not a copy.
+    pub fn parse_buf(src: Ipv4Addr, dst: Ipv4Addr, p: &FrameBuf) -> Option<UdpDatagram> {
+        let b = p.as_slice();
+        if b.len() < UDP_HDR_LEN {
             return None;
         }
-        let len = usize::from(u16::from_be_bytes([p[4], p[5]]));
-        if len < UDP_HDR_LEN || len > p.len() {
+        let len = usize::from(u16::from_be_bytes([b[4], b[5]]));
+        if len < UDP_HDR_LEN || len > b.len() {
             return None;
         }
-        let p = &p[..len];
-        let wire_csum = u16::from_be_bytes([p[6], p[7]]);
+        let b = &b[..len];
+        let wire_csum = u16::from_be_bytes([b[6], b[7]]);
         if wire_csum != 0 {
             let acc = pseudo_header_sum(src, dst, IpProto::Udp, len as u16);
-            if finish_checksum(sum_words(p, acc)) != 0 {
+            if finish_checksum(sum_words(b, acc)) != 0 {
                 return None;
             }
         }
         Some(UdpDatagram {
-            src_port: u16::from_be_bytes([p[0], p[1]]),
-            dst_port: u16::from_be_bytes([p[2], p[3]]),
-            payload: p[8..].to_vec(),
+            src_port: u16::from_be_bytes([b[0], b[1]]),
+            dst_port: u16::from_be_bytes([b[2], b[3]]),
+            payload: p.slice(UDP_HDR_LEN, len - UDP_HDR_LEN),
         })
+    }
+
+    /// The checksummed 8-byte header for this datagram's payload.
+    fn header_bytes(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> [u8; UDP_HDR_LEN] {
+        let len = (UDP_HDR_LEN + payload.len()) as u16;
+        let mut h = [0u8; UDP_HDR_LEN];
+        h[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        h[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        h[4..6].copy_from_slice(&len.to_be_bytes());
+        let acc = pseudo_header_sum(src, dst, IpProto::Udp, len);
+        let acc = sum_words(&h, acc);
+        let mut csum = finish_checksum(sum_words(payload, acc));
+        if csum == 0 {
+            csum = 0xFFFF; // RFC 768: transmitted zero means "no checksum"
+        }
+        h[6..8].copy_from_slice(&csum.to_be_bytes());
+        h
+    }
+
+    /// Appends payload + prepends the checksummed header into `fb` — the
+    /// copy-once build used by the stack's transmit path.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fb` is empty (the datagram becomes its contents).
+    pub fn build_into(&self, src: Ipv4Addr, dst: Ipv4Addr, fb: &mut FrameBufMut) {
+        assert!(fb.is_empty(), "datagram must be the buffer's only payload");
+        fb.append(&self.payload);
+        let h = self.header_bytes(src, dst, self.payload.as_slice());
+        fb.prepend(&h);
     }
 
     /// Serializes with a correct checksum.
     pub fn build(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
-        let len = (UDP_HDR_LEN + self.payload.len()) as u16;
-        let mut out = Vec::with_capacity(usize::from(len));
-        out.extend_from_slice(&self.src_port.to_be_bytes());
-        out.extend_from_slice(&self.dst_port.to_be_bytes());
-        out.extend_from_slice(&len.to_be_bytes());
-        out.extend_from_slice(&[0, 0]);
+        let h = self.header_bytes(src, dst, self.payload.as_slice());
+        let mut out = Vec::with_capacity(UDP_HDR_LEN + self.payload.len());
+        out.extend_from_slice(&h);
         out.extend_from_slice(&self.payload);
-        let acc = pseudo_header_sum(src, dst, IpProto::Udp, len);
-        let mut csum = finish_checksum(sum_words(&out, acc));
-        if csum == 0 {
-            csum = 0xFFFF; // RFC 768: transmitted zero means "no checksum"
-        }
-        out[6..8].copy_from_slice(&csum.to_be_bytes());
         out
     }
 }
@@ -73,7 +103,7 @@ mod tests {
         let d = UdpDatagram {
             src_port: 5000,
             dst_port: 5201,
-            payload: b"datagram".to_vec(),
+            payload: b"datagram".to_vec().into(),
         };
         let bytes = d.build(A, B);
         assert_eq!(UdpDatagram::parse(A, B, &bytes).unwrap(), d);
@@ -84,7 +114,7 @@ mod tests {
         let d = UdpDatagram {
             src_port: 1,
             dst_port: 2,
-            payload: b"x".to_vec(),
+            payload: b"x".to_vec().into(),
         };
         let bytes = d.build(A, B);
         // Same bytes "delivered" to the wrong address: checksum mismatch.
@@ -96,7 +126,7 @@ mod tests {
         let d = UdpDatagram {
             src_port: 1,
             dst_port: 2,
-            payload: b"abc".to_vec(),
+            payload: b"abc".to_vec().into(),
         };
         let mut bytes = d.build(A, B);
         bytes.extend_from_slice(&[0; 20]); // ethernet padding
@@ -108,7 +138,7 @@ mod tests {
         let d = UdpDatagram {
             src_port: 1,
             dst_port: 2,
-            payload: b"abc".to_vec(),
+            payload: b"abc".to_vec().into(),
         };
         let mut bytes = d.build(A, B);
         bytes[8] ^= 0xFF;

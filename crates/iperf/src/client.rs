@@ -6,7 +6,7 @@ use crate::StepOutcome;
 use cheri::{Capability, TaggedMemory};
 use chos::errno::Errno;
 use chos::fdtable::Fd;
-use fstack::epoll::EpollFlags;
+use fstack::epoll::{EpollEvent, EpollFlags};
 use fstack::socket::SockType;
 use fstack::FStack;
 use simkern::time::{SimDuration, SimTime};
@@ -37,6 +37,8 @@ pub struct ClientApp {
     /// interval in the uncontended Scenario 2 measurement.
     write_gap: SimDuration,
     next_write_at: SimTime,
+    /// Reused event vector for the connection-phase epoll poll.
+    events: Vec<EpollEvent>,
 }
 
 impl ClientApp {
@@ -72,6 +74,7 @@ impl ClientApp {
             tracker: None,
             write_gap: SimDuration::ZERO,
             next_write_at: SimTime::ZERO,
+            events: Vec::new(),
         })
     }
 
@@ -106,11 +109,16 @@ impl ClientApp {
         match self.phase {
             Phase::Connecting => {
                 out.ff_calls += 1;
-                let events = stack.ff_epoll_wait(self.epfd)?;
-                if events
+                let mut events = std::mem::take(&mut self.events);
+                if let Err(e) = stack.ff_epoll_wait_into(self.epfd, &mut events) {
+                    self.events = events;
+                    return Err(e);
+                }
+                let writable = events
                     .iter()
-                    .any(|e| e.fd == self.fd && e.events.contains(EpollFlags::OUT))
-                {
+                    .any(|e| e.fd == self.fd && e.events.contains(EpollFlags::OUT));
+                self.events = events;
+                if writable {
                     self.phase = Phase::Running;
                     self.started = Some(now);
                     self.tracker = Some(IntervalTracker::new(now, SimDuration::from_millis(100)));

@@ -6,7 +6,7 @@ use cheri::Capability;
 use cheri::TaggedMemory;
 use chos::errno::Errno;
 use chos::fdtable::Fd;
-use fstack::epoll::EpollFlags;
+use fstack::epoll::{EpollEvent, EpollFlags};
 use fstack::socket::SockType;
 use fstack::FStack;
 use simkern::time::{SimDuration, SimTime};
@@ -24,6 +24,9 @@ pub struct ServerApp {
     started: Option<SimTime>,
     last_byte_at: Option<SimTime>,
     tracker: Option<IntervalTracker>,
+    /// Reused event vector for the per-turn epoll poll (no allocation in
+    /// steady state).
+    events: Vec<EpollEvent>,
 }
 
 impl ServerApp {
@@ -57,6 +60,7 @@ impl ServerApp {
             started: None,
             last_byte_at: None,
             tracker: None,
+            events: Vec::new(),
         })
     }
 
@@ -98,8 +102,29 @@ impl ServerApp {
         }
         // Drain readable connections (epoll-driven, as the ported iperf3).
         out.ff_calls += 1;
-        let events = stack.ff_epoll_wait(self.epfd)?;
-        for ev in events {
+        let mut events = std::mem::take(&mut self.events);
+        if let Err(e) = stack.ff_epoll_wait_into(self.epfd, &mut events) {
+            self.events = events;
+            return Err(e);
+        }
+        let drained = self.drain_ready(stack, mem, now, &events, &mut out);
+        self.events = events;
+        drained?;
+        out.finished = self.started.is_some() && self.conns.is_empty();
+        Ok(out)
+    }
+
+    /// Drains every readable connection in `events` (split out so the
+    /// caller can restore the reused event vector even on error).
+    fn drain_ready(
+        &mut self,
+        stack: &mut FStack,
+        mem: &mut TaggedMemory,
+        now: SimTime,
+        events: &[EpollEvent],
+        out: &mut StepOutcome,
+    ) -> Result<(), Errno> {
+        for &ev in events {
             if ev.fd == self.listen_fd || !ev.events.contains(EpollFlags::IN) {
                 continue;
             }
@@ -127,8 +152,7 @@ impl ServerApp {
                 }
             }
         }
-        out.finished = self.started.is_some() && self.conns.is_empty();
-        Ok(out)
+        Ok(())
     }
 
     /// Produces the run summary at `now`. The measured span ends at the

@@ -93,7 +93,7 @@ impl EthDev {
         // Touch the region once through the capability: a misconfigured
         // (out-of-arena) region must fail at configure time, not in the
         // datapath.
-        mem.read_vec(&region, region.base(), 1)
+        mem.read_u8(&region, region.base())
             .map_err(UpdkError::Cap)?;
         let pool = Mempool::new(
             format!("port{port}-pool"),
@@ -187,10 +187,41 @@ impl EthDev {
         mbufs: Vec<Mbuf>,
         mem: &mut TaggedMemory,
     ) -> Result<Vec<(Frame, SimTime)>, UpdkError> {
-        let mut out = Vec::with_capacity(mbufs.len());
+        let mut batch = Vec::with_capacity(mbufs.len());
         for mbuf in mbufs {
             let bytes = mbuf.read(mem).map_err(UpdkError::Cap)?;
             let frame = Frame::new(bytes);
+            batch.push((mbuf, frame));
+        }
+        self.tx_burst_shared(port, now, batch)
+    }
+
+    /// Transmits a burst of frames whose bytes were already DMA-written
+    /// into the paired mbufs — the zero-copy twin of [`EthDev::tx_burst`].
+    /// The capability window of each mbuf is re-derived (the DMA-read
+    /// check) but the wire gets the *shared* frame buffer: no read-back
+    /// copy, no fresh allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdkError::NotStarted`] when the link is down; capability faults
+    /// if an mbuf's data window is corrupt. Error-free-prefix semantics as
+    /// in [`EthDev::tx_burst`].
+    pub fn tx_burst_shared(
+        &mut self,
+        port: usize,
+        now: SimTime,
+        batch: Vec<(Mbuf, Frame)>,
+    ) -> Result<Vec<(Frame, SimTime)>, UpdkError> {
+        let mut out = Vec::with_capacity(batch.len());
+        for (mbuf, frame) in batch {
+            // The DMA engine reads through the mbuf's capability: deriving
+            // the data window performs the tag/bounds check the paper's
+            // port relies on, without copying the bytes back out.
+            mbuf.data_cap().map_err(UpdkError::Cap)?;
+            // Equal on the zero-copy path; the legacy tx_burst writes the
+            // unpadded bytes, so the frame may carry extra MAC padding.
+            debug_assert!(usize::from(mbuf.data_len()) <= frame.len());
             let departure = self.nic.tx(port, now, &frame, &self.costs)?;
             self.pools[port]
                 .as_mut()
@@ -219,6 +250,26 @@ impl EthDev {
         max: usize,
         mem: &mut TaggedMemory,
     ) -> Result<Vec<Mbuf>, UpdkError> {
+        let pairs = self.rx_burst_shared(port, now, max, mem)?;
+        Ok(pairs.into_iter().map(|(mbuf, _)| mbuf).collect())
+    }
+
+    /// Polls up to `max` DMA-complete frames, pairing each fresh mbuf (the
+    /// capability-checked DMA write into packet memory) with the *shared*
+    /// frame buffer so the stack can parse by slicing instead of copying —
+    /// the zero-copy twin of [`EthDev::rx_burst`].
+    ///
+    /// # Errors
+    ///
+    /// [`UpdkError::PortNotConfigured`]; buffer starvation silently drops
+    /// the frame and counts an allocation failure, like real PMDs.
+    pub fn rx_burst_shared(
+        &mut self,
+        port: usize,
+        now: SimTime,
+        max: usize,
+        mem: &mut TaggedMemory,
+    ) -> Result<Vec<(Mbuf, Frame)>, UpdkError> {
         if self.pools.get(port).map(Option::is_none).unwrap_or(true) {
             return Err(UpdkError::PortNotConfigured);
         }
@@ -230,7 +281,7 @@ impl EthDev {
                 Ok(mut mbuf) => {
                     mbuf.set_data(mem, frame.bytes()).map_err(UpdkError::Cap)?;
                     mbuf.set_port(port as u16);
-                    out.push(mbuf);
+                    out.push((mbuf, frame));
                 }
                 Err(_) => { /* starvation: frame dropped, failure counted */ }
             }

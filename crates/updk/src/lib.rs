@@ -17,6 +17,9 @@
 //!   serializers and a shared PCI bus whose DMA throughput caps dual-port
 //!   bandwidth exactly where Table II observed it (≈ 658 Mbit/s per port
 //!   receiving, ≈ 757 Mbit/s sending).
+//! * [`framebuf`] — pooled, shared frame buffers (the `bytes::Bytes` /
+//!   mbuf-headroom idiom): frames are built once with headroom, headers
+//!   are prepended in place, and every hop shares one refcounted payload.
 //! * [`wire`] — frames and cables: Ethernet framing overhead (preamble,
 //!   IFG, FCS), propagation latency, and stochastic link impairments.
 //! * [`switch`] — **LinkFabric**, an N-port learning switch (MAC table,
@@ -60,6 +63,7 @@
 //! ```
 
 pub mod ethdev;
+pub mod framebuf;
 pub mod kmod;
 pub mod mbuf;
 pub mod mempool;
@@ -70,6 +74,7 @@ pub mod switch;
 pub mod wire;
 
 pub use ethdev::{EthDev, PortStats};
+pub use framebuf::{FrameBuf, FrameBufMut};
 pub use kmod::{BindingRegistry, DeviceBinding, PciAddress};
 pub use mbuf::Mbuf;
 pub use mempool::Mempool;

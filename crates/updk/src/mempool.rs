@@ -42,6 +42,10 @@ pub struct Mempool {
     region: Capability,
     buf_size: u64,
     free: Vec<u32>,
+    /// Per-buffer in-use bit: O(1) double-free/foreign-mbuf detection on
+    /// the hot free path (a linear scan of `free` would cost O(pool) per
+    /// transmitted frame).
+    in_use: Vec<bool>,
     capacity: u32,
     allocs: u64,
     frees: u64,
@@ -84,6 +88,7 @@ impl Mempool {
             region,
             buf_size,
             free: (0..capacity).rev().collect(),
+            in_use: vec![false; capacity as usize],
             capacity,
             allocs: 0,
             frees: 0,
@@ -133,6 +138,7 @@ impl Mempool {
             return Err(UpdkError::MempoolExhausted);
         };
         self.allocs += 1;
+        self.in_use[idx as usize] = true;
         let base = self.region.base() + u64::from(idx) * self.buf_size;
         let cap = self
             .region
@@ -155,10 +161,11 @@ impl Mempool {
             self.name
         );
         assert!(
-            !self.free.contains(&idx),
+            self.in_use[idx as usize],
             "double free of mbuf {idx} in {}",
             self.name
         );
+        self.in_use[idx as usize] = false;
         self.frees += 1;
         self.free.push(idx);
     }

@@ -264,33 +264,21 @@ impl Nic {
 
     /// Polls up to `max` frames that are DMA-complete by `now` — the
     /// poll-mode receive the whole design is built around.
+    ///
+    /// Completion instants are monotone (the DMA engine serves in order),
+    /// so one peek at the head decides the whole poll: the ring is never
+    /// drained and rebuilt, and an idle poll touches nothing.
     pub fn rx_burst(&mut self, port: usize, now: SimTime, max: usize) -> Vec<Frame> {
         let p = &mut self.ports[port];
         let mut out = Vec::new();
         while out.len() < max {
-            // Peek: frames become visible in DMA-completion order.
-            let ready = match p.rx_ready.dequeue_burst(1).pop() {
-                Some((t, f)) if t <= now => {
+            match p.rx_ready.peek() {
+                Some((t, _)) if *t <= now => {
+                    let (_, f) = p.rx_ready.dequeue().expect("peeked entry present");
                     out.push(f);
-                    continue;
                 }
-                Some((t, f)) => Some((t, f)),
-                None => None,
-            };
-            if let Some(entry) = ready {
-                // Not ready yet: put it back at the *front* conceptually.
-                // DescRing has no push_front; emulate by re-queueing and
-                // rotating — but since completion order is monotone, nothing
-                // behind it can be ready either, so we can simply re-insert
-                // at the back of an empty prefix: drain and rebuild.
-                let mut rest: Vec<(SimTime, Frame)> = p.rx_ready.dequeue_burst(usize::MAX);
-                p.rx_ready.enqueue(entry).ok();
-                for e in rest.drain(..) {
-                    p.rx_ready.enqueue(e).ok();
-                }
-                break;
+                _ => break,
             }
-            break;
         }
         out
     }

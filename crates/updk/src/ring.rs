@@ -102,6 +102,21 @@ impl<T> DescRing<T> {
         self.slots.drain(..n).collect()
     }
 
+    /// The head descriptor, without dequeuing it. Poll-mode drivers peek
+    /// to check DMA completion instants without disturbing the ring.
+    pub fn peek(&self) -> Option<&T> {
+        self.slots.front()
+    }
+
+    /// Dequeues the head descriptor, if any.
+    pub fn dequeue(&mut self) -> Option<T> {
+        let item = self.slots.pop_front();
+        if item.is_some() {
+            self.dequeued += 1;
+        }
+        item
+    }
+
     /// Lifetime drop count (RX `imissed` analog).
     pub fn dropped(&self) -> u64 {
         self.dropped

@@ -8,6 +8,7 @@
 //! right is what makes Table II's single-port rows come out at 941 without
 //! any tuning.
 
+use crate::framebuf::{FrameBuf, FrameBufMut};
 use simkern::rng::SimRng;
 use simkern::time::{SimDuration, SimTime};
 
@@ -21,9 +22,13 @@ pub const MAX_FRAME: usize = 1514;
 pub const MIN_FRAME: usize = 60;
 
 /// An Ethernet frame in flight: header + payload bytes (FCS implicit).
+///
+/// Backed by a shared [`FrameBuf`], so cloning a frame — what a flooding
+/// switch does once per egress port, and what an impaired cable does per
+/// duplicate — bumps a refcount instead of copying up to 1514 bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
-    bytes: Vec<u8>,
+    buf: FrameBuf,
 }
 
 impl Frame {
@@ -32,26 +37,51 @@ impl Frame {
     /// # Panics
     ///
     /// Panics if larger than [`MAX_FRAME`] — the caller segmented wrongly.
-    pub fn new(mut bytes: Vec<u8>) -> Self {
+    pub fn new(bytes: Vec<u8>) -> Self {
         assert!(
             bytes.len() <= MAX_FRAME,
             "oversized frame: {} > {MAX_FRAME}",
             bytes.len()
         );
-        if bytes.len() < MIN_FRAME {
-            bytes.resize(MIN_FRAME, 0);
-        }
-        Frame { bytes }
+        let mut fb = FrameBufMut::with_headroom(0);
+        fb.append(&bytes);
+        fb.pad_to(MIN_FRAME);
+        Frame { buf: fb.freeze() }
+    }
+
+    /// Wraps an already-built (and already-padded) shared buffer without
+    /// copying — the zero-copy path from the stack's in-place frame build.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside `[MIN_FRAME, MAX_FRAME]`; the builder must pad.
+    pub fn from_buf(buf: FrameBuf) -> Self {
+        assert!(
+            buf.len() <= MAX_FRAME,
+            "oversized frame: {} > {MAX_FRAME}",
+            buf.len()
+        );
+        assert!(
+            buf.len() >= MIN_FRAME,
+            "runt frame: {} < {MIN_FRAME} (builder must pad)",
+            buf.len()
+        );
+        Frame { buf }
     }
 
     /// The frame contents (header + payload).
     pub fn bytes(&self) -> &[u8] {
-        &self.bytes
+        self.buf.as_slice()
+    }
+
+    /// The shared buffer behind this frame (sliceable without copying).
+    pub fn buf(&self) -> &FrameBuf {
+        &self.buf
     }
 
     /// Frame length in bytes (header + payload, ≥ [`MIN_FRAME`]).
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.buf.len()
     }
 
     /// Frames are never empty (minimum frame padding).
@@ -61,12 +91,13 @@ impl Frame {
 
     /// Bytes of wire time this frame occupies (including overhead).
     pub fn wire_bytes(&self) -> u64 {
-        self.bytes.len() as u64 + WIRE_OVERHEAD
+        self.buf.len() as u64 + WIRE_OVERHEAD
     }
 
-    /// Consumes the frame, yielding its bytes.
+    /// Consumes the frame, yielding a copy of its bytes (diagnostics; the
+    /// datapath shares [`Frame::buf`] instead).
     pub fn into_bytes(self) -> Vec<u8> {
-        self.bytes
+        self.buf.as_slice().to_vec()
     }
 }
 
@@ -269,11 +300,13 @@ impl Frame {
     /// checksums guard. (A real NIC would discard the frame on FCS; flipping
     /// payload instead exercises the software validation path.)
     pub fn corrupted(&self, rng: &mut SimRng) -> Frame {
-        let mut bytes = self.bytes.clone();
+        let bytes = self.buf.as_slice();
         let lo = 14.min(bytes.len().saturating_sub(1));
         let idx = lo + rng.below((bytes.len() - lo) as u64) as usize;
-        bytes[idx] ^= 0x40;
-        Frame { bytes }
+        let mut fb = FrameBufMut::with_headroom(0);
+        fb.append(bytes);
+        fb.as_slice_mut()[idx] ^= 0x40;
+        Frame { buf: fb.freeze() }
     }
 }
 

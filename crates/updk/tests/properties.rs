@@ -5,6 +5,7 @@ use cheri::TaggedMemory;
 use proptest::prelude::*;
 use simkern::cost::CostModel;
 use simkern::time::SimTime;
+use updk::framebuf::{FrameBuf, FrameBufMut, BUF_CAPACITY};
 use updk::mempool::{Mempool, DEFAULT_BUF_SIZE};
 use updk::nic::{Nic, NicModel};
 use updk::ring::DescRing;
@@ -242,5 +243,85 @@ mod qos_properties {
             let cap = 3_000.0 + cir as f64 * elapsed_s;
             prop_assert!(green_bytes as f64 <= cap + 1.0);
         }
+    }
+}
+
+proptest! {
+    /// FrameBuf headroom builds round-trip arbitrary payloads: appending a
+    /// payload and prepending arbitrary header layers in place yields
+    /// exactly `headers… ++ payload`, with headroom/tailroom accounting
+    /// consistent throughout.
+    #[test]
+    fn framebuf_headroom_build_round_trips(
+        payload in proptest::collection::vec(any::<u8>(), 0..1448),
+        headers in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..24), 0..4),
+    ) {
+        let headroom: usize = headers.iter().map(Vec::len).sum();
+        let mut fb = FrameBufMut::with_headroom(headroom);
+        fb.append(&payload);
+        prop_assert_eq!(fb.len(), payload.len());
+        prop_assert_eq!(fb.tailroom(), BUF_CAPACITY - headroom - payload.len());
+        // Prepend innermost-first, the way TCP → IP → Ethernet stack up.
+        let mut expect = payload.clone();
+        for h in headers.iter().rev() {
+            fb.prepend(h);
+            let mut e = h.clone();
+            e.extend_from_slice(&expect);
+            expect = e;
+        }
+        prop_assert_eq!(fb.headroom(), 0);
+        prop_assert_eq!(fb.as_slice(), &expect[..]);
+        let frozen = fb.freeze();
+        prop_assert_eq!(&frozen[..], &expect[..]);
+    }
+
+    /// Slicing a frozen FrameBuf matches slicing the equivalent byte
+    /// vector, for arbitrary nested sub-ranges, and slices compare equal
+    /// to independent copies of the same bytes (identity-free equality).
+    #[test]
+    fn framebuf_slices_match_vec_slices(
+        data in proptest::collection::vec(any::<u8>(), 1..1514),
+        cuts in proptest::collection::vec((any::<u16>(), any::<u16>()), 1..6),
+    ) {
+        let f = FrameBuf::copy_from(&data);
+        prop_assert_eq!(f.len(), data.len());
+        let mut view = f.clone();
+        let mut model: &[u8] = &data;
+        for &(a, b) in &cuts {
+            if model.is_empty() {
+                break;
+            }
+            let start = usize::from(a) % model.len();
+            let len = usize::from(b) % (model.len() - start + 1);
+            view = view.slice(start, len);
+            model = &model[start..start + len];
+            prop_assert_eq!(view.as_slice(), model);
+            prop_assert_eq!(&view, &FrameBuf::copy_from(model));
+        }
+        // The original view is untouched by slicing.
+        prop_assert_eq!(f.as_slice(), &data[..]);
+    }
+
+    /// Pool conservation: buffers taken for arbitrary build/slice/drop
+    /// sequences all flow back to the pool — takes equal recycles once
+    /// every view is dropped.
+    #[test]
+    fn framebuf_pool_conserves_storage(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..256), 1..20),
+    ) {
+        let before = updk::framebuf::pool_stats();
+        let mut held = Vec::new();
+        for p in &payloads {
+            let f = FrameBuf::copy_from(p);
+            held.push(f.slice_from(p.len() / 2));
+            held.push(f);
+        }
+        drop(held);
+        let after = updk::framebuf::pool_stats();
+        let taken = (after.fresh + after.reused) - (before.fresh + before.reused);
+        prop_assert_eq!(taken, payloads.len() as u64);
+        prop_assert_eq!(after.recycled - before.recycled, taken);
     }
 }

@@ -14,6 +14,27 @@ use simkern::{CostModel, SimDuration};
 use testutil::SwitchedSegment;
 use updk::wire::Impairments;
 
+/// The wire bytes are **pinned**: these digests were captured before the
+/// zero-copy frame-path refactor (PR 3) and must never drift — an
+/// optimization that changes a single payload byte, delivery instant or
+/// event order changes the FNV fold and fails here. Update them only for
+/// a change that *intends* to alter wire behavior.
+#[test]
+fn star_and_dumbbell_trace_digests_are_pinned() {
+    let star = run_star_iperf(8, SimDuration::from_millis(40), CostModel::morello(), 21).unwrap();
+    assert_eq!(star.trace.digest, 0xfa099c29f1e937d5, "star trace drifted");
+    assert_eq!(star.trace.frames, 5658);
+    assert_eq!(star.trace.bytes, 5_593_940);
+    let bell =
+        run_dumbbell_fairness(2, SimDuration::from_millis(30), CostModel::morello(), 5).unwrap();
+    assert_eq!(
+        bell.trace.digest, 0x5a1adb9234ff72c8,
+        "dumbbell trace drifted"
+    );
+    assert_eq!(bell.trace.frames, 3864);
+    assert_eq!(bell.trace.bytes, 3_906_078);
+}
+
 /// The acceptance scenario: an 8-client star is a pure function of its
 /// seed — two identically seeded runs produce byte-identical delivery
 /// traces (and reports); on ideal cables the seed is irrelevant entirely.

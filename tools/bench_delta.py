@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Diff freshly generated BENCH_*.json reports against the committed ones.
+
+Usage: bench_delta.py <fresh_dir> <committed_dir>
+
+Prints a markdown delta table (suitable for $GITHUB_STEP_SUMMARY) covering
+the wall-time / speed metrics recorded by `capnet_bench::BenchReport`.
+Always exits 0 — the delta is informational, not a gate (CI runners are
+noisy); regressions are caught by humans reading the summary and by the
+committed trajectory moving over PRs.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# Metrics worth a delta column: host speed, plus the headline artifact.
+TRACKED = [
+    "host_wall_ms",
+    "host_ns_per_sim_sec",
+    "events_per_sec",
+    "aggregate_mbit_per_sec",
+    "mbit_per_sec",
+]
+
+
+def load(path: Path):
+    out = {}
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as e:
+        print(f"warning: could not parse {path}: {e}", file=sys.stderr)
+        return out
+    for entry in doc.get("entries", []):
+        key = (entry.get("bench", "?"), entry.get("case", "?"))
+        out[key] = entry.get("metrics", {})
+    return out
+
+
+def fmt(v):
+    if v is None:
+        return "—"
+    if abs(v) >= 1e6:
+        return f"{v:.3g}"
+    return f"{v:.4g}"
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return
+    fresh_dir, committed_dir = Path(sys.argv[1]), Path(sys.argv[2])
+    fresh_files = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"no BENCH_*.json under {fresh_dir}")
+        return
+    for fresh_path in fresh_files:
+        committed_path = committed_dir / fresh_path.name
+        print(f"\n### {fresh_path.name}\n")
+        if not committed_path.exists():
+            print("_no committed baseline yet — first data point_")
+            continue
+        fresh, committed = load(fresh_path), load(committed_path)
+        print("| bench / case | metric | committed | this run | Δ |")
+        print("|---|---|---:|---:|---:|")
+        for key in sorted(set(fresh) | set(committed)):
+            f_m, c_m = fresh.get(key, {}), committed.get(key, {})
+            for metric in TRACKED:
+                if metric not in f_m and metric not in c_m:
+                    continue
+                fv, cv = f_m.get(metric), c_m.get(metric)
+                if isinstance(fv, (int, float)) and isinstance(cv, (int, float)) and cv:
+                    delta = f"{(fv - cv) / cv * 100:+.1f}%"
+                else:
+                    delta = "—"
+                print(
+                    f"| {key[0]} / {key[1]} | {metric} "
+                    f"| {fmt(cv)} | {fmt(fv)} | {delta} |"
+                )
+
+
+if __name__ == "__main__":
+    main()
