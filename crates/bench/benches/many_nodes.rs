@@ -33,13 +33,35 @@ fn server_mbits(out: &SimOutcome) -> Vec<f64> {
     out.servers.iter().map(|r| r.mbit_per_sec()).collect()
 }
 
+/// The per-kind event counters every entry carries, so BENCH_*.json shows
+/// *why* events/sec moved: loop polls vs deliveries vs park/wake traffic.
+fn counter_metrics(out: &SimOutcome) -> [(&'static str, f64); 9] {
+    let c = out.counters;
+    [
+        ("ev_loop_polls", c.loop_polls as f64),
+        ("ev_idle_polls", c.idle_polls as f64),
+        ("ev_deliveries", c.deliveries as f64),
+        ("ev_switch_hops", c.switch_hops as f64),
+        ("ev_timer_wakes", c.timer_wakes as f64),
+        ("ev_stale_wakes", c.stale_wakes as f64),
+        ("ev_parks", c.parks as f64),
+        ("ev_wakes", c.wakes as f64),
+        // loop_polls + deliveries + switch_hops + stale_wakes == events
+        // (the partition tests/event_engine.rs asserts), and boxed must
+        // stay 0 — recorded so the json is self-accounting.
+        ("ev_boxed", c.boxed_events as f64),
+    ]
+}
+
 fn bench_many_nodes(c: &mut Criterion) {
     let mut report = BenchReport::new("many_nodes");
     let mut group = c.benchmark_group("many_nodes");
     group.sample_size(10);
 
-    // Star fan-in: N clients share the hub's one switch port.
-    for clients in [2usize, 4, 8] {
+    // Star fan-in: N clients share the hub's one switch port. The 32-client
+    // case is new with the quiescence-aware engine — the poll-every-tick
+    // scheduler made 33 nodes too slow to bench.
+    for clients in [2usize, 4, 8, 32] {
         let t0 = std::time::Instant::now();
         let out = run_star_iperf(clients, RUN, CostModel::morello(), SEED).expect("star runs");
         let wall = t0.elapsed();
@@ -49,20 +71,22 @@ fn bench_many_nodes(c: &mut Criterion) {
         eprintln!(
             "[many_nodes] star/{clients} clients: {aggregate:.0} Mbit/s aggregate, Jain {jain:.3}"
         );
+        let mut metrics = vec![
+            ("aggregate_mbit_per_sec", aggregate),
+            ("fairness_jain", jain),
+            ("flows", clients as f64),
+            ("switch_forwarded", out.switch_stats[0].forwarded as f64),
+            ("switch_dropped", out.switch_stats[0].dropped as f64),
+            ("trace_frames", out.trace.frames as f64),
+        ];
+        metrics.extend(counter_metrics(&out));
         report.record_timed(
             "star",
             &format!("clients={clients}"),
             wall,
             out.events,
-            out.ended_at.as_nanos() as f64 / 1e9,
-            &[
-                ("aggregate_mbit_per_sec", aggregate),
-                ("fairness_jain", jain),
-                ("flows", clients as f64),
-                ("switch_forwarded", out.switch_stats[0].forwarded as f64),
-                ("switch_dropped", out.switch_stats[0].dropped as f64),
-                ("trace_frames", out.trace.frames as f64),
-            ],
+            out.horizon.as_nanos() as f64 / 1e9,
+            &metrics,
         );
         group.bench_with_input(
             BenchmarkId::new("star", clients),
@@ -80,17 +104,19 @@ fn bench_many_nodes(c: &mut Criterion) {
         let wall = t0.elapsed();
         let mbit = out.servers[0].mbit_per_sec();
         eprintln!("[many_nodes] chain/{hops} hops: {mbit:.0} Mbit/s");
+        let mut metrics = vec![
+            ("mbit_per_sec", mbit),
+            ("hops", hops as f64),
+            ("trace_frames", out.trace.frames as f64),
+        ];
+        metrics.extend(counter_metrics(&out));
         report.record_timed(
             "chain",
             &format!("hops={hops}"),
             wall,
             out.events,
-            out.ended_at.as_nanos() as f64 / 1e9,
-            &[
-                ("mbit_per_sec", mbit),
-                ("hops", hops as f64),
-                ("trace_frames", out.trace.frames as f64),
-            ],
+            out.horizon.as_nanos() as f64 / 1e9,
+            &metrics,
         );
         group.bench_with_input(BenchmarkId::new("chain", hops), &hops, |b, &hops| {
             b.iter(|| run_chain(hops))
@@ -109,17 +135,19 @@ fn bench_many_nodes(c: &mut Criterion) {
         eprintln!(
             "[many_nodes] dumbbell/{pairs} pairs: {aggregate:.0} Mbit/s aggregate, Jain {jain:.3}"
         );
+        let mut metrics = vec![
+            ("aggregate_mbit_per_sec", aggregate),
+            ("fairness_jain", jain),
+            ("flows", pairs as f64),
+        ];
+        metrics.extend(counter_metrics(&out));
         report.record_timed(
             "dumbbell",
             &format!("pairs={pairs}"),
             wall,
             out.events,
-            out.ended_at.as_nanos() as f64 / 1e9,
-            &[
-                ("aggregate_mbit_per_sec", aggregate),
-                ("fairness_jain", jain),
-                ("flows", pairs as f64),
-            ],
+            out.horizon.as_nanos() as f64 / 1e9,
+            &metrics,
         );
         group.bench_with_input(BenchmarkId::new("dumbbell", pairs), &pairs, |b, &pairs| {
             b.iter(|| run_dumbbell_fairness(pairs, RUN, CostModel::morello(), SEED).expect("bell"))

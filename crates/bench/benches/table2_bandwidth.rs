@@ -24,7 +24,7 @@ fn bench_table2(c: &mut Criterion) {
             let out =
                 run_bandwidth(kind, mode, duration, CostModel::morello()).expect("scenario runs");
             let wall = t0.elapsed();
-            let sim_s = out.ended_at.as_nanos() as f64 / 1e9;
+            let sim_s = out.horizon.as_nanos() as f64 / 1e9;
             let reports = match mode {
                 TrafficMode::Server => &out.servers,
                 TrafficMode::Client => &out.clients,

@@ -300,7 +300,11 @@ impl TaggedMemory {
     }
 
     fn clear_tags(&mut self, addr: u64, len: u64) {
-        if len == 0 {
+        // `caps` holds exactly the granules whose tag is set, so an arena
+        // that never stored a capability (every packet/app buffer arena)
+        // skips the granule walk entirely — this sits on the per-frame DMA
+        // and `ff_read`/`ff_write` hot paths.
+        if len == 0 || self.caps.is_empty() {
             return;
         }
         let first = addr / CAP_GRANULE;

@@ -14,7 +14,7 @@ use fstack::loop_::{rx_phase, tx_phase, ServiceMutex};
 use fstack::{FStack, StackConfig};
 use iperf::{BandwidthReport, ClientApp, ServerApp, StepOutcome};
 use simkern::cost::CostModel;
-use simkern::engine::Engine;
+use simkern::engine::{Engine, World};
 use simkern::rng::SimRng;
 use simkern::time::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -53,6 +53,80 @@ impl std::fmt::Display for Ep {
     }
 }
 
+/// The typed event vocabulary of the simulation — every event the engine
+/// dispatches in steady state is one of these small inline values, so the
+/// hot path schedules without boxing (the witness is
+/// [`EventCounters::boxed_events`] staying zero across a run).
+#[derive(Debug)]
+pub enum NetEvent {
+    /// One main-loop iteration of a node's poll loop.
+    LoopIter {
+        /// Node index.
+        node: usize,
+    },
+    /// A parked node's scheduled wake tick (at a poll-lattice instant).
+    /// Stale wakes — the node was woken earlier by a frame delivery, or
+    /// re-parked since — are recognized by `epoch` and ignored.
+    Wake {
+        /// Node index.
+        node: usize,
+        /// The park generation this wake was scheduled for.
+        epoch: u64,
+    },
+    /// A frame arriving at a NIC port at instant `at` (folded into the
+    /// trace digest, then DMA'd toward the RX ring).
+    Deliver {
+        /// Destination device index.
+        dev: usize,
+        /// Destination port on that device.
+        port: usize,
+        /// Nominal arrival instant (the digest timestamps with this).
+        at: SimTime,
+        /// The frame (a shared buffer; cloning is a refcount bump).
+        frame: Frame,
+    },
+    /// A frame arriving at a switch ingress port: run the fabric's
+    /// forwarding decision and propagate the surviving egress copies.
+    SwitchHop {
+        /// Switch index.
+        sw: usize,
+        /// Ingress port on that switch.
+        port: usize,
+        /// Arrival instant at the ingress port.
+        at: SimTime,
+        /// The frame.
+        frame: Frame,
+    },
+}
+
+/// Per-kind event counters for one run: the *why* behind `events_per_sec`
+/// moving across PRs. Emitted into `BENCH_*.json` by the bench targets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    /// Main-loop iterations executed (scheduled polls plus honored wakes).
+    pub loop_polls: u64,
+    /// Iterations that did no work (no RX, no TX, no app progress).
+    pub idle_polls: u64,
+    /// Frame deliveries into NIC ports.
+    pub deliveries: u64,
+    /// Switch ingress/forwarding events.
+    pub switch_hops: u64,
+    /// Honored timer wakes: a parked node reaching a known deadline
+    /// (stack retransmit/delayed-ACK/TIME_WAIT timer or an app's
+    /// write-gap/stop instant).
+    pub timer_wakes: u64,
+    /// Wake events that arrived after the node had already been woken (or
+    /// re-parked); recognized by epoch and dropped.
+    pub stale_wakes: u64,
+    /// Times a quiescent node parked instead of rescheduling its poll.
+    pub parks: u64,
+    /// Parked nodes woken early by a frame delivery to their port.
+    pub wakes: u64,
+    /// Boxed closure events scheduled on the engine — zero in steady state
+    /// (every hot-path event is a typed [`NetEvent`]).
+    pub boxed_events: u64,
+}
+
 /// A rolling digest over every frame delivery of a run: the
 /// `harness_determinism`-style trace identity witness, cheap enough to keep
 /// always-on. Two runs with identical construction and seed must produce
@@ -79,23 +153,28 @@ impl Default for TraceDigest {
 }
 
 impl TraceDigest {
-    fn eat(&mut self, b: u8) {
-        self.digest ^= u64::from(b);
-        self.digest = self.digest.wrapping_mul(0x0000_0100_0000_01B3);
+    #[inline]
+    fn fold(digest: u64, b: u8) -> u64 {
+        (digest ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
     }
 
     fn record(&mut self, at: SimTime, dev: usize, port: usize, frame: &[u8]) {
+        // Fold through a local so the per-byte chain (this runs once per
+        // delivered frame byte) stays in a register instead of bouncing
+        // through `self`.
+        let mut d = self.digest;
         for b in at.as_nanos().to_le_bytes() {
-            self.eat(b);
+            d = Self::fold(d, b);
         }
-        self.eat(dev as u8);
-        self.eat(port as u8);
+        d = Self::fold(d, dev as u8);
+        d = Self::fold(d, port as u8);
         for b in (frame.len() as u32).to_le_bytes() {
-            self.eat(b);
+            d = Self::fold(d, b);
         }
         for &b in frame {
-            self.eat(b);
+            d = Self::fold(d, b);
         }
+        self.digest = d;
         self.frames += 1;
         self.bytes += frame.len() as u64;
     }
@@ -205,6 +284,21 @@ struct Node {
     clients: Vec<Option<ClientApp>>,
     profile: IsolationProfile,
     turns: u64,
+    /// What this node's port is cabled to, resolved once at `run()` start
+    /// so the TX hot path never touches the topology `HashMap`.
+    cabled: Option<Ep>,
+    /// `true` while the node's poll loop is parked (quiescent, no event
+    /// scheduled except possibly a [`NetEvent::Wake`] at a known deadline).
+    parked: bool,
+    /// Park generation; bumped on every park and wake so stale scheduled
+    /// wakes are recognized and dropped.
+    epoch: u64,
+    /// While parked: the instant the next poll iteration *would* have run.
+    /// Wakes land on this lattice (`anchor + k·mainloop_idle_ns`), so a
+    /// woken loop observes the world at exactly the instants the
+    /// unconditional polling loop would have — wire behavior is preserved
+    /// bit for bit.
+    anchor: SimTime,
 }
 
 /// The assembled simulation world (driven by [`Engine`] events).
@@ -226,6 +320,16 @@ pub struct NetSim {
     rng: SimRng,
     kmod: BindingRegistry,
     next_pci: u8,
+    counters: EventCounters,
+    /// `(dev, port)` → owning node index, resolved at `run()` start so a
+    /// delivery can wake the parked loop that polls that port.
+    dev_owner: Vec<Vec<Option<usize>>>,
+    /// Switch egress cables (`sw_cabled[sw][port]`), resolved at `run()`
+    /// start for the forwarding hot path.
+    sw_cabled: Vec<Vec<Option<Ep>>>,
+    /// The idle poll period (from the cost model): the lattice step parked
+    /// nodes wake on.
+    idle_period: u64,
 }
 
 impl std::fmt::Debug for NetSim {
@@ -247,6 +351,7 @@ const APP_BUF: u64 = 16 * 1024;
 impl NetSim {
     /// Creates an empty simulation with the given cost model.
     pub fn new(costs: CostModel) -> Self {
+        let idle_period = costs.mainloop_idle_ns.max(1);
         NetSim {
             costs,
             devs: Vec::new(),
@@ -265,6 +370,10 @@ impl NetSim {
             rng: SimRng::seed_from_u64(0xCAB1E),
             kmod: BindingRegistry::new(),
             next_pci: 3,
+            counters: EventCounters::default(),
+            dev_owner: Vec::new(),
+            sw_cabled: Vec::new(),
+            idle_period,
         }
     }
 
@@ -480,6 +589,10 @@ impl NetSim {
             clients: Vec::new(),
             profile,
             turns: 0,
+            cabled: None,
+            parked: false,
+            epoch: 0,
+            anchor: SimTime::ZERO,
         });
         Ok(NodeId(self.nodes.len() - 1))
     }
@@ -548,18 +661,42 @@ impl NetSim {
     pub fn run(mut self, duration: SimDuration) -> Result<SimOutcome, CapnetError> {
         self.start_devices()?;
         self.stop_at = SimTime::ZERO + duration;
+        // Resolve the topology once: each node's cabled endpoint, each
+        // switch port's cable, and which node owns each NIC port (so
+        // deliveries can wake parked loops). The event hot path never
+        // touches the `links` HashMap again.
+        self.dev_owner = self
+            .devs
+            .iter()
+            .map(|d| vec![None; d.port_count()])
+            .collect();
+        for i in 0..self.nodes.len() {
+            let (d, p) = (self.nodes[i].dev, self.nodes[i].port);
+            self.nodes[i].cabled = self.links.get(&Ep::Dev(d, p)).copied();
+            self.dev_owner[d][p] = Some(i);
+        }
+        self.sw_cabled = self
+            .switches
+            .iter()
+            .enumerate()
+            .map(|(s, sw)| {
+                (0..sw.port_count())
+                    .map(|p| self.links.get(&Ep::Sw(s, p)).copied())
+                    .collect()
+            })
+            .collect();
         let mut engine: Engine<NetSim> = Engine::new();
-        let n = self.nodes.len();
-        for i in 0..n {
+        for i in 0..self.nodes.len() {
             // Stagger start-up a little so iterations do not run in
             // lockstep (the hosts boot independently).
             let at = SimTime::from_nanos(97 * (i as u64 + 1));
-            engine.schedule(at, move |w: &mut NetSim, e| w.loop_iter(i, e));
+            engine.schedule(at, NetEvent::LoopIter { node: i });
         }
         let stop = self.stop_at;
         engine.run_until(&mut self, stop);
         let end = engine.now();
         let events = engine.executed();
+        self.counters.boxed_events = engine.boxed_scheduled();
 
         // Collect reports.
         let mut servers = Vec::new();
@@ -591,7 +728,9 @@ impl NetSim {
             servers,
             clients,
             ended_at: end,
+            horizon: stop,
             events,
+            counters: self.counters,
             port_stats,
             stack_stats,
             switch_stats,
@@ -601,8 +740,21 @@ impl NetSim {
         })
     }
 
+    /// The first poll-lattice instant at or after `at`: `anchor + k·period`
+    /// with the smallest `k ≥ 0` such that the tick is `≥ at`. Parked nodes
+    /// wake on this lattice so their iterations land exactly where the
+    /// unconditional polling loop's would have.
+    fn lattice_tick(anchor: SimTime, at: SimTime, period: u64) -> SimTime {
+        if at <= anchor {
+            return anchor;
+        }
+        let gap = at.as_nanos() - anchor.as_nanos();
+        anchor + SimDuration::from_nanos(gap.div_ceil(period) * period)
+    }
+
     /// One main-loop iteration of node `i` (event handler).
     fn loop_iter(&mut self, i: usize, engine: &mut Engine<NetSim>) {
+        self.counters.loop_polls += 1;
         let now = engine.now();
         if now >= self.stop_at {
             return;
@@ -633,16 +785,24 @@ impl NetSim {
         let turn = node.turns;
         node.turns += 1;
         let mut ff_calls: u64 = 0;
-        let mut step_all = |stack: &mut FStack, mem: &mut TaggedMemory| -> u64 {
+        let mut progressed = false;
+        let mut step_all = |stack: &mut FStack, mem: &mut TaggedMemory| -> (u64, bool) {
             let mut calls = 0u64;
+            let mut moved = false;
             // Servers always step: the convoy forms on the write path
             // (ff_write holds the service mutex against the main loop),
             // while reads of already-sorted RX data are short — which is
             // why the paper's server rows stay even (470/470) on the same
             // testbed whose client rows split 531/410.
             for s in node.servers.iter_mut().flatten() {
-                if let Ok(StepOutcome { ff_calls, .. }) = s.step(stack, mem, now) {
+                if let Ok(StepOutcome {
+                    ff_calls,
+                    progressed,
+                    ..
+                }) = s.step(stack, mem, now)
+                {
                     calls += u64::from(ff_calls);
+                    moved |= progressed;
                 }
             }
             for (i, c) in node.clients.iter_mut().enumerate() {
@@ -650,23 +810,32 @@ impl NetSim {
                     continue;
                 }
                 if let Some(c) = c {
-                    if let Ok(StepOutcome { ff_calls, .. }) = c.step(stack, mem, now) {
+                    if let Ok(StepOutcome {
+                        ff_calls,
+                        progressed,
+                        ..
+                    }) = c.step(stack, mem, now)
+                    {
                         calls += u64::from(ff_calls);
+                        moved |= progressed;
                     }
                 }
             }
-            calls
+            (calls, moved)
         };
-        ff_calls += step_all(&mut node.stack, mem);
+        let (calls, moved) = step_all(&mut node.stack, mem);
+        ff_calls += calls;
+        progressed |= moved;
 
         // (iii) stack timers + TX ring.
         let tx = tx_phase(&mut node.stack, dev, pi, mem, now).unwrap_or_default();
 
         // Wire propagation to whatever the port is cabled to (a peer NIC
-        // directly, or a switch that forwards hop by hop).
+        // directly, or a switch that forwards hop by hop). The endpoint was
+        // resolved once at run() start — no topology lookup per iteration.
         let n_tx = tx.len();
         if n_tx > 0 {
-            match self.links.get(&Ep::Dev(di, pi)).copied() {
+            match self.nodes[i].cabled {
                 Some(Ep::Dev(pd, pp)) => {
                     for (frame, departure) in tx {
                         let arrival = self.wire.propagate(departure);
@@ -676,9 +845,15 @@ impl NetSim {
                 Some(Ep::Sw(sw, sp)) => {
                     for (frame, departure) in tx {
                         let arrival = self.wire.propagate(departure);
-                        engine.schedule(arrival, move |w: &mut NetSim, e| {
-                            w.switch_ingress(sw, sp, arrival, frame, e);
-                        });
+                        engine.schedule(
+                            arrival,
+                            NetEvent::SwitchHop {
+                                sw,
+                                port: sp,
+                                at: arrival,
+                                frame,
+                            },
+                        );
                     }
                 }
                 None => {}
@@ -700,7 +875,57 @@ impl NetSim {
         } else {
             now + work
         };
-        engine.schedule(next, move |w: &mut NetSim, e| w.loop_iter(i, e));
+
+        // Quiescence: an iteration that did no work and owes the wire
+        // nothing parks the loop instead of rescheduling it. Eligibility is
+        // strict so behavior is provably identical to polling:
+        //  * the iteration was a no-op (no RX, no TX, no app progress), so
+        //    replaying it at every tick until something external happens
+        //    would change nothing;
+        //  * no frame is queued mid-DMA on the port (it would become
+        //    readable without a further delivery event);
+        //  * the node carries no per-call isolation charge and no service
+        //    mutex, so its idle tick period is exactly `mainloop_idle_ns`
+        //    and the poll lattice is predictable from `next` alone.
+        // The node wakes on the first lattice tick at/after a frame
+        // delivery to its port, or at/after the earliest known deadline
+        // (stack timers, app write-gap/stop instants).
+        let idle = rx == 0 && n_tx == 0 && !progressed;
+        if idle {
+            self.counters.idle_polls += 1;
+        }
+        let node = &self.nodes[i];
+        let parkable = idle
+            && !node.profile.s2_service
+            && node.profile.per_ff_call_ns == 0
+            && self.devs[di].rx_pending(pi) == 0;
+        if parkable {
+            let node = &self.nodes[i];
+            let mut deadline = node.stack.next_timer_deadline();
+            for c in node.clients.iter().flatten() {
+                if let Some(d) = c.next_deadline(now) {
+                    deadline = Some(deadline.map_or(d, |m| m.min(d)));
+                }
+            }
+            let period = self.idle_period;
+            let node = &mut self.nodes[i];
+            node.parked = true;
+            node.epoch += 1;
+            node.anchor = next;
+            self.counters.parks += 1;
+            if let Some(d) = deadline {
+                let tick = Self::lattice_tick(next, d, period);
+                engine.schedule_last(
+                    tick,
+                    NetEvent::Wake {
+                        node: i,
+                        epoch: node.epoch,
+                    },
+                );
+            }
+        } else {
+            engine.schedule(next, NetEvent::LoopIter { node: i });
+        }
     }
 
     /// One switch hop: run the fabric's forwarding decision for a frame
@@ -717,17 +942,22 @@ impl NetSim {
     ) {
         let outputs = self.switches[sw].ingress(sp, now, frame, &self.costs);
         for tx in outputs {
-            match self.links.get(&Ep::Sw(sw, tx.port)).copied() {
+            match self.sw_cabled[sw][tx.port] {
                 Some(Ep::Dev(pd, pp)) => {
                     let arrival = self.wire.propagate(tx.departure);
                     self.schedule_delivery(engine, pd, pp, arrival, tx.frame);
                 }
                 Some(Ep::Sw(sw2, sp2)) => {
                     let arrival = self.wire.propagate(tx.departure);
-                    let frame = tx.frame;
-                    engine.schedule(arrival, move |w: &mut NetSim, e| {
-                        w.switch_ingress(sw2, sp2, arrival, frame, e);
-                    });
+                    engine.schedule(
+                        arrival,
+                        NetEvent::SwitchHop {
+                            sw: sw2,
+                            port: sp2,
+                            at: arrival,
+                            frame: tx.frame,
+                        },
+                    );
                 }
                 None => { /* unattached switch port: the copy goes nowhere */ }
             }
@@ -746,8 +976,11 @@ impl NetSim {
         frame: Frame,
     ) {
         if self.impairments.is_ideal() {
-            engine.schedule(at, move |w: &mut NetSim, _| {
-                w.record_and_deliver(dev, port, at, frame);
+            engine.schedule(at, NetEvent::Deliver {
+                dev,
+                port,
+                at,
+                frame,
             });
             return;
         }
@@ -759,17 +992,86 @@ impl NetSim {
             } else {
                 frame.clone()
             };
-            engine.schedule(at, move |w: &mut NetSim, _| {
-                w.record_and_deliver(dev, port, at, copy);
+            engine.schedule(at, NetEvent::Deliver {
+                dev,
+                port,
+                at,
+                frame: copy,
             });
         }
     }
 
-    /// Folds the delivery into the run's [`TraceDigest`] and hands the
-    /// frame to the NIC.
-    fn record_and_deliver(&mut self, dev: usize, port: usize, at: SimTime, frame: Frame) {
+    /// Folds the delivery into the run's [`TraceDigest`], hands the frame
+    /// to the NIC, and wakes the port's owning node if its loop is parked:
+    /// the wake lands on the first tick of the node's poll lattice at or
+    /// after the arrival, which is exactly when the polling loop would have
+    /// seen the frame.
+    fn record_and_deliver(
+        &mut self,
+        dev: usize,
+        port: usize,
+        at: SimTime,
+        frame: Frame,
+        engine: &mut Engine<NetSim>,
+    ) {
         self.trace.record(at, dev, port, frame.bytes());
         self.devs[dev].deliver(port, at, frame);
+        if let Some(ni) = self.dev_owner[dev][port] {
+            let node = &mut self.nodes[ni];
+            if node.parked {
+                node.parked = false;
+                node.epoch += 1;
+                self.counters.wakes += 1;
+                let tick = Self::lattice_tick(node.anchor, engine.now(), self.idle_period);
+                engine.schedule_last(
+                    tick,
+                    NetEvent::Wake {
+                        node: ni,
+                        epoch: node.epoch,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl World for NetSim {
+    type Event = NetEvent;
+
+    fn handle(&mut self, ev: NetEvent, engine: &mut Engine<NetSim>) {
+        match ev {
+            NetEvent::LoopIter { node } => self.loop_iter(node, engine),
+            NetEvent::Wake { node, epoch } => {
+                if self.nodes[node].epoch == epoch {
+                    if self.nodes[node].parked {
+                        // A parked node reaching its scheduled deadline.
+                        self.nodes[node].parked = false;
+                        self.counters.timer_wakes += 1;
+                    }
+                    self.loop_iter(node, engine);
+                } else {
+                    self.counters.stale_wakes += 1;
+                }
+            }
+            NetEvent::Deliver {
+                dev,
+                port,
+                at,
+                frame,
+            } => {
+                self.counters.deliveries += 1;
+                self.record_and_deliver(dev, port, at, frame, engine);
+            }
+            NetEvent::SwitchHop {
+                sw,
+                port,
+                at,
+                frame,
+            } => {
+                self.counters.switch_hops += 1;
+                self.switch_ingress(sw, port, at, frame, engine);
+            }
+        }
     }
 }
 
@@ -780,11 +1082,25 @@ pub struct SimOutcome {
     pub servers: Vec<BandwidthReport>,
     /// Client (sender) reports, in installation order.
     pub clients: Vec<BandwidthReport>,
-    /// The virtual instant the run stopped.
+    /// The virtual instant the last event executed. With the
+    /// quiescence-aware engine this can be well before [`SimOutcome::horizon`]:
+    /// once every node is parked with nothing pending, the remaining virtual
+    /// time passes without a single event.
     pub ended_at: SimTime,
+    /// The virtual instant the run was asked to simulate to ([`NetSim::run`]'s
+    /// `duration`). The whole `[0, horizon]` span *is* simulated — an empty
+    /// calendar tail is the engine being fast, not the run being short — so
+    /// host-speed metrics (`host_ns_per_sim_sec`) divide by this, keeping
+    /// them comparable with pre-parking baselines whose polling filled the
+    /// tail with idle events.
+    pub horizon: SimTime,
     /// Discrete events the engine executed — the denominator of the
     /// events-per-second speed metric in the perf trajectory.
     pub events: u64,
+    /// Per-kind event counters: why `events` is what it is (loop polls vs
+    /// deliveries vs switch hops vs wakes), and the zero-boxed-events
+    /// steady-state witness.
+    pub counters: EventCounters,
     /// `(node name, port hardware stats)`.
     pub port_stats: Vec<(String, updk::ethdev::PortStats)>,
     /// `(node name, protocol stack counters)`.

@@ -594,6 +594,23 @@ impl FStack {
         }
     }
 
+    /// The earliest armed timer deadline across every connection: the
+    /// minimum of each TCB's [`Tcb::next_timer_deadline`]. A quiescence-
+    /// aware main loop parks when an iteration does no work, waking at the
+    /// first poll tick at or after this instant (or earlier, on frame
+    /// delivery to its port) — with the invariant that a stack whose
+    /// [`FStack::poll_tx`] just returned nothing produces no output before
+    /// this deadline unless a frame arrives first.
+    pub fn next_timer_deadline(&self) -> Option<SimTime> {
+        let mut min: Option<SimTime> = None;
+        for (_, sock) in self.sockets.iter() {
+            if let Some(d) = sock.tcb().and_then(Tcb::next_timer_deadline) {
+                min = Some(min.map_or(d, |m| m.min(d)));
+            }
+        }
+        min
+    }
+
     // ------------------------------------------------------------------
     // driver surface
     // ------------------------------------------------------------------

@@ -258,6 +258,26 @@ impl Tcb {
         &self.cc
     }
 
+    /// The earliest armed timer deadline of this connection: the minimum
+    /// over the retransmission timer, the delayed-ACK timer (when an ACK is
+    /// owed) and the TIME_WAIT expiry. `None` when no timer is armed — the
+    /// connection then owes the wire nothing until a segment arrives, which
+    /// is what lets a quiescent main loop park instead of polling.
+    pub fn next_timer_deadline(&self) -> Option<SimTime> {
+        let mut min: Option<SimTime> = None;
+        let mut fold = |d: Option<SimTime>| {
+            if let Some(d) = d {
+                min = Some(min.map_or(d, |m| m.min(d)));
+            }
+        };
+        fold(self.rtx_deadline);
+        if self.ack_pending > 0 {
+            fold(self.ack_deadline);
+        }
+        fold(self.time_wait_deadline);
+        min
+    }
+
     // ---- application surface ----
 
     /// Buffers application data for transmission; returns bytes accepted.

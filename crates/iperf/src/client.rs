@@ -122,6 +122,7 @@ impl ClientApp {
                     self.phase = Phase::Running;
                     self.started = Some(now);
                     self.tracker = Some(IntervalTracker::new(now, SimDuration::from_millis(100)));
+                    out.progressed = true;
                 }
             }
             Phase::Running => {
@@ -130,6 +131,7 @@ impl ClientApp {
                     out.ff_calls += 1;
                     stack.ff_close(self.fd)?;
                     self.phase = Phase::Closing;
+                    out.progressed = true;
                     return Ok(out);
                 }
                 if now < self.next_write_at {
@@ -143,6 +145,7 @@ impl ClientApp {
                         Ok(n) => {
                             self.bytes += n;
                             out.bytes += n;
+                            out.progressed = true;
                             if let Some(t) = self.tracker.as_mut() {
                                 t.record(now, n);
                             }
@@ -154,6 +157,7 @@ impl ClientApp {
                         Err(Errno::EAGAIN) => break,
                         Err(Errno::EPIPE) => {
                             self.phase = Phase::Done;
+                            out.progressed = true;
                             break;
                         }
                         Err(e) => return Err(e),
@@ -166,6 +170,7 @@ impl ClientApp {
                 let r = stack.readiness(self.fd);
                 if r.contains(EpollFlags::ERR) || r.contains(EpollFlags::HUP) {
                     self.phase = Phase::Done;
+                    out.progressed = true;
                 }
                 out.ff_calls += 1;
             }
@@ -173,6 +178,24 @@ impl ClientApp {
         }
         out.finished = self.phase == Phase::Done;
         Ok(out)
+    }
+
+    /// The next instant at which this app will act on its own (without an
+    /// inbound frame prompting it): the configured stop instant and, when a
+    /// write gap is set and still pending, the next write instant. `None`
+    /// outside the running phase — connecting, closing and done states only
+    /// move on stack events (frame arrival or stack timers), so the driver
+    /// may park the node's loop until one occurs.
+    pub fn next_deadline(&self, now: SimTime) -> Option<SimTime> {
+        if self.phase != Phase::Running {
+            return None;
+        }
+        let started = self.started?;
+        let mut d = started + self.duration;
+        if self.next_write_at > now && self.next_write_at < d {
+            d = self.next_write_at;
+        }
+        Some(d)
     }
 
     /// Produces the run summary at `now`.

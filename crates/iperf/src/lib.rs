@@ -36,6 +36,13 @@ pub struct StepOutcome {
     pub bytes: u64,
     /// `true` once the app has nothing further to do.
     pub finished: bool,
+    /// `true` when the step changed application state (connected, accepted,
+    /// moved bytes, closed, …). A step that only probed and got `EAGAIN`
+    /// leaves this `false`; the quiescence-aware driver uses it — together
+    /// with the stack's timer deadlines and the app's own
+    /// [`client::ClientApp::next_deadline`] — to park the node's main loop
+    /// instead of re-polling an unchanged world.
+    pub progressed: bool,
 }
 
 /// The default iperf3 control/data port.

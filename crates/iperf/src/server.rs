@@ -92,6 +92,7 @@ impl ServerApp {
             Ok(fd) => {
                 stack.ff_epoll_ctl_add(self.epfd, fd, EpollFlags::IN)?;
                 self.conns.push(fd);
+                out.progressed = true;
                 if self.started.is_none() {
                     self.started = Some(now);
                     self.tracker = Some(IntervalTracker::new(now, SimDuration::from_millis(100)));
@@ -137,11 +138,13 @@ impl ServerApp {
                         stack.ff_close(ev.fd)?;
                         stack.ff_epoll_ctl_del(self.epfd, ev.fd).ok();
                         self.conns.retain(|&c| c != ev.fd);
+                        out.progressed = true;
                         break;
                     }
                     Ok(n) => {
                         self.bytes += n;
                         out.bytes += n;
+                        out.progressed = true;
                         self.last_byte_at = Some(now);
                         if let Some(t) = self.tracker.as_mut() {
                             t.record(now, n);

@@ -1,11 +1,24 @@
-//! The event engine: a calendar queue of scheduled actions over a world `W`.
+//! The event engine: a typed, allocation-free calendar queue over a world `W`.
 //!
-//! Handlers are boxed `FnOnce(&mut W, &mut Engine<W>)` closures. The engine
-//! owns no domain state — the scenario drivers in the `capnet` crate define
-//! their own world structs holding the Intravisor, NICs, stacks and apps, and
-//! every event is a closure over ids into that world. This keeps the borrow
-//! checker happy without `Rc<RefCell<…>>` webs and keeps runs deterministic:
-//! ties in time are broken by a monotonically increasing sequence number.
+//! The engine owns no domain state — the scenario drivers in the `capnet`
+//! crate define their own world structs holding the Intravisor, NICs, stacks
+//! and apps. A world declares its event vocabulary through the [`World`]
+//! trait: `type Event` is a small enum stored **inline** in the calendar (no
+//! per-event allocation on the hot path), and [`World::handle`] interprets it.
+//! A [`Engine::schedule_boxed`] escape hatch keeps closure-style scheduling
+//! available for doctests, property tests and small ad-hoc worlds; boxed
+//! schedules are counted ([`Engine::boxed_scheduled`]) so perf-sensitive
+//! drivers can assert their steady state never boxes.
+//!
+//! Internally the calendar is a hierarchical two-band structure in the style
+//! of kernel timer wheels: a 256-slot wheel of 1024 ns granularity covers the
+//! dense near-future band (loop ticks, wire deliveries), with a binary heap
+//! as overflow for everything beyond the ≈262 µs horizon (retransmission
+//! timers, TIME_WAIT, deep egress backlogs). Events migrate from the heap
+//! into the wheel as virtual time advances. Determinism is preserved exactly:
+//! the dispatch order is the total order `(at, class, seq)` where `seq` is a
+//! monotonically increasing sequence number — ties in time are FIFO, exactly
+//! as the previous heap-only engine ordered them.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -13,31 +26,169 @@ use std::collections::BinaryHeap;
 
 type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
-struct Scheduled<W> {
-    at: SimTime,
-    seq: u64,
-    action: Action<W>,
+/// A world drivable by the engine: the event vocabulary plus its interpreter.
+///
+/// `Event` should be a small plain enum — it is stored by value in the
+/// calendar, so scheduling one allocates nothing. Worlds that only ever use
+/// [`Engine::schedule_boxed`] can set `type Event = NoEvent`.
+pub trait World: Sized {
+    /// The typed event vocabulary of this world.
+    type Event;
+    /// Interprets one event at its scheduled instant (`engine.now()`).
+    fn handle(&mut self, ev: Self::Event, engine: &mut Engine<Self>);
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// An uninhabited event type for worlds driven purely by boxed closures.
+pub enum NoEvent {}
+
+enum Slot<W: World> {
+    Typed(W::Event),
+    Boxed(Action<W>),
+}
+
+struct Scheduled<W: World> {
+    at: SimTime,
+    /// Tie-break class at equal instants: 0 for ordinary events, 1 for
+    /// [`Engine::schedule_last`] events (park/wake ticks that must observe
+    /// every same-instant delivery first).
+    class: u8,
+    seq: u64,
+    slot: Slot<W>,
+}
+
+impl<W: World> Scheduled<W> {
+    fn key(&self) -> (u64, u8, u64) {
+        (self.at.as_nanos(), self.class, self.seq)
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
+
+impl<W: World> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<W: World> Eq for Scheduled<W> {}
+impl<W: World> PartialOrd for Scheduled<W> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
+impl<W: World> Ord for Scheduled<W> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first,
-        // with FIFO order among same-instant events.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // with FIFO order (by class, then sequence) among same-instant events.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// log2 of the wheel slot granularity in nanoseconds.
+const GRAN_SHIFT: u32 = 10;
+/// Wheel slot width: 1024 ns — one or two main-loop ticks per slot.
+const GRAN: u64 = 1 << GRAN_SHIFT;
+/// Number of wheel slots (one rotation covers `SLOTS * GRAN` ≈ 524 µs —
+/// wide enough that deliveries behind a full 64-frame egress backlog still
+/// land directly in the wheel instead of bouncing through the heap).
+const SLOTS: usize = 512;
+/// The wheel horizon: events at `base + HORIZON` or later overflow to the heap.
+const HORIZON: u64 = GRAN * SLOTS as u64;
+
+/// The two-band calendar: a near-future timer wheel plus an overflow heap.
+///
+/// Invariants:
+/// * every wheel entry `e` satisfies `base <= clamp(e.at) < base + HORIZON`
+///   (entries scheduled "behind" the cursor — legal while `now` trails a
+///   partially drained slot — are clamped into the cursor slot);
+/// * every heap entry is at `base + HORIZON` or later;
+/// * `base` is a multiple of `GRAN` and never decreases.
+struct Calendar<W: World> {
+    slots: Vec<Vec<Scheduled<W>>>,
+    wheel_len: usize,
+    base: u64,
+    heap: BinaryHeap<Scheduled<W>>,
+}
+
+impl<W: World> Calendar<W> {
+    fn new() -> Self {
+        Calendar {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            base: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.wheel_len + self.heap.len()
+    }
+
+    fn push(&mut self, ev: Scheduled<W>) {
+        let at = ev.at.as_nanos();
+        if at >= self.base.saturating_add(HORIZON) {
+            self.heap.push(ev);
+        } else {
+            // Events at or behind the cursor window land in the cursor slot;
+            // the per-slot min-scan orders them correctly regardless.
+            let eff = at.max(self.base);
+            self.slots[((eff >> GRAN_SHIFT) as usize) % SLOTS].push(ev);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Pulls heap entries that the advancing horizon now covers.
+    fn migrate(&mut self) {
+        let horizon = self.base.saturating_add(HORIZON);
+        while let Some(top) = self.heap.peek() {
+            if top.at.as_nanos() >= horizon {
+                break;
+            }
+            let ev = self.heap.pop().expect("peeked entry pops");
+            let eff = ev.at.as_nanos().max(self.base);
+            self.slots[((eff >> GRAN_SHIFT) as usize) % SLOTS].push(ev);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Pops the globally earliest event if its instant is `<= deadline`.
+    fn pop_if(&mut self, deadline: SimTime) -> Option<Scheduled<W>> {
+        loop {
+            if self.wheel_len == 0 {
+                // Fast-forward: jump the cursor straight to the heap head.
+                let top_at = self.heap.peek()?.at;
+                if top_at > deadline {
+                    return None;
+                }
+                self.base = top_at.as_nanos() & !(GRAN - 1);
+                self.migrate();
+                continue;
+            }
+            let idx = ((self.base >> GRAN_SHIFT) as usize) % SLOTS;
+            if self.slots[idx].is_empty() {
+                // Advance the cursor one slot; the horizon moves with it.
+                self.base += GRAN;
+                self.migrate();
+                continue;
+            }
+            // Min-scan the cursor slot: entries within a slot are unordered.
+            let best = self.slots[idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.key())
+                .map(|(i, e)| (i, e.at))
+                .expect("slot is nonempty");
+            if best.1 > deadline {
+                return None;
+            }
+            self.wheel_len -= 1;
+            return Some(self.slots[idx].swap_remove(best.0));
+        }
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.clear();
+        }
+        self.wheel_len = 0;
+        self.heap.clear();
     }
 }
 
@@ -45,26 +196,64 @@ impl<W> Ord for Scheduled<W> {
 ///
 /// # Example
 ///
+/// A typed world: the event enum is stored inline in the calendar, so the
+/// steady state of a simulation schedules without allocating.
+///
 /// ```
-/// use simkern::engine::Engine;
+/// use simkern::engine::{Engine, World};
+/// use simkern::time::{SimDuration, SimTime};
+///
+/// struct Counter { ticks: u32 }
+/// enum Ev { Tick }
+///
+/// impl World for Counter {
+///     type Event = Ev;
+///     fn handle(&mut self, ev: Ev, eng: &mut Engine<Self>) {
+///         let Ev::Tick = ev;
+///         self.ticks += 1;
+///         if self.ticks < 10 {
+///             eng.schedule_in(SimDuration::from_nanos(100), Ev::Tick);
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// let mut world = Counter { ticks: 0 };
+/// engine.schedule(SimTime::ZERO, Ev::Tick);
+/// engine.run(&mut world);
+/// assert_eq!(world.ticks, 10);
+/// assert_eq!(engine.boxed_scheduled(), 0);
+/// ```
+///
+/// The boxed escape hatch, for worlds without an event vocabulary:
+///
+/// ```
+/// use simkern::engine::{Engine, NoEvent, World};
 /// use simkern::time::SimTime;
 ///
-/// let mut engine: Engine<u32> = Engine::new();
-/// let mut counter = 0u32;
-/// engine.schedule(SimTime::from_nanos(10), |c: &mut u32, _| *c += 1);
-/// engine.schedule(SimTime::from_nanos(5), |c: &mut u32, _| *c += 10);
-/// engine.run(&mut counter);
-/// assert_eq!(counter, 11);
+/// struct Small(u32);
+/// impl World for Small {
+///     type Event = NoEvent;
+///     fn handle(&mut self, ev: NoEvent, _: &mut Engine<Self>) { match ev {} }
+/// }
+///
+/// let mut engine: Engine<Small> = Engine::new();
+/// let mut w = Small(0);
+/// engine.schedule_boxed(SimTime::from_nanos(10), |w: &mut Small, _| w.0 += 1);
+/// engine.schedule_boxed(SimTime::from_nanos(5), |w: &mut Small, _| w.0 += 10);
+/// engine.run(&mut w);
+/// assert_eq!(w.0, 11);
 /// ```
-pub struct Engine<W> {
+pub struct Engine<W: World> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<W>>,
+    queue: Calendar<W>,
     executed: u64,
     event_cap: u64,
+    boxed_scheduled: u64,
 }
 
-impl<W> std::fmt::Debug for Engine<W> {
+impl<W: World> std::fmt::Debug for Engine<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
@@ -74,13 +263,13 @@ impl<W> std::fmt::Debug for Engine<W> {
     }
 }
 
-impl<W> Default for Engine<W> {
+impl<W: World> Default for Engine<W> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> Engine<W> {
+impl<W: World> Engine<W> {
     /// A generous default runaway guard (see [`Engine::set_event_cap`]).
     pub const DEFAULT_EVENT_CAP: u64 = 2_000_000_000;
 
@@ -89,9 +278,10 @@ impl<W> Engine<W> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: Calendar::new(),
             executed: 0,
             event_cap: Self::DEFAULT_EVENT_CAP,
+            boxed_scheduled: 0,
         }
     }
 
@@ -110,37 +300,74 @@ impl<W> Engine<W> {
         self.queue.len()
     }
 
+    /// Number of boxed-closure events scheduled so far — the witness that a
+    /// steady-state hot path stayed on the typed, allocation-free band.
+    pub fn boxed_scheduled(&self) -> u64 {
+        self.boxed_scheduled
+    }
+
     /// Caps the number of events a run may execute, as a guard against
-    /// accidentally non-terminating schedules in tests.
+    /// accidentally non-terminating schedules in tests. Both [`Engine::run`]
+    /// / [`Engine::run_until`] and single-stepping via [`Engine::step`]
+    /// count against the cap.
     pub fn set_event_cap(&mut self, cap: u64) {
         self.event_cap = cap;
     }
 
-    /// Schedules `action` to run at instant `at`.
-    ///
-    /// Events scheduled in the past of the current event are executed at the
-    /// current instant instead (time never goes backwards); this matches how
-    /// a hardware completion that "already happened" is observed at poll time.
-    pub fn schedule<F>(&mut self, at: SimTime, action: F)
-    where
-        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
-    {
+    fn push(&mut self, at: SimTime, class: u8, slot: Slot<W>) {
         let at = at.max(self.now);
         self.seq += 1;
         self.queue.push(Scheduled {
             at,
+            class,
             seq: self.seq,
-            action: Box::new(action),
+            slot,
         });
     }
 
-    /// Schedules `action` `delay` after the current instant.
-    pub fn schedule_in<F>(&mut self, delay: crate::time::SimDuration, action: F)
+    /// Schedules a typed event at instant `at` (allocation-free).
+    ///
+    /// Events scheduled in the past of the current event are executed at the
+    /// current instant instead (time never goes backwards); this matches how
+    /// a hardware completion that "already happened" is observed at poll time.
+    pub fn schedule(&mut self, at: SimTime, ev: W::Event) {
+        self.push(at, 0, Slot::Typed(ev));
+    }
+
+    /// Schedules a typed event `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, ev: W::Event) {
+        let at = self.now + delay;
+        self.schedule(at, ev);
+    }
+
+    /// Schedules a typed event at `at`, ordered **after** every ordinary
+    /// event at the same instant (regardless of scheduling order). Park/wake
+    /// ticks use this so a woken main loop observes every frame delivered at
+    /// its wake instant — exactly as the pre-park polling loop did, whose
+    /// self-reschedule always carried a later sequence number than any
+    /// same-instant delivery.
+    pub fn schedule_last(&mut self, at: SimTime, ev: W::Event) {
+        self.push(at, 1, Slot::Typed(ev));
+    }
+
+    /// Schedules a boxed `action` closure to run at instant `at` — the
+    /// compatibility escape hatch for worlds without a typed event
+    /// vocabulary. Counted by [`Engine::boxed_scheduled`].
+    pub fn schedule_boxed<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.boxed_scheduled += 1;
+        self.push(at, 0, Slot::Boxed(Box::new(action)));
+    }
+
+    /// Schedules a boxed `action` closure `delay` after the current instant.
+    pub fn schedule_boxed_in<F>(&mut self, delay: crate::time::SimDuration, action: F)
     where
         F: FnOnce(&mut W, &mut Engine<W>) + 'static,
     {
         let at = self.now + delay;
-        self.schedule(at, action);
+        self.schedule_boxed(at, action);
     }
 
     /// Runs events until the calendar is empty.
@@ -150,6 +377,21 @@ impl<W> Engine<W> {
     /// Panics if the event cap is exceeded (runaway schedule).
     pub fn run(&mut self, world: &mut W) {
         self.run_until(world, SimTime::MAX);
+    }
+
+    fn dispatch(&mut self, world: &mut W, ev: Scheduled<W>) {
+        self.now = ev.at;
+        self.executed += 1;
+        assert!(
+            self.executed <= self.event_cap,
+            "simulation exceeded event cap of {} events at t={}",
+            self.event_cap,
+            self.now
+        );
+        match ev.slot {
+            Slot::Typed(e) => world.handle(e, self),
+            Slot::Boxed(f) => f(world, self),
+        }
     }
 
     /// Runs events with timestamps `<= deadline`, then stops.
@@ -162,32 +404,24 @@ impl<W> Engine<W> {
     ///
     /// Panics if the event cap is exceeded (runaway schedule).
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event must pop");
-            self.now = ev.at;
-            self.executed += 1;
-            assert!(
-                self.executed <= self.event_cap,
-                "simulation exceeded event cap of {} events at t={}",
-                self.event_cap,
-                self.now
-            );
-            (ev.action)(world, self);
+        while let Some(ev) = self.queue.pop_if(deadline) {
+            self.dispatch(world, ev);
         }
     }
 
     /// Runs exactly one event if one is pending, returning `true` if it ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event cap is exceeded — stepping counts against the cap
+    /// exactly as [`Engine::run_until`] does.
     pub fn step(&mut self, world: &mut W) -> bool {
-        if let Some(ev) = self.queue.pop() {
-            self.now = ev.at;
-            self.executed += 1;
-            (ev.action)(world, self);
-            true
-        } else {
-            false
+        match self.queue.pop_if(SimTime::MAX) {
+            Some(ev) => {
+                self.dispatch(world, ev);
+                true
+            }
+            None => false,
         }
     }
 
@@ -202,15 +436,29 @@ mod tests {
     use super::*;
     use crate::time::{SimDuration, SimTime};
 
+    /// Closure-driven test worlds: no typed vocabulary.
+    macro_rules! boxed_world {
+        ($($t:ty),*) => {$(
+            impl World for $t {
+                type Event = NoEvent;
+                fn handle(&mut self, ev: NoEvent, _: &mut Engine<Self>) {
+                    match ev {}
+                }
+            }
+        )*};
+    }
+    boxed_world!(Vec<u32>, Vec<u64>, u32, ());
+
     #[test]
     fn events_run_in_time_order() {
         let mut eng: Engine<Vec<u32>> = Engine::new();
         let mut log = Vec::new();
-        eng.schedule(SimTime::from_nanos(30), |l: &mut Vec<u32>, _| l.push(3));
-        eng.schedule(SimTime::from_nanos(10), |l: &mut Vec<u32>, _| l.push(1));
-        eng.schedule(SimTime::from_nanos(20), |l: &mut Vec<u32>, _| l.push(2));
+        eng.schedule_boxed(SimTime::from_nanos(30), |l: &mut Vec<u32>, _| l.push(3));
+        eng.schedule_boxed(SimTime::from_nanos(10), |l: &mut Vec<u32>, _| l.push(1));
+        eng.schedule_boxed(SimTime::from_nanos(20), |l: &mut Vec<u32>, _| l.push(2));
         eng.run(&mut log);
         assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(eng.boxed_scheduled(), 3);
     }
 
     #[test]
@@ -218,7 +466,7 @@ mod tests {
         let mut eng: Engine<Vec<u32>> = Engine::new();
         let mut log = Vec::new();
         for i in 0..5 {
-            eng.schedule(SimTime::from_nanos(7), move |l: &mut Vec<u32>, _| l.push(i));
+            eng.schedule_boxed(SimTime::from_nanos(7), move |l: &mut Vec<u32>, _| l.push(i));
         }
         eng.run(&mut log);
         assert_eq!(log, vec![0, 1, 2, 3, 4]);
@@ -229,18 +477,26 @@ mod tests {
         struct W {
             count: u32,
         }
-        fn tick(w: &mut W, eng: &mut Engine<W>) {
-            w.count += 1;
-            if w.count < 10 {
-                eng.schedule_in(SimDuration::from_nanos(100), tick);
+        enum Ev {
+            Tick,
+        }
+        impl World for W {
+            type Event = Ev;
+            fn handle(&mut self, ev: Ev, eng: &mut Engine<Self>) {
+                let Ev::Tick = ev;
+                self.count += 1;
+                if self.count < 10 {
+                    eng.schedule_in(SimDuration::from_nanos(100), Ev::Tick);
+                }
             }
         }
         let mut eng = Engine::new();
         let mut w = W { count: 0 };
-        eng.schedule(SimTime::ZERO, tick);
+        eng.schedule(SimTime::ZERO, Ev::Tick);
         eng.run(&mut w);
         assert_eq!(w.count, 10);
         assert_eq!(eng.now(), SimTime::from_nanos(900));
+        assert_eq!(eng.boxed_scheduled(), 0, "typed path never boxes");
     }
 
     #[test]
@@ -248,7 +504,7 @@ mod tests {
         let mut eng: Engine<u32> = Engine::new();
         let mut w = 0;
         for i in 1..=10u64 {
-            eng.schedule(SimTime::from_nanos(i * 10), |w: &mut u32, _| *w += 1);
+            eng.schedule_boxed(SimTime::from_nanos(i * 10), |w: &mut u32, _| *w += 1);
         }
         eng.run_until(&mut w, SimTime::from_nanos(50));
         assert_eq!(w, 5);
@@ -261,11 +517,11 @@ mod tests {
     fn past_events_are_clamped_to_now() {
         let mut eng: Engine<Vec<u64>> = Engine::new();
         let mut log = Vec::new();
-        eng.schedule(
+        eng.schedule_boxed(
             SimTime::from_nanos(100),
             |l: &mut Vec<u64>, e: &mut Engine<_>| {
                 // Scheduling "in the past" executes at the current instant.
-                e.schedule(
+                e.schedule_boxed(
                     SimTime::from_nanos(1),
                     |l: &mut Vec<u64>, e: &mut Engine<_>| {
                         l.push(e.now().as_nanos());
@@ -282,23 +538,104 @@ mod tests {
     #[should_panic(expected = "event cap")]
     fn runaway_schedules_trip_the_cap() {
         fn forever(_: &mut (), eng: &mut Engine<()>) {
-            eng.schedule_in(SimDuration::from_nanos(1), forever);
+            eng.schedule_boxed_in(SimDuration::from_nanos(1), forever);
         }
         let mut eng = Engine::new();
         eng.set_event_cap(1_000);
-        eng.schedule(SimTime::ZERO, forever);
+        eng.schedule_boxed(SimTime::ZERO, forever);
         eng.run(&mut ());
+    }
+
+    /// Regression: `step` used to bypass the event-cap guard that
+    /// `run_until` enforced, so a runaway schedule driven one event at a
+    /// time never tripped the cap.
+    #[test]
+    #[should_panic(expected = "event cap")]
+    fn stepping_counts_against_the_cap() {
+        fn forever(_: &mut (), eng: &mut Engine<()>) {
+            eng.schedule_boxed_in(SimDuration::from_nanos(1), forever);
+        }
+        let mut eng = Engine::new();
+        eng.set_event_cap(100);
+        eng.schedule_boxed(SimTime::ZERO, forever);
+        while eng.step(&mut ()) {}
     }
 
     #[test]
     fn step_runs_one_event() {
         let mut eng: Engine<u32> = Engine::new();
         let mut w = 0;
-        eng.schedule(SimTime::from_nanos(1), |w: &mut u32, _| *w += 1);
-        eng.schedule(SimTime::from_nanos(2), |w: &mut u32, _| *w += 1);
+        eng.schedule_boxed(SimTime::from_nanos(1), |w: &mut u32, _| *w += 1);
+        eng.schedule_boxed(SimTime::from_nanos(2), |w: &mut u32, _| *w += 1);
         assert!(eng.step(&mut w));
         assert_eq!(w, 1);
         eng.clear();
         assert!(!eng.step(&mut w));
+    }
+
+    /// Events far beyond the wheel horizon overflow into the heap band and
+    /// migrate back as the cursor advances — order is unaffected.
+    #[test]
+    fn heap_band_overflow_preserves_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        // Far band (≫ 262 µs), scheduled first.
+        eng.schedule_boxed(SimTime::from_millis(50), |l: &mut Vec<u32>, _| l.push(5));
+        eng.schedule_boxed(SimTime::from_millis(10), |l: &mut Vec<u32>, _| l.push(3));
+        // Near band.
+        eng.schedule_boxed(SimTime::from_nanos(900), |l: &mut Vec<u32>, _| l.push(1));
+        eng.schedule_boxed(SimTime::from_micros(200), |l: &mut Vec<u32>, _| l.push(2));
+        // Mid band: within the horizon of the second event but not the first.
+        eng.schedule_boxed(SimTime::from_millis(10) + crate::time::SimDuration::from_micros(100),
+            |l: &mut Vec<u32>, _| l.push(4));
+        eng.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3, 4, 5]);
+    }
+
+    /// A handler scheduling into its own (partially drained) wheel slot and
+    /// beyond keeps the total order.
+    #[test]
+    fn rescheduling_into_the_cursor_slot_is_ordered() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule_boxed(SimTime::from_nanos(512), |l: &mut Vec<u32>, e| {
+            l.push(1);
+            // Same wheel slot, later instant.
+            e.schedule_boxed(SimTime::from_nanos(700), |l: &mut Vec<u32>, _| l.push(2));
+            // Same slot, same instant: FIFO after the one above? No —
+            // ordered purely by (at, seq): 600 < 700.
+            e.schedule_boxed(SimTime::from_nanos(600), |l: &mut Vec<u32>, _| l.push(3));
+        });
+        eng.run(&mut log);
+        assert_eq!(log, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn schedule_last_orders_after_same_instant_events() {
+        struct W {
+            log: Vec<&'static str>,
+        }
+        enum Ev {
+            Ordinary,
+            Late,
+        }
+        impl World for W {
+            type Event = Ev;
+            fn handle(&mut self, ev: Ev, _: &mut Engine<Self>) {
+                self.log.push(match ev {
+                    Ev::Ordinary => "ordinary",
+                    Ev::Late => "late",
+                });
+            }
+        }
+        let mut eng = Engine::new();
+        let mut w = W { log: Vec::new() };
+        let t = SimTime::from_nanos(500);
+        // The late event is scheduled FIRST (lowest seq) yet runs last.
+        eng.schedule_last(t, Ev::Late);
+        eng.schedule(t, Ev::Ordinary);
+        eng.schedule(t, Ev::Ordinary);
+        eng.run(&mut w);
+        assert_eq!(w.log, vec!["ordinary", "ordinary", "late"]);
     }
 }

@@ -11,8 +11,11 @@
 //! The kernel is deliberately small and generic:
 //!
 //! * [`time::SimTime`] / [`time::SimDuration`] — nanosecond virtual time.
-//! * [`engine::Engine`] — a classic calendar-queue event loop, generic over a
-//!   user-supplied world type `W` so that higher layers own all state.
+//! * [`engine::Engine`] — a typed calendar-queue event loop (timer-wheel
+//!   near band + heap overflow), generic over a user-supplied world type `W`
+//!   whose [`engine::World::Event`] enum is stored inline — the steady state
+//!   of a simulation schedules without allocating. A boxed-closure escape
+//!   hatch ([`engine::Engine::schedule_boxed`]) remains for small worlds.
 //! * [`cost::CostModel`] — the Morello-calibrated cost constants (trampoline
 //!   ≈ 125 ns, cross-cVM call, umtx block/wake, …) with one documented field
 //!   per paper-reported overhead.
@@ -26,18 +29,26 @@
 //! # Example
 //!
 //! ```
-//! use simkern::engine::Engine;
+//! use simkern::engine::{Engine, World};
 //! use simkern::time::{SimDuration, SimTime};
 //!
-//! struct World { ticks: u32 }
+//! struct Sim { ticks: u32 }
+//! enum Ev { Tick }
+//!
+//! impl World for Sim {
+//!     type Event = Ev;
+//!     fn handle(&mut self, ev: Ev, eng: &mut Engine<Self>) {
+//!         let Ev::Tick = ev;
+//!         self.ticks += 1;
+//!         if self.ticks < 2 {
+//!             eng.schedule_in(SimDuration::from_micros(5), Ev::Tick);
+//!         }
+//!     }
+//! }
 //!
 //! let mut engine = Engine::new();
-//! let mut world = World { ticks: 0 };
-//! engine.schedule(SimTime::ZERO, |w: &mut World, eng| {
-//!     w.ticks += 1;
-//!     let again = eng.now() + SimDuration::from_micros(5);
-//!     eng.schedule(again, |w: &mut World, _| w.ticks += 1);
-//! });
+//! let mut world = Sim { ticks: 0 };
+//! engine.schedule(SimTime::ZERO, Ev::Tick);
 //! engine.run_until(&mut world, SimTime::from_millis(1));
 //! assert_eq!(world.ticks, 2);
 //! ```

@@ -237,6 +237,14 @@ impl EthDev {
         self.nic.deliver(port, arrival, frame, &self.costs);
     }
 
+    /// Frames queued on `port` that a poll has not yet consumed (delivered
+    /// but possibly still mid-DMA). A quiescence-aware main loop must keep
+    /// polling — not park — while this is nonzero, or it would sleep
+    /// through a frame whose DMA completes without any further delivery.
+    pub fn rx_pending(&self, port: usize) -> usize {
+        self.nic.rx_pending(port)
+    }
+
     /// Polls up to `max` DMA-complete frames into fresh mbufs.
     ///
     /// # Errors

@@ -119,6 +119,100 @@ fn udp_burst_over_lossy_wire_is_seed_deterministic() {
     assert_ne!(g1, g3, "different survivors for a different seed");
 }
 
+/// Builds a two-host `NetSim` whose client writes in bursts separated by
+/// `write_gap` — when the gap dwarfs the 900 ns idle poll period, the
+/// quiescence-aware engine parks both nodes between bursts instead of
+/// polling through the gap. The park/wake scenarios below prove that this
+/// changes nothing observable.
+fn bursty_two_host(seed: u64, write_gap: SimDuration) -> NetSim {
+    let mut sim = NetSim::new(CostModel::morello());
+    sim.set_seed(seed);
+    let a = sim.add_dev(NicModel::Host).unwrap();
+    let b = sim.add_dev(NicModel::Host).unwrap();
+    sim.link(a, 0, b, 0).unwrap();
+    let srv = sim
+        .add_node(
+            "srv",
+            a,
+            0,
+            Ipv4Addr::new(10, 7, 0, 1),
+            IsolationProfile::default(),
+        )
+        .unwrap();
+    let cli = sim
+        .add_node(
+            "cli",
+            b,
+            0,
+            Ipv4Addr::new(10, 7, 0, 2),
+            IsolationProfile::default(),
+        )
+        .unwrap();
+    sim.add_server(srv, "srv-rx", 5201).unwrap();
+    sim.add_client(
+        cli,
+        "cli-tx",
+        (Ipv4Addr::new(10, 7, 0, 1), 5201),
+        SimDuration::from_millis(30),
+        write_gap,
+    )
+    .unwrap();
+    sim
+}
+
+/// Park/wake scenario A — a client whose write gap (50 µs) is ~55× the
+/// idle poll period leaves long quiescent stretches between bursts: both
+/// nodes park and wake repeatedly. On ideal cables the trace must be
+/// byte-identical across runs AND across seeds (parking may not leak any
+/// seed- or schedule-dependence into wire behavior).
+#[test]
+fn bursty_client_with_parked_gaps_is_fully_deterministic() {
+    let run = |seed: u64| {
+        bursty_two_host(seed, SimDuration::from_micros(50))
+            .run(SimDuration::from_millis(45))
+            .unwrap()
+    };
+    let o1 = run(3);
+    let o2 = run(3);
+    let o3 = run(77);
+    assert!(o1.trace.frames > 100, "bursts produced traffic");
+    assert_eq!(o1.trace, o2.trace, "same seed ⇒ byte-identical trace");
+    assert_eq!(o1.trace, o3.trace, "ideal cables ⇒ seed-independent");
+    assert_eq!(o1.servers, o3.servers);
+    assert_eq!(o1.ended_at, o3.ended_at);
+    // The gaps actually exercised the park/wake machinery.
+    assert!(o1.counters.parks > 100, "nodes parked: {:?}", o1.counters);
+    assert!(o1.counters.wakes > 100, "deliveries woke parked nodes");
+    assert_eq!(o1.counters, o3.counters, "wake pattern is deterministic");
+}
+
+/// Park/wake scenario B — idle gaps between bursts on a *lossy* cable:
+/// retransmission timers are the only thing standing between a lost burst
+/// and a stall, so parked nodes must wake on stack timer deadlines. Same
+/// seed ⇒ same trace; different seed ⇒ different loss pattern.
+#[test]
+fn bursty_client_over_lossy_wire_wakes_on_timers_deterministically() {
+    let run = |seed: u64| {
+        let mut sim = bursty_two_host(seed, SimDuration::from_micros(80));
+        sim.set_impairments(Impairments::lossy(30));
+        sim.run(SimDuration::from_millis(60)).unwrap()
+    };
+    let o1 = run(9);
+    let o2 = run(9);
+    let o3 = run(10);
+    assert!(o1.impairment_stats.lost > 0, "the cable actually lost");
+    assert_eq!(o1.trace, o2.trace);
+    assert_eq!(o1.counters, o2.counters);
+    assert_ne!(o1.trace.digest, o3.trace.digest, "different loss pattern");
+    assert!(
+        o1.counters.timer_wakes > 0,
+        "losses forced timer wakes: {:?}",
+        o1.counters
+    );
+    // The client still got its data through despite parking around losses.
+    assert!(o1.servers[0].bytes > 0);
+}
+
 /// Scenario 5 — the full compartment world: two `NetSim` runs built the same
 /// way (CAP-VM isolation charges, S2 service mutex, impaired cable) and
 /// seeded the same produce identical reports, byte counts and wire
