@@ -9,12 +9,15 @@
 //! trajectory (uploaded per-PR by CI's bench-smoke job).
 
 use capnet::netsim::NetSim;
-use capnet::scenario::{fairness_index, run_dumbbell_fairness, run_star_iperf};
+use capnet::scenario::{
+    fairness_index, run_dumbbell_fairness, run_star_iperf, run_star_iperf_sharded,
+};
 use capnet::topology::build_chain;
 use capnet::SimOutcome;
 use capnet_bench::BenchReport;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simkern::{CostModel, SimDuration};
+use updk::wire::Impairments;
 
 const SEED: u64 = 0x70B0;
 const RUN: SimDuration = SimDuration::from_millis(25);
@@ -65,6 +68,22 @@ fn bench_many_nodes(c: &mut Criterion) {
         let t0 = std::time::Instant::now();
         let out = run_star_iperf(clients, RUN, CostModel::morello(), SEED).expect("star runs");
         let wall = t0.elapsed();
+        // The sharded-run determinism gate: the same star at workers=2
+        // must land on the byte-identical delivery-trace digest. A
+        // mismatch aborts the bench, which fails CI's bench-smoke job.
+        let sharded = run_star_iperf_sharded(
+            clients,
+            RUN,
+            CostModel::morello(),
+            SEED,
+            Impairments::default(),
+            2,
+        )
+        .expect("sharded star runs");
+        assert_eq!(
+            out.trace, sharded.trace,
+            "star/{clients}: workers=2 digest diverged from workers=1 — sharded determinism broke"
+        );
         let flows = server_mbits(&out);
         let aggregate: f64 = flows.iter().sum();
         let jain = fairness_index(&flows);
@@ -78,6 +97,9 @@ fn bench_many_nodes(c: &mut Criterion) {
             ("switch_forwarded", out.switch_stats[0].forwarded as f64),
             ("switch_dropped", out.switch_stats[0].dropped as f64),
             ("trace_frames", out.trace.frames as f64),
+            // 1.0 = the workers=2 rerun reproduced the digest (asserted
+            // above; recorded so the JSON is self-documenting).
+            ("workers2_digest_match", 1.0),
         ];
         metrics.extend(counter_metrics(&out));
         report.record_timed(

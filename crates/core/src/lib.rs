@@ -38,7 +38,9 @@ pub mod scenario;
 pub mod stats;
 pub mod topology;
 
-pub use netsim::{EventCounters, IsolationProfile, NetEvent, NetSim, SimOutcome, SwitchId, TraceDigest};
+pub use netsim::{
+    EventCounters, IsolationProfile, NetEvent, NetSim, SimOutcome, SwitchId, TraceDigest,
+};
 pub use scenario::ScenarioKind;
 
 use std::fmt;

@@ -8,22 +8,25 @@
 //! isolation charges (trampolines, cross-cVM wrappers, the Scenario 2
 //! service mutex).
 
+use crate::topology::{partition_shards, ShardGraph, ShardPlan};
 use crate::CapnetError;
 use cheri::{Capability, TaggedMemory};
 use fstack::loop_::{rx_phase, tx_phase, ServiceMutex};
 use fstack::{FStack, StackConfig};
 use iperf::{BandwidthReport, ClientApp, ServerApp, StepOutcome};
 use simkern::cost::CostModel;
-use simkern::engine::{Engine, World};
+use simkern::engine::{Engine, EventHandle, OrderKey, World};
 use simkern::rng::SimRng;
 use simkern::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 use updk::ethdev::EthDev;
 use updk::kmod::{BindingRegistry, PciAddress};
-use updk::nic::NicModel;
+use updk::nic::{MacAddr, NicModel};
 use updk::switch::{LinkFabric, SwitchStats};
-use updk::wire::{Frame, ImpairmentStats, Impairments, Wire};
+use updk::wire::{Frame, ImpairmentStats, Impairments, Wire, MIN_FRAME, WIRE_OVERHEAD};
 
 /// Handle to a node in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -284,21 +287,151 @@ struct Node {
     clients: Vec<Option<ClientApp>>,
     profile: IsolationProfile,
     turns: u64,
+    /// `true` when app steps are gated on the stack's dirty-fd set (ideal
+    /// measurement hosts only — nodes with per-call isolation charges or
+    /// the S2 service mutex step every app every turn, since their skipped
+    /// `ff_*` calls would change the accounted iteration cost). Resolved
+    /// at `run()` start.
+    gated: bool,
+    /// fd → app slot (servers first, then clients) for dirty-fd routing.
+    app_of_fd: Vec<Option<u32>>,
+    /// Per-app-slot "a step could progress" flags.
+    runnable: Vec<bool>,
+    /// Scratch for draining the stack's dirty-fd set (no per-turn alloc).
+    fd_scratch: Vec<chos::fdtable::Fd>,
     /// What this node's port is cabled to, resolved once at `run()` start
     /// so the TX hot path never touches the topology `HashMap`.
     cabled: Option<Ep>,
     /// `true` while the node's poll loop is parked (quiescent, no event
     /// scheduled except possibly a [`NetEvent::Wake`] at a known deadline).
     parked: bool,
-    /// Park generation; bumped on every park and wake so stale scheduled
-    /// wakes are recognized and dropped.
+    /// Park generation; bumped on every park and wake. Scheduled wakes are
+    /// cancelled in place when superseded, so a dispatched wake must always
+    /// match — the epoch survives as the debug assertion of that invariant.
     epoch: u64,
+    /// The handle of the pending scheduled [`NetEvent::Wake`], if any, so a
+    /// superseding wake (an early frame delivery) cancels it in place
+    /// instead of leaving it to dispatch stale.
+    wake: Option<EventHandle>,
     /// While parked: the instant the next poll iteration *would* have run.
     /// Wakes land on this lattice (`anchor + k·mainloop_idle_ns`), so a
     /// woken loop observes the world at exactly the instants the
     /// unconditional polling loop would have — wire behavior is preserved
     /// bit for bit.
     anchor: SimTime,
+}
+
+/// A cross-shard frame payload. Between worker *threads* it travels as
+/// plain copied bytes — the destination shard re-materializes them into
+/// its own thread-local buffer pool, which is what keeps every `Rc`
+/// reference graph closed within one shard. When the shards are
+/// multiplexed on a single thread there is only one pool, so the handoff
+/// degenerates to a refcount bump and only threaded runs pay the copy.
+enum XPayload {
+    /// Copied bytes (thread-crossing handoff).
+    Bytes(Vec<u8>),
+    /// A shared frame (single-thread multiplexed handoff).
+    Shared(Frame),
+}
+
+impl XPayload {
+    fn into_frame(self) -> Frame {
+        match self {
+            XPayload::Bytes(b) => Frame::new(b),
+            XPayload::Shared(f) => f,
+        }
+    }
+}
+
+/// One cross-shard event in flight between lookahead windows: a frame
+/// delivery or switch hop whose destination lives in another shard. The
+/// [`OrderKey`] built by the sending engine makes the injected event sort
+/// exactly where the single-engine run would have dispatched it.
+struct XEvent {
+    at: SimTime,
+    key: OrderKey,
+    /// `true`: a [`NetEvent::SwitchHop`] to switch `obj`; `false`: a
+    /// [`NetEvent::Deliver`] to device `obj`.
+    to_switch: bool,
+    obj: u32,
+    port: u32,
+    payload: XPayload,
+}
+
+// SAFETY: the only non-`Send` content is [`XPayload::Shared`], which is
+// constructed exclusively when every shard is multiplexed on one thread
+// ([`ShardCtx::same_thread`]); threaded runs always serialize payloads to
+// [`XPayload::Bytes`], so an `XEvent` that actually crosses a thread
+// boundary never holds an `Rc`.
+unsafe impl Send for XEvent {}
+
+/// One deferred trace-digest fold of a sharded run: the delivery's
+/// identity plus the dispatch key it sorted under. Folding the merged,
+/// key-sorted log reproduces the byte-exact digest of the single-engine
+/// run (which folds inline, in dispatch order).
+struct DeliveryRecord {
+    at: SimTime,
+    key: OrderKey,
+    dev: u32,
+    port: u32,
+    frame: Frame,
+}
+
+/// Per-shard execution context, present only while a sharded run drives
+/// this `NetSim` as one of its shard worlds.
+struct ShardCtx {
+    /// This shard's id.
+    id: u32,
+    /// Owning shard per node / per device / per switch (global indices).
+    node_shard: Vec<u32>,
+    dev_shard: Vec<u32>,
+    sw_shard: Vec<u32>,
+    /// `true` while the shards are multiplexed on one thread, enabling the
+    /// shared-frame handoff ([`XPayload::Shared`]).
+    same_thread: bool,
+    /// Cross-shard events generated this window, per destination shard;
+    /// exchanged at the window barrier.
+    outbox: Vec<Vec<XEvent>>,
+    /// Deferred digest folds, in this shard's execution order (so the
+    /// front is always the oldest). The sequential driver drains and
+    /// folds finalized entries every round — bounding retained frames to
+    /// roughly one window's deliveries — while the threaded driver folds
+    /// everything at merge time (worker threads cannot share the digest
+    /// accumulator mid-run without another serialization point).
+    log: std::collections::VecDeque<DeliveryRecord>,
+}
+
+/// A shard world paired with its engine — the unit a worker thread owns.
+///
+/// # Safety
+///
+/// `NetSim` is not `Send` (frames are `Rc`-backed and pools are
+/// thread-local). The sharded runner upholds the invariant that makes the
+/// move sound anyway: every `Rc` reference graph is closed within one
+/// shard — frames cross shards only as copied bytes ([`XEvent::payload`])
+/// re-materialized from the destination thread's own pool — so a
+/// `ShardRun` moves between threads only as a whole, with no shared
+/// reference left behind. Storage freed on a foreign thread simply
+/// recycles into that thread's pool.
+struct ShardRun {
+    sim: NetSim,
+    engine: Engine<NetSim>,
+}
+
+unsafe impl Send for ShardRun {}
+
+/// Coordination state shared by the worker threads of a threaded sharded
+/// run: the per-round barrier, the per-pair mailboxes and the published
+/// next-event instants that windows are derived from.
+struct ShardShared {
+    barrier: Barrier,
+    /// `mailbox[src][dst]`: cross-shard events flushed by `src` for `dst`.
+    mailbox: Vec<Vec<Mutex<Vec<XEvent>>>>,
+    /// Earliest pending event per shard (`u64::MAX` = none), republished
+    /// every round.
+    next_at: Vec<AtomicU64>,
+    stop: u64,
+    lookahead: u64,
 }
 
 /// The assembled simulation world (driven by [`Engine`] events).
@@ -317,7 +450,16 @@ pub struct NetSim {
     app_sched: AppSched,
     s2_mutex: Option<ServiceMutex>,
     stop_at: SimTime,
-    rng: SimRng,
+    /// Master seed; per-destination-port impairment streams derive from it
+    /// at `run()` start (see [`NetSim::port_rng`]).
+    seed: u64,
+    /// Per-`(dev, port)` impairment RNG streams, derived from the master
+    /// seed at `run()` start. Every delivery toward a given NIC port draws
+    /// from that port's own stream; since all deliveries to a port come
+    /// from its single cabled peer, the draw order is a pure function of
+    /// that peer's (deterministic) execution — which is what keeps lossy
+    /// runs byte-identical at any worker count.
+    port_rng: Vec<Vec<SimRng>>,
     kmod: BindingRegistry,
     next_pci: u8,
     counters: EventCounters,
@@ -330,6 +472,14 @@ pub struct NetSim {
     /// The idle poll period (from the cost model): the lattice step parked
     /// nodes wake on.
     idle_period: u64,
+    /// Requested worker (shard) count for [`NetSim::run`]; 1 = the classic
+    /// single-engine loop.
+    workers: usize,
+    /// Explicit window-driver choice (`Some(true)` = worker threads,
+    /// `Some(false)` = single-thread multiplexing, `None` = auto).
+    worker_threads: Option<bool>,
+    /// Present while this instance is one shard of a sharded run.
+    shard_ctx: Option<Box<ShardCtx>>,
 }
 
 impl std::fmt::Debug for NetSim {
@@ -367,14 +517,44 @@ impl NetSim {
             app_sched: AppSched::default(),
             s2_mutex: None,
             stop_at: SimTime::MAX,
-            rng: SimRng::seed_from_u64(0xCAB1E),
+            seed: 0xCAB1E,
+            port_rng: Vec::new(),
             kmod: BindingRegistry::new(),
             next_pci: 3,
             counters: EventCounters::default(),
             dev_owner: Vec::new(),
             sw_cabled: Vec::new(),
             idle_period,
+            workers: 1,
+            worker_threads: None,
+            shard_ctx: None,
         }
+    }
+
+    /// Sets the worker (shard) count for [`NetSim::run`].
+    ///
+    /// At `n > 1` the topology is partitioned into up to `n` shards, each
+    /// driven by its own engine in conservative lookahead windows, with
+    /// cross-shard frames exchanged at window barriers. Wire behavior is
+    /// **byte-identical at any worker count** — same trace digest, same
+    /// reports, same counters; `n = 1` (the default) is exactly the classic
+    /// single-engine loop. Shards run on worker threads when the host has
+    /// more than one CPU, and are multiplexed on the calling thread
+    /// otherwise (identical results either way; `CAPNET_SHARD_THREADS=0/1`
+    /// overrides the choice).
+    pub fn set_workers(&mut self, n: usize) {
+        self.workers = n.max(1);
+    }
+
+    /// Overrides the sharded-run window driver: `Some(true)` forces
+    /// worker threads, `Some(false)` forces single-thread multiplexing,
+    /// `None` (the default) picks threads when the host has more than one
+    /// CPU (the `CAPNET_SHARD_THREADS` environment variable, when set,
+    /// takes the place of the auto choice). Either driver produces
+    /// byte-identical results; this knob only exists for tests and for
+    /// pinning the execution mode on unusual hosts.
+    pub fn set_worker_threads(&mut self, threaded: Option<bool>) {
+        self.worker_threads = threaded;
     }
 
     /// Adds a NIC of `model` (kernel-detached and ready to configure).
@@ -550,7 +730,17 @@ impl NetSim {
     /// produce identical outcomes; without a call the fixed default seed
     /// applies, so unseeded runs are already reproducible.
     pub fn set_seed(&mut self, seed: u64) {
-        self.rng = SimRng::seed_from_u64(seed);
+        self.seed = seed;
+    }
+
+    /// The per-destination-port impairment stream: the master seed mixed
+    /// with the port's identity, so each cable's draws are independent of
+    /// every other cable's — and of how the simulation is sharded.
+    fn derive_port_rng(seed: u64, dev: usize, port: usize) -> SimRng {
+        let mix = seed
+            ^ (dev as u64 + 1).wrapping_mul(0x0000_0100_0000_01B3)
+            ^ (port as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(mix)
     }
 
     /// Creates a node: its own memory arena, a stack on `(dev, port)` with
@@ -589,9 +779,14 @@ impl NetSim {
             clients: Vec::new(),
             profile,
             turns: 0,
+            gated: false,
+            app_of_fd: Vec::new(),
+            runnable: Vec::new(),
+            fd_scratch: Vec::new(),
             cabled: None,
             parked: false,
             epoch: 0,
+            wake: None,
             anchor: SimTime::ZERO,
         });
         Ok(NodeId(self.nodes.len() - 1))
@@ -661,10 +856,20 @@ impl NetSim {
     pub fn run(mut self, duration: SimDuration) -> Result<SimOutcome, CapnetError> {
         self.start_devices()?;
         self.stop_at = SimTime::ZERO + duration;
-        // Resolve the topology once: each node's cabled endpoint, each
-        // switch port's cable, and which node owns each NIC port (so
-        // deliveries can wake parked loops). The event hot path never
-        // touches the `links` HashMap again.
+        self.resolve_caches();
+        if self.workers > 1 {
+            self.run_sharded()
+        } else {
+            self.run_single()
+        }
+    }
+
+    /// Resolves the topology once: each node's cabled endpoint, each
+    /// switch port's cable, which node owns each NIC port (so deliveries
+    /// can wake parked loops), the per-port impairment RNG streams, and
+    /// the dirty-fd app routing. The event hot path never touches the
+    /// `links` HashMap again.
+    fn resolve_caches(&mut self) {
         self.dev_owner = self
             .devs
             .iter()
@@ -674,6 +879,26 @@ impl NetSim {
             let (d, p) = (self.nodes[i].dev, self.nodes[i].port);
             self.nodes[i].cabled = self.links.get(&Ep::Dev(d, p)).copied();
             self.dev_owner[d][p] = Some(i);
+            // Dirty-fd app gating (ideal hosts): seed everything runnable
+            // and map each app's fds so stack changes route to their app.
+            let node = &mut self.nodes[i];
+            node.gated = node.profile.per_ff_call_ns == 0 && !node.profile.s2_service;
+            let slots = node.servers.len() + node.clients.len();
+            node.runnable = vec![true; slots];
+            for (si, s) in node.servers.iter().enumerate() {
+                if let Some(app) = s {
+                    Self::note_app_fd(&mut node.app_of_fd, app.listen_fd(), si as u32);
+                    for &fd in app.conn_fds() {
+                        Self::note_app_fd(&mut node.app_of_fd, fd, si as u32);
+                    }
+                }
+            }
+            let base = node.servers.len() as u32;
+            for (ci, c) in node.clients.iter().enumerate() {
+                if let Some(app) = c {
+                    Self::note_app_fd(&mut node.app_of_fd, app.sock_fd(), base + ci as u32);
+                }
+            }
         }
         self.sw_cabled = self
             .switches
@@ -685,13 +910,41 @@ impl NetSim {
                     .collect()
             })
             .collect();
-        let mut engine: Engine<NetSim> = Engine::new();
+        let seed = self.seed;
+        self.port_rng = self
+            .devs
+            .iter()
+            .enumerate()
+            .map(|(d, dev)| {
+                (0..dev.port_count())
+                    .map(|p| Self::derive_port_rng(seed, d, p))
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Schedules every node's staggered first loop iteration (the hosts
+    /// boot independently, so iterations do not run in lockstep). A shard
+    /// schedules only the nodes it owns; the init origin and global node
+    /// indices keep the keys consistent with the single-engine run.
+    fn schedule_boot(&self, engine: &mut Engine<NetSim>) {
+        let init_origin = self.init_origin();
         for i in 0..self.nodes.len() {
-            // Stagger start-up a little so iterations do not run in
-            // lockstep (the hosts boot independently).
+            if let Some(ctx) = &self.shard_ctx {
+                if ctx.node_shard[i] != ctx.id {
+                    continue;
+                }
+            }
             let at = SimTime::from_nanos(97 * (i as u64 + 1));
-            engine.schedule(at, NetEvent::LoopIter { node: i });
+            engine.schedule_from(init_origin, at, NetEvent::LoopIter { node: i });
         }
+    }
+
+    /// The classic single-engine run (`workers == 1`): one calendar, one
+    /// loop — the path the pinned trace digests prove unchanged.
+    fn run_single(mut self) -> Result<SimOutcome, CapnetError> {
+        let mut engine: Engine<NetSim> = Engine::new();
+        self.schedule_boot(&mut engine);
         let stop = self.stop_at;
         engine.run_until(&mut self, stop);
         let end = engine.now();
@@ -737,7 +990,717 @@ impl NetSim {
             mutex_stats,
             impairment_stats: self.impairment_stats,
             trace: self.trace,
+            workers: 1,
+            lookahead_ns: 0,
         })
+    }
+
+    /// The topology/constraint view the shard partitioner plans over.
+    fn shard_graph(&self) -> ShardGraph {
+        let mut g = ShardGraph {
+            nodes: self.nodes.len(),
+            switches: self.switches.len(),
+            node_weight: self
+                .nodes
+                .iter()
+                .map(|n| 1 + (n.servers.len() + n.clients.len()) as u64)
+                .collect(),
+            ..ShardGraph::default()
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node.cabled {
+                Some(Ep::Sw(sw, _)) => g.attachments.push((i, sw)),
+                Some(Ep::Dev(d, p)) => {
+                    // Direct cable: co-locate the two ends (zero barrier
+                    // traffic); record once per pair.
+                    if let Some(j) = self.dev_owner[d][p] {
+                        if i < j {
+                            g.node_links.push((i, j));
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+        for (s, ports) in self.sw_cabled.iter().enumerate() {
+            for ep in ports.iter().flatten() {
+                if let Ep::Sw(s2, _) = *ep {
+                    if s < s2 {
+                        g.trunks.push((s, s2));
+                    }
+                }
+            }
+        }
+        // Nodes sharing a multi-port device must co-shard (they share its
+        // rings and PCI bus model); iterate devices in index order so the
+        // plan is deterministic.
+        for owners in &self.dev_owner {
+            let group: Vec<usize> = owners.iter().flatten().copied().collect();
+            if group.len() > 1 {
+                g.bind_groups.push(group);
+            }
+        }
+        // Scenario hosts (per-call isolation charges, the S2 service
+        // mutex) interact through shared state — keep them together.
+        let scenario: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.profile.s2_service || n.profile.per_ff_call_ns > 0)
+            .map(|(i, _)| i)
+            .collect();
+        if scenario.len() > 1 {
+            g.bind_groups.push(scenario);
+        }
+        g
+    }
+
+    /// Owning shard per device: a device follows its owning node(s); an
+    /// unowned device (a cable endpoint without a stack) follows its peer.
+    fn dev_shards(&self, plan: &ShardPlan) -> Vec<u32> {
+        let mut dev_shard = vec![u32::MAX; self.devs.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            dev_shard[n.dev] = plan.node_shard[i] as u32;
+        }
+        for d in 0..self.devs.len() {
+            if dev_shard[d] != u32::MAX {
+                continue;
+            }
+            let mut shard = 0;
+            for p in 0..self.devs[d].port_count() {
+                match self.links.get(&Ep::Dev(d, p)) {
+                    Some(Ep::Sw(sw, _)) => {
+                        shard = plan.switch_shard[*sw] as u32;
+                        break;
+                    }
+                    Some(Ep::Dev(pd, _)) if dev_shard[*pd] != u32::MAX => {
+                        shard = dev_shard[*pd];
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            dev_shard[d] = shard;
+        }
+        dev_shard
+    }
+
+    /// The conservative lookahead: the minimum latency any frame needs to
+    /// cross a shard boundary. Every cut-edge traversal pays at least one
+    /// minimum-frame serialization (NIC egress or switch egress, the
+    /// latter plus store-and-forward latency) before the cable's
+    /// propagation delay, so events generated inside a window of this
+    /// width can only land in later windows. `None` when no edge is cut
+    /// (shards are independent and each runs to completion in one window).
+    fn shard_lookahead(&self, dev_shard: &[u32], sw_shard: &[u32]) -> Option<u64> {
+        let min_ser = self
+            .costs
+            .wire_cost(MIN_FRAME as u64 + WIRE_OVERHEAD)
+            .as_nanos();
+        let wire_lat = self.wire.latency().as_nanos();
+        let shard_of = |ep: &Ep| match *ep {
+            Ep::Dev(d, _) => dev_shard[d],
+            Ep::Sw(s, _) => sw_shard[s],
+        };
+        let mut min: Option<u64> = None;
+        for (a, b) in &self.links {
+            if shard_of(a) == shard_of(b) {
+                continue;
+            }
+            // `links` stores both directions, so `a` is the emitting side.
+            let lat = wire_lat
+                + min_ser
+                + match a {
+                    Ep::Sw(..) => self.costs.switch_latency_ns,
+                    Ep::Dev(..) => 0,
+                };
+            min = Some(min.map_or(lat, |m| m.min(lat)));
+        }
+        min
+    }
+
+    /// A placeholder for a foreign (other-shard) node slot: shard worlds
+    /// keep full-length, globally indexed vectors so every handler keeps
+    /// using global ids, and these slots are never touched.
+    fn shadow_node(i: usize) -> Node {
+        Node {
+            name: String::new(),
+            dev: 0,
+            port: 0,
+            mem: 0,
+            stack: FStack::with_socket_capacity(
+                StackConfig::new(
+                    format!("shadow{i}"),
+                    MacAddr::local(0),
+                    Ipv4Addr::UNSPECIFIED,
+                ),
+                0, // never opens a socket; size no per-fd bookkeeping
+            ),
+            servers: Vec::new(),
+            clients: Vec::new(),
+            profile: IsolationProfile::default(),
+            turns: 0,
+            gated: false,
+            app_of_fd: Vec::new(),
+            runnable: Vec::new(),
+            fd_scratch: Vec::new(),
+            cabled: None,
+            parked: false,
+            epoch: 0,
+            wake: None,
+            anchor: SimTime::ZERO,
+        }
+    }
+
+    /// Splits this simulation into shard worlds per `plan` and runs them
+    /// in conservative lookahead windows, merging an outcome that is
+    /// byte-identical to the single-engine run's.
+    fn run_sharded(mut self) -> Result<SimOutcome, CapnetError> {
+        let graph = self.shard_graph();
+        let plan = partition_shards(&graph, self.workers);
+        let dev_shard = self.dev_shards(&plan);
+        let sw_shard: Vec<u32> = plan.switch_shard.iter().map(|&s| s as u32).collect();
+        let lookahead = self.shard_lookahead(&dev_shard, &sw_shard);
+        if lookahead == Some(0) {
+            // Degenerate cost model (zero-latency cut edges): no window
+            // width is conservative, so run single-engine.
+            return self.run_single();
+        }
+        let stop = self.stop_at;
+        let workers = plan.workers;
+        // A cut-free plan means fully independent shards: one "window"
+        // covering the whole horizon.
+        let lookahead_ns = lookahead.unwrap_or(stop.as_nanos().saturating_add(1));
+        // Worker threads when the host has the cores for it, multiplexed
+        // on this thread otherwise — identical results by construction
+        // (same windows, same sorted injections).
+        let threaded = self.worker_threads.unwrap_or_else(|| {
+            match std::env::var("CAPNET_SHARD_THREADS").ok().as_deref() {
+                Some("0") => false,
+                Some("1") => true,
+                // Unset or unrecognized: pick by available cores.
+                _ => std::thread::available_parallelism().map_or(1, usize::from) > 1,
+            }
+        });
+
+        // Build the shard worlds: every vector keeps its global length,
+        // with foreign slots replaced by untouched placeholders; real
+        // state MOVES to its owning shard.
+        let mut cells: Vec<ShardRun> = (0..workers)
+            .map(|sid| ShardRun {
+                sim: NetSim {
+                    costs: self.costs.clone(),
+                    devs: Vec::with_capacity(self.devs.len()),
+                    mems: Vec::with_capacity(self.mems.len()),
+                    mem_bump: Vec::new(),
+                    nodes: Vec::with_capacity(self.nodes.len()),
+                    links: HashMap::new(),
+                    switches: Vec::with_capacity(self.switches.len()),
+                    trace: TraceDigest::default(),
+                    wire: self.wire.clone(),
+                    impairments: self.impairments,
+                    impairment_stats: ImpairmentStats::default(),
+                    app_sched: self.app_sched,
+                    s2_mutex: None,
+                    stop_at: stop,
+                    seed: self.seed,
+                    port_rng: self.port_rng.clone(),
+                    kmod: BindingRegistry::new(),
+                    next_pci: 0,
+                    counters: EventCounters::default(),
+                    dev_owner: self.dev_owner.clone(),
+                    sw_cabled: self.sw_cabled.clone(),
+                    idle_period: self.idle_period,
+                    workers: 1,
+                    worker_threads: None,
+                    shard_ctx: Some(Box::new(ShardCtx {
+                        id: sid as u32,
+                        node_shard: plan.node_shard.iter().map(|&s| s as u32).collect(),
+                        dev_shard: dev_shard.clone(),
+                        sw_shard: sw_shard.clone(),
+                        same_thread: !threaded,
+                        outbox: (0..workers).map(|_| Vec::new()).collect(),
+                        log: std::collections::VecDeque::new(),
+                    })),
+                },
+                engine: Engine::new(),
+            })
+            .collect();
+        let costs = self.costs.clone();
+        let s2_owner = self
+            .nodes
+            .iter()
+            .position(|n| n.profile.s2_service)
+            .map_or(0, |i| plan.node_shard[i]);
+        for (i, node) in self.nodes.drain(..).enumerate() {
+            let owner = plan.node_shard[i];
+            for (sid, cell) in cells.iter_mut().enumerate() {
+                if sid != owner {
+                    cell.sim.nodes.push(Self::shadow_node(i));
+                }
+            }
+            cells[owner].sim.nodes.push(node);
+        }
+        for (i, mem) in self.mems.drain(..).enumerate() {
+            let owner = plan.node_shard[i];
+            for (sid, cell) in cells.iter_mut().enumerate() {
+                if sid != owner {
+                    cell.sim.mems.push(TaggedMemory::new(16));
+                }
+            }
+            cells[owner].sim.mems.push(mem);
+        }
+        for (d, dev) in self.devs.drain(..).enumerate() {
+            let owner = dev_shard[d] as usize;
+            for (sid, cell) in cells.iter_mut().enumerate() {
+                if sid != owner {
+                    cell.sim.devs.push(EthDev::new(
+                        PciAddress::new(0, 0, 0),
+                        NicModel::Host,
+                        costs.clone(),
+                    ));
+                }
+            }
+            cells[owner].sim.devs.push(dev);
+        }
+        for (s, sw) in self.switches.drain(..).enumerate() {
+            let owner = plan.switch_shard[s];
+            for (sid, cell) in cells.iter_mut().enumerate() {
+                if sid != owner {
+                    cell.sim.switches.push(LinkFabric::new(2, 1));
+                }
+            }
+            cells[owner].sim.switches.push(sw);
+        }
+        if let Some(m) = self.s2_mutex.take() {
+            cells[s2_owner].sim.s2_mutex = Some(m);
+        }
+        for cell in cells.iter_mut() {
+            let ShardRun { sim, engine } = cell;
+            sim.schedule_boot(engine);
+        }
+
+        let mut trace = TraceDigest::default();
+        if threaded {
+            Self::drive_windows_threaded(&mut cells, stop, lookahead_ns);
+        } else {
+            Self::drive_windows_sequential(&mut cells, stop, lookahead_ns, &mut trace);
+        }
+        Ok(Self::merge_outcome(
+            cells,
+            &plan,
+            stop,
+            lookahead.unwrap_or(0),
+            trace,
+        ))
+    }
+
+    /// Each shard's safe window bound for one round (Chandy–Misra-style
+    /// per-process bounds rather than one global lockstep width). Any
+    /// event reaching this shard during the round descends from some
+    /// shard's currently earliest event through ≥ 1 cross-shard hop of ≥
+    /// `lookahead` each: a chain seeded by a *peer* arrives no earlier
+    /// than the earliest peer event plus one hop, and a chain seeded by
+    /// this shard's *own* events must leave and come back — two hops — so
+    /// the bound is the smaller of the two. A shard whose peers are quiet
+    /// therefore advances `2·lookahead` per round instead of idling in
+    /// lockstep.
+    fn window_end(nexts: &[u64], me: usize, lookahead: u64) -> u64 {
+        let mut others = u64::MAX;
+        for (s, &n) in nexts.iter().enumerate() {
+            if s != me && n < others {
+                others = n;
+            }
+        }
+        let via_peers = others.saturating_add(lookahead);
+        let round_trip = nexts[me]
+            .saturating_add(lookahead)
+            .saturating_add(lookahead);
+        via_peers.min(round_trip)
+    }
+
+    /// One-thread window multiplexing: each round runs every shard up to
+    /// its safe bound, then exchanges and injects the cross-shard events
+    /// generated in it. Deferred digest entries older than every shard's
+    /// next event are final, so they fold into `trace` as the run goes —
+    /// retained frames stay bounded by a round's deliveries instead of
+    /// the whole run's.
+    fn drive_windows_sequential(
+        cells: &mut [ShardRun],
+        stop: SimTime,
+        lookahead: u64,
+        trace: &mut TraceDigest,
+    ) {
+        let workers = cells.len();
+        let mut inject: Vec<Vec<XEvent>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut nexts = vec![u64::MAX; workers];
+        let mut final_folds: Vec<DeliveryRecord> = Vec::new();
+        loop {
+            for (cell, next) in cells.iter_mut().zip(nexts.iter_mut()) {
+                *next = cell
+                    .engine
+                    .next_event_at()
+                    .map_or(u64::MAX, |t| t.as_nanos());
+            }
+            let min_next = nexts.iter().copied().min().unwrap_or(u64::MAX);
+            // No shard can execute anything before `min_next`, so every
+            // logged delivery strictly older than it is final: fold those
+            // now, in merged key order, and release their frames.
+            if min_next > 0 {
+                for cell in cells.iter_mut() {
+                    let log = &mut cell.sim.shard_ctx.as_mut().expect("shard ctx").log;
+                    while log.front().is_some_and(|r| r.at.as_nanos() < min_next) {
+                        final_folds.push(log.pop_front().expect("checked front"));
+                    }
+                }
+                if !final_folds.is_empty() {
+                    final_folds.sort_unstable_by_key(|r| (r.at, r.key));
+                    for r in final_folds.drain(..) {
+                        trace.record(r.at, r.dev as usize, r.port as usize, r.frame.bytes());
+                    }
+                }
+            }
+            if min_next == u64::MAX || min_next > stop.as_nanos() {
+                break;
+            }
+            for (me, cell) in cells.iter_mut().enumerate() {
+                let end = Self::window_end(&nexts, me, lookahead);
+                if nexts[me] >= end {
+                    continue; // nothing due inside this shard's bound
+                }
+                let ShardRun { sim, engine } = cell;
+                if end > stop.as_nanos() {
+                    engine.run_until(sim, stop);
+                } else {
+                    engine.run_window(sim, SimTime::from_nanos(end));
+                }
+            }
+            for cell in cells.iter_mut() {
+                let ctx = cell.sim.shard_ctx.as_mut().expect("shard ctx");
+                for (dst, outgoing) in ctx.outbox.iter_mut().enumerate() {
+                    if !outgoing.is_empty() {
+                        inject[dst].append(outgoing);
+                    }
+                }
+            }
+            for (cell, incoming) in cells.iter_mut().zip(inject.iter_mut()) {
+                Self::inject_sorted(cell, incoming);
+            }
+        }
+    }
+
+    /// Threaded window driver: one worker thread per shard, two barrier
+    /// waits per round (outbox flush, then injection + next-window vote).
+    fn drive_windows_threaded(cells: &mut Vec<ShardRun>, stop: SimTime, lookahead: u64) {
+        let workers = cells.len();
+        let shared = ShardShared {
+            barrier: Barrier::new(workers),
+            mailbox: (0..workers)
+                .map(|_| (0..workers).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+            next_at: (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            stop: stop.as_nanos(),
+            lookahead,
+        };
+        let finished = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (id, cell) in cells.drain(..).enumerate() {
+                let shared = &shared;
+                handles.push(scope.spawn(move || Self::shard_worker(cell, id, shared)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        *cells = finished;
+    }
+
+    /// The per-thread loop of [`NetSim::drive_windows_threaded`]; mirrors
+    /// the sequential driver round for round.
+    fn shard_worker(mut cell: ShardRun, id: usize, shared: &ShardShared) -> ShardRun {
+        let workers = shared.next_at.len();
+        loop {
+            let next = cell
+                .engine
+                .next_event_at()
+                .map_or(u64::MAX, |t| t.as_nanos());
+            shared.next_at[id].store(next, Ordering::SeqCst);
+            shared.barrier.wait();
+            // Every worker derives the same windows from the same
+            // published instants — no coordinator thread needed.
+            let nexts: Vec<u64> = (0..workers)
+                .map(|s| shared.next_at[s].load(Ordering::SeqCst))
+                .collect();
+            let start = nexts.iter().copied().min().unwrap_or(u64::MAX);
+            if start == u64::MAX || start > shared.stop {
+                break;
+            }
+            let end = Self::window_end(&nexts, id, shared.lookahead);
+            if nexts[id] < end {
+                let ShardRun { sim, engine } = &mut cell;
+                if end > shared.stop {
+                    engine.run_until(sim, SimTime::from_nanos(shared.stop));
+                } else {
+                    engine.run_window(sim, SimTime::from_nanos(end));
+                }
+            }
+            {
+                let ctx = cell.sim.shard_ctx.as_mut().expect("shard ctx");
+                for (dst, outgoing) in ctx.outbox.iter_mut().enumerate() {
+                    if !outgoing.is_empty() {
+                        shared.mailbox[id][dst]
+                            .lock()
+                            .expect("mailbox poisoned")
+                            .append(outgoing);
+                    }
+                }
+            }
+            shared.barrier.wait();
+            let mut incoming = Vec::new();
+            for src in 0..workers {
+                incoming.append(&mut shared.mailbox[src][id].lock().expect("mailbox poisoned"));
+            }
+            Self::inject_sorted(&mut cell, &mut incoming);
+        }
+        cell
+    }
+
+    /// Sorts a window's incoming cross-shard events by `(at, key)` — the
+    /// single-engine dispatch order — re-materializes each payload into
+    /// this thread's buffer pool, and schedules them.
+    fn inject_sorted(cell: &mut ShardRun, incoming: &mut Vec<XEvent>) {
+        if incoming.is_empty() {
+            return;
+        }
+        incoming.sort_unstable_by_key(|x| (x.at, x.key));
+        for x in incoming.drain(..) {
+            let frame = x.payload.into_frame();
+            let ev = if x.to_switch {
+                NetEvent::SwitchHop {
+                    sw: x.obj as usize,
+                    port: x.port as usize,
+                    at: x.at,
+                    frame,
+                }
+            } else {
+                NetEvent::Deliver {
+                    dev: x.obj as usize,
+                    port: x.port as usize,
+                    at: x.at,
+                    frame,
+                }
+            };
+            cell.engine.schedule_injected(x.at, x.key, ev);
+        }
+    }
+
+    /// Merges the shard worlds back into one [`SimOutcome`]: counters and
+    /// stats sum, reports collect in global installation order, and the
+    /// deferred delivery log folds into the trace digest in `(at, key)`
+    /// order — the exact order the single-engine run folded inline.
+    fn merge_outcome(
+        mut cells: Vec<ShardRun>,
+        plan: &ShardPlan,
+        stop: SimTime,
+        lookahead_ns: u64,
+        mut trace: TraceDigest,
+    ) -> SimOutcome {
+        let end = cells
+            .iter()
+            .map(|c| c.engine.now())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let events = cells.iter().map(|c| c.engine.executed()).sum();
+        let mut counters = EventCounters::default();
+        let mut impairment_stats = ImpairmentStats::default();
+        for cell in &cells {
+            let c = cell.sim.counters;
+            counters.loop_polls += c.loop_polls;
+            counters.idle_polls += c.idle_polls;
+            counters.deliveries += c.deliveries;
+            counters.switch_hops += c.switch_hops;
+            counters.timer_wakes += c.timer_wakes;
+            counters.stale_wakes += c.stale_wakes;
+            counters.parks += c.parks;
+            counters.wakes += c.wakes;
+            counters.boxed_events += cell.engine.boxed_scheduled();
+            impairment_stats.absorb(cell.sim.impairment_stats);
+        }
+        // The deferred digest: whatever the driver has not already folded
+        // incrementally (everything, for the threaded driver), appended in
+        // global dispatch order on top of the accumulated fold.
+        let mut log: Vec<DeliveryRecord> = Vec::new();
+        for cell in cells.iter_mut() {
+            let ctx = cell.sim.shard_ctx.as_mut().expect("shard ctx");
+            log.extend(ctx.log.drain(..));
+        }
+        log.sort_unstable_by_key(|r| (r.at, r.key));
+        for r in &log {
+            trace.record(r.at, r.dev as usize, r.port as usize, r.frame.bytes());
+        }
+        drop(log);
+
+        let mut servers = Vec::new();
+        let mut clients = Vec::new();
+        let mut port_stats = Vec::new();
+        let mut stack_stats = Vec::new();
+        for i in 0..plan.node_shard.len() {
+            let sim = &mut cells[plan.node_shard[i]].sim;
+            {
+                let node = &mut sim.nodes[i];
+                for s in node.servers.iter_mut() {
+                    if let Some(app) = s.take() {
+                        servers.push(app.report(end));
+                    }
+                }
+                for c in node.clients.iter_mut() {
+                    if let Some(app) = c.take() {
+                        clients.push(app.report(end));
+                    }
+                }
+            }
+            let (name, dev, port) = {
+                let n = &sim.nodes[i];
+                (n.name.clone(), n.dev, n.port)
+            };
+            port_stats.push((name.clone(), sim.devs[dev].stats(port)));
+            stack_stats.push((name, sim.nodes[i].stack.stats()));
+        }
+        let switch_stats = (0..plan.switch_shard.len())
+            .map(|s| cells[plan.switch_shard[s]].sim.switches[s].stats())
+            .collect();
+        let mutex_stats = cells.iter().find_map(|c| {
+            c.sim
+                .s2_mutex
+                .as_ref()
+                .map(|m| (m.acquisitions(), m.contentions(), m.total_wait()))
+        });
+        SimOutcome {
+            servers,
+            clients,
+            ended_at: end,
+            horizon: stop,
+            events,
+            counters,
+            port_stats,
+            stack_stats,
+            switch_stats,
+            mutex_stats,
+            impairment_stats,
+            trace,
+            workers: plan.workers,
+            lookahead_ns,
+        }
+    }
+
+    /// Records that `fd` belongs to app `slot` on its node (dirty-fd
+    /// routing table; grown on demand, entries overwritten on fd reuse).
+    fn note_app_fd(app_of_fd: &mut Vec<Option<u32>>, fd: chos::fdtable::Fd, slot: u32) {
+        let idx = fd as usize;
+        if idx >= app_of_fd.len() {
+            app_of_fd.resize(idx + 1, None);
+        }
+        app_of_fd[idx] = Some(slot);
+    }
+
+    /// Stable [`simkern::engine::OrderKey`] origin of node `i`'s handlers.
+    ///
+    /// The origin space is global and identical at any worker count —
+    /// nodes first, then switches, then the pre-run initializer — so the
+    /// keys built by a sharded run match the single-engine run's exactly.
+    fn node_origin(i: usize) -> u32 {
+        i as u32
+    }
+
+    /// Stable order-key origin of switch `sw`'s forwarding handler.
+    fn switch_origin(&self, sw: usize) -> u32 {
+        (self.nodes.len() + sw) as u32
+    }
+
+    /// Order-key origin of the pre-run initializer (the staggered start-up
+    /// loop-iteration schedules).
+    fn init_origin(&self) -> u32 {
+        (self.nodes.len() + self.switches.len()) as u32
+    }
+
+    /// `true` when device `dev` is handled by this world (always, outside
+    /// a sharded run).
+    #[inline]
+    fn local_dev(&self, dev: usize) -> bool {
+        match &self.shard_ctx {
+            None => true,
+            Some(ctx) => ctx.dev_shard[dev] == ctx.id,
+        }
+    }
+
+    /// `true` when switch `sw` is handled by this world.
+    #[inline]
+    fn local_sw(&self, sw: usize) -> bool {
+        match &self.shard_ctx {
+            None => true,
+            Some(ctx) => ctx.sw_shard[sw] == ctx.id,
+        }
+    }
+
+    /// Queues a cross-shard frame delivery for the window barrier: the
+    /// payload is serialized to plain bytes (the destination shard
+    /// re-materializes it into its own pool) and the order key is drawn
+    /// from this engine's origin counter, exactly as a local schedule
+    /// would have.
+    fn outbox_deliver(
+        &mut self,
+        engine: &mut Engine<NetSim>,
+        origin: u32,
+        dev: usize,
+        port: usize,
+        at: SimTime,
+        frame: &Frame,
+    ) {
+        let key = engine.make_key(origin);
+        let ctx = self.shard_ctx.as_mut().expect("cross-shard send has a ctx");
+        let dst = ctx.dev_shard[dev] as usize;
+        let payload = if ctx.same_thread {
+            XPayload::Shared(frame.clone())
+        } else {
+            XPayload::Bytes(frame.bytes().to_vec())
+        };
+        ctx.outbox[dst].push(XEvent {
+            at,
+            key,
+            to_switch: false,
+            obj: dev as u32,
+            port: port as u32,
+            payload,
+        });
+    }
+
+    /// Queues a cross-shard switch hop for the window barrier.
+    fn outbox_hop(
+        &mut self,
+        engine: &mut Engine<NetSim>,
+        origin: u32,
+        sw: usize,
+        port: usize,
+        at: SimTime,
+        frame: &Frame,
+    ) {
+        let key = engine.make_key(origin);
+        let ctx = self.shard_ctx.as_mut().expect("cross-shard send has a ctx");
+        let dst = ctx.sw_shard[sw] as usize;
+        let payload = if ctx.same_thread {
+            XPayload::Shared(frame.clone())
+        } else {
+            XPayload::Bytes(frame.bytes().to_vec())
+        };
+        ctx.outbox[dst].push(XEvent {
+            at,
+            key,
+            to_switch: true,
+            obj: sw as u32,
+            port: port as u32,
+            payload,
+        });
     }
 
     /// The first poll-lattice instant at or after `at`: `anchor + k·period`
@@ -786,46 +1749,83 @@ impl NetSim {
         node.turns += 1;
         let mut ff_calls: u64 = 0;
         let mut progressed = false;
-        let mut step_all = |stack: &mut FStack, mem: &mut TaggedMemory| -> (u64, bool) {
-            let mut calls = 0u64;
-            let mut moved = false;
-            // Servers always step: the convoy forms on the write path
-            // (ff_write holds the service mutex against the main loop),
-            // while reads of already-sorted RX data are short — which is
-            // why the paper's server rows stay even (470/470) on the same
-            // testbed whose client rows split 531/410.
-            for s in node.servers.iter_mut().flatten() {
-                if let Ok(StepOutcome {
-                    ff_calls,
-                    progressed,
-                    ..
-                }) = s.step(stack, mem, now)
-                {
-                    calls += u64::from(ff_calls);
-                    moved |= progressed;
+        // Route the stack's changed fds to their owning apps. On a gated
+        // (ideal) host only runnable apps step: an app with no changed fd
+        // and no due deadline would repeat its previous no-op step, so
+        // skipping it is behaviourally invisible — the hub of an N-client
+        // star steps O(frames received) server apps per poll instead of
+        // all N. Charged hosts (per-call isolation, the S2 service loop)
+        // step everything, because even a no-op step's ff_* calls carry an
+        // accounted cost there.
+        let Node {
+            stack,
+            servers,
+            clients,
+            gated,
+            app_of_fd,
+            runnable,
+            fd_scratch,
+            ..
+        } = node;
+        let gated = *gated;
+        if gated {
+            fd_scratch.clear();
+            stack.take_dirty_fds(fd_scratch);
+            for &fd in fd_scratch.iter() {
+                if let Some(&Some(slot)) = app_of_fd.get(fd as usize) {
+                    runnable[slot as usize] = true;
                 }
             }
-            for (i, c) in node.clients.iter_mut().enumerate() {
-                if !sched.allows(i, turn) {
-                    continue;
-                }
-                if let Some(c) = c {
-                    if let Ok(StepOutcome {
-                        ff_calls,
-                        progressed,
-                        ..
-                    }) = c.step(stack, mem, now)
-                    {
-                        calls += u64::from(ff_calls);
-                        moved |= progressed;
+        }
+        let n_servers = servers.len();
+        // Servers always step when ungated: the convoy forms on the write
+        // path (ff_write holds the service mutex against the main loop),
+        // while reads of already-sorted RX data are short — which is why
+        // the paper's server rows stay even (470/470) on the same testbed
+        // whose client rows split 531/410.
+        for (si, s) in servers.iter_mut().enumerate() {
+            let Some(app) = s else { continue };
+            if gated && !runnable[si] {
+                continue;
+            }
+            runnable[si] = false;
+            if let Ok(StepOutcome {
+                ff_calls: calls,
+                progressed: moved,
+                ..
+            }) = app.step(stack, mem, now)
+            {
+                ff_calls += u64::from(calls);
+                progressed |= moved;
+                if moved {
+                    // Accepts may have added connections: refresh routing.
+                    Self::note_app_fd(app_of_fd, app.listen_fd(), si as u32);
+                    for &fd in app.conn_fds() {
+                        Self::note_app_fd(app_of_fd, fd, si as u32);
                     }
                 }
             }
-            (calls, moved)
-        };
-        let (calls, moved) = step_all(&mut node.stack, mem);
-        ff_calls += calls;
-        progressed |= moved;
+        }
+        for (ci, c) in clients.iter_mut().enumerate() {
+            if !sched.allows(ci, turn) {
+                continue;
+            }
+            let Some(app) = c else { continue };
+            let slot = n_servers + ci;
+            if gated && !runnable[slot] && !app.due(now) {
+                continue;
+            }
+            runnable[slot] = false;
+            if let Ok(StepOutcome {
+                ff_calls: calls,
+                progressed: moved,
+                ..
+            }) = app.step(stack, mem, now)
+            {
+                ff_calls += u64::from(calls);
+                progressed |= moved;
+            }
+        }
 
         // (iii) stack timers + TX ring.
         let tx = tx_phase(&mut node.stack, dev, pi, mem, now).unwrap_or_default();
@@ -835,25 +1835,31 @@ impl NetSim {
         // resolved once at run() start — no topology lookup per iteration.
         let n_tx = tx.len();
         if n_tx > 0 {
+            let origin = Self::node_origin(i);
             match self.nodes[i].cabled {
                 Some(Ep::Dev(pd, pp)) => {
                     for (frame, departure) in tx {
                         let arrival = self.wire.propagate(departure);
-                        self.schedule_delivery(engine, pd, pp, arrival, frame);
+                        self.schedule_delivery(engine, origin, pd, pp, arrival, frame);
                     }
                 }
                 Some(Ep::Sw(sw, sp)) => {
                     for (frame, departure) in tx {
                         let arrival = self.wire.propagate(departure);
-                        engine.schedule(
-                            arrival,
-                            NetEvent::SwitchHop {
-                                sw,
-                                port: sp,
-                                at: arrival,
-                                frame,
-                            },
-                        );
+                        if self.local_sw(sw) {
+                            engine.schedule_from(
+                                origin,
+                                arrival,
+                                NetEvent::SwitchHop {
+                                    sw,
+                                    port: sp,
+                                    at: arrival,
+                                    frame,
+                                },
+                            );
+                        } else {
+                            self.outbox_hop(engine, origin, sw, sp, arrival, &frame);
+                        }
                     }
                 }
                 None => {}
@@ -900,7 +1906,7 @@ impl NetSim {
             && node.profile.per_ff_call_ns == 0
             && self.devs[di].rx_pending(pi) == 0;
         if parkable {
-            let node = &self.nodes[i];
+            let node = &mut self.nodes[i];
             let mut deadline = node.stack.next_timer_deadline();
             for c in node.clients.iter().flatten() {
                 if let Some(d) = c.next_deadline(now) {
@@ -913,18 +1919,19 @@ impl NetSim {
             node.epoch += 1;
             node.anchor = next;
             self.counters.parks += 1;
+            debug_assert!(node.wake.is_none(), "parking with a wake still scheduled");
             if let Some(d) = deadline {
                 let tick = Self::lattice_tick(next, d, period);
-                engine.schedule_last(
+                let epoch = node.epoch;
+                let handle = engine.schedule_last_from(
+                    Self::node_origin(i),
                     tick,
-                    NetEvent::Wake {
-                        node: i,
-                        epoch: node.epoch,
-                    },
+                    NetEvent::Wake { node: i, epoch },
                 );
+                self.nodes[i].wake = Some(handle);
             }
         } else {
-            engine.schedule(next, NetEvent::LoopIter { node: i });
+            engine.schedule_from(Self::node_origin(i), next, NetEvent::LoopIter { node: i });
         }
     }
 
@@ -941,23 +1948,29 @@ impl NetSim {
         engine: &mut Engine<NetSim>,
     ) {
         let outputs = self.switches[sw].ingress(sp, now, frame, &self.costs);
+        let origin = self.switch_origin(sw);
         for tx in outputs {
             match self.sw_cabled[sw][tx.port] {
                 Some(Ep::Dev(pd, pp)) => {
                     let arrival = self.wire.propagate(tx.departure);
-                    self.schedule_delivery(engine, pd, pp, arrival, tx.frame);
+                    self.schedule_delivery(engine, origin, pd, pp, arrival, tx.frame);
                 }
                 Some(Ep::Sw(sw2, sp2)) => {
                     let arrival = self.wire.propagate(tx.departure);
-                    engine.schedule(
-                        arrival,
-                        NetEvent::SwitchHop {
-                            sw: sw2,
-                            port: sp2,
-                            at: arrival,
-                            frame: tx.frame,
-                        },
-                    );
+                    if self.local_sw(sw2) {
+                        engine.schedule_from(
+                            origin,
+                            arrival,
+                            NetEvent::SwitchHop {
+                                sw: sw2,
+                                port: sp2,
+                                at: arrival,
+                                frame: tx.frame,
+                            },
+                        );
+                    } else {
+                        self.outbox_hop(engine, origin, sw2, sp2, arrival, &tx.frame);
+                    }
                 }
                 None => { /* unattached switch port: the copy goes nowhere */ }
             }
@@ -970,34 +1983,57 @@ impl NetSim {
     fn schedule_delivery(
         &mut self,
         engine: &mut Engine<NetSim>,
+        origin: u32,
         dev: usize,
         port: usize,
         at: SimTime,
         frame: Frame,
     ) {
+        let local = self.local_dev(dev);
         if self.impairments.is_ideal() {
-            engine.schedule(at, NetEvent::Deliver {
-                dev,
-                port,
-                at,
-                frame,
-            });
+            if local {
+                engine.schedule_from(
+                    origin,
+                    at,
+                    NetEvent::Deliver {
+                        dev,
+                        port,
+                        at,
+                        frame,
+                    },
+                );
+            } else {
+                self.outbox_deliver(engine, origin, dev, port, at, &frame);
+            }
             return;
         }
-        let plan = self.impairments.plan(&mut self.rng, at);
+        // Impairments are drawn on the sending side from the destination
+        // port's own stream — all deliveries to a port come from its one
+        // cabled peer, so the draw order is that peer's deterministic
+        // emission order, independent of sharding.
+        let rng = &mut self.port_rng[dev][port];
+        let plan = self.impairments.plan(rng, at);
         self.impairment_stats.absorb(plan.stats);
         for (at, corrupt) in plan.deliveries {
             let copy = if corrupt {
-                frame.corrupted(&mut self.rng)
+                frame.corrupted(&mut self.port_rng[dev][port])
             } else {
                 frame.clone()
             };
-            engine.schedule(at, NetEvent::Deliver {
-                dev,
-                port,
-                at,
-                frame: copy,
-            });
+            if local {
+                engine.schedule_from(
+                    origin,
+                    at,
+                    NetEvent::Deliver {
+                        dev,
+                        port,
+                        at,
+                        frame: copy,
+                    },
+                );
+            } else {
+                self.outbox_deliver(engine, origin, dev, port, at, &copy);
+            }
         }
     }
 
@@ -1014,7 +2050,21 @@ impl NetSim {
         frame: Frame,
         engine: &mut Engine<NetSim>,
     ) {
-        self.trace.record(at, dev, port, frame.bytes());
+        if let Some(ctx) = &mut self.shard_ctx {
+            // Sharded runs defer the digest: folds must happen in the
+            // *merged* dispatch order across all shards, not this shard's
+            // arrival order, so the delivery is logged under its dispatch
+            // key and folded at merge time.
+            ctx.log.push_back(DeliveryRecord {
+                at,
+                key: engine.current_key(),
+                dev: dev as u32,
+                port: port as u32,
+                frame: frame.clone(),
+            });
+        } else {
+            self.trace.record(at, dev, port, frame.bytes());
+        }
         self.devs[dev].deliver(port, at, frame);
         if let Some(ni) = self.dev_owner[dev][port] {
             let node = &mut self.nodes[ni];
@@ -1022,14 +2072,20 @@ impl NetSim {
                 node.parked = false;
                 node.epoch += 1;
                 self.counters.wakes += 1;
+                // Supersede the parked deadline wake in place: cancelling it
+                // is what keeps `ev_stale_wakes` at zero (the epoch check on
+                // dispatch survives as a debug assertion of this invariant).
+                if let Some(stale) = node.wake.take() {
+                    engine.cancel(stale);
+                }
+                let epoch = node.epoch;
                 let tick = Self::lattice_tick(node.anchor, engine.now(), self.idle_period);
-                engine.schedule_last(
+                let handle = engine.schedule_last_from(
+                    Self::node_origin(ni),
                     tick,
-                    NetEvent::Wake {
-                        node: ni,
-                        epoch: node.epoch,
-                    },
+                    NetEvent::Wake { node: ni, epoch },
                 );
+                self.nodes[ni].wake = Some(handle);
             }
         }
     }
@@ -1042,16 +2098,27 @@ impl World for NetSim {
         match ev {
             NetEvent::LoopIter { node } => self.loop_iter(node, engine),
             NetEvent::Wake { node, epoch } => {
-                if self.nodes[node].epoch == epoch {
-                    if self.nodes[node].parked {
-                        // A parked node reaching its scheduled deadline.
-                        self.nodes[node].parked = false;
-                        self.counters.timer_wakes += 1;
-                    }
-                    self.loop_iter(node, engine);
-                } else {
+                // Superseded wakes are cancelled in place and never
+                // dispatch; a mismatched epoch here would mean a
+                // cancellation was missed.
+                debug_assert_eq!(
+                    self.nodes[node].epoch, epoch,
+                    "stale wake leaked past cancellation"
+                );
+                if self.nodes[node].epoch != epoch {
+                    // Release-mode safety net (kept for robustness; the
+                    // counter stays visible in BENCH json as the witness
+                    // that cancellation works).
                     self.counters.stale_wakes += 1;
+                    return;
                 }
+                self.nodes[node].wake = None;
+                if self.nodes[node].parked {
+                    // A parked node reaching its scheduled deadline.
+                    self.nodes[node].parked = false;
+                    self.counters.timer_wakes += 1;
+                }
+                self.loop_iter(node, engine);
             }
             NetEvent::Deliver {
                 dev,
@@ -1111,8 +2178,14 @@ pub struct SimOutcome {
     pub mutex_stats: Option<(u64, u64, SimDuration)>,
     /// What the (possibly impaired) cables did over the run.
     pub impairment_stats: ImpairmentStats,
-    /// The run's delivery-trace digest (the determinism witness).
+    /// The run's delivery-trace digest (the determinism witness) —
+    /// byte-identical at any [`SimOutcome::workers`] count.
     pub trace: TraceDigest,
+    /// Shards the run actually used (1 = the classic single-engine loop).
+    pub workers: usize,
+    /// The conservative lookahead window width of a sharded run, in
+    /// nanoseconds (0 when single-engine or when no cable crossed shards).
+    pub lookahead_ns: u64,
 }
 
 #[cfg(test)]

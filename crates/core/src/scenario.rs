@@ -311,9 +311,30 @@ pub fn run_star_iperf_impaired(
     seed: u64,
     impairments: updk::wire::Impairments,
 ) -> Result<SimOutcome, CapnetError> {
+    run_star_iperf_sharded(clients, duration, costs, seed, impairments, 1)
+}
+
+/// [`run_star_iperf_impaired`] on a sharded simulation:
+/// [`NetSim::set_workers`] is set to `workers` before the run. The outcome
+/// — trace digest, counters, reports — is byte-identical for every worker
+/// count (the contract `tests/parallel_determinism.rs` locks in); only
+/// host-side wall time may differ.
+///
+/// # Errors
+///
+/// Propagates configuration and datapath failures.
+pub fn run_star_iperf_sharded(
+    clients: usize,
+    duration: SimDuration,
+    costs: CostModel,
+    seed: u64,
+    impairments: updk::wire::Impairments,
+    workers: usize,
+) -> Result<SimOutcome, CapnetError> {
     let mut sim = NetSim::new(costs);
     sim.set_seed(seed);
     sim.set_impairments(impairments);
+    sim.set_workers(workers);
     let star = crate::topology::build_star(&mut sim, clients)?;
     for (i, &leaf) in star.leaves.iter().enumerate() {
         let port = STAR_PORT + i as u16;

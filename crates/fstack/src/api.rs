@@ -27,7 +27,7 @@ use cheri::{Capability, TaggedMemory};
 use chos::errno::Errno;
 use chos::fdtable::{Fd, FdTable};
 use simkern::time::SimTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::net::Ipv4Addr;
 use updk::framebuf::{FrameBuf, FrameBufMut};
 use updk::nic::MacAddr;
@@ -124,6 +124,29 @@ pub struct FStack {
     ident: u16,
     next_ephemeral: u16,
     stats: StackStats,
+    /// Sockets whose application-visible state changed since the driver
+    /// last drained the set ([`FStack::take_dirty_fds`]): data or a
+    /// connection arrived, the connection state moved, send space opened,
+    /// an asynchronous error landed. A poll-mode driver steps only the
+    /// applications owning these fds — a socket that is not here, has no
+    /// due timer and saw no app call cannot make an application call
+    /// return differently than on the previous turn.
+    dirty: Vec<Fd>,
+    dirty_flag: Vec<bool>,
+    /// Sockets that may owe the wire output, a timer action or reaping at
+    /// the next [`FStack::poll_tx`]: marked on input, on application
+    /// tx-side calls (`ff_write`/`ff_close`/`ff_connect`/`ff_sendto`) and
+    /// when an armed TCB timer comes due. `poll_tx` visits only these,
+    /// in fd order — the same relative order the historical full-table
+    /// scan used, so the emitted frame order is unchanged.
+    tx_hot: Vec<Fd>,
+    tx_hot_flag: Vec<bool>,
+    /// Armed TCB timer deadlines, `(deadline, fd)`, lazily validated
+    /// against [`FStack::armed`] (an entry is stale once the socket's
+    /// armed deadline moved; stale entries are skipped on pop).
+    timer_q: BinaryHeap<std::cmp::Reverse<(SimTime, Fd)>>,
+    /// The deadline each socket currently has armed in [`FStack::timer_q`].
+    armed: Vec<Option<SimTime>>,
 }
 
 /// Maximum sockets per stack instance (F-Stack default scale).
@@ -132,10 +155,18 @@ const MAX_SOCKETS: usize = 1024;
 impl FStack {
     /// Creates a stack for the given interface.
     pub fn new(cfg: StackConfig) -> Self {
+        Self::with_socket_capacity(cfg, MAX_SOCKETS)
+    }
+
+    /// [`FStack::new`] with an explicit socket-table limit — the per-fd
+    /// bookkeeping (dirty/hot flags, armed-timer slots) is sized to it, so
+    /// placeholder stacks that will never open a socket can pass 0 and
+    /// allocate nothing.
+    pub fn with_socket_capacity(cfg: StackConfig, max_sockets: usize) -> Self {
         FStack {
             cfg,
             arp: ArpCache::new(),
-            sockets: FdTable::with_capacity(MAX_SOCKETS),
+            sockets: FdTable::with_capacity(max_sockets),
             conn_map: HashMap::new(),
             listen_map: HashMap::new(),
             udp_map: HashMap::new(),
@@ -146,7 +177,64 @@ impl FStack {
             ident: 1,
             next_ephemeral: 40_000,
             stats: StackStats::default(),
+            dirty: Vec::new(),
+            dirty_flag: vec![false; max_sockets],
+            tx_hot: Vec::new(),
+            tx_hot_flag: vec![false; max_sockets],
+            timer_q: BinaryHeap::new(),
+            armed: vec![None; max_sockets],
         }
+    }
+
+    /// Flags `fd` as changed for the driver (idempotent per drain cycle).
+    fn mark_dirty(&mut self, fd: Fd) {
+        if let Some(flag) = self.dirty_flag.get_mut(fd as usize) {
+            if !*flag {
+                *flag = true;
+                self.dirty.push(fd);
+            }
+        }
+    }
+
+    /// Flags `fd` for the next [`FStack::poll_tx`] visit (idempotent).
+    fn mark_hot(&mut self, fd: Fd) {
+        if let Some(flag) = self.tx_hot_flag.get_mut(fd as usize) {
+            if !*flag {
+                *flag = true;
+                self.tx_hot.push(fd);
+            }
+        }
+    }
+
+    /// Re-arms `fd`'s timer entry from its TCB's current earliest deadline
+    /// (no-op when unchanged; the superseded heap entry goes stale and is
+    /// skipped on pop).
+    fn arm_timer(&mut self, fd: Fd) {
+        let deadline = self
+            .sockets
+            .get(fd)
+            .and_then(Socket::tcb)
+            .and_then(Tcb::next_timer_deadline);
+        let slot = &mut self.armed[fd as usize];
+        if *slot == deadline {
+            return;
+        }
+        *slot = deadline;
+        if let Some(d) = deadline {
+            self.timer_q.push(std::cmp::Reverse((d, fd)));
+        }
+    }
+
+    /// Drains the set of sockets whose application-visible state changed
+    /// since the previous drain, appending the fds to `out` (unordered).
+    /// The poll-mode driver uses this to step only the applications that
+    /// can actually make progress — every other app's next step is
+    /// guaranteed to be the same no-op as its last.
+    pub fn take_dirty_fds(&mut self, out: &mut Vec<Fd>) {
+        for &fd in &self.dirty {
+            self.dirty_flag[fd as usize] = false;
+        }
+        out.append(&mut self.dirty);
     }
 
     /// The interface configuration.
@@ -285,6 +373,7 @@ impl FStack {
         let tcb = Tcb::connect(local, remote, isn, MSS);
         *sock = Socket::TcpConn(Box::new(tcb));
         self.conn_map.insert((local.1, remote.0, remote.1), fd);
+        self.mark_hot(fd); // the SYN leaves on the next poll
         Ok(())
     }
 
@@ -330,6 +419,7 @@ impl FStack {
         if accepted == 0 {
             return Err(Errno::EAGAIN);
         }
+        self.mark_hot(fd);
         Ok(accepted as u64)
     }
 
@@ -425,6 +515,7 @@ impl FStack {
         if fd_needs_map {
             self.udp_map.insert(udp_port, fd);
         }
+        self.mark_hot(fd);
         Ok(nbytes)
     }
 
@@ -470,6 +561,7 @@ impl FStack {
         match sock {
             Socket::TcpConn(tcb) => {
                 tcb.close();
+                self.mark_hot(fd); // the FIN leaves on the next poll
                 Ok(()) // reaped when Closed
             }
             Socket::TcpListen { local, .. } => {
@@ -601,14 +693,19 @@ impl FStack {
     /// delivery to its port) — with the invariant that a stack whose
     /// [`FStack::poll_tx`] just returned nothing produces no output before
     /// this deadline unless a frame arrives first.
-    pub fn next_timer_deadline(&self) -> Option<SimTime> {
-        let mut min: Option<SimTime> = None;
-        for (_, sock) in self.sockets.iter() {
-            if let Some(d) = sock.tcb().and_then(Tcb::next_timer_deadline) {
-                min = Some(min.map_or(d, |m| m.min(d)));
+    pub fn next_timer_deadline(&mut self) -> Option<SimTime> {
+        // The armed-deadline heap replaces the historical all-sockets scan:
+        // every armed TCB deadline has a heap entry, stale entries (the
+        // socket's deadline has since moved) are dropped on peek, so the
+        // first valid entry is the minimum — O(log n) amortized instead of
+        // O(sockets) per park decision.
+        while let Some(&std::cmp::Reverse((d, fd))) = self.timer_q.peek() {
+            if self.armed[fd as usize] == Some(d) {
+                return Some(d);
             }
+            self.timer_q.pop();
         }
-        min
+        None
     }
 
     // ------------------------------------------------------------------
@@ -681,6 +778,7 @@ impl FStack {
                             if let Some(Socket::Udp { pending_err, .. }) = self.sockets.get_mut(fd)
                             {
                                 *pending_err = Some(Errno::ECONNREFUSED);
+                                self.mark_dirty(fd);
                             }
                         }
                     }
@@ -716,6 +814,7 @@ impl FStack {
                             from: (ip.src, d.src_port),
                             data: d.payload,
                         });
+                        self.mark_dirty(fd);
                     }
                 } else {
                     // Datagram to a closed port: answer with ICMP port
@@ -737,7 +836,18 @@ impl FStack {
         let key = (seg.dst_port, src, seg.src_port);
         if let Some(&fd) = self.conn_map.get(&key) {
             if let Some(tcb) = self.sockets.get_mut(fd).and_then(Socket::tcb_mut) {
+                let was_established = tcb.is_established();
                 tcb.on_segment(now, &seg);
+                let established_now = tcb.is_established();
+                self.mark_dirty(fd);
+                self.mark_hot(fd);
+                if !was_established && established_now {
+                    // The handshake just completed: the owning listener
+                    // (if this was a passive open) becomes accept-ready.
+                    if let Some(&lfd) = self.listen_map.get(&seg.dst_port) {
+                        self.mark_dirty(lfd);
+                    }
+                }
             }
             return;
         }
@@ -776,6 +886,8 @@ impl FStack {
                     backlog.push_back(cfd);
                 }
                 self.conn_map.insert(key, cfd);
+                self.mark_hot(cfd); // owes the SYN-ACK
+                self.mark_dirty(lfd);
             }
             return;
         }
@@ -827,13 +939,41 @@ impl FStack {
     /// are prepended in place. The returned [`FrameBuf`]s are shared
     /// views; the driver wraps them into wire frames without copying.
     pub fn poll_tx(&mut self, now: SimTime) -> Vec<FrameBuf> {
+        // Promote due armed timers into the hot set (stale entries — the
+        // socket's armed deadline moved since the push — are skipped).
+        while let Some(&std::cmp::Reverse((d, fd))) = self.timer_q.peek() {
+            if d > now {
+                break;
+            }
+            self.timer_q.pop();
+            if self.armed[fd as usize] == Some(d) {
+                self.armed[fd as usize] = None; // consumed; re-armed below
+                self.mark_hot(fd);
+            }
+        }
+        // Only sockets with input, app tx-side calls or due timers since
+        // the last poll can owe the wire anything (the same invariant that
+        // lets the driver park: no input, no call, no due timer ⇒ no
+        // output before the next deadline). Visiting them in fd order
+        // reproduces the historical full-table scan's emission order.
+        if self.tx_hot.is_empty() && self.pending_tx.is_empty() {
+            return Vec::new();
+        }
+        let mut hot = std::mem::take(&mut self.tx_hot);
+        for &fd in &hot {
+            self.tx_hot_flag[fd as usize] = false;
+        }
+        hot.sort_unstable();
         let mut frames: Vec<FrameBuf> = Vec::new();
         type ConnKey = (u16, Ipv4Addr, u16);
         let mut reap: Vec<(Fd, Option<ConnKey>)> = Vec::new();
         let mut to_send: Vec<(Ipv4Addr, FrameBufMut)> = Vec::new();
         let mut ident = self.ident;
         let src_ip = self.cfg.ip;
-        for (fd, sock) in self.sockets.iter_mut() {
+        for &fd in &hot {
+            let Some(sock) = self.sockets.get_mut(fd) else {
+                continue;
+            };
             match sock {
                 Socket::TcpConn(tcb) => {
                     let (local, remote) = tcb.endpoints();
@@ -879,7 +1019,15 @@ impl FStack {
             if let Some(k) = key {
                 self.conn_map.remove(&k);
             }
+            // Reaping changes the fd's readiness (to error) — the owning
+            // app observes the close on its next dirty-driven step.
+            self.mark_dirty(fd);
             self.sockets.free(fd).ok();
+        }
+        // Re-arm the visited sockets' timer entries from their TCBs'
+        // current earliest deadlines (reaped fds resolve to no deadline).
+        for &fd in &hot {
+            self.arm_timer(fd);
         }
         // Drain link-layer traffic last so ARP requests generated while
         // wrapping this iteration's packets leave in the same iteration.

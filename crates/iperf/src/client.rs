@@ -89,6 +89,28 @@ impl ClientApp {
         self.bytes
     }
 
+    /// The connection socket — the fd a dirty-fd-driven driver watches for
+    /// this app (SYN-ACKs, send-space openings, close progress all surface
+    /// as changes on it).
+    pub fn sock_fd(&self) -> Fd {
+        self.fd
+    }
+
+    /// `true` when the app would act at `now` without any new stack event:
+    /// the sending phase with the write gap elapsed (a write may proceed)
+    /// or the stop instant reached (the close is owed). Together with the
+    /// dirty-fd set this is the driver's complete "can a step progress?"
+    /// test.
+    pub fn due(&self, now: SimTime) -> bool {
+        match self.phase {
+            Phase::Running => {
+                let started = self.started.expect("running implies started");
+                now >= self.next_write_at || now - started >= self.duration
+            }
+            _ => false,
+        }
+    }
+
     /// `true` once the connection is closed and the run is over.
     pub fn is_done(&self) -> bool {
         self.phase == Phase::Done

@@ -3,26 +3,37 @@
 //! The engine owns no domain state — the scenario drivers in the `capnet`
 //! crate define their own world structs holding the Intravisor, NICs, stacks
 //! and apps. A world declares its event vocabulary through the [`World`]
-//! trait: `type Event` is a small enum stored **inline** in the calendar (no
-//! per-event allocation on the hot path), and [`World::handle`] interprets it.
-//! A [`Engine::schedule_boxed`] escape hatch keeps closure-style scheduling
-//! available for doctests, property tests and small ad-hoc worlds; boxed
-//! schedules are counted ([`Engine::boxed_scheduled`]) so perf-sensitive
-//! drivers can assert their steady state never boxes.
+//! trait: `type Event` is a small enum interpreted by [`World::handle`],
+//! stored **inline** in a two-band calendar: a 512-slot × 1024 ns timer wheel
+//! for the dense near band, with a binary heap as overflow for far-future
+//! deadlines (retransmission timers, TIME_WAIT). Events migrate from the heap
+//! into the wheel as virtual time advances. A [`Engine::schedule_boxed`]
+//! escape hatch keeps closure-style scheduling available for doctests and
+//! small ad-hoc worlds; boxed schedules are counted
+//! ([`Engine::boxed_scheduled`]) so perf-sensitive drivers can assert their
+//! steady state never boxes.
 //!
-//! Internally the calendar is a hierarchical two-band structure in the style
-//! of kernel timer wheels: a 256-slot wheel of 1024 ns granularity covers the
-//! dense near-future band (loop ticks, wire deliveries), with a binary heap
-//! as overflow for everything beyond the ≈262 µs horizon (retransmission
-//! timers, TIME_WAIT, deep egress backlogs). Events migrate from the heap
-//! into the wheel as virtual time advances. Determinism is preserved exactly:
-//! the dispatch order is the total order `(at, class, seq)` where `seq` is a
-//! monotonically increasing sequence number — ties in time are FIFO, exactly
-//! as the previous heap-only engine ordered them.
+//! # Dispatch order
+//!
+//! Dispatch follows the total order `(at, class, key)`, where `class`
+//! separates ordinary events from [`Engine::schedule_last`] events and `key`
+//! is an [`OrderKey`] — the tie-break among same-instant, same-class events.
+//!
+//! For plain [`Engine::schedule`] calls the key degenerates to a global
+//! sequence number, so ties stay FIFO exactly as the previous engine ordered
+//! them. Worlds that are **sharded across several engines** (the parallel
+//! `NetSim`) instead schedule through [`Engine::schedule_from`], which builds
+//! the key from *execution-invariant* components: the virtual instant the
+//! scheduling event ran, its class, the scheduling object's stable `origin`
+//! id, and a per-origin emission counter. Two engines partitioning the same
+//! world produce the same keys for the same events regardless of how the
+//! partition interleaves, which is what makes a sharded run's merge order —
+//! and therefore its wire behaviour — byte-identical to the single-engine
+//! run (see `capnet-core`'s `tests/parallel_determinism.rs`).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
@@ -41,6 +52,49 @@ pub trait World: Sized {
 /// An uninhabited event type for worlds driven purely by boxed closures.
 pub enum NoEvent {}
 
+/// The origin id carried by plain (non-[`Engine::schedule_from`]) schedules:
+/// sorts after every explicit origin, and its `ctr` component is the global
+/// sequence number, preserving the legacy FIFO tie-break.
+const COMPAT_ORIGIN: u32 = u32::MAX;
+
+/// The execution-invariant tie-break among same-instant, same-class events.
+///
+/// Components compare in order:
+///
+/// 1. `gen` — the virtual instant of the event that *scheduled* this one
+///    (events scheduled earlier in virtual time dispatch first);
+/// 2. `gen_class` — the class of the scheduling event (children of ordinary
+///    events precede children of `schedule_last` events at the same `gen`,
+///    mirroring the order their parents dispatched);
+/// 3. `origin` — the stable id of the scheduling object, assigned by the
+///    world (a sharded world must assign ids that are identical across
+///    partitions);
+/// 4. `ctr` — the origin's monotone emission counter (a single handler
+///    emitting several events keeps their order).
+///
+/// Every component is derived from the scheduling event's own (by induction,
+/// invariant) execution — never from engine-global state — so keys are
+/// identical no matter how the world is partitioned across engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrderKey {
+    /// Virtual instant of the scheduling event.
+    pub gen: u64,
+    /// Class of the scheduling event.
+    pub gen_class: u8,
+    /// Stable id of the scheduling object (`u32::MAX` for plain
+    /// schedules).
+    pub origin: u32,
+    /// Per-origin monotone emission counter (the global sequence number for
+    /// plain schedules).
+    pub ctr: u64,
+}
+
+/// Identifies one scheduled typed event, for [`Engine::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHandle {
+    key: OrderKey,
+}
+
 enum Slot<W: World> {
     Typed(W::Event),
     Boxed(Action<W>),
@@ -52,13 +106,13 @@ struct Scheduled<W: World> {
     /// [`Engine::schedule_last`] events (park/wake ticks that must observe
     /// every same-instant delivery first).
     class: u8,
-    seq: u64,
+    key: OrderKey,
     slot: Slot<W>,
 }
 
 impl<W: World> Scheduled<W> {
-    fn key(&self) -> (u64, u8, u64) {
-        (self.at.as_nanos(), self.class, self.seq)
+    fn key(&self) -> (u64, u8, OrderKey) {
+        (self.at.as_nanos(), self.class, self.key)
     }
 }
 
@@ -76,7 +130,8 @@ impl<W: World> PartialOrd for Scheduled<W> {
 impl<W: World> Ord for Scheduled<W> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first,
-        // with FIFO order (by class, then sequence) among same-instant events.
+        // with the invariant tie-break (class, then key) among same-instant
+        // events.
         other.key().cmp(&self.key())
     }
 }
@@ -105,6 +160,14 @@ struct Calendar<W: World> {
     wheel_len: usize,
     base: u64,
     heap: BinaryHeap<Scheduled<W>>,
+    /// Keys of cancelled, still-queued events: lazily removed when the
+    /// cursor reaches them ([`Engine::cancel`]). Keys are never reused
+    /// within a run, so a tombstone can only match its own event.
+    cancelled: HashSet<OrderKey>,
+    /// Memoized earliest-live-event instant (a sharded driver polls it
+    /// every window round); invalidated by pops, cancellations and any
+    /// push that could undercut it.
+    next_cache: Option<SimTime>,
 }
 
 impl<W: World> Calendar<W> {
@@ -114,14 +177,21 @@ impl<W: World> Calendar<W> {
             wheel_len: 0,
             base: 0,
             heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_cache: None,
         }
     }
 
     fn len(&self) -> usize {
-        self.wheel_len + self.heap.len()
+        // Saturating: a stale tombstone (cancel() after dispatch — a
+        // caller bug) must not wrap the live count.
+        (self.wheel_len + self.heap.len()).saturating_sub(self.cancelled.len())
     }
 
     fn push(&mut self, ev: Scheduled<W>) {
+        if self.next_cache.is_some_and(|c| ev.at < c) {
+            self.next_cache = None;
+        }
         let at = ev.at.as_nanos();
         if at >= self.base.saturating_add(HORIZON) {
             self.heap.push(ev);
@@ -142,13 +212,16 @@ impl<W: World> Calendar<W> {
                 break;
             }
             let ev = self.heap.pop().expect("peeked entry pops");
+            if !self.cancelled.is_empty() && self.cancelled.remove(&ev.key) {
+                continue;
+            }
             let eff = ev.at.as_nanos().max(self.base);
             self.slots[((eff >> GRAN_SHIFT) as usize) % SLOTS].push(ev);
             self.wheel_len += 1;
         }
     }
 
-    /// Pops the globally earliest event if its instant is `<= deadline`.
+    /// Pops the globally earliest live event if its instant is `<= deadline`.
     fn pop_if(&mut self, deadline: SimTime) -> Option<Scheduled<W>> {
         loop {
             if self.wheel_len == 0 {
@@ -179,7 +252,61 @@ impl<W: World> Calendar<W> {
                 return None;
             }
             self.wheel_len -= 1;
-            return Some(self.slots[idx].swap_remove(best.0));
+            let ev = self.slots[idx].swap_remove(best.0);
+            // The is_empty guard keeps the tombstone hash off the
+            // steady-state dispatch path (most runs never cancel).
+            if !self.cancelled.is_empty() && self.cancelled.remove(&ev.key) {
+                continue;
+            }
+            self.next_cache = None;
+            return Some(ev);
+        }
+    }
+
+    /// The instant of the earliest live event, without removing it. Advances
+    /// the cursor over empty slots (state-neutral) and reaps cancelled
+    /// entries it encounters.
+    fn peek_next_at(&mut self) -> Option<SimTime> {
+        if let Some(c) = self.next_cache {
+            return Some(c);
+        }
+        let next = self.peek_next_at_uncached();
+        self.next_cache = next;
+        next
+    }
+
+    fn peek_next_at_uncached(&mut self) -> Option<SimTime> {
+        loop {
+            if self.wheel_len == 0 {
+                // Reap cancelled heap heads so the answer is a live event.
+                while let Some(top) = self.heap.peek() {
+                    if !self.cancelled.is_empty() && self.cancelled.contains(&top.key) {
+                        let ev = self.heap.pop().expect("peeked entry pops");
+                        self.cancelled.remove(&ev.key);
+                    } else {
+                        return Some(top.at);
+                    }
+                }
+                return None;
+            }
+            let idx = ((self.base >> GRAN_SHIFT) as usize) % SLOTS;
+            if self.slots[idx].is_empty() {
+                self.base += GRAN;
+                self.migrate();
+                continue;
+            }
+            let best = self.slots[idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.key())
+                .map(|(i, e)| (i, e.at, e.key))
+                .expect("slot is nonempty");
+            if !self.cancelled.is_empty() && self.cancelled.remove(&best.2) {
+                self.slots[idx].swap_remove(best.0);
+                self.wheel_len -= 1;
+                continue;
+            }
+            return Some(best.1);
         }
     }
 
@@ -189,6 +316,8 @@ impl<W: World> Calendar<W> {
         }
         self.wheel_len = 0;
         self.heap.clear();
+        self.cancelled.clear();
+        self.next_cache = None;
     }
 }
 
@@ -247,6 +376,13 @@ impl<W: World> Calendar<W> {
 pub struct Engine<W: World> {
     now: SimTime,
     seq: u64,
+    /// Class of the event currently dispatching (0 outside dispatch) — the
+    /// `gen_class` component of keys built for events it schedules.
+    cur_class: u8,
+    /// Key of the event currently dispatching ([`Engine::current_key`]).
+    cur_key: OrderKey,
+    /// Per-origin emission counters for [`Engine::schedule_from`].
+    origin_ctrs: Vec<u64>,
     queue: Calendar<W>,
     executed: u64,
     event_cap: u64,
@@ -278,6 +414,14 @@ impl<W: World> Engine<W> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
+            cur_class: 0,
+            cur_key: OrderKey {
+                gen: 0,
+                gen_class: 0,
+                origin: COMPAT_ORIGIN,
+                ctr: 0,
+            },
+            origin_ctrs: Vec::new(),
             queue: Calendar::new(),
             executed: 0,
             event_cap: Self::DEFAULT_EVENT_CAP,
@@ -314,15 +458,48 @@ impl<W: World> Engine<W> {
         self.event_cap = cap;
     }
 
-    fn push(&mut self, at: SimTime, class: u8, slot: Slot<W>) {
+    fn push(&mut self, at: SimTime, class: u8, key: OrderKey, slot: Slot<W>) {
         let at = at.max(self.now);
-        self.seq += 1;
         self.queue.push(Scheduled {
             at,
             class,
-            seq: self.seq,
+            key,
             slot,
         });
+    }
+
+    /// The legacy key for plain schedules: generation components plus the
+    /// global sequence number, preserving FIFO among same-instant ties.
+    fn compat_key(&mut self) -> OrderKey {
+        self.seq += 1;
+        OrderKey {
+            gen: self.now.as_nanos(),
+            gen_class: self.cur_class,
+            origin: COMPAT_ORIGIN,
+            ctr: self.seq,
+        }
+    }
+
+    /// The execution-invariant key for origin-tagged schedules.
+    fn origin_key(&mut self, origin: u32) -> OrderKey {
+        // Origins index a dense per-origin counter table; a huge id (or
+        // the reserved compat origin) is a caller bug that would otherwise
+        // surface as a giant allocation.
+        debug_assert!(
+            origin < COMPAT_ORIGIN,
+            "origin {origin} is reserved / not a dense object id"
+        );
+        let idx = origin as usize;
+        if idx >= self.origin_ctrs.len() {
+            self.origin_ctrs.resize(idx + 1, 0);
+        }
+        self.origin_ctrs[idx] += 1;
+        OrderKey {
+            gen: self.now.as_nanos(),
+            gen_class: self.cur_class,
+            origin,
+            ctr: self.origin_ctrs[idx],
+        }
     }
 
     /// Schedules a typed event at instant `at` (allocation-free).
@@ -331,13 +508,25 @@ impl<W: World> Engine<W> {
     /// current instant instead (time never goes backwards); this matches how
     /// a hardware completion that "already happened" is observed at poll time.
     pub fn schedule(&mut self, at: SimTime, ev: W::Event) {
-        self.push(at, 0, Slot::Typed(ev));
+        let key = self.compat_key();
+        self.push(at, 0, key, Slot::Typed(ev));
     }
 
     /// Schedules a typed event `delay` after the current instant.
     pub fn schedule_in(&mut self, delay: crate::time::SimDuration, ev: W::Event) {
         let at = self.now + delay;
         self.schedule(at, ev);
+    }
+
+    /// Schedules a typed event at `at` with an execution-invariant
+    /// [`OrderKey`] built from `origin` (the scheduling object's stable id,
+    /// below [`u32::MAX`]). Same-instant ties then resolve identically no
+    /// matter how the world is sharded across engines. Returns a handle for
+    /// [`Engine::cancel`].
+    pub fn schedule_from(&mut self, origin: u32, at: SimTime, ev: W::Event) -> EventHandle {
+        let key = self.origin_key(origin);
+        self.push(at, 0, key, Slot::Typed(ev));
+        EventHandle { key }
     }
 
     /// Schedules a typed event at `at`, ordered **after** every ordinary
@@ -347,7 +536,53 @@ impl<W: World> Engine<W> {
     /// self-reschedule always carried a later sequence number than any
     /// same-instant delivery.
     pub fn schedule_last(&mut self, at: SimTime, ev: W::Event) {
-        self.push(at, 1, Slot::Typed(ev));
+        let key = self.compat_key();
+        self.push(at, 1, key, Slot::Typed(ev));
+    }
+
+    /// [`Engine::schedule_last`] with an origin-tagged key
+    /// ([`Engine::schedule_from`]); returns a cancellation handle.
+    pub fn schedule_last_from(&mut self, origin: u32, at: SimTime, ev: W::Event) -> EventHandle {
+        let key = self.origin_key(origin);
+        self.push(at, 1, key, Slot::Typed(ev));
+        EventHandle { key }
+    }
+
+    /// Schedules a typed class-0 event carrying a key built by *another*
+    /// engine — how a sharded world injects a peer shard's cross-boundary
+    /// events so the merged dispatch order matches the single-engine run.
+    pub fn schedule_injected(&mut self, at: SimTime, key: OrderKey, ev: W::Event) {
+        self.push(at, 0, key, Slot::Typed(ev));
+    }
+
+    /// Builds (and consumes) the next [`OrderKey`] for `origin` without
+    /// scheduling anything locally — for events this world hands to a
+    /// *peer* engine ([`Engine::schedule_injected`]). The per-origin
+    /// counter advances exactly as a local [`Engine::schedule_from`] would,
+    /// so an origin emitting a mix of local and cross-engine events
+    /// produces the same key sequence the single-engine run assigns.
+    pub fn make_key(&mut self, origin: u32) -> OrderKey {
+        self.origin_key(origin)
+    }
+
+    /// The [`OrderKey`] of the event currently dispatching — a handler can
+    /// record it to reproduce the global dispatch order of its event later
+    /// (the sharded trace-digest merge).
+    pub fn current_key(&self) -> OrderKey {
+        self.cur_key
+    }
+
+    /// Cancels a pending typed event scheduled with
+    /// [`Engine::schedule_from`] / [`Engine::schedule_last_from`]: the event
+    /// is unlinked from the calendar (lazily, via a tombstone) and will
+    /// never dispatch nor count as executed. Cancelling an event that
+    /// already dispatched is a caller bug; keys are never reused, so the
+    /// stale tombstone can mis-cancel nothing, but it leaks a set entry for
+    /// the rest of the run and deflates [`Engine::pending`] by one
+    /// (saturating — the count never wraps).
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.queue.cancelled.insert(handle.key);
+        self.queue.next_cache = None;
     }
 
     /// Schedules a boxed `action` closure to run at instant `at` — the
@@ -358,7 +593,8 @@ impl<W: World> Engine<W> {
         F: FnOnce(&mut W, &mut Engine<W>) + 'static,
     {
         self.boxed_scheduled += 1;
-        self.push(at, 0, Slot::Boxed(Box::new(action)));
+        let key = self.compat_key();
+        self.push(at, 0, key, Slot::Boxed(Box::new(action)));
     }
 
     /// Schedules a boxed `action` closure `delay` after the current instant.
@@ -381,6 +617,8 @@ impl<W: World> Engine<W> {
 
     fn dispatch(&mut self, world: &mut W, ev: Scheduled<W>) {
         self.now = ev.at;
+        self.cur_class = ev.class;
+        self.cur_key = ev.key;
         self.executed += 1;
         assert!(
             self.executed <= self.event_cap,
@@ -392,6 +630,7 @@ impl<W: World> Engine<W> {
             Slot::Typed(e) => world.handle(e, self),
             Slot::Boxed(f) => f(world, self),
         }
+        self.cur_class = 0;
     }
 
     /// Runs events with timestamps `<= deadline`, then stops.
@@ -407,6 +646,27 @@ impl<W: World> Engine<W> {
         while let Some(ev) = self.queue.pop_if(deadline) {
             self.dispatch(world, ev);
         }
+    }
+
+    /// Runs events with timestamps **strictly before** `end`, then stops —
+    /// one lookahead window of a sharded run. Equivalent to
+    /// [`Engine::run_until`] with an inclusive deadline of `end − 1 ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event cap is exceeded (runaway schedule).
+    pub fn run_window(&mut self, world: &mut W, end: SimTime) {
+        let Some(deadline) = end.as_nanos().checked_sub(1) else {
+            return;
+        };
+        self.run_until(world, SimTime::from_nanos(deadline));
+    }
+
+    /// The instant of the earliest pending event, if any — what a sharded
+    /// driver uses to fast-forward over windows in which this engine has
+    /// nothing to do.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        self.queue.peek_next_at()
     }
 
     /// Runs exactly one event if one is pending, returning `true` if it ran.
@@ -514,6 +774,24 @@ mod tests {
     }
 
     #[test]
+    fn run_window_excludes_the_end_instant() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut w = 0;
+        for i in 1..=10u64 {
+            eng.schedule_boxed(SimTime::from_nanos(i * 10), |w: &mut u32, _| *w += 1);
+        }
+        eng.run_window(&mut w, SimTime::from_nanos(50));
+        assert_eq!(
+            w, 4,
+            "the event at exactly 50 ns belongs to the next window"
+        );
+        eng.run_window(&mut w, SimTime::ZERO); // empty window: no-op
+        assert_eq!(w, 4);
+        eng.run(&mut w);
+        assert_eq!(w, 10);
+    }
+
+    #[test]
     fn past_events_are_clamped_to_now() {
         let mut eng: Engine<Vec<u64>> = Engine::new();
         let mut log = Vec::new();
@@ -586,8 +864,10 @@ mod tests {
         eng.schedule_boxed(SimTime::from_nanos(900), |l: &mut Vec<u32>, _| l.push(1));
         eng.schedule_boxed(SimTime::from_micros(200), |l: &mut Vec<u32>, _| l.push(2));
         // Mid band: within the horizon of the second event but not the first.
-        eng.schedule_boxed(SimTime::from_millis(10) + crate::time::SimDuration::from_micros(100),
-            |l: &mut Vec<u32>, _| l.push(4));
+        eng.schedule_boxed(
+            SimTime::from_millis(10) + crate::time::SimDuration::from_micros(100),
+            |l: &mut Vec<u32>, _| l.push(4),
+        );
         eng.run(&mut log);
         assert_eq!(log, vec![1, 2, 3, 4, 5]);
     }
@@ -637,5 +917,95 @@ mod tests {
         eng.schedule(t, Ev::Ordinary);
         eng.run(&mut w);
         assert_eq!(w.log, vec!["ordinary", "ordinary", "late"]);
+    }
+
+    /// Typed worlds for origin-key and cancellation tests.
+    struct Log(Vec<u32>);
+    enum Tag {
+        Mark(u32),
+    }
+    impl World for Log {
+        type Event = Tag;
+        fn handle(&mut self, ev: Tag, _: &mut Engine<Self>) {
+            let Tag::Mark(v) = ev;
+            self.0.push(v);
+        }
+    }
+
+    /// Same-instant origin-keyed events order by (gen, gen_class, origin,
+    /// ctr) — not by scheduling order.
+    #[test]
+    fn origin_keys_order_same_instant_ties_invariantly() {
+        let t = SimTime::from_nanos(100);
+        // Schedule origin 2 first, then origin 1: origin order wins.
+        let mut eng: Engine<Log> = Engine::new();
+        let mut w = Log(Vec::new());
+        eng.schedule_from(2, t, Tag::Mark(2));
+        eng.schedule_from(1, t, Tag::Mark(1));
+        eng.schedule_from(1, t, Tag::Mark(11)); // same origin: ctr keeps order
+        eng.run(&mut w);
+        assert_eq!(w.0, vec![1, 11, 2]);
+    }
+
+    /// An injected event (foreign key) interleaves exactly where the key
+    /// says, regardless of injection order.
+    #[test]
+    fn injected_keys_interleave_by_key() {
+        let t = SimTime::from_nanos(64);
+        let mut eng: Engine<Log> = Engine::new();
+        let mut w = Log(Vec::new());
+        eng.schedule_from(5, t, Tag::Mark(5));
+        // A key another engine would have built for origin 3's first
+        // emission at gen 0: sorts before origin 5.
+        eng.schedule_injected(
+            t,
+            OrderKey {
+                gen: 0,
+                gen_class: 0,
+                origin: 3,
+                ctr: 1,
+            },
+            Tag::Mark(3),
+        );
+        eng.run(&mut w);
+        assert_eq!(w.0, vec![3, 5]);
+    }
+
+    /// A cancelled event never dispatches and never counts as executed —
+    /// in the wheel band and in the heap band alike.
+    #[test]
+    fn cancelled_events_never_dispatch() {
+        let mut eng: Engine<Log> = Engine::new();
+        let mut w = Log(Vec::new());
+        let near = eng.schedule_from(1, SimTime::from_nanos(50), Tag::Mark(1));
+        let far = eng.schedule_from(1, SimTime::from_millis(10), Tag::Mark(2));
+        eng.schedule_from(1, SimTime::from_nanos(60), Tag::Mark(3));
+        assert_eq!(eng.pending(), 3);
+        eng.cancel(near);
+        eng.cancel(far);
+        assert_eq!(eng.pending(), 1, "cancelled events leave the live count");
+        eng.run(&mut w);
+        assert_eq!(w.0, vec![3]);
+        assert_eq!(eng.executed(), 1, "cancelled events do not execute");
+    }
+
+    /// `next_event_at` reports the earliest live event and skips cancelled
+    /// ones.
+    #[test]
+    fn next_event_at_sees_through_cancellations() {
+        let mut eng: Engine<Log> = Engine::new();
+        assert_eq!(eng.next_event_at(), None);
+        let h = eng.schedule_from(1, SimTime::from_nanos(40), Tag::Mark(1));
+        eng.schedule_from(1, SimTime::from_micros(700), Tag::Mark(2)); // heap band
+        assert_eq!(eng.next_event_at(), Some(SimTime::from_nanos(40)));
+        eng.cancel(h);
+        assert_eq!(eng.next_event_at(), Some(SimTime::from_micros(700)));
+        let h2 = eng.schedule_from(2, SimTime::from_micros(600), Tag::Mark(3));
+        assert_eq!(eng.next_event_at(), Some(SimTime::from_micros(600)));
+        eng.cancel(h2);
+        assert_eq!(eng.next_event_at(), Some(SimTime::from_micros(700)));
+        let mut w = Log(Vec::new());
+        eng.run(&mut w);
+        assert_eq!(w.0, vec![2]);
     }
 }

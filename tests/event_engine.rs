@@ -4,9 +4,9 @@
 //! versus the poll-every-tick baseline, and the per-kind event counters
 //! account for the run.
 
+use capnet::netsim::NetSim;
 use capnet::scenario::run_star_iperf;
 use capnet::topology::build_chain;
-use capnet::netsim::NetSim;
 use simkern::{CostModel, SimDuration};
 
 /// The `tests/hotpath_allocs`-style witness for the scheduler: a

@@ -1,0 +1,326 @@
+//! The sharded parallel `NetSim`'s headline contract: **wire behavior is
+//! byte-identical at any worker count**. Every scenario here runs at
+//! `workers = 1` (the classic single-engine loop), 2 and 4, and must
+//! produce the same delivery-trace digest byte for byte, the same per-kind
+//! event counters and the same executed-event total — the conservative
+//! lookahead windows, the barrier frame exchange and the order-key merge
+//! are pure implementation detail.
+//!
+//! The shard partitioner itself is property-tested below: every node of a
+//! random topology lands in exactly one shard, co-location constraints
+//! hold, and plans are pure functions of the graph.
+
+use capnet::netsim::NetSim;
+use capnet::scenario::{run_dumbbell_fairness, run_star_iperf, run_star_iperf_impaired};
+use capnet::topology::{build_chain, partition_shards, ShardGraph};
+use capnet::SimOutcome;
+use proptest::prelude::*;
+use simkern::{CostModel, SimDuration};
+use updk::wire::Impairments;
+
+/// Asserts the full equivalence contract between a `workers = 1` run and a
+/// sharded run of the same scenario.
+fn assert_equivalent(base: &SimOutcome, out: &SimOutcome, what: &str) {
+    assert_eq!(
+        base.trace, out.trace,
+        "{what}: trace digest must be byte-identical at any worker count"
+    );
+    assert_eq!(
+        base.counters, out.counters,
+        "{what}: per-kind event counters must match"
+    );
+    assert_eq!(base.events, out.events, "{what}: executed-event totals");
+    assert_eq!(base.ended_at, out.ended_at, "{what}: final virtual instant");
+    assert_eq!(base.servers, out.servers, "{what}: server reports");
+    assert_eq!(base.clients, out.clients, "{what}: client reports");
+    assert_eq!(base.switch_stats, out.switch_stats, "{what}: switch stats");
+    assert_eq!(
+        base.impairment_stats, out.impairment_stats,
+        "{what}: impairment totals"
+    );
+}
+
+fn star(workers: usize) -> SimOutcome {
+    let mut sim = NetSim::new(CostModel::morello());
+    sim.set_seed(21);
+    sim.set_workers(workers);
+    let star = capnet::topology::build_star(&mut sim, 8).expect("star builds");
+    for (i, &leaf) in star.leaves.iter().enumerate() {
+        let port = 5600 + i as u16;
+        sim.add_server(star.hub, format!("hub-rx{i}"), port)
+            .expect("server");
+        sim.add_client(
+            leaf,
+            format!("leaf-tx{i}"),
+            (star.hub_ip, port),
+            SimDuration::from_millis(20),
+            SimDuration::ZERO,
+        )
+        .expect("client");
+    }
+    sim.run(SimDuration::from_millis(40)).expect("runs")
+}
+
+#[test]
+fn star8_is_byte_identical_at_any_worker_count() {
+    let base = star(1);
+    assert_eq!(base.workers, 1);
+    assert!(base.trace.frames > 1_000, "the star produced real traffic");
+    for workers in [2usize, 4] {
+        let out = star(workers);
+        assert_eq!(out.workers, workers, "the plan used the requested shards");
+        assert!(out.lookahead_ns > 0, "a cut topology has a finite window");
+        assert_equivalent(&base, &out, "star8");
+    }
+}
+
+/// The pinned-digest scenario of `tests/topology.rs`, across worker
+/// counts: the sharded runs must land on the exact digest the seed
+/// repository pinned before parallel execution existed.
+#[test]
+fn pinned_star_digest_holds_at_every_worker_count() {
+    for workers in [1usize, 2, 4] {
+        let o = capnet::scenario::run_star_iperf_sharded(
+            8,
+            SimDuration::from_millis(40),
+            CostModel::morello(),
+            21,
+            Impairments::default(),
+            workers,
+        )
+        .expect("star runs");
+        assert_eq!(
+            o.trace.digest, 0xfa099c29f1e937d5,
+            "workers={workers} drifted off the pinned star8 digest"
+        );
+    }
+}
+
+#[test]
+fn dumbbell_is_byte_identical_at_any_worker_count() {
+    let run = |workers: usize| {
+        let mut sim = NetSim::new(CostModel::morello());
+        sim.set_seed(5);
+        sim.set_workers(workers);
+        let bell = capnet::topology::build_dumbbell(&mut sim, 4).expect("dumbbell");
+        for i in 0..4 {
+            let port = 5700 + i as u16;
+            sim.add_server(bell.servers[i], format!("srv{i}"), port)
+                .expect("srv");
+            sim.add_client(
+                bell.clients[i],
+                format!("cli{i}"),
+                (bell.server_ips[i], port),
+                SimDuration::from_millis(15),
+                SimDuration::ZERO,
+            )
+            .expect("cli");
+        }
+        sim.run(SimDuration::from_millis(30)).expect("runs")
+    };
+    let base = run(1);
+    assert!(base.trace.frames > 500);
+    for workers in [2usize, 4] {
+        assert_equivalent(&base, &run(workers), "dumbbell4");
+    }
+}
+
+#[test]
+fn chain_is_byte_identical_at_any_worker_count() {
+    let run = |workers: usize| {
+        let mut sim = NetSim::new(CostModel::morello());
+        sim.set_seed(9);
+        sim.set_workers(workers);
+        let chain = build_chain(&mut sim, 3).expect("chain");
+        sim.add_server(chain.b, "b-rx", 5501).expect("srv");
+        sim.add_client(
+            chain.a,
+            "a-tx",
+            (chain.b_ip, 5501),
+            SimDuration::from_millis(15),
+            SimDuration::ZERO,
+        )
+        .expect("cli");
+        sim.run(SimDuration::from_millis(30)).expect("runs")
+    };
+    let base = run(1);
+    assert!(base.trace.frames > 500);
+    for workers in [2usize, 4] {
+        assert_equivalent(&base, &run(workers), "chain3");
+    }
+}
+
+/// Lossy cables: the per-destination-port impairment streams must make
+/// loss, duplication and corruption draws land identically no matter which
+/// shard plans them.
+#[test]
+fn lossy_star_is_byte_identical_at_any_worker_count() {
+    let imp = Impairments {
+        loss_per_mille: 8,
+        dup_per_mille: 4,
+        corrupt_per_mille: 4,
+        ..Impairments::default()
+    };
+    let run = |workers: usize| {
+        let mut sim = NetSim::new(CostModel::morello());
+        sim.set_seed(77);
+        sim.set_workers(workers);
+        sim.set_impairments(imp);
+        let star = capnet::topology::build_star(&mut sim, 6).expect("star");
+        for (i, &leaf) in star.leaves.iter().enumerate() {
+            let port = 5800 + i as u16;
+            sim.add_server(star.hub, format!("hub-rx{i}"), port)
+                .expect("srv");
+            sim.add_client(
+                leaf,
+                format!("leaf-tx{i}"),
+                (star.hub_ip, port),
+                SimDuration::from_millis(15),
+                SimDuration::ZERO,
+            )
+            .expect("cli");
+        }
+        sim.run(SimDuration::from_millis(30)).expect("runs")
+    };
+    let base = run(1);
+    assert!(
+        base.impairment_stats.lost > 0 || base.impairment_stats.duplicated > 0,
+        "the impairments actually fired: {:?}",
+        base.impairment_stats
+    );
+    for workers in [2usize, 4] {
+        assert_equivalent(&base, &run(workers), "lossy star6");
+    }
+}
+
+/// The threaded window driver (worker threads + barriers) produces the
+/// same bytes as the single-engine run and the sequential multiplexer —
+/// forced on via [`NetSim::set_worker_threads`] (an explicit setter, not
+/// the env override: tests run concurrently and mutating the process
+/// environment races sibling tests' reads).
+#[test]
+fn threaded_driver_matches_sequential() {
+    let base =
+        run_star_iperf(4, SimDuration::from_millis(10), CostModel::morello(), 3).expect("baseline");
+    let run_forced = |threaded: bool| {
+        let mut sim = NetSim::new(CostModel::morello());
+        sim.set_seed(3);
+        sim.set_workers(2);
+        sim.set_worker_threads(Some(threaded));
+        let star = capnet::topology::build_star(&mut sim, 4).expect("star");
+        for (i, &leaf) in star.leaves.iter().enumerate() {
+            let port = 5301 + i as u16; // run_star_iperf's port layout
+            sim.add_server(star.hub, format!("hub-rx{i}"), port)
+                .expect("srv");
+            sim.add_client(
+                leaf,
+                format!("leaf-tx{i}"),
+                (star.hub_ip, port),
+                SimDuration::from_millis(10),
+                SimDuration::ZERO,
+            )
+            .expect("cli");
+        }
+        sim.run(SimDuration::from_millis(40)).expect("runs")
+    };
+    for threaded in [false, true] {
+        let out = run_forced(threaded);
+        assert_eq!(
+            base.trace, out.trace,
+            "threaded={threaded} vs single engine"
+        );
+        assert_eq!(base.counters, out.counters, "threaded={threaded}");
+    }
+}
+
+/// Scenario helpers keep their workers=1 behavior bit for bit (they never
+/// call `set_workers`), including under impairments.
+#[test]
+fn scenario_helpers_still_run_single_engine() {
+    let out = run_star_iperf_impaired(
+        2,
+        SimDuration::from_millis(10),
+        CostModel::morello(),
+        11,
+        Impairments::lossy(10),
+    )
+    .expect("impaired star runs");
+    assert_eq!(out.workers, 1);
+    assert_eq!(out.lookahead_ns, 0);
+    let bell = run_dumbbell_fairness(2, SimDuration::from_millis(10), CostModel::morello(), 11)
+        .expect("dumbbell runs");
+    assert_eq!(bell.workers, 1);
+}
+
+proptest! {
+    /// Random topologies partition into shards covering every node exactly
+    /// once, with every constraint group intact — for any worker count.
+    #[test]
+    fn random_partitions_cover_every_node_exactly_once(
+        nodes in 1usize..40,
+        switches in 0usize..6,
+        workers in 1usize..8,
+        edge_seed in any::<u64>(),
+    ) {
+        // Derive attachments / links / groups deterministically from the
+        // seed so failures replay.
+        let mut x = edge_seed;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as usize
+        };
+        let mut g = ShardGraph {
+            nodes,
+            switches,
+            node_weight: (0..nodes).map(|i| 1 + (i as u64 % 5)).collect(),
+            ..ShardGraph::default()
+        };
+        for i in 0..nodes {
+            match next() % 3 {
+                0 if switches > 0 => g.attachments.push((i, next() % switches)),
+                1 if nodes > 1 => {
+                    let j = next() % nodes;
+                    if j != i {
+                        g.node_links.push((i, j));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if switches > 1 {
+            for s in 1..switches {
+                if next() % 2 == 0 {
+                    g.trunks.push((s - 1, s));
+                }
+            }
+        }
+        if nodes > 2 && next() % 2 == 0 {
+            g.bind_groups.push(vec![0, nodes / 2, nodes - 1]);
+        }
+
+        let plan = partition_shards(&g, workers);
+        prop_assert!(plan.workers >= 1 && plan.workers <= workers.max(1));
+        // Exactly-once coverage: one owning shard per node, in range.
+        prop_assert_eq!(plan.node_shard.len(), nodes);
+        for &s in &plan.node_shard {
+            prop_assert!(s < plan.workers, "node shard {} of {}", s, plan.workers);
+        }
+        prop_assert_eq!(plan.switch_shard.len(), switches);
+        for &s in &plan.switch_shard {
+            prop_assert!(s < plan.workers);
+        }
+        // Constraints: direct cables and bind groups co-shard.
+        for &(a, b) in &g.node_links {
+            prop_assert_eq!(plan.node_shard[a], plan.node_shard[b]);
+        }
+        for group in &g.bind_groups {
+            for w in group.windows(2) {
+                prop_assert_eq!(plan.node_shard[w[0]], plan.node_shard[w[1]]);
+            }
+        }
+        // Purity: the same graph plans identically.
+        let again = partition_shards(&g, workers);
+        prop_assert_eq!(plan.node_shard, again.node_shard);
+        prop_assert_eq!(plan.switch_shard, again.switch_shard);
+    }
+}

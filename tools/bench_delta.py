@@ -1,27 +1,41 @@
 #!/usr/bin/env python3
 """Diff freshly generated BENCH_*.json reports against the committed ones.
 
-Usage: bench_delta.py <fresh_dir> <committed_dir>
+Usage: bench_delta.py [--warn-pct PCT] <fresh_dir> <committed_dir>
 
 Prints a markdown delta table (suitable for $GITHUB_STEP_SUMMARY) covering
-the wall-time / speed metrics recorded by `capnet_bench::BenchReport`.
-Always exits 0 — the delta is informational, not a gate (CI runners are
-noisy); regressions are caught by humans reading the summary and by the
-committed trajectory moving over PRs.
+the wall-time / speed metrics recorded by `capnet_bench::BenchReport`,
+plus the per-kind `ev_*` event counters and the `workers` axis of the
+sharded-run benches (event-count deltas are the first thing to read when
+a wall-time delta needs explaining).
+
+With `--warn-pct PCT`, rows whose delta magnitude exceeds PCT percent are
+flagged with a ⚠ marker and a summary count is printed at the end. The
+exit code stays 0 either way — the delta is informational, not a gate
+(CI runners are noisy); regressions are caught by humans reading the
+summary and by the committed trajectory moving over PRs. Event-counter
+drift, however, is usually real (the simulation is deterministic), so a
+flagged `ev_*` row deserves a close look.
 """
 
+import argparse
 import json
 import sys
 from pathlib import Path
 
-# Metrics worth a delta column: host speed, plus the headline artifact.
+# Metrics worth a delta column: host speed, the headline artifacts, then
+# the deterministic event counters that explain them.
 TRACKED = [
     "host_wall_ms",
     "host_ns_per_sim_sec",
     "events_per_sec",
     "aggregate_mbit_per_sec",
     "mbit_per_sec",
+    "speedup_vs_workers1",
 ]
+
+# Prefix-matched metrics appended after the tracked ones, in name order.
+TRACKED_PREFIXES = ("ev_", "workers")
 
 
 def load(path: Path):
@@ -45,17 +59,34 @@ def fmt(v):
     return f"{v:.4g}"
 
 
+def metrics_for(f_m, c_m):
+    """The tracked metric names present in either side, in display order."""
+    names = [m for m in TRACKED if m in f_m or m in c_m]
+    extra = sorted(
+        m
+        for m in set(f_m) | set(c_m)
+        if m.startswith(TRACKED_PREFIXES) and m not in names
+    )
+    return names + extra
+
+
 def main():
-    if len(sys.argv) != 3:
+    ap = argparse.ArgumentParser(add_help=False)
+    ap.add_argument("--warn-pct", type=float, default=None)
+    ap.add_argument("fresh_dir", type=Path)
+    ap.add_argument("committed_dir", type=Path)
+    try:
+        args = ap.parse_args()
+    except SystemExit:
         print(__doc__, file=sys.stderr)
         return
-    fresh_dir, committed_dir = Path(sys.argv[1]), Path(sys.argv[2])
-    fresh_files = sorted(fresh_dir.glob("BENCH_*.json"))
+    fresh_files = sorted(args.fresh_dir.glob("BENCH_*.json"))
     if not fresh_files:
-        print(f"no BENCH_*.json under {fresh_dir}")
+        print(f"no BENCH_*.json under {args.fresh_dir}")
         return
+    warnings = 0
     for fresh_path in fresh_files:
-        committed_path = committed_dir / fresh_path.name
+        committed_path = args.committed_dir / fresh_path.name
         print(f"\n### {fresh_path.name}\n")
         if not committed_path.exists():
             print("_no committed baseline yet — first data point_")
@@ -65,18 +96,25 @@ def main():
         print("|---|---|---:|---:|---:|")
         for key in sorted(set(fresh) | set(committed)):
             f_m, c_m = fresh.get(key, {}), committed.get(key, {})
-            for metric in TRACKED:
-                if metric not in f_m and metric not in c_m:
-                    continue
+            for metric in metrics_for(f_m, c_m):
                 fv, cv = f_m.get(metric), c_m.get(metric)
                 if isinstance(fv, (int, float)) and isinstance(cv, (int, float)) and cv:
-                    delta = f"{(fv - cv) / cv * 100:+.1f}%"
+                    pct = (fv - cv) / cv * 100
+                    delta = f"{pct:+.1f}%"
+                    if args.warn_pct is not None and abs(pct) > args.warn_pct:
+                        delta += " ⚠"
+                        warnings += 1
                 else:
                     delta = "—"
                 print(
                     f"| {key[0]} / {key[1]} | {metric} "
                     f"| {fmt(cv)} | {fmt(fv)} | {delta} |"
                 )
+    if args.warn_pct is not None:
+        print(
+            f"\n{warnings} metric(s) moved more than {args.warn_pct:g}% "
+            f"(informational — the job still passes)."
+        )
 
 
 if __name__ == "__main__":
