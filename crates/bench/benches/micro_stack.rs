@@ -33,6 +33,7 @@ fn bench_codecs(c: &mut Criterion) {
         options: TcpOptions {
             mss: None,
             ts: Some((1, 2)),
+            ..Default::default()
         },
         payload: payload.clone().into(),
     };

@@ -38,6 +38,7 @@ pub mod scenario;
 pub mod stats;
 pub mod topology;
 
+pub use fstack::CcAlgo;
 pub use netsim::{
     EventCounters, IsolationProfile, NetEvent, NetSim, SimOutcome, SwitchId, TraceDigest,
 };

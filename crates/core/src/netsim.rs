@@ -12,7 +12,7 @@ use crate::topology::{partition_shards, ShardGraph, ShardPlan};
 use crate::CapnetError;
 use cheri::{Capability, TaggedMemory};
 use fstack::loop_::{rx_phase, tx_phase, ServiceMutex};
-use fstack::{FStack, StackConfig};
+use fstack::{CcAlgo, FStack, StackConfig};
 use iperf::{BandwidthReport, ClientApp, ServerApp, StepOutcome};
 use simkern::cost::CostModel;
 use simkern::engine::{Engine, EventHandle, OrderKey, World};
@@ -790,6 +790,22 @@ impl NetSim {
             anchor: SimTime::ZERO,
         });
         Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Selects the TCP congestion-control algorithm for connections this
+    /// node opens or accepts from now on. Call between [`Self::add_node`]
+    /// and [`Self::add_client`]/[`Self::add_server`] — clients connect the
+    /// moment they are installed, so a later change won't touch them.
+    pub fn set_node_cc(&mut self, node: NodeId, cc: CcAlgo) {
+        self.nodes[node.0].stack.set_cc(cc);
+    }
+
+    /// Enables (or disables) SACK negotiation for connections this node
+    /// opens or accepts from now on. Both ends must enable it for SACK to
+    /// be active on a connection. Same ordering rule as
+    /// [`Self::set_node_cc`].
+    pub fn set_node_sack(&mut self, node: NodeId, sack: bool) {
+        self.nodes[node.0].stack.set_sack(sack);
     }
 
     fn carve_app_buf(&mut self, node: NodeId, fill: Option<u8>) -> Result<Capability, CapnetError> {

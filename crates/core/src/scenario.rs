@@ -18,6 +18,7 @@
 
 use crate::netsim::{AppSched, IsolationProfile, NetSim, SimOutcome};
 use crate::CapnetError;
+use fstack::CcAlgo;
 use simkern::cost::CostModel;
 use simkern::time::SimDuration;
 use std::fmt;
@@ -331,11 +332,50 @@ pub fn run_star_iperf_sharded(
     impairments: updk::wire::Impairments,
     workers: usize,
 ) -> Result<SimOutcome, CapnetError> {
+    run_star_iperf_custom(
+        clients,
+        duration,
+        costs,
+        seed,
+        impairments,
+        workers,
+        CcAlgo::Reno,
+        false,
+    )
+}
+
+/// The fully parameterized star: on top of
+/// [`run_star_iperf_sharded`]'s knobs, selects the TCP congestion-control
+/// algorithm and SACK negotiation for **every** host (hub and leaves — SACK
+/// only activates when both ends offer it). Same determinism contract: the
+/// outcome is a pure function of the argument tuple, byte-identical at any
+/// `workers` count.
+///
+/// # Errors
+///
+/// Propagates configuration and datapath failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_star_iperf_custom(
+    clients: usize,
+    duration: SimDuration,
+    costs: CostModel,
+    seed: u64,
+    impairments: updk::wire::Impairments,
+    workers: usize,
+    cc: CcAlgo,
+    sack: bool,
+) -> Result<SimOutcome, CapnetError> {
     let mut sim = NetSim::new(costs);
     sim.set_seed(seed);
     sim.set_impairments(impairments);
     sim.set_workers(workers);
     let star = crate::topology::build_star(&mut sim, clients)?;
+    sim.set_node_cc(star.hub, cc);
+    sim.set_node_sack(star.hub, sack);
+    for &leaf in &star.leaves {
+        sim.set_node_cc(leaf, cc);
+        sim.set_node_sack(leaf, sack);
+    }
     for (i, &leaf) in star.leaves.iter().enumerate() {
         let port = STAR_PORT + i as u16;
         sim.add_server(star.hub, format!("hub-rx{i}"), port)?;
@@ -349,6 +389,29 @@ pub fn run_star_iperf_sharded(
     }
     // Room for ARP + handshakes before and FIN drains after the timed part.
     sim.run(duration + SimDuration::from_millis(30))
+}
+
+/// The **lossy-WAN goodput experiment**: a 2-leaf star whose final hops
+/// drop `loss_per_mille` ‰ of frames, with SACK on or off at every host.
+/// Comparing the two SACK settings at the same seed isolates the goodput
+/// recovered by scoreboard-driven retransmission versus plain
+/// RTO/fast-retransmit recovery.
+///
+/// # Errors
+///
+/// Propagates configuration and datapath failures.
+pub fn run_lossy_wan(
+    duration: SimDuration,
+    costs: CostModel,
+    seed: u64,
+    loss_per_mille: u16,
+    sack: bool,
+) -> Result<SimOutcome, CapnetError> {
+    let impairments = updk::wire::Impairments {
+        loss_per_mille,
+        ..Default::default()
+    };
+    run_star_iperf_custom(2, duration, costs, seed, impairments, 1, CcAlgo::Reno, sack)
 }
 
 /// Runs the **dumbbell fairness scenario**: `pairs` client/server pairs on
@@ -369,10 +432,62 @@ pub fn run_dumbbell_fairness(
     costs: CostModel,
     seed: u64,
 ) -> Result<SimOutcome, CapnetError> {
+    run_dumbbell_cc(pairs, duration, costs, seed, &[])
+}
+
+/// [`run_dumbbell_fairness`] with a congestion-control algorithm per pair:
+/// pair `i`'s **sender** runs `algos[i % algos.len()]` (an empty slice
+/// means every sender keeps the default Reno). Mixing `[Reno, Cubic]`
+/// across the shared trunk is the classic inter-algorithm fairness
+/// experiment — score the split with [`fairness_index`].
+///
+/// Deterministic in `(pairs, duration, costs, seed, algos)`.
+///
+/// # Errors
+///
+/// Propagates configuration and datapath failures.
+pub fn run_dumbbell_cc(
+    pairs: usize,
+    duration: SimDuration,
+    costs: CostModel,
+    seed: u64,
+    algos: &[CcAlgo],
+) -> Result<SimOutcome, CapnetError> {
+    run_dumbbell_cc_impaired(
+        pairs,
+        duration,
+        costs,
+        seed,
+        algos,
+        updk::wire::Impairments::default(),
+    )
+}
+
+/// [`run_dumbbell_cc`] over degraded cables. On the drop-free dumbbell the
+/// flows are receiver-window-limited and never leave slow start, so the
+/// algorithm choice is inert (the classic pinned digest holds for every
+/// `algos`); add loss and the recovery/regrowth behavior — where Reno and
+/// CUBIC genuinely differ — governs each sender's share of the trunk.
+///
+/// # Errors
+///
+/// Propagates configuration and datapath failures.
+pub fn run_dumbbell_cc_impaired(
+    pairs: usize,
+    duration: SimDuration,
+    costs: CostModel,
+    seed: u64,
+    algos: &[CcAlgo],
+    impairments: updk::wire::Impairments,
+) -> Result<SimOutcome, CapnetError> {
     let mut sim = NetSim::new(costs);
     sim.set_seed(seed);
+    sim.set_impairments(impairments);
     let bell = crate::topology::build_dumbbell(&mut sim, pairs)?;
     for i in 0..pairs {
+        if !algos.is_empty() {
+            sim.set_node_cc(bell.clients[i], algos[i % algos.len()]);
+        }
         let port = DUMBBELL_PORT + i as u16;
         sim.add_server(bell.servers[i], format!("srv-rx{i}"), port)?;
         sim.add_client(

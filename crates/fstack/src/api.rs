@@ -19,6 +19,7 @@ use crate::ether::{EthHdr, EtherType, ETH_HDR_LEN};
 use crate::icmp::{IcmpEcho, IcmpType};
 use crate::ip::{IpProto, Ipv4Hdr, IPV4_HDR_LEN};
 use crate::socket::{DgramEntry, SockType, Socket};
+use crate::tcp::cc::CcAlgo;
 use crate::tcp::tcb::{Tcb, TcpState};
 use crate::tcp::{SegPayload, TcpSegment, MAX_TCP_HDR};
 use crate::udp::UdpDatagram;
@@ -47,16 +48,34 @@ pub struct StackConfig {
     pub mac: MacAddr,
     /// The interface IPv4 address.
     pub ip: Ipv4Addr,
+    /// Congestion-control algorithm for new TCP connections.
+    pub cc: CcAlgo,
+    /// Negotiate SACK (RFC 2018) on new TCP connections.
+    pub sack: bool,
 }
 
 impl StackConfig {
-    /// Creates a config.
+    /// Creates a config (Reno, no SACK — the historical defaults).
     pub fn new(name: impl Into<String>, mac: MacAddr, ip: Ipv4Addr) -> Self {
         StackConfig {
             name: name.into(),
             mac,
             ip,
+            cc: CcAlgo::default(),
+            sack: false,
         }
+    }
+
+    /// Selects the congestion-control algorithm for new connections.
+    pub fn with_cc(mut self, cc: CcAlgo) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Enables SACK negotiation for new connections.
+    pub fn with_sack(mut self, sack: bool) -> Self {
+        self.sack = sack;
+        self
     }
 }
 
@@ -252,6 +271,46 @@ impl FStack {
         &mut self.arp
     }
 
+    /// Selects the congestion-control algorithm for connections opened or
+    /// accepted from now on (existing connections are untouched).
+    pub fn set_cc(&mut self, cc: CcAlgo) {
+        self.cfg.cc = cc;
+    }
+
+    /// Enables SACK negotiation for connections opened or accepted from
+    /// now on.
+    pub fn set_sack(&mut self, sack: bool) {
+        self.cfg.sack = sack;
+    }
+
+    /// Pins the next ephemeral port the allocator will try (test hook for
+    /// forcing 4-tuple collisions without cycling the whole range).
+    pub fn set_ephemeral_start(&mut self, port: u16) {
+        self.next_ephemeral = port.clamp(40_000, 60_000);
+    }
+
+    /// The TCP state of `fd`'s connection, if it is a connected TCP socket.
+    pub fn tcp_state(&self, fd: Fd) -> Option<crate::tcp::tcb::TcpState> {
+        self.sockets.get(fd)?.tcb().map(|t| t.state())
+    }
+
+    /// Per-connection counters of `fd`'s TCB (retransmits, persist probes,
+    /// SACK retransmits, …), if it is a connected TCP socket.
+    pub fn tcb_stats(&self, fd: Fd) -> Option<crate::tcp::tcb::TcbStats> {
+        self.sockets.get(fd)?.tcb().map(|t| t.stats())
+    }
+
+    /// The local `(ip, port)` of `fd`, once bound or connected.
+    pub fn local_addr(&self, fd: Fd) -> Option<(Ipv4Addr, u16)> {
+        self.sockets.get(fd)?.local()
+    }
+
+    /// The initial send sequence number `fd`'s connection started from
+    /// (test hook: TIME_WAIT churn asserts fresh ISNs across reuses).
+    pub fn initial_seq(&self, fd: Fd) -> Option<u32> {
+        self.sockets.get(fd)?.tcb().map(|t| t.initial_seq())
+    }
+
     // ------------------------------------------------------------------
     // ff_* socket calls
     // ------------------------------------------------------------------
@@ -351,9 +410,18 @@ impl FStack {
     /// `ff_connect(fd, {remote_ip, remote_port})` — non-blocking active
     /// open; completion is observable via `ff_epoll_wait` (EPOLLOUT).
     ///
+    /// The 4-tuple must be free: a connection still draining in TIME_WAIT
+    /// (or any other live state) keeps its local port unavailable against
+    /// that remote until 2MSL expires, so a rapid reconnect can never
+    /// alias the old incarnation's sequence space. Unbound sockets skip
+    /// occupied ephemeral ports; bound sockets fail with `EADDRINUSE`.
+    ///
     /// # Errors
     ///
-    /// [`Errno::EBADF`] / [`Errno::EISCONN`] / [`Errno::EINVAL`].
+    /// [`Errno::EBADF`] / [`Errno::EISCONN`] / [`Errno::EINVAL`] /
+    /// [`Errno::EADDRINUSE`] (bound port still in use against `remote`,
+    /// e.g. TIME_WAIT) / [`Errno::EADDRNOTAVAIL`] (ephemeral range
+    /// exhausted against `remote`).
     pub fn ff_connect(
         &mut self,
         fd: Fd,
@@ -361,16 +429,26 @@ impl FStack {
         _now: SimTime,
     ) -> Result<(), Errno> {
         let ip = self.cfg.ip;
-        let eph = self.alloc_ephemeral();
-        let isn = self.next_isn();
-        let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
-        let local = match sock {
-            Socket::TcpUnbound => (ip, eph),
-            Socket::TcpBound { local } => *local,
+        match self.sockets.get(fd).ok_or(Errno::EBADF)? {
+            Socket::TcpUnbound | Socket::TcpBound { .. } => {}
             Socket::TcpConn(_) => return Err(Errno::EISCONN),
             _ => return Err(Errno::EINVAL),
+        }
+        let local = match self.sockets.get(fd) {
+            Some(Socket::TcpBound { local }) => {
+                if self.conn_map.contains_key(&(local.1, remote.0, remote.1)) {
+                    return Err(Errno::EADDRINUSE);
+                }
+                *local
+            }
+            _ => (ip, self.alloc_ephemeral_for(remote)?),
         };
-        let tcb = Tcb::connect(local, remote, isn, MSS);
+        let isn = self.next_isn();
+        let (cc, sack) = (self.cfg.cc, self.cfg.sack);
+        let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
+        let mut tcb = Tcb::connect(local, remote, isn, MSS);
+        tcb.set_cc(cc);
+        tcb.set_sack(sack);
         *sock = Socket::TcpConn(Box::new(tcb));
         self.conn_map.insert((local.1, remote.0, remote.1), fd);
         self.mark_hot(fd); // the SYN leaves on the next poll
@@ -863,7 +941,9 @@ impl FStack {
             if let Some(&lfd) = self.listen_map.get(&seg.dst_port) {
                 let isn = self.next_isn();
                 let local = (self.cfg.ip, seg.dst_port);
-                let tcb = Tcb::accept_from(local, (src, seg.src_port), &seg, isn, MSS);
+                let mut tcb = Tcb::accept_from(local, (src, seg.src_port), &seg, isn, MSS);
+                tcb.set_cc(self.cfg.cc);
+                tcb.set_sack(self.cfg.sack);
                 let Ok(cfd) = self.sockets.alloc(Socket::TcpConn(Box::new(tcb))) else {
                     return; // table full: silently drop the SYN
                 };
@@ -1127,5 +1207,18 @@ impl FStack {
         let p = self.next_ephemeral;
         self.next_ephemeral = if p >= 60_000 { 40_000 } else { p + 1 };
         p
+    }
+
+    /// An ephemeral port whose `(port, remote)` 4-tuple is unused — ports
+    /// held by live connections (including TIME_WAIT draining its 2MSL)
+    /// are skipped, never recycled onto the same remote.
+    fn alloc_ephemeral_for(&mut self, remote: (Ipv4Addr, u16)) -> Result<u16, Errno> {
+        for _ in 0..=(60_000 - 40_000) {
+            let p = self.alloc_ephemeral();
+            if !self.conn_map.contains_key(&(p, remote.0, remote.1)) {
+                return Ok(p);
+            }
+        }
+        Err(Errno::EADDRNOTAVAIL)
     }
 }

@@ -214,6 +214,33 @@ impl RecvBuffer {
     pub fn ooo_segments(&self) -> usize {
         self.ooo.len()
     }
+
+    /// The parked out-of-order bytes coalesced into up to `max` maximal
+    /// `[left, right)` sequence ranges, ascending — the receiver side of a
+    /// SACK option (RFC 2018). Adjacent/overlapping parked segments merge
+    /// into one block.
+    pub fn sack_ranges(&self, max: usize) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for (&s, seg) in &self.ooo {
+            let end = s.wrapping_add(seg.len() as u32);
+            match out.last_mut() {
+                // The BTreeMap iterates in relative seq order, so a new
+                // run starts iff it begins past the previous run's end.
+                Some((_, prev_end)) if s.wrapping_sub(*prev_end) as i32 <= 0 => {
+                    if end.wrapping_sub(*prev_end) as i32 > 0 {
+                        *prev_end = end;
+                    }
+                }
+                _ => {
+                    if out.len() == max {
+                        break;
+                    }
+                    out.push((s, end));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +368,25 @@ mod tests {
         assert_eq!(r.read_into(&mut rest), 3);
         assert_eq!(&rest[..3], b"fgh");
         assert_eq!(r.read_into(&mut rest), 0);
+    }
+
+    #[test]
+    fn sack_ranges_coalesce_parked_runs() {
+        let mut r = RecvBuffer::new(1000, 4096);
+        assert!(r.sack_ranges(3).is_empty());
+        // Three separate holes, one filled by adjacent segments.
+        r.on_segment(1100, &buf(&[0u8; 50]));
+        r.on_segment(1150, &buf(&[0u8; 50])); // adjacent: merges
+        r.on_segment(1300, &buf(&[0u8; 10]));
+        r.on_segment(1500, &buf(&[0u8; 20]));
+        assert_eq!(
+            r.sack_ranges(3),
+            vec![(1100, 1200), (1300, 1310), (1500, 1520)]
+        );
+        assert_eq!(r.sack_ranges(2), vec![(1100, 1200), (1300, 1310)]);
+        // Filling the first hole drains the merged run.
+        r.on_segment(1000, &buf(&[0u8; 100]));
+        assert_eq!(r.sack_ranges(3), vec![(1300, 1310), (1500, 1520)]);
     }
 
     #[test]

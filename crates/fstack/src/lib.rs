@@ -40,6 +40,7 @@ pub mod udp;
 
 pub use api::{FStack, StackConfig, StackStats};
 pub use epoll::{EpollEvent, EpollFlags};
+pub use tcp::cc::CcAlgo;
 
 /// The TCP maximum segment size this stack advertises and uses:
 /// 1500 (MTU) − 20 (IPv4) − 20 (TCP) − 12 (timestamp option) = 1448 —

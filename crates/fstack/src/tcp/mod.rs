@@ -1,17 +1,18 @@
 //! TCP: segments, options, congestion control and the connection machine.
 //!
-//! A real (if compact) TCP: three-way handshake, MSS and timestamp options,
-//! cumulative + duplicate ACK processing, RFC 6298 retransmission timers,
-//! Reno congestion control, delayed ACKs, out-of-order reassembly, and the
-//! full close sequence. This is the protocol engine under the paper's
-//! `ff_*` API; Table II's numbers are this code pushing the simulated
-//! 82576 to its ceilings.
+//! A real (if compact) TCP: three-way handshake, MSS/timestamp/SACK
+//! options, cumulative + duplicate ACK processing, RFC 6298 retransmission
+//! timers with Karn's algorithm, pluggable congestion control (Reno and
+//! CUBIC), zero-window persist probing, delayed ACKs, out-of-order
+//! reassembly, and the full close sequence. This is the protocol engine
+//! under the paper's `ff_*` API; Table II's numbers are this code pushing
+//! the simulated 82576 to its ceilings.
 
 pub mod cc;
 pub mod seq;
 pub mod tcb;
 
-pub use cc::CongestionControl;
+pub use cc::{CcAlgo, CongestionControl, Cubic, Reno};
 pub use tcb::{Tcb, TcpState};
 
 use crate::buffer::SendBuffer;
@@ -25,8 +26,15 @@ pub const TCP_HDR_LEN: usize = 20;
 /// Length of the timestamp option block we emit (NOP NOP TS, 12 bytes).
 pub const TS_OPT_LEN: usize = 12;
 
-/// Largest TCP header we ever emit: base + MSS option + timestamps.
-pub const MAX_TCP_HDR: usize = TCP_HDR_LEN + 4 + TS_OPT_LEN;
+/// Most SACK blocks one segment can carry alongside timestamps: the 4-bit
+/// data offset caps the header at 60 bytes, and 20 + 12 (TS) leaves room
+/// for `NOP NOP SACK` + 3 × 8-byte blocks (28 bytes).
+pub const MAX_SACK_BLOCKS: usize = 3;
+
+/// Largest TCP header we ever emit. The data-offset field's hard ceiling:
+/// base (20) + timestamps (12) + padded SACK option with three blocks
+/// (28) — SYN headers (MSS 4 + SACK-permitted 4 + TS 12) stay below it.
+pub const MAX_TCP_HDR: usize = TCP_HDR_LEN + TS_OPT_LEN + 4 + 8 * MAX_SACK_BLOCKS;
 
 /// Where a transmitted segment's payload bytes come from.
 ///
@@ -86,13 +94,52 @@ impl TcpFlags {
     }
 }
 
-/// Parsed TCP options (subset: MSS, timestamps).
+/// Up to [`MAX_SACK_BLOCKS`] selective-ACK ranges, each `[left, right)`
+/// in sequence space (RFC 2018).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SackBlocks {
+    blocks: [(u32, u32); MAX_SACK_BLOCKS],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// No blocks.
+    pub const EMPTY: SackBlocks = SackBlocks {
+        blocks: [(0, 0); MAX_SACK_BLOCKS],
+        len: 0,
+    };
+
+    /// Appends a block; silently drops it once full (the first blocks are
+    /// the most important ones — RFC 2018 orders most-recent first).
+    pub fn push(&mut self, left: u32, right: u32) {
+        if usize::from(self.len) < MAX_SACK_BLOCKS {
+            self.blocks[usize::from(self.len)] = (left, right);
+            self.len += 1;
+        }
+    }
+
+    /// The blocks present, in wire order.
+    pub fn as_slice(&self) -> &[(u32, u32)] {
+        &self.blocks[..usize::from(self.len)]
+    }
+
+    /// `true` when no blocks are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Parsed TCP options (subset: MSS, timestamps, SACK).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TcpOptions {
     /// Maximum segment size (SYN only).
     pub mss: Option<u16>,
     /// Timestamps `(TSval, TSecr)`.
     pub ts: Option<(u32, u32)>,
+    /// SACK-permitted (SYN only).
+    pub sack_permitted: bool,
+    /// Selective-ACK blocks (non-SYN segments during loss recovery).
+    pub sack: SackBlocks,
 }
 
 /// A TCP segment (header fields + payload).
@@ -127,8 +174,9 @@ impl TcpSegment {
     }
 
     /// Writes the header (with zeroed checksum) into `out`, returning its
-    /// length. Options are MSS (SYN only) and timestamps, both 32-bit
-    /// aligned, so the header length is always a multiple of four.
+    /// length. Options are MSS and SACK-permitted (SYN only), timestamps,
+    /// and SACK blocks, each padded to 32-bit alignment, so the header
+    /// length is always a multiple of four.
     fn header_into(&self, out: &mut [u8; MAX_TCP_HDR]) -> usize {
         let mut hl = TCP_HDR_LEN;
         if let Some(mss) = self.options.mss {
@@ -136,11 +184,26 @@ impl TcpSegment {
             out[hl + 2..hl + 4].copy_from_slice(&mss.to_be_bytes());
             hl += 4;
         }
+        if self.options.sack_permitted {
+            out[hl..hl + 4].copy_from_slice(&[4, 2, 1, 1]);
+            hl += 4;
+        }
         if let Some((tsval, tsecr)) = self.options.ts {
             out[hl..hl + 4].copy_from_slice(&[1, 1, 8, 10]);
             out[hl + 4..hl + 8].copy_from_slice(&tsval.to_be_bytes());
             out[hl + 8..hl + 12].copy_from_slice(&tsecr.to_be_bytes());
             hl += TS_OPT_LEN;
+        }
+        let sacks = self.options.sack.as_slice();
+        if !sacks.is_empty() {
+            let fit = sacks.len().min((MAX_TCP_HDR - hl - 4) / 8);
+            out[hl..hl + 4].copy_from_slice(&[1, 1, 5, 2 + 8 * fit as u8]);
+            hl += 4;
+            for &(left, right) in &sacks[..fit] {
+                out[hl..hl + 4].copy_from_slice(&left.to_be_bytes());
+                out[hl + 4..hl + 8].copy_from_slice(&right.to_be_bytes());
+                hl += 8;
+            }
         }
         debug_assert!(hl.is_multiple_of(4));
         out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
@@ -226,6 +289,20 @@ impl TcpSegment {
                     options.mss = Some(u16::from_be_bytes([o[2], o[3]]));
                     o = &o[4..];
                 }
+                4 if o.len() >= 2 => {
+                    options.sack_permitted = true;
+                    o = &o[2..];
+                }
+                5 if o.len() >= 2 && usize::from(o[1]) >= 2 && usize::from(o[1]) <= o.len() => {
+                    let body = &o[2..usize::from(o[1])];
+                    for blk in body.chunks_exact(8) {
+                        options.sack.push(
+                            u32::from_be_bytes([blk[0], blk[1], blk[2], blk[3]]),
+                            u32::from_be_bytes([blk[4], blk[5], blk[6], blk[7]]),
+                        );
+                    }
+                    o = &o[usize::from(o[1])..];
+                }
                 8 if o.len() >= 10 => {
                     options.ts = Some((
                         u32::from_be_bytes([o[2], o[3], o[4], o[5]]),
@@ -274,9 +351,38 @@ mod tests {
             options: TcpOptions {
                 mss: Some(1460),
                 ts: Some((111, 222)),
+                ..Default::default()
             },
             payload: FrameBuf::new(),
         }
+    }
+
+    #[test]
+    fn sack_options_round_trip() {
+        let mut s = seg();
+        s.options.sack_permitted = true;
+        let bytes = s.build(A, B);
+        let parsed = TcpSegment::parse(A, B, &bytes).unwrap();
+        assert_eq!(parsed, s);
+
+        // Non-SYN with the maximum SACK payload: header hits exactly 60.
+        let mut s = seg();
+        s.flags = TcpFlags::only_ack();
+        s.options.mss = None;
+        let mut sack = SackBlocks::EMPTY;
+        sack.push(1000, 2000);
+        sack.push(3000, 4000);
+        sack.push(5000, 6000);
+        sack.push(7000, 8000); // dropped: only MAX_SACK_BLOCKS fit
+        s.options.sack = sack;
+        let bytes = s.build(A, B);
+        assert_eq!(usize::from(bytes[12] >> 4) * 4, MAX_TCP_HDR);
+        let parsed = TcpSegment::parse(A, B, &bytes).unwrap();
+        assert_eq!(
+            parsed.options.sack.as_slice(),
+            &[(1000, 2000), (3000, 4000), (5000, 6000)]
+        );
+        assert!(!parsed.options.sack_permitted);
     }
 
     #[test]

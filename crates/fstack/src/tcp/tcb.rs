@@ -7,9 +7,9 @@
 //! matches how F-Stack drives the FreeBSD stack from the DPDK loop.
 
 use crate::buffer::{RecvBuffer, SendBuffer};
-use crate::tcp::cc::CongestionControl;
-use crate::tcp::seq::{seq_gt, seq_le, seq_lt};
-use crate::tcp::{SegPayload, TcpFlags, TcpOptions, TcpSegment};
+use crate::tcp::cc::{CcAlgo, CongestionControl};
+use crate::tcp::seq::{seq_ge, seq_gt, seq_le, seq_lt};
+use crate::tcp::{SackBlocks, SegPayload, TcpFlags, TcpOptions, TcpSegment, MAX_SACK_BLOCKS};
 use simkern::time::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
 use updk::framebuf::FrameBuf;
@@ -56,6 +56,11 @@ pub struct TcbStats {
     pub retransmits: u64,
     /// Duplicate ACKs received.
     pub dupacks: u64,
+    /// Zero-window persist probes sent (1-byte).
+    pub persist_probes: u64,
+    /// Retransmissions driven by the SACK scoreboard (subset of
+    /// `retransmits`).
+    pub sack_retransmits: u64,
 }
 
 /// Socket buffer size (64 KiB: the no-window-scale maximum; ample for the
@@ -71,6 +76,16 @@ const MAX_RTO: u64 = 500_000_000;
 const TIME_WAIT: u64 = 50_000_000;
 /// Delayed-ACK timer.
 const DELACK: u64 = 500_000; // 500 µs
+/// Orphan timeout for FIN_WAIT_2: how long we wait for the peer's FIN
+/// after our own close was acknowledged, refreshed by any peer activity
+/// (3 × 2MSL, mirroring Linux's `tcp_fin_timeout` vs MSL ratio).
+const FIN_WAIT2_TIMEOUT: u64 = 3 * TIME_WAIT;
+/// Consecutive timeout retransmissions before giving up on the peer
+/// entirely (user-timeout semantics, R2 of RFC 1122 §4.2.3.5). With the
+/// exponential backoff this is over a second of simulated silence.
+const MAX_RTX_ATTEMPTS: u32 = 8;
+/// Cap on the persist-timer exponential backoff shift.
+const MAX_PERSIST_BACKOFF: u32 = 10;
 
 /// One TCP connection.
 #[derive(Debug, Clone)]
@@ -86,7 +101,8 @@ pub struct Tcb {
     snd_nxt: u32,
     snd_wnd: u32,
     send_buf: SendBuffer,
-    cc: CongestionControl,
+    cc: Box<dyn CongestionControl>,
+    cc_algo: CcAlgo,
     fin_seq: Option<u32>,
     close_requested: bool,
 
@@ -100,7 +116,32 @@ pub struct Tcb {
     rto: u64,
     rtx_deadline: Option<SimTime>,
     backoff: u32,
+    /// Consecutive timeout retransmissions without forward progress.
+    rtx_attempts: u32,
+    /// Karn's algorithm: `snd_nxt` at the last retransmission. ACKs at or
+    /// below this could acknowledge the retransmitted copy, so they yield
+    /// no RTT sample and do not reset the RTO backoff.
+    rtx_recover: Option<u32>,
     time_wait_deadline: Option<SimTime>,
+    /// FIN_WAIT_2 orphan deadline (refreshed by peer activity).
+    fw2_deadline: Option<SimTime>,
+
+    // --- zero-window persist (RFC 1122 §4.2.2.17) ---
+    persist_deadline: Option<SimTime>,
+    persist_backoff: u32,
+    /// A 1-byte probe occupies [snd_una, snd_nxt).
+    probe_inflight: bool,
+
+    // --- SACK (RFC 2018) ---
+    /// We are willing to send/receive SACK options (config).
+    sack_enabled: bool,
+    /// The peer advertised SACK-permitted in its SYN.
+    peer_sack: bool,
+    /// Sender scoreboard: peer-reported received ranges above `snd_una`,
+    /// disjoint and ascending.
+    sack_scoreboard: Vec<(u32, u32)>,
+    /// Next hole to retransmit while in SACK-driven recovery.
+    recovery_rtx_next: Option<u32>,
 
     // --- ACK generation ---
     ack_now: bool,
@@ -142,6 +183,7 @@ impl Tcb {
         if let Some(peer_mss) = syn.options.mss {
             t.mss = t.mss.min(usize::from(peer_mss));
         }
+        t.peer_sack = syn.options.sack_permitted;
         if let Some((tsval, _)) = syn.options.ts {
             t.ts_recent = tsval;
         }
@@ -167,7 +209,8 @@ impl Tcb {
             snd_nxt: iss,
             snd_wnd: u32::from(u16::MAX),
             send_buf: SendBuffer::new(iss.wrapping_add(1), SOCK_BUF),
-            cc: CongestionControl::new(mss as u32),
+            cc: CcAlgo::Reno.build(mss as u32),
+            cc_algo: CcAlgo::Reno,
             fin_seq: None,
             close_requested: false,
             recv_buf: RecvBuffer::new(0, SOCK_BUF),
@@ -177,7 +220,17 @@ impl Tcb {
             rto: MIN_RTO,
             rtx_deadline: None,
             backoff: 0,
+            rtx_attempts: 0,
+            rtx_recover: None,
             time_wait_deadline: None,
+            fw2_deadline: None,
+            persist_deadline: None,
+            persist_backoff: 0,
+            probe_inflight: false,
+            sack_enabled: false,
+            peer_sack: false,
+            sack_scoreboard: Vec::new(),
+            recovery_rtx_next: None,
             ack_now: false,
             ack_pending: 0,
             ack_deadline: None,
@@ -210,6 +263,11 @@ impl Tcb {
     /// Counters.
     pub fn stats(&self) -> TcbStats {
         self.stats
+    }
+
+    /// The initial send sequence number this connection started from.
+    pub fn initial_seq(&self) -> u32 {
+        self.iss
     }
 
     /// Smoothed RTT, if measured.
@@ -254,15 +312,40 @@ impl Tcb {
     }
 
     /// The congestion controller (read-only, for diagnostics).
-    pub fn congestion(&self) -> &CongestionControl {
-        &self.cc
+    pub fn congestion(&self) -> &dyn CongestionControl {
+        self.cc.as_ref()
+    }
+
+    /// The congestion-control algorithm in use.
+    pub fn cc_algo(&self) -> CcAlgo {
+        self.cc_algo
+    }
+
+    /// Selects the congestion-control algorithm. Call before the first
+    /// poll (the window state is rebuilt from scratch).
+    pub fn set_cc(&mut self, algo: CcAlgo) {
+        self.cc_algo = algo;
+        self.cc = algo.build(self.mss as u32);
+    }
+
+    /// Enables/disables SACK (RFC 2018). Call before the first poll so the
+    /// SYN advertises SACK-permitted; it takes effect only if the peer
+    /// advertises it too.
+    pub fn set_sack(&mut self, on: bool) {
+        self.sack_enabled = on;
+    }
+
+    /// `true` when both sides negotiated SACK.
+    pub fn sack_active(&self) -> bool {
+        self.sack_enabled && self.peer_sack
     }
 
     /// The earliest armed timer deadline of this connection: the minimum
-    /// over the retransmission timer, the delayed-ACK timer (when an ACK is
-    /// owed) and the TIME_WAIT expiry. `None` when no timer is armed — the
-    /// connection then owes the wire nothing until a segment arrives, which
-    /// is what lets a quiescent main loop park instead of polling.
+    /// over the retransmission timer, the zero-window persist timer, the
+    /// delayed-ACK timer (when an ACK is owed), the FIN_WAIT_2 orphan
+    /// timeout and the TIME_WAIT expiry. `None` when no timer is armed —
+    /// the connection then owes the wire nothing until a segment arrives,
+    /// which is what lets a quiescent main loop park instead of polling.
     pub fn next_timer_deadline(&self) -> Option<SimTime> {
         let mut min: Option<SimTime> = None;
         let mut fold = |d: Option<SimTime>| {
@@ -271,8 +354,12 @@ impl Tcb {
             }
         };
         fold(self.rtx_deadline);
+        fold(self.persist_deadline);
         if self.ack_pending > 0 {
             fold(self.ack_deadline);
+        }
+        if self.state == TcpState::FinWait2 {
+            fold(self.fw2_deadline);
         }
         fold(self.time_wait_deadline);
         min
@@ -359,7 +446,15 @@ impl Tcb {
         }
         match self.state {
             TcpState::SynSent => self.on_segment_syn_sent(now, seg),
-            TcpState::Listen | TcpState::Closed | TcpState::TimeWait => {
+            TcpState::TimeWait => {
+                // A retransmitted FIN means our final ACK was lost: re-ACK
+                // and restart the 2MSL clock (RFC 793 p.73).
+                if seg.flags.fin {
+                    self.ack_now = true;
+                    self.time_wait_deadline = Some(now + SimDuration::from_nanos(TIME_WAIT));
+                }
+            }
+            TcpState::Listen | TcpState::Closed => {
                 // Listeners are handled by the stack; stray segments ignored
                 // (a fuller stack would RST).
             }
@@ -376,8 +471,9 @@ impl Tcb {
         }
         if let Some(peer_mss) = seg.options.mss {
             self.mss = self.mss.min(usize::from(peer_mss));
-            self.cc = CongestionControl::new(self.mss as u32);
+            self.cc = self.cc_algo.build(self.mss as u32);
         }
+        self.peer_sack = seg.options.sack_permitted;
         self.snd_una = seg.ack;
         self.snd_wnd = u32::from(seg.window);
         self.recv_buf = RecvBuffer::new(seg.seq.wrapping_add(1), SOCK_BUF);
@@ -389,22 +485,51 @@ impl Tcb {
     }
 
     fn on_segment_synchronized(&mut self, now: SimTime, seg: &TcpSegment) {
+        let now_us = now.as_nanos() / 1_000;
         // --- ACK processing ---
         if seg.flags.ack {
             let ack = seg.ack;
+            if self.sack_active() && !seg.options.sack.is_empty() {
+                self.absorb_sack(seg.options.sack.as_slice());
+            }
             if seq_gt(ack, self.snd_una) && seq_le(ack, self.snd_nxt) {
                 let acked = ack.wrapping_sub(self.snd_una);
+                let was_recovery = self.cc.in_recovery();
                 self.send_buf.ack_to(ack);
                 self.snd_una = ack;
                 self.dupacks = 0;
-                self.cc.on_ack(acked);
-                self.measure_rtt(now, seg);
-                self.backoff = 0;
+                self.rtx_attempts = 0;
+                self.cc.on_ack(now_us, acked);
+                // Karn's algorithm: an ACK at or below the last
+                // retransmission's frontier could acknowledge the
+                // retransmitted copy, not the original — take no RTT
+                // sample and carry the backoff until a fresh segment
+                // (sent after the retransmission) is acknowledged.
+                let ambiguous = self.rtx_recover.is_some_and(|r| seq_le(ack, r));
+                if !ambiguous {
+                    self.rtx_recover = None;
+                    self.backoff = 0;
+                    self.measure_rtt(now, seg);
+                }
                 self.rtx_deadline = if self.snd_una == self.snd_nxt {
                     None
                 } else {
-                    Some(now + SimDuration::from_nanos(self.rto))
+                    Some(now + SimDuration::from_nanos(self.backed_rto()))
                 };
+                if self.snd_una == self.snd_nxt {
+                    self.probe_inflight = false;
+                }
+                self.prune_sack();
+                // Partial ACK during SACK recovery: keep filling holes
+                // from the scoreboard instead of waiting for dupacks.
+                if was_recovery
+                    && self.sack_active()
+                    && self.snd_una != self.snd_nxt
+                    && !self.sack_scoreboard.is_empty()
+                {
+                    self.recovery_rtx_next = Some(self.snd_una);
+                    self.fast_rtx = true;
+                }
                 // Handshake completion / FIN acknowledgment transitions.
                 if self.state == TcpState::SynReceived {
                     self.state = TcpState::Established;
@@ -412,7 +537,11 @@ impl Tcb {
                 if let Some(fin_seq) = self.fin_seq {
                     if seq_gt(ack, fin_seq) {
                         self.state = match self.state {
-                            TcpState::FinWait1 => TcpState::FinWait2,
+                            TcpState::FinWait1 => {
+                                self.fw2_deadline =
+                                    Some(now + SimDuration::from_nanos(FIN_WAIT2_TIMEOUT));
+                                TcpState::FinWait2
+                            }
                             TcpState::Closing => {
                                 self.time_wait_deadline =
                                     Some(now + SimDuration::from_nanos(TIME_WAIT));
@@ -428,15 +557,31 @@ impl Tcb {
                 && seg.payload.is_empty()
                 && !seg.flags.syn
                 && !seg.flags.fin
+                && seg.window > 0
             {
+                // A zero-window ACK is flow control, not loss evidence
+                // (every rejected persist probe is echoed with one), hence
+                // the `seg.window > 0` guard above.
                 self.dupacks += 1;
                 self.stats.dupacks += 1;
                 if self.dupacks == 3 && !self.cc.in_recovery() {
-                    self.cc.on_fast_retransmit();
+                    self.cc.on_fast_retransmit(now_us);
                     self.fast_rtx = true;
+                    if self.sack_active() && !self.sack_scoreboard.is_empty() {
+                        self.recovery_rtx_next = Some(self.snd_una);
+                    }
                 }
             }
             self.snd_wnd = u32::from(seg.window);
+            // Window re-opened: cancel the persist cycle and fall back to
+            // the ordinary retransmission timer for any outstanding probe.
+            if self.snd_wnd > 0 && self.persist_deadline.is_some() {
+                self.persist_deadline = None;
+                self.persist_backoff = 0;
+                if self.snd_una != self.snd_nxt && self.rtx_deadline.is_none() {
+                    self.rtx_deadline = Some(now + SimDuration::from_nanos(self.backed_rto()));
+                }
+            }
         }
 
         // --- payload ---
@@ -470,6 +615,7 @@ impl Tcb {
                     TcpState::Closing
                 }
                 TcpState::FinWait2 => {
+                    self.fw2_deadline = None;
                     self.time_wait_deadline = Some(now + SimDuration::from_nanos(TIME_WAIT));
                     TcpState::TimeWait
                 }
@@ -478,6 +624,12 @@ impl Tcb {
         } else if seg.flags.fin && !self.fin_rcvd {
             // FIN beyond a gap: dup-ack it.
             self.ack_now = true;
+        }
+
+        // Any peer activity proves it is alive: push the FIN_WAIT_2 orphan
+        // deadline out (only a silent peer orphans the half-closed socket).
+        if self.state == TcpState::FinWait2 {
+            self.fw2_deadline = Some(now + SimDuration::from_nanos(FIN_WAIT2_TIMEOUT));
         }
     }
 
@@ -507,6 +659,118 @@ impl Tcb {
             }
         }
         self.rto = (self.srtt.unwrap() + (4 * self.rttvar).max(1_000)).clamp(MIN_RTO, MAX_RTO);
+    }
+
+    /// The RTO with the current Karn backoff applied.
+    fn backed_rto(&self) -> u64 {
+        (self.rto << self.backoff.min(10)).min(MAX_RTO)
+    }
+
+    /// Merges peer-reported SACK blocks into the scoreboard, keeping it
+    /// disjoint and ascending in sequence order above `snd_una`.
+    fn absorb_sack(&mut self, blocks: &[(u32, u32)]) {
+        for &(left, right) in blocks {
+            // Reject nonsense or stale ranges outside (snd_una, snd_nxt].
+            if !seq_lt(left, right) || seq_le(right, self.snd_una) || seq_gt(right, self.snd_nxt) {
+                continue;
+            }
+            let left = if seq_lt(left, self.snd_una) {
+                self.snd_una
+            } else {
+                left
+            };
+            // Insert, then merge overlapping/adjacent neighbours.
+            let pos = self
+                .sack_scoreboard
+                .partition_point(|&(l, _)| seq_lt(l, left));
+            self.sack_scoreboard.insert(pos, (left, right));
+            let mut i = pos.saturating_sub(1);
+            while i + 1 < self.sack_scoreboard.len() {
+                let (l0, r0) = self.sack_scoreboard[i];
+                let (l1, r1) = self.sack_scoreboard[i + 1];
+                if seq_ge(r0, l1) {
+                    self.sack_scoreboard[i] = (l0, if seq_gt(r1, r0) { r1 } else { r0 });
+                    self.sack_scoreboard.remove(i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops scoreboard ranges at or below the cumulative ACK.
+    fn prune_sack(&mut self) {
+        let una = self.snd_una;
+        self.sack_scoreboard.retain_mut(|b| {
+            if seq_le(b.1, una) {
+                return false;
+            }
+            if seq_lt(b.0, una) {
+                b.0 = una;
+            }
+            true
+        });
+        if self.snd_una == self.snd_nxt {
+            self.sack_scoreboard.clear();
+            self.recovery_rtx_next = None;
+        }
+    }
+
+    /// Scoreboard-driven retransmission: walk the holes between `snd_una`
+    /// and the highest SACKed edge, emitting up to `max_segs` hole
+    /// segments the peer has not reported holding. Returns segments sent.
+    fn sack_retransmit(
+        &mut self,
+        now: SimTime,
+        max_segs: usize,
+        emit: &mut dyn FnMut(&TcpSegment, SegPayload<'_>),
+    ) -> u64 {
+        let Some(&(_, high)) = self.sack_scoreboard.last() else {
+            return 0;
+        };
+        let mut cursor = self.recovery_rtx_next.unwrap_or(self.snd_una);
+        if seq_lt(cursor, self.snd_una) {
+            cursor = self.snd_una;
+        }
+        let mut sent = 0u64;
+        while sent < max_segs as u64 && seq_lt(cursor, high) {
+            // Skip ranges the peer already holds.
+            if let Some(&(l, r)) = self
+                .sack_scoreboard
+                .iter()
+                .find(|&&(l, r)| seq_le(l, cursor) && seq_lt(cursor, r))
+            {
+                let _ = l;
+                cursor = r;
+                continue;
+            }
+            // Hole: retransmit up to one MSS, not past the next SACKed
+            // block's left edge.
+            let hole_end = self
+                .sack_scoreboard
+                .iter()
+                .find(|&&(l, _)| seq_gt(l, cursor))
+                .map_or(high, |&(l, _)| l);
+            let len = (hole_end.wrapping_sub(cursor) as usize).min(self.mss);
+            let len = self.send_buf.range_len(cursor, len);
+            if len == 0 {
+                break;
+            }
+            let seg = self.make_seg(now, TcpFlags::only_ack(), cursor, FrameBuf::new());
+            emit(&seg, SegPayload::Range(&self.send_buf, cursor, len));
+            cursor = cursor.wrapping_add(len as u32);
+            sent += 1;
+            self.stats.retransmits += 1;
+            self.stats.sack_retransmits += 1;
+        }
+        self.recovery_rtx_next = Some(cursor);
+        if sent > 0 {
+            // Karn: anything up to the retransmission frontier is now
+            // ambiguous for RTT sampling.
+            self.rtx_recover = Some(self.snd_nxt);
+            self.arm_rtx(now);
+        }
+        sent
     }
 
     /// Emits every segment the connection owes the wire at `now`.
@@ -550,6 +814,15 @@ impl Tcb {
                 }
             }
         }
+        // FIN_WAIT_2 orphan timeout: the peer acked our FIN but never sent
+        // its own; a dead peer must not pin the socket forever.
+        if self.state == TcpState::FinWait2 {
+            if let Some(d) = self.fw2_deadline {
+                if now >= d {
+                    self.state = TcpState::Closed;
+                }
+            }
+        }
         if self.state == TcpState::Closed || self.state == TcpState::Listen {
             return;
         }
@@ -573,22 +846,83 @@ impl Tcb {
             _ => {}
         }
 
+        // --- zero-window persist timer (RFC 1122 §4.2.2.17) ---
+        // With the peer's window closed the retransmission timer is
+        // supplanted by persist probing: 1-byte probes at exponentially
+        // backed-off intervals, forever (a zero window is flow control,
+        // not loss — the give-up counter does not apply).
+        let persist_eligible = self.handshake_done()
+            && self.snd_wnd == 0
+            && matches!(
+                self.state,
+                TcpState::Established
+                    | TcpState::CloseWait
+                    | TcpState::FinWait1
+                    | TcpState::Closing
+            )
+            && (self.probe_inflight
+                || (self.snd_una == self.snd_nxt && seq_lt(self.snd_nxt, self.send_buf.end_seq())));
+        if persist_eligible {
+            match self.persist_deadline {
+                None => {
+                    self.persist_deadline =
+                        Some(now + SimDuration::from_nanos(self.persist_interval()));
+                    self.rtx_deadline = None;
+                }
+                Some(d) if now >= d => {
+                    let seq = self.snd_una;
+                    if self.probe_inflight {
+                        self.stats.retransmits += 1;
+                    } else {
+                        debug_assert_eq!(self.snd_nxt, seq);
+                        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                        self.probe_inflight = true;
+                        self.stats.bytes_out += 1;
+                    }
+                    self.stats.persist_probes += 1;
+                    let seg = self.make_seg(now, TcpFlags::only_ack(), seq, FrameBuf::new());
+                    emit(&seg, SegPayload::Range(&self.send_buf, seq, 1));
+                    emitted += 1;
+                    self.persist_backoff = (self.persist_backoff + 1).min(MAX_PERSIST_BACKOFF);
+                    self.persist_deadline =
+                        Some(now + SimDuration::from_nanos(self.persist_interval()));
+                    self.rtx_deadline = None;
+                }
+                _ => {}
+            }
+        }
+
         // --- retransmission timer ---
         if let Some(deadline) = self.rtx_deadline {
             if now >= deadline && seq_lt(self.snd_una, self.snd_nxt) {
+                self.rtx_attempts += 1;
+                if self.rtx_attempts > MAX_RTX_ATTEMPTS {
+                    // R2 exceeded (RFC 1122 §4.2.3.5): every backoff tier
+                    // went unanswered — declare the peer dead so closing
+                    // states (LAST_ACK against a vanished peer, FIN
+                    // retransmission storms) converge instead of looping.
+                    self.state = TcpState::Closed;
+                    self.rtx_deadline = None;
+                    return;
+                }
                 self.retransmit_head(now, true, emit);
                 emitted += 1;
                 self.backoff = (self.backoff + 1).min(10);
-                let rto = (self.rto << self.backoff).min(MAX_RTO);
-                self.rtx_deadline = Some(now + SimDuration::from_nanos(rto));
+                self.rtx_deadline = Some(now + SimDuration::from_nanos(self.backed_rto()));
             }
         }
 
         // --- fast retransmit ---
         if self.fast_rtx {
             self.fast_rtx = false;
-            self.retransmit_head(now, false, emit);
-            emitted += 1;
+            if self.sack_active() && !self.sack_scoreboard.is_empty() {
+                // Scoreboard-driven: fill the reported holes directly
+                // instead of blindly resending the head.
+                emitted += self.sack_retransmit(now, 4, emit);
+            } else {
+                self.retransmit_head(now, false, emit);
+                emitted += 1;
+            }
         }
 
         // --- new data within min(cwnd, peer window) ---
@@ -596,7 +930,7 @@ impl Tcb {
             self.state,
             TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::Closing
         ) {
-            let wnd = self.cc.cwnd().min(self.snd_wnd.max(1));
+            let wnd = self.cc.cwnd().min(self.snd_wnd);
             loop {
                 let inflight = self.inflight();
                 if inflight >= wnd {
@@ -675,6 +1009,12 @@ impl Tcb {
         }
     }
 
+    /// The current persist-probe interval: RTO backed off exponentially
+    /// per probe already sent, clamped like the RTO itself.
+    fn persist_interval(&self) -> u64 {
+        (self.rto << self.persist_backoff).clamp(MIN_RTO, MAX_RTO)
+    }
+
     /// Re-emits the oldest unacknowledged segment (SYN, FIN or the head of
     /// the send buffer — the latter as a [`SegPayload::Range`], copied
     /// straight into the emitter's frame buffer).
@@ -686,8 +1026,11 @@ impl Tcb {
     ) {
         self.stats.retransmits += 1;
         if timeout {
-            self.cc.on_timeout();
+            self.cc.on_timeout(now.as_nanos() / 1_000);
         }
+        // Karn's algorithm: every ACK at or below the current frontier may
+        // now be answering this retransmission — no RTT samples from it.
+        self.rtx_recover = Some(self.snd_nxt);
         if self.snd_una == self.iss {
             // The SYN (or SYN-ACK) itself is lost.
             let seg = self.make_syn(now, self.state == TcpState::SynReceived);
@@ -700,7 +1043,14 @@ impl Tcb {
             emit(&seg, SegPayload::Inline);
             return;
         }
-        let len = self.send_buf.range_len(self.snd_una, self.mss);
+        // Clamp to what was actually sent and to the peer's window: a
+        // receiver advertising zero window must never see more than the
+        // 1-byte probe it already refused.
+        let cap = self
+            .mss
+            .min(self.inflight().max(1) as usize)
+            .min(self.snd_wnd.max(1) as usize);
+        let len = self.send_buf.range_len(self.snd_una, cap);
         let seg = self.make_seg(now, TcpFlags::only_ack(), self.snd_una, FrameBuf::new());
         emit(&seg, SegPayload::Range(&self.send_buf, self.snd_una, len));
     }
@@ -718,6 +1068,9 @@ impl Tcb {
             FrameBuf::new(),
         );
         seg.options.mss = Some(1460);
+        // Advertise SACK-permitted when configured; a SYN-ACK offers it
+        // only if the peer's SYN did (RFC 2018 §2).
+        seg.options.sack_permitted = self.sack_enabled && (!with_ack || self.peer_sack);
         seg
     }
 
@@ -729,6 +1082,14 @@ impl Tcb {
         } else {
             0
         };
+        // Report our reassembly holes so the peer's scoreboard can drive
+        // selective retransmission.
+        let mut sack = SackBlocks::EMPTY;
+        if self.sack_active() && !flags.syn {
+            for (l, r) in self.recv_buf.sack_ranges(MAX_SACK_BLOCKS) {
+                sack.push(l, r);
+            }
+        }
         TcpSegment {
             src_port: self.local.1,
             dst_port: self.remote.1,
@@ -739,6 +1100,8 @@ impl Tcb {
             options: TcpOptions {
                 mss: None,
                 ts: Some(((now.as_nanos() / 1_000) as u32, self.ts_recent)),
+                sack_permitted: false,
+                sack,
             },
             payload,
         }
@@ -1009,6 +1372,273 @@ mod tests {
     fn rtt_is_measured_from_timestamps() {
         let (_now, c, s) = established_pair();
         assert!(c.srtt().is_some() || s.srtt().is_some());
+    }
+
+    #[test]
+    fn zero_window_sends_one_byte_persist_probes() {
+        let (mut now, mut c, mut s) = established_pair();
+        // Fill the receiver completely; it never reads.
+        let data = vec![3u8; SOCK_BUF * 2];
+        let mut pushed = 0;
+        for _ in 0..50 {
+            pushed += c.write(&data[pushed..]);
+            pump(&mut now, &mut c, &mut s);
+        }
+        assert_eq!(s.readable_bytes(), SOCK_BUF, "receiver full");
+        // From here on the advertised window is zero: everything the
+        // sender emits must be a probe of at most one byte.
+        let probes_base = c.stats().persist_probes;
+        let mut probes = 0;
+        for round in 0..200 {
+            for seg in c.poll_output(now) {
+                assert!(
+                    seg.payload.len() <= 1,
+                    "round {round}: {}-byte segment into a zero window",
+                    seg.payload.len()
+                );
+                if seg.payload.len() == 1 {
+                    probes += 1;
+                }
+                s.on_segment(now, &seg);
+            }
+            for seg in s.poll_output(now) {
+                assert_eq!(seg.payload.len(), 0, "receiver only ACKs");
+                c.on_segment(now, &seg);
+            }
+            now += SimDuration::from_millis(2);
+        }
+        assert!(probes >= 2, "persist probes kept flowing: {probes}");
+        assert_eq!(c.stats().persist_probes, probes_base + probes);
+        // Probe cadence backs off: well under one probe per 2ms round.
+        assert!(probes < 100, "persist backoff applied: {probes}");
+        // Draining the receiver reopens the window and the rest flows.
+        for _ in 0..400 {
+            s.read(usize::MAX);
+            pushed += c.write(&data[pushed..]);
+            pump(&mut now, &mut c, &mut s);
+            s.read(usize::MAX);
+            if pushed == data.len() && c.inflight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(pushed, data.len(), "everything was eventually sent");
+        assert_eq!(c.inflight(), 0, "…and acknowledged");
+    }
+
+    #[test]
+    fn karn_ambiguous_ack_takes_no_rtt_sample() {
+        let (mut now, mut c, mut s) = established_pair();
+        // Settle an initial SRTT.
+        c.write(b"warmup");
+        pump(&mut now, &mut c, &mut s);
+        let srtt_before = c.srtt().expect("srtt measured");
+        // Lose a segment, let the RTO retransmit it…
+        c.write(b"lost once");
+        let lost = c.poll_output(now);
+        assert_eq!(lost.len(), 1);
+        now += SimDuration::from_millis(20);
+        let rtx = c.poll_output(now);
+        assert_eq!(rtx.len(), 1, "timeout retransmission");
+        // …and deliver only the retransmission, after a long delay that
+        // would wreck SRTT if the ambiguous ACK were sampled.
+        now += SimDuration::from_millis(400);
+        s.on_segment(now, &rtx[0]);
+        // Let the receiver's delayed-ACK timer (500 us) fire.
+        now += SimDuration::from_millis(1);
+        for seg in s.poll_output(now) {
+            c.on_segment(now, &seg);
+        }
+        assert_eq!(c.inflight(), 0, "retransmission was acked");
+        assert_eq!(
+            c.srtt().expect("still measured"),
+            srtt_before,
+            "Karn: no RTT sample from a segment that was retransmitted"
+        );
+        // A fresh segment still round-trips cleanly afterwards.
+        c.write(b"fresh");
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(c.inflight(), 0, "fresh data acked after recovery");
+        assert!(c.srtt().is_some(), "sampling continues");
+    }
+
+    #[test]
+    fn time_wait_reacks_a_retransmitted_fin() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.close();
+        pump(&mut now, &mut c, &mut s);
+        s.close();
+        // Capture the server's FIN, deliver it, but "lose" the final ACK.
+        let fin = s
+            .poll_output(now)
+            .into_iter()
+            .find(|seg| seg.flags.fin)
+            .expect("server FIN");
+        c.on_segment(now, &fin);
+        let _lost_ack = c.poll_output(now);
+        assert_eq!(c.state(), TcpState::TimeWait);
+        // The server times out and retransmits its FIN; TIME_WAIT must
+        // re-ACK it (and restart 2MSL), not ignore it.
+        now += SimDuration::from_millis(20);
+        let acks = {
+            c.on_segment(now, &fin);
+            c.poll_output(now)
+        };
+        assert_eq!(acks.len(), 1, "re-ACK for the retransmitted FIN");
+        assert!(acks[0].flags.ack && !acks[0].flags.fin);
+        s.on_segment(now, &acks[0]);
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(s.state(), TcpState::Closed);
+        // 2MSL after the re-ACK the socket finally dies.
+        now += SimDuration::from_millis(100);
+        c.poll_output(now);
+        assert_eq!(c.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn fin_wait2_orphan_times_out_without_peer_fin() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.close();
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(c.state(), TcpState::FinWait2);
+        assert_eq!(s.state(), TcpState::CloseWait);
+        // The peer never closes and never speaks again: after the orphan
+        // timeout the half-closed socket is released.
+        now += SimDuration::from_millis(200);
+        c.poll_output(now);
+        assert_eq!(c.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn fin_wait2_survives_while_peer_is_active() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.close();
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(c.state(), TcpState::FinWait2);
+        // A peer that keeps sending data holds the half-close open: the
+        // deadline refreshes on every segment.
+        for _ in 0..8 {
+            now += SimDuration::from_millis(100);
+            s.write(b"still here");
+            for seg in s.poll_output(now) {
+                c.on_segment(now, &seg);
+            }
+            for seg in c.poll_output(now) {
+                s.on_segment(now, &seg);
+            }
+            assert_eq!(c.state(), TcpState::FinWait2, "refreshed by activity");
+        }
+        // Once it goes quiet, the orphan timer finally fires.
+        now += SimDuration::from_millis(500);
+        c.poll_output(now);
+        assert_eq!(c.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn last_ack_against_a_dead_peer_converges() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.close();
+        pump(&mut now, &mut c, &mut s);
+        s.close();
+        // The client vanishes: the server's FIN (LAST_ACK) is never
+        // acknowledged. Exponential backoff must eventually give up.
+        let mut polls = 0u32;
+        while s.state() != TcpState::Closed && polls < 10_000 {
+            let _ = s.poll_output(now);
+            now += SimDuration::from_millis(5);
+            polls += 1;
+        }
+        assert_eq!(s.state(), TcpState::Closed, "gave up after R2");
+        assert!(s.stats().retransmits >= 3, "FIN was retried first");
+    }
+
+    fn established_sack_pair() -> (SimTime, Tcb, Tcb) {
+        let mut now = SimTime::from_millis(1);
+        let mut client = Tcb::connect(A, B, 1000, MSS);
+        client.set_sack(true);
+        let syn = client.poll_output(now).remove(0);
+        assert!(syn.options.sack_permitted, "SYN advertises SACK");
+        let mut server = Tcb::accept_from(B, A, &syn, 9000, MSS);
+        server.set_sack(true);
+        pump(&mut now, &mut client, &mut server);
+        assert!(client.sack_active() && server.sack_active());
+        (now, client, server)
+    }
+
+    #[test]
+    fn sack_scoreboard_fills_exactly_the_holes() {
+        let (mut now, mut c, mut s) = established_sack_pair();
+        c.write(&vec![5u8; MSS * 8]);
+        let mut segs = c.poll_output(now);
+        assert_eq!(segs.len(), 8);
+        // Drop segments 1 and 4; deliver the rest.
+        let hole_a = segs[1].seq;
+        let hole_b = segs[4].seq;
+        segs.remove(4);
+        segs.remove(1);
+        for seg in &segs {
+            s.on_segment(now, seg);
+            for ack in s.poll_output(now) {
+                assert!(ack.seq_len() == 0, "pure ACKs while reassembling");
+                c.on_segment(now, &ack);
+            }
+            now += SimDuration::from_micros(10);
+        }
+        // Fast retransmit fired from dupacks, driven by the scoreboard:
+        // exactly the two holes come back, nothing the peer already holds.
+        let rtx = c.poll_output(now);
+        let seqs: Vec<u32> = rtx.iter().map(|seg| seg.seq).collect();
+        assert!(seqs.contains(&hole_a), "hole A retransmitted: {seqs:?}");
+        assert!(seqs.contains(&hole_b), "hole B retransmitted: {seqs:?}");
+        for seg in &rtx {
+            assert!(
+                seg.seq == hole_a || seg.seq == hole_b || seg.payload.is_empty(),
+                "SACKed range resent: seq {}",
+                seg.seq
+            );
+        }
+        assert!(c.stats().sack_retransmits >= 2);
+        for seg in &rtx {
+            s.on_segment(now, seg);
+        }
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(s.read(usize::MAX).len(), MSS * 8, "transfer completed");
+    }
+
+    #[test]
+    fn sack_is_off_unless_both_sides_agree() {
+        let mut now = SimTime::from_millis(1);
+        let mut client = Tcb::connect(A, B, 1000, MSS);
+        client.set_sack(true);
+        let syn = client.poll_output(now).remove(0);
+        // Server does not enable SACK: its SYN-ACK must not advertise it.
+        let mut server = Tcb::accept_from(B, A, &syn, 9000, MSS);
+        let synack = server.poll_output(now).remove(0);
+        assert!(!synack.options.sack_permitted);
+        pump(&mut now, &mut client, &mut server);
+        assert!(!client.sack_active() && !server.sack_active());
+    }
+
+    #[test]
+    fn cubic_pair_completes_a_bulk_transfer() {
+        let mut now = SimTime::from_millis(1);
+        let mut client = Tcb::connect(A, B, 1000, MSS);
+        client.set_cc(CcAlgo::Cubic);
+        let syn = client.poll_output(now).remove(0);
+        let mut server = Tcb::accept_from(B, A, &syn, 9000, MSS);
+        server.set_cc(CcAlgo::Cubic);
+        pump(&mut now, &mut client, &mut server);
+        assert_eq!(client.congestion().name(), "cubic");
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 241) as u8).collect();
+        let mut sent = 0;
+        let mut received = Vec::new();
+        while received.len() < data.len() {
+            if sent < data.len() {
+                sent += client.write(&data[sent..]);
+            }
+            pump(&mut now, &mut client, &mut server);
+            received.extend(server.read(usize::MAX));
+        }
+        assert_eq!(received, data);
     }
 
     #[test]

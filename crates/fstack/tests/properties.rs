@@ -66,7 +66,7 @@ proptest! {
             ack,
             flags: TcpFlags { syn, fin, ack: true, rst: false, psh: false },
             window,
-            options: TcpOptions { mss: Some(1460), ts: Some((seq, ack)) },
+            options: TcpOptions { mss: Some(1460), ts: Some((seq, ack)), ..Default::default() },
             payload: payload.into(),
         };
         let l4 = seg.build(ip(1), ip(2));
@@ -249,5 +249,120 @@ fn tcp_survives_random_loss() {
                 "loss {loss_per_mille}‰ must cause retransmissions"
             );
         }
+    }
+}
+
+/// Drives one close-path interleaving: both sides write once, then close at
+/// their assigned rounds, while up to six early segments are dropped. The
+/// connection must terminate — every written byte delivered, every TCB in
+/// `Closed` once the 2 MSL / orphan timers run out — for *any* ordering of
+/// the two closes (simultaneous close through CLOSING included) and any
+/// placement of the losses (FIN retransmission from LAST_ACK included).
+fn drive_close_interleaving(
+    a_close_at: usize,
+    b_close_at: usize,
+    a_bytes: usize,
+    b_bytes: usize,
+    drop_mask: u64,
+) -> Result<(), proptest::runner::TestCaseError> {
+    use fstack::tcp::tcb::TcpState;
+
+    let a = (ip(1), 40_000u16);
+    let b = (ip(2), 5_201u16);
+    let mut now = SimTime::from_millis(1);
+    let mut client = Tcb::connect(a, b, 77, 1448);
+    let syn = client.poll_output(now).remove(0);
+    let mut server = Tcb::accept_from(b, a, &syn, 99, 1448);
+
+    let a_data = vec![0xA5u8; a_bytes];
+    let b_data = vec![0x5Au8; b_bytes];
+    // At most six droppable segments: the retransmission give-up threshold
+    // is eight consecutive timeouts, so recovery is always possible.
+    let mut drops_left = drop_mask.count_ones() % 7;
+    let mut exchange = 0u32;
+    let drop = |seg_idx: u32, drops_left: &mut u32| {
+        let bit = drop_mask >> (seg_idx % 64) & 1 == 1;
+        if bit && *drops_left > 0 {
+            *drops_left -= 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    let mut a_sent = 0usize;
+    let mut b_sent = 0usize;
+    let mut a_closed = false;
+    let mut b_closed = false;
+    let mut a_received = Vec::new();
+    let mut b_received = Vec::new();
+    let terminal = |t: &Tcb| matches!(t.state(), TcpState::Closed | TcpState::TimeWait);
+    for round in 0..30_000usize {
+        // Writes only land once the handshake is far enough along; bytes
+        // still unwritten when the side closes are simply never sent.
+        if !a_closed && a_sent < a_bytes {
+            a_sent += client.write(&a_data[a_sent..]);
+        }
+        if !b_closed && b_sent < b_bytes {
+            b_sent += server.write(&b_data[b_sent..]);
+        }
+        if round == a_close_at && !a_closed {
+            client.close();
+            a_closed = true;
+        }
+        if round == b_close_at && !b_closed {
+            server.close();
+            b_closed = true;
+        }
+        for seg in client.poll_output(now) {
+            exchange += 1;
+            if !drop(exchange, &mut drops_left) {
+                server.on_segment(now, &seg);
+            }
+        }
+        for seg in server.poll_output(now) {
+            exchange += 1;
+            if !drop(exchange, &mut drops_left) {
+                client.on_segment(now, &seg);
+            }
+        }
+        a_received.extend(client.read(usize::MAX));
+        b_received.extend(server.read(usize::MAX));
+        now += SimDuration::from_micros(200);
+        if a_closed && b_closed && terminal(&client) && terminal(&server) {
+            break;
+        }
+    }
+    prop_assert!(terminal(&client), "client stuck in {:?}", client.state());
+    prop_assert!(terminal(&server), "server stuck in {:?}", server.state());
+    prop_assert_eq!(b_received, a_data[..a_sent].to_vec());
+    prop_assert_eq!(a_received, b_data[..b_sent].to_vec());
+
+    // Let the 2 MSL (and, defensively, the FIN_WAIT_2 orphan) timers run
+    // out: every TCB must reach its grave, no zombie states.
+    for _ in 0..40 {
+        now += SimDuration::from_millis(10);
+        client.poll_output(now);
+        server.poll_output(now);
+    }
+    prop_assert_eq!(client.state(), TcpState::Closed);
+    prop_assert_eq!(server.state(), TcpState::Closed);
+    Ok(())
+}
+
+proptest! {
+    /// Close-path state-machine exploration: any interleaving of the two
+    /// endpoints' closes — before, during, or long after the data exchange,
+    /// including the simultaneous-close CLOSING path — with adversarial
+    /// early losses, terminates cleanly.
+    #[test]
+    fn close_paths_always_terminate(
+        a_close_at in 0usize..60,
+        b_close_at in 0usize..60,
+        a_bytes in 0usize..3000,
+        b_bytes in 0usize..3000,
+        drop_mask in proptest::arbitrary::any::<u64>(),
+    ) {
+        drive_close_interleaving(a_close_at, b_close_at, a_bytes, b_bytes, drop_mask)?;
     }
 }

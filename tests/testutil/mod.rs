@@ -254,6 +254,13 @@ impl TwoHost {
         &mut self.host(side).stack
     }
 
+    /// Both the stack and its backing memory, for `ff_*` calls that take
+    /// the arena by `&mut` alongside the stack.
+    pub fn stack_and_mem(&mut self, side: Side) -> (&mut FStack, &mut TaggedMemory) {
+        let h = self.host(side);
+        (&mut h.stack, &mut h.mem)
+    }
+
     pub fn mem(&mut self, side: Side) -> &mut TaggedMemory {
         &mut self.host(side).mem
     }

@@ -31,6 +31,8 @@ TRACKED = [
     "events_per_sec",
     "aggregate_mbit_per_sec",
     "mbit_per_sec",
+    "goodput_mbit_per_sec",
+    "fairness_index",
     "speedup_vs_workers1",
 ]
 
