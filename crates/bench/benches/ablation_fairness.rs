@@ -5,6 +5,11 @@
 //! model (expect ≈531/410) and under round-robin (expect ≈470/470), and
 //! lets Criterion time the simulation harness itself.
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::netsim::AppSched;
 use capnet::scenario::{run_bandwidth_full, ScenarioKind, TrafficMode};
 use criterion::{criterion_group, criterion_main, Criterion};

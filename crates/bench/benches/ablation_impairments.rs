@@ -9,6 +9,11 @@
 //! 2. compartmentalization is loss-neutral: Scenario 2 tracks Baseline at
 //!    every impairment level.
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::scenario::{run_bandwidth_impaired, ScenarioKind, TrafficMode};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simkern::{CostModel, SimDuration};

@@ -8,6 +8,11 @@
 //! [`capnet_bench::BenchReport`], the repo's machine-readable perf
 //! trajectory (uploaded per-PR by CI's bench-smoke job).
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::netsim::NetSim;
 use capnet::scenario::{
     fairness_index, run_dumbbell_fairness, run_star_iperf, run_star_iperf_sharded,

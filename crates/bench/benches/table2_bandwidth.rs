@@ -5,6 +5,11 @@
 //! scenario so `cargo bench` output doubles as the table. Shape assertions
 //! live in `tests/experiments_reproduce_paper.rs`.
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::scenario::{run_bandwidth, ScenarioKind, TrafficMode};
 use capnet_bench::BenchReport;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -17,6 +17,11 @@
 //! determinism gate over the new protocol machinery (persist timer, SACK
 //! scoreboard, pluggable CC).
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::scenario::{fairness_index, run_dumbbell_cc_impaired, run_lossy_wan};
 use capnet::{CcAlgo, SimOutcome};
 use capnet_bench::BenchReport;

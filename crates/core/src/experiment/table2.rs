@@ -16,7 +16,7 @@
 //! lack of fairness control).
 
 use crate::netsim::AppSched;
-use crate::scenario::{run_bandwidth_full, ScenarioKind, TrafficMode};
+use crate::scenario::{ScenarioKind, ScenarioSpec, TrafficMode};
 use crate::CapnetError;
 use serde::Serialize;
 use simkern::cost::CostModel;
@@ -139,14 +139,11 @@ pub fn run_scenarios(
             } else {
                 AppSched::RoundRobin
             };
-            let out = run_bandwidth_full(
-                kind,
-                mode,
-                duration,
-                costs.clone(),
-                updk::wire::Impairments::default(),
-                sched,
-            )?;
+            let out = ScenarioSpec::paper(kind, mode)
+                .duration(duration)
+                .costs(costs.clone())
+                .app_sched(sched)
+                .run()?;
             // DUT-side apps are the reports whose labels start with "cVM"
             // or "Baseline" (peer hosts are labeled host*).
             let dut_reports = match mode {

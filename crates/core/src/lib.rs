@@ -40,9 +40,10 @@ pub mod topology;
 
 pub use fstack::CcAlgo;
 pub use netsim::{
-    EventCounters, IsolationProfile, NetEvent, NetSim, SimOutcome, SwitchId, TraceDigest,
+    EventCounters, IsolationProfile, NetEvent, NetSim, NodeConfig, SimOutcome, SwitchId,
+    TraceDigest,
 };
-pub use scenario::ScenarioKind;
+pub use scenario::{ScenarioKind, ScenarioSpec};
 
 use std::fmt;
 

@@ -10,6 +10,10 @@
 
 use crate::topology::{partition_shards, ShardGraph, ShardPlan};
 use crate::CapnetError;
+use capnet_httpd::{
+    FleetApp, FleetConfig, FleetReport, HttpServerApp, HttpServerConfig, HttpServerReport,
+    StepOutcome as HttpStepOutcome,
+};
 use cheri::{Capability, TaggedMemory};
 use fstack::loop_::{rx_phase, tx_phase, ServiceMutex};
 use fstack::{CcAlgo, FStack, StackConfig};
@@ -277,6 +281,21 @@ pub struct IsolationProfile {
     pub s2_service: bool,
 }
 
+/// Declarative per-node protocol configuration for
+/// [`NetSim::configure_node`]: `None` fields keep the stack's current
+/// setting, so one struct update can adjust a single knob or several at
+/// once. Replaces the accreting `set_node_*` setter family (which now
+/// delegate here).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeConfig {
+    /// TCP congestion-control algorithm for connections opened or
+    /// accepted from now on.
+    pub cc: Option<CcAlgo>,
+    /// SACK negotiation for connections opened or accepted from now on
+    /// (both ends must enable it to be active on a connection).
+    pub sack: Option<bool>,
+}
+
 struct Node {
     name: String,
     dev: usize,
@@ -285,6 +304,10 @@ struct Node {
     stack: FStack,
     servers: Vec<Option<ServerApp>>,
     clients: Vec<Option<ClientApp>>,
+    /// HTTP serving-plane apps (stepped after the iperf apps, so adding
+    /// them to a scenario never perturbs an existing iperf-only digest).
+    https: Vec<Option<HttpServerApp>>,
+    fleets: Vec<Option<FleetApp>>,
     profile: IsolationProfile,
     turns: u64,
     /// `true` when app steps are gated on the stack's dirty-fd set (ideal
@@ -777,6 +800,8 @@ impl NetSim {
             stack,
             servers: Vec::new(),
             clients: Vec::new(),
+            https: Vec::new(),
+            fleets: Vec::new(),
             profile,
             turns: 0,
             gated: false,
@@ -792,20 +817,45 @@ impl NetSim {
         Ok(NodeId(self.nodes.len() - 1))
     }
 
-    /// Selects the TCP congestion-control algorithm for connections this
-    /// node opens or accepts from now on. Call between [`Self::add_node`]
-    /// and [`Self::add_client`]/[`Self::add_server`] — clients connect the
+    /// Applies a [`NodeConfig`] to `node`'s stack: each `Some` field is
+    /// set, each `None` leaves the current value. Call between
+    /// [`Self::add_node`] and app installation — clients connect the
     /// moment they are installed, so a later change won't touch them.
+    pub fn configure_node(&mut self, node: NodeId, cfg: NodeConfig) {
+        let stack = &mut self.nodes[node.0].stack;
+        if let Some(cc) = cfg.cc {
+            stack.set_cc(cc);
+        }
+        if let Some(sack) = cfg.sack {
+            stack.set_sack(sack);
+        }
+    }
+
+    /// Selects the TCP congestion-control algorithm for connections this
+    /// node opens or accepts from now on. Same ordering rule as
+    /// [`Self::configure_node`], which this delegates to.
     pub fn set_node_cc(&mut self, node: NodeId, cc: CcAlgo) {
-        self.nodes[node.0].stack.set_cc(cc);
+        self.configure_node(
+            node,
+            NodeConfig {
+                cc: Some(cc),
+                ..NodeConfig::default()
+            },
+        );
     }
 
     /// Enables (or disables) SACK negotiation for connections this node
     /// opens or accepts from now on. Both ends must enable it for SACK to
     /// be active on a connection. Same ordering rule as
-    /// [`Self::set_node_cc`].
+    /// [`Self::configure_node`], which this delegates to.
     pub fn set_node_sack(&mut self, node: NodeId, sack: bool) {
-        self.nodes[node.0].stack.set_sack(sack);
+        self.configure_node(
+            node,
+            NodeConfig {
+                sack: Some(sack),
+                ..NodeConfig::default()
+            },
+        );
     }
 
     fn carve_app_buf(&mut self, node: NodeId, fill: Option<u8>) -> Result<Capability, CapnetError> {
@@ -854,6 +904,44 @@ impl NetSim {
         Ok(())
     }
 
+    /// Installs an HTTP static server (the serving plane) on `node`,
+    /// listening at `port` with the given server policy.
+    pub fn add_http_server(
+        &mut self,
+        node: NodeId,
+        label: impl Into<String>,
+        port: u16,
+        cfg: HttpServerConfig,
+    ) -> Result<(), CapnetError> {
+        let buf = self.carve_app_buf(node, None)?;
+        let n = &mut self.nodes[node.0];
+        let app = HttpServerApp::start(&mut n.stack, label, port, buf, cfg)?;
+        n.https.push(Some(app));
+        Ok(())
+    }
+
+    /// Installs an open-loop HTTP client fleet on `node`. Its RNG stream
+    /// derives from the scenario seed, the node index and the fleet's
+    /// slot, so parallel fleets draw independently and a run is a pure
+    /// function of [`Self::set_seed`].
+    pub fn add_http_fleet(
+        &mut self,
+        node: NodeId,
+        label: impl Into<String>,
+        cfg: FleetConfig,
+    ) -> Result<(), CapnetError> {
+        let buf = self.carve_app_buf(node, Some(0x5A))?;
+        let slot = self.nodes[node.0].fleets.len();
+        let seed = self.seed
+            ^ (node.0 as u64 + 1).wrapping_mul(0x0000_0100_0000_01B3)
+            ^ (slot as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ 0x4854_5450; // "HTTP": keep fleet streams off the port-RNG streams
+        let n = &mut self.nodes[node.0];
+        let app = FleetApp::start(label, &mut n.stack, buf, cfg, seed, SimTime::ZERO);
+        n.fleets.push(Some(app));
+        Ok(())
+    }
+
     /// Starts every device.
     fn start_devices(&mut self) -> Result<(), CapnetError> {
         for dev in &mut self.devs {
@@ -899,7 +987,8 @@ impl NetSim {
             // and map each app's fds so stack changes route to their app.
             let node = &mut self.nodes[i];
             node.gated = node.profile.per_ff_call_ns == 0 && !node.profile.s2_service;
-            let slots = node.servers.len() + node.clients.len();
+            let slots =
+                node.servers.len() + node.clients.len() + node.https.len() + node.fleets.len();
             node.runnable = vec![true; slots];
             for (si, s) in node.servers.iter().enumerate() {
                 if let Some(app) = s {
@@ -913,6 +1002,23 @@ impl NetSim {
             for (ci, c) in node.clients.iter().enumerate() {
                 if let Some(app) = c {
                     Self::note_app_fd(&mut node.app_of_fd, app.sock_fd(), base + ci as u32);
+                }
+            }
+            let base = base + node.clients.len() as u32;
+            for (hi, h) in node.https.iter_mut().enumerate() {
+                if let Some(app) = h {
+                    Self::note_app_fd(&mut node.app_of_fd, app.listen_fd(), base + hi as u32);
+                    for &fd in app.conn_fds() {
+                        Self::note_app_fd(&mut node.app_of_fd, fd, base + hi as u32);
+                    }
+                }
+            }
+            let base = base + node.https.len() as u32;
+            for (fi, f) in node.fleets.iter_mut().enumerate() {
+                if let Some(app) = f {
+                    for &fd in app.conn_fds() {
+                        Self::note_app_fd(&mut node.app_of_fd, fd, base + fi as u32);
+                    }
                 }
             }
         }
@@ -970,6 +1076,8 @@ impl NetSim {
         // Collect reports.
         let mut servers = Vec::new();
         let mut clients = Vec::new();
+        let mut http_servers = Vec::new();
+        let mut http_fleets = Vec::new();
         let mut mutex_stats = None;
         for node in &mut self.nodes {
             for s in node.servers.iter_mut() {
@@ -980,6 +1088,16 @@ impl NetSim {
             for c in node.clients.iter_mut() {
                 if let Some(app) = c.take() {
                     clients.push(app.report(end));
+                }
+            }
+            for h in node.https.iter_mut() {
+                if let Some(app) = h.take() {
+                    http_servers.push(app.report(end));
+                }
+            }
+            for f in node.fleets.iter_mut() {
+                if let Some(app) = f.take() {
+                    http_fleets.push(app.report(end));
                 }
             }
         }
@@ -996,6 +1114,8 @@ impl NetSim {
         Ok(SimOutcome {
             servers,
             clients,
+            http_servers,
+            http_fleets,
             ended_at: end,
             horizon: stop,
             events,
@@ -1019,7 +1139,9 @@ impl NetSim {
             node_weight: self
                 .nodes
                 .iter()
-                .map(|n| 1 + (n.servers.len() + n.clients.len()) as u64)
+                .map(|n| {
+                    1 + (n.servers.len() + n.clients.len() + n.https.len() + n.fleets.len()) as u64
+                })
                 .collect(),
             ..ShardGraph::default()
         };
@@ -1154,6 +1276,8 @@ impl NetSim {
             ),
             servers: Vec::new(),
             clients: Vec::new(),
+            https: Vec::new(),
+            fleets: Vec::new(),
             profile: IsolationProfile::default(),
             turns: 0,
             gated: false,
@@ -1559,6 +1683,8 @@ impl NetSim {
 
         let mut servers = Vec::new();
         let mut clients = Vec::new();
+        let mut http_servers = Vec::new();
+        let mut http_fleets = Vec::new();
         let mut port_stats = Vec::new();
         let mut stack_stats = Vec::new();
         for i in 0..plan.node_shard.len() {
@@ -1573,6 +1699,16 @@ impl NetSim {
                 for c in node.clients.iter_mut() {
                     if let Some(app) = c.take() {
                         clients.push(app.report(end));
+                    }
+                }
+                for h in node.https.iter_mut() {
+                    if let Some(app) = h.take() {
+                        http_servers.push(app.report(end));
+                    }
+                }
+                for f in node.fleets.iter_mut() {
+                    if let Some(app) = f.take() {
+                        http_fleets.push(app.report(end));
                     }
                 }
             }
@@ -1595,6 +1731,8 @@ impl NetSim {
         SimOutcome {
             servers,
             clients,
+            http_servers,
+            http_fleets,
             ended_at: end,
             horizon: stop,
             events,
@@ -1777,6 +1915,8 @@ impl NetSim {
             stack,
             servers,
             clients,
+            https,
+            fleets,
             gated,
             app_of_fd,
             runnable,
@@ -1840,6 +1980,58 @@ impl NetSim {
             {
                 ff_calls += u64::from(calls);
                 progressed |= moved;
+            }
+        }
+        // The HTTP serving plane steps after the iperf apps — appending
+        // slots keeps the step order (and so every pinned digest) of
+        // iperf-only scenarios untouched.
+        let base_http = n_servers + clients.len();
+        for (hi, h) in https.iter_mut().enumerate() {
+            let Some(app) = h else { continue };
+            let slot = base_http + hi;
+            if gated && !runnable[slot] {
+                continue;
+            }
+            runnable[slot] = false;
+            if let Ok(HttpStepOutcome {
+                ff_calls: calls,
+                progressed: moved,
+                ..
+            }) = app.step(stack, mem, now)
+            {
+                ff_calls += u64::from(calls);
+                progressed |= moved;
+                if moved {
+                    // Accepts may have added connections: refresh routing.
+                    Self::note_app_fd(app_of_fd, app.listen_fd(), slot as u32);
+                    for &fd in app.conn_fds() {
+                        Self::note_app_fd(app_of_fd, fd, slot as u32);
+                    }
+                }
+            }
+        }
+        let base_fleet = base_http + https.len();
+        for (fi, f) in fleets.iter_mut().enumerate() {
+            let Some(app) = f else { continue };
+            let slot = base_fleet + fi;
+            if gated && !runnable[slot] && !app.due(now) {
+                continue;
+            }
+            runnable[slot] = false;
+            if let Ok(HttpStepOutcome {
+                ff_calls: calls,
+                progressed: moved,
+                ..
+            }) = app.step(stack, mem, now)
+            {
+                ff_calls += u64::from(calls);
+                progressed |= moved;
+                if moved {
+                    // Arrivals opened connections: refresh fd routing.
+                    for &fd in app.conn_fds() {
+                        Self::note_app_fd(app_of_fd, fd, slot as u32);
+                    }
+                }
             }
         }
 
@@ -1926,6 +2118,13 @@ impl NetSim {
             let mut deadline = node.stack.next_timer_deadline();
             for c in node.clients.iter().flatten() {
                 if let Some(d) = c.next_deadline(now) {
+                    deadline = Some(deadline.map_or(d, |m| m.min(d)));
+                }
+            }
+            // Fleet clocks (pending arrival, think timers) must wake a
+            // parked leaf; the HTTP server is purely input-driven.
+            for f in node.fleets.iter().flatten() {
+                if let Some(d) = f.next_deadline(now) {
                     deadline = Some(deadline.map_or(d, |m| m.min(d)));
                 }
             }
@@ -2165,6 +2364,10 @@ pub struct SimOutcome {
     pub servers: Vec<BandwidthReport>,
     /// Client (sender) reports, in installation order.
     pub clients: Vec<BandwidthReport>,
+    /// HTTP serving-plane server reports, in installation order.
+    pub http_servers: Vec<HttpServerReport>,
+    /// HTTP open-loop fleet reports, in installation order.
+    pub http_fleets: Vec<FleetReport>,
     /// The virtual instant the last event executed. With the
     /// quiescence-aware engine this can be well before [`SimOutcome::horizon`]:
     /// once every node is parked with nothing pending, the remaining virtual

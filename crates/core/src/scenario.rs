@@ -16,14 +16,16 @@
 //! 82576 ports, mirroring the paper's server (receiver) and client (sender)
 //! iperf runs.
 
-use crate::netsim::{AppSched, IsolationProfile, NetSim, SimOutcome};
+use crate::netsim::{AppSched, IsolationProfile, NetSim, NodeConfig, SimOutcome};
 use crate::CapnetError;
+use capnet_httpd::{FleetConfig, HttpServerConfig, HTTPD_PORT};
 use fstack::CcAlgo;
 use simkern::cost::CostModel;
 use simkern::time::SimDuration;
 use std::fmt;
 use std::net::Ipv4Addr;
 use updk::nic::NicModel;
+use updk::wire::Impairments;
 
 /// Which §III design to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,25 +111,488 @@ impl fmt::Display for TrafficMode {
 const DUT_IP: [Ipv4Addr; 2] = [Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 1)];
 const PEER_IP: [Ipv4Addr; 2] = [Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(10, 0, 1, 2)];
 
+/// The shape of the network a [`ScenarioSpec`] instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Topology {
+    /// The paper's two-hosts-on-a-cable testbed, in one of its §III
+    /// compartmentalization designs.
+    Paper(ScenarioKind, TrafficMode),
+    /// N leaves and a hub host on one learning switch.
+    Star(usize),
+    /// N client/server pairs on two switches joined by a trunk.
+    Dumbbell(usize),
+}
+
+/// The traffic a [`ScenarioSpec`] drives over its topology.
+#[derive(Debug, Clone)]
+enum Workload {
+    /// Bulk TCP transfer (the paper's measurement).
+    Iperf,
+    /// The HTTP serving plane: a static server at the receiving end of
+    /// each flow path, an open-loop client fleet at the sending end.
+    Httpd {
+        server: HttpServerConfig,
+        fleet: FleetConfig,
+    },
+}
+
+/// A declarative scenario: **one builder, one [`ScenarioSpec::run`]** —
+/// the redesigned entry point that replaced the accreting `run_*`
+/// function family (now thin deprecated wrappers over this type).
+///
+/// Pick a topology with one of the constructors ([`ScenarioSpec::paper`],
+/// [`ScenarioSpec::star`], [`ScenarioSpec::dumbbell`]), chain the knobs
+/// you care about, and call [`ScenarioSpec::run`]. Every knob has the
+/// same default the old positional functions used, so a spec names only
+/// what it changes. The outcome is a pure function of the spec: the
+/// returned [`SimOutcome::trace`] digest is byte-identical at any
+/// [`ScenarioSpec::workers`] count.
+///
+/// # Migration from the `run_*` family
+///
+/// Each positional argument became a named builder call — this
+/// `run_star_iperf_custom` invocation:
+///
+/// ```no_run
+/// # use capnet::scenario::run_star_iperf_custom;
+/// # use simkern::cost::CostModel;
+/// # use simkern::time::SimDuration;
+/// # use updk::wire::Impairments;
+/// # use fstack::CcAlgo;
+/// # #[allow(deprecated)]
+/// let out = run_star_iperf_custom(
+///     4,
+///     SimDuration::from_millis(80),
+///     CostModel::morello(),
+///     7,
+///     Impairments::default(),
+///     2,
+///     CcAlgo::Cubic,
+///     true,
+/// );
+/// ```
+///
+/// is now:
+///
+/// ```no_run
+/// # use capnet::scenario::ScenarioSpec;
+/// # use simkern::cost::CostModel;
+/// # use simkern::time::SimDuration;
+/// # use fstack::CcAlgo;
+/// let out = ScenarioSpec::star(4)
+///     .duration(SimDuration::from_millis(80))
+///     .costs(CostModel::morello())
+///     .seed(7)
+///     .workers(2)
+///     .congestion(CcAlgo::Cubic)
+///     .sack(true)
+///     .run();
+/// ```
+///
+/// The HTTP serving plane only exists through this API — there is no
+/// legacy wrapper for it:
+///
+/// ```no_run
+/// # use capnet::scenario::ScenarioSpec;
+/// # use capnet_httpd::{FleetConfig, HttpServerConfig};
+/// let out = ScenarioSpec::star(4)
+///     .http(
+///         HttpServerConfig::default(),
+///         FleetConfig {
+///             rate_per_sec: 3000,
+///             keep_alive_per_mille: 300,
+///             ..FleetConfig::default()
+///         },
+///     )
+///     .run();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    topology: Topology,
+    workload: Workload,
+    duration: SimDuration,
+    costs: CostModel,
+    seed: Option<u64>,
+    impairments: Impairments,
+    workers: usize,
+    cc: Option<CcAlgo>,
+    sack: Option<bool>,
+    pair_cc: Vec<CcAlgo>,
+    sched: AppSched,
+}
+
+impl ScenarioSpec {
+    fn new(topology: Topology) -> Self {
+        ScenarioSpec {
+            topology,
+            workload: Workload::Iperf,
+            duration: SimDuration::from_millis(100),
+            costs: CostModel::morello(),
+            seed: None,
+            impairments: Impairments::default(),
+            workers: 1,
+            cc: None,
+            sack: None,
+            pair_cc: Vec::new(),
+            sched: AppSched::RoundRobin,
+        }
+    }
+
+    /// The paper's two-hosts-on-a-cable testbed running design `kind`
+    /// with the DUT on the `mode` side of the transfer.
+    pub fn paper(kind: ScenarioKind, mode: TrafficMode) -> Self {
+        Self::new(Topology::Paper(kind, mode))
+    }
+
+    /// An N-leaf star: `leaves` hosts and a hub on one learning switch,
+    /// every flow sharing the hub-facing egress port.
+    pub fn star(leaves: usize) -> Self {
+        Self::new(Topology::Star(leaves))
+    }
+
+    /// A dumbbell: `pairs` client/server pairs on two switches joined by
+    /// one shared trunk.
+    pub fn dumbbell(pairs: usize) -> Self {
+        Self::new(Topology::Dumbbell(pairs))
+    }
+
+    /// The measured traffic window (default 100 ms). The simulation runs
+    /// 30 ms longer for handshakes before and FIN/TIME_WAIT drains after.
+    #[must_use]
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// The calibrated host cost model (default [`CostModel::morello`]).
+    #[must_use]
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Seeds every deterministic random stream (impairment draws, fleet
+    /// arrivals). Unset, the simulation keeps [`NetSim`]'s default seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Degrades every cable with loss/corruption/duplication/reordering/
+    /// jitter (default: ideal cables).
+    #[must_use]
+    pub fn impairments(mut self, impairments: Impairments) -> Self {
+        self.impairments = impairments;
+        self
+    }
+
+    /// Shards the run over `workers` engines (default 1). The outcome is
+    /// byte-identical at any count; only wall time changes.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// TCP congestion control for **every** host (default: the stack's
+    /// Reno). On the dumbbell, [`ScenarioSpec::pair_cc`] overrides this
+    /// per sender.
+    #[must_use]
+    pub fn congestion(mut self, cc: CcAlgo) -> Self {
+        self.cc = Some(cc);
+        self
+    }
+
+    /// SACK negotiation at every host (default: the stack's off). Both
+    /// ends must offer it for a connection to use it.
+    #[must_use]
+    pub fn sack(mut self, sack: bool) -> Self {
+        self.sack = Some(sack);
+        self
+    }
+
+    /// Dumbbell only: pair `i`'s sender runs `algos[i % algos.len()]`
+    /// (an empty slice keeps [`ScenarioSpec::congestion`]'s choice).
+    #[must_use]
+    pub fn pair_cc(mut self, algos: &[CcAlgo]) -> Self {
+        self.pair_cc = algos.to_vec();
+        self
+    }
+
+    /// Paper topology only: the app-cVM scheduling policy of the
+    /// Scenario 2 service mutex (default round-robin;
+    /// [`AppSched::paper_barging`] reproduces Table II's contended split).
+    #[must_use]
+    pub fn app_sched(mut self, sched: AppSched) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Switches the workload from bulk iperf transfer to the HTTP
+    /// serving plane: a static server behind each flow path's receiving
+    /// host, an open-loop client fleet on each sending host. The fleet's
+    /// `target` and `open_for` fields are overwritten by the spec (the
+    /// hub/server address and [`ScenarioSpec::duration`] respectively).
+    #[must_use]
+    pub fn http(mut self, server: HttpServerConfig, fleet: FleetConfig) -> Self {
+        self.workload = Workload::Httpd { server, fleet };
+        self
+    }
+
+    /// Builds the topology and runs it to completion.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors (an HTTP workload on the paper's testbed,
+    /// bad topology parameters) and datapath capability faults.
+    pub fn run(self) -> Result<SimOutcome, CapnetError> {
+        match self.topology {
+            Topology::Paper(kind, mode) => self.run_paper(kind, mode),
+            Topology::Star(leaves) => self.run_star(leaves),
+            Topology::Dumbbell(pairs) => self.run_dumbbell(pairs),
+        }
+    }
+
+    /// The per-host protocol configuration this spec asks for.
+    fn node_config(&self) -> NodeConfig {
+        NodeConfig {
+            cc: self.cc,
+            sack: self.sack,
+        }
+    }
+
+    /// A fleet configuration retargeted at `(ip, HTTPD_PORT)` with its
+    /// open window pinned to the spec's duration.
+    fn fleet_for(&self, fleet: &FleetConfig, ip: Ipv4Addr) -> FleetConfig {
+        FleetConfig {
+            target: (ip, HTTPD_PORT),
+            open_for: self.duration,
+            ..fleet.clone()
+        }
+    }
+
+    /// The paper testbed (§III): construction order mirrors the original
+    /// `run_bandwidth_full` exactly, so the wrappers stay byte-identical.
+    fn run_paper(self, kind: ScenarioKind, mode: TrafficMode) -> Result<SimOutcome, CapnetError> {
+        if matches!(self.workload, Workload::Httpd { .. }) {
+            return Err(CapnetError::Config(
+                "the HTTP serving plane runs on star/dumbbell topologies; \
+                 the paper testbed measures bulk transfer"
+                    .into(),
+            ));
+        }
+        let costs = self.costs.clone();
+        let mut sim = NetSim::new(costs.clone());
+        if let Some(seed) = self.seed {
+            sim.set_seed(seed);
+        }
+        sim.set_impairments(self.impairments);
+        sim.set_app_sched(self.sched);
+        if self.workers > 1 {
+            sim.set_workers(self.workers);
+        }
+        let dut_dev = sim.add_dev(NicModel::Dual82576)?;
+        let traffic = self.duration;
+        // Leave room for handshakes before and FIN drains after the timed
+        // part.
+        let run_for = self.duration + SimDuration::from_millis(30);
+
+        // Per-`ff_*`-call crossing charge for the scenario.
+        let per_call = match kind {
+            ScenarioKind::BaselineTwoProcess
+            | ScenarioKind::BaselineSingleProcess
+            | ScenarioKind::Scenario1 => 0,
+            ScenarioKind::Scenario2Uncontended | ScenarioKind::Scenario2Contended => {
+                costs.xcall_ns + costs.mutex_fast_ns
+            }
+            // The deeper splits add crossings but no further mutexes: the
+            // compartment-to-compartment packet hand-offs ride single-
+            // producer/single-consumer rings (as DPDK's do), which need no
+            // lock.
+            ScenarioKind::Scenario3 => 2 * costs.xcall_ns + costs.mutex_fast_ns,
+            ScenarioKind::Scenario4 => 3 * costs.xcall_ns + costs.mutex_fast_ns,
+        };
+        let s2_service = matches!(
+            kind,
+            ScenarioKind::Scenario2Uncontended
+                | ScenarioKind::Scenario2Contended
+                | ScenarioKind::Scenario3
+                | ScenarioKind::Scenario4
+        );
+        let profile = IsolationProfile {
+            per_ff_call_ns: per_call,
+            s2_service,
+        };
+
+        let ports: usize = if kind.dual_port() { 2 } else { 1 };
+        let flows: usize = match kind {
+            ScenarioKind::Scenario2Contended => 2,
+            _ => 1,
+        };
+
+        for port in 0..ports {
+            let peer_dev = sim.add_dev(NicModel::Host)?;
+            sim.link(dut_dev, port, peer_dev, 0)?;
+            let dut = sim.add_node(
+                format!("cVM{}", port + 1),
+                dut_dev,
+                port,
+                DUT_IP[port],
+                profile,
+            )?;
+            let peer = sim.add_node(
+                format!("host{}", port + 1),
+                peer_dev,
+                0,
+                PEER_IP[port],
+                IsolationProfile::default(),
+            )?;
+            sim.configure_node(dut, self.node_config());
+            sim.configure_node(peer, self.node_config());
+            for flow in 0..flows {
+                let svc_port = 5201 + flow as u16;
+                let dut_label = match kind {
+                    ScenarioKind::Scenario2Contended => format!("cVM{}", flow + 2),
+                    ScenarioKind::Scenario2Uncontended => "cVM2".to_string(),
+                    ScenarioKind::BaselineSingleProcess => "Baseline".to_string(),
+                    _ => format!("cVM{}", port + 1),
+                };
+                match mode {
+                    TrafficMode::Server => {
+                        sim.add_server(dut, dut_label, svc_port)?;
+                        sim.add_client(
+                            peer,
+                            format!("host{}-tx{}", port + 1, flow),
+                            (DUT_IP[port], svc_port),
+                            traffic,
+                            SimDuration::ZERO,
+                        )?;
+                    }
+                    TrafficMode::Client => {
+                        sim.add_server(peer, format!("host{}-rx{}", port + 1, flow), svc_port)?;
+                        sim.add_client(
+                            dut,
+                            dut_label,
+                            (PEER_IP[port], svc_port),
+                            traffic,
+                            SimDuration::ZERO,
+                        )?;
+                    }
+                }
+            }
+        }
+        sim.run(run_for)
+    }
+
+    /// The N-leaf star: construction order mirrors the original
+    /// `run_star_iperf_custom` exactly.
+    fn run_star(self, leaves: usize) -> Result<SimOutcome, CapnetError> {
+        let mut sim = NetSim::new(self.costs.clone());
+        if let Some(seed) = self.seed {
+            sim.set_seed(seed);
+        }
+        sim.set_impairments(self.impairments);
+        sim.set_workers(self.workers);
+        let star = crate::topology::build_star(&mut sim, leaves)?;
+        sim.configure_node(star.hub, self.node_config());
+        for &leaf in &star.leaves {
+            sim.configure_node(leaf, self.node_config());
+        }
+        match &self.workload {
+            Workload::Iperf => {
+                for (i, &leaf) in star.leaves.iter().enumerate() {
+                    let port = STAR_PORT + i as u16;
+                    sim.add_server(star.hub, format!("hub-rx{i}"), port)?;
+                    sim.add_client(
+                        leaf,
+                        format!("leaf-tx{i}"),
+                        (star.hub_ip, port),
+                        self.duration,
+                        SimDuration::ZERO,
+                    )?;
+                }
+            }
+            Workload::Httpd { server, fleet } => {
+                // One serving plane, many users: a single hub server,
+                // every leaf an independent open-loop fleet against it.
+                sim.add_http_server(star.hub, "hub-httpd", HTTPD_PORT, server.clone())?;
+                for (i, &leaf) in star.leaves.iter().enumerate() {
+                    let cfg = self.fleet_for(fleet, star.hub_ip);
+                    sim.add_http_fleet(leaf, format!("leaf-fleet{i}"), cfg)?;
+                }
+            }
+        }
+        // Room for ARP + handshakes before and FIN drains after the timed
+        // part.
+        sim.run(self.duration + SimDuration::from_millis(30))
+    }
+
+    /// The dumbbell: construction order mirrors the original
+    /// `run_dumbbell_cc_impaired` exactly.
+    fn run_dumbbell(self, pairs: usize) -> Result<SimOutcome, CapnetError> {
+        let mut sim = NetSim::new(self.costs.clone());
+        if let Some(seed) = self.seed {
+            sim.set_seed(seed);
+        }
+        sim.set_impairments(self.impairments);
+        if self.workers > 1 {
+            sim.set_workers(self.workers);
+        }
+        let bell = crate::topology::build_dumbbell(&mut sim, pairs)?;
+        for i in 0..pairs {
+            sim.configure_node(bell.servers[i], self.node_config());
+            sim.configure_node(bell.clients[i], self.node_config());
+            if !self.pair_cc.is_empty() {
+                sim.set_node_cc(bell.clients[i], self.pair_cc[i % self.pair_cc.len()]);
+            }
+            match &self.workload {
+                Workload::Iperf => {
+                    let port = DUMBBELL_PORT + i as u16;
+                    sim.add_server(bell.servers[i], format!("srv-rx{i}"), port)?;
+                    sim.add_client(
+                        bell.clients[i],
+                        format!("cli-tx{i}"),
+                        (bell.server_ips[i], port),
+                        self.duration,
+                        SimDuration::ZERO,
+                    )?;
+                }
+                Workload::Httpd { server, fleet } => {
+                    // Per-pair serving planes: each right-side host serves
+                    // its left-side fleet across the shared trunk.
+                    sim.add_http_server(
+                        bell.servers[i],
+                        format!("srv-httpd{i}"),
+                        HTTPD_PORT,
+                        server.clone(),
+                    )?;
+                    let cfg = self.fleet_for(fleet, bell.server_ips[i]);
+                    sim.add_http_fleet(bell.clients[i], format!("cli-fleet{i}"), cfg)?;
+                }
+            }
+        }
+        sim.run(self.duration + SimDuration::from_millis(30))
+    }
+}
+
 /// Builds and runs `kind` in `mode` for `duration`, returning per-flow
 /// reports labeled the way Table II labels its rows.
 ///
 /// # Errors
 ///
 /// Propagates configuration and datapath failures.
+#[deprecated(note = "build a `ScenarioSpec` with `ScenarioSpec::paper(kind, mode)` instead")]
 pub fn run_bandwidth(
     kind: ScenarioKind,
     mode: TrafficMode,
     duration: SimDuration,
     costs: CostModel,
 ) -> Result<SimOutcome, CapnetError> {
-    run_bandwidth_impaired(
-        kind,
-        mode,
-        duration,
-        costs,
-        updk::wire::Impairments::default(),
-    )
+    ScenarioSpec::paper(kind, mode)
+        .duration(duration)
+        .costs(costs)
+        .run()
 }
 
 /// [`run_bandwidth`] over degraded cables: every wire in the topology is
@@ -139,21 +604,19 @@ pub fn run_bandwidth(
 /// # Errors
 ///
 /// Propagates configuration and datapath failures.
+#[deprecated(note = "build a `ScenarioSpec` with `.impairments(...)` instead")]
 pub fn run_bandwidth_impaired(
     kind: ScenarioKind,
     mode: TrafficMode,
     duration: SimDuration,
     costs: CostModel,
-    impairments: updk::wire::Impairments,
+    impairments: Impairments,
 ) -> Result<SimOutcome, CapnetError> {
-    run_bandwidth_full(
-        kind,
-        mode,
-        duration,
-        costs,
-        impairments,
-        AppSched::RoundRobin,
-    )
+    ScenarioSpec::paper(kind, mode)
+        .duration(duration)
+        .costs(costs)
+        .impairments(impairments)
+        .run()
 }
 
 /// The fully parameterized [`run_bandwidth`]: degraded cables *and* an
@@ -165,104 +628,23 @@ pub fn run_bandwidth_impaired(
 /// # Errors
 ///
 /// Propagates configuration and datapath failures.
+#[deprecated(
+    note = "build a `ScenarioSpec` with `.impairments(...)` and `.app_sched(...)` instead"
+)]
 pub fn run_bandwidth_full(
     kind: ScenarioKind,
     mode: TrafficMode,
     duration: SimDuration,
     costs: CostModel,
-    impairments: updk::wire::Impairments,
+    impairments: Impairments,
     sched: AppSched,
 ) -> Result<SimOutcome, CapnetError> {
-    let mut sim = NetSim::new(costs.clone());
-    sim.set_impairments(impairments);
-    sim.set_app_sched(sched);
-    let dut_dev = sim.add_dev(NicModel::Dual82576)?;
-    let traffic = duration;
-    // Leave room for handshakes before and FIN drains after the timed part.
-    let run_for = duration + SimDuration::from_millis(30);
-
-    // Per-`ff_*`-call crossing charge for the scenario.
-    let per_call = match kind {
-        ScenarioKind::BaselineTwoProcess
-        | ScenarioKind::BaselineSingleProcess
-        | ScenarioKind::Scenario1 => 0,
-        ScenarioKind::Scenario2Uncontended | ScenarioKind::Scenario2Contended => {
-            costs.xcall_ns + costs.mutex_fast_ns
-        }
-        // The deeper splits add crossings but no further mutexes: the
-        // compartment-to-compartment packet hand-offs ride single-producer/
-        // single-consumer rings (as DPDK's do), which need no lock.
-        ScenarioKind::Scenario3 => 2 * costs.xcall_ns + costs.mutex_fast_ns,
-        ScenarioKind::Scenario4 => 3 * costs.xcall_ns + costs.mutex_fast_ns,
-    };
-    let s2_service = matches!(
-        kind,
-        ScenarioKind::Scenario2Uncontended
-            | ScenarioKind::Scenario2Contended
-            | ScenarioKind::Scenario3
-            | ScenarioKind::Scenario4
-    );
-    let profile = IsolationProfile {
-        per_ff_call_ns: per_call,
-        s2_service,
-    };
-
-    let ports: usize = if kind.dual_port() { 2 } else { 1 };
-    let flows: usize = match kind {
-        ScenarioKind::Scenario2Contended => 2,
-        _ => 1,
-    };
-
-    for port in 0..ports {
-        let peer_dev = sim.add_dev(NicModel::Host)?;
-        sim.link(dut_dev, port, peer_dev, 0)?;
-        let dut = sim.add_node(
-            format!("cVM{}", port + 1),
-            dut_dev,
-            port,
-            DUT_IP[port],
-            profile,
-        )?;
-        let peer = sim.add_node(
-            format!("host{}", port + 1),
-            peer_dev,
-            0,
-            PEER_IP[port],
-            IsolationProfile::default(),
-        )?;
-        for flow in 0..flows {
-            let svc_port = 5201 + flow as u16;
-            let dut_label = match kind {
-                ScenarioKind::Scenario2Contended => format!("cVM{}", flow + 2),
-                ScenarioKind::Scenario2Uncontended => "cVM2".to_string(),
-                ScenarioKind::BaselineSingleProcess => "Baseline".to_string(),
-                _ => format!("cVM{}", port + 1),
-            };
-            match mode {
-                TrafficMode::Server => {
-                    sim.add_server(dut, dut_label, svc_port)?;
-                    sim.add_client(
-                        peer,
-                        format!("host{}-tx{}", port + 1, flow),
-                        (DUT_IP[port], svc_port),
-                        traffic,
-                        SimDuration::ZERO,
-                    )?;
-                }
-                TrafficMode::Client => {
-                    sim.add_server(peer, format!("host{}-rx{}", port + 1, flow), svc_port)?;
-                    sim.add_client(
-                        dut,
-                        dut_label,
-                        (PEER_IP[port], svc_port),
-                        traffic,
-                        SimDuration::ZERO,
-                    )?;
-                }
-            }
-        }
-    }
-    sim.run(run_for)
+    ScenarioSpec::paper(kind, mode)
+        .duration(duration)
+        .costs(costs)
+        .impairments(impairments)
+        .app_sched(sched)
+        .run()
 }
 
 /// Port base for the star scenario's per-leaf flows.
@@ -282,19 +664,20 @@ const DUMBBELL_PORT: u16 = 5401;
 /// # Errors
 ///
 /// Propagates configuration and datapath failures.
+#[deprecated(note = "build a `ScenarioSpec` with `ScenarioSpec::star(clients)` instead")]
 pub fn run_star_iperf(
     clients: usize,
     duration: SimDuration,
     costs: CostModel,
     seed: u64,
 ) -> Result<SimOutcome, CapnetError> {
-    run_star_iperf_impaired(
-        clients,
-        duration,
-        costs,
-        seed,
-        updk::wire::Impairments::default(),
-    )
+    ScenarioSpec::star(clients)
+        .duration(duration)
+        .costs(costs)
+        .seed(seed)
+        .congestion(CcAlgo::Reno)
+        .sack(false)
+        .run()
 }
 
 /// [`run_star_iperf`] over degraded cables: each delivery is subject to
@@ -305,14 +688,22 @@ pub fn run_star_iperf(
 /// # Errors
 ///
 /// Propagates configuration and datapath failures.
+#[deprecated(note = "build a `ScenarioSpec` with `.impairments(...)` instead")]
 pub fn run_star_iperf_impaired(
     clients: usize,
     duration: SimDuration,
     costs: CostModel,
     seed: u64,
-    impairments: updk::wire::Impairments,
+    impairments: Impairments,
 ) -> Result<SimOutcome, CapnetError> {
-    run_star_iperf_sharded(clients, duration, costs, seed, impairments, 1)
+    ScenarioSpec::star(clients)
+        .duration(duration)
+        .costs(costs)
+        .seed(seed)
+        .impairments(impairments)
+        .congestion(CcAlgo::Reno)
+        .sack(false)
+        .run()
 }
 
 /// [`run_star_iperf_impaired`] on a sharded simulation:
@@ -324,24 +715,24 @@ pub fn run_star_iperf_impaired(
 /// # Errors
 ///
 /// Propagates configuration and datapath failures.
+#[deprecated(note = "build a `ScenarioSpec` with `.workers(...)` instead")]
 pub fn run_star_iperf_sharded(
     clients: usize,
     duration: SimDuration,
     costs: CostModel,
     seed: u64,
-    impairments: updk::wire::Impairments,
+    impairments: Impairments,
     workers: usize,
 ) -> Result<SimOutcome, CapnetError> {
-    run_star_iperf_custom(
-        clients,
-        duration,
-        costs,
-        seed,
-        impairments,
-        workers,
-        CcAlgo::Reno,
-        false,
-    )
+    ScenarioSpec::star(clients)
+        .duration(duration)
+        .costs(costs)
+        .seed(seed)
+        .impairments(impairments)
+        .workers(workers)
+        .congestion(CcAlgo::Reno)
+        .sack(false)
+        .run()
 }
 
 /// The fully parameterized star: on top of
@@ -355,40 +746,26 @@ pub fn run_star_iperf_sharded(
 ///
 /// Propagates configuration and datapath failures.
 #[allow(clippy::too_many_arguments)]
+#[deprecated(note = "build a `ScenarioSpec` with `.congestion(...)` and `.sack(...)` instead")]
 pub fn run_star_iperf_custom(
     clients: usize,
     duration: SimDuration,
     costs: CostModel,
     seed: u64,
-    impairments: updk::wire::Impairments,
+    impairments: Impairments,
     workers: usize,
     cc: CcAlgo,
     sack: bool,
 ) -> Result<SimOutcome, CapnetError> {
-    let mut sim = NetSim::new(costs);
-    sim.set_seed(seed);
-    sim.set_impairments(impairments);
-    sim.set_workers(workers);
-    let star = crate::topology::build_star(&mut sim, clients)?;
-    sim.set_node_cc(star.hub, cc);
-    sim.set_node_sack(star.hub, sack);
-    for &leaf in &star.leaves {
-        sim.set_node_cc(leaf, cc);
-        sim.set_node_sack(leaf, sack);
-    }
-    for (i, &leaf) in star.leaves.iter().enumerate() {
-        let port = STAR_PORT + i as u16;
-        sim.add_server(star.hub, format!("hub-rx{i}"), port)?;
-        sim.add_client(
-            leaf,
-            format!("leaf-tx{i}"),
-            (star.hub_ip, port),
-            duration,
-            SimDuration::ZERO,
-        )?;
-    }
-    // Room for ARP + handshakes before and FIN drains after the timed part.
-    sim.run(duration + SimDuration::from_millis(30))
+    ScenarioSpec::star(clients)
+        .duration(duration)
+        .costs(costs)
+        .seed(seed)
+        .impairments(impairments)
+        .workers(workers)
+        .congestion(cc)
+        .sack(sack)
+        .run()
 }
 
 /// The **lossy-WAN goodput experiment**: a 2-leaf star whose final hops
@@ -400,6 +777,7 @@ pub fn run_star_iperf_custom(
 /// # Errors
 ///
 /// Propagates configuration and datapath failures.
+#[deprecated(note = "build a `ScenarioSpec` with `.impairments(...)` and `.sack(...)` instead")]
 pub fn run_lossy_wan(
     duration: SimDuration,
     costs: CostModel,
@@ -407,11 +785,17 @@ pub fn run_lossy_wan(
     loss_per_mille: u16,
     sack: bool,
 ) -> Result<SimOutcome, CapnetError> {
-    let impairments = updk::wire::Impairments {
-        loss_per_mille,
-        ..Default::default()
-    };
-    run_star_iperf_custom(2, duration, costs, seed, impairments, 1, CcAlgo::Reno, sack)
+    ScenarioSpec::star(2)
+        .duration(duration)
+        .costs(costs)
+        .seed(seed)
+        .impairments(Impairments {
+            loss_per_mille,
+            ..Default::default()
+        })
+        .congestion(CcAlgo::Reno)
+        .sack(sack)
+        .run()
 }
 
 /// Runs the **dumbbell fairness scenario**: `pairs` client/server pairs on
@@ -426,13 +810,18 @@ pub fn run_lossy_wan(
 /// # Errors
 ///
 /// Propagates configuration and datapath failures.
+#[deprecated(note = "build a `ScenarioSpec` with `ScenarioSpec::dumbbell(pairs)` instead")]
 pub fn run_dumbbell_fairness(
     pairs: usize,
     duration: SimDuration,
     costs: CostModel,
     seed: u64,
 ) -> Result<SimOutcome, CapnetError> {
-    run_dumbbell_cc(pairs, duration, costs, seed, &[])
+    ScenarioSpec::dumbbell(pairs)
+        .duration(duration)
+        .costs(costs)
+        .seed(seed)
+        .run()
 }
 
 /// [`run_dumbbell_fairness`] with a congestion-control algorithm per pair:
@@ -446,6 +835,7 @@ pub fn run_dumbbell_fairness(
 /// # Errors
 ///
 /// Propagates configuration and datapath failures.
+#[deprecated(note = "build a `ScenarioSpec` with `.pair_cc(...)` instead")]
 pub fn run_dumbbell_cc(
     pairs: usize,
     duration: SimDuration,
@@ -453,14 +843,12 @@ pub fn run_dumbbell_cc(
     seed: u64,
     algos: &[CcAlgo],
 ) -> Result<SimOutcome, CapnetError> {
-    run_dumbbell_cc_impaired(
-        pairs,
-        duration,
-        costs,
-        seed,
-        algos,
-        updk::wire::Impairments::default(),
-    )
+    ScenarioSpec::dumbbell(pairs)
+        .duration(duration)
+        .costs(costs)
+        .seed(seed)
+        .pair_cc(algos)
+        .run()
 }
 
 /// [`run_dumbbell_cc`] over degraded cables. On the drop-free dumbbell the
@@ -472,33 +860,22 @@ pub fn run_dumbbell_cc(
 /// # Errors
 ///
 /// Propagates configuration and datapath failures.
+#[deprecated(note = "build a `ScenarioSpec` with `.pair_cc(...)` and `.impairments(...)` instead")]
 pub fn run_dumbbell_cc_impaired(
     pairs: usize,
     duration: SimDuration,
     costs: CostModel,
     seed: u64,
     algos: &[CcAlgo],
-    impairments: updk::wire::Impairments,
+    impairments: Impairments,
 ) -> Result<SimOutcome, CapnetError> {
-    let mut sim = NetSim::new(costs);
-    sim.set_seed(seed);
-    sim.set_impairments(impairments);
-    let bell = crate::topology::build_dumbbell(&mut sim, pairs)?;
-    for i in 0..pairs {
-        if !algos.is_empty() {
-            sim.set_node_cc(bell.clients[i], algos[i % algos.len()]);
-        }
-        let port = DUMBBELL_PORT + i as u16;
-        sim.add_server(bell.servers[i], format!("srv-rx{i}"), port)?;
-        sim.add_client(
-            bell.clients[i],
-            format!("cli-tx{i}"),
-            (bell.server_ips[i], port),
-            duration,
-            SimDuration::ZERO,
-        )?;
-    }
-    sim.run(duration + SimDuration::from_millis(30))
+    ScenarioSpec::dumbbell(pairs)
+        .duration(duration)
+        .costs(costs)
+        .seed(seed)
+        .pair_cc(algos)
+        .impairments(impairments)
+        .run()
 }
 
 /// Jain's fairness index over per-flow throughputs: `1.0` is a perfectly
@@ -536,13 +913,10 @@ mod tests {
     /// headline "maximum bandwidth possible with our hardware".
     #[test]
     fn s2_uncontended_server_hits_941() {
-        let out = run_bandwidth(
-            ScenarioKind::Scenario2Uncontended,
-            TrafficMode::Server,
-            SimDuration::from_millis(150),
-            CostModel::morello(),
-        )
-        .unwrap();
+        let out = ScenarioSpec::paper(ScenarioKind::Scenario2Uncontended, TrafficMode::Server)
+            .duration(SimDuration::from_millis(150))
+            .run()
+            .unwrap();
         let bw = out.servers[0].mbit_per_sec();
         assert!((bw - 941.0).abs() < 20.0, "got {bw:.0} Mbit/s");
     }
@@ -560,13 +934,11 @@ mod tests {
     /// goodput ceiling; the switch's single egress port is the bottleneck.
     #[test]
     fn star_two_clients_share_the_uplink() {
-        let out = run_star_iperf(
-            2,
-            SimDuration::from_millis(120),
-            CostModel::morello(),
-            0xA11CE,
-        )
-        .unwrap();
+        let out = ScenarioSpec::star(2)
+            .duration(SimDuration::from_millis(120))
+            .seed(0xA11CE)
+            .run()
+            .unwrap();
         assert_eq!(out.servers.len(), 2);
         let total: f64 = out.servers.iter().map(|r| r.mbit_per_sec()).sum();
         assert!(
@@ -578,17 +950,44 @@ mod tests {
         assert!(out.trace.frames > 0);
     }
 
+    /// The serving plane end to end: a 2-leaf star with modest open-loop
+    /// fleets must complete requests, and the paper testbed must refuse
+    /// the HTTP workload.
+    #[test]
+    fn httpd_star_serves_requests() {
+        let out = ScenarioSpec::star(2)
+            .duration(SimDuration::from_millis(60))
+            .seed(0xBEEF)
+            .http(
+                HttpServerConfig::default(),
+                FleetConfig {
+                    rate_per_sec: 2_000,
+                    ..FleetConfig::default()
+                },
+            )
+            .run()
+            .unwrap();
+        assert_eq!(out.http_servers.len(), 1);
+        assert_eq!(out.http_fleets.len(), 2);
+        let ok: u64 = out.http_fleets.iter().map(|f| f.requests_ok).sum();
+        let served: u64 = out.http_servers.iter().map(|s| s.ok).sum();
+        assert!(ok > 0, "fleets completed no requests");
+        assert_eq!(ok, served, "server 200s must match fleet 200s");
+
+        let err = ScenarioSpec::paper(ScenarioKind::Scenario1, TrafficMode::Server)
+            .http(HttpServerConfig::default(), FleetConfig::default())
+            .run();
+        assert!(matches!(err, Err(CapnetError::Config(_))));
+    }
+
     /// Scenario 1 server side: both ports receiving share the PCI bus,
     /// ≈658 Mbit/s each (Table II).
     #[test]
     fn s1_server_is_pci_limited() {
-        let out = run_bandwidth(
-            ScenarioKind::Scenario1,
-            TrafficMode::Server,
-            SimDuration::from_millis(150),
-            CostModel::morello(),
-        )
-        .unwrap();
+        let out = ScenarioSpec::paper(ScenarioKind::Scenario1, TrafficMode::Server)
+            .duration(SimDuration::from_millis(150))
+            .run()
+            .unwrap();
         assert_eq!(out.servers.len(), 2);
         for r in &out.servers {
             let bw = r.mbit_per_sec();

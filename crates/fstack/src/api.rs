@@ -98,6 +98,11 @@ pub struct StackStats {
     pub rsts_out: u64,
     /// ICMP port-unreachable messages emitted for closed UDP ports.
     pub unreach_out: u64,
+    /// SYNs dropped at a listener because its accept queue was full (or
+    /// the socket table was exhausted). BSD semantics: the SYN vanishes,
+    /// no RST — the client's retransmission machinery retries, and if the
+    /// server drains its queue in time the connection still completes.
+    pub listen_drops: u64,
 }
 
 /// One F-Stack instance bound to one interface.
@@ -305,6 +310,30 @@ impl FStack {
         self.sockets.get(fd)?.local()
     }
 
+    /// The remote `(ip, port)` of `fd`'s connection, if it is a connected
+    /// TCP socket — what `getpeername` reports, and what per-client
+    /// policies (rate limiting) key on.
+    pub fn remote_addr(&self, fd: Fd) -> Option<(Ipv4Addr, u16)> {
+        self.sockets.get(fd)?.tcb().map(|t| t.endpoints().1)
+    }
+
+    /// Accept-queue depths of a listening socket as
+    /// `(incomplete, established)` — the accounting split `ff_accept`
+    /// works from. `None` for non-listeners.
+    pub fn listen_queue_depths(&self, fd: Fd) -> Option<(usize, usize)> {
+        match self.sockets.get(fd)? {
+            Socket::TcpListen { backlog, ready, .. } => Some((backlog.len(), ready.len())),
+            _ => None,
+        }
+    }
+
+    /// Number of live socket-table entries (listeners, connections in any
+    /// state including TIME_WAIT, UDP). Churn tests assert this returns
+    /// to the steady-state floor — no TCB leaks.
+    pub fn socket_count(&self) -> usize {
+        self.sockets.len()
+    }
+
     /// The initial send sequence number `fd`'s connection started from
     /// (test hook: TIME_WAIT churn asserts fresh ISNs across reuses).
     pub fn initial_seq(&self, fd: Fd) -> Option<u32> {
@@ -367,6 +396,7 @@ impl FStack {
                 *sock = Socket::TcpListen {
                     local,
                     backlog: VecDeque::new(),
+                    ready: VecDeque::new(),
                     max_backlog: backlog.max(1),
                 };
                 self.listen_map.insert(local.1, fd);
@@ -377,7 +407,11 @@ impl FStack {
         }
     }
 
-    /// `ff_accept(fd)` — non-blocking: pops an **established** connection.
+    /// `ff_accept(fd)` — non-blocking: pops the oldest **established**
+    /// connection from the listener's ready queue, O(1). Connections still
+    /// in their handshake sit in the incomplete backlog and are promoted
+    /// on the ACK that establishes them, so a slow handshake never
+    /// head-of-line-blocks a completed one behind it.
     ///
     /// # Errors
     ///
@@ -385,26 +419,10 @@ impl FStack {
     /// non-listeners.
     pub fn ff_accept(&mut self, fd: Fd) -> Result<Fd, Errno> {
         let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
-        let Socket::TcpListen { backlog, .. } = sock else {
+        let Socket::TcpListen { ready, .. } = sock else {
             return Err(Errno::EINVAL);
         };
-        let Some(&conn_fd) = backlog.front() else {
-            return Err(Errno::EAGAIN);
-        };
-        let established = self
-            .sockets
-            .get(conn_fd)
-            .and_then(Socket::tcb)
-            .map(Tcb::is_established)
-            .unwrap_or(false);
-        if !established {
-            return Err(Errno::EAGAIN);
-        }
-        // Re-borrow to pop (split borrows).
-        if let Some(Socket::TcpListen { backlog, .. }) = self.sockets.get_mut(fd) {
-            backlog.pop_front();
-        }
-        Ok(conn_fd)
+        ready.pop_front().ok_or(Errno::EAGAIN)
     }
 
     /// `ff_connect(fd, {remote_ip, remote_port})` — non-blocking active
@@ -715,17 +733,14 @@ impl FStack {
             return EpollFlags::ERR;
         };
         match sock {
-            Socket::TcpListen { backlog, .. } => {
-                let ready = backlog.front().is_some_and(|&cfd| {
-                    self.sockets
-                        .get(cfd)
-                        .and_then(Socket::tcb)
-                        .is_some_and(Tcb::is_established)
-                });
-                if ready {
-                    EpollFlags::IN
-                } else {
+            Socket::TcpListen { ready, .. } => {
+                // O(1) at any queue depth: established connections were
+                // moved here by the handshake-completing ACK, so a
+                // listener with thousands of queued fds costs no scan.
+                if ready.is_empty() {
                     EpollFlags::NONE
+                } else {
+                    EpollFlags::IN
                 }
             }
             Socket::TcpConn(tcb) => {
@@ -920,9 +935,19 @@ impl FStack {
                 self.mark_dirty(fd);
                 self.mark_hot(fd);
                 if !was_established && established_now {
-                    // The handshake just completed: the owning listener
-                    // (if this was a passive open) becomes accept-ready.
+                    // The handshake just completed: if this was a passive
+                    // open, promote the fd from the owning listener's
+                    // incomplete backlog to its established ready queue
+                    // (establishment order) and wake the listener.
                     if let Some(&lfd) = self.listen_map.get(&seg.dst_port) {
+                        if let Some(Socket::TcpListen { backlog, ready, .. }) =
+                            self.sockets.get_mut(lfd)
+                        {
+                            if let Some(pos) = backlog.iter().position(|&b| b == fd) {
+                                backlog.remove(pos);
+                                ready.push_back(fd);
+                            }
+                        }
                         self.mark_dirty(lfd);
                     }
                 }
@@ -939,29 +964,38 @@ impl FStack {
                 return;
             }
             if let Some(&lfd) = self.listen_map.get(&seg.dst_port) {
-                let isn = self.next_isn();
-                let local = (self.cfg.ip, seg.dst_port);
-                let mut tcb = Tcb::accept_from(local, (src, seg.src_port), &seg, isn, MSS);
-                tcb.set_cc(self.cfg.cc);
-                tcb.set_sack(self.cfg.sack);
-                let Ok(cfd) = self.sockets.alloc(Socket::TcpConn(Box::new(tcb))) else {
-                    return; // table full: silently drop the SYN
-                };
+                // Queue occupancy (incomplete + established, the combined
+                // somaxconn accounting) is checked *before* allocating a
+                // TCB: a full listener drops the SYN without consuming a
+                // socket-table slot it would immediately give back.
                 let full = {
                     let Some(Socket::TcpListen {
                         backlog,
+                        ready,
                         max_backlog,
                         ..
                     }) = self.sockets.get(lfd)
                     else {
                         return;
                     };
-                    backlog.len() >= *max_backlog
+                    backlog.len() + ready.len() >= *max_backlog
                 };
                 if full {
-                    self.sockets.free(cfd).ok();
+                    self.stats.listen_drops += 1;
                     return;
                 }
+                let isn = self.next_isn();
+                let local = (self.cfg.ip, seg.dst_port);
+                let mut tcb = Tcb::accept_from(local, (src, seg.src_port), &seg, isn, MSS);
+                tcb.set_cc(self.cfg.cc);
+                tcb.set_sack(self.cfg.sack);
+                let Ok(cfd) = self.sockets.alloc(Socket::TcpConn(Box::new(tcb))) else {
+                    // Socket table exhausted: same fate as a full backlog
+                    // — the SYN vanishes (accounted) and the client's
+                    // retransmission retries.
+                    self.stats.listen_drops += 1;
+                    return;
+                };
                 if let Some(Socket::TcpListen { backlog, .. }) = self.sockets.get_mut(lfd) {
                     backlog.push_back(cfd);
                 }
@@ -1211,7 +1245,10 @@ impl FStack {
 
     /// An ephemeral port whose `(port, remote)` 4-tuple is unused — ports
     /// held by live connections (including TIME_WAIT draining its 2MSL)
-    /// are skipped, never recycled onto the same remote.
+    /// are skipped, never recycled onto the same remote. The loop visits
+    /// each of the 20 001 ports in the range exactly once (the cursor
+    /// wraps at 60 000), so full exhaustion terminates with a clean
+    /// `EADDRNOTAVAIL` rather than spinning.
     fn alloc_ephemeral_for(&mut self, remote: (Ipv4Addr, u16)) -> Result<u16, Errno> {
         for _ in 0..=(60_000 - 40_000) {
             let p = self.alloc_ephemeral();
@@ -1220,5 +1257,59 @@ impl FStack {
             }
         }
         Err(Errno::EADDRNOTAVAIL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> FStack {
+        FStack::new(StackConfig::new(
+            "t",
+            MacAddr::local(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+        ))
+    }
+
+    /// The `alloc_ephemeral_for` wraparound proof: with the whole
+    /// 40 000..=60 000 range quarantined against one remote (the state a
+    /// TIME_WAIT storm leaves behind), allocation must terminate after
+    /// one full cycle with `EADDRNOTAVAIL` — no spin, and never a
+    /// quarantined port.
+    #[test]
+    fn ephemeral_exhaustion_fails_clean_and_skips_quarantine() {
+        let mut s = stack();
+        let remote = (Ipv4Addr::new(10, 0, 0, 2), 80);
+        for p in 40_000..=60_000u16 {
+            s.conn_map.insert((p, remote.0, remote.1), 0);
+        }
+        assert_eq!(s.alloc_ephemeral_for(remote), Err(Errno::EADDRNOTAVAIL));
+        // The quarantine is per-remote: a different peer still allocates.
+        let other = (Ipv4Addr::new(10, 0, 0, 3), 80);
+        assert!(s.alloc_ephemeral_for(other).is_ok());
+        // Releasing a single mid-range tuple (its 2MSL expired) makes the
+        // allocator find exactly that port on the next cycle…
+        s.conn_map.remove(&(50_123, remote.0, remote.1));
+        assert_eq!(s.alloc_ephemeral_for(remote), Ok(50_123));
+        // …and re-quarantining it restores the clean failure, proving the
+        // cursor wrapped through the whole range without reusing any
+        // occupied tuple.
+        s.conn_map.insert((50_123, remote.0, remote.1), 0);
+        assert_eq!(s.alloc_ephemeral_for(remote), Err(Errno::EADDRNOTAVAIL));
+    }
+
+    /// The cursor hook (`set_ephemeral_start`) pins where the cycle
+    /// begins; the allocator walks forward from there, skipping occupied
+    /// tuples and wrapping 60 000 → 40 000.
+    #[test]
+    fn ephemeral_cursor_wraps_and_skips() {
+        let mut s = stack();
+        let remote = (Ipv4Addr::new(10, 0, 0, 2), 80);
+        s.set_ephemeral_start(59_999);
+        s.conn_map.insert((59_999, remote.0, remote.1), 0);
+        s.conn_map.insert((60_000, remote.0, remote.1), 0);
+        // 59_999 and 60_000 are taken: the next free port is past the wrap.
+        assert_eq!(s.alloc_ephemeral_for(remote), Ok(40_000));
     }
 }

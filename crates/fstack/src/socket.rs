@@ -34,13 +34,20 @@ pub enum Socket {
         /// Local (ip, port).
         local: (Ipv4Addr, u16),
     },
-    /// Passive listener with its accept queue of connection fds.
+    /// Passive listener with its two accept queues: connections still
+    /// completing the handshake (`backlog`) and fully established ones
+    /// (`ready`). Splitting them makes `accept` and listener readiness
+    /// O(1) regardless of handshake ordering — a late SYN can no longer
+    /// head-of-line-block an established connection behind it.
     TcpListen {
         /// Local (ip, port).
         local: (Ipv4Addr, u16),
-        /// Established-or-in-progress connection fds awaiting `accept`.
+        /// In-progress (SYN_RCVD) connection fds, in SYN-arrival order.
         backlog: VecDeque<chos::fdtable::Fd>,
-        /// Maximum backlog length.
+        /// Established connection fds awaiting `accept`, in
+        /// establishment order.
+        ready: VecDeque<chos::fdtable::Fd>,
+        /// Maximum combined queue length (`backlog` + `ready`).
         max_backlog: usize,
     },
     /// A TCP connection (client or accepted).
@@ -122,6 +129,7 @@ mod tests {
         let l = Socket::TcpListen {
             local: (Ipv4Addr::new(10, 0, 0, 1), 80),
             backlog: VecDeque::new(),
+            ready: VecDeque::new(),
             max_backlog: 8,
         };
         assert_eq!(l.local().unwrap().1, 80);

@@ -12,6 +12,11 @@
 //!
 //! Run with: `cargo run --release --example crossing_sweep`
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::scenario::{run_bandwidth, ScenarioKind, TrafficMode};
 use simkern::{CostModel, SimDuration};
 

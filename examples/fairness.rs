@@ -11,6 +11,11 @@
 //!
 //! Run with: `cargo run --release --example fairness`
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::netsim::AppSched;
 use capnet::scenario::{run_bandwidth_full, ScenarioKind, TrafficMode};
 use simkern::{CostModel, SimDuration};

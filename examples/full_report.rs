@@ -7,6 +7,11 @@
 //! Run with: `cargo run --release --example full_report`
 //! (pass `--quick` for shorter measurement windows).
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::experiment::{fig3, figs, table1, table2};
 use capnet::netsim::AppSched;
 use capnet::scenario::{run_bandwidth_full, run_bandwidth_impaired, ScenarioKind, TrafficMode};

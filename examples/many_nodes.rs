@@ -9,6 +9,11 @@
 //! cargo run --release --example many_nodes
 //! ```
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::netsim::NetSim;
 use capnet::scenario::{fairness_index, run_dumbbell_fairness, run_star_iperf};
 use capnet::topology::build_chain;

@@ -4,6 +4,11 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::netsim::{IsolationProfile, NetSim};
 use capnet::scenario::{run_bandwidth, ScenarioKind, TrafficMode};
 use intravisor::{CvmConfig, Intravisor};

@@ -12,12 +12,15 @@
 //! * [`updk`] — DPDK-like user-space poll-mode NIC layer,
 //! * [`fstack`] — F-Stack-like TCP/IP library with the `ff_*` API,
 //! * [`iperf`] — the bandwidth measurement application,
+//! * [`capnet_httpd`] — the HTTP serving plane (static server + open-loop
+//!   client fleet),
 //! * [`capnet`] — scenarios, experiments and statistics.
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the architecture
 //! and per-experiment index.
 
 pub use capnet;
+pub use capnet_httpd;
 pub use cheri;
 pub use chos;
 pub use fstack;

@@ -6,6 +6,11 @@
 //! leaves the ceiling, and when they do grow past it, the deeper splits
 //! (which pay more crossings per call) degrade first and in order.
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::scenario::{run_bandwidth, ScenarioKind, TrafficMode};
 use simkern::{CostModel, SimDuration};
 

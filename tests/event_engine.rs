@@ -4,6 +4,11 @@
 //! versus the poll-every-tick baseline, and the per-kind event counters
 //! account for the run.
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::netsim::NetSim;
 use capnet::scenario::run_star_iperf;
 use capnet::topology::build_chain;

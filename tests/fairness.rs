@@ -8,6 +8,11 @@
 //! future work — the split comes out even. Both worlds keep the aggregate
 //! at the port ceiling, the paper's headline claim.
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::netsim::AppSched;
 use capnet::scenario::{run_bandwidth_full, ScenarioKind, TrafficMode};
 use simkern::{CostModel, SimDuration};

@@ -8,6 +8,11 @@
 //! model — to loss, corruption, duplication and reordering, and check that
 //! the connection survives and degrades the way TCP should.
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::scenario::{run_bandwidth, run_bandwidth_impaired, ScenarioKind, TrafficMode};
 use simkern::{CostModel, SimDuration};
 use updk::wire::Impairments;

@@ -10,6 +10,11 @@
 //! random topology lands in exactly one shard, co-location constraints
 //! hold, and plans are pure functions of the graph.
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::netsim::NetSim;
 use capnet::scenario::{run_dumbbell_fairness, run_star_iperf, run_star_iperf_impaired};
 use capnet::topology::{build_chain, partition_shards, ShardGraph};

@@ -5,6 +5,11 @@
 //! that *intends* to alter wire behavior — and byte-identical at any
 //! worker count.
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 use capnet::scenario::{
     fairness_index, run_dumbbell_cc, run_dumbbell_cc_impaired, run_lossy_wan, run_star_iperf_custom,
 };

@@ -3,6 +3,11 @@
 //! of a shared segment, and the determinism contract extended to switched
 //! worlds — same seed, byte-identical delivery traces.
 
+// Calls the deprecated `run_*` wrappers on purpose: keeping these entry
+// points exercised proves they still delegate to `ScenarioSpec`
+// byte-identically (the pinned digests would catch any drift).
+#![allow(deprecated)]
+
 mod testutil;
 
 use capnet::netsim::NetSim;

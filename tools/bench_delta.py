@@ -34,6 +34,10 @@ TRACKED = [
     "goodput_mbit_per_sec",
     "fairness_index",
     "speedup_vs_workers1",
+    "p50_us",
+    "p99_us",
+    "p999_us",
+    "requests_per_sec",
 ]
 
 # Prefix-matched metrics appended after the tracked ones, in name order.
