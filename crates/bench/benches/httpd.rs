@@ -37,6 +37,9 @@ fn httpd_case(fleet: FleetConfig, workers: usize) -> (SimOutcome, std::time::Dur
         .duration(RUN)
         .seed(SEED)
         .workers(workers)
+        // Adaptive selection would collapse this 4-leaf star back to one
+        // engine, making the workers=2/4 digest gate below vacuous.
+        .adaptive_workers(false)
         .http(HttpServerConfig::default(), fleet)
         .run()
         .expect("httpd star runs");
@@ -115,6 +118,7 @@ fn bench_httpd(c: &mut Criterion) {
             base.trace, sharded.trace,
             "keep-alive star must be byte-identical at workers={workers}"
         );
+        assert!(sharded.workers > 1, "rerun must stay sharded");
     }
 
     // Criterion's own timing loop for the churn-heavy case; the report

@@ -14,15 +14,12 @@
 #![allow(deprecated)]
 
 use capnet::netsim::NetSim;
-use capnet::scenario::{
-    fairness_index, run_dumbbell_fairness, run_star_iperf, run_star_iperf_sharded,
-};
+use capnet::scenario::{fairness_index, run_dumbbell_fairness, run_star_iperf};
 use capnet::topology::build_chain;
-use capnet::SimOutcome;
+use capnet::{CcAlgo, ScenarioSpec, SimOutcome};
 use capnet_bench::BenchReport;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simkern::{CostModel, SimDuration};
-use updk::wire::Impairments;
 
 const SEED: u64 = 0x70B0;
 const RUN: SimDuration = SimDuration::from_millis(25);
@@ -43,8 +40,9 @@ fn server_mbits(out: &SimOutcome) -> Vec<f64> {
 
 /// The per-kind event counters every entry carries, so BENCH_*.json shows
 /// *why* events/sec moved: loop polls vs deliveries vs park/wake traffic.
-fn counter_metrics(out: &SimOutcome) -> [(&'static str, f64); 9] {
+fn counter_metrics(out: &SimOutcome) -> [(&'static str, f64); 13] {
     let c = out.counters;
+    let r = out.rounds;
     [
         ("ev_loop_polls", c.loop_polls as f64),
         ("ev_idle_polls", c.idle_polls as f64),
@@ -58,6 +56,14 @@ fn counter_metrics(out: &SimOutcome) -> [(&'static str, f64); 9] {
         // (the partition tests/event_engine.rs asserts), and boxed must
         // stay 0 — recorded so the json is self-accounting.
         ("ev_boxed", c.boxed_events as f64),
+        // Sharded-run rendezvous accounting (all zero for single-engine
+        // runs): rounds driven, rounds with no cross-shard exchange, and
+        // the zero-copy rehoming proof (frames crossing shards vs bytes
+        // actually copied for them).
+        ("ev_rounds", r.rounds as f64),
+        ("ev_empty_rounds", r.empty_rounds as f64),
+        ("ev_xshard_frames", r.xshard_frames as f64),
+        ("ev_rehome_bytes", r.rehome_bytes as f64),
     ]
 }
 
@@ -74,20 +80,28 @@ fn bench_many_nodes(c: &mut Criterion) {
         let out = run_star_iperf(clients, RUN, CostModel::morello(), SEED).expect("star runs");
         let wall = t0.elapsed();
         // The sharded-run determinism gate: the same star at workers=2
-        // must land on the byte-identical delivery-trace digest. A
-        // mismatch aborts the bench, which fails CI's bench-smoke job.
-        let sharded = run_star_iperf_sharded(
-            clients,
-            RUN,
-            CostModel::morello(),
-            SEED,
-            Impairments::default(),
-            2,
-        )
-        .expect("sharded star runs");
+        // must land on the byte-identical delivery-trace digest. Adaptive
+        // selection is forced off so the rerun genuinely shards (these
+        // stars are all small enough to collapse otherwise, which would
+        // make the gate vacuous). A mismatch aborts the bench, which
+        // fails CI's bench-smoke job.
+        let sharded = ScenarioSpec::star(clients)
+            .duration(RUN)
+            .costs(CostModel::morello())
+            .seed(SEED)
+            .workers(2)
+            .adaptive_workers(false)
+            .congestion(CcAlgo::Reno)
+            .sack(false)
+            .run()
+            .expect("sharded star runs");
         assert_eq!(
             out.trace, sharded.trace,
             "star/{clients}: workers=2 digest diverged from workers=1 — sharded determinism broke"
+        );
+        assert_eq!(
+            sharded.workers, 2,
+            "star/{clients}: rerun must stay sharded"
         );
         let flows = server_mbits(&out);
         let aggregate: f64 = flows.iter().sum();

@@ -1,8 +1,10 @@
 //! Bench target for the **sharded parallel `NetSim`**: star fan-in at
-//! three sizes, each at `workers = 1 / 2 / 4`.
+//! three sizes, each at `workers = 1 / 2 / 4`, with adaptive worker
+//! selection left on — so the json records what a real caller gets:
+//! small stars transparently collapse to the single-engine loop
+//! (`workers_used = 1`), the 128-client star genuinely shards.
 //!
-//! Two things are recorded per `(clients, workers)` case into
-//! `BENCH_parallel.json`:
+//! Per `(clients, workers)` case, `BENCH_parallel.json` records:
 //!
 //! * the host-speed trio (`host_wall_ms`, `events_per_sec`,
 //!   `host_ns_per_sim_sec`) for the **run phase only** — scenario
@@ -10,17 +12,23 @@
 //!   dominated by allocator noise (hundreds of 4 MiB node arenas), which
 //!   would drown the worker-axis signal;
 //! * the trace digest (split into `trace_digest_hi/lo` — the metrics are
-//!   `f64`, which holds 32-bit halves exactly), plus `workers`,
-//!   `lookahead_ns`, `host_parallelism` and the `ev_*` counters.
+//!   `f64`, which holds 32-bit halves exactly), plus `workers` (what was
+//!   asked), `workers_used` (what the adaptive model chose),
+//!   `lookahead_ns`, `host_parallelism` and the `ev_*` counters —
+//!   including the per-round quartet `ev_rounds` / `ev_empty_rounds` /
+//!   `ev_xshard_frames` / `ev_rehome_bytes`, which prove on paper that
+//!   rehoming stopped copying (`ev_rehome_bytes = 0` on the multiplexed
+//!   driver) and how many rounds skipped the exchange sweep.
 //!
 //! The bench **asserts** that every worker count reproduces the
-//! `workers = 1` digest and counters byte for byte, so CI's bench-smoke
-//! job fails on any determinism regression. `speedup_vs_workers1` records
-//! the honest wall-time ratio on the machine that ran the bench —
-//! `host_parallelism` says how many cores that machine actually had (a
-//! single-CPU runner multiplexes the shards on one thread, so the ratio
-//! there measures sharding overhead against per-shard calendar savings,
-//! not parallel speedup).
+//! `workers = 1` digest and counters byte for byte — including one
+//! forced-threaded, adaptive-off case — so CI's bench-smoke job fails on
+//! any determinism regression. Cross-case derived ratios
+//! (`speedup_vs_workers1`) are *not* recorded per case: they're computed
+//! by `tools/bench_delta.py` from `host_wall_ms`, which also prints a
+//! loud banner when `host_parallelism = 1` (a single-CPU runner
+//! multiplexes the shards on one thread, so wall-ratios there measure
+//! sharding overhead, not parallel speedup).
 
 use capnet::netsim::NetSim;
 use capnet::SimOutcome;
@@ -32,11 +40,26 @@ const SEED: u64 = 0x70B0;
 const RUN: SimDuration = SimDuration::from_millis(25);
 const HORIZON: SimDuration = SimDuration::from_millis(55);
 
+/// How one case drives the sharded window loop.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Adaptive selection on, auto thread choice — what callers get.
+    Auto,
+    /// Adaptive off + worker threads forced on: pins the rendezvous
+    /// protocol itself (barrier + mailbox slots) for the determinism
+    /// gate, regardless of the runner's core count.
+    ForcedThreaded,
+}
+
 /// Builds the star scenario and times only the simulation run.
-fn star_case(clients: usize, workers: usize) -> (SimOutcome, std::time::Duration) {
+fn star_case(clients: usize, workers: usize, mode: Mode) -> (SimOutcome, std::time::Duration) {
     let mut sim = NetSim::new(CostModel::morello());
     sim.set_seed(SEED);
     sim.set_workers(workers);
+    if mode == Mode::ForcedThreaded {
+        sim.set_adaptive_workers(false);
+        sim.set_worker_threads(Some(true));
+    }
     let star = capnet::topology::build_star(&mut sim, clients).expect("star builds");
     for (i, &leaf) in star.leaves.iter().enumerate() {
         let port = 5301 + i as u16;
@@ -57,10 +80,15 @@ fn star_case(clients: usize, workers: usize) -> (SimOutcome, std::time::Duration
 }
 
 /// Best-of-`reps` wall time (first outcome kept; all reps must agree).
-fn measured(clients: usize, workers: usize, reps: usize) -> (SimOutcome, std::time::Duration) {
-    let (out, mut best) = star_case(clients, workers);
+fn measured(
+    clients: usize,
+    workers: usize,
+    mode: Mode,
+    reps: usize,
+) -> (SimOutcome, std::time::Duration) {
+    let (out, mut best) = star_case(clients, workers, mode);
     for _ in 1..reps {
-        let (again, wall) = star_case(clients, workers);
+        let (again, wall) = star_case(clients, workers, mode);
         assert_eq!(
             again.trace, out.trace,
             "star/{clients}/w{workers}: a rerun diverged from itself"
@@ -68,6 +96,38 @@ fn measured(clients: usize, workers: usize, reps: usize) -> (SimOutcome, std::ti
         best = best.min(wall);
     }
     (out, best)
+}
+
+/// The per-case metric rows shared by every recorded entry.
+fn case_metrics(
+    out: &SimOutcome,
+    clients: usize,
+    workers: usize,
+    host_parallelism: usize,
+) -> Vec<(&'static str, f64)> {
+    let cnt = out.counters;
+    let r = out.rounds;
+    vec![
+        ("workers", workers as f64),
+        ("workers_used", out.workers as f64),
+        ("flows", clients as f64),
+        ("host_parallelism", host_parallelism as f64),
+        ("lookahead_ns", out.lookahead_ns as f64),
+        ("trace_digest_hi", (out.trace.digest >> 32) as f64),
+        ("trace_digest_lo", (out.trace.digest & 0xFFFF_FFFF) as f64),
+        ("trace_frames", out.trace.frames as f64),
+        ("ev_loop_polls", cnt.loop_polls as f64),
+        ("ev_deliveries", cnt.deliveries as f64),
+        ("ev_switch_hops", cnt.switch_hops as f64),
+        ("ev_timer_wakes", cnt.timer_wakes as f64),
+        ("ev_stale_wakes", cnt.stale_wakes as f64),
+        ("ev_parks", cnt.parks as f64),
+        ("ev_wakes", cnt.wakes as f64),
+        ("ev_rounds", r.rounds as f64),
+        ("ev_empty_rounds", r.empty_rounds as f64),
+        ("ev_xshard_frames", r.xshard_frames as f64),
+        ("ev_rehome_bytes", r.rehome_bytes as f64),
+    ]
 }
 
 fn bench_parallel(c: &mut Criterion) {
@@ -83,7 +143,7 @@ fn bench_parallel(c: &mut Criterion) {
     for clients in [8usize, 32, 128] {
         let mut baseline: Option<(SimOutcome, f64)> = None;
         for workers in [1usize, 2, 4] {
-            let (out, wall) = measured(clients, workers, reps);
+            let (out, wall) = measured(clients, workers, Mode::Auto, reps);
             if let Some((base, _)) = &baseline {
                 // The headline contract, enforced in CI's bench-smoke job:
                 // byte-identical wire behavior at any worker count.
@@ -101,40 +161,57 @@ fn bench_parallel(c: &mut Criterion) {
                 .as_ref()
                 .map_or(1.0, |(_, base_wall)| base_wall / wall_s);
             eprintln!(
-                "[parallel] star/{clients} workers={workers}: {:.1} ms run, {speedup:.2}x vs workers=1, digest {:#018x}",
+                "[parallel] star/{clients} workers={workers} (used {}): {:.1} ms run, {speedup:.2}x vs workers=1, digest {:#018x}",
+                out.workers,
                 wall_s * 1e3,
                 out.trace.digest
             );
-            let cnt = out.counters;
-            let metrics = [
-                ("workers", workers as f64),
-                ("flows", clients as f64),
-                ("host_parallelism", host_parallelism as f64),
-                ("lookahead_ns", out.lookahead_ns as f64),
-                ("speedup_vs_workers1", speedup),
-                ("trace_digest_hi", (out.trace.digest >> 32) as f64),
-                ("trace_digest_lo", (out.trace.digest & 0xFFFF_FFFF) as f64),
-                ("trace_frames", out.trace.frames as f64),
-                ("ev_loop_polls", cnt.loop_polls as f64),
-                ("ev_deliveries", cnt.deliveries as f64),
-                ("ev_switch_hops", cnt.switch_hops as f64),
-                ("ev_timer_wakes", cnt.timer_wakes as f64),
-                ("ev_stale_wakes", cnt.stale_wakes as f64),
-                ("ev_parks", cnt.parks as f64),
-                ("ev_wakes", cnt.wakes as f64),
-            ];
             report.record_timed(
                 "star",
                 &format!("clients={clients}/workers={workers}"),
                 wall,
                 out.events,
                 out.horizon.as_nanos() as f64 / 1e9,
-                &metrics,
+                &case_metrics(&out, clients, workers, host_parallelism),
             );
             if baseline.is_none() {
                 baseline = Some((out, wall_s));
             }
         }
+
+        // The forced-threaded determinism gate, one mid-size case: the
+        // rendezvous protocol (one barrier per round, parity mailbox
+        // slots) must land on the same digest even when the adaptive
+        // model would have collapsed the plan and the auto driver would
+        // have multiplexed. On a multicore runner this row doubles as the
+        // recorded genuinely-parallel measurement.
+        if clients == 32 {
+            let (out, wall) = measured(clients, 2, Mode::ForcedThreaded, reps);
+            let (base, _) = baseline.as_ref().expect("baseline recorded");
+            assert_eq!(
+                base.trace, out.trace,
+                "star/{clients}: forced-threaded workers=2 diverged from workers=1"
+            );
+            assert_eq!(
+                base.counters, out.counters,
+                "star/{clients}: forced-threaded workers=2 counter drift"
+            );
+            assert_eq!(out.workers, 2, "forced-threaded case must stay sharded");
+            eprintln!(
+                "[parallel] star/{clients} workers=2 forced-threaded: {:.1} ms run, digest {:#018x}",
+                wall.as_secs_f64() * 1e3,
+                out.trace.digest
+            );
+            report.record_timed(
+                "star",
+                &format!("clients={clients}/workers=2-threaded"),
+                wall,
+                out.events,
+                out.horizon.as_nanos() as f64 / 1e9,
+                &case_metrics(&out, clients, 2, host_parallelism),
+            );
+        }
+
         // Criterion's own timing loop only for the smallest case — the
         // artifacts above are the machine-readable trajectory.
         if clients == 8 {
@@ -142,7 +219,7 @@ fn bench_parallel(c: &mut Criterion) {
                 group.bench_with_input(
                     BenchmarkId::new(format!("star{clients}"), workers),
                     &workers,
-                    |b, &workers| b.iter(|| star_case(clients, workers)),
+                    |b, &workers| b.iter(|| star_case(clients, workers, Mode::Auto)),
                 );
             }
         }

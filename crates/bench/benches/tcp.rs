@@ -135,27 +135,33 @@ fn bench_tcp(c: &mut Criterion) {
 
     // Determinism gate over the new machinery: the CUBIC+SACK lossy star
     // must shard byte-identically (cf. tests/tcp_protocol_scenarios.rs).
+    // Adaptive worker selection is forced off — a 2-client star collapses
+    // to one engine otherwise, which would make the gate vacuous.
     let star = |workers: usize| {
-        capnet::scenario::run_star_iperf_custom(
-            2,
-            WAN_RUN,
-            CostModel::morello(),
-            WAN_SEED,
-            Impairments {
+        capnet::ScenarioSpec::star(2)
+            .duration(WAN_RUN)
+            .costs(CostModel::morello())
+            .seed(WAN_SEED)
+            .impairments(Impairments {
                 loss_per_mille: WAN_LOSS,
                 ..Default::default()
-            },
-            workers,
-            CcAlgo::Cubic,
-            true,
-        )
-        .expect("lossy cubic star runs")
+            })
+            .workers(workers)
+            .adaptive_workers(false)
+            .congestion(CcAlgo::Cubic)
+            .sack(true)
+            .run()
+            .expect("lossy cubic star runs")
     };
     let base = star(1);
     let sharded = star(2);
     assert_eq!(
         base.trace, sharded.trace,
         "CUBIC+SACK lossy star must be byte-identical at workers=2"
+    );
+    assert_eq!(
+        sharded.workers, 2,
+        "lossy cubic star rerun must stay sharded"
     );
 
     // Criterion's own timing loop for the cheapest case only; the report

@@ -15,6 +15,9 @@
 //! * [`topology`] — switched N-node topology builders (star, chain,
 //!   dumbbell) over `updk`'s LinkFabric learning switch, opening the
 //!   scenario space beyond the paper's two-hosts-on-a-cable testbed.
+//! * [`parallel`] — the pure window/profitability math underneath the
+//!   sharded parallel driver (per-pair lookahead matrix, adaptive worker
+//!   selection), property-tested in isolation.
 //! * [`experiment`] — one module per paper artifact: Table I, Table II,
 //!   Fig. 3 (capability violation), Figs. 4–6 (`ff_write` latency).
 //! * [`stats`] — the measurement pipeline (1 M iterations, IQR outlier
@@ -34,14 +37,15 @@
 
 pub mod experiment;
 pub mod netsim;
+pub mod parallel;
 pub mod scenario;
 pub mod stats;
 pub mod topology;
 
 pub use fstack::CcAlgo;
 pub use netsim::{
-    EventCounters, IsolationProfile, NetEvent, NetSim, NodeConfig, SimOutcome, SwitchId,
-    TraceDigest,
+    EventCounters, IsolationProfile, NetEvent, NetSim, NodeConfig, RoundCounters, SimOutcome,
+    SwitchId, TraceDigest,
 };
 pub use scenario::{ScenarioKind, ScenarioSpec};
 

@@ -8,6 +8,7 @@
 //! isolation charges (trampolines, cross-cVM wrappers, the Scenario 2
 //! service mutex).
 
+use crate::parallel::{LookaheadMatrix, Profitability};
 use crate::topology::{partition_shards, ShardGraph, ShardPlan};
 use crate::CapnetError;
 use capnet_httpd::{
@@ -132,6 +133,25 @@ pub struct EventCounters {
     /// Boxed closure events scheduled on the engine — zero in steady state
     /// (every hot-path event is a typed [`NetEvent`]).
     pub boxed_events: u64,
+}
+
+/// Per-run tallies of the sharded driver itself — rendezvous rounds,
+/// cross-shard traffic and rehoming copies. Deliberately **not** part of
+/// [`EventCounters`]: simulation counters are asserted byte-identical
+/// across worker counts, while these describe the driver that happened to
+/// run (all zero for a plain single-engine run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundCounters {
+    /// Rendezvous rounds driven (max across shards — rounds are lockstep).
+    pub rounds: u64,
+    /// Rounds in which a shard's window contained no event to execute.
+    pub empty_rounds: u64,
+    /// Frames handed across a shard boundary (deliveries + switch hops).
+    pub xshard_frames: u64,
+    /// Bytes actually copied to rehome frames across threads — zero when
+    /// shards are multiplexed on one thread (shared handoff) and zero per
+    /// relay once a frame is already an `Arc`-backed page.
+    pub rehome_bytes: u64,
 }
 
 /// A rolling digest over every frame delivery of a run: the
@@ -344,24 +364,27 @@ struct Node {
     anchor: SimTime,
 }
 
-/// A cross-shard frame payload. Between worker *threads* it travels as
-/// plain copied bytes — the destination shard re-materializes them into
-/// its own thread-local buffer pool, which is what keeps every `Rc`
-/// reference graph closed within one shard. When the shards are
-/// multiplexed on a single thread there is only one pool, so the handoff
-/// degenerates to a refcount bump and only threaded runs pay the copy.
+/// A cross-shard frame payload — never a byte-for-byte rebuild.
+///
+/// When the shards are multiplexed on a single thread there is only one
+/// buffer pool, so the handoff is a plain refcount bump
+/// ([`XPayload::Shared`]). Between worker *threads* the frame travels as
+/// an immutable Arc-backed pool page ([`XPayload::Page`], built by
+/// [`Frame::to_page`]): at most one copy at the sending boundary (zero
+/// for a relayed frame that already is a page), and the destination shard
+/// uses the page in place instead of re-materializing it into its own
+/// pool as the old `Vec<u8>` handoff did.
 enum XPayload {
-    /// Copied bytes (thread-crossing handoff).
-    Bytes(Vec<u8>),
-    /// A shared frame (single-thread multiplexed handoff).
+    /// A shared thread-local frame (single-thread multiplexed handoff).
     Shared(Frame),
+    /// An immutable Arc-backed page (thread-crossing handoff).
+    Page(Frame),
 }
 
 impl XPayload {
     fn into_frame(self) -> Frame {
         match self {
-            XPayload::Bytes(b) => Frame::new(b),
-            XPayload::Shared(f) => f,
+            XPayload::Shared(f) | XPayload::Page(f) => f,
         }
     }
 }
@@ -383,9 +406,11 @@ struct XEvent {
 
 // SAFETY: the only non-`Send` content is [`XPayload::Shared`], which is
 // constructed exclusively when every shard is multiplexed on one thread
-// ([`ShardCtx::same_thread`]); threaded runs always serialize payloads to
-// [`XPayload::Bytes`], so an `XEvent` that actually crosses a thread
-// boundary never holds an `Rc`.
+// ([`ShardCtx::same_thread`]); threaded runs always rehome payloads to
+// [`XPayload::Page`] — an immutable `Arc`-backed pool page
+// ([`Frame::to_page`]) whose storage is never aliased by any `Rc` — so an
+// `XEvent` that actually crosses a thread boundary never holds
+// thread-local state.
 unsafe impl Send for XEvent {}
 
 /// One deferred trace-digest fold of a sharded run: the delivery's
@@ -415,6 +440,9 @@ struct ShardCtx {
     /// Cross-shard events generated this window, per destination shard;
     /// exchanged at the window barrier.
     outbox: Vec<Vec<XEvent>>,
+    /// Driver tallies for this shard (merged into
+    /// [`SimOutcome::rounds`] at the end of the run).
+    rounds: RoundCounters,
     /// Deferred digest folds, in this shard's execution order (so the
     /// front is always the oldest). The sequential driver drains and
     /// folds finalized entries every round — bounding retained frames to
@@ -431,11 +459,11 @@ struct ShardCtx {
 /// `NetSim` is not `Send` (frames are `Rc`-backed and pools are
 /// thread-local). The sharded runner upholds the invariant that makes the
 /// move sound anyway: every `Rc` reference graph is closed within one
-/// shard — frames cross shards only as copied bytes ([`XEvent::payload`])
-/// re-materialized from the destination thread's own pool — so a
-/// `ShardRun` moves between threads only as a whole, with no shared
-/// reference left behind. Storage freed on a foreign thread simply
-/// recycles into that thread's pool.
+/// shard — frames cross shards only as immutable `Arc`-backed pool pages
+/// ([`XEvent::payload`], see [`Frame::to_page`]) — so a `ShardRun` moves
+/// between threads only as a whole, with no thread-local reference left
+/// behind. Storage freed on a foreign thread simply recycles into that
+/// thread's pool.
 struct ShardRun {
     sim: NetSim,
     engine: Engine<NetSim>,
@@ -444,17 +472,30 @@ struct ShardRun {
 unsafe impl Send for ShardRun {}
 
 /// Coordination state shared by the worker threads of a threaded sharded
-/// run: the per-round barrier, the per-pair mailboxes and the published
-/// next-event instants that windows are derived from.
+/// run, under the single-rendezvous protocol: each round ends in exactly
+/// **one** barrier wait, with every exchange slot double-buffered by round
+/// parity (`round & 1`). A worker writes the slot the *next* round will
+/// read (mailbox flush, outbox minima, its published next instant) before
+/// the barrier, and reads the current round's slot after it; because a
+/// worker can never be a full round ahead of a peer (the barrier is
+/// lockstep), the two parities never alias.
 struct ShardShared {
     barrier: Barrier,
-    /// `mailbox[src][dst]`: cross-shard events flushed by `src` for `dst`.
-    mailbox: Vec<Vec<Mutex<Vec<XEvent>>>>,
-    /// Earliest pending event per shard (`u64::MAX` = none), republished
-    /// every round.
-    next_at: Vec<AtomicU64>,
+    /// `mailbox[p][src][dst]`: cross-shard events flushed by `src` for
+    /// `dst`, to be injected at the start of the round with parity `p`.
+    mailbox: [Vec<Vec<Mutex<Vec<XEvent>>>>; 2],
+    /// `next_at[p][s]`: shard `s`'s earliest pending instant (`u64::MAX`
+    /// = idle) as published for the round with parity `p` — *excluding*
+    /// the mailbox events it has not injected yet.
+    next_at: [Vec<AtomicU64>; 2],
+    /// `out_min[p][src][dst]`: the minimum timestamp `src` flushed into
+    /// `mailbox[p][src][dst]` (`u64::MAX` = nothing, and the reader skips
+    /// that mailbox lock entirely). Folding these into `next_at` gives
+    /// every worker the same *effective* next instants the sequential
+    /// driver reads off its engines after injection — which is what lets
+    /// windows be derived before anyone has actually injected.
+    out_min: [Vec<Vec<AtomicU64>>; 2],
     stop: u64,
-    lookahead: u64,
 }
 
 /// The assembled simulation world (driven by [`Engine`] events).
@@ -498,6 +539,12 @@ pub struct NetSim {
     /// Requested worker (shard) count for [`NetSim::run`]; 1 = the classic
     /// single-engine loop.
     workers: usize,
+    /// `true` (the default): [`NetSim::run`] consults the
+    /// [`Profitability`] model and transparently collapses an
+    /// unprofitable shard plan to the single-engine loop. `false` forces
+    /// the requested worker count (tests use this to actually exercise
+    /// the sharded drivers on small topologies).
+    adaptive_workers: bool,
     /// Explicit window-driver choice (`Some(true)` = worker threads,
     /// `Some(false)` = single-thread multiplexing, `None` = auto).
     worker_threads: Option<bool>,
@@ -549,6 +596,7 @@ impl NetSim {
             sw_cabled: Vec::new(),
             idle_period,
             workers: 1,
+            adaptive_workers: true,
             worker_threads: None,
             shard_ctx: None,
         }
@@ -567,6 +615,20 @@ impl NetSim {
     /// overrides the choice).
     pub fn set_workers(&mut self, n: usize) {
         self.workers = n.max(1);
+    }
+
+    /// Enables/disables adaptive worker selection (default: enabled).
+    ///
+    /// When enabled, a sharded run first asks the [`Profitability`] model
+    /// whether the plan's estimated events per rendezvous round cover the
+    /// host cost of driving a round; if not, the run transparently
+    /// collapses to the single-engine loop ([`SimOutcome::workers`]
+    /// reports `1`). Results are byte-identical either way — this knob
+    /// only decides which identical-result execution path runs, and
+    /// exists so tests and benchmarks can force small topologies through
+    /// the sharded drivers.
+    pub fn set_adaptive_workers(&mut self, adaptive: bool) {
+        self.adaptive_workers = adaptive;
     }
 
     /// Overrides the sharded-run window driver: `Some(true)` forces
@@ -964,8 +1026,27 @@ impl NetSim {
         if self.workers > 1 {
             self.run_sharded()
         } else {
-            self.run_single()
+            let hint = self.would_be_lookahead();
+            self.run_single(hint)
         }
+    }
+
+    /// The tightest window a 2-shard plan of this topology would run
+    /// under — reported by single-engine runs as
+    /// [`SimOutcome::lookahead_ns`], so bench output shows the would-be
+    /// window width even for runs that never shard (`0` when a 2-way
+    /// plan does not exist or cuts no cable).
+    fn would_be_lookahead(&self) -> u64 {
+        let graph = self.shard_graph();
+        let plan = partition_shards(&graph, 2);
+        if plan.workers < 2 {
+            return 0;
+        }
+        let dev_shard = self.dev_shards(&plan);
+        let sw_shard: Vec<u32> = plan.switch_shard.iter().map(|&s| s as u32).collect();
+        self.lookahead_matrix(&dev_shard, &sw_shard, plan.workers)
+            .min_finite()
+            .unwrap_or(0)
     }
 
     /// Resolves the topology once: each node's cabled endpoint, each
@@ -1064,7 +1145,9 @@ impl NetSim {
 
     /// The classic single-engine run (`workers == 1`): one calendar, one
     /// loop — the path the pinned trace digests prove unchanged.
-    fn run_single(mut self) -> Result<SimOutcome, CapnetError> {
+    /// `lookahead_hint` is purely informational: the window width a shard
+    /// plan of this topology would run (or would have run) under.
+    fn run_single(mut self, lookahead_hint: u64) -> Result<SimOutcome, CapnetError> {
         let mut engine: Engine<NetSim> = Engine::new();
         self.schedule_boot(&mut engine);
         let stop = self.stop_at;
@@ -1127,7 +1210,8 @@ impl NetSim {
             impairment_stats: self.impairment_stats,
             trace: self.trace,
             workers: 1,
-            lookahead_ns: 0,
+            lookahead_ns: lookahead_hint,
+            rounds: RoundCounters::default(),
         })
     }
 
@@ -1223,38 +1307,44 @@ impl NetSim {
         dev_shard
     }
 
-    /// The conservative lookahead: the minimum latency any frame needs to
-    /// cross a shard boundary. Every cut-edge traversal pays at least one
-    /// minimum-frame serialization (NIC egress or switch egress, the
-    /// latter plus store-and-forward latency) before the cable's
-    /// propagation delay, so events generated inside a window of this
-    /// width can only land in later windows. `None` when no edge is cut
-    /// (shards are independent and each runs to completion in one window).
-    fn shard_lookahead(&self, dev_shard: &[u32], sw_shard: &[u32]) -> Option<u64> {
-        let min_ser = self
-            .costs
-            .wire_cost(MIN_FRAME as u64 + WIRE_OVERHEAD)
-            .as_nanos();
-        let wire_lat = self.wire.latency().as_nanos();
-        let shard_of = |ep: &Ep| match *ep {
-            Ep::Dev(d, _) => dev_shard[d],
-            Ep::Sw(s, _) => sw_shard[s],
+    /// The conservative lookahead of a shard plan, per **directed shard
+    /// pair**: every cut-cable traversal pays at least its link class's
+    /// floor ([`CostModel::link_floor_ns`] — minimum-frame serialization,
+    /// NIC- or switch-side, plus propagation), so a shard only waits on
+    /// the cut paths that can actually reach it rather than on the single
+    /// tightest edge anywhere in the topology (what the old scalar
+    /// lookahead throttled every window to). The nominal model floor is
+    /// clamped by the cable actually in use, in case a model claims more
+    /// propagation than the wire delivers.
+    fn lookahead_matrix(
+        &self,
+        dev_shard: &[u32],
+        sw_shard: &[u32],
+        workers: usize,
+    ) -> LookaheadMatrix {
+        let min_wire = MIN_FRAME as u64 + WIRE_OVERHEAD;
+        let cable = self.wire.latency().as_nanos() + self.costs.wire_cost(min_wire).as_nanos();
+        let floor = |from_switch: bool| {
+            let extra = if from_switch {
+                self.costs.switch_latency_ns
+            } else {
+                0
+            };
+            self.costs
+                .link_floor_ns(min_wire, from_switch)
+                .min(cable + extra)
         };
-        let mut min: Option<u64> = None;
+        let shard_of = |ep: &Ep| match *ep {
+            Ep::Dev(d, _) => dev_shard[d] as usize,
+            Ep::Sw(s, _) => sw_shard[s] as usize,
+        };
+        let mut matrix = LookaheadMatrix::new(workers);
         for (a, b) in &self.links {
-            if shard_of(a) == shard_of(b) {
-                continue;
-            }
             // `links` stores both directions, so `a` is the emitting side.
-            let lat = wire_lat
-                + min_ser
-                + match a {
-                    Ep::Sw(..) => self.costs.switch_latency_ns,
-                    Ep::Dev(..) => 0,
-                };
-            min = Some(min.map_or(lat, |m| m.min(lat)));
+            matrix.note_edge(shard_of(a), shard_of(b), floor(matches!(a, Ep::Sw(..))));
         }
-        min
+        matrix.close();
+        matrix
     }
 
     /// A placeholder for a foreign (other-shard) node slot: shard worlds
@@ -1300,17 +1390,33 @@ impl NetSim {
         let plan = partition_shards(&graph, self.workers);
         let dev_shard = self.dev_shards(&plan);
         let sw_shard: Vec<u32> = plan.switch_shard.iter().map(|&s| s as u32).collect();
-        let lookahead = self.shard_lookahead(&dev_shard, &sw_shard);
-        if lookahead == Some(0) {
+        let matrix = self.lookahead_matrix(&dev_shard, &sw_shard, plan.workers);
+        if matrix.min_finite() == Some(0) {
             // Degenerate cost model (zero-latency cut edges): no window
             // width is conservative, so run single-engine.
-            return self.run_single();
+            return self.run_single(0);
+        }
+        if self.adaptive_workers {
+            let total_weight: u64 = graph.node_weight.iter().sum();
+            let fit = Profitability::assess(
+                total_weight,
+                matrix.min_finite(),
+                self.idle_period,
+                plan.workers,
+            );
+            if !fit.profitable {
+                // The plan's windows are too narrow for its event density:
+                // each rendezvous round would cost more host time than the
+                // events it amortizes (the committed BENCH_parallel.json
+                // showed 0.88–0.93x on exactly such plans). Collapse to
+                // the byte-identical single-engine loop, still reporting
+                // the window the plan would have run under.
+                let hint = matrix.min_finite().unwrap_or(0);
+                return self.run_single(hint);
+            }
         }
         let stop = self.stop_at;
         let workers = plan.workers;
-        // A cut-free plan means fully independent shards: one "window"
-        // covering the whole horizon.
-        let lookahead_ns = lookahead.unwrap_or(stop.as_nanos().saturating_add(1));
         // Worker threads when the host has the cores for it, multiplexed
         // on this thread otherwise — identical results by construction
         // (same windows, same sorted injections).
@@ -1352,6 +1458,7 @@ impl NetSim {
                     sw_cabled: self.sw_cabled.clone(),
                     idle_period: self.idle_period,
                     workers: 1,
+                    adaptive_workers: true,
                     worker_threads: None,
                     shard_ctx: Some(Box::new(ShardCtx {
                         id: sid as u32,
@@ -1360,6 +1467,7 @@ impl NetSim {
                         sw_shard: sw_shard.clone(),
                         same_thread: !threaded,
                         outbox: (0..workers).map(|_| Vec::new()).collect(),
+                        rounds: RoundCounters::default(),
                         log: std::collections::VecDeque::new(),
                     })),
                 },
@@ -1422,53 +1530,30 @@ impl NetSim {
 
         let mut trace = TraceDigest::default();
         if threaded {
-            Self::drive_windows_threaded(&mut cells, stop, lookahead_ns);
+            Self::drive_windows_threaded(&mut cells, stop, &matrix);
         } else {
-            Self::drive_windows_sequential(&mut cells, stop, lookahead_ns, &mut trace);
+            Self::drive_windows_sequential(&mut cells, stop, &matrix, &mut trace);
         }
         Ok(Self::merge_outcome(
             cells,
             &plan,
             stop,
-            lookahead.unwrap_or(0),
+            matrix.min_finite().unwrap_or(0),
             trace,
         ))
     }
 
-    /// Each shard's safe window bound for one round (Chandy–Misra-style
-    /// per-process bounds rather than one global lockstep width). Any
-    /// event reaching this shard during the round descends from some
-    /// shard's currently earliest event through ≥ 1 cross-shard hop of ≥
-    /// `lookahead` each: a chain seeded by a *peer* arrives no earlier
-    /// than the earliest peer event plus one hop, and a chain seeded by
-    /// this shard's *own* events must leave and come back — two hops — so
-    /// the bound is the smaller of the two. A shard whose peers are quiet
-    /// therefore advances `2·lookahead` per round instead of idling in
-    /// lockstep.
-    fn window_end(nexts: &[u64], me: usize, lookahead: u64) -> u64 {
-        let mut others = u64::MAX;
-        for (s, &n) in nexts.iter().enumerate() {
-            if s != me && n < others {
-                others = n;
-            }
-        }
-        let via_peers = others.saturating_add(lookahead);
-        let round_trip = nexts[me]
-            .saturating_add(lookahead)
-            .saturating_add(lookahead);
-        via_peers.min(round_trip)
-    }
-
     /// One-thread window multiplexing: each round runs every shard up to
-    /// its safe bound, then exchanges and injects the cross-shard events
-    /// generated in it. Deferred digest entries older than every shard's
-    /// next event are final, so they fold into `trace` as the run goes —
-    /// retained frames stay bounded by a round's deliveries instead of
-    /// the whole run's.
+    /// its safe bound ([`LookaheadMatrix::window_end`]), then exchanges
+    /// and injects the cross-shard events generated in it — skipping the
+    /// exchange sweep entirely on rounds where no shard produced any.
+    /// Deferred digest entries older than every shard's next event are
+    /// final, so they fold into `trace` as the run goes — retained frames
+    /// stay bounded by a round's deliveries instead of the whole run's.
     fn drive_windows_sequential(
         cells: &mut [ShardRun],
         stop: SimTime,
-        lookahead: u64,
+        matrix: &LookaheadMatrix,
         trace: &mut TraceDigest,
     ) {
         let workers = cells.len();
@@ -1503,9 +1588,13 @@ impl NetSim {
             if min_next == u64::MAX || min_next > stop.as_nanos() {
                 break;
             }
+            let mut any_out = false;
             for (me, cell) in cells.iter_mut().enumerate() {
-                let end = Self::window_end(&nexts, me, lookahead);
+                let ctx = cell.sim.shard_ctx.as_mut().expect("shard ctx");
+                ctx.rounds.rounds += 1;
+                let end = matrix.window_end(&nexts, me);
                 if nexts[me] >= end {
+                    ctx.rounds.empty_rounds += 1;
                     continue; // nothing due inside this shard's bound
                 }
                 let ShardRun { sim, engine } = cell;
@@ -1514,6 +1603,17 @@ impl NetSim {
                 } else {
                     engine.run_window(sim, SimTime::from_nanos(end));
                 }
+                any_out = any_out
+                    || sim
+                        .shard_ctx
+                        .as_ref()
+                        .expect("shard ctx")
+                        .outbox
+                        .iter()
+                        .any(|o| !o.is_empty());
+            }
+            if !any_out {
+                continue;
             }
             for cell in cells.iter_mut() {
                 let ctx = cell.sim.shard_ctx.as_mut().expect("shard ctx");
@@ -1529,24 +1629,36 @@ impl NetSim {
         }
     }
 
-    /// Threaded window driver: one worker thread per shard, two barrier
-    /// waits per round (outbox flush, then injection + next-window vote).
-    fn drive_windows_threaded(cells: &mut Vec<ShardRun>, stop: SimTime, lookahead: u64) {
+    /// Threaded window driver: one worker thread per shard, **one**
+    /// barrier wait per round (see [`ShardShared`] for the parity
+    /// double-buffered exchange protocol that replaced the old
+    /// flush-then-vote pair of barriers).
+    fn drive_windows_threaded(cells: &mut Vec<ShardRun>, stop: SimTime, matrix: &LookaheadMatrix) {
         let workers = cells.len();
+        let slot = || -> Vec<Vec<Mutex<Vec<XEvent>>>> {
+            (0..workers)
+                .map(|_| (0..workers).map(|_| Mutex::new(Vec::new())).collect())
+                .collect()
+        };
+        let nexts =
+            || -> Vec<AtomicU64> { (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect() };
+        let mins = || -> Vec<Vec<AtomicU64>> {
+            (0..workers)
+                .map(|_| (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect())
+                .collect()
+        };
         let shared = ShardShared {
             barrier: Barrier::new(workers),
-            mailbox: (0..workers)
-                .map(|_| (0..workers).map(|_| Mutex::new(Vec::new())).collect())
-                .collect(),
-            next_at: (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            mailbox: [slot(), slot()],
+            next_at: [nexts(), nexts()],
+            out_min: [mins(), mins()],
             stop: stop.as_nanos(),
-            lookahead,
         };
         let finished = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (id, cell) in cells.drain(..).enumerate() {
                 let shared = &shared;
-                handles.push(scope.spawn(move || Self::shard_worker(cell, id, shared)));
+                handles.push(scope.spawn(move || Self::shard_worker(cell, id, shared, matrix)));
             }
             handles
                 .into_iter()
@@ -1556,27 +1668,71 @@ impl NetSim {
         *cells = finished;
     }
 
-    /// The per-thread loop of [`NetSim::drive_windows_threaded`]; mirrors
-    /// the sequential driver round for round.
-    fn shard_worker(mut cell: ShardRun, id: usize, shared: &ShardShared) -> ShardRun {
-        let workers = shared.next_at.len();
+    /// The per-thread loop of [`NetSim::drive_windows_threaded`] —
+    /// byte-identical to the sequential driver round for round, at one
+    /// rendezvous per round.
+    ///
+    /// Each round with parity `p` *reads* slot `p` (published instants,
+    /// mailbox minima, mailboxes) and *writes* slot `p ^ 1` for the next
+    /// round, then waits on the single barrier. The lockstep barrier
+    /// means no worker can be a full round ahead, so the slot a worker
+    /// writes is never the slot a straggler is still reading. The
+    /// *effective* next instant of a peer folds its published engine
+    /// minimum with the minima of mailboxes it has yet to inject
+    /// ([`ShardShared::out_min`]) — exactly the post-injection instants
+    /// the sequential driver reads off its engines — so every worker
+    /// derives identical windows from identical data with no coordinator.
+    fn shard_worker(
+        mut cell: ShardRun,
+        id: usize,
+        shared: &ShardShared,
+        matrix: &LookaheadMatrix,
+    ) -> ShardRun {
+        let workers = shared.next_at[0].len();
+        // Publish the boot-schedule instants into round 0's slot; one
+        // initial rendezvous makes them visible to every worker.
+        let next = cell
+            .engine
+            .next_event_at()
+            .map_or(u64::MAX, |t| t.as_nanos());
+        shared.next_at[0][id].store(next, Ordering::SeqCst);
+        shared.barrier.wait();
+        let mut round: u64 = 0;
+        let mut incoming = Vec::new();
         loop {
-            let next = cell
-                .engine
-                .next_event_at()
-                .map_or(u64::MAX, |t| t.as_nanos());
-            shared.next_at[id].store(next, Ordering::SeqCst);
-            shared.barrier.wait();
-            // Every worker derives the same windows from the same
-            // published instants — no coordinator thread needed.
-            let nexts: Vec<u64> = (0..workers)
-                .map(|s| shared.next_at[s].load(Ordering::SeqCst))
-                .collect();
+            let p = (round & 1) as usize;
+            // Effective next instants: published engine minima folded
+            // with the not-yet-injected mailbox minima. Identical on
+            // every worker, so the break decision needs no barrier.
+            let mut nexts = vec![u64::MAX; workers];
+            for (s, next) in nexts.iter_mut().enumerate() {
+                let mut n = shared.next_at[p][s].load(Ordering::SeqCst);
+                for src in 0..workers {
+                    n = n.min(shared.out_min[p][src][s].load(Ordering::SeqCst));
+                }
+                *next = n;
+            }
             let start = nexts.iter().copied().min().unwrap_or(u64::MAX);
             if start == u64::MAX || start > shared.stop {
                 break;
             }
-            let end = Self::window_end(&nexts, id, shared.lookahead);
+            // Drain this round's mailboxes (the out_min sentinel makes
+            // empty ones lock-free to skip) and inject. Readers never
+            // write out_min — peers are still reading this whole slot to
+            // derive their own windows; the flush phase below overwrites
+            // each row unconditionally for the slot's next reuse.
+            for src in 0..workers {
+                if shared.out_min[p][src][id].load(Ordering::SeqCst) == u64::MAX {
+                    continue;
+                }
+                incoming.append(&mut shared.mailbox[p][src][id].lock().expect("mailbox poisoned"));
+            }
+            Self::inject_sorted(&mut cell, &mut incoming);
+            {
+                let ctx = cell.sim.shard_ctx.as_mut().expect("shard ctx");
+                ctx.rounds.rounds += 1;
+            }
+            let end = matrix.window_end(&nexts, id);
             if nexts[id] < end {
                 let ShardRun { sim, engine } = &mut cell;
                 if end > shared.stop {
@@ -1584,31 +1740,45 @@ impl NetSim {
                 } else {
                     engine.run_window(sim, SimTime::from_nanos(end));
                 }
+            } else {
+                let ctx = cell.sim.shard_ctx.as_mut().expect("shard ctx");
+                ctx.rounds.empty_rounds += 1;
             }
+            // Write the next round's slot: flush the outbox and publish
+            // this worker's full out_min row — unconditionally, MAX for
+            // destinations it sent nothing, so the row needs no reader-
+            // side reset — then the engine's new minimum, then rendezvous.
+            let q = p ^ 1;
             {
                 let ctx = cell.sim.shard_ctx.as_mut().expect("shard ctx");
                 for (dst, outgoing) in ctx.outbox.iter_mut().enumerate() {
-                    if !outgoing.is_empty() {
-                        shared.mailbox[id][dst]
+                    let min = outgoing.iter().map(|x| x.at.as_nanos()).min();
+                    if let Some(min) = min {
+                        shared.mailbox[q][id][dst]
                             .lock()
                             .expect("mailbox poisoned")
                             .append(outgoing);
+                        shared.out_min[q][id][dst].store(min, Ordering::SeqCst);
+                    } else {
+                        shared.out_min[q][id][dst].store(u64::MAX, Ordering::SeqCst);
                     }
                 }
             }
+            let next = cell
+                .engine
+                .next_event_at()
+                .map_or(u64::MAX, |t| t.as_nanos());
+            shared.next_at[q][id].store(next, Ordering::SeqCst);
             shared.barrier.wait();
-            let mut incoming = Vec::new();
-            for src in 0..workers {
-                incoming.append(&mut shared.mailbox[src][id].lock().expect("mailbox poisoned"));
-            }
-            Self::inject_sorted(&mut cell, &mut incoming);
+            round += 1;
         }
         cell
     }
 
     /// Sorts a window's incoming cross-shard events by `(at, key)` — the
-    /// single-engine dispatch order — re-materializes each payload into
-    /// this thread's buffer pool, and schedules them.
+    /// single-engine dispatch order — and schedules them. Payloads are
+    /// used in place (a shared frame or an `Arc`-backed page), never
+    /// re-materialized.
     fn inject_sorted(cell: &mut ShardRun, incoming: &mut Vec<XEvent>) {
         if incoming.is_empty() {
             return;
@@ -1653,6 +1823,7 @@ impl NetSim {
             .unwrap_or(SimTime::ZERO);
         let events = cells.iter().map(|c| c.engine.executed()).sum();
         let mut counters = EventCounters::default();
+        let mut rounds = RoundCounters::default();
         let mut impairment_stats = ImpairmentStats::default();
         for cell in &cells {
             let c = cell.sim.counters;
@@ -1665,6 +1836,13 @@ impl NetSim {
             counters.parks += c.parks;
             counters.wakes += c.wakes;
             counters.boxed_events += cell.engine.boxed_scheduled();
+            let r = cell.sim.shard_ctx.as_ref().expect("shard ctx").rounds;
+            // Rounds are lockstep across shards (max, not sum); the
+            // traffic tallies genuinely accumulate.
+            rounds.rounds = rounds.rounds.max(r.rounds);
+            rounds.empty_rounds += r.empty_rounds;
+            rounds.xshard_frames += r.xshard_frames;
+            rounds.rehome_bytes += r.rehome_bytes;
             impairment_stats.absorb(cell.sim.impairment_stats);
         }
         // The deferred digest: whatever the driver has not already folded
@@ -1745,6 +1923,7 @@ impl NetSim {
             trace,
             workers: plan.workers,
             lookahead_ns,
+            rounds,
         }
     }
 
@@ -1797,11 +1976,26 @@ impl NetSim {
         }
     }
 
+    /// Rehomes a frame for a cross-shard handoff and tallies the traffic:
+    /// a refcount bump when the shards share a thread, an `Arc`-backed
+    /// pool page otherwise — copied at most once, and not at all when the
+    /// frame (e.g. one being relayed onward) already is a page.
+    fn rehome(ctx: &mut ShardCtx, frame: &Frame) -> XPayload {
+        ctx.rounds.xshard_frames += 1;
+        if ctx.same_thread {
+            XPayload::Shared(frame.clone())
+        } else {
+            if !frame.is_page() {
+                ctx.rounds.rehome_bytes += frame.bytes().len() as u64;
+            }
+            XPayload::Page(frame.to_page())
+        }
+    }
+
     /// Queues a cross-shard frame delivery for the window barrier: the
-    /// payload is serialized to plain bytes (the destination shard
-    /// re-materializes it into its own pool) and the order key is drawn
-    /// from this engine's origin counter, exactly as a local schedule
-    /// would have.
+    /// payload is rehomed by [`NetSim::rehome`] and the order key is
+    /// drawn from this engine's origin counter, exactly as a local
+    /// schedule would have.
     fn outbox_deliver(
         &mut self,
         engine: &mut Engine<NetSim>,
@@ -1814,11 +2008,7 @@ impl NetSim {
         let key = engine.make_key(origin);
         let ctx = self.shard_ctx.as_mut().expect("cross-shard send has a ctx");
         let dst = ctx.dev_shard[dev] as usize;
-        let payload = if ctx.same_thread {
-            XPayload::Shared(frame.clone())
-        } else {
-            XPayload::Bytes(frame.bytes().to_vec())
-        };
+        let payload = Self::rehome(ctx, frame);
         ctx.outbox[dst].push(XEvent {
             at,
             key,
@@ -1842,11 +2032,7 @@ impl NetSim {
         let key = engine.make_key(origin);
         let ctx = self.shard_ctx.as_mut().expect("cross-shard send has a ctx");
         let dst = ctx.sw_shard[sw] as usize;
-        let payload = if ctx.same_thread {
-            XPayload::Shared(frame.clone())
-        } else {
-            XPayload::Bytes(frame.bytes().to_vec())
-        };
+        let payload = Self::rehome(ctx, frame);
         ctx.outbox[dst].push(XEvent {
             at,
             key,
@@ -2402,9 +2588,17 @@ pub struct SimOutcome {
     pub trace: TraceDigest,
     /// Shards the run actually used (1 = the classic single-engine loop).
     pub workers: usize,
-    /// The conservative lookahead window width of a sharded run, in
-    /// nanoseconds (0 when single-engine or when no cable crossed shards).
+    /// The tightest conservative lookahead of the run's shard plan, in
+    /// nanoseconds ([`crate::parallel::LookaheadMatrix::min_finite`]; per-pair
+    /// windows are at least this wide). Single-engine runs report the
+    /// window a 2-shard plan *would* run under (0 when no such plan cuts
+    /// a cable), so the would-be width shows up in bench output too.
     pub lookahead_ns: u64,
+    /// Sharded-driver tallies (rendezvous rounds, cross-shard frames,
+    /// rehoming copies). All zero for single-engine runs; unlike
+    /// [`SimOutcome::counters`], these describe the driver rather than
+    /// the simulation, so they legitimately vary across worker counts.
+    pub rounds: RoundCounters,
 }
 
 #[cfg(test)]

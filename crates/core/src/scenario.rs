@@ -215,6 +215,7 @@ pub struct ScenarioSpec {
     seed: Option<u64>,
     impairments: Impairments,
     workers: usize,
+    adaptive_workers: bool,
     cc: Option<CcAlgo>,
     sack: Option<bool>,
     pair_cc: Vec<CcAlgo>,
@@ -231,6 +232,7 @@ impl ScenarioSpec {
             seed: None,
             impairments: Impairments::default(),
             workers: 1,
+            adaptive_workers: true,
             cc: None,
             sack: None,
             pair_cc: Vec::new(),
@@ -292,6 +294,17 @@ impl ScenarioSpec {
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Enables/disables adaptive worker selection (default: enabled — an
+    /// unprofitable shard plan transparently collapses to the
+    /// single-engine loop; see [`NetSim::set_adaptive_workers`]). Tests
+    /// and benchmarks pass `false` to force small topologies through the
+    /// sharded drivers.
+    #[must_use]
+    pub fn adaptive_workers(mut self, adaptive: bool) -> Self {
+        self.adaptive_workers = adaptive;
         self
     }
 
@@ -392,6 +405,7 @@ impl ScenarioSpec {
         if self.workers > 1 {
             sim.set_workers(self.workers);
         }
+        sim.set_adaptive_workers(self.adaptive_workers);
         let dut_dev = sim.add_dev(NicModel::Dual82576)?;
         let traffic = self.duration;
         // Leave room for handshakes before and FIN drains after the timed
@@ -494,6 +508,7 @@ impl ScenarioSpec {
         }
         sim.set_impairments(self.impairments);
         sim.set_workers(self.workers);
+        sim.set_adaptive_workers(self.adaptive_workers);
         let star = crate::topology::build_star(&mut sim, leaves)?;
         sim.configure_node(star.hub, self.node_config());
         for &leaf in &star.leaves {
@@ -539,6 +554,7 @@ impl ScenarioSpec {
         if self.workers > 1 {
             sim.set_workers(self.workers);
         }
+        sim.set_adaptive_workers(self.adaptive_workers);
         let bell = crate::topology::build_dumbbell(&mut sim, pairs)?;
         for i in 0..pairs {
             sim.configure_node(bell.servers[i], self.node_config());

@@ -203,6 +203,27 @@ impl CostModel {
     pub fn timer_tick(&self) -> SimDuration {
         SimDuration::from_nanos(self.timer_tick_ns)
     }
+
+    /// The minimum latency any frame needs to traverse a cable of this
+    /// cost model, per **link class** (who is emitting): propagation plus
+    /// at least one minimum-frame serialization at line rate, plus the
+    /// store-and-forward latency when the emitting side is a switch.
+    ///
+    /// These per-edge floors are what a conservative parallel simulation
+    /// derives its lookahead from — a cut edge of a given class can never
+    /// carry causality faster than its floor, so the wider the floor, the
+    /// wider the safe execution window. `min_wire_bytes` is the smallest
+    /// on-wire frame size of the protocol layer above (minimum frame plus
+    /// preamble/IFG overhead; the cost model itself is protocol-agnostic).
+    pub fn link_floor_ns(&self, min_wire_bytes: u64, from_switch: bool) -> u64 {
+        self.wire_latency_ns
+            + self.wire_cost(min_wire_bytes).as_nanos()
+            + if from_switch {
+                self.switch_latency_ns
+            } else {
+                0
+            }
+    }
 }
 
 impl Default for CostModel {
@@ -251,6 +272,19 @@ mod tests {
         // cost per frame, so a single flow reaches the 941 Mbit/s goodput.
         assert!(c.pci_rx_cost(1538) < c.wire_cost(1538));
         assert!(c.pci_tx_cost(1538) < c.wire_cost(1538));
+    }
+
+    #[test]
+    fn link_floors_split_by_link_class() {
+        let c = CostModel::morello();
+        // Ethernet minimum frame (64 B) + preamble/IFG (20 B) at 1 Gbit/s
+        // serializes in 672 ns; NIC egress adds propagation, switch egress
+        // adds store-and-forward on top.
+        assert_eq!(c.link_floor_ns(84, false), 1_000 + 672);
+        assert_eq!(c.link_floor_ns(84, true), 1_000 + 672 + 2_000);
+        // Degenerate models floor at the (possibly zero) propagation.
+        let z = CostModel::zero_overhead();
+        assert_eq!(z.link_floor_ns(84, false), 672);
     }
 
     #[test]

@@ -169,7 +169,14 @@ fn httpd_digest_identical_at_any_worker_count() {
     let ok: u64 = base.http_fleets.iter().map(|f| f.requests_ok).sum();
     assert!(ok > 0, "keep-alive mix completed requests");
     for workers in [2, 4] {
-        let out = spec().workers(workers).run().unwrap();
+        // Adaptive selection off: a 4-leaf star would collapse back to
+        // one engine, and this test exists to drive the sharded path.
+        let out = spec()
+            .workers(workers)
+            .adaptive_workers(false)
+            .run()
+            .unwrap();
+        assert!(out.workers > 1, "workers={workers}: plan stayed sharded");
         assert_eq!(
             out.trace.digest, base.trace.digest,
             "workers={workers} digest diverged"

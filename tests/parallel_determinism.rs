@@ -16,6 +16,7 @@
 #![allow(deprecated)]
 
 use capnet::netsim::NetSim;
+use capnet::parallel::{LookaheadMatrix, Profitability, ROUND_COST_EVENTS};
 use capnet::scenario::{run_dumbbell_fairness, run_star_iperf, run_star_iperf_impaired};
 use capnet::topology::{build_chain, partition_shards, ShardGraph};
 use capnet::SimOutcome;
@@ -49,6 +50,9 @@ fn star(workers: usize) -> SimOutcome {
     let mut sim = NetSim::new(CostModel::morello());
     sim.set_seed(21);
     sim.set_workers(workers);
+    // An 8-leaf star is too light for sharding to pay — force the plan
+    // through the sharded drivers anyway; that's what this test is for.
+    sim.set_adaptive_workers(false);
     let star = capnet::topology::build_star(&mut sim, 8).expect("star builds");
     for (i, &leaf) in star.leaves.iter().enumerate() {
         let port = 5600 + i as u16;
@@ -75,30 +79,76 @@ fn star8_is_byte_identical_at_any_worker_count() {
         let out = star(workers);
         assert_eq!(out.workers, workers, "the plan used the requested shards");
         assert!(out.lookahead_ns > 0, "a cut topology has a finite window");
+        assert!(
+            out.rounds.rounds > 0,
+            "the sharded drivers actually drove rounds"
+        );
+        assert!(
+            out.rounds.xshard_frames > 0,
+            "frames crossed shard boundaries"
+        );
         assert_equivalent(&base, &out, "star8");
     }
 }
 
 /// The pinned-digest scenario of `tests/topology.rs`, across worker
 /// counts: the sharded runs must land on the exact digest the seed
-/// repository pinned before parallel execution existed.
+/// repository pinned before parallel execution existed — both with
+/// adaptive selection forced off (genuinely sharded) and left on (the
+/// plan collapses transparently; same bytes either way).
 #[test]
 fn pinned_star_digest_holds_at_every_worker_count() {
-    for workers in [1usize, 2, 4] {
-        let o = capnet::scenario::run_star_iperf_sharded(
-            8,
-            SimDuration::from_millis(40),
-            CostModel::morello(),
-            21,
-            Impairments::default(),
-            workers,
-        )
-        .expect("star runs");
-        assert_eq!(
-            o.trace.digest, 0xfa099c29f1e937d5,
-            "workers={workers} drifted off the pinned star8 digest"
-        );
+    for adaptive in [false, true] {
+        for workers in [1usize, 2, 4] {
+            let o = capnet::ScenarioSpec::star(8)
+                .duration(SimDuration::from_millis(40))
+                .costs(CostModel::morello())
+                .seed(21)
+                .workers(workers)
+                .adaptive_workers(adaptive)
+                .congestion(capnet::CcAlgo::Reno)
+                .sack(false)
+                .run()
+                .expect("star runs");
+            assert_eq!(
+                o.trace.digest, 0xfa099c29f1e937d5,
+                "workers={workers} adaptive={adaptive} drifted off the pinned star8 digest"
+            );
+        }
     }
+}
+
+/// Adaptive worker selection collapses an unprofitable plan to the
+/// single-engine loop — transparently (same bytes, `workers` reports the
+/// collapse) — and still reports the window the plan would have run
+/// under.
+#[test]
+fn unprofitable_plans_collapse_to_a_single_engine() {
+    let mut sim = NetSim::new(CostModel::morello());
+    sim.set_seed(21);
+    sim.set_workers(4); // adaptive selection left on (the default)
+    let topo = capnet::topology::build_star(&mut sim, 8).expect("star builds");
+    for (i, &leaf) in topo.leaves.iter().enumerate() {
+        let port = 5600 + i as u16;
+        sim.add_server(topo.hub, format!("hub-rx{i}"), port)
+            .expect("server");
+        sim.add_client(
+            leaf,
+            format!("leaf-tx{i}"),
+            (topo.hub_ip, port),
+            SimDuration::from_millis(20),
+            SimDuration::ZERO,
+        )
+        .expect("client");
+    }
+    let out = sim.run(SimDuration::from_millis(40)).expect("runs");
+    assert_eq!(out.workers, 1, "the light star collapsed");
+    assert!(
+        out.lookahead_ns > 0,
+        "the would-be window is still reported"
+    );
+    assert_eq!(out.rounds.rounds, 0, "no rendezvous rounds were driven");
+    assert_equivalent(&star(1), &out, "adaptive star8");
 }
 
 #[test]
@@ -107,6 +157,7 @@ fn dumbbell_is_byte_identical_at_any_worker_count() {
         let mut sim = NetSim::new(CostModel::morello());
         sim.set_seed(5);
         sim.set_workers(workers);
+        sim.set_adaptive_workers(false);
         let bell = capnet::topology::build_dumbbell(&mut sim, 4).expect("dumbbell");
         for i in 0..4 {
             let port = 5700 + i as u16;
@@ -136,6 +187,7 @@ fn chain_is_byte_identical_at_any_worker_count() {
         let mut sim = NetSim::new(CostModel::morello());
         sim.set_seed(9);
         sim.set_workers(workers);
+        sim.set_adaptive_workers(false);
         let chain = build_chain(&mut sim, 3).expect("chain");
         sim.add_server(chain.b, "b-rx", 5501).expect("srv");
         sim.add_client(
@@ -170,6 +222,7 @@ fn lossy_star_is_byte_identical_at_any_worker_count() {
         let mut sim = NetSim::new(CostModel::morello());
         sim.set_seed(77);
         sim.set_workers(workers);
+        sim.set_adaptive_workers(false);
         sim.set_impairments(imp);
         let star = capnet::topology::build_star(&mut sim, 6).expect("star");
         for (i, &leaf) in star.leaves.iter().enumerate() {
@@ -211,6 +264,7 @@ fn threaded_driver_matches_sequential() {
         let mut sim = NetSim::new(CostModel::morello());
         sim.set_seed(3);
         sim.set_workers(2);
+        sim.set_adaptive_workers(false);
         sim.set_worker_threads(Some(threaded));
         let star = capnet::topology::build_star(&mut sim, 4).expect("star");
         for (i, &leaf) in star.leaves.iter().enumerate() {
@@ -235,11 +289,28 @@ fn threaded_driver_matches_sequential() {
             "threaded={threaded} vs single engine"
         );
         assert_eq!(base.counters, out.counters, "threaded={threaded}");
+        assert!(out.rounds.xshard_frames > 0, "threaded={threaded}");
+        if threaded {
+            // Thread-crossing frames are rehomed into Arc-backed pages:
+            // at most one copy each, witnessed by the byte tally.
+            assert!(out.rounds.rehome_bytes > 0, "pages were built");
+            assert!(
+                out.rounds.rehome_bytes < out.rounds.xshard_frames * updk::wire::MAX_FRAME as u64,
+                "rehoming copies at most one frame's bytes per crossing"
+            );
+        } else {
+            assert_eq!(
+                out.rounds.rehome_bytes, 0,
+                "single-thread multiplexed handoffs share frames, no copies"
+            );
+        }
     }
 }
 
 /// Scenario helpers keep their workers=1 behavior bit for bit (they never
-/// call `set_workers`), including under impairments.
+/// call `set_workers`), including under impairments. Single-engine runs
+/// now report the window a 2-shard plan *would* run under, so bench
+/// output can show the would-be width without sharding.
 #[test]
 fn scenario_helpers_still_run_single_engine() {
     let out = run_star_iperf_impaired(
@@ -251,7 +322,11 @@ fn scenario_helpers_still_run_single_engine() {
     )
     .expect("impaired star runs");
     assert_eq!(out.workers, 1);
-    assert_eq!(out.lookahead_ns, 0);
+    assert!(
+        out.lookahead_ns > 0,
+        "a cut 2-shard plan exists, so the would-be window is reported"
+    );
+    assert_eq!(out.rounds.rounds, 0, "but no sharded driver ever ran");
     let bell = run_dumbbell_fairness(2, SimDuration::from_millis(10), CostModel::morello(), 11)
         .expect("dumbbell runs");
     assert_eq!(bell.workers, 1);
@@ -327,5 +402,116 @@ proptest! {
         let again = partition_shards(&g, workers);
         prop_assert_eq!(plan.node_shard, again.node_shard);
         prop_assert_eq!(plan.switch_shard, again.switch_shard);
+    }
+
+    /// The lookahead matrix's conservative-execution invariants, on random
+    /// cut graphs and queue states: no shard's window ever reaches past
+    /// any peer's earliest event plus the closed path floor to get here
+    /// (`min(peer_next) + L` per pair), past its own round trip, or below
+    /// the scalar `min_finite` guarantee; the closure satisfies the
+    /// triangle inequality; and windows are monotone in the inputs —
+    /// advancing any peer never shrinks anyone's window.
+    #[test]
+    fn window_bounds_hold_on_random_matrices(
+        workers in 2usize..6,
+        edges in proptest::collection::vec((0usize..6, 0usize..6, 1u64..10_000), 1..24),
+        mut nexts in proptest::collection::vec(0u64..1u64 << 41, 6),
+        bump in 0u64..1u64 << 30,
+        who in 0usize..6,
+    ) {
+        let mut m = LookaheadMatrix::new(workers);
+        for &(a, b, lat) in &edges {
+            m.note_edge(a % workers, b % workers, lat);
+        }
+        m.close();
+        nexts.truncate(workers);
+        // The top half of the draw range means "idle shard" (no event).
+        let nexts: Vec<u64> = nexts
+            .into_iter()
+            .map(|n| if n >= 1 << 40 { u64::MAX } else { n })
+            .collect();
+
+        // Triangle inequality survives the min-plus closure.
+        for a in 0..workers {
+            for b in 0..workers {
+                for c in 0..workers {
+                    let via = m.dist(a, b).saturating_add(m.dist(b, c));
+                    prop_assert!(m.dist(a, c) <= via, "dist({a},{c}) > via {b}");
+                }
+            }
+        }
+
+        let min_next = nexts.iter().copied().min().unwrap_or(u64::MAX);
+        for me in 0..workers {
+            let end = m.window_end(&nexts, me);
+            // Never past any peer's earliest event plus its path floor in.
+            for (q, &n) in nexts.iter().enumerate() {
+                if q != me {
+                    prop_assert!(end <= n.saturating_add(m.dist(q, me)));
+                }
+            }
+            // The scalar summary is a floor on every granted window:
+            // whatever the queue state, nobody's bound is tighter than
+            // the earliest event anywhere plus the tightest pair floor.
+            if let Some(l) = m.min_finite() {
+                prop_assert!(
+                    end >= min_next.saturating_add(l),
+                    "window {end} below min_next {min_next} + min_finite {l}"
+                );
+            }
+            // Progress: the globally earliest shard always gets to run
+            // (the drivers would otherwise spin forever).
+            if nexts[me] == min_next && min_next != u64::MAX && m.min_finite() != Some(0) {
+                prop_assert!(end > nexts[me], "the earliest shard's window is non-empty");
+            }
+        }
+
+        // Monotonicity: advancing one shard's queue never shrinks windows.
+        let who = who % workers;
+        if nexts[who] != u64::MAX {
+            let mut later = nexts.clone();
+            later[who] = later[who].saturating_add(bump);
+            for me in 0..workers {
+                prop_assert!(
+                    m.window_end(&later, me) >= m.window_end(&nexts, me),
+                    "window_end must be monotone in the published instants"
+                );
+            }
+        }
+    }
+
+    /// The profitability model: collapse exactly when the estimated
+    /// per-round work cannot cover the round cost, monotone in weight and
+    /// window width, anti-monotone in worker count; uncut plans always
+    /// shard.
+    #[test]
+    fn profitability_is_monotone(
+        weight in 0u64..100_000,
+        lookahead_raw in 0u64..1u64 << 24,
+        idle in 1u64..1_000_000,
+        workers in 1usize..16,
+    ) {
+        // 0 stands for "no cut edge" (an uncut plan's unbounded window).
+        let lookahead = (lookahead_raw != 0).then_some(lookahead_raw);
+        let fit = Profitability::assess(weight, lookahead, idle, workers);
+        prop_assert_eq!(fit.profitable, fit.est_events_per_round >= fit.round_cost_events);
+        prop_assert_eq!(fit.round_cost_events, ROUND_COST_EVENTS * workers as u64);
+        match lookahead {
+            None => prop_assert!(fit.profitable, "uncut plans always shard"),
+            Some(l) => {
+                // More weight or wider windows never flip a profitable
+                // plan unprofitable; more workers never flip an
+                // unprofitable plan profitable.
+                let heavier = Profitability::assess(weight * 2 + 1, Some(l), idle, workers);
+                let wider = Profitability::assess(weight, Some(l * 2), idle, workers);
+                let more_shards = Profitability::assess(weight, Some(l), idle, workers * 2);
+                if fit.profitable {
+                    prop_assert!(heavier.profitable);
+                    prop_assert!(wider.profitable);
+                } else {
+                    prop_assert!(!more_shards.profitable);
+                }
+            }
+        }
     }
 }

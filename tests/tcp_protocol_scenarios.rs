@@ -71,6 +71,9 @@ fn lossy_cubic_sack_star_is_pinned_and_shards_identically() {
         base.trace.digest, reno.trace.digest,
         "CUBIC and Reno must diverge under loss"
     );
+    // The deprecated wrapper leaves adaptive selection on, so these runs
+    // collapse back to one engine — proving the wrapper still delegates
+    // byte-identically through the adaptive path.
     for workers in [2usize, 4] {
         let out = run(workers);
         assert_eq!(
@@ -83,6 +86,29 @@ fn lossy_cubic_sack_star_is_pinned_and_shards_identically() {
             "workers={workers}: impairment totals"
         );
     }
+    // And genuinely sharded (adaptive off): the protocol machinery must
+    // survive real window-driven execution, not just the collapsed path.
+    let sharded = capnet::ScenarioSpec::star(2)
+        .duration(SimDuration::from_millis(40))
+        .costs(CostModel::morello())
+        .seed(LOSSY_SEED)
+        .impairments(Impairments {
+            loss_per_mille: LOSS_PER_MILLE,
+            ..Default::default()
+        })
+        .workers(2)
+        .adaptive_workers(false)
+        .congestion(CcAlgo::Cubic)
+        .sack(true)
+        .run()
+        .expect("sharded lossy star runs");
+    assert_eq!(sharded.workers, 2, "forced plan must stay sharded");
+    assert_eq!(base.trace, sharded.trace, "sharded: byte-identical trace");
+    assert_eq!(base.servers, sharded.servers, "sharded: reports");
+    assert_eq!(
+        base.impairment_stats, sharded.impairment_stats,
+        "sharded: impairment totals"
+    );
 }
 
 /// SACK recovers goodput on a lossy WAN: the same seed, the same drops —

@@ -9,6 +9,16 @@ plus the per-kind `ev_*` event counters and the `workers` axis of the
 sharded-run benches (event-count deltas are the first thing to read when
 a wall-time delta needs explaining).
 
+`speedup_vs_workers1` is **derived here**, not recorded by the benches:
+for every group of cases that differ only in their `workers=N` token the
+ratio `host_wall_ms(workers=1) / host_wall_ms(workers=N)` is synthesized
+on both sides of the diff (older committed reports that still carry a
+recorded value keep it). When the fresh report says the runner had
+`host_parallelism = 1`, a loud banner precedes the table — on a
+single-CPU runner the shards are multiplexed on one thread, so the
+ratio measures sharding overhead, not parallel speedup, and must not be
+read as the headline scaling number.
+
 With `--warn-pct PCT`, rows whose delta magnitude exceeds PCT percent are
 flagged with a ⚠ marker and a summary count is printed at the end. The
 exit code stays 0 either way — the delta is informational, not a gate
@@ -20,6 +30,7 @@ flagged `ev_*` row deserves a close look.
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -55,6 +66,43 @@ def load(path: Path):
         key = (entry.get("bench", "?"), entry.get("case", "?"))
         out[key] = entry.get("metrics", {})
     return out
+
+
+WORKERS_TOKEN = re.compile(r"workers=[^/]+")
+
+
+def synthesize_speedups(report):
+    """Derive `speedup_vs_workers1` for worker-sweep case groups.
+
+    Cases whose names differ only in the `workers=N` token form a group;
+    each member gets `host_wall_ms(workers=1) / host_wall_ms(self)` as a
+    synthesized metric (recorded values, from older reports, win).
+    """
+    groups = {}
+    for (bench, case), metrics in report.items():
+        token = WORKERS_TOKEN.search(case)
+        if token and "host_wall_ms" in metrics:
+            group_key = (bench, WORKERS_TOKEN.sub("workers=*", case))
+            groups.setdefault(group_key, []).append((token.group(), metrics))
+    for members in groups.values():
+        base = next(
+            (m["host_wall_ms"] for tok, m in members if tok == "workers=1"), None
+        )
+        if not base:
+            continue
+        for _, metrics in members:
+            metrics.setdefault("speedup_vs_workers1", base / metrics["host_wall_ms"])
+
+
+def single_cpu_banner(report):
+    """A loud warning when the fresh run came off a single-CPU runner."""
+    if any(m.get("host_parallelism") == 1 for m in report.values()):
+        print(
+            "\n> ⚠ **single-CPU runner** (`host_parallelism = 1`): shards were\n"
+            "> multiplexed on one thread, so `speedup_vs_workers1` measures\n"
+            "> sharding overhead, **not** parallel speedup. Multicore scaling\n"
+            "> numbers must come from a runner with more than one CPU."
+        )
 
 
 def fmt(v):
@@ -98,6 +146,9 @@ def main():
             print("_no committed baseline yet — first data point_")
             continue
         fresh, committed = load(fresh_path), load(committed_path)
+        synthesize_speedups(fresh)
+        synthesize_speedups(committed)
+        single_cpu_banner(fresh)
         print("| bench / case | metric | committed | this run | Δ |")
         print("|---|---|---:|---:|---:|")
         for key in sorted(set(fresh) | set(committed)):
