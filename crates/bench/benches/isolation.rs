@@ -1,0 +1,247 @@
+//! Bench target for the **price and payoff of isolation**: what
+//! capability enforcement costs the serving plane, and what it detects
+//! when compartments are actively attacked.
+//!
+//! Recorded into `BENCH_isolation.json`:
+//!
+//! * `overhead_pct` — the throughput delta between checks-off and
+//!   full-isolation runs of the same workload. For the httpd star the
+//!   full-isolation run charges every `ff_*` call the calibrated
+//!   cross-cVM cost (`xcall_ns` + two boundary capability checks), so
+//!   the delta is **deterministic in virtual time**. For the mavsim
+//!   telemetry parser it is the host-time delta between the flat-memory
+//!   parser and the CHERI-compartment parser over the same frame corpus.
+//! * `violations_per_sec` — detected violations per virtual second when
+//!   a full three-family chaos campaign (wire fuzzing, capability
+//!   probes, bit flips) rides the serving plane: walker faults + flip
+//!   kills/absorptions + the hub's counted malformed-frame drops.
+//!
+//! The campaign case is **also** a determinism gate: the chaos star must
+//! reproduce its `workers = 1` trace and campaign digests at
+//! `workers = 2` — the adversarial suite extends the sharding contract.
+
+use capnet::scenario::ScenarioSpec;
+use capnet::SimOutcome;
+use capnet_bench::BenchReport;
+use capnet_chaos::{BitFlipConfig, ChaosConfig, WalkerConfig, WireChaosConfig};
+use capnet_httpd::{FleetConfig, FleetReport, HttpServerConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mavsim::frame::MavFrame;
+use mavsim::msg::{Heartbeat, MavMode, Message};
+use mavsim::parser::{CheriParser, GroundStation, VulnerableParser};
+use simkern::{CostModel, SimDuration};
+
+const SEED: u64 = 0x150;
+const RUN: SimDuration = SimDuration::from_millis(80);
+const LEAVES: usize = 4;
+
+/// The calibrated full-isolation charge per `ff_*` call: the paper's
+/// deepest split (Scenario 4 — app, F-Stack, DPDK and the NIC-register
+/// proxy each in their own cVM) pays three cross-cVM crossings plus the
+/// service-mutex fast path on every call.
+fn full_isolation_ns() -> u64 {
+    let m = CostModel::morello();
+    3 * m.xcall_ns + m.mutex_fast_ns
+}
+
+fn fleet() -> FleetConfig {
+    FleetConfig {
+        rate_per_sec: 2_000,
+        keep_alive_per_mille: 700,
+        requests_per_conn: 4,
+        ..FleetConfig::default()
+    }
+}
+
+fn httpd_case(isolation_ns: u64) -> (SimOutcome, std::time::Duration) {
+    let t0 = std::time::Instant::now();
+    let out = ScenarioSpec::star(LEAVES)
+        .duration(RUN)
+        .seed(SEED)
+        .isolation_cost(isolation_ns)
+        .http(HttpServerConfig::default(), fleet())
+        .run()
+        .expect("httpd star runs");
+    (out, t0.elapsed())
+}
+
+fn chaos_case(workers: usize) -> (SimOutcome, std::time::Duration) {
+    let t0 = std::time::Instant::now();
+    let out = ScenarioSpec::star(LEAVES)
+        .duration(RUN)
+        .seed(SEED)
+        .workers(workers)
+        .adaptive_workers(false)
+        .http(HttpServerConfig::default(), fleet())
+        .chaos(ChaosConfig {
+            rounds: 400,
+            wire: Some(WireChaosConfig::default()),
+            walker: Some(WalkerConfig::default()),
+            bitflip: Some(BitFlipConfig::default()),
+            ..ChaosConfig::default()
+        })
+        .run()
+        .expect("chaos star runs");
+    (out, t0.elapsed())
+}
+
+fn rps(out: &SimOutcome) -> f64 {
+    FleetReport::aggregate("agg", &out.http_fleets)
+        .requests_per_sec(SimDuration::from_nanos(out.horizon.as_nanos()))
+}
+
+fn bench_isolation(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let mut report = BenchReport::new("isolation");
+    let mut group = c.benchmark_group("isolation");
+    group.sample_size(10);
+
+    // ---- httpd: checks-off vs full isolation, deterministic delta ----
+    // The checks-off side charges 1 ns (not 0): a zero charge also
+    // flips the hosts into the gated ideal-loop regime, and the delta
+    // would then mix loop-policy effects into the capability-check cost.
+    // At 1 ns both runs drive the identical ungated loop and the delta
+    // is purely the per-call charge.
+    let (base, base_wall) = httpd_case(1);
+    let (full, full_wall) = httpd_case(full_isolation_ns());
+    let (base_rps, full_rps) = (rps(&base), rps(&full));
+    assert!(base_rps > 0.0, "the baseline fleet completed requests");
+    // The fleet is open-loop — completed requests track arrivals, so
+    // throughput cannot see a per-call charge. Request latency can:
+    // every `ff_*` call on the request path pays it, deterministically.
+    let base_agg = FleetReport::aggregate("base", &base.http_fleets);
+    let full_agg = FleetReport::aggregate("full", &full.http_fleets);
+    let overhead_pct = 100.0 * (full_agg.p50_us() - base_agg.p50_us()) / base_agg.p50_us();
+    eprintln!(
+        "[isolation] httpd: p50 {:.1}us bare, {:.1}us at {}ns/ff_call \
+         -> {overhead_pct:.2}% overhead ({base_rps:.0} req/s)",
+        base_agg.p50_us(),
+        full_agg.p50_us(),
+        full_isolation_ns()
+    );
+    report.record_timed(
+        "star4",
+        "httpd/checks_off",
+        base_wall,
+        base.events,
+        base.horizon.as_nanos() as f64 / 1e9,
+        &[
+            ("requests_per_sec", base_rps),
+            ("p50_us", base_agg.p50_us()),
+            ("p99_us", base_agg.p99_us()),
+        ],
+    );
+    report.record_timed(
+        "star4",
+        "httpd/full_isolation",
+        full_wall,
+        full.events,
+        full.horizon.as_nanos() as f64 / 1e9,
+        &[
+            ("requests_per_sec", full_rps),
+            ("p50_us", full_agg.p50_us()),
+            ("p99_us", full_agg.p99_us()),
+            ("overhead_pct", overhead_pct),
+        ],
+    );
+
+    // ---- mavsim: flat-memory vs CHERI-compartment parser, host time ----
+    let frames: Vec<Vec<u8>> = (0..if smoke { 2_000u32 } else { 50_000 })
+        .map(|i| {
+            MavFrame::encode(
+                i as u8,
+                1,
+                1,
+                &Message::Heartbeat(Heartbeat {
+                    mode: MavMode::Auto,
+                    battery_pct: (i % 101) as u8,
+                    armed: true,
+                }),
+            )
+        })
+        .collect();
+    fn time_parser(frames: &[Vec<u8>], mut run: impl FnMut(&[u8])) -> std::time::Duration {
+        let t0 = std::time::Instant::now();
+        for wire in frames {
+            run(wire);
+        }
+        t0.elapsed()
+    }
+    let mut flat = VulnerableParser::new();
+    let flat_wall = time_parser(&frames, |w| {
+        black_box(flat.handle(w));
+    });
+    let mut hardened = CheriParser::new();
+    let cheri_wall = time_parser(&frames, |w| {
+        black_box(hardened.handle(w));
+    });
+    let mav_overhead_pct = if flat_wall.as_nanos() > 0 {
+        100.0 * (cheri_wall.as_secs_f64() - flat_wall.as_secs_f64()) / flat_wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[isolation] mavsim: {} frames, flat {:?} vs cheri {:?} -> {mav_overhead_pct:.1}% overhead",
+        frames.len(),
+        flat_wall,
+        cheri_wall,
+    );
+    report.record(
+        "mavsim",
+        "parser/full_isolation",
+        &[
+            ("frames", frames.len() as f64),
+            ("overhead_pct", mav_overhead_pct),
+        ],
+    );
+
+    // ---- chaos campaign: detection rate + determinism gate ----
+    let (chaos, chaos_wall) = chaos_case(1);
+    let campaign = &chaos.chaos[0];
+    assert_eq!(campaign.mismatches(), 0, "every probe faulted as predicted");
+    assert_eq!(campaign.corruptions(), 0, "no probe corrupted the victim");
+    let hub_parse_drops = chaos
+        .stack_stats
+        .iter()
+        .find(|(name, _)| name == "hub")
+        .map_or(0, |(_, s)| s.parse_drops());
+    let horizon_sec = chaos.horizon.as_nanos() as f64 / 1e9;
+    let violations_per_sec =
+        (campaign.violations_detected() + hub_parse_drops) as f64 / horizon_sec;
+    eprintln!(
+        "[isolation] chaos: {} violations + {hub_parse_drops} wire drops over \
+         {horizon_sec:.3}s -> {violations_per_sec:.0} violations/s",
+        campaign.violations_detected(),
+    );
+    report.record_timed(
+        "star4",
+        "chaos/campaign",
+        chaos_wall,
+        chaos.events,
+        horizon_sec,
+        &[
+            ("violations_per_sec", violations_per_sec),
+            ("campaign_rounds", campaign.rounds as f64),
+            ("wire_parse_drops", hub_parse_drops as f64),
+        ],
+    );
+    let (sharded, _) = chaos_case(2);
+    assert_eq!(
+        chaos.trace, sharded.trace,
+        "the chaos star must be byte-identical at workers=2"
+    );
+    assert_eq!(
+        chaos.chaos, sharded.chaos,
+        "campaign digests must be byte-identical at workers=2"
+    );
+
+    group.bench_function("httpd_full_isolation_star4", |b| {
+        b.iter(|| httpd_case(full_isolation_ns()))
+    });
+    group.finish();
+    let path = report.write().expect("BENCH_isolation.json written");
+    eprintln!("[isolation] perf trajectory: {}", path.display());
+}
+
+criterion_group!(benches, bench_isolation);
+criterion_main!(benches);

@@ -60,7 +60,7 @@ pub mod regfile;
 
 pub use capability::Capability;
 pub use fault::{CapFault, FaultKind};
-pub use memory::{TaggedMemory, CAP_GRANULE};
+pub use memory::{FlipEffect, TaggedMemory, CAP_GRANULE};
 pub use otype::OType;
 pub use perms::Perms;
 pub use regfile::{CompartmentCtx, RegFile};

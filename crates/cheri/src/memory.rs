@@ -299,6 +299,69 @@ impl TaggedMemory {
             .unwrap_or(false)
     }
 
+    /// Injects a single-event upset into a **data** bit: bit `bit` of the
+    /// byte at `addr` is inverted, bypassing every capability check (the
+    /// model of a DRAM fault, not of a store instruction).
+    ///
+    /// The granule's tag obeys the anti-forgery rule all the same: tagged
+    /// DRAM treats any mutation of a granule's bytes as invalidating the
+    /// capability it encodes, so a flip that lands in a tagged granule
+    /// clears the tag — the corruption is *detectable* (the next
+    /// [`TaggedMemory::load_cap`] yields a dead capability instead of a
+    /// subtly wrong one). A flip in an untagged granule is silent data
+    /// corruption, left for higher-level integrity checks to find.
+    ///
+    /// Returns [`FlipEffect::CapabilityKilled`] when a live capability was
+    /// struck, [`FlipEffect::SilentData`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the memory or `bit > 7` — the injector
+    /// is a test harness, not a guest; aiming it wrong is a harness bug.
+    pub fn flip_data_bit(&mut self, addr: u64, bit: u8) -> FlipEffect {
+        assert!(addr < self.size(), "flip address {addr:#x} out of memory");
+        assert!(bit < 8, "bit index {bit} out of range");
+        self.bytes[addr as usize] ^= 1 << bit;
+        let granule = addr / CAP_GRANULE;
+        let g = granule as usize;
+        if self.tags[g] {
+            self.tags[g] = false;
+            self.caps.remove(&(granule * CAP_GRANULE));
+            FlipEffect::CapabilityKilled
+        } else {
+            FlipEffect::SilentData
+        }
+    }
+
+    /// Injects a single-event upset into the **tag** bit of the granule
+    /// containing `addr`.
+    ///
+    /// A set tag flips to clear: the stored capability dies (a detectable,
+    /// fail-stop outcome — exactly what the tag bit is for). A clear tag
+    /// cannot flip to set: tags live in dedicated storage writable only by
+    /// capability stores, so the upset is absorbed and no authority is
+    /// minted. This asymmetry is the architectural guarantee the bit-flip
+    /// campaign measures: tag strikes never *create* capabilities.
+    ///
+    /// Returns [`FlipEffect::CapabilityKilled`] when a live capability was
+    /// destroyed, [`FlipEffect::Absorbed`] when the granule was untagged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the memory.
+    pub fn flip_tag_bit(&mut self, addr: u64) -> FlipEffect {
+        assert!(addr < self.size(), "flip address {addr:#x} out of memory");
+        let granule = addr / CAP_GRANULE;
+        let g = granule as usize;
+        if self.tags[g] {
+            self.tags[g] = false;
+            self.caps.remove(&(granule * CAP_GRANULE));
+            FlipEffect::CapabilityKilled
+        } else {
+            FlipEffect::Absorbed
+        }
+    }
+
     fn clear_tags(&mut self, addr: u64, len: u64) {
         // `caps` holds exactly the granules whose tag is set, so an arena
         // that never stored a capability (every packet/app buffer arena)
@@ -409,6 +472,32 @@ impl TaggedMemory {
     /// Any capability check failure ([`CapFault`]).
     pub fn write_u64(&mut self, cap: &Capability, addr: u64, v: u64) -> Result<(), CapFault> {
         self.write(cap, addr, &v.to_le_bytes())
+    }
+}
+
+/// What a [`TaggedMemory::flip_data_bit`] / [`TaggedMemory::flip_tag_bit`]
+/// strike did — the deterministic fault-or-detect accounting unit of the
+/// bit-flip injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlipEffect {
+    /// The strike landed in a tagged granule: the capability's tag was
+    /// cleared, so the corruption is detectable (the next load yields a
+    /// dead capability that faults on use).
+    CapabilityKilled,
+    /// The strike mutated plain data in an untagged granule — silent at
+    /// the architecture level; only payload checksums can catch it.
+    SilentData,
+    /// A tag-bit strike on an untagged granule: absorbed, because tag
+    /// storage can never flip *to* valid — no authority is minted.
+    Absorbed,
+}
+
+impl FlipEffect {
+    /// `true` when the architecture turned the strike into a detectable
+    /// event ([`FlipEffect::CapabilityKilled`]) or neutralized it outright
+    /// ([`FlipEffect::Absorbed`]); `false` for silent data corruption.
+    pub fn is_contained(self) -> bool {
+        !matches!(self, FlipEffect::SilentData)
     }
 }
 
@@ -594,5 +683,63 @@ mod tests {
     #[should_panic(expected = "granule")]
     fn size_must_be_granule_aligned() {
         let _ = TaggedMemory::new(100);
+    }
+
+    #[test]
+    fn data_flip_in_untagged_granule_is_silent() {
+        let mut m = mem();
+        let root = m.root_cap();
+        m.write(&root, 100, &[0b0000_0000]).unwrap();
+        assert_eq!(m.flip_data_bit(100, 3), FlipEffect::SilentData);
+        assert_eq!(m.read_u8(&root, 100).unwrap(), 0b0000_1000);
+        assert!(!FlipEffect::SilentData.is_contained());
+        // Flipping back restores the byte (it is a real bit inversion).
+        assert_eq!(m.flip_data_bit(100, 3), FlipEffect::SilentData);
+        assert_eq!(m.read_u8(&root, 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn data_flip_in_tagged_granule_kills_the_capability() {
+        let mut m = mem();
+        let root = m.root_cap();
+        let value = root.try_restrict(256, 64).unwrap();
+        m.store_cap(&root, 512, value).unwrap();
+        let effect = m.flip_data_bit(519, 0);
+        assert_eq!(effect, FlipEffect::CapabilityKilled);
+        assert!(effect.is_contained());
+        assert!(!m.tag_at(512));
+        assert!(!m.load_cap(&root, 512).unwrap().tag(), "cap is dead");
+    }
+
+    #[test]
+    fn tag_flip_kills_but_never_mints() {
+        let mut m = mem();
+        let root = m.root_cap();
+        let value = root.try_restrict(256, 64).unwrap();
+        m.store_cap(&root, 512, value).unwrap();
+        // Strike the tagged granule (any address inside it aims the same
+        // tag bit): the capability dies.
+        assert_eq!(m.flip_tag_bit(520), FlipEffect::CapabilityKilled);
+        assert!(!m.tag_at(512));
+        // Strike it again: nothing to kill, and crucially nothing minted.
+        assert_eq!(m.flip_tag_bit(512), FlipEffect::Absorbed);
+        assert!(FlipEffect::Absorbed.is_contained());
+        assert!(!m.tag_at(512));
+        assert!(!m.load_cap(&root, 512).unwrap().tag());
+    }
+
+    #[test]
+    fn flips_do_not_count_as_faults() {
+        let mut m = mem();
+        let _ = m.flip_data_bit(0, 0);
+        let _ = m.flip_tag_bit(0);
+        assert_eq!(m.fault_count(), 0, "injection is not an access");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn flip_outside_memory_panics() {
+        let mut m = mem();
+        let _ = m.flip_data_bit(4096, 0);
     }
 }

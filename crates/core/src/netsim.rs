@@ -11,6 +11,7 @@
 use crate::parallel::{LookaheadMatrix, Profitability};
 use crate::topology::{partition_shards, ShardGraph, ShardPlan};
 use crate::CapnetError;
+use capnet_chaos::{ChaosApp, ChaosConfig, ChaosReport};
 use capnet_httpd::{
     FleetApp, FleetConfig, FleetReport, HttpServerApp, HttpServerConfig, HttpServerReport,
     StepOutcome as HttpStepOutcome,
@@ -328,6 +329,9 @@ struct Node {
     /// them to a scenario never perturbs an existing iperf-only digest).
     https: Vec<Option<HttpServerApp>>,
     fleets: Vec<Option<FleetApp>>,
+    /// Fault-injection campaigns (stepped after every serving app, so a
+    /// chaos-free scenario's digest is untouched by this slot existing).
+    chaos: Vec<Option<ChaosApp>>,
     profile: IsolationProfile,
     turns: u64,
     /// `true` when app steps are gated on the stack's dirty-fd set (ideal
@@ -864,6 +868,7 @@ impl NetSim {
             clients: Vec::new(),
             https: Vec::new(),
             fleets: Vec::new(),
+            chaos: Vec::new(),
             profile,
             turns: 0,
             gated: false,
@@ -877,6 +882,17 @@ impl NetSim {
             anchor: SimTime::ZERO,
         });
         Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Replaces `node`'s isolation profile. Profiles are only read when
+    /// the run starts (loop gating, per-call charges), so any point
+    /// between [`Self::add_node`] and [`Self::run`] works — scenario
+    /// builders use this to re-cost prebuilt topologies.
+    pub fn set_node_profile(&mut self, node: NodeId, profile: IsolationProfile) {
+        if profile.s2_service && self.s2_mutex.is_none() {
+            self.s2_mutex = Some(ServiceMutex::new(&self.costs));
+        }
+        self.nodes[node.0].profile = profile;
     }
 
     /// Applies a [`NodeConfig`] to `node`'s stack: each `Some` field is
@@ -1004,6 +1020,30 @@ impl NetSim {
         Ok(())
     }
 
+    /// Installs a fault-injection campaign on `node`. The campaign's RNG
+    /// streams derive from the scenario seed, the node index and the
+    /// campaign slot (same scheme as [`Self::add_http_fleet`]), so a run
+    /// is a pure function of [`Self::set_seed`]. Wire chaos transmits
+    /// through the node's own stack; the capability walker and bit-flip
+    /// injector own private arenas and never touch workload memory.
+    pub fn add_chaos(
+        &mut self,
+        node: NodeId,
+        label: impl Into<String>,
+        cfg: ChaosConfig,
+    ) -> Result<(), CapnetError> {
+        let slot = self.nodes[node.0].chaos.len();
+        let seed = self.seed
+            ^ (node.0 as u64 + 1).wrapping_mul(0x0000_0100_0000_01B3)
+            ^ (slot as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ 0x4348_414F; // "CHAO": keep chaos streams off the fleet/port streams
+        let n = &mut self.nodes[node.0];
+        let (mac, ip) = (n.stack.config().mac, n.stack.config().ip);
+        let app = ChaosApp::new(label, cfg, seed, mac, ip);
+        n.chaos.push(Some(app));
+        Ok(())
+    }
+
     /// Starts every device.
     fn start_devices(&mut self) -> Result<(), CapnetError> {
         for dev in &mut self.devs {
@@ -1068,8 +1108,11 @@ impl NetSim {
             // and map each app's fds so stack changes route to their app.
             let node = &mut self.nodes[i];
             node.gated = node.profile.per_ff_call_ns == 0 && !node.profile.s2_service;
-            let slots =
-                node.servers.len() + node.clients.len() + node.https.len() + node.fleets.len();
+            let slots = node.servers.len()
+                + node.clients.len()
+                + node.https.len()
+                + node.fleets.len()
+                + node.chaos.len();
             node.runnable = vec![true; slots];
             for (si, s) in node.servers.iter().enumerate() {
                 if let Some(app) = s {
@@ -1161,6 +1204,7 @@ impl NetSim {
         let mut clients = Vec::new();
         let mut http_servers = Vec::new();
         let mut http_fleets = Vec::new();
+        let mut chaos = Vec::new();
         let mut mutex_stats = None;
         for node in &mut self.nodes {
             for s in node.servers.iter_mut() {
@@ -1183,6 +1227,11 @@ impl NetSim {
                     http_fleets.push(app.report(end));
                 }
             }
+            for c in node.chaos.iter_mut() {
+                if let Some(app) = c.take() {
+                    chaos.push(app.report());
+                }
+            }
         }
         if let Some(m) = &self.s2_mutex {
             mutex_stats = Some((m.acquisitions(), m.contentions(), m.total_wait()));
@@ -1199,6 +1248,7 @@ impl NetSim {
             clients,
             http_servers,
             http_fleets,
+            chaos,
             ended_at: end,
             horizon: stop,
             events,
@@ -1224,7 +1274,11 @@ impl NetSim {
                 .nodes
                 .iter()
                 .map(|n| {
-                    1 + (n.servers.len() + n.clients.len() + n.https.len() + n.fleets.len()) as u64
+                    1 + (n.servers.len()
+                        + n.clients.len()
+                        + n.https.len()
+                        + n.fleets.len()
+                        + n.chaos.len()) as u64
                 })
                 .collect(),
             ..ShardGraph::default()
@@ -1368,6 +1422,7 @@ impl NetSim {
             clients: Vec::new(),
             https: Vec::new(),
             fleets: Vec::new(),
+            chaos: Vec::new(),
             profile: IsolationProfile::default(),
             turns: 0,
             gated: false,
@@ -1863,6 +1918,7 @@ impl NetSim {
         let mut clients = Vec::new();
         let mut http_servers = Vec::new();
         let mut http_fleets = Vec::new();
+        let mut chaos = Vec::new();
         let mut port_stats = Vec::new();
         let mut stack_stats = Vec::new();
         for i in 0..plan.node_shard.len() {
@@ -1889,6 +1945,11 @@ impl NetSim {
                         http_fleets.push(app.report(end));
                     }
                 }
+                for c in node.chaos.iter_mut() {
+                    if let Some(app) = c.take() {
+                        chaos.push(app.report());
+                    }
+                }
             }
             let (name, dev, port) = {
                 let n = &sim.nodes[i];
@@ -1911,6 +1972,7 @@ impl NetSim {
             clients,
             http_servers,
             http_fleets,
+            chaos,
             ended_at: end,
             horizon: stop,
             events,
@@ -2103,6 +2165,7 @@ impl NetSim {
             clients,
             https,
             fleets,
+            chaos,
             gated,
             app_of_fd,
             runnable,
@@ -2175,7 +2238,9 @@ impl NetSim {
         for (hi, h) in https.iter_mut().enumerate() {
             let Some(app) = h else { continue };
             let slot = base_http + hi;
-            if gated && !runnable[slot] {
+            // `due` lets the idle reaper fire on a gated host with no
+            // stack events pending (false whenever the knob is off).
+            if gated && !runnable[slot] && !app.due(now) {
                 continue;
             }
             runnable[slot] = false;
@@ -2219,6 +2284,22 @@ impl NetSim {
                     }
                 }
             }
+        }
+        // Fault-injection campaigns step last: their wire volleys go out
+        // through the node's normal TX path, and appending the slot keeps
+        // chaos-free scenarios' step order (and digests) untouched. The
+        // step is infallible — injected frames cannot raise an Errno.
+        let base_chaos = base_fleet + fleets.len();
+        for (xi, x) in chaos.iter_mut().enumerate() {
+            let Some(app) = x else { continue };
+            let slot = base_chaos + xi;
+            if gated && !runnable[slot] && !app.due(now) {
+                continue;
+            }
+            runnable[slot] = false;
+            let o = app.step(stack, now);
+            ff_calls += u64::from(o.ff_calls);
+            progressed |= o.progressed;
         }
 
         // (iii) stack timers + TX ring.
@@ -2307,10 +2388,22 @@ impl NetSim {
                     deadline = Some(deadline.map_or(d, |m| m.min(d)));
                 }
             }
-            // Fleet clocks (pending arrival, think timers) must wake a
-            // parked leaf; the HTTP server is purely input-driven.
+            // Fleet clocks (pending arrival, think timers), the HTTP
+            // server's idle-connection reaper and chaos round clocks must
+            // all wake a parked node; everything else the server does is
+            // input-driven.
             for f in node.fleets.iter().flatten() {
                 if let Some(d) = f.next_deadline(now) {
+                    deadline = Some(deadline.map_or(d, |m| m.min(d)));
+                }
+            }
+            for h in node.https.iter().flatten() {
+                if let Some(d) = h.next_deadline(now) {
+                    deadline = Some(deadline.map_or(d, |m| m.min(d)));
+                }
+            }
+            for x in node.chaos.iter().flatten() {
+                if let Some(d) = x.next_deadline(now) {
                     deadline = Some(deadline.map_or(d, |m| m.min(d)));
                 }
             }
@@ -2554,6 +2647,8 @@ pub struct SimOutcome {
     pub http_servers: Vec<HttpServerReport>,
     /// HTTP open-loop fleet reports, in installation order.
     pub http_fleets: Vec<FleetReport>,
+    /// Fault-injection campaign reports, in installation order.
+    pub chaos: Vec<ChaosReport>,
     /// The virtual instant the last event executed. With the
     /// quiescence-aware engine this can be well before [`SimOutcome::horizon`]:
     /// once every node is parked with nothing pending, the remaining virtual

@@ -18,6 +18,7 @@
 
 use crate::netsim::{AppSched, IsolationProfile, NetSim, NodeConfig, SimOutcome};
 use crate::CapnetError;
+use capnet_chaos::ChaosConfig;
 use capnet_httpd::{FleetConfig, HttpServerConfig, HTTPD_PORT};
 use fstack::CcAlgo;
 use simkern::cost::CostModel;
@@ -220,6 +221,8 @@ pub struct ScenarioSpec {
     sack: Option<bool>,
     pair_cc: Vec<CcAlgo>,
     sched: AppSched,
+    chaos: Option<ChaosConfig>,
+    isolation_ns: u64,
 }
 
 impl ScenarioSpec {
@@ -237,6 +240,8 @@ impl ScenarioSpec {
             sack: None,
             pair_cc: Vec::new(),
             sched: AppSched::RoundRobin,
+            chaos: None,
+            isolation_ns: 0,
         }
     }
 
@@ -353,6 +358,29 @@ impl ScenarioSpec {
         self
     }
 
+    /// Star/dumbbell only: installs a fault-injection campaign beside the
+    /// workload — on the first leaf (star) or the first client (dumbbell).
+    /// Its wire adversary, if enabled, is retargeted at the workload's
+    /// server address; the capability walker and bit-flip injector run in
+    /// their own arenas. The campaign RNG derives from
+    /// [`ScenarioSpec::seed`], so runs stay byte-identical at any
+    /// [`ScenarioSpec::workers`] count.
+    #[must_use]
+    pub fn chaos(mut self, cfg: ChaosConfig) -> Self {
+        self.chaos = Some(cfg);
+        self
+    }
+
+    /// Star/dumbbell only: charges every host `ns` nanoseconds per
+    /// application `ff_*` call — the cross-compartment trampoline cost of
+    /// full isolation (default 0: intra-domain calls). The isolation
+    /// bench sweeps this knob to price capability enforcement under load.
+    #[must_use]
+    pub fn isolation_cost(mut self, ns: u64) -> Self {
+        self.isolation_ns = ns;
+        self
+    }
+
     /// Builds the topology and runs it to completion.
     ///
     /// # Errors
@@ -383,6 +411,17 @@ impl ScenarioSpec {
             open_for: self.duration,
             ..fleet.clone()
         }
+    }
+
+    /// The chaos campaign retargeted at `ip`: the wire adversary (when
+    /// enabled) fuzzes the workload's server address; the other injector
+    /// families carry no network target.
+    fn chaos_for(&self, cfg: &ChaosConfig, ip: Ipv4Addr) -> ChaosConfig {
+        let mut cfg = cfg.clone();
+        if let Some(wire) = &mut cfg.wire {
+            wire.target_ip = ip;
+        }
+        cfg
     }
 
     /// The paper testbed (§III): construction order mirrors the original
@@ -538,6 +577,20 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(chaos) = &self.chaos {
+            let cfg = self.chaos_for(chaos, star.hub_ip);
+            sim.add_chaos(star.leaves[0], "star-chaos", cfg)?;
+        }
+        if self.isolation_ns > 0 {
+            let profile = IsolationProfile {
+                per_ff_call_ns: self.isolation_ns,
+                s2_service: false,
+            };
+            sim.set_node_profile(star.hub, profile);
+            for &leaf in &star.leaves {
+                sim.set_node_profile(leaf, profile);
+            }
+        }
         // Room for ARP + handshakes before and FIN drains after the timed
         // part.
         sim.run(self.duration + SimDuration::from_millis(30))
@@ -586,6 +639,20 @@ impl ScenarioSpec {
                     let cfg = self.fleet_for(fleet, bell.server_ips[i]);
                     sim.add_http_fleet(bell.clients[i], format!("cli-fleet{i}"), cfg)?;
                 }
+            }
+        }
+        if let Some(chaos) = &self.chaos {
+            let cfg = self.chaos_for(chaos, bell.server_ips[0]);
+            sim.add_chaos(bell.clients[0], "bell-chaos", cfg)?;
+        }
+        if self.isolation_ns > 0 {
+            let profile = IsolationProfile {
+                per_ff_call_ns: self.isolation_ns,
+                s2_service: false,
+            };
+            for i in 0..pairs {
+                sim.set_node_profile(bell.servers[i], profile);
+                sim.set_node_profile(bell.clients[i], profile);
             }
         }
         sim.run(self.duration + SimDuration::from_millis(30))

@@ -103,6 +103,33 @@ pub struct StackStats {
     /// no RST — the client's retransmission machinery retries, and if the
     /// server drains its queue in time the connection still completes.
     pub listen_drops: u64,
+    /// Ethernet headers that failed to parse (truncated frame).
+    pub parse_drop_eth: u64,
+    /// ARP packets that failed to parse.
+    pub parse_drop_arp: u64,
+    /// IPv4 headers that failed to parse (bad version/IHL, length lies,
+    /// header checksum mismatch).
+    pub parse_drop_ip: u64,
+    /// TCP segments that failed to parse (truncated header, bad offset,
+    /// checksum mismatch).
+    pub parse_drop_tcp: u64,
+    /// UDP datagrams that failed to parse (length lies, checksum mismatch).
+    pub parse_drop_udp: u64,
+}
+
+impl StackStats {
+    /// Total frames rejected by a header parser — the reject-and-count
+    /// contract of the input-path hardening: malformed input bumps a
+    /// per-layer counter (and [`StackStats::drops`]) and vanishes; no
+    /// parser panics. Drops for *well-formed* frames that simply are not
+    /// ours (wrong MAC/IP, unknown EtherType/protocol) are excluded.
+    pub fn parse_drops(&self) -> u64 {
+        self.parse_drop_eth
+            + self.parse_drop_arp
+            + self.parse_drop_ip
+            + self.parse_drop_tcp
+            + self.parse_drop_udp
+    }
 }
 
 /// One F-Stack instance bound to one interface.
@@ -812,6 +839,27 @@ impl FStack {
         self.input_buf(now, &FrameBuf::copy_from(frame));
     }
 
+    /// Queues a raw, caller-crafted Ethernet frame for transmission,
+    /// bypassing every protocol layer: the bytes go out exactly as given
+    /// (padded to the Ethernet minimum), through the same
+    /// [`FStack::poll_tx`] → port → switch path every legitimate frame
+    /// takes. This is the wire-level adversary's injection point — a
+    /// compromised application compartment can make its NIC say anything,
+    /// and the *receiving* stacks must reject-and-count it.
+    ///
+    /// Returns `false` (and queues nothing) when `bytes` exceeds the
+    /// maximum frame size; oversized fuzz input is data, not a panic.
+    pub fn inject_raw_tx(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() > updk::wire::MAX_FRAME {
+            return false;
+        }
+        let mut fb = FrameBufMut::with_headroom(0);
+        fb.append(bytes);
+        fb.pad_to(MIN_FRAME);
+        self.pending_tx.push_back(fb.freeze());
+        true
+    }
+
     /// Feeds one received Ethernet frame into the stack, parsing by
     /// **slicing the shared buffer**: TCP/UDP payloads delivered to
     /// sockets (and parked by out-of-order reassembly) alias `frame`'s
@@ -820,6 +868,7 @@ impl FStack {
         self.stats.frames_in += 1;
         let Some((eth, _)) = EthHdr::parse(frame.as_slice()) else {
             self.stats.drops += 1;
+            self.stats.parse_drop_eth += 1;
             return;
         };
         if eth.dst != self.cfg.mac && !eth.dst.is_broadcast() {
@@ -836,6 +885,7 @@ impl FStack {
     fn input_arp(&mut self, payload: &[u8]) {
         let Some(pkt) = ArpPacket::parse(payload) else {
             self.stats.drops += 1;
+            self.stats.parse_drop_arp += 1;
             return;
         };
         self.arp.learn(pkt.spa, pkt.sha);
@@ -851,6 +901,7 @@ impl FStack {
         let payload = l3.as_slice();
         let Some((ip, l4_range)) = Ipv4Hdr::parse_range(payload) else {
             self.stats.drops += 1;
+            self.stats.parse_drop_ip += 1;
             return;
         };
         if ip.dst != self.cfg.ip {
@@ -889,6 +940,7 @@ impl FStack {
                 let l4 = l3.slice(l4_range.start, l4_range.len());
                 let Some(seg) = TcpSegment::parse_buf(ip.src, ip.dst, &l4) else {
                     self.stats.drops += 1;
+                    self.stats.parse_drop_tcp += 1;
                     return;
                 };
                 self.stats.tcp_in += 1;
@@ -898,6 +950,7 @@ impl FStack {
                 let l4 = l3.slice(l4_range.start, l4_range.len());
                 let Some(d) = UdpDatagram::parse_buf(ip.src, ip.dst, &l4) else {
                     self.stats.drops += 1;
+                    self.stats.parse_drop_udp += 1;
                     return;
                 };
                 self.stats.udp_in += 1;

@@ -52,6 +52,16 @@ pub struct FleetConfig {
     pub max_open: usize,
     /// Request paths, chosen uniformly per request.
     pub paths: Vec<String>,
+    /// Probability (‰) that an arrival is a **slow-loris attacker**:
+    /// a connection that drip-feeds its request header a few bytes at a
+    /// time, withholds the final `CRLF CRLF`, and holds the socket open
+    /// until the server sheds it. 0 disables the adversarial mode and
+    /// leaves the RNG stream untouched (digest-compatible).
+    pub loris_per_mille: u64,
+    /// Bytes sent per drip on a loris connection.
+    pub loris_drip_bytes: usize,
+    /// Gap between drips on a loris connection.
+    pub loris_drip_interval: SimDuration,
 }
 
 impl Default for FleetConfig {
@@ -65,6 +75,9 @@ impl Default for FleetConfig {
             requests_per_conn: 8,
             max_open: 128,
             paths: vec!["/".to_string()],
+            loris_per_mille: 0,
+            loris_drip_bytes: 1,
+            loris_drip_interval: SimDuration::from_millis(5),
         }
     }
 }
@@ -103,6 +116,9 @@ enum CState {
     Awaiting,
     /// Response done; idle until the think deadline.
     Thinking,
+    /// Slow-loris attacker: drip-feeding the header, terminator withheld,
+    /// holding the socket open until shed (or the open window closes).
+    Dripping,
 }
 
 /// One in-flight user connection.
@@ -110,6 +126,8 @@ enum CState {
 struct FleetConn {
     fd: Fd,
     state: CState,
+    /// Slow-loris attacker connection (drip-feeds, never completes).
+    loris: bool,
     /// Keep-alive (multi-request) vs close-per-request.
     keep_alive: bool,
     /// Requests still to issue on this connection (incl. the current).
@@ -123,6 +141,8 @@ struct FleetConn {
     sent_at: SimTime,
     /// Wake instant while [`CState::Thinking`].
     think_until: SimTime,
+    /// Next drip instant while [`CState::Dripping`].
+    next_drip: SimTime,
 }
 
 /// The fleet summary: error/shed accounting and the latency population.
@@ -150,6 +170,11 @@ pub struct FleetReport {
     /// Arrivals shed before connecting (concurrency cap or socket-table
     /// exhaustion).
     pub shed: u64,
+    /// Slow-loris attacker connections launched.
+    pub loris_conns: u64,
+    /// Loris connections the server detected and shed (EOF/reset while
+    /// dripping) — the defence working.
+    pub loris_shed: u64,
     /// Per-request latency population (request send → response fully
     /// parsed), nanoseconds, sorted ascending.
     pub latencies_ns: Vec<u64>,
@@ -211,6 +236,8 @@ impl FleetReport {
             agg.eof_early += r.eof_early;
             agg.addr_exhausted += r.addr_exhausted;
             agg.shed += r.shed;
+            agg.loris_conns += r.loris_conns;
+            agg.loris_shed += r.loris_shed;
             agg.latencies_ns.extend_from_slice(&r.latencies_ns);
             agg.elapsed = agg.elapsed.max(r.elapsed);
         }
@@ -243,6 +270,8 @@ pub struct FleetApp {
     eof_early: u64,
     addr_exhausted: u64,
     shed: u64,
+    loris_conns: u64,
+    loris_shed: u64,
     latencies_ns: Vec<u64>,
     last_activity: Option<SimTime>,
     /// Reused fd list handed to the driver's dirty-routing cache.
@@ -289,6 +318,8 @@ impl FleetApp {
             eof_early: 0,
             addr_exhausted: 0,
             shed: 0,
+            loris_conns: 0,
+            loris_shed: 0,
             latencies_ns: Vec::new(),
             last_activity: None,
             fds: Vec::new(),
@@ -312,10 +343,10 @@ impl FleetApp {
     /// an arrival is due, or a thinking connection's deadline passed.
     pub fn due(&self, now: SimTime) -> bool {
         (self.next_arrival <= now && self.next_arrival <= self.open_end)
-            || self
-                .conns
-                .iter()
-                .any(|c| c.state == CState::Thinking && c.think_until <= now)
+            || self.conns.iter().any(|c| {
+                (c.state == CState::Thinking && c.think_until <= now)
+                    || (c.state == CState::Dripping && c.next_drip <= now)
+            })
     }
 
     /// The next instant the app acts on its own clock: the pending
@@ -331,6 +362,9 @@ impl FleetApp {
         for c in &self.conns {
             if c.state == CState::Thinking && d.is_none_or(|cur| c.think_until < cur) {
                 d = Some(c.think_until);
+            }
+            if c.state == CState::Dripping && d.is_none_or(|cur| c.next_drip < cur) {
+                d = Some(c.next_drip);
             }
         }
         d
@@ -383,6 +417,11 @@ impl FleetApp {
         now: SimTime,
         out: &mut StepOutcome,
     ) -> Result<(), Errno> {
+        // Loris draw is short-circuited: with the knob at 0 (the default)
+        // no RNG value is consumed and the stream — and every pinned
+        // digest — is byte-identical to the pre-adversarial fleet.
+        let loris =
+            self.cfg.loris_per_mille > 0 && self.rng.chance_per_mille(self.cfg.loris_per_mille);
         let keep_alive = self.rng.chance_per_mille(self.cfg.keep_alive_per_mille);
         let reqs = if keep_alive {
             self.rng
@@ -423,6 +462,7 @@ impl FleetApp {
         self.conns.push(FleetConn {
             fd,
             state: CState::Connecting,
+            loris,
             keep_alive,
             reqs_left: reqs,
             out: Vec::new(),
@@ -430,8 +470,12 @@ impl FleetApp {
             inbuf: Vec::new(),
             sent_at: now,
             think_until: now,
+            next_drip: now,
         });
         self.conns_started += 1;
+        if loris {
+            self.loris_conns += 1;
+        }
         out.progressed = true;
         self.last_activity = Some(now);
         Ok(())
@@ -498,6 +542,14 @@ impl FleetApp {
                     self.compose_request(i, now);
                     out.progressed = true;
                     self.last_activity = Some(now);
+                    if self.conns[i].loris {
+                        // Attacker path: same composed request, but fed a
+                        // few bytes at a time with the terminator held back.
+                        let c = &mut self.conns[i];
+                        c.state = CState::Dripping;
+                        c.next_drip = now;
+                        return self.drip(stack, mem, now, i, out);
+                    }
                     // Fall through to Sending on the next advance call;
                     // push the first bytes immediately.
                     return self.push_request(stack, mem, now, i, out);
@@ -506,6 +558,7 @@ impl FleetApp {
             }
             CState::Sending => self.push_request(stack, mem, now, i, out),
             CState::Awaiting => self.collect_response(stack, mem, now, i, out),
+            CState::Dripping => self.drip(stack, mem, now, i, out),
             CState::Thinking => {
                 if self.conns[i].think_until <= now {
                     self.compose_request(i, now);
@@ -560,6 +613,83 @@ impl FleetApp {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// One slow-loris turn on connection `i`: detect a server-side shed
+    /// (EOF/reset means the idle-header reaper won), otherwise drip the
+    /// next few header bytes — never the final `CRLF CRLF` — and hold.
+    /// The attacker gives up when the open window closes.
+    fn drip(
+        &mut self,
+        stack: &mut FStack,
+        mem: &mut TaggedMemory,
+        now: SimTime,
+        i: usize,
+        out: &mut StepOutcome,
+    ) -> Result<bool, Errno> {
+        let fd = self.conns[i].fd;
+        let buf = self.buf;
+        // Probe for the server-side close first.
+        out.ff_calls += 1;
+        match stack.ff_read(mem, fd, &buf, buf.len()) {
+            Ok(0) => {
+                self.loris_shed += 1;
+                self.finish_conn(stack, i, false, out)?;
+                return Ok(false);
+            }
+            Ok(n) => {
+                // A response to an unterminated header is unexpected;
+                // swallow it and keep holding.
+                out.bytes += n;
+            }
+            Err(Errno::EAGAIN) => {}
+            Err(Errno::ECONNRESET) | Err(Errno::ECONNREFUSED) => {
+                self.loris_shed += 1;
+                self.finish_conn(stack, i, false, out)?;
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        }
+        if now >= self.open_end {
+            // Campaign window over: the attacker walks away.
+            self.finish_conn(stack, i, false, out)?;
+            return Ok(false);
+        }
+        if self.conns[i].next_drip > now {
+            return Ok(true);
+        }
+        let withheld = 4.min(self.conns[i].out.len());
+        let limit = self.conns[i].out.len() - withheld;
+        let pending = limit.saturating_sub(self.conns[i].out_off);
+        let chunk = pending
+            .min(self.cfg.loris_drip_bytes.max(1))
+            .min(buf.len() as usize);
+        if chunk > 0 {
+            let c = &self.conns[i];
+            mem.write(&buf, buf.base(), &c.out[c.out_off..c.out_off + chunk])
+                .map_err(|_| Errno::EFAULT)?;
+            out.ff_calls += 1;
+            match stack.ff_write(mem, fd, &buf, chunk as u64) {
+                Ok(n) => {
+                    self.conns[i].out_off += n as usize;
+                    out.bytes += n;
+                    out.progressed = true;
+                    self.last_activity = Some(now);
+                }
+                Err(Errno::EAGAIN) => {}
+                Err(Errno::ECONNRESET) | Err(Errno::EPIPE) => {
+                    self.loris_shed += 1;
+                    self.finish_conn(stack, i, false, out)?;
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Keep a drip-cadence heartbeat even when out of bytes to send:
+        // the wake polls for the server's shed so `is_done` can converge.
+        let gap = self.cfg.loris_drip_interval.as_nanos().max(1);
+        self.conns[i].next_drip = now + SimDuration::from_nanos(gap);
+        Ok(true)
     }
 
     /// Reads connection `i` until the response completes (or the server
@@ -665,6 +795,8 @@ impl FleetApp {
             eof_early: self.eof_early,
             addr_exhausted: self.addr_exhausted,
             shed: self.shed,
+            loris_conns: self.loris_conns,
+            loris_shed: self.loris_shed,
             latencies_ns: latencies,
             elapsed: end - self.started,
         }

@@ -3,10 +3,12 @@
 //! lifetimes.
 //!
 //! Poll-mode like the iperf apps: the scenario driver calls
-//! [`HttpServerApp::step`] when one of the app's fds changed. All server
+//! [`HttpServerApp::step`] when one of the app's fds changed. Server
 //! progress is input-driven (accepts, request bytes, ACKs opening send
-//! space), so the app needs no timer deadline of its own and a
-//! quiescence-aware driver can park the node between bursts.
+//! space), so with the idle-header reaper disabled the app needs no
+//! timer deadline of its own and a quiescence-aware driver can park the
+//! node between bursts; with it enabled, [`HttpServerApp::next_deadline`]
+//! tells the driver when the reaper next fires.
 //!
 //! Close discipline: the server honours `Connection: close` in its
 //! response framing but leaves the active close to the client (the
@@ -42,6 +44,10 @@ pub struct HttpServerConfig {
     pub bucket_capacity: u32,
     /// Token-bucket sustained refill per client IP, requests/second.
     pub bucket_refill_per_sec: u32,
+    /// Idle-header-read timeout: a connection that has gone this long
+    /// without delivering a byte while the server is still waiting for a
+    /// complete request is shed (slow-loris defence). `ZERO` disables.
+    pub idle_header_timeout: SimDuration,
 }
 
 impl Default for HttpServerConfig {
@@ -52,6 +58,7 @@ impl Default for HttpServerConfig {
             max_requests_per_conn: 0,
             bucket_capacity: 0,
             bucket_refill_per_sec: 0,
+            idle_header_timeout: SimDuration::ZERO,
         }
     }
 }
@@ -94,6 +101,9 @@ struct Conn {
     served: u32,
     /// Close (server-initiated) once `out` fully flushes.
     close_after_flush: bool,
+    /// Last instant a request byte arrived (accept counts); drives the
+    /// idle-header-read reaper.
+    last_byte: SimTime,
 }
 
 /// Aggregate serving counters, surfaced via [`HttpServerApp::report`].
@@ -114,6 +124,9 @@ pub struct HttpServerReport {
     /// Connections the server closed by policy (rate limit / request
     /// budget / protocol error).
     pub server_closed: u64,
+    /// Connections shed by the idle-header-read timeout (slow-loris
+    /// clients holding sockets open with drip-fed partial requests).
+    pub idle_shed: u64,
     /// Request payload bytes read.
     pub bytes_in: u64,
     /// Response payload bytes accepted by `ff_write`.
@@ -140,6 +153,7 @@ pub struct HttpServerApp {
     not_found: u64,
     rate_limited: u64,
     server_closed: u64,
+    idle_shed: u64,
     bytes_in: u64,
     bytes_out: u64,
     started: Option<SimTime>,
@@ -182,6 +196,7 @@ impl HttpServerApp {
             not_found: 0,
             rate_limited: 0,
             server_closed: 0,
+            idle_shed: 0,
             bytes_in: 0,
             bytes_out: 0,
             started: None,
@@ -222,6 +237,7 @@ impl HttpServerApp {
         now: SimTime,
     ) -> Result<StepOutcome, Errno> {
         let mut out = StepOutcome::default();
+        self.reap_idle(stack, now, &mut out)?;
         // Accept everything ready (the burst path: the listener's ready
         // queue pops O(1) per accept).
         loop {
@@ -243,6 +259,7 @@ impl HttpServerApp {
                         out_off: 0,
                         served: 0,
                         close_after_flush: false,
+                        last_byte: now,
                     });
                     self.accepted += 1;
                     out.progressed = true;
@@ -264,6 +281,61 @@ impl HttpServerApp {
         self.events = events;
         serviced?;
         Ok(out)
+    }
+
+    /// Sheds connections that have gone [`HttpServerConfig::idle_header_timeout`]
+    /// without delivering a byte while the server still owes them nothing
+    /// — the slow-loris population drip-feeding partial request headers to
+    /// pin sockets open. No-op when the timeout is disabled.
+    fn reap_idle(
+        &mut self,
+        stack: &mut FStack,
+        now: SimTime,
+        out: &mut StepOutcome,
+    ) -> Result<(), Errno> {
+        let timeout = self.cfg.idle_header_timeout;
+        if timeout == SimDuration::ZERO {
+            return Ok(());
+        }
+        let mut i = 0;
+        while i < self.conns.len() {
+            let c = &self.conns[i];
+            let idle = c.out.len() == c.out_off && !c.close_after_flush;
+            if idle && now >= c.last_byte + timeout {
+                let c = self.conns.swap_remove(i);
+                out.ff_calls += 1;
+                stack.ff_close(c.fd)?;
+                stack.ff_epoll_ctl_del(self.epfd, c.fd).ok();
+                self.idle_shed += 1;
+                self.server_closed += 1;
+                out.progressed = true;
+                self.last_activity = Some(now);
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when the reaper would act at `now` without any stack event.
+    pub fn due(&self, now: SimTime) -> bool {
+        self.next_deadline(now).is_some_and(|d| d <= now)
+    }
+
+    /// The next instant the idle reaper fires: the earliest
+    /// `last_byte + timeout` over connections awaiting request bytes.
+    /// `None` when the timeout is disabled or nothing is reapable — the
+    /// server is then purely input-driven and the node may park.
+    pub fn next_deadline(&self, _now: SimTime) -> Option<SimTime> {
+        let timeout = self.cfg.idle_header_timeout;
+        if timeout == SimDuration::ZERO {
+            return None;
+        }
+        self.conns
+            .iter()
+            .filter(|c| c.out.len() == c.out_off && !c.close_after_flush)
+            .map(|c| c.last_byte + timeout)
+            .min()
     }
 
     /// Reads, parses and responds on every connection `events` flagged.
@@ -330,6 +402,7 @@ impl HttpServerApp {
                         .read_vec(&buf, buf.base(), n)
                         .map_err(|_| Errno::EFAULT)?;
                     self.conns[i].inbuf.extend_from_slice(&chunk);
+                    self.conns[i].last_byte = now;
                     self.bytes_in += n;
                     out.bytes += n;
                     out.progressed = true;
@@ -480,6 +553,7 @@ impl HttpServerApp {
             not_found: self.not_found,
             rate_limited: self.rate_limited,
             server_closed: self.server_closed,
+            idle_shed: self.idle_shed,
             bytes_in: self.bytes_in,
             bytes_out: self.bytes_out,
             elapsed: end - started,

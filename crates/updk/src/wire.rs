@@ -49,6 +49,21 @@ impl Frame {
         Frame { buf: fb.freeze() }
     }
 
+    /// Fallible [`Frame::new`]: returns `None` instead of panicking when
+    /// `bytes` exceeds [`MAX_FRAME`]. Undersized input is still padded up
+    /// to [`MIN_FRAME`]. This is the constructor for *adversarial* frame
+    /// builders (the chaos injectors), whose fuzzed lengths are data, not
+    /// caller bugs.
+    pub fn try_new(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() > MAX_FRAME {
+            return None;
+        }
+        let mut fb = FrameBufMut::with_headroom(0);
+        fb.append(bytes);
+        fb.pad_to(MIN_FRAME);
+        Some(Frame { buf: fb.freeze() })
+    }
+
     /// Wraps an already-built (and already-padded) shared buffer without
     /// copying — the zero-copy path from the stack's in-place frame build.
     ///
@@ -353,6 +368,16 @@ mod tests {
     #[should_panic(expected = "oversized")]
     fn oversized_frames_panic() {
         let _ = Frame::new(vec![0; MAX_FRAME + 1]);
+    }
+
+    #[test]
+    fn try_new_rejects_oversize_and_pads_runts() {
+        assert!(Frame::try_new(&[0; MAX_FRAME + 1]).is_none());
+        let f = Frame::try_new(&[7; 3]).expect("runt is padded, not rejected");
+        assert_eq!(f.len(), MIN_FRAME);
+        assert_eq!(&f.bytes()[..3], &[7, 7, 7]);
+        let max = Frame::try_new(&[1; MAX_FRAME]).expect("max frame is legal");
+        assert_eq!(max.len(), MAX_FRAME);
     }
 
     #[test]

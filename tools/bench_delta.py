@@ -49,6 +49,8 @@ TRACKED = [
     "p99_us",
     "p999_us",
     "requests_per_sec",
+    "overhead_pct",
+    "violations_per_sec",
 ]
 
 # Prefix-matched metrics appended after the tracked ones, in name order.
