@@ -1,0 +1,221 @@
+//! Bench target for the **failure-domain fault schedules**: the HTTP
+//! serving plane driven through deterministic partitions and crashes,
+//! with the client fleets' retry/backoff machinery doing the surviving.
+//!
+//! Recorded into `BENCH_faults.json` per case:
+//!
+//! * `time_to_recovery_ms` — virtual time from the heal instant (link
+//!   back up / node restarted) to the first completed request after it;
+//! * `goodput_during_partition_rps` — completed requests per second over
+//!   the fault window (how much the plane still serves while degraded);
+//! * `goodput_after_heal_rps` — the recovered serving rate;
+//! * `retry_amplification` — connections started per original launch
+//!   (1.0 = no retries needed);
+//! * `retries` / `retry_giveups` / `http_503s` / `timeouts` — the retry
+//!   machinery's ledger;
+//! * `completion_per_mille` — completed requests per 1000 originals; the
+//!   flap case **asserts ≥ 990** (the ISSUE's ≥ 99 % budget bar);
+//! * the trace digest (`trace_digest_hi/lo`).
+//!
+//! The **flap_star** case downs the hub's uplink mid-run: in-flight
+//! connections ride their retransmission ladders across the outage, and
+//! everything launched into the hole completes after the heal. The
+//! **crash_hub** case kills the server node outright — peers see RSTs
+//! from the reborn hub's fresh stack, and the fleets' capped-backoff
+//! retries carry the request budget to completion.
+//!
+//! Both cases **assert** byte-identity at `workers = 1/2/4` — the fault
+//! subsystem rides the same rendezvous determinism gate CI enforces for
+//! the fault-free planes.
+
+use capnet::scenario::ScenarioSpec;
+use capnet::{FaultPlan, FaultTarget, SimOutcome};
+use capnet_bench::BenchReport;
+use capnet_httpd::{FleetConfig, FleetReport, HttpServerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkern::SimDuration;
+
+const SEED: u64 = 0xFA17;
+const RUN: SimDuration = SimDuration::from_millis(120);
+const LEAVES: usize = 4;
+
+/// The fault window of each case, boot-relative.
+const FAULT_AT: SimDuration = SimDuration::from_millis(30);
+const HEAL_AT: SimDuration = SimDuration::from_millis(55);
+
+fn retry_fleet() -> FleetConfig {
+    FleetConfig {
+        rate_per_sec: 3_000,
+        keep_alive_per_mille: 300,
+        requests_per_conn: 4,
+        retry_budget: 3,
+        retry_backoff_base: SimDuration::from_millis(2),
+        retry_backoff_cap: SimDuration::from_millis(50),
+        ..FleetConfig::default()
+    }
+}
+
+fn flap_plan() -> FaultPlan {
+    FaultPlan::new()
+        .link_down(FAULT_AT, FaultTarget::Hub)
+        .link_up(HEAL_AT, FaultTarget::Hub)
+}
+
+fn crash_plan() -> FaultPlan {
+    FaultPlan::new()
+        .node_crash(FAULT_AT, FaultTarget::Hub)
+        .node_restart(HEAL_AT, FaultTarget::Hub)
+}
+
+fn fault_case(plan: FaultPlan, workers: usize) -> (SimOutcome, std::time::Duration) {
+    let t0 = std::time::Instant::now();
+    let out = ScenarioSpec::star(LEAVES)
+        .duration(RUN)
+        .seed(SEED)
+        .workers(workers)
+        // Adaptive selection would collapse this 4-leaf star back to one
+        // engine, making the workers=2/4 digest gate below vacuous.
+        .adaptive_workers(false)
+        .http(
+            HttpServerConfig {
+                max_conns: 48,
+                ..HttpServerConfig::default()
+            },
+            retry_fleet(),
+        )
+        .faults(plan)
+        .run()
+        .expect("faulted star runs");
+    (out, t0.elapsed())
+}
+
+/// Completed-request instants inside `[from, to)`, per virtual second.
+fn goodput_rps(agg: &FleetReport, from: SimDuration, to: SimDuration) -> f64 {
+    let (from, to) = (from.as_nanos(), to.as_nanos());
+    let n = agg
+        .ok_at_ns
+        .iter()
+        .filter(|&&t| t >= from && t < to)
+        .count();
+    n as f64 * 1e9 / (to - from) as f64
+}
+
+/// Virtual milliseconds from the heal instant to the first completed
+/// request at or after it.
+fn time_to_recovery_ms(agg: &FleetReport) -> f64 {
+    let heal = HEAL_AT.as_nanos();
+    agg.ok_at_ns
+        .iter()
+        .find(|&&t| t >= heal)
+        .map_or(f64::NAN, |&t| (t - heal) as f64 / 1e6)
+}
+
+fn digest_halves(out: &SimOutcome) -> [(&'static str, f64); 2] {
+    [
+        ("trace_digest_hi", (out.trace.digest >> 32) as f64),
+        ("trace_digest_lo", (out.trace.digest & 0xFFFF_FFFF) as f64),
+    ]
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let mut report = BenchReport::new("faults");
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(10);
+
+    for (name, plan) in [("flap_star", flap_plan()), ("crash_hub", crash_plan())] {
+        let (out, wall) = fault_case(plan.clone(), 1);
+        let agg = FleetReport::aggregate(name, &out.http_fleets);
+        let originals = agg.conns_started - agg.retries;
+        let completion_per_mille = (agg.requests_ok.min(originals) * 1_000)
+            .checked_div(originals)
+            .unwrap_or(0);
+        let ttr = time_to_recovery_ms(&agg);
+        let during = goodput_rps(&agg, FAULT_AT, HEAL_AT);
+        let after = goodput_rps(&agg, HEAL_AT, RUN);
+        eprintln!(
+            "[faults] {name}: {} conns ({} retries, {} giveups), {} ok, \
+             503s={}, timeouts={}, ttr={ttr:.2}ms, \
+             goodput during/after = {during:.0}/{after:.0} rps, \
+             amp={:.3}, completion={completion_per_mille}‰",
+            agg.conns_started,
+            agg.retries,
+            agg.retry_giveups,
+            agg.requests_ok,
+            agg.http503,
+            agg.timeouts,
+            agg.retry_amplification(),
+        );
+        assert!(
+            out.fault_stats.link_down_events + out.fault_stats.node_crashes == 1,
+            "{name}: the fault fired exactly once: {:?}",
+            out.fault_stats
+        );
+        assert!(ttr.is_finite(), "{name}: requests completed after the heal");
+        assert!(
+            after > during,
+            "{name}: the heal restored goodput ({during:.0} → {after:.0} rps)"
+        );
+        if name == "flap_star" {
+            // The ISSUE's bar: with retries, the flapping-uplink plane
+            // completes ≥ 99 % of its request budget once healed.
+            assert!(
+                completion_per_mille >= 990,
+                "flap_star: only {completion_per_mille}‰ of the budget \
+                 completed ({} ok / {originals} originals)",
+                agg.requests_ok,
+            );
+        }
+        let [hi, lo] = digest_halves(&out);
+        report.record_timed(
+            "star4",
+            name,
+            wall,
+            out.events,
+            out.horizon.as_nanos() as f64 / 1e9,
+            &[
+                ("time_to_recovery_ms", ttr),
+                ("goodput_during_partition_rps", during),
+                ("goodput_after_heal_rps", after),
+                ("retry_amplification", agg.retry_amplification()),
+                ("retries", agg.retries as f64),
+                ("retry_giveups", agg.retry_giveups as f64),
+                ("http_503s", agg.http503 as f64),
+                ("timeouts", agg.timeouts as f64),
+                ("completion_per_mille", completion_per_mille as f64),
+                ("requests_ok", agg.requests_ok as f64),
+                ("conns_started", agg.conns_started as f64),
+                hi,
+                lo,
+            ],
+        );
+
+        // Determinism gate: fault schedules must shard byte-identically
+        // (cf. tests/parallel_determinism.rs, which also compares the
+        // full report set).
+        let (base, _) = fault_case(plan.clone(), 1);
+        for workers in [2, 4] {
+            let (sharded, _) = fault_case(plan.clone(), workers);
+            assert_eq!(
+                base.trace, sharded.trace,
+                "{name} must be byte-identical at workers={workers}"
+            );
+            assert_eq!(
+                base.fault_stats, sharded.fault_stats,
+                "{name}: merged fault counters at workers={workers}"
+            );
+            assert!(sharded.workers > 1, "rerun must stay sharded");
+        }
+    }
+
+    // Criterion's own timing loop for the heavier crash case; the report
+    // entries above are the machine-readable trajectory.
+    group.bench_function("crash_hub_star4", |b| {
+        b.iter(|| fault_case(crash_plan(), 1))
+    });
+    group.finish();
+    let path = report.write().expect("BENCH_faults.json written");
+    eprintln!("[faults] perf trajectory: {}", path.display());
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

@@ -12,6 +12,10 @@
 //!   checksums, truncated-header claims, ARP poisoning) and emits them
 //!   through the normal transmit path. Every parser in `fstack`/`updk`
 //!   must reject-and-count, never panic.
+//! * [`tcpforge::TcpForgeApp`] — an **off-path TCP forger** spraying
+//!   blind RSTs and SYNs (RFC 5961's threat model) at live victim
+//!   4-tuples: teardown only on an exact sequence match, everything else
+//!   a counted drop in the victim's `StackStats` forgery counters.
 //! * [`walker::CapabilityWalker`] — a **compromised-compartment model**:
 //!   an attacker cVM inside its own [`intravisor::Intravisor`] probes
 //!   capability space around a MAVLink-victim cVM (out-of-bounds loads
@@ -31,10 +35,12 @@
 
 pub mod bitflip;
 pub mod malformed;
+pub mod tcpforge;
 pub mod walker;
 
 pub use bitflip::{BitFlipConfig, BitFlipInjector, BitFlipReport};
 pub use malformed::{MalformedFrameApp, WireChaosConfig, WireChaosReport};
+pub use tcpforge::{TcpForgeApp, TcpForgeConfig, TcpForgeReport};
 pub use walker::{CapabilityWalker, WalkerConfig, WalkerReport};
 
 use fstack::FStack;
@@ -106,6 +112,8 @@ pub struct ChaosConfig {
     pub rounds: u64,
     /// Wire-level adversary, if any.
     pub wire: Option<WireChaosConfig>,
+    /// Off-path TCP forger (blind RST/SYN against live tuples), if any.
+    pub forge: Option<TcpForgeConfig>,
     /// Compromised-compartment walker, if any.
     pub walker: Option<WalkerConfig>,
     /// Bit-flip injector, if any.
@@ -119,6 +127,7 @@ impl Default for ChaosConfig {
             period: SimDuration::from_micros(50),
             rounds: 200,
             wire: None,
+            forge: None,
             walker: None,
             bitflip: None,
         }
@@ -137,6 +146,8 @@ pub struct ChaosReport {
     pub rounds: u64,
     /// Wire adversary accounting.
     pub wire: Option<WireChaosReport>,
+    /// TCP-forgery accounting.
+    pub forge: Option<TcpForgeReport>,
     /// Capability walker accounting.
     pub walker: Option<WalkerReport>,
     /// Bit-flip accounting.
@@ -175,6 +186,7 @@ pub struct ChaosApp {
     label: String,
     cfg: ChaosConfig,
     wire: Option<MalformedFrameApp>,
+    forge: Option<TcpForgeApp>,
     walker: Option<CapabilityWalker>,
     bitflip: Option<BitFlipInjector>,
     digest: ChaosDigest,
@@ -197,6 +209,10 @@ impl ChaosApp {
             .wire
             .clone()
             .map(|w| MalformedFrameApp::new(w, seed ^ 0x5749_5245, src_mac, src_ip));
+        let forge = cfg
+            .forge
+            .clone()
+            .map(|f| TcpForgeApp::new(f, seed ^ 0x464F_5247, src_mac));
         let walker = cfg
             .walker
             .clone()
@@ -209,6 +225,7 @@ impl ChaosApp {
             label: label.into(),
             cfg,
             wire,
+            forge,
             walker,
             bitflip,
             digest: ChaosDigest::new(),
@@ -256,6 +273,9 @@ impl ChaosApp {
             if let Some(w) = &mut self.wire {
                 w.round(stack, &mut self.digest, &mut out);
             }
+            if let Some(f) = &mut self.forge {
+                f.round(stack, &mut self.digest, &mut out);
+            }
             if let Some(w) = &mut self.walker {
                 w.round(&mut self.digest);
                 out.progressed = true;
@@ -282,6 +302,7 @@ impl ChaosApp {
             digest: self.digest.value(),
             rounds: self.rounds_done,
             wire: self.wire.as_ref().map(MalformedFrameApp::report),
+            forge: self.forge.as_ref().map(TcpForgeApp::report),
             walker: self.walker.as_ref().map(CapabilityWalker::report),
             bitflip: self.bitflip.as_ref().map(BitFlipInjector::report),
         }

@@ -44,10 +44,10 @@ pub mod topology;
 
 pub use fstack::CcAlgo;
 pub use netsim::{
-    EventCounters, IsolationProfile, NetEvent, NetSim, NodeConfig, RoundCounters, SimOutcome,
-    SwitchId, TraceDigest,
+    EventCounters, Fault, FaultStats, IsolationProfile, NetEvent, NetSim, NodeConfig,
+    RoundCounters, SimOutcome, SwitchId, TraceDigest,
 };
-pub use scenario::{ScenarioKind, ScenarioSpec};
+pub use scenario::{FaultOp, FaultPlan, FaultTarget, ScenarioKind, ScenarioSpec};
 
 use std::fmt;
 

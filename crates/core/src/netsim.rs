@@ -106,6 +106,156 @@ pub enum NetEvent {
         /// The frame.
         frame: Frame,
     },
+    /// A scheduled infrastructure fault firing: entry `idx` of the
+    /// resolved fault plan. Scheduled on **every** shard at boot (the
+    /// plan is replicated, so keys and instants match at any worker
+    /// count); each shard applies the slice of the fault it owns, plus
+    /// the shared link-state view every transmitter needs.
+    Fault {
+        /// Index into the resolved fault plan.
+        idx: usize,
+    },
+}
+
+/// A schedulable infrastructure fault, in scenario-facing terms: the
+/// entity it names plus the direction of the transition. Schedule with
+/// [`NetSim::add_fault`]; resolution against the cabling happens at
+/// [`NetSim::run`] start (so an impossible target is a configuration
+/// error, not a silent no-op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Administratively downs the cable on `node`'s NIC port: every frame
+    /// either end would transmit onto that cable is blackholed at its TX
+    /// hop (counted in [`ImpairmentStats::blackholed`]) until a matching
+    /// [`Fault::LinkUp`]. Frames already in flight still deliver.
+    LinkDown {
+        /// The node whose uplink cable goes down.
+        node: NodeId,
+    },
+    /// Restores the cable downed by [`Fault::LinkDown`].
+    LinkUp {
+        /// The node whose uplink cable comes back.
+        node: NodeId,
+    },
+    /// Fails a switching fabric: every ingress frame is dropped (counted
+    /// in [`updk::switch::SwitchStats::fail_drops`]) until recovery.
+    SwitchFail {
+        /// The failed switch.
+        sw: SwitchId,
+    },
+    /// Recovers a failed switch. Its MAC table is flushed — the fabric
+    /// comes back cold and re-floods until it re-learns stations, exactly
+    /// like a rebooted switch.
+    SwitchRecover {
+        /// The recovering switch.
+        sw: SwitchId,
+    },
+    /// Crashes a node: its stack (every TCB, listener, ARP entry) and all
+    /// its applications vanish, its poll loop stops, and frames arriving
+    /// at its NIC while dead are discarded (counted in
+    /// [`FaultStats::frames_to_dead`]). Peers discover the death the way
+    /// real peers do: retransmission give-up (`ETIMEDOUT`), or an RST
+    /// when the restarted incarnation receives a segment for a
+    /// connection it never heard of. Reports of the crashed incarnation's
+    /// apps are discarded with it.
+    NodeCrash {
+        /// The node to crash.
+        node: NodeId,
+    },
+    /// Restarts a crashed node: a fresh stack with the same interface
+    /// config (cc/SACK knobs included), every app rebuilt from its
+    /// install-time blueprint — listeners re-established, fleets
+    /// re-launched on their original seed — and the poll loop rescheduled.
+    NodeRestart {
+        /// The node to restart.
+        node: NodeId,
+    },
+}
+
+/// A fault resolved against the cabling at run start: link faults carry
+/// both cable endpoints (the TX-hop blackhole check tests the local
+/// endpoint on whichever shard transmits) plus the device whose owning
+/// shard tallies the event exactly once.
+#[derive(Debug, Clone, Copy)]
+enum ResolvedFault {
+    LinkDown { a: Ep, b: Ep, dev: usize },
+    LinkUp { a: Ep, b: Ep, dev: usize },
+    SwitchFail { sw: usize },
+    SwitchRecover { sw: usize },
+    NodeCrash { node: usize },
+    NodeRestart { node: usize },
+}
+
+/// Per-run fault-plan tallies: what the scheduled faults did. Applied
+/// exactly once per fault regardless of worker count (each counter bumps
+/// only on the shard owning the faulted entity), so these are part of the
+/// byte-identical outcome surface the determinism tests compare.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// `LinkDown` events applied.
+    pub link_down_events: u64,
+    /// `LinkUp` events applied.
+    pub link_up_events: u64,
+    /// `SwitchFail` events applied.
+    pub switch_fail_events: u64,
+    /// `SwitchRecover` events applied.
+    pub switch_recover_events: u64,
+    /// `NodeCrash` events applied.
+    pub node_crashes: u64,
+    /// `NodeRestart` events applied.
+    pub node_restarts: u64,
+    /// Frames that arrived at a crashed node's NIC and were discarded
+    /// (the wire carried them; nobody was home).
+    pub frames_to_dead: u64,
+}
+
+impl FaultStats {
+    /// Accumulates another tally into this one (shard merge).
+    fn absorb(&mut self, o: FaultStats) {
+        self.link_down_events += o.link_down_events;
+        self.link_up_events += o.link_up_events;
+        self.switch_fail_events += o.switch_fail_events;
+        self.switch_recover_events += o.switch_recover_events;
+        self.node_crashes += o.node_crashes;
+        self.node_restarts += o.node_restarts;
+        self.frames_to_dead += o.frames_to_dead;
+    }
+}
+
+/// The install-time blueprint of one application, recorded by the
+/// `add_*` installers so [`Fault::NodeRestart`] can rebuild the node's
+/// apps from scratch — same labels, same configs, same seeds, same
+/// (persistent) memory-arena buffers.
+enum AppSpec {
+    Server {
+        label: String,
+        port: u16,
+        buf: Capability,
+    },
+    Client {
+        label: String,
+        remote: (Ipv4Addr, u16),
+        duration: SimDuration,
+        write_gap: SimDuration,
+        buf: Capability,
+    },
+    Http {
+        label: String,
+        port: u16,
+        cfg: HttpServerConfig,
+        buf: Capability,
+    },
+    Fleet {
+        label: String,
+        cfg: FleetConfig,
+        seed: u64,
+        buf: Capability,
+    },
+    Chaos {
+        label: String,
+        cfg: ChaosConfig,
+        seed: u64,
+    },
 }
 
 /// Per-kind event counters for one run: the *why* behind `events_per_sec`
@@ -366,6 +516,13 @@ struct Node {
     /// unconditional polling loop would have — wire behavior is preserved
     /// bit for bit.
     anchor: SimTime,
+    /// `true` between a [`Fault::NodeCrash`] and its restart: the poll
+    /// loop is dead, the stack is an empty husk, and arriving frames are
+    /// discarded at the NIC.
+    crashed: bool,
+    /// Install-time app blueprints, in installation order, for
+    /// [`Fault::NodeRestart`] reconstruction.
+    specs: Vec<AppSpec>,
 }
 
 /// A cross-shard frame payload — never a byte-for-byte rebuild.
@@ -554,6 +711,16 @@ pub struct NetSim {
     worker_threads: Option<bool>,
     /// Present while this instance is one shard of a sharded run.
     shard_ctx: Option<Box<ShardCtx>>,
+    /// The scheduled fault plan as built ([`NetSim::add_fault`] order).
+    fault_plan: Vec<(SimTime, Fault)>,
+    /// The plan resolved against the cabling at `run()` start, replicated
+    /// verbatim into every shard so fault event keys match everywhere.
+    faults: Vec<(SimTime, ResolvedFault)>,
+    /// Cable endpoints currently administratively down: a TX hop whose
+    /// local endpoint is in this set blackholes the frame.
+    link_down: std::collections::HashSet<Ep>,
+    /// What the fault plan did (each fault tallied on its owner shard).
+    fault_stats: FaultStats,
 }
 
 impl std::fmt::Debug for NetSim {
@@ -603,6 +770,10 @@ impl NetSim {
             adaptive_workers: true,
             worker_threads: None,
             shard_ctx: None,
+            fault_plan: Vec::new(),
+            faults: Vec::new(),
+            link_down: std::collections::HashSet::new(),
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -880,6 +1051,8 @@ impl NetSim {
             epoch: 0,
             wake: None,
             anchor: SimTime::ZERO,
+            crashed: false,
+            specs: Vec::new(),
         });
         Ok(NodeId(self.nodes.len() - 1))
     }
@@ -957,10 +1130,12 @@ impl NetSim {
         label: impl Into<String>,
         port: u16,
     ) -> Result<(), CapnetError> {
+        let label = label.into();
         let buf = self.carve_app_buf(node, None)?;
         let n = &mut self.nodes[node.0];
-        let app = ServerApp::start(&mut n.stack, label, port, buf)?;
+        let app = ServerApp::start(&mut n.stack, label.clone(), port, buf)?;
         n.servers.push(Some(app));
+        n.specs.push(AppSpec::Server { label, port, buf });
         Ok(())
     }
 
@@ -974,11 +1149,26 @@ impl NetSim {
         duration: SimDuration,
         write_gap: SimDuration,
     ) -> Result<(), CapnetError> {
+        let label = label.into();
         let buf = self.carve_app_buf(node, Some(0xA5))?;
         let n = &mut self.nodes[node.0];
-        let mut app = ClientApp::start(&mut n.stack, label, remote, buf, duration, SimTime::ZERO)?;
+        let mut app = ClientApp::start(
+            &mut n.stack,
+            label.clone(),
+            remote,
+            buf,
+            duration,
+            SimTime::ZERO,
+        )?;
         app.set_write_gap(write_gap);
         n.clients.push(Some(app));
+        n.specs.push(AppSpec::Client {
+            label,
+            remote,
+            duration,
+            write_gap,
+            buf,
+        });
         Ok(())
     }
 
@@ -991,10 +1181,17 @@ impl NetSim {
         port: u16,
         cfg: HttpServerConfig,
     ) -> Result<(), CapnetError> {
+        let label = label.into();
         let buf = self.carve_app_buf(node, None)?;
         let n = &mut self.nodes[node.0];
-        let app = HttpServerApp::start(&mut n.stack, label, port, buf, cfg)?;
+        let app = HttpServerApp::start(&mut n.stack, label.clone(), port, buf, cfg.clone())?;
         n.https.push(Some(app));
+        n.specs.push(AppSpec::Http {
+            label,
+            port,
+            cfg,
+            buf,
+        });
         Ok(())
     }
 
@@ -1014,9 +1211,23 @@ impl NetSim {
             ^ (node.0 as u64 + 1).wrapping_mul(0x0000_0100_0000_01B3)
             ^ (slot as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ 0x4854_5450; // "HTTP": keep fleet streams off the port-RNG streams
+        let label = label.into();
         let n = &mut self.nodes[node.0];
-        let app = FleetApp::start(label, &mut n.stack, buf, cfg, seed, SimTime::ZERO);
+        let app = FleetApp::start(
+            label.clone(),
+            &mut n.stack,
+            buf,
+            cfg.clone(),
+            seed,
+            SimTime::ZERO,
+        );
         n.fleets.push(Some(app));
+        n.specs.push(AppSpec::Fleet {
+            label,
+            cfg,
+            seed,
+            buf,
+        });
         Ok(())
     }
 
@@ -1037,10 +1248,79 @@ impl NetSim {
             ^ (node.0 as u64 + 1).wrapping_mul(0x0000_0100_0000_01B3)
             ^ (slot as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ 0x4348_414F; // "CHAO": keep chaos streams off the fleet/port streams
+        let label = label.into();
         let n = &mut self.nodes[node.0];
         let (mac, ip) = (n.stack.config().mac, n.stack.config().ip);
-        let app = ChaosApp::new(label, cfg, seed, mac, ip);
+        let app = ChaosApp::new(label.clone(), cfg.clone(), seed, mac, ip);
         n.chaos.push(Some(app));
+        n.specs.push(AppSpec::Chaos { label, cfg, seed });
+        Ok(())
+    }
+
+    /// Schedules an infrastructure fault at virtual instant `at`. Faults
+    /// are resolved against the cabling when the run starts and executed
+    /// as first-class engine events, so an identical plan produces
+    /// byte-identical runs at any worker count; an empty plan leaves the
+    /// run untouched (no events, no draws, no digest change).
+    pub fn add_fault(&mut self, at: SimTime, fault: Fault) {
+        self.fault_plan.push((at, fault));
+    }
+
+    /// Resolves the built fault plan against the cabling: link faults pin
+    /// both endpoints of the target cable (the TX blackhole check is
+    /// local to whichever side transmits), node/switch faults validate
+    /// their targets exist. Runs on the parent simulation **before**
+    /// sharding — shadow nodes carry no cabling to resolve against.
+    fn resolve_faults(&mut self) -> Result<(), CapnetError> {
+        self.faults.clear();
+        for &(at, fault) in &self.fault_plan {
+            let resolved = match fault {
+                Fault::LinkDown { node } | Fault::LinkUp { node } => {
+                    let n = self
+                        .nodes
+                        .get(node.0)
+                        .ok_or_else(|| CapnetError::Config(format!("no such node {}", node.0)))?;
+                    let a = Ep::Dev(n.dev, n.port);
+                    let b = *self.links.get(&a).ok_or_else(|| {
+                        CapnetError::Config(format!(
+                            "link fault on node {} ({a}), which is not cabled",
+                            node.0
+                        ))
+                    })?;
+                    let dev = n.dev;
+                    if matches!(fault, Fault::LinkDown { .. }) {
+                        ResolvedFault::LinkDown { a, b, dev }
+                    } else {
+                        ResolvedFault::LinkUp { a, b, dev }
+                    }
+                }
+                Fault::SwitchFail { sw } => {
+                    if sw.0 >= self.switches.len() {
+                        return Err(CapnetError::Config(format!("no such switch {}", sw.0)));
+                    }
+                    ResolvedFault::SwitchFail { sw: sw.0 }
+                }
+                Fault::SwitchRecover { sw } => {
+                    if sw.0 >= self.switches.len() {
+                        return Err(CapnetError::Config(format!("no such switch {}", sw.0)));
+                    }
+                    ResolvedFault::SwitchRecover { sw: sw.0 }
+                }
+                Fault::NodeCrash { node } => {
+                    if node.0 >= self.nodes.len() {
+                        return Err(CapnetError::Config(format!("no such node {}", node.0)));
+                    }
+                    ResolvedFault::NodeCrash { node: node.0 }
+                }
+                Fault::NodeRestart { node } => {
+                    if node.0 >= self.nodes.len() {
+                        return Err(CapnetError::Config(format!("no such node {}", node.0)));
+                    }
+                    ResolvedFault::NodeRestart { node: node.0 }
+                }
+            };
+            self.faults.push((at, resolved));
+        }
         Ok(())
     }
 
@@ -1063,6 +1343,7 @@ impl NetSim {
         self.start_devices()?;
         self.stop_at = SimTime::ZERO + duration;
         self.resolve_caches();
+        self.resolve_faults()?;
         if self.workers > 1 {
             self.run_sharded()
         } else {
@@ -1184,6 +1465,14 @@ impl NetSim {
             let at = SimTime::from_nanos(97 * (i as u64 + 1));
             engine.schedule_from(init_origin, at, NetEvent::LoopIter { node: i });
         }
+        // The fault plan is scheduled on EVERY shard, in plan order from
+        // a dedicated origin: identical keys and instants everywhere, so
+        // each shard observes the same fault lattice the single-engine
+        // run does and applies the locally-owned slice of each fault.
+        let fault_origin = self.fault_origin();
+        for (idx, &(at, _)) in self.faults.iter().enumerate() {
+            engine.schedule_from(fault_origin, at, NetEvent::Fault { idx });
+        }
     }
 
     /// The classic single-engine run (`workers == 1`): one calendar, one
@@ -1258,6 +1547,7 @@ impl NetSim {
             switch_stats,
             mutex_stats,
             impairment_stats: self.impairment_stats,
+            fault_stats: self.fault_stats,
             trace: self.trace,
             workers: 1,
             lookahead_ns: lookahead_hint,
@@ -1434,6 +1724,8 @@ impl NetSim {
             epoch: 0,
             wake: None,
             anchor: SimTime::ZERO,
+            crashed: false,
+            specs: Vec::new(),
         }
     }
 
@@ -1525,6 +1817,10 @@ impl NetSim {
                         rounds: RoundCounters::default(),
                         log: std::collections::VecDeque::new(),
                     })),
+                    fault_plan: Vec::new(),
+                    faults: self.faults.clone(),
+                    link_down: std::collections::HashSet::new(),
+                    fault_stats: FaultStats::default(),
                 },
                 engine: Engine::new(),
             })
@@ -1880,6 +2176,7 @@ impl NetSim {
         let mut counters = EventCounters::default();
         let mut rounds = RoundCounters::default();
         let mut impairment_stats = ImpairmentStats::default();
+        let mut fault_stats = FaultStats::default();
         for cell in &cells {
             let c = cell.sim.counters;
             counters.loop_polls += c.loop_polls;
@@ -1899,6 +2196,7 @@ impl NetSim {
             rounds.xshard_frames += r.xshard_frames;
             rounds.rehome_bytes += r.rehome_bytes;
             impairment_stats.absorb(cell.sim.impairment_stats);
+            fault_stats.absorb(cell.sim.fault_stats);
         }
         // The deferred digest: whatever the driver has not already folded
         // incrementally (everything, for the threaded driver), appended in
@@ -1982,6 +2280,7 @@ impl NetSim {
             switch_stats,
             mutex_stats,
             impairment_stats,
+            fault_stats,
             trace,
             workers: plan.workers,
             lookahead_ns,
@@ -2019,6 +2318,22 @@ impl NetSim {
         (self.nodes.len() + self.switches.len()) as u32
     }
 
+    /// Order-key origin of the fault plan (one origin after the
+    /// initializer; its counter advances identically on every shard
+    /// because the whole plan is scheduled everywhere, in plan order).
+    fn fault_origin(&self) -> u32 {
+        (self.nodes.len() + self.switches.len() + 1) as u32
+    }
+
+    /// `true` when node `i` is handled by this world.
+    #[inline]
+    fn local_node(&self, i: usize) -> bool {
+        match &self.shard_ctx {
+            None => true,
+            Some(ctx) => ctx.node_shard[i] == ctx.id,
+        }
+    }
+
     /// `true` when device `dev` is handled by this world (always, outside
     /// a sharded run).
     #[inline]
@@ -2036,6 +2351,209 @@ impl NetSim {
             None => true,
             Some(ctx) => ctx.sw_shard[sw] == ctx.id,
         }
+    }
+
+    /// Applies resolved fault `idx` (event handler). Every shard
+    /// dispatches every fault event; link state is shared knowledge (the
+    /// TX blackhole check runs wherever the transmitter lives), while
+    /// node/switch mutations and the tallies land only on the owner
+    /// shard — so the merged [`FaultStats`] counts each fault once.
+    fn apply_fault(&mut self, idx: usize, engine: &mut Engine<NetSim>) {
+        let (_, fault) = self.faults[idx];
+        match fault {
+            ResolvedFault::LinkDown { a, b, dev } => {
+                self.link_down.insert(a);
+                self.link_down.insert(b);
+                if self.local_dev(dev) {
+                    self.fault_stats.link_down_events += 1;
+                }
+            }
+            ResolvedFault::LinkUp { a, b, dev } => {
+                self.link_down.remove(&a);
+                self.link_down.remove(&b);
+                if self.local_dev(dev) {
+                    self.fault_stats.link_up_events += 1;
+                }
+            }
+            ResolvedFault::SwitchFail { sw } => {
+                if self.local_sw(sw) {
+                    self.switches[sw].fail();
+                    self.fault_stats.switch_fail_events += 1;
+                }
+            }
+            ResolvedFault::SwitchRecover { sw } => {
+                if self.local_sw(sw) {
+                    self.switches[sw].recover();
+                    self.fault_stats.switch_recover_events += 1;
+                }
+            }
+            ResolvedFault::NodeCrash { node } => {
+                if self.local_node(node) {
+                    self.crash_node(node, engine);
+                    self.fault_stats.node_crashes += 1;
+                }
+            }
+            ResolvedFault::NodeRestart { node } => {
+                if self.local_node(node) {
+                    self.restart_node(node, engine);
+                    self.fault_stats.node_restarts += 1;
+                }
+            }
+        }
+    }
+
+    /// [`Fault::NodeCrash`]: volatile state vanishes. Every app is
+    /// dropped (its report with it), the stack is replaced by an empty
+    /// husk (every TCB, listener and ARP entry gone — peers get no FIN,
+    /// exactly like a real power loss), the poll loop stops, and frames
+    /// arriving at the NIC are discarded until restart. Idempotent.
+    fn crash_node(&mut self, i: usize, engine: &mut Engine<NetSim>) {
+        let node = &mut self.nodes[i];
+        if node.crashed {
+            return;
+        }
+        node.crashed = true;
+        // A parked wake is cancelled in place; a pending LoopIter
+        // dispatches into the crashed guard and dies there.
+        if let Some(stale) = node.wake.take() {
+            engine.cancel(stale);
+        }
+        node.parked = false;
+        node.epoch += 1;
+        node.servers.clear();
+        node.clients.clear();
+        node.https.clear();
+        node.fleets.clear();
+        node.chaos.clear();
+        node.app_of_fd.clear();
+        node.runnable.clear();
+        node.fd_scratch.clear();
+        let cfg = node.stack.config().clone();
+        node.stack = FStack::with_socket_capacity(cfg, 0);
+    }
+
+    /// [`Fault::NodeRestart`]: a fresh stack with the same interface
+    /// config, every app rebuilt from its install-time blueprint (same
+    /// labels, configs, seeds and arena buffers — listeners come back,
+    /// fleets re-launch their schedule from `now`), and the poll loop
+    /// boots again shortly after. A no-op unless the node is crashed.
+    fn restart_node(&mut self, i: usize, engine: &mut Engine<NetSim>) {
+        let now = engine.now();
+        let node = &mut self.nodes[i];
+        if !node.crashed {
+            return;
+        }
+        node.crashed = false;
+        let cfg = node.stack.config().clone();
+        node.stack = FStack::new(cfg);
+        node.turns = 0;
+        node.parked = false;
+        node.epoch += 1;
+        node.anchor = now;
+        let specs = std::mem::take(&mut node.specs);
+        for spec in &specs {
+            match spec {
+                AppSpec::Server { label, port, buf } => {
+                    node.servers
+                        .push(ServerApp::start(&mut node.stack, label.clone(), *port, *buf).ok());
+                }
+                AppSpec::Client {
+                    label,
+                    remote,
+                    duration,
+                    write_gap,
+                    buf,
+                } => {
+                    let app = ClientApp::start(
+                        &mut node.stack,
+                        label.clone(),
+                        *remote,
+                        *buf,
+                        *duration,
+                        now,
+                    )
+                    .map(|mut app| {
+                        app.set_write_gap(*write_gap);
+                        app
+                    });
+                    node.clients.push(app.ok());
+                }
+                AppSpec::Http {
+                    label,
+                    port,
+                    cfg,
+                    buf,
+                } => {
+                    node.https.push(
+                        HttpServerApp::start(
+                            &mut node.stack,
+                            label.clone(),
+                            *port,
+                            *buf,
+                            cfg.clone(),
+                        )
+                        .ok(),
+                    );
+                }
+                AppSpec::Fleet {
+                    label,
+                    cfg,
+                    seed,
+                    buf,
+                } => {
+                    node.fleets.push(Some(FleetApp::start(
+                        label.clone(),
+                        &mut node.stack,
+                        *buf,
+                        cfg.clone(),
+                        *seed,
+                        now,
+                    )));
+                }
+                AppSpec::Chaos { label, cfg, seed } => {
+                    let (mac, ip) = (node.stack.config().mac, node.stack.config().ip);
+                    node.chaos.push(Some(ChaosApp::new(
+                        label.clone(),
+                        cfg.clone(),
+                        *seed,
+                        mac,
+                        ip,
+                    )));
+                }
+            }
+        }
+        node.specs = specs;
+        // Rebuild the dirty-fd routing exactly as `resolve_caches` did.
+        let slots = node.servers.len()
+            + node.clients.len()
+            + node.https.len()
+            + node.fleets.len()
+            + node.chaos.len();
+        node.runnable = vec![true; slots];
+        for (si, s) in node.servers.iter().enumerate() {
+            if let Some(app) = s {
+                Self::note_app_fd(&mut node.app_of_fd, app.listen_fd(), si as u32);
+            }
+        }
+        let base = node.servers.len() as u32;
+        for (ci, c) in node.clients.iter().enumerate() {
+            if let Some(app) = c {
+                Self::note_app_fd(&mut node.app_of_fd, app.sock_fd(), base + ci as u32);
+            }
+        }
+        let base = base + node.clients.len() as u32;
+        for (hi, h) in node.https.iter_mut().enumerate() {
+            if let Some(app) = h {
+                Self::note_app_fd(&mut node.app_of_fd, app.listen_fd(), base + hi as u32);
+            }
+        }
+        // The reborn host boots like the originals did: first poll
+        // iteration a beat after the restart instant.
+        engine.schedule_from(
+            Self::node_origin(i),
+            now + SimDuration::from_nanos(97),
+            NetEvent::LoopIter { node: i },
+        );
     }
 
     /// Rehomes a frame for a cross-shard handoff and tallies the traffic:
@@ -2119,6 +2637,11 @@ impl NetSim {
 
     /// One main-loop iteration of node `i` (event handler).
     fn loop_iter(&mut self, i: usize, engine: &mut Engine<NetSim>) {
+        if self.nodes[i].crashed {
+            // The host is dead: its loop stops (no reschedule) until a
+            // [`Fault::NodeRestart`] boots a fresh iteration.
+            return;
+        }
         self.counters.loop_polls += 1;
         let now = engine.now();
         if now >= self.stop_at {
@@ -2309,7 +2832,14 @@ impl NetSim {
         // directly, or a switch that forwards hop by hop). The endpoint was
         // resolved once at run() start — no topology lookup per iteration.
         let n_tx = tx.len();
-        if n_tx > 0 {
+        if n_tx > 0 && !self.link_down.is_empty() && self.link_down.contains(&Ep::Dev(di, pi)) {
+            // The uplink cable is administratively down: every frame is
+            // blackholed at this TX hop. No impairment draws happen — the
+            // wire never sees the frame, so a healed link's RNG streams
+            // are exactly where a fault-free run's would be minus the
+            // frames that never crossed.
+            self.impairment_stats.blackholed += n_tx as u64;
+        } else if n_tx > 0 {
             let origin = Self::node_origin(i);
             match self.nodes[i].cabled {
                 Some(Ep::Dev(pd, pp)) => {
@@ -2444,6 +2974,12 @@ impl NetSim {
         let outputs = self.switches[sw].ingress(sp, now, frame, &self.costs);
         let origin = self.switch_origin(sw);
         for tx in outputs {
+            if !self.link_down.is_empty() && self.link_down.contains(&Ep::Sw(sw, tx.port)) {
+                // This egress cable is administratively down: the copy is
+                // blackholed at the switch's TX hop.
+                self.impairment_stats.blackholed += 1;
+                continue;
+            }
             match self.sw_cabled[sw][tx.port] {
                 Some(Ep::Dev(pd, pp)) => {
                     let arrival = self.wire.propagate(tx.departure);
@@ -2559,6 +3095,13 @@ impl NetSim {
         } else {
             self.trace.record(at, dev, port, frame.bytes());
         }
+        if self.dev_owner[dev][port].is_some_and(|ni| self.nodes[ni].crashed) {
+            // The wire carried the frame (it is in the digest), but the
+            // host is dead: the NIC discards it instead of ringing DMA
+            // into a stack that no longer exists.
+            self.fault_stats.frames_to_dead += 1;
+            return;
+        }
         self.devs[dev].deliver(port, at, frame);
         if let Some(ni) = self.dev_owner[dev][port] {
             let node = &mut self.nodes[ni];
@@ -2632,6 +3175,7 @@ impl World for NetSim {
                 self.counters.switch_hops += 1;
                 self.switch_ingress(sw, port, at, frame, engine);
             }
+            NetEvent::Fault { idx } => self.apply_fault(idx, engine),
         }
     }
 }
@@ -2678,6 +3222,9 @@ pub struct SimOutcome {
     pub mutex_stats: Option<(u64, u64, SimDuration)>,
     /// What the (possibly impaired) cables did over the run.
     pub impairment_stats: ImpairmentStats,
+    /// What the scheduled fault plan did over the run (all zero for a
+    /// fault-free run — an empty plan schedules no events at all).
+    pub fault_stats: FaultStats,
     /// The run's delivery-trace digest (the determinism witness) —
     /// byte-identical at any [`SimOutcome::workers`] count.
     pub trace: TraceDigest,

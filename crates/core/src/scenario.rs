@@ -16,13 +16,15 @@
 //! 82576 ports, mirroring the paper's server (receiver) and client (sender)
 //! iperf runs.
 
-use crate::netsim::{AppSched, IsolationProfile, NetSim, NodeConfig, SimOutcome};
+use crate::netsim::{
+    AppSched, Fault, IsolationProfile, NetSim, NodeConfig, NodeId, SimOutcome, SwitchId,
+};
 use crate::CapnetError;
 use capnet_chaos::ChaosConfig;
 use capnet_httpd::{FleetConfig, HttpServerConfig, HTTPD_PORT};
 use fstack::CcAlgo;
 use simkern::cost::CostModel;
-use simkern::time::SimDuration;
+use simkern::time::{SimDuration, SimTime};
 use std::fmt;
 use std::net::Ipv4Addr;
 use updk::nic::NicModel;
@@ -137,6 +139,170 @@ enum Workload {
     },
 }
 
+/// What a scheduled fault does to its target.
+///
+/// Paired with a [`FaultTarget`] and a virtual-time offset in a
+/// [`FaultPlan`] entry. The `*Down`/`*Fail`/`Crash` ops have matching
+/// `*Up`/`*Recover`/`Restart` inverses; a plan that never heals a fault
+/// simply leaves the domain dark for the rest of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// Blackhole the target host's access link (both directions).
+    LinkDown,
+    /// Heal a previous [`FaultOp::LinkDown`] on the same host.
+    LinkUp,
+    /// Fail the target switch: every ingress frame is dropped.
+    SwitchFail,
+    /// Recover the target switch; its MAC table restarts cold.
+    SwitchRecover,
+    /// Power-cycle the target host down: stack and apps are destroyed,
+    /// in-flight frames to it die on the wire.
+    NodeCrash,
+    /// Boot the crashed host back up: a factory-fresh stack plus every
+    /// app the scenario originally installed (listeners re-established,
+    /// fleets restarted with their original seeds).
+    NodeRestart,
+}
+
+/// Who a scheduled fault hits, in topology-relative terms.
+///
+/// Resolved to concrete node/switch ids when [`ScenarioSpec::run`] builds
+/// the topology, so one plan is portable across sizes of the same shape.
+/// `Hub`/`Leaf` only exist on the star; `Client`/`Server` only on the
+/// dumbbell; `Switch(0)` is the star's single fabric or the dumbbell's
+/// left switch (`Switch(1)` its right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// The star's hub host.
+    Hub,
+    /// Star leaf `i`.
+    Leaf(usize),
+    /// Dumbbell client `i` (left side).
+    Client(usize),
+    /// Dumbbell server `i` (right side).
+    Server(usize),
+    /// Switch `i` in topology construction order.
+    Switch(usize),
+}
+
+/// A deterministic fault schedule: virtual-time-stamped link, switch and
+/// node faults executed as first-class simulation events.
+///
+/// Offsets are relative to boot ([`SimTime::ZERO`]). The plan is part of
+/// the scenario's input tuple: the same spec (plan included) produces a
+/// byte-identical [`SimOutcome::trace`] at any [`ScenarioSpec::workers`]
+/// count, and an **empty plan schedules nothing** — a fault-free run's
+/// digest is provably unchanged by this subsystem existing.
+///
+/// ```no_run
+/// # use capnet::scenario::{FaultPlan, FaultTarget, ScenarioSpec};
+/// # use simkern::time::SimDuration;
+/// let ms = SimDuration::from_millis;
+/// let out = ScenarioSpec::star(4)
+///     .faults(
+///         FaultPlan::new()
+///             .link_down(ms(20), FaultTarget::Hub)
+///             .link_up(ms(35), FaultTarget::Hub)
+///             .node_crash(ms(50), FaultTarget::Leaf(2))
+///             .node_restart(ms(70), FaultTarget::Leaf(2)),
+///     )
+///     .run();
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<(SimDuration, FaultOp, FaultTarget)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (schedules nothing; digest-free).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The number of scheduled fault events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Schedules `op` against `target` at boot-relative offset `at`.
+    #[must_use]
+    pub fn event(mut self, at: SimDuration, op: FaultOp, target: FaultTarget) -> Self {
+        self.events.push((at, op, target));
+        self
+    }
+
+    /// Blackholes `target`'s access link at `at`.
+    #[must_use]
+    pub fn link_down(self, at: SimDuration, target: FaultTarget) -> Self {
+        self.event(at, FaultOp::LinkDown, target)
+    }
+
+    /// Heals `target`'s access link at `at`.
+    #[must_use]
+    pub fn link_up(self, at: SimDuration, target: FaultTarget) -> Self {
+        self.event(at, FaultOp::LinkUp, target)
+    }
+
+    /// Fails switch `target` at `at`.
+    #[must_use]
+    pub fn switch_fail(self, at: SimDuration, target: FaultTarget) -> Self {
+        self.event(at, FaultOp::SwitchFail, target)
+    }
+
+    /// Recovers switch `target` at `at` (MAC table cold).
+    #[must_use]
+    pub fn switch_recover(self, at: SimDuration, target: FaultTarget) -> Self {
+        self.event(at, FaultOp::SwitchRecover, target)
+    }
+
+    /// Crashes host `target` at `at`.
+    #[must_use]
+    pub fn node_crash(self, at: SimDuration, target: FaultTarget) -> Self {
+        self.event(at, FaultOp::NodeCrash, target)
+    }
+
+    /// Restarts host `target` at `at` with its original apps.
+    #[must_use]
+    pub fn node_restart(self, at: SimDuration, target: FaultTarget) -> Self {
+        self.event(at, FaultOp::NodeRestart, target)
+    }
+}
+
+/// A [`FaultTarget`] resolved against a built topology.
+#[derive(Debug, Clone, Copy)]
+enum ResolvedTarget {
+    Node(NodeId),
+    Switch(SwitchId),
+}
+
+/// Combines an op with its resolved target, rejecting host ops aimed at
+/// switches and switch ops aimed at hosts.
+fn fault_event(
+    op: FaultOp,
+    target: FaultTarget,
+    resolved: ResolvedTarget,
+) -> Result<Fault, CapnetError> {
+    match (op, resolved) {
+        (FaultOp::LinkDown, ResolvedTarget::Node(node)) => Ok(Fault::LinkDown { node }),
+        (FaultOp::LinkUp, ResolvedTarget::Node(node)) => Ok(Fault::LinkUp { node }),
+        (FaultOp::NodeCrash, ResolvedTarget::Node(node)) => Ok(Fault::NodeCrash { node }),
+        (FaultOp::NodeRestart, ResolvedTarget::Node(node)) => Ok(Fault::NodeRestart { node }),
+        (FaultOp::SwitchFail, ResolvedTarget::Switch(sw)) => Ok(Fault::SwitchFail { sw }),
+        (FaultOp::SwitchRecover, ResolvedTarget::Switch(sw)) => Ok(Fault::SwitchRecover { sw }),
+        (FaultOp::SwitchFail | FaultOp::SwitchRecover, ResolvedTarget::Node(_)) => Err(
+            CapnetError::Config(format!("{op:?} needs a switch target, got {target:?}")),
+        ),
+        (_, ResolvedTarget::Switch(_)) => Err(CapnetError::Config(format!(
+            "{op:?} needs a host target, got {target:?}"
+        ))),
+    }
+}
+
 /// A declarative scenario: **one builder, one [`ScenarioSpec::run`]** —
 /// the redesigned entry point that replaced the accreting `run_*`
 /// function family (now thin deprecated wrappers over this type).
@@ -223,6 +389,7 @@ pub struct ScenarioSpec {
     sched: AppSched,
     chaos: Option<ChaosConfig>,
     isolation_ns: u64,
+    faults: FaultPlan,
 }
 
 impl ScenarioSpec {
@@ -242,6 +409,7 @@ impl ScenarioSpec {
             sched: AppSched::RoundRobin,
             chaos: None,
             isolation_ns: 0,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -371,6 +539,19 @@ impl ScenarioSpec {
         self
     }
 
+    /// Star/dumbbell only: installs a deterministic fault schedule — link
+    /// blackholes, switch failures, host crash/restart cycles — executed
+    /// as first-class simulation events at the plan's virtual-time
+    /// offsets. Targets are resolved against the built topology (a
+    /// [`FaultTarget::Hub`] plan on a dumbbell is a configuration error).
+    /// An empty plan (the default) schedules nothing and leaves the run's
+    /// digest untouched.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Star/dumbbell only: charges every host `ns` nanoseconds per
     /// application `ff_*` call — the cross-compartment trampoline cost of
     /// full isolation (default 0: intra-domain calls). The isolation
@@ -413,13 +594,33 @@ impl ScenarioSpec {
         }
     }
 
+    /// Resolves the fault plan through `resolve` (topology-relative
+    /// target → concrete host/switch) and schedules every event.
+    fn schedule_faults(
+        &self,
+        sim: &mut NetSim,
+        resolve: impl Fn(FaultTarget) -> Result<ResolvedTarget, CapnetError>,
+    ) -> Result<(), CapnetError> {
+        for &(at, op, target) in &self.faults.events {
+            let fault = fault_event(op, target, resolve(target)?)?;
+            sim.add_fault(SimTime::ZERO + at, fault);
+        }
+        Ok(())
+    }
+
     /// The chaos campaign retargeted at `ip`: the wire adversary (when
-    /// enabled) fuzzes the workload's server address; the other injector
-    /// families carry no network target.
-    fn chaos_for(&self, cfg: &ChaosConfig, ip: Ipv4Addr) -> ChaosConfig {
+    /// enabled) fuzzes the workload's server address, and the TCP forger
+    /// impersonates the real client at `peer` against `ip`'s listener;
+    /// the other injector families carry no network target.
+    fn chaos_for(&self, cfg: &ChaosConfig, ip: Ipv4Addr, peer: Ipv4Addr) -> ChaosConfig {
         let mut cfg = cfg.clone();
         if let Some(wire) = &mut cfg.wire {
             wire.target_ip = ip;
+        }
+        if let Some(forge) = &mut cfg.forge {
+            forge.victim_ip = ip;
+            forge.victim_port = HTTPD_PORT;
+            forge.client_ip = peer;
         }
         cfg
     }
@@ -431,6 +632,13 @@ impl ScenarioSpec {
             return Err(CapnetError::Config(
                 "the HTTP serving plane runs on star/dumbbell topologies; \
                  the paper testbed measures bulk transfer"
+                    .into(),
+            ));
+        }
+        if !self.faults.is_empty() {
+            return Err(CapnetError::Config(
+                "fault plans run on star/dumbbell topologies; the paper \
+                 testbed has no topology-relative fault targets"
                     .into(),
             ));
         }
@@ -578,9 +786,29 @@ impl ScenarioSpec {
             }
         }
         if let Some(chaos) = &self.chaos {
-            let cfg = self.chaos_for(chaos, star.hub_ip);
+            let peer = *star.leaf_ips.last().expect("star has at least one leaf");
+            let cfg = self.chaos_for(chaos, star.hub_ip, peer);
             sim.add_chaos(star.leaves[0], "star-chaos", cfg)?;
         }
+        self.schedule_faults(&mut sim, |target| match target {
+            FaultTarget::Hub => Ok(ResolvedTarget::Node(star.hub)),
+            FaultTarget::Leaf(i) => {
+                star.leaves
+                    .get(i)
+                    .copied()
+                    .map(ResolvedTarget::Node)
+                    .ok_or(CapnetError::Config(format!(
+                        "star has {leaves} leaves, no Leaf({i})"
+                    )))
+            }
+            FaultTarget::Switch(0) => Ok(ResolvedTarget::Switch(star.switch)),
+            FaultTarget::Switch(i) => Err(CapnetError::Config(format!(
+                "star has one switch, no Switch({i})"
+            ))),
+            FaultTarget::Client(_) | FaultTarget::Server(_) => Err(CapnetError::Config(format!(
+                "{target:?} is a dumbbell target; the star addresses Hub/Leaf(i)"
+            ))),
+        })?;
         if self.isolation_ns > 0 {
             let profile = IsolationProfile {
                 per_ff_call_ns: self.isolation_ns,
@@ -642,9 +870,39 @@ impl ScenarioSpec {
             }
         }
         if let Some(chaos) = &self.chaos {
-            let cfg = self.chaos_for(chaos, bell.server_ips[0]);
+            let peer = *bell
+                .client_ips
+                .last()
+                .expect("dumbbell has at least one client");
+            let cfg = self.chaos_for(chaos, bell.server_ips[0], peer);
             sim.add_chaos(bell.clients[0], "bell-chaos", cfg)?;
         }
+        self.schedule_faults(&mut sim, |target| match target {
+            FaultTarget::Client(i) => bell
+                .clients
+                .get(i)
+                .copied()
+                .map(ResolvedTarget::Node)
+                .ok_or(CapnetError::Config(format!(
+                    "dumbbell has {pairs} pairs, no Client({i})"
+                ))),
+            FaultTarget::Server(i) => bell
+                .servers
+                .get(i)
+                .copied()
+                .map(ResolvedTarget::Node)
+                .ok_or(CapnetError::Config(format!(
+                    "dumbbell has {pairs} pairs, no Server({i})"
+                ))),
+            FaultTarget::Switch(0) => Ok(ResolvedTarget::Switch(bell.left)),
+            FaultTarget::Switch(1) => Ok(ResolvedTarget::Switch(bell.right)),
+            FaultTarget::Switch(i) => Err(CapnetError::Config(format!(
+                "dumbbell has two switches, no Switch({i})"
+            ))),
+            FaultTarget::Hub | FaultTarget::Leaf(_) => Err(CapnetError::Config(format!(
+                "{target:?} is a star target; the dumbbell addresses Client(i)/Server(i)"
+            ))),
+        })?;
         if self.isolation_ns > 0 {
             let profile = IsolationProfile {
                 per_ff_call_ns: self.isolation_ns,
@@ -1061,6 +1319,81 @@ mod tests {
             .http(HttpServerConfig::default(), FleetConfig::default())
             .run();
         assert!(matches!(err, Err(CapnetError::Config(_))));
+    }
+
+    /// Fault plans resolve against the topology they name: star targets
+    /// on a dumbbell (and vice versa), out-of-range indices, op/target
+    /// kind mismatches and any plan on the paper testbed are
+    /// configuration errors.
+    #[test]
+    fn fault_plan_validation() {
+        let ms = SimDuration::from_millis;
+        let cases: [(ScenarioSpec, FaultPlan); 5] = [
+            (
+                ScenarioSpec::dumbbell(2),
+                FaultPlan::new().link_down(ms(5), FaultTarget::Hub),
+            ),
+            (
+                ScenarioSpec::star(2),
+                FaultPlan::new().node_crash(ms(5), FaultTarget::Leaf(2)),
+            ),
+            (
+                ScenarioSpec::star(2),
+                FaultPlan::new().switch_fail(ms(5), FaultTarget::Switch(1)),
+            ),
+            (
+                ScenarioSpec::star(2),
+                FaultPlan::new().switch_fail(ms(5), FaultTarget::Hub),
+            ),
+            (
+                ScenarioSpec::paper(ScenarioKind::Scenario1, TrafficMode::Server),
+                FaultPlan::new().link_down(ms(5), FaultTarget::Hub),
+            ),
+        ];
+        for (spec, plan) in cases {
+            let err = spec.duration(ms(10)).faults(plan.clone()).run();
+            assert!(
+                matches!(err, Err(CapnetError::Config(_))),
+                "plan {plan:?} should be rejected"
+            );
+        }
+    }
+
+    /// End-to-end fault execution: flap the hub uplink and crash/restart
+    /// a leaf mid-run. The run completes, every fault is counted once,
+    /// and the blackholed window plus the dead leaf cost traffic.
+    #[test]
+    fn star_survives_link_flap_and_leaf_crash() {
+        let ms = SimDuration::from_millis;
+        let out = ScenarioSpec::star(3)
+            .duration(ms(60))
+            .seed(0xFA17)
+            .http(
+                HttpServerConfig::default(),
+                FleetConfig {
+                    rate_per_sec: 2_000,
+                    ..FleetConfig::default()
+                },
+            )
+            .faults(
+                FaultPlan::new()
+                    .link_down(ms(20), FaultTarget::Hub)
+                    .link_up(ms(30), FaultTarget::Hub)
+                    .node_crash(ms(15), FaultTarget::Leaf(2))
+                    .node_restart(ms(40), FaultTarget::Leaf(2)),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(out.fault_stats.link_down_events, 1);
+        assert_eq!(out.fault_stats.link_up_events, 1);
+        assert_eq!(out.fault_stats.node_crashes, 1);
+        assert_eq!(out.fault_stats.node_restarts, 1);
+        assert!(
+            out.impairment_stats.blackholed > 0,
+            "the downed uplink must blackhole frames"
+        );
+        let ok: u64 = out.http_fleets.iter().map(|f| f.requests_ok).sum();
+        assert!(ok > 0, "surviving fleets must keep completing requests");
     }
 
     /// Scenario 1 server side: both ports receiving share the PCI bus,

@@ -115,6 +115,15 @@ pub struct StackStats {
     pub parse_drop_tcp: u64,
     /// UDP datagrams that failed to parse (length lies, checksum mismatch).
     pub parse_drop_udp: u64,
+    /// RST segments dropped by sequence validation (RFC 5961 §3): blind
+    /// reset forgeries against live 4-tuples, summed over all connections.
+    pub rst_forgery_drops: u64,
+    /// SYN segments dropped on synchronized connections (RFC 5961 §4):
+    /// blind SYN forgeries, summed over all connections.
+    pub syn_forgery_drops: u64,
+    /// Connections that died of retransmission give-up (ETIMEDOUT): the
+    /// bounded R2 user timeout declared the peer dead.
+    pub conn_timeouts: u64,
 }
 
 impl StackStats {
@@ -524,6 +533,8 @@ impl FStack {
                 Errno::ECONNREFUSED
             } else if tcb.was_reset() {
                 Errno::ECONNRESET
+            } else if tcb.was_timed_out() {
+                Errno::ETIMEDOUT
             } else {
                 Errno::EPIPE
             });
@@ -568,6 +579,9 @@ impl FStack {
             }
             if tcb.was_reset() {
                 return Err(Errno::ECONNRESET);
+            }
+            if tcb.was_timed_out() {
+                return Err(Errno::ETIMEDOUT);
             }
             return if tcb.at_eof() || tcb.state() == TcpState::Closed {
                 Ok(0)
@@ -683,6 +697,15 @@ impl FStack {
         let sock = self.sockets.get_mut(fd).ok_or(Errno::EBADF)?;
         match sock {
             Socket::TcpConn(tcb) => {
+                if tcb.state() == TcpState::Closed {
+                    // Already dead (orderly finish, refused, reset or
+                    // timed out): nothing left for the protocol to do —
+                    // free the slot now instead of leaving an error'd
+                    // zombie the reaper is told to preserve.
+                    let (local, remote) = tcb.endpoints();
+                    self.conn_map.remove(&(local.1, remote.0, remote.1));
+                    return self.sockets.free(fd).map(|_| ());
+                }
                 tcb.close();
                 self.mark_hot(fd); // the FIN leaves on the next poll
                 Ok(()) // reaped when Closed
@@ -778,9 +801,10 @@ impl FStack {
                 if tcb.writable() {
                     f = f | EpollFlags::OUT;
                 }
-                if tcb.was_refused() || tcb.was_reset() {
-                    // Refused/reset connections report EPOLLERR so event
-                    // loops pick the errno up via the next ff_read/ff_write.
+                if tcb.was_refused() || tcb.was_reset() || tcb.was_timed_out() {
+                    // Refused/reset/timed-out connections report EPOLLERR
+                    // so event loops pick the errno up via the next
+                    // ff_read/ff_write.
                     f = f | EpollFlags::ERR;
                 }
                 if matches!(tcb.state(), TcpState::Closed | TcpState::TimeWait) {
@@ -983,8 +1007,15 @@ impl FStack {
         if let Some(&fd) = self.conn_map.get(&key) {
             if let Some(tcb) = self.sockets.get_mut(fd).and_then(Socket::tcb_mut) {
                 let was_established = tcb.is_established();
+                let pre = tcb.stats();
                 tcb.on_segment(now, &seg);
+                let post = tcb.stats();
                 let established_now = tcb.is_established();
+                // Surface per-connection forgery drops (RFC 5961) as
+                // stack-level counters, parse_drops-style: adversarial
+                // input is rejected *and visible*.
+                self.stats.rst_forgery_drops += post.rst_drops - pre.rst_drops;
+                self.stats.syn_forgery_drops += post.syn_drops - pre.syn_drops;
                 self.mark_dirty(fd);
                 self.mark_hot(fd);
                 if !was_established && established_now {
@@ -1134,6 +1165,8 @@ impl FStack {
         let mut frames: Vec<FrameBuf> = Vec::new();
         type ConnKey = (u16, Ipv4Addr, u16);
         let mut reap: Vec<(Fd, Option<ConnKey>)> = Vec::new();
+        let mut embryonic: Vec<(Fd, ConnKey)> = Vec::new();
+        let mut giveups = 0u64;
         let mut to_send: Vec<(Ipv4Addr, FrameBufMut)> = Vec::new();
         let mut ident = self.ident;
         let src_ip = self.cfg.ip;
@@ -1144,6 +1177,7 @@ impl FStack {
             match sock {
                 Socket::TcpConn(tcb) => {
                     let (local, remote) = tcb.endpoints();
+                    let pre_giveups = tcb.stats().rtx_giveups;
                     tcb.poll_output_into(now, &mut |seg, payload| {
                         let mut fb = FrameBufMut::with_headroom(TX_HEADROOM);
                         seg.build_into(local.0, remote.0, payload, &mut fb);
@@ -1151,11 +1185,23 @@ impl FStack {
                         ident = ident.wrapping_add(1);
                         to_send.push((remote.0, fb));
                     });
+                    giveups += tcb.stats().rtx_giveups - pre_giveups;
                     // Orderly-closed TCBs are reaped; error'd ones
-                    // (refused/reset) stay valid until the application
-                    // observes the errno and ff_close()s, per POSIX.
-                    if tcb.state() == TcpState::Closed && !tcb.was_refused() && !tcb.was_reset() {
-                        reap.push((fd, Some((local.1, remote.0, remote.1))));
+                    // (refused/reset/timed-out) stay valid until the
+                    // application observes the errno and ff_close()s, per
+                    // POSIX. Two exceptions have no owner left to observe
+                    // anything: a TCB whose close the app already
+                    // requested (e.g. FIN_WAIT_1 retransmission give-up
+                    // after ff_close — the fd was given back), and one
+                    // that was never accepted at all (the embryonic sweep
+                    // below).
+                    if tcb.state() == TcpState::Closed {
+                        let errored = tcb.was_refused() || tcb.was_reset() || tcb.was_timed_out();
+                        if !errored || tcb.app_closed() {
+                            reap.push((fd, Some((local.1, remote.0, remote.1))));
+                        } else {
+                            embryonic.push((fd, (local.1, remote.0, remote.1)));
+                        }
                     }
                 }
                 Socket::Udp { local, tx, .. } => {
@@ -1182,6 +1228,7 @@ impl FStack {
                 frames.push(frame);
             }
         }
+        self.stats.conn_timeouts += giveups;
         for (fd, key) in reap {
             if let Some(k) = key {
                 self.conn_map.remove(&k);
@@ -1190,6 +1237,25 @@ impl FStack {
             // app observes the close on its next dirty-driven step.
             self.mark_dirty(fd);
             self.sockets.free(fd).ok();
+        }
+        // Embryonic sweep: a server-side TCB killed (exact-match RST or
+        // rtx give-up) *before* the application accepted it has no owner
+        // to observe the errno — if it is still parked in its listener's
+        // backlog, unhook and free it so forged RSTs and dead dialers
+        // cannot clog the accept queue with zombies.
+        for (fd, key) in embryonic {
+            let Some(&lfd) = self.listen_map.get(&key.0) else {
+                continue;
+            };
+            let Some(Socket::TcpListen { backlog, .. }) = self.sockets.get_mut(lfd) else {
+                continue;
+            };
+            if let Some(pos) = backlog.iter().position(|&b| b == fd) {
+                backlog.remove(pos);
+                self.conn_map.remove(&key);
+                self.mark_dirty(lfd);
+                self.sockets.free(fd).ok();
+            }
         }
         // Re-arm the visited sockets' timer entries from their TCBs'
         // current earliest deadlines (reaped fds resolve to no deadline).

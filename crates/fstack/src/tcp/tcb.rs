@@ -61,6 +61,16 @@ pub struct TcbStats {
     /// Retransmissions driven by the SACK scoreboard (subset of
     /// `retransmits`).
     pub sack_retransmits: u64,
+    /// Retransmission give-ups: the R2 user timeout expired and the
+    /// connection was declared dead (surfaces as `ETIMEDOUT`).
+    pub rtx_giveups: u64,
+    /// RST segments dropped by validation (wrong sequence number, or an
+    /// RST in SYN_SENT that does not acknowledge our SYN) — blind-reset
+    /// forgeries, RFC 5961 §3.
+    pub rst_drops: u64,
+    /// SYN segments dropped on a synchronized connection (blind-SYN
+    /// forgeries or stale duplicates) — RFC 5961 §4.
+    pub syn_drops: u64,
 }
 
 /// Socket buffer size (64 KiB: the no-window-scale maximum; ample for the
@@ -158,6 +168,8 @@ pub struct Tcb {
     refused: bool,
     /// Established connection torn down by peer RST (ECONNRESET).
     reset_by_peer: bool,
+    /// Retransmission give-up: peer declared dead (ETIMEDOUT).
+    timed_out: bool,
 
     stats: TcbStats,
 }
@@ -239,6 +251,7 @@ impl Tcb {
             ts_recent: 0,
             refused: false,
             reset_by_peer: false,
+            timed_out: false,
             stats: TcbStats::default(),
         }
     }
@@ -422,6 +435,19 @@ impl Tcb {
         self.reset_by_peer
     }
 
+    /// `true` when the connection died of retransmission give-up — every
+    /// R2 backoff tier went unanswered, the condition behind `ETIMEDOUT`.
+    pub fn was_timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    /// `true` once the application has requested an orderly close. An
+    /// error'd TCB with this set has no owner left to observe the errno
+    /// (the app already gave the fd back), so the reaper may free it.
+    pub fn app_closed(&self) -> bool {
+        self.close_requested
+    }
+
     // ---- wire surface ----
 
     /// Processes an incoming segment at `now`. Output (ACKs, data,
@@ -429,16 +455,22 @@ impl Tcb {
     pub fn on_segment(&mut self, now: SimTime, seg: &TcpSegment) {
         self.stats.segs_in += 1;
         if seg.flags.rst {
-            // An RST during the handshake is the peer's "connection
-            // refused"; afterwards it is a reset of an established
-            // connection. The distinction surfaces as ECONNREFUSED vs
-            // ECONNRESET at the ff_* layer.
-            if self.state == TcpState::SynSent {
-                self.refused = true;
-            } else if self.state != TcpState::Closed {
-                self.reset_by_peer = true;
-            }
-            self.state = TcpState::Closed;
+            self.on_rst(seg);
+            return;
+        }
+        // RFC 5961 §4: a SYN on a synchronized connection (a blind forgery
+        // or a stale duplicate) never resets state. Drop it, count it, and
+        // answer with a challenge ACK — a genuinely desynchronized peer
+        // learns our sequence numbers and can reset us with an exact match;
+        // a forger learns nothing it can use blindly.
+        if seg.flags.syn
+            && !matches!(
+                self.state,
+                TcpState::SynSent | TcpState::Listen | TcpState::Closed
+            )
+        {
+            self.stats.syn_drops += 1;
+            self.ack_now = true;
             return;
         }
         if let Some((tsval, _)) = seg.options.ts {
@@ -459,6 +491,45 @@ impl Tcb {
                 // (a fuller stack would RST).
             }
             _ => self.on_segment_synchronized(now, seg),
+        }
+    }
+
+    /// RST validation (RFC 5961 §3). An RST during the handshake is the
+    /// peer's "connection refused" — but only when it acknowledges *our*
+    /// SYN. In synchronized states only an RST whose sequence number
+    /// exactly matches `rcv_nxt` tears the connection down; an in-window
+    /// but inexact sequence earns a challenge ACK (so a legitimate but
+    /// desynchronized peer can re-aim), and everything else is a counted
+    /// blind-forgery drop. TIME_WAIT never honors an RST at all — the
+    /// RFC 1337 assassination hazard — because its whole job is to drain
+    /// old duplicates, forged or not.
+    fn on_rst(&mut self, seg: &TcpSegment) {
+        match self.state {
+            TcpState::SynSent => {
+                if seg.flags.ack && seg.ack == self.iss.wrapping_add(1) {
+                    self.refused = true;
+                    self.state = TcpState::Closed;
+                } else {
+                    self.stats.rst_drops += 1;
+                }
+            }
+            TcpState::Listen | TcpState::Closed => {}
+            TcpState::TimeWait => {
+                self.stats.rst_drops += 1;
+            }
+            _ => {
+                let rcv_nxt = self.rcv_nxt();
+                if seg.seq == rcv_nxt {
+                    self.reset_by_peer = true;
+                    self.state = TcpState::Closed;
+                } else {
+                    let wnd = self.recv_buf.window().min(u32::from(u16::MAX));
+                    if seq_ge(seg.seq, rcv_nxt) && seq_lt(seg.seq, rcv_nxt.wrapping_add(wnd)) {
+                        self.ack_now = true;
+                    }
+                    self.stats.rst_drops += 1;
+                }
+            }
         }
     }
 
@@ -901,8 +972,13 @@ impl Tcb {
                     // went unanswered — declare the peer dead so closing
                     // states (LAST_ACK against a vanished peer, FIN
                     // retransmission storms) converge instead of looping.
+                    // The give-up is counted and flagged so SYN, data and
+                    // FIN retransmission all surface as ETIMEDOUT, never
+                    // as a zombie TCB.
                     self.state = TcpState::Closed;
                     self.rtx_deadline = None;
+                    self.timed_out = true;
+                    self.stats.rtx_giveups += 1;
                     return;
                 }
                 self.retransmit_head(now, true, emit);
@@ -1003,6 +1079,14 @@ impl Tcb {
         !matches!(self.state, TcpState::SynSent | TcpState::SynReceived) || self.snd_nxt != self.iss
     }
 
+    /// The next sequence number we expect from the peer (their FIN, once
+    /// received, occupies one number).
+    fn rcv_nxt(&self) -> u32 {
+        self.recv_buf
+            .next_seq()
+            .wrapping_add(u32::from(self.fin_rcvd))
+    }
+
     fn arm_rtx(&mut self, now: SimTime) {
         if self.rtx_deadline.is_none() {
             self.rtx_deadline = Some(now + SimDuration::from_nanos(self.rto));
@@ -1075,13 +1159,7 @@ impl Tcb {
     }
 
     fn make_seg(&self, now: SimTime, flags: TcpFlags, seq: u32, payload: FrameBuf) -> TcpSegment {
-        let ack = if flags.ack {
-            self.recv_buf
-                .next_seq()
-                .wrapping_add(u32::from(self.fin_rcvd))
-        } else {
-            0
-        };
+        let ack = if flags.ack { self.rcv_nxt() } else { 0 };
         // Report our reassembly holes so the peer's scoreboard can drive
         // selective retransmission.
         let mut sack = SackBlocks::EMPTY;
@@ -1274,13 +1352,11 @@ mod tests {
         assert_eq!(c.state(), TcpState::Closed);
     }
 
-    #[test]
-    fn rst_kills_the_connection() {
-        let (now, mut c, _s) = established_pair();
-        let rst = TcpSegment {
+    fn rst_seg(seq: u32) -> TcpSegment {
+        TcpSegment {
             src_port: B.1,
             dst_port: A.1,
-            seq: 0,
+            seq,
             ack: 0,
             flags: TcpFlags {
                 rst: true,
@@ -1289,14 +1365,98 @@ mod tests {
             window: 0,
             options: TcpOptions::default(),
             payload: FrameBuf::new(),
-        };
-        c.on_segment(now, &rst);
+        }
+    }
+
+    #[test]
+    fn rst_kills_the_connection() {
+        let (now, mut c, _s) = established_pair();
+        // Exact-match RST: seq is the client's rcv_nxt (server iss 9000 + 1).
+        c.on_segment(now, &rst_seg(9001));
         assert_eq!(c.state(), TcpState::Closed);
         assert!(!c.writable());
         assert_eq!(c.write(b"x"), 0);
         // Established + RST = reset by peer, not refused.
         assert!(c.was_reset());
         assert!(!c.was_refused());
+    }
+
+    #[test]
+    fn forged_rst_without_exact_seq_is_dropped_and_counted() {
+        let (now, mut c, _s) = established_pair();
+        // Out-of-window blind forgery: ignored outright.
+        c.on_segment(now, &rst_seg(0xDEAD_BEEF));
+        assert_eq!(c.state(), TcpState::Established);
+        assert!(!c.was_reset());
+        // In-window but inexact: still dropped, but earns a challenge ACK.
+        c.on_segment(now, &rst_seg(9001 + 100));
+        assert_eq!(c.state(), TcpState::Established);
+        let acks = c.poll_output(now);
+        assert!(
+            acks.iter().any(|s| s.flags.ack && s.payload.is_empty()),
+            "challenge ACK for the in-window forgery"
+        );
+        assert_eq!(c.stats().rst_drops, 2, "both forgeries counted");
+        // The exact match still works afterwards.
+        c.on_segment(now, &rst_seg(9001));
+        assert_eq!(c.state(), TcpState::Closed);
+        assert!(c.was_reset());
+    }
+
+    #[test]
+    fn rst_in_syn_sent_without_matching_ack_is_dropped() {
+        let now = SimTime::from_micros(5);
+        let mut c = Tcb::connect(A, B, 1_000, MSS);
+        let _syn = c.poll_output(now);
+        // A blind RST that does not acknowledge our SYN must not refuse
+        // the connection (it could be forged by anyone guessing ports).
+        let mut rst = rst_seg(0);
+        rst.ack = 777; // wrong: our iss+1 is 1_001
+        rst.flags.ack = true;
+        c.on_segment(now, &rst);
+        assert_eq!(c.state(), TcpState::SynSent);
+        assert!(!c.was_refused());
+        assert_eq!(c.stats().rst_drops, 1);
+        // RST without any ACK flag at all: equally ignored in SYN_SENT.
+        c.on_segment(now, &rst_seg(0));
+        assert_eq!(c.state(), TcpState::SynSent);
+        assert_eq!(c.stats().rst_drops, 2);
+    }
+
+    #[test]
+    fn forged_syn_on_established_is_dropped_with_challenge_ack() {
+        let (now, mut c, _s) = established_pair();
+        let mut syn = rst_seg(0x1234_5678);
+        syn.flags.rst = false;
+        syn.flags.syn = true;
+        c.on_segment(now, &syn);
+        assert_eq!(
+            c.state(),
+            TcpState::Established,
+            "blind SYN changes nothing"
+        );
+        assert_eq!(c.stats().syn_drops, 1);
+        let acks = c.poll_output(now);
+        assert!(
+            acks.iter().any(|s| s.flags.ack && !s.flags.syn),
+            "challenge ACK emitted"
+        );
+    }
+
+    #[test]
+    fn time_wait_is_immune_to_rst_assassination() {
+        let (mut now, mut c, mut s) = established_pair();
+        c.close();
+        pump(&mut now, &mut c, &mut s);
+        s.close();
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(c.state(), TcpState::TimeWait);
+        // Even an exact-sequence RST must not shortcut the 2MSL drain
+        // (RFC 1337: TIME-WAIT assassination).
+        c.on_segment(now, &rst_seg(9002));
+        assert_eq!(c.state(), TcpState::TimeWait);
+        assert!(!c.was_reset());
+        assert_eq!(c.stats().rst_drops, 1);
     }
 
     #[test]
@@ -1549,6 +1709,66 @@ mod tests {
         }
         assert_eq!(s.state(), TcpState::Closed, "gave up after R2");
         assert!(s.stats().retransmits >= 3, "FIN was retried first");
+        assert!(s.was_timed_out(), "give-up is flagged for ETIMEDOUT");
+        assert_eq!(s.stats().rtx_giveups, 1, "give-up is counted");
+    }
+
+    /// Polls `t` forward until it reaches `Closed`, returning the virtual
+    /// time that took. Panics past `bound` — the give-up must be bounded.
+    fn drive_to_closed(t: &mut Tcb, mut now: SimTime, bound: SimDuration) -> SimDuration {
+        let start = now;
+        while t.state() != TcpState::Closed {
+            assert!(
+                now - start <= bound,
+                "no give-up after {:?} in {:?}",
+                now - start,
+                t.state()
+            );
+            let _ = t.poll_output(now);
+            now += SimDuration::from_millis(5);
+        }
+        now - start
+    }
+
+    /// The zombie-TCB audit bound: R2 give-up with full exponential
+    /// backoff is ≈1.1 s of virtual silence; three seconds is generous.
+    fn give_up_bound() -> SimDuration {
+        SimDuration::from_millis(3_000)
+    }
+
+    #[test]
+    fn syn_sent_against_a_dead_peer_times_out() {
+        let now = SimTime::from_millis(1);
+        let mut c = Tcb::connect(A, B, 1_000, MSS);
+        // Every SYN vanishes into the partition.
+        let took = drive_to_closed(&mut c, now, give_up_bound());
+        assert!(c.was_timed_out(), "SYN give-up surfaces as timeout");
+        assert!(!c.was_refused() && !c.was_reset());
+        assert_eq!(c.stats().rtx_giveups, 1);
+        assert!(c.stats().retransmits >= 3, "SYN was retried first");
+        assert!(took > SimDuration::from_millis(20), "not an instant fail");
+    }
+
+    #[test]
+    fn established_mid_transfer_against_a_dead_peer_times_out() {
+        let (now, mut c, _s) = established_pair();
+        c.write(b"into the void");
+        // The peer crashed: nothing is ever delivered again.
+        let _ = drive_to_closed(&mut c, now, give_up_bound());
+        assert!(c.was_timed_out());
+        assert_eq!(c.stats().rtx_giveups, 1);
+        assert!(c.stats().retransmits >= 3, "data was retried first");
+    }
+
+    #[test]
+    fn fin_wait_1_against_a_dead_peer_times_out() {
+        let (now, mut c, _s) = established_pair();
+        c.close();
+        // Our FIN is emitted but never acknowledged.
+        let _ = drive_to_closed(&mut c, now, give_up_bound());
+        assert!(c.was_timed_out());
+        assert_eq!(c.stats().rtx_giveups, 1);
+        assert!(c.stats().retransmits >= 3, "FIN was retried first");
     }
 
     fn established_sack_pair() -> (SimTime, Tcb, Tcb) {

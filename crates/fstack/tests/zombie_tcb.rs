@@ -1,0 +1,187 @@
+//! The zombie-TCB audit: a partitioned peer must never leave a
+//! connection block alive forever.
+//!
+//! Each scenario cuts the wire under a different TCP state and drives the
+//! survivor through its own retransmission timers in the dark. The
+//! contract, in bounded *virtual* time (the R2 give-up ladder:
+//! 5 + 10 + 20 + 40 + 80 + 160 + 320 + 500 ms ≈ 1.14 s):
+//!
+//! * the TCB reaches `Closed` with a **counted** give-up
+//!   (`StackStats::conn_timeouts`);
+//! * the owning application observes `ETIMEDOUT` on its next `ff_*` call
+//!   — or, when it already gave the fd back (`ff_close` before the
+//!   partition, the FIN_WAIT_1 case), the reaper frees the block with no
+//!   further app action;
+//! * `socket_count()` returns to its floor once the fd is released, and
+//!   stays there past 2MSL — no quarantined-tuple or timer-wheel leaks.
+
+use cheri::{Capability, Perms, TaggedMemory};
+use chos::errno::Errno;
+use fstack::{FStack, StackConfig};
+use simkern::time::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+use updk::nic::MacAddr;
+
+const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const PORT: u16 = 7070;
+/// Covers the full give-up ladder with slack.
+const DARK_HORIZON: SimDuration = SimDuration::from_millis(3_000);
+/// The stack's 2MSL (TIME_WAIT) span, with slack.
+const TWO_MSL: SimDuration = SimDuration::from_millis(120);
+
+fn pair() -> (FStack, FStack) {
+    let mut a = FStack::new(StackConfig::new("a", MacAddr::local(1), A_IP));
+    let mut b = FStack::new(StackConfig::new("b", MacAddr::local(2), B_IP));
+    a.arp_cache_mut().insert_static(B_IP, MacAddr::local(2));
+    b.arp_cache_mut().insert_static(A_IP, MacAddr::local(1));
+    (a, b)
+}
+
+fn app_buf(mem: &mut TaggedMemory) -> Capability {
+    mem.root_cap()
+        .try_restrict(0, 4_096)
+        .unwrap()
+        .try_restrict_perms(Perms::data())
+        .unwrap()
+}
+
+/// Exchanges frames both ways until quiescent (handshakes, ACKs, FINs).
+fn pump(a: &mut FStack, b: &mut FStack, now: &mut SimTime) {
+    for _ in 0..12 {
+        *now += SimDuration::from_micros(50);
+        for f in a.poll_tx(*now) {
+            b.input_buf(*now, &f);
+        }
+        for f in b.poll_tx(*now) {
+            a.input_buf(*now, &f);
+        }
+    }
+}
+
+/// Drives `s` alone through its own timer deadlines for `horizon`,
+/// blackholing every frame it emits — the partition.
+fn drive_dark(s: &mut FStack, now: &mut SimTime, horizon: SimDuration) {
+    let end = *now + horizon;
+    // Flush pending tx-side calls first: that emission arms the TCB's
+    // retransmission timer, which the loop below then walks.
+    let _ = s.poll_tx(*now);
+    while let Some(d) = s.next_timer_deadline() {
+        if d > end {
+            break;
+        }
+        *now = (*now).max(d);
+        let _ = s.poll_tx(*now);
+    }
+    *now = end;
+    let _ = s.poll_tx(*now);
+}
+
+/// SYN_SENT into a black hole: the active open retransmits, gives up,
+/// surfaces `ETIMEDOUT`, and the fd releases its slot on close.
+#[test]
+fn syn_sent_gives_up_and_frees_the_slot() {
+    let (mut a, _b) = pair();
+    let mut mem = TaggedMemory::new(65_536);
+    let buf = app_buf(&mut mem);
+    let mut now = SimTime::ZERO;
+    let fd = a.ff_socket(fstack::socket::SockType::Stream).unwrap();
+    a.ff_connect(fd, (B_IP, PORT), now).unwrap();
+    assert_eq!(a.socket_count(), 1);
+
+    drive_dark(&mut a, &mut now, DARK_HORIZON);
+
+    let stats = a.stats();
+    assert_eq!(
+        stats.conn_timeouts, 1,
+        "the give-up must be counted exactly once: {stats:?}"
+    );
+    assert_eq!(
+        a.ff_read(&mut mem, fd, &buf, 1_024),
+        Err(Errno::ETIMEDOUT),
+        "the owner observes the partition as ETIMEDOUT"
+    );
+    // Observing the errno and closing releases the slot for good.
+    a.ff_close(fd).unwrap();
+    assert_eq!(a.socket_count(), 0);
+    drive_dark(&mut a, &mut now, TWO_MSL);
+    assert_eq!(a.socket_count(), 0, "no resurrection past 2MSL");
+}
+
+/// ESTABLISHED with unacknowledged data: the sender retransmits the
+/// segment ladder into the void, gives up, and both the write and read
+/// paths surface `ETIMEDOUT`.
+#[test]
+fn established_mid_transfer_gives_up_with_counted_timeout() {
+    let (mut a, mut b) = pair();
+    let mut mem = TaggedMemory::new(65_536);
+    let buf = app_buf(&mut mem);
+    let mut now = SimTime::ZERO;
+    let lfd = b.ff_socket(fstack::socket::SockType::Stream).unwrap();
+    b.ff_bind(lfd, PORT).unwrap();
+    b.ff_listen(lfd, 4).unwrap();
+    let fd = a.ff_socket(fstack::socket::SockType::Stream).unwrap();
+    a.ff_connect(fd, (B_IP, PORT), now).unwrap();
+    pump(&mut a, &mut b, &mut now);
+    let bfd = b.ff_accept(lfd).expect("handshake completed");
+
+    // Data leaves A and is never acknowledged again.
+    a.ff_write(&mut mem, fd, &buf, 2_048).unwrap();
+    drive_dark(&mut a, &mut now, DARK_HORIZON);
+
+    let stats = a.stats();
+    assert_eq!(stats.conn_timeouts, 1, "one counted give-up: {stats:?}");
+    assert_eq!(a.ff_write(&mut mem, fd, &buf, 16), Err(Errno::ETIMEDOUT));
+    assert_eq!(a.ff_read(&mut mem, fd, &buf, 16), Err(Errno::ETIMEDOUT));
+    a.ff_close(fd).unwrap();
+    assert_eq!(a.socket_count(), 0, "the dead conn's slot is released");
+    drive_dark(&mut a, &mut now, TWO_MSL);
+    assert_eq!(a.socket_count(), 0);
+    // The oblivious peer still holds its two fds (listener + conn) — its
+    // own app closes them; nothing hidden remains after that.
+    b.ff_close(bfd).unwrap();
+    b.ff_close(lfd).unwrap();
+    let mut bnow = now;
+    drive_dark(&mut b, &mut bnow, DARK_HORIZON + TWO_MSL);
+    assert_eq!(b.socket_count(), 0, "peer side drains to its floor too");
+}
+
+/// FIN_WAIT_1 into a black hole **after** the app already closed the fd:
+/// nobody is left to observe an errno, so the reaper itself must free the
+/// block once the FIN retransmissions give up — the classic zombie-TCB
+/// leak.
+#[test]
+fn fin_wait_1_give_up_is_reaped_without_an_owner() {
+    let (mut a, mut b) = pair();
+    let mut now = SimTime::ZERO;
+    let lfd = b.ff_socket(fstack::socket::SockType::Stream).unwrap();
+    b.ff_bind(lfd, PORT).unwrap();
+    b.ff_listen(lfd, 4).unwrap();
+    let fd = a.ff_socket(fstack::socket::SockType::Stream).unwrap();
+    a.ff_connect(fd, (B_IP, PORT), now).unwrap();
+    pump(&mut a, &mut b, &mut now);
+    b.ff_accept(lfd).expect("handshake completed");
+
+    // The app hands the fd back; the FIN sails into the partition.
+    a.ff_close(fd).unwrap();
+    assert_eq!(
+        a.socket_count(),
+        1,
+        "the closing conn holds its slot while the FIN is in flight"
+    );
+    drive_dark(&mut a, &mut now, DARK_HORIZON);
+
+    let stats = a.stats();
+    assert_eq!(stats.conn_timeouts, 1, "the give-up is counted: {stats:?}");
+    assert_eq!(
+        a.socket_count(),
+        0,
+        "an ownerless timed-out TCB must be reaped, not leaked"
+    );
+    drive_dark(&mut a, &mut now, TWO_MSL);
+    assert_eq!(a.socket_count(), 0, "still at the floor past 2MSL");
+    // A fresh connection to the same tuple works — no quarantine debris.
+    let fd2 = a.ff_socket(fstack::socket::SockType::Stream).unwrap();
+    a.ff_connect(fd2, (B_IP, PORT), now).unwrap();
+    assert_eq!(a.socket_count(), 1);
+}

@@ -62,6 +62,19 @@ pub struct FleetConfig {
     pub loris_drip_bytes: usize,
     /// Gap between drips on a loris connection.
     pub loris_drip_interval: SimDuration,
+    /// Per-connection retry budget after a failure (refused, reset,
+    /// early EOF, partition timeout, overload 503). 0 disables retries
+    /// entirely — and consumes no RNG, keeping pre-retry digests intact.
+    pub retry_budget: u32,
+    /// Exponential backoff base: attempt `n` waits a uniformly drawn
+    /// ("full jitter") delay in `[0, min(cap, base · 2ⁿ))`.
+    pub retry_backoff_base: SimDuration,
+    /// Ceiling on the backoff window.
+    pub retry_backoff_cap: SimDuration,
+    /// Probability (‰) that an arrival is a legacy **HTTP/1.0** client:
+    /// one request, no `Connection` header, the version's implicit close.
+    /// 0 disables the mix and leaves the RNG stream untouched.
+    pub http10_per_mille: u64,
 }
 
 impl Default for FleetConfig {
@@ -78,6 +91,10 @@ impl Default for FleetConfig {
             loris_per_mille: 0,
             loris_drip_bytes: 1,
             loris_drip_interval: SimDuration::from_millis(5),
+            retry_budget: 0,
+            retry_backoff_base: SimDuration::from_millis(2),
+            retry_backoff_cap: SimDuration::from_millis(50),
+            http10_per_mille: 0,
         }
     }
 }
@@ -130,6 +147,10 @@ struct FleetConn {
     loris: bool,
     /// Keep-alive (multi-request) vs close-per-request.
     keep_alive: bool,
+    /// Legacy HTTP/1.0 client (single request, implicit close).
+    http10: bool,
+    /// Which attempt this connection is (0 = the original arrival).
+    attempt: u32,
     /// Requests still to issue on this connection (incl. the current).
     reqs_left: u64,
     /// Composed request bytes being written.
@@ -143,6 +164,35 @@ struct FleetConn {
     think_until: SimTime,
     /// Next drip instant while [`CState::Dripping`].
     next_drip: SimTime,
+}
+
+/// How a connection failed — decides the counter it lands in and whether
+/// the fleet schedules a retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailKind {
+    /// RST to our SYN.
+    Refused,
+    /// Reset after establishment.
+    Reset,
+    /// Server closed mid-response.
+    EofEarly,
+    /// TCP gave up retransmitting into a partition (`ETIMEDOUT`).
+    Timeout,
+    /// Overloaded server answered `503 Retry-After`.
+    Http503,
+}
+
+/// A failed connection waiting out its backoff before relaunch.
+#[derive(Debug, Clone, Copy)]
+struct Retry {
+    /// Relaunch instant (failure time + jittered backoff).
+    at: SimTime,
+    /// Attempt number the relaunch will carry.
+    attempt: u32,
+    keep_alive: bool,
+    http10: bool,
+    /// Request budget to resume with.
+    reqs_left: u64,
 }
 
 /// The fleet summary: error/shed accounting and the latency population.
@@ -175,6 +225,23 @@ pub struct FleetReport {
     /// Loris connections the server detected and shed (EOF/reset while
     /// dripping) — the defence working.
     pub loris_shed: u64,
+    /// Connections that died because TCP gave up retransmitting into a
+    /// partition (`ETIMEDOUT` surfaced through the `ff_*` API).
+    pub timeouts: u64,
+    /// `503 Service Unavailable` answers received (server overload).
+    pub http503: u64,
+    /// Relaunches scheduled after failures (each is also counted in
+    /// [`FleetReport::conns_started`] when it launches).
+    pub retries: u64,
+    /// Failures abandoned because the retry budget was exhausted (or the
+    /// relaunch itself was shed).
+    pub retry_giveups: u64,
+    /// Connections that spoke HTTP/1.0 (the legacy-client mix).
+    pub http10_conns: u64,
+    /// Virtual-time instants (ns since boot) of every 200, sorted — the
+    /// recovery-analysis series (time-to-first-success after a heal,
+    /// goodput inside a partition window).
+    pub ok_at_ns: Vec<u64>,
     /// Per-request latency population (request send → response fully
     /// parsed), nanoseconds, sorted ascending.
     pub latencies_ns: Vec<u64>,
@@ -238,11 +305,28 @@ impl FleetReport {
             agg.shed += r.shed;
             agg.loris_conns += r.loris_conns;
             agg.loris_shed += r.loris_shed;
+            agg.timeouts += r.timeouts;
+            agg.http503 += r.http503;
+            agg.retries += r.retries;
+            agg.retry_giveups += r.retry_giveups;
+            agg.http10_conns += r.http10_conns;
+            agg.ok_at_ns.extend_from_slice(&r.ok_at_ns);
             agg.latencies_ns.extend_from_slice(&r.latencies_ns);
             agg.elapsed = agg.elapsed.max(r.elapsed);
         }
+        agg.ok_at_ns.sort_unstable();
         agg.latencies_ns.sort_unstable();
         agg
+    }
+
+    /// Connection amplification from retries: launches per original
+    /// arrival (1.0 when nothing retried).
+    pub fn retry_amplification(&self) -> f64 {
+        let originals = self.conns_started.saturating_sub(self.retries);
+        if originals == 0 {
+            return 1.0;
+        }
+        self.conns_started as f64 / originals as f64
     }
 }
 
@@ -261,6 +345,8 @@ pub struct FleetApp {
     /// Arrivals stop here.
     open_end: SimTime,
     conns: Vec<FleetConn>,
+    /// Failed connections waiting out their backoff (insertion order).
+    retry_queue: Vec<Retry>,
     conns_started: u64,
     conns_completed: u64,
     requests_ok: u64,
@@ -272,6 +358,12 @@ pub struct FleetApp {
     shed: u64,
     loris_conns: u64,
     loris_shed: u64,
+    timeouts: u64,
+    http503: u64,
+    retries: u64,
+    retry_giveups: u64,
+    http10_conns: u64,
+    ok_at_ns: Vec<u64>,
     latencies_ns: Vec<u64>,
     last_activity: Option<SimTime>,
     /// Reused fd list handed to the driver's dirty-routing cache.
@@ -309,6 +401,7 @@ impl FleetApp {
             next_arrival: now + SimDuration::from_nanos(gap),
             open_end,
             conns: Vec::new(),
+            retry_queue: Vec::new(),
             conns_started: 0,
             conns_completed: 0,
             requests_ok: 0,
@@ -320,6 +413,12 @@ impl FleetApp {
             shed: 0,
             loris_conns: 0,
             loris_shed: 0,
+            timeouts: 0,
+            http503: 0,
+            retries: 0,
+            retry_giveups: 0,
+            http10_conns: 0,
+            ok_at_ns: Vec::new(),
             latencies_ns: Vec::new(),
             last_activity: None,
             fds: Vec::new(),
@@ -343,6 +442,7 @@ impl FleetApp {
     /// an arrival is due, or a thinking connection's deadline passed.
     pub fn due(&self, now: SimTime) -> bool {
         (self.next_arrival <= now && self.next_arrival <= self.open_end)
+            || self.retry_queue.iter().any(|r| r.at <= now)
             || self.conns.iter().any(|c| {
                 (c.state == CState::Thinking && c.think_until <= now)
                     || (c.state == CState::Dripping && c.next_drip <= now)
@@ -359,6 +459,11 @@ impl FleetApp {
         } else {
             None
         };
+        for r in &self.retry_queue {
+            if d.is_none_or(|cur| r.at < cur) {
+                d = Some(r.at);
+            }
+        }
         for c in &self.conns {
             if c.state == CState::Thinking && d.is_none_or(|cur| c.think_until < cur) {
                 d = Some(c.think_until);
@@ -370,9 +475,10 @@ impl FleetApp {
         d
     }
 
-    /// `true` once arrivals are exhausted and every connection drained.
+    /// `true` once arrivals are exhausted and every connection (and
+    /// pending retry) drained.
     pub fn is_done(&self, now: SimTime) -> bool {
-        now >= self.open_end && self.conns.is_empty()
+        now >= self.open_end && self.conns.is_empty() && self.retry_queue.is_empty()
     }
 
     /// One poll-mode step: launch due arrivals, then advance every
@@ -396,6 +502,18 @@ impl FleetApp {
             let mean = 1_000_000_000 / self.cfg.rate_per_sec.max(1);
             let gap = exp_sample_ns(&mut self.rng, mean);
             self.next_arrival += SimDuration::from_nanos(gap.max(1));
+        }
+        // Relaunch failures whose backoff expired, in the order they were
+        // scheduled (a retry that fails again re-enters the queue with
+        // its next backoff, processed on a later step).
+        let mut r = 0;
+        while r < self.retry_queue.len() {
+            if self.retry_queue[r].at <= now {
+                let retry = self.retry_queue.remove(r);
+                self.relaunch(stack, now, retry, &mut out)?;
+            } else {
+                r += 1;
+            }
         }
         // Advance connections (index loop: completions swap_remove).
         let mut i = 0;
@@ -429,6 +547,13 @@ impl FleetApp {
         } else {
             1
         };
+        // Appended last so enabling the legacy mix leaves every earlier
+        // draw in the stream untouched; 0 (the default) draws nothing.
+        let http10 =
+            self.cfg.http10_per_mille > 0 && self.rng.chance_per_mille(self.cfg.http10_per_mille);
+        // HTTP/1.0 clients are one-shot: no keep-alive, single request.
+        let keep_alive = keep_alive && !http10;
+        let reqs = if http10 { 1 } else { reqs };
         if self.conns.len() >= self.cfg.max_open {
             self.shed += 1;
             return Ok(());
@@ -464,6 +589,8 @@ impl FleetApp {
             state: CState::Connecting,
             loris,
             keep_alive,
+            http10,
+            attempt: 0,
             reqs_left: reqs,
             out: Vec::new(),
             out_off: 0,
@@ -476,8 +603,144 @@ impl FleetApp {
         if loris {
             self.loris_conns += 1;
         }
+        if http10 {
+            self.http10_conns += 1;
+        }
         out.progressed = true;
         self.last_activity = Some(now);
+        Ok(())
+    }
+
+    /// Relaunches one failed connection whose backoff expired: the same
+    /// socket/connect path as [`FleetApp::launch`] but with the original
+    /// arrival's draws carried over — a retry consumes no RNG beyond the
+    /// jitter drawn when it was scheduled.
+    fn relaunch(
+        &mut self,
+        stack: &mut FStack,
+        now: SimTime,
+        retry: Retry,
+        out: &mut StepOutcome,
+    ) -> Result<(), Errno> {
+        if self.conns.len() >= self.cfg.max_open {
+            self.shed += 1;
+            self.retry_giveups += 1;
+            return Ok(());
+        }
+        out.ff_calls += 1;
+        let fd = match stack.ff_socket(SockType::Stream) {
+            Ok(fd) => fd,
+            Err(Errno::EMFILE) => {
+                self.shed += 1;
+                self.retry_giveups += 1;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        out.ff_calls += 1;
+        match stack.ff_connect(fd, self.cfg.target, now) {
+            Ok(()) => {}
+            Err(Errno::EADDRNOTAVAIL) => {
+                self.addr_exhausted += 1;
+                out.ff_calls += 1;
+                stack.ff_close(fd)?;
+                // Port pressure is transient; burn another attempt.
+                self.maybe_retry(
+                    retry.attempt,
+                    retry.keep_alive,
+                    retry.http10,
+                    retry.reqs_left,
+                    now,
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        out.ff_calls += 1;
+        stack.ff_epoll_ctl_add(self.epfd, fd, EpollFlags::IN | EpollFlags::OUT)?;
+        self.conns.push(FleetConn {
+            fd,
+            state: CState::Connecting,
+            loris: false,
+            keep_alive: retry.keep_alive,
+            http10: retry.http10,
+            attempt: retry.attempt,
+            reqs_left: retry.reqs_left,
+            out: Vec::new(),
+            out_off: 0,
+            inbuf: Vec::new(),
+            sent_at: now,
+            think_until: now,
+            next_drip: now,
+        });
+        self.conns_started += 1;
+        if retry.http10 {
+            self.http10_conns += 1;
+        }
+        out.progressed = true;
+        self.last_activity = Some(now);
+        Ok(())
+    }
+
+    /// Schedules a relaunch after a failure, if the budget allows:
+    /// capped exponential backoff with **full jitter** (the delay is
+    /// drawn uniformly from `[0, window)` at failure time, so every draw
+    /// stays in deterministic schedule order). With the budget at 0 (the
+    /// default) nothing is drawn and the RNG stream — and every
+    /// pre-retry digest — is untouched.
+    fn maybe_retry(
+        &mut self,
+        attempt: u32,
+        keep_alive: bool,
+        http10: bool,
+        reqs_left: u64,
+        now: SimTime,
+    ) {
+        if self.cfg.retry_budget == 0 {
+            return;
+        }
+        if attempt >= self.cfg.retry_budget {
+            self.retry_giveups += 1;
+            return;
+        }
+        let base = self.cfg.retry_backoff_base.as_nanos().max(1);
+        let cap = self.cfg.retry_backoff_cap.as_nanos().max(base);
+        let window = base.saturating_mul(1u64 << attempt.min(20)).min(cap);
+        let delay = self.rng.below(window.max(1));
+        self.retry_queue.push(Retry {
+            at: now + SimDuration::from_nanos(delay),
+            attempt: attempt + 1,
+            keep_alive,
+            http10,
+            reqs_left: reqs_left.max(1),
+        });
+        self.retries += 1;
+    }
+
+    /// Tears down connection `i` after a failure: counts the kind, then
+    /// (budget allowing) schedules the relaunch.
+    fn fail_conn(
+        &mut self,
+        stack: &mut FStack,
+        i: usize,
+        kind: FailKind,
+        now: SimTime,
+        out: &mut StepOutcome,
+    ) -> Result<(), Errno> {
+        match kind {
+            FailKind::Refused => self.refused += 1,
+            FailKind::Reset => self.resets += 1,
+            FailKind::EofEarly => self.eof_early += 1,
+            FailKind::Timeout => self.timeouts += 1,
+            FailKind::Http503 => self.http503 += 1,
+        }
+        let c = &self.conns[i];
+        let (attempt, keep_alive, http10, reqs_left) =
+            (c.attempt, c.keep_alive, c.http10, c.reqs_left.max(1));
+        // A 503 is an orderly HTTP exchange; the wire-level failures are
+        // not.
+        self.finish_conn(stack, i, kind == FailKind::Http503, out)?;
+        self.maybe_retry(attempt, keep_alive, http10, reqs_left, now);
         Ok(())
     }
 
@@ -492,7 +755,13 @@ impl FleetApp {
         let close = !c.keep_alive || c.reqs_left == 1;
         c.out.clear();
         c.out_off = 0;
-        http::build_request(&self.cfg.paths[path_i], close, &mut c.out);
+        if c.http10 {
+            // Legacy client: bare HTTP/1.0, no Connection header — the
+            // server must apply the version's implicit close.
+            http::build_request10(&self.cfg.paths[path_i], &mut c.out);
+        } else {
+            http::build_request(&self.cfg.paths[path_i], close, &mut c.out);
+        }
         c.state = CState::Sending;
         c.sent_at = now;
     }
@@ -533,9 +802,15 @@ impl FleetApp {
                 let r = stack.readiness(fd);
                 out.ff_calls += 1;
                 if r.contains(EpollFlags::ERR) {
-                    // RST to our SYN: connection refused.
-                    self.refused += 1;
-                    self.finish_conn(stack, i, false, out)?;
+                    // The SYN died. Probe the errno to tell a refusal
+                    // (RST) from a partition (retransmission give-up).
+                    out.ff_calls += 1;
+                    let kind = match stack.ff_read(mem, fd, &self.buf, self.buf.len()) {
+                        Err(Errno::ECONNREFUSED) => FailKind::Refused,
+                        Err(Errno::ETIMEDOUT) => FailKind::Timeout,
+                        _ => FailKind::Reset,
+                    };
+                    self.fail_conn(stack, i, kind, now, out)?;
                     return Ok(false);
                 }
                 if r.contains(EpollFlags::OUT) {
@@ -601,13 +876,15 @@ impl FleetApp {
                 }
                 Err(Errno::EAGAIN) => return Ok(true),
                 Err(Errno::ECONNREFUSED) => {
-                    self.refused += 1;
-                    self.finish_conn(stack, i, false, out)?;
+                    self.fail_conn(stack, i, FailKind::Refused, now, out)?;
                     return Ok(false);
                 }
                 Err(Errno::ECONNRESET) | Err(Errno::EPIPE) => {
-                    self.resets += 1;
-                    self.finish_conn(stack, i, false, out)?;
+                    self.fail_conn(stack, i, FailKind::Reset, now, out)?;
+                    return Ok(false);
+                }
+                Err(Errno::ETIMEDOUT) => {
+                    self.fail_conn(stack, i, FailKind::Timeout, now, out)?;
                     return Ok(false);
                 }
                 Err(e) => return Err(e),
@@ -643,7 +920,7 @@ impl FleetApp {
                 out.bytes += n;
             }
             Err(Errno::EAGAIN) => {}
-            Err(Errno::ECONNRESET) | Err(Errno::ECONNREFUSED) => {
+            Err(Errno::ECONNRESET) | Err(Errno::ECONNREFUSED) | Err(Errno::ETIMEDOUT) => {
                 self.loris_shed += 1;
                 self.finish_conn(stack, i, false, out)?;
                 return Ok(false);
@@ -677,7 +954,7 @@ impl FleetApp {
                     self.last_activity = Some(now);
                 }
                 Err(Errno::EAGAIN) => {}
-                Err(Errno::ECONNRESET) | Err(Errno::EPIPE) => {
+                Err(Errno::ECONNRESET) | Err(Errno::EPIPE) | Err(Errno::ETIMEDOUT) => {
                     self.loris_shed += 1;
                     self.finish_conn(stack, i, false, out)?;
                     return Ok(false);
@@ -724,8 +1001,11 @@ impl FleetApp {
                 }
                 Err(Errno::EAGAIN) => break,
                 Err(Errno::ECONNRESET) | Err(Errno::ECONNREFUSED) => {
-                    self.resets += 1;
-                    self.finish_conn(stack, i, false, out)?;
+                    self.fail_conn(stack, i, FailKind::Reset, now, out)?;
+                    return Ok(false);
+                }
+                Err(Errno::ETIMEDOUT) => {
+                    self.fail_conn(stack, i, FailKind::Timeout, now, out)?;
                     return Ok(false);
                 }
                 Err(e) => return Err(e),
@@ -741,11 +1021,18 @@ impl FleetApp {
                 self.latencies_ns.push(latency);
                 if status == 200 {
                     self.requests_ok += 1;
+                    self.ok_at_ns.push(now.as_nanos());
                 } else {
                     self.non200 += 1;
                 }
                 out.progressed = true;
                 self.last_activity = Some(now);
+                if status == 503 {
+                    // Overload shed: the server said when to come back;
+                    // close now and relaunch after backoff.
+                    self.fail_conn(stack, i, FailKind::Http503, now, out)?;
+                    return Ok(false);
+                }
                 let c = &mut self.conns[i];
                 c.inbuf.drain(..consumed);
                 c.reqs_left = c.reqs_left.saturating_sub(1);
@@ -765,15 +1052,13 @@ impl FleetApp {
             RespParse::Partial => {
                 if eof {
                     // Server closed before completing the response.
-                    self.eof_early += 1;
-                    self.finish_conn(stack, i, false, out)?;
+                    self.fail_conn(stack, i, FailKind::EofEarly, now, out)?;
                     return Ok(false);
                 }
                 Ok(true)
             }
             RespParse::Bad => {
-                self.eof_early += 1;
-                self.finish_conn(stack, i, false, out)?;
+                self.fail_conn(stack, i, FailKind::EofEarly, now, out)?;
                 Ok(false)
             }
         }
@@ -784,6 +1069,8 @@ impl FleetApp {
         let end = self.last_activity.unwrap_or(now).min(now);
         let mut latencies = self.latencies_ns;
         latencies.sort_unstable();
+        let mut ok_at = self.ok_at_ns;
+        ok_at.sort_unstable();
         FleetReport {
             label: self.label,
             conns_started: self.conns_started,
@@ -797,6 +1084,12 @@ impl FleetApp {
             shed: self.shed,
             loris_conns: self.loris_conns,
             loris_shed: self.loris_shed,
+            timeouts: self.timeouts,
+            http503: self.http503,
+            retries: self.retries,
+            retry_giveups: self.retry_giveups,
+            http10_conns: self.http10_conns,
+            ok_at_ns: ok_at,
             latencies_ns: latencies,
             elapsed: end - self.started,
         }

@@ -19,8 +19,12 @@ pub struct Request<'a> {
     pub method: &'a str,
     /// The request target, e.g. `/static/0`.
     pub path: &'a str,
-    /// `true` when the client sent `Connection: close`.
+    /// `true` when the connection must close after this exchange: the
+    /// client sent `Connection: close`, or spoke HTTP/1.0 without
+    /// `Connection: keep-alive` (implicit close is 1.0's default).
     pub close: bool,
+    /// `true` when the request line said `HTTP/1.0`.
+    pub http10: bool,
 }
 
 /// Outcome of a request-parse attempt over a (possibly still filling)
@@ -71,23 +75,40 @@ fn starts_with_ci(line: &[u8], prefix: &[u8]) -> bool {
             .all(|(a, b)| a.eq_ignore_ascii_case(b))
 }
 
+/// The `Connection` header's value, as far as framing cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnHdr {
+    /// No `Connection` header (the version's default applies).
+    Absent,
+    /// `Connection: close`.
+    Close,
+    /// `Connection: keep-alive` (how HTTP/1.0 opts into persistence).
+    KeepAlive,
+}
+
 /// Scans header lines (between the first line and the blank line) for
-/// `Connection: close` and `Content-Length`, tolerating optional spaces
-/// after the colon.
-fn scan_headers(head: &[u8]) -> (bool, Option<usize>) {
-    let mut close = false;
+/// `Connection` and `Content-Length`, tolerating optional spaces after
+/// the colon.
+fn scan_headers(head: &[u8]) -> (ConnHdr, Option<usize>) {
+    let mut conn = ConnHdr::Absent;
     let mut content_length = None;
     for line in head.split(|&b| b == b'\n').skip(1) {
         let line = line.strip_suffix(b"\r").unwrap_or(line);
         if starts_with_ci(line, b"connection:") {
             let v = line[b"connection:".len()..].trim_ascii();
-            close = v.eq_ignore_ascii_case(b"close");
+            conn = if v.eq_ignore_ascii_case(b"close") {
+                ConnHdr::Close
+            } else if v.eq_ignore_ascii_case(b"keep-alive") {
+                ConnHdr::KeepAlive
+            } else {
+                ConnHdr::Absent
+            };
         } else if starts_with_ci(line, b"content-length:") {
             let v = line[b"content-length:".len()..].trim_ascii();
             content_length = std::str::from_utf8(v).ok().and_then(|s| s.parse().ok());
         }
     }
-    (close, content_length)
+    (conn, content_length)
 }
 
 /// Parses one request head from the front of `buf`.
@@ -114,16 +135,25 @@ pub fn parse_request(buf: &[u8]) -> ReqParse<'_> {
     if parts.next().is_some() || !version.starts_with("HTTP/1.") || path.is_empty() {
         return ReqParse::Bad;
     }
-    let (close, content_length) = scan_headers(head);
+    let http10 = version == "HTTP/1.0";
+    let (conn, content_length) = scan_headers(head);
     if content_length.is_some_and(|n| n > 0) {
         // The serving plane is GET-only; a request body is out of scope.
         return ReqParse::Bad;
     }
+    // HTTP/1.0 defaults to close; persistence is opt-in via
+    // `Connection: keep-alive`. HTTP/1.1 is the reverse.
+    let close = match conn {
+        ConnHdr::Close => true,
+        ConnHdr::KeepAlive => false,
+        ConnHdr::Absent => http10,
+    };
     ReqParse::Complete(
         Request {
             method,
             path,
             close,
+            http10,
         },
         end,
     )
@@ -156,7 +186,12 @@ pub fn parse_response(buf: &[u8]) -> RespParse {
     let Ok(status) = code.parse::<u16>() else {
         return RespParse::Bad;
     };
-    let (close, content_length) = scan_headers(head);
+    let (conn, content_length) = scan_headers(head);
+    let close = match conn {
+        ConnHdr::Close => true,
+        ConnHdr::KeepAlive => false,
+        ConnHdr::Absent => version == "HTTP/1.0",
+    };
     let body = content_length.unwrap_or(0);
     let total = end + body;
     if buf.len() < total {
@@ -180,6 +215,29 @@ pub fn build_request(path: &str, close: bool, out: &mut Vec<u8>) {
         out.extend_from_slice(b"Connection: close\r\n");
     }
     out.extend_from_slice(b"\r\n");
+}
+
+/// Appends an HTTP/1.0 request head for `path` onto `out`: no
+/// `Connection` header, so the version's implicit-close default applies
+/// (the legacy-client mix [`crate::FleetConfig::http10_per_mille`]
+/// drives through the serving plane).
+pub fn build_request10(path: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"GET ");
+    out.extend_from_slice(path.as_bytes());
+    out.extend_from_slice(b" HTTP/1.0\r\nHost: capnet\r\n\r\n");
+}
+
+/// Appends a `503 Service Unavailable` with a `Retry-After` hint onto
+/// `out` — the graceful-degradation shape an overloaded server sends
+/// before closing (see [`crate::HttpServerConfig::max_conns`]).
+pub fn build_503(retry_after_ms: u64, out: &mut Vec<u8>) {
+    out.extend_from_slice(
+        b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nRetry-After: ",
+    );
+    // Retry-After is delay-seconds (RFC 9110 §10.2.3), rounded up so a
+    // sub-second hint never says "now".
+    out.extend_from_slice(retry_after_ms.div_ceil(1000).to_string().as_bytes());
+    out.extend_from_slice(b"\r\nConnection: close\r\n\r\n");
 }
 
 /// Appends a full response (status line, `Content-Length`, `Connection`,
@@ -254,6 +312,50 @@ mod tests {
             panic!("second response should parse");
         };
         assert_eq!((status, close), (429, true));
+    }
+
+    /// HTTP/1.0 close semantics are the inverse of 1.1's: implicit close
+    /// unless the client opts into `Connection: keep-alive`.
+    #[test]
+    fn http10_defaults_to_close() {
+        let mut wire = Vec::new();
+        build_request10("/a", &mut wire);
+        let ReqParse::Complete(r, used) = parse_request(&wire) else {
+            panic!("1.0 request should parse");
+        };
+        assert!(r.http10);
+        assert!(r.close, "bare HTTP/1.0 implies close");
+        assert_eq!(used, wire.len());
+
+        let ka = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let ReqParse::Complete(r, _) = parse_request(ka) else {
+            panic!("keep-alive 1.0 request should parse");
+        };
+        assert!(r.http10 && !r.close, "keep-alive opts out of the close");
+
+        let mut wire = Vec::new();
+        build_request("/a", false, &mut wire);
+        let ReqParse::Complete(r, _) = parse_request(&wire) else {
+            panic!();
+        };
+        assert!(!r.http10 && !r.close, "1.1 defaults to persistent");
+    }
+
+    #[test]
+    fn overload_503_carries_retry_after() {
+        let mut wire = Vec::new();
+        build_503(2_500, &mut wire);
+        let RespParse::Complete {
+            status,
+            close,
+            consumed,
+        } = parse_response(&wire)
+        else {
+            panic!("503 should parse");
+        };
+        assert_eq!((status, close, consumed), (503, true, wire.len()));
+        let text = std::str::from_utf8(&wire).unwrap();
+        assert!(text.contains("Retry-After: 3"), "2.5 s rounds up: {text}");
     }
 
     #[test]

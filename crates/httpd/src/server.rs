@@ -48,6 +48,13 @@ pub struct HttpServerConfig {
     /// without delivering a byte while the server is still waiting for a
     /// complete request is shed (slow-loris defence). `ZERO` disables.
     pub idle_header_timeout: SimDuration,
+    /// Graceful-degradation watermark: accepted connections beyond this
+    /// many already open are answered `503 Service Unavailable` (with a
+    /// `Retry-After` hint of [`HttpServerConfig::retry_after`]) and
+    /// closed, instead of being serviced. 0 disables.
+    pub max_conns: usize,
+    /// The `Retry-After` delay advertised on overload 503s.
+    pub retry_after: SimDuration,
 }
 
 impl Default for HttpServerConfig {
@@ -59,6 +66,8 @@ impl Default for HttpServerConfig {
             bucket_capacity: 0,
             bucket_refill_per_sec: 0,
             idle_header_timeout: SimDuration::ZERO,
+            max_conns: 0,
+            retry_after: SimDuration::from_millis(1000),
         }
     }
 }
@@ -127,6 +136,9 @@ pub struct HttpServerReport {
     /// Connections shed by the idle-header-read timeout (slow-loris
     /// clients holding sockets open with drip-fed partial requests).
     pub idle_shed: u64,
+    /// Connections answered `503 Retry-After` at accept because the open
+    /// count was over [`HttpServerConfig::max_conns`].
+    pub overloaded: u64,
     /// Request payload bytes read.
     pub bytes_in: u64,
     /// Response payload bytes accepted by `ff_write`.
@@ -154,6 +166,7 @@ pub struct HttpServerApp {
     rate_limited: u64,
     server_closed: u64,
     idle_shed: u64,
+    overloaded: u64,
     bytes_in: u64,
     bytes_out: u64,
     started: Option<SimTime>,
@@ -197,6 +210,7 @@ impl HttpServerApp {
             rate_limited: 0,
             server_closed: 0,
             idle_shed: 0,
+            overloaded: 0,
             bytes_in: 0,
             bytes_out: 0,
             started: None,
@@ -251,16 +265,29 @@ impl HttpServerApp {
                         .remote_addr(fd)
                         .map(|(ip, _)| ip)
                         .unwrap_or(Ipv4Addr::UNSPECIFIED);
-                    self.conns.push(Conn {
+                    // Over the graceful-degradation watermark the server
+                    // still accepts — leaving the SYN to rot would just
+                    // push the client into RTO — but answers a 503 with
+                    // a Retry-After hint and closes, shedding the work
+                    // while telling the client when to come back.
+                    let overloaded =
+                        self.cfg.max_conns > 0 && self.conns.len() >= self.cfg.max_conns;
+                    let mut conn = Conn {
                         fd,
                         peer,
                         inbuf: Vec::new(),
                         out: Vec::new(),
                         out_off: 0,
                         served: 0,
-                        close_after_flush: false,
+                        close_after_flush: overloaded,
                         last_byte: now,
-                    });
+                    };
+                    if overloaded {
+                        http::build_503(self.cfg.retry_after.as_nanos() / 1_000_000, &mut conn.out);
+                        self.overloaded += 1;
+                        self.server_closed += 1;
+                    }
+                    self.conns.push(conn);
                     self.accepted += 1;
                     out.progressed = true;
                     self.started.get_or_insert(now);
@@ -415,23 +442,27 @@ impl HttpServerApp {
                 Err(e) => return Err(e),
             }
         }
-        // Serve the pipeline.
+        // Serve the pipeline — unless the connection was condemned before
+        // any request was answered (overload 503): bytes arriving after
+        // that verdict are drained but never answered.
         let mut consumed = 0;
-        loop {
-            let c = &mut self.conns[i];
-            match http::parse_request(&c.inbuf[consumed..]) {
-                ReqParse::Complete(req, used) => {
-                    consumed += used;
-                    let wants_close = req.close;
-                    let path = req.path.to_string();
-                    self.requests += 1;
-                    self.respond(i, &path, wants_close, now);
-                    out.progressed = true;
-                }
-                ReqParse::Partial => break,
-                ReqParse::Bad => {
-                    self.server_closed += 1;
-                    return Ok(true);
+        if !self.conns[i].close_after_flush || self.conns[i].served > 0 {
+            loop {
+                let c = &mut self.conns[i];
+                match http::parse_request(&c.inbuf[consumed..]) {
+                    ReqParse::Complete(req, used) => {
+                        consumed += used;
+                        let wants_close = req.close;
+                        let path = req.path.to_string();
+                        self.requests += 1;
+                        self.respond(i, &path, wants_close, now);
+                        out.progressed = true;
+                    }
+                    ReqParse::Partial => break,
+                    ReqParse::Bad => {
+                        self.server_closed += 1;
+                        return Ok(true);
+                    }
                 }
             }
         }
@@ -554,6 +585,7 @@ impl HttpServerApp {
             rate_limited: self.rate_limited,
             server_closed: self.server_closed,
             idle_shed: self.idle_shed,
+            overloaded: self.overloaded,
             bytes_in: self.bytes_in,
             bytes_out: self.bytes_out,
             elapsed: end - started,

@@ -61,6 +61,9 @@ pub struct SwitchStats {
     pub filtered: u64,
     /// Egress copies tail-dropped because the port queue was full.
     pub dropped: u64,
+    /// Frames discarded on ingress while the switch was failed (a
+    /// scheduled `SwitchFail` fault).
+    pub fail_drops: u64,
 }
 
 /// One egress copy produced by [`LinkFabric::ingress`]: which port it
@@ -91,6 +94,7 @@ pub struct LinkFabric {
     table: HashMap<MacAddr, usize>,
     queue_capacity: usize,
     stats: SwitchStats,
+    failed: bool,
 }
 
 impl LinkFabric {
@@ -115,7 +119,29 @@ impl LinkFabric {
             table: HashMap::new(),
             queue_capacity,
             stats: SwitchStats::default(),
+            failed: false,
         }
+    }
+
+    /// Fails the switch: every subsequent ingress frame is discarded (and
+    /// counted in [`SwitchStats::fail_drops`]) until [`LinkFabric::recover`].
+    /// Copies already queued on egress ports were committed to the wire
+    /// before the failure and still depart.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Recovers a failed switch. The MAC table is flushed — a replacement
+    /// switch boots with an empty table, so traffic re-floods until every
+    /// station is relearned from live frames.
+    pub fn recover(&mut self) {
+        self.failed = false;
+        self.table.clear();
+    }
+
+    /// `true` while the switch is failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 
     /// Number of ports.
@@ -161,6 +187,10 @@ impl LinkFabric {
         costs: &CostModel,
     ) -> Vec<SwitchTx> {
         assert!(port < self.ports.len(), "ingress on invalid port {port}");
+        if self.failed {
+            self.stats.fail_drops += 1;
+            return Vec::new();
+        }
         self.stats.ingress += 1;
         let (dst, src) = parse_macs(frame.bytes());
         // Learn the sender (never the broadcast address: a broadcast source
@@ -408,5 +438,28 @@ mod tests {
     #[should_panic(expected = "at least 2 ports")]
     fn single_port_switch_is_rejected() {
         let _ = LinkFabric::new(1, 4);
+    }
+
+    #[test]
+    fn failed_switch_drops_ingress_and_recovery_flushes_the_table() {
+        let costs = CostModel::morello();
+        let mut sw = LinkFabric::new(3, 16);
+        // Learn two stations, establishing unicast forwarding.
+        sw.ingress(0, SimTime::ZERO, frame_to(mac(2), mac(1)), &costs);
+        sw.ingress(1, SimTime::ZERO, frame_to(mac(1), mac(2)), &costs);
+        assert_eq!(sw.stations(), 2);
+
+        sw.fail();
+        assert!(sw.is_failed());
+        let out = sw.ingress(0, SimTime::from_micros(1), frame_to(mac(2), mac(1)), &costs);
+        assert!(out.is_empty(), "failed switch forwards nothing");
+        assert_eq!(sw.stats().fail_drops, 1);
+
+        sw.recover();
+        assert!(!sw.is_failed());
+        assert_eq!(sw.stations(), 0, "recovery flushes the MAC table");
+        // Post-recovery unicast to a forgotten station floods again.
+        let out = sw.ingress(0, SimTime::from_micros(2), frame_to(mac(2), mac(1)), &costs);
+        assert_eq!(out.len(), 2, "unknown unicast re-floods until relearned");
     }
 }

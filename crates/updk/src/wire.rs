@@ -312,6 +312,9 @@ pub struct ImpairmentStats {
     pub duplicated: u64,
     /// Frames held back past later frames.
     pub reordered: u64,
+    /// Frames blackholed at the TX hop because the cable was
+    /// administratively down (a scheduled `LinkDown` fault).
+    pub blackholed: u64,
 }
 
 impl ImpairmentStats {
@@ -322,6 +325,7 @@ impl ImpairmentStats {
         self.corrupted += other.corrupted;
         self.duplicated += other.duplicated;
         self.reordered += other.reordered;
+        self.blackholed += other.blackholed;
     }
 }
 
@@ -525,6 +529,7 @@ mod tests {
             corrupted: 1,
             duplicated: 1,
             reordered: 1,
+            blackholed: 1,
         });
         total.absorb(ImpairmentStats {
             delivered: 1,
@@ -533,5 +538,6 @@ mod tests {
         assert_eq!(total.delivered, 3);
         assert_eq!(total.lost, 1);
         assert_eq!(total.corrupted, 1);
+        assert_eq!(total.blackholed, 1);
     }
 }

@@ -15,7 +15,7 @@
 
 use capnet::scenario::ScenarioSpec;
 use capnet::SimOutcome;
-use capnet_chaos::{BitFlipConfig, ChaosConfig, WalkerConfig, WireChaosConfig};
+use capnet_chaos::{BitFlipConfig, ChaosConfig, TcpForgeConfig, WalkerConfig, WireChaosConfig};
 use capnet_httpd::{FleetConfig, HttpServerConfig};
 use simkern::cost::CostModel;
 use simkern::time::SimDuration;
@@ -131,6 +131,74 @@ fn malformed_frames_are_rejected_and_counted_by_the_victim() {
         hub_stats.parse_drops() > 0,
         "the hub counted malformed-frame drops: {hub_stats:?}"
     );
+}
+
+/// The off-path TCP forger against the serving hub: blind RSTs and SYNs
+/// spoofing a real leaf's address at live connections. RFC 5961 holds —
+/// every forgery is a counted drop, no connection dies, service continues
+/// — and the whole attack is byte-identical at any worker count.
+fn forge_star(workers: usize) -> SimOutcome {
+    ScenarioSpec::star(4)
+        .duration(SimDuration::from_millis(20))
+        .costs(CostModel::morello())
+        .seed(23)
+        .workers(workers)
+        .adaptive_workers(false)
+        .http(
+            HttpServerConfig::default(),
+            FleetConfig {
+                rate_per_sec: 3_000,
+                keep_alive_per_mille: 700,
+                requests_per_conn: 8,
+                ..FleetConfig::default()
+            },
+        )
+        .chaos(ChaosConfig {
+            rounds: 150,
+            forge: Some(TcpForgeConfig {
+                frames_per_round: 6,
+                ..TcpForgeConfig::default()
+            }),
+            ..ChaosConfig::default()
+        })
+        .run()
+        .expect("forge star runs")
+}
+
+#[test]
+fn blind_rst_and_syn_forgeries_are_dropped_counted_and_deterministic() {
+    let base = forge_star(1);
+    let forge = base.chaos[0].forge.as_ref().expect("forger ran");
+    assert!(
+        forge.rsts_forged > 100 && forge.syns_forged > 100,
+        "the forger actually sprayed both kinds: {forge:?}"
+    );
+    let (_, hub_stats) = base
+        .stack_stats
+        .iter()
+        .find(|(name, _)| name == "hub")
+        .expect("hub stack stats present");
+    assert!(
+        hub_stats.rst_forgery_drops > 0,
+        "blind RSTs against live tuples must be counted drops: {hub_stats:?}"
+    );
+    assert!(
+        hub_stats.syn_forgery_drops > 0,
+        "blind SYNs against live tuples must be counted drops: {hub_stats:?}"
+    );
+    // RFC 5961: the barrage never tears a live connection down, so the
+    // serving plane keeps completing requests throughout.
+    let ok: u64 = base.http_fleets.iter().map(|f| f.requests_ok).sum();
+    assert!(ok > 50, "service continued under forgery: {ok} requests ok");
+    for workers in [2usize, 4] {
+        let out = forge_star(workers);
+        assert_eq!(base.trace, out.trace, "workers={workers}: wire trace");
+        assert_eq!(base.chaos, out.chaos, "workers={workers}: forge tallies");
+        assert_eq!(
+            base.stack_stats, out.stack_stats,
+            "workers={workers}: victim forgery counters"
+        );
+    }
 }
 
 /// Slow-loris fleets against the idle-header-read reaper: the server sheds

@@ -332,6 +332,146 @@ fn scenario_helpers_still_run_single_engine() {
     assert_eq!(bell.workers, 1);
 }
 
+/// The full fault pipeline under sharding: a hub-uplink flap, a leaf
+/// crash/restart and a switch blip, riding a retrying HTTP serving plane.
+/// Fault events are scheduled on every shard (identical keys everywhere),
+/// so the wire trace, the fleet/server reports and the merged fault
+/// counters must all be byte-identical at any worker count. The raw
+/// executed-event total is *not* compared — each shard burns its own
+/// fault bookkeeping events; the wire is the contract, not the engine's
+/// internal event count.
+fn faulted_star(workers: usize) -> SimOutcome {
+    let ms = SimDuration::from_millis;
+    capnet::ScenarioSpec::star(8)
+        .duration(ms(80))
+        .costs(CostModel::morello())
+        .seed(0xF417)
+        .workers(workers)
+        .adaptive_workers(false)
+        .http(
+            capnet_httpd::HttpServerConfig {
+                max_conns: 24,
+                ..capnet_httpd::HttpServerConfig::default()
+            },
+            capnet_httpd::FleetConfig {
+                rate_per_sec: 3_000,
+                keep_alive_per_mille: 400,
+                retry_budget: 3,
+                ..capnet_httpd::FleetConfig::default()
+            },
+        )
+        .faults(
+            capnet::FaultPlan::new()
+                .link_down(ms(20), capnet::FaultTarget::Hub)
+                .link_up(ms(32), capnet::FaultTarget::Hub)
+                .node_crash(ms(15), capnet::FaultTarget::Leaf(5))
+                .node_restart(ms(45), capnet::FaultTarget::Leaf(5))
+                .switch_fail(ms(55), capnet::FaultTarget::Switch(0))
+                .switch_recover(ms(58), capnet::FaultTarget::Switch(0)),
+        )
+        .run()
+        .expect("faulted star runs")
+}
+
+fn assert_fault_equivalent(base: &SimOutcome, out: &SimOutcome, what: &str) {
+    assert_eq!(base.trace, out.trace, "{what}: wire trace");
+    assert_eq!(base.ended_at, out.ended_at, "{what}: final instant");
+    assert_eq!(base.http_fleets, out.http_fleets, "{what}: fleet reports");
+    assert_eq!(
+        base.http_servers, out.http_servers,
+        "{what}: server reports"
+    );
+    assert_eq!(base.fault_stats, out.fault_stats, "{what}: fault counters");
+    assert_eq!(
+        base.impairment_stats, out.impairment_stats,
+        "{what}: blackhole tallies"
+    );
+    assert_eq!(base.stack_stats, out.stack_stats, "{what}: stack stats");
+    assert_eq!(base.switch_stats, out.switch_stats, "{what}: switch stats");
+}
+
+#[test]
+fn faulted_star_is_byte_identical_at_any_worker_count() {
+    let base = faulted_star(1);
+    assert_eq!(base.fault_stats.link_down_events, 1);
+    assert_eq!(base.fault_stats.node_crashes, 1);
+    assert_eq!(base.fault_stats.switch_fail_events, 1);
+    assert!(
+        base.impairment_stats.blackholed > 0,
+        "the flap actually cut traffic: {:?}",
+        base.impairment_stats
+    );
+    let retries: u64 = base.http_fleets.iter().map(|f| f.retries).sum();
+    assert!(retries > 0, "the partition actually triggered retries");
+    for workers in [2usize, 4] {
+        let out = faulted_star(workers);
+        assert_eq!(out.workers, workers, "the plan used the requested shards");
+        assert_fault_equivalent(&base, &out, "faulted star8");
+    }
+}
+
+/// Cut-edge faults: every leaf uplink in turn — the exact edges the shard
+/// partitioner cuts — flaps on a staggered schedule while the leaves keep
+/// serving. Downing a *cut* edge exercises the blackhole check on the
+/// TX hop that feeds the cross-shard rendezvous.
+#[test]
+fn staggered_cut_edge_flaps_are_byte_identical() {
+    let ms = SimDuration::from_millis;
+    let run = |workers: usize| {
+        let mut plan = capnet::FaultPlan::new();
+        for i in 0..8usize {
+            plan = plan
+                .link_down(ms(10 + 4 * i as u64), capnet::FaultTarget::Leaf(i))
+                .link_up(ms(12 + 4 * i as u64), capnet::FaultTarget::Leaf(i));
+        }
+        capnet::ScenarioSpec::star(8)
+            .duration(ms(70))
+            .costs(CostModel::morello())
+            .seed(0xCE11)
+            .workers(workers)
+            .adaptive_workers(false)
+            .http(
+                capnet_httpd::HttpServerConfig::default(),
+                capnet_httpd::FleetConfig {
+                    rate_per_sec: 4_000,
+                    retry_budget: 2,
+                    ..capnet_httpd::FleetConfig::default()
+                },
+            )
+            .faults(plan)
+            .run()
+            .expect("staggered flap star runs")
+    };
+    let base = run(1);
+    assert_eq!(base.fault_stats.link_down_events, 8);
+    assert_eq!(base.fault_stats.link_up_events, 8);
+    for workers in [2usize, 4] {
+        assert_fault_equivalent(&base, &run(workers), "staggered flaps");
+    }
+}
+
+/// An *empty* fault plan is provably free: the explicit `.faults(...)`
+/// call with no events must land on the exact pinned pre-fault digest —
+/// the subsystem's presence costs nothing when unused.
+#[test]
+fn empty_fault_plan_leaves_the_pinned_digest_untouched() {
+    let o = capnet::ScenarioSpec::star(8)
+        .duration(SimDuration::from_millis(40))
+        .costs(CostModel::morello())
+        .seed(21)
+        .workers(2)
+        .adaptive_workers(false)
+        .congestion(capnet::CcAlgo::Reno)
+        .sack(false)
+        .faults(capnet::FaultPlan::new())
+        .run()
+        .expect("star runs");
+    assert_eq!(
+        o.trace.digest, 0xfa099c29f1e937d5,
+        "an empty FaultPlan must not perturb a single byte"
+    );
+}
+
 proptest! {
     /// Random topologies partition into shards covering every node exactly
     /// once, with every constraint group intact — for any worker count.

@@ -51,6 +51,13 @@ TRACKED = [
     "requests_per_sec",
     "overhead_pct",
     "violations_per_sec",
+    "time_to_recovery_ms",
+    "goodput_during_partition_rps",
+    "goodput_after_heal_rps",
+    "retry_amplification",
+    "retries",
+    "http_503s",
+    "completion_per_mille",
 ]
 
 # Prefix-matched metrics appended after the tracked ones, in name order.
